@@ -1,0 +1,100 @@
+// Ablation (paper §IV-B): "it is sufficient to reach only the percentage of
+// system nodes that guarantees that some nodes of the target slice are
+// reached". Sweeps the spray's global fanout and the TTL coverage target
+// beta, reporting request cost vs. delivery reliability — the efficiency /
+// reliability trade-off the optimization navigates.
+//
+// Run: ablation_fanout [nodes=600 slices=10 ops_per_node=1 seed=42]
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dataflasks;
+
+struct AblationPoint {
+  std::size_t fanout;
+  double beta;
+  double msgs_request;
+  double ack_rate;
+  double retry_rate;
+};
+
+AblationPoint run_point(std::size_t nodes, std::uint32_t slices,
+                        std::size_t fanout, double beta, std::size_t ops,
+                        std::uint64_t seed) {
+  harness::ClusterOptions copts;
+  copts.node_count = nodes;
+  copts.seed = seed;
+  copts.node.slice_config = {slices, 1};
+  copts.node.request.spray.global_fanout = fanout;
+  copts.node.request.ttl_beta = beta;
+  harness::Cluster cluster(copts);
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+  cluster.transport().reset_stats();
+
+  workload::WorkloadSpec spec = workload::WorkloadSpec::write_only();
+  spec.record_count = nodes;
+  spec.operation_count = ops;
+
+  std::vector<client::Client*> clients;
+  std::vector<std::vector<workload::Op>> streams;
+  Rng stream_rng(seed ^ 0xab1);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    clients.push_back(&cluster.add_client());
+    workload::WorkloadGenerator gen(spec, stream_rng.fork(i));
+    streams.push_back(gen.transaction_phase());
+  }
+  harness::Runner runner(cluster, clients, std::move(streams));
+  runner.run(cluster.simulator().now() + 600 * kSeconds);
+  cluster.run_for(20 * kSeconds);
+
+  std::uint64_t retries = 0;
+  for (auto* cli : clients) {
+    retries += cli->metrics().counter_value("client.put_retries");
+  }
+
+  AblationPoint point;
+  point.fanout = fanout;
+  point.beta = beta;
+  point.msgs_request =
+      cluster.mean_messages_per_node(net::MsgCategory::kRequest);
+  point.ack_rate = runner.stats().put_success_rate();
+  point.retry_rate = static_cast<double>(retries) /
+                     static_cast<double>(runner.stats().puts_issued);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dataflasks::bench;
+
+  const dataflasks::Config cfg = parse_bench_args(argc, argv);
+  const auto nodes = static_cast<std::size_t>(cfg.get_int("nodes", 600));
+  const auto slices =
+      static_cast<std::uint32_t>(cfg.get_int("slices", 10));
+  const auto ops = static_cast<std::size_t>(cfg.get_int("ops_per_node", 1));
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  std::printf("# Ablation: spray fanout x coverage target (N=%zu, k=%u)\n",
+              nodes, slices);
+  std::printf("%8s %8s %14s %10s %12s\n", "fanout", "beta", "request/node",
+              "ack_rate", "retry_rate");
+
+  for (const std::size_t fanout : {2, 3, 4}) {
+    for (const double beta : {1.0, 3.0, 6.0}) {
+      const auto p = run_point(nodes, slices, fanout, beta, ops, seed);
+      std::printf("%8zu %8.1f %14.1f %10.3f %12.3f\n", p.fanout, p.beta,
+                  p.msgs_request, p.ack_rate, p.retry_rate);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nexpected: cost rises with fanout and beta; reliability saturates "
+      "near 1.0 beyond beta~3 — reaching a bounded percentage suffices "
+      "(paper §IV-B).\n");
+  return 0;
+}

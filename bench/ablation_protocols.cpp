@@ -1,0 +1,64 @@
+// Ablation: substrate protocol choices. The paper names Cyclon/Newscast as
+// Peer Sampling candidates (§II) and uses DSlead for slicing (§V); this
+// bench runs the Figure-3 workload over every PSS x slicer combination to
+// show the substrate choice's effect on cost and reliability.
+//
+// Run: ablation_protocols [nodes=600 slices=10 ops_per_node=1 seed=42]
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dataflasks;
+  using namespace dataflasks::bench;
+
+  const Config cfg = parse_bench_args(argc, argv);
+  const auto nodes = static_cast<std::size_t>(cfg.get_int("nodes", 600));
+  const auto slices = static_cast<std::uint32_t>(cfg.get_int("slices", 10));
+
+  std::printf("# Ablation: PSS x slicing protocol matrix (N=%zu, k=%u)\n",
+              nodes, slices);
+  std::printf("%10s %10s %12s %12s %12s %10s\n", "pss", "slicer",
+              "msgs/node", "maintenance", "ack_rate", "p50_ms");
+
+  struct Combo {
+    const char* pss_name;
+    core::PssKind pss;
+    const char* slicer_name;
+    core::SlicerKind slicer;
+  };
+  const Combo combos[] = {
+      {"cyclon", core::PssKind::kCyclon, "sliver", core::SlicerKind::kSliver},
+      {"cyclon", core::PssKind::kCyclon, "ordered",
+       core::SlicerKind::kOrdered},
+      {"newscast", core::PssKind::kNewscast, "sliver",
+       core::SlicerKind::kSliver},
+      {"newscast", core::PssKind::kNewscast, "ordered",
+       core::SlicerKind::kOrdered},
+  };
+
+  for (const Combo& combo : combos) {
+    FigureOptions options;
+    options.ops_per_node =
+        static_cast<std::size_t>(cfg.get_int("ops_per_node", 1));
+    options.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+    options.pss = combo.pss;
+    options.slicer = combo.slicer;
+    const FigureRow row = run_message_experiment(nodes, slices, options);
+    const double ack_rate =
+        row.ops_issued == 0
+            ? 1.0
+            : static_cast<double>(row.ops_acked) /
+                  static_cast<double>(row.ops_issued);
+    std::printf("%10s %10s %12.1f %12.1f %12.3f %10.1f\n", combo.pss_name,
+                combo.slicer_name, row.msgs_counted, row.msgs_maintenance,
+                ack_rate, row.put_p50_ms);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nexpected: request cost is substrate-insensitive once views are "
+      "random enough; Newscast costs more maintenance bytes (full-view "
+      "exchanges) and Sliver converges slicing faster than ordered "
+      "swapping (fewer early misroutes).\n");
+  return 0;
+}

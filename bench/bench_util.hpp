@@ -1,0 +1,149 @@
+// Shared benchmark harness: builds a DataFlasks deployment with co-located
+// YCSB clients (one per node, as a Minha whole-system run drives load),
+// executes the write-only workload and reports per-node message counts by
+// traffic category — the quantity Figures 3 and 4 of the paper plot.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "harness/cluster.hpp"
+#include "harness/runner.hpp"
+
+namespace dataflasks::bench {
+
+struct FigureRow {
+  std::size_t nodes = 0;
+  std::uint32_t slices = 0;
+  std::uint64_t ops_issued = 0;
+  std::uint64_t ops_acked = 0;
+  double msgs_request = 0.0;       ///< request dissemination + replies + pushes
+  double msgs_anti_entropy = 0.0;  ///< batched replication repair
+  double msgs_counted = 0.0;       ///< request + anti-entropy (the figure's y)
+  double msgs_maintenance = 0.0;   ///< PSS + slicing + adverts (reported aside)
+  double put_p50_ms = 0.0;
+  double put_p99_ms = 0.0;
+};
+
+struct FigureOptions {
+  std::size_t ops_per_node = 1;    ///< YCSB write ops issued per node
+  SimTime warmup = 90 * kSeconds;  ///< PSS + slicing convergence
+  SimTime drain = 40 * kSeconds;   ///< post-load window for anti-entropy
+  std::uint64_t seed = 42;
+  std::size_t value_size = 100;    ///< YCSB default record payload
+  core::PssKind pss = core::PssKind::kCyclon;
+  core::SlicerKind slicer = core::SlicerKind::kSliver;
+};
+
+/// Reads pss=cyclon|newscast and slicer=sliver|ordered overrides.
+inline void apply_protocol_args(const Config& cfg, FigureOptions& options) {
+  if (cfg.get_string("pss", "cyclon") == "newscast") {
+    options.pss = core::PssKind::kNewscast;
+  }
+  if (cfg.get_string("slicer", "sliver") == "ordered") {
+    options.slicer = core::SlicerKind::kOrdered;
+  }
+}
+
+/// One experiment point: N nodes, k slices, write-only workload.
+inline FigureRow run_message_experiment(std::size_t nodes,
+                                        std::uint32_t slices,
+                                        const FigureOptions& options) {
+  harness::ClusterOptions copts;
+  copts.node_count = nodes;
+  copts.seed = options.seed + nodes;  // distinct but reproducible per point
+  copts.node.slice_config = {slices, 1};
+  copts.node.pss_kind = options.pss;
+  copts.node.slicer_kind = options.slicer;
+  harness::Cluster cluster(copts);
+  cluster.start_all();
+  cluster.run_for(options.warmup);
+
+  // Exclude convergence traffic from the measurement, as the paper measures
+  // messages "to perform the YCSB requests".
+  cluster.transport().reset_stats();
+
+  // Co-located clients: one per node, closed loop, ops_per_node writes each
+  // over a shared record space (YCSB write-only).
+  workload::WorkloadSpec spec = workload::WorkloadSpec::write_only();
+  spec.record_count = std::max<std::size_t>(nodes, 16);
+  spec.operation_count = options.ops_per_node;
+  spec.value_size = options.value_size;
+
+  std::vector<client::Client*> clients;
+  std::vector<std::vector<workload::Op>> streams;
+  Rng stream_rng(options.seed ^ 0xf19);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    clients.push_back(&cluster.add_client());
+    workload::WorkloadGenerator gen(spec, stream_rng.fork(i));
+    streams.push_back(gen.transaction_phase());
+  }
+
+  harness::Runner runner(cluster, clients, std::move(streams));
+  runner.run(cluster.simulator().now() + 600 * kSeconds);
+  cluster.run_for(options.drain);
+
+  FigureRow row;
+  row.nodes = nodes;
+  row.slices = slices;
+  row.ops_issued = runner.stats().puts_issued;
+  row.ops_acked = runner.stats().puts_succeeded;
+  row.msgs_request =
+      cluster.mean_messages_per_node(net::MsgCategory::kRequest);
+  row.msgs_anti_entropy =
+      cluster.mean_messages_per_node(net::MsgCategory::kAntiEntropy);
+  row.msgs_counted = row.msgs_request + row.msgs_anti_entropy;
+  row.msgs_maintenance =
+      cluster.mean_messages_per_node(net::MsgCategory::kPeerSampling) +
+      cluster.mean_messages_per_node(net::MsgCategory::kSlicing);
+  row.put_p50_ms =
+      runner.stats().put_latency.quantile(0.5) / static_cast<double>(kMillis);
+  row.put_p99_ms =
+      runner.stats().put_latency.quantile(0.99) / static_cast<double>(kMillis);
+  return row;
+}
+
+inline void print_figure_header(const char* title) {
+  std::printf("# %s\n", title);
+  std::printf(
+      "%8s %8s %10s %10s %12s %10s %12s %12s %10s %10s\n", "nodes", "slices",
+      "ops", "acked", "msgs/node", "request", "anti_entropy", "maintenance",
+      "p50_ms", "p99_ms");
+}
+
+inline void print_figure_row(const FigureRow& row) {
+  std::printf(
+      "%8zu %8u %10llu %10llu %12.1f %10.1f %12.1f %12.1f %10.1f %10.1f\n",
+      row.nodes, row.slices,
+      static_cast<unsigned long long>(row.ops_issued),
+      static_cast<unsigned long long>(row.ops_acked), row.msgs_counted,
+      row.msgs_request, row.msgs_anti_entropy, row.msgs_maintenance,
+      row.put_p50_ms, row.put_p99_ms);
+  std::fflush(stdout);
+}
+
+/// Parses trailing key=value command line arguments.
+inline Config parse_bench_args(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto cfg = Config::from_args(args);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n", cfg.error().message.c_str());
+    return Config{};
+  }
+  return std::move(cfg).value();
+}
+
+/// The paper's node-count sweep (Figures 3 and 4): 500..3000 step 500.
+/// Overridable for quick runs: nodes_min/nodes_max/nodes_step.
+inline std::vector<std::size_t> node_sweep(const Config& cfg) {
+  const auto min = static_cast<std::size_t>(cfg.get_int("nodes_min", 500));
+  const auto max = static_cast<std::size_t>(cfg.get_int("nodes_max", 3000));
+  const auto step = static_cast<std::size_t>(cfg.get_int("nodes_step", 500));
+  std::vector<std::size_t> sweep;
+  for (std::size_t n = min; n <= max; n += step) sweep.push_back(n);
+  return sweep;
+}
+
+}  // namespace dataflasks::bench

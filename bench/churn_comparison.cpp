@@ -1,0 +1,218 @@
+// Motivation experiment (paper §I): "as the system size grows, the
+// assumption of a moderately stable environment becomes unrealistic ...
+// faults and churn become the rule instead of the exception. We posit that
+// an unstructured but resilient approach to data management is more
+// appropriate."
+//
+// Loads the same data into DataFlasks and the Chord-DHT baseline, then
+// subjects both to increasing churn rates and measures read availability
+// and durability over the churn window.
+//
+// Run: churn_comparison [nodes=300 slices=6 objects=120 seed=42]
+#include <cstdio>
+
+#include "baseline/dht_kv.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dataflasks;
+
+struct ChurnPoint {
+  double read_success = 0.0;
+  double survivors = 0.0;  ///< fraction of objects with >= 1 replica at end
+};
+
+ChurnPoint run_dataflasks(std::size_t nodes, std::uint32_t slices,
+                          std::size_t objects, double churn_rate,
+                          std::uint64_t seed) {
+  harness::ClusterOptions copts;
+  copts.node_count = nodes;
+  copts.seed = seed;
+  copts.node.slice_config = {slices, 1};
+  harness::Cluster cluster(copts);
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+
+  auto& client = cluster.add_client();
+  for (std::size_t i = 0; i < objects; ++i) {
+    client.put("obj" + std::to_string(i), Bytes{1, 2, 3}, 1, nullptr);
+  }
+  cluster.run_for(60 * kSeconds);  // replicate across slices
+
+  // Churn window.
+  Rng churn_rng(seed ^ 0xc4);
+  sim::ChurnPlanOptions churn;
+  churn.start = cluster.simulator().now();
+  churn.end = churn.start + 120 * kSeconds;
+  churn.events_per_second = churn_rate;
+  churn.downtime_min = 10 * kSeconds;
+  churn.downtime_max = 40 * kSeconds;
+  cluster.apply_churn_plan(
+      sim::make_churn_plan(cluster.node_ids(), churn, churn_rng));
+
+  // Reads during churn.
+  std::size_t attempted = 0, succeeded = 0;
+  Rng pick(seed ^ 0x9d);
+  for (int round = 0; round < 24; ++round) {
+    cluster.run_for(5 * kSeconds);
+    const Key key = "obj" + std::to_string(pick.next_below(objects));
+    ++attempted;
+    bool ok = false;
+    client.get(key, std::nullopt,
+               [&ok](const client::GetResult& r) { ok = r.ok; });
+    cluster.run_for(10 * kSeconds);
+    if (ok) ++succeeded;
+  }
+  cluster.run_for(60 * kSeconds);  // repair window
+
+  ChurnPoint point;
+  point.read_success =
+      static_cast<double>(succeeded) / static_cast<double>(attempted);
+  std::size_t alive_objects = 0;
+  for (std::size_t i = 0; i < objects; ++i) {
+    if (cluster.replica_count("obj" + std::to_string(i), 1) > 0) {
+      ++alive_objects;
+    }
+  }
+  point.survivors =
+      static_cast<double>(alive_objects) / static_cast<double>(objects);
+  return point;
+}
+
+ChurnPoint run_dht(std::size_t nodes, std::size_t objects, double churn_rate,
+                   std::uint64_t seed) {
+  sim::Simulator simulator(seed);
+  sim::NetworkModel model(sim::LatencyModel{5 * kMillis, 50 * kMillis});
+  net::SimTransport transport(simulator, model);
+
+  baseline::DhtKvOptions options;
+  options.replication = 3;
+  std::vector<std::unique_ptr<baseline::DhtNode>> ring;
+  Rng seeder(seed ^ 0x7);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ring.push_back(std::make_unique<baseline::DhtNode>(
+        NodeId(i), simulator, transport, Rng(seeder.next_u64()), options));
+  }
+  ring[0]->start(NodeId());
+  for (std::size_t i = 1; i < nodes; ++i) ring[i]->start(NodeId(0));
+  // Sequential joins through one bootstrap need O(N) stabilize rounds to
+  // settle every successor pointer; give the ring ample time so the
+  // comparison measures churn response, not residual join transients.
+  simulator.run_until(simulator.now() + 420 * kSeconds);
+
+  Rng pick(seed ^ 0x9d);
+  for (std::size_t i = 0; i < objects; ++i) {
+    ring[pick.next_below(nodes)]->put("obj" + std::to_string(i),
+                                      Bytes{1, 2, 3}, 1, nullptr);
+  }
+  simulator.run_until(simulator.now() + 30 * kSeconds);
+
+  // Same churn process as the DataFlasks run.
+  Rng churn_rng(seed ^ 0xc4);
+  sim::ChurnPlanOptions churn;
+  churn.start = simulator.now();
+  churn.end = churn.start + 120 * kSeconds;
+  churn.events_per_second = churn_rate;
+  churn.downtime_min = 10 * kSeconds;
+  churn.downtime_max = 40 * kSeconds;
+  std::vector<NodeId> ids;
+  for (const auto& n : ring) ids.push_back(n->id());
+  for (const auto& event :
+       sim::make_churn_plan(ids, churn, churn_rng)) {
+    const auto index = static_cast<std::size_t>(event.node.value);
+    simulator.schedule_at(event.at, [&ring, &model, event, index]() {
+      if (event.kind == sim::ChurnEventKind::kCrash) {
+        if (ring[index]->running()) {
+          model.set_node_up(event.node, false);
+          ring[index]->crash();
+        }
+      } else if (!ring[index]->running()) {
+        model.set_node_up(event.node, true);
+        // Rejoin through node 0 (or any running node).
+        NodeId contact;
+        for (const auto& n : ring) {
+          if (n->running()) {
+            contact = n->id();
+            break;
+          }
+        }
+        ring[index]->start(contact);
+      }
+    });
+  }
+
+  std::size_t attempted = 0, succeeded = 0;
+  for (int round = 0; round < 24; ++round) {
+    simulator.run_until(simulator.now() + 5 * kSeconds);
+    const Key key = "obj" + std::to_string(pick.next_below(objects));
+    baseline::DhtNode* coordinator = nullptr;
+    for (const auto& n : ring) {
+      if (n->running()) {
+        coordinator = n.get();
+        break;
+      }
+    }
+    if (coordinator == nullptr) continue;
+    ++attempted;
+    bool ok = false;
+    coordinator->get(key, std::nullopt,
+                     [&ok](const baseline::DhtGetResult& r) { ok = r.ok; });
+    simulator.run_until(simulator.now() + 10 * kSeconds);
+    if (ok) ++succeeded;
+  }
+  simulator.run_until(simulator.now() + 60 * kSeconds);
+
+  ChurnPoint point;
+  point.read_success = attempted == 0
+                           ? 0.0
+                           : static_cast<double>(succeeded) /
+                                 static_cast<double>(attempted);
+  std::size_t alive_objects = 0;
+  for (std::size_t i = 0; i < objects; ++i) {
+    const Key key = "obj" + std::to_string(i);
+    for (const auto& n : ring) {
+      if (n->running() && n->store().contains(key, 1)) {
+        ++alive_objects;
+        break;
+      }
+    }
+  }
+  point.survivors =
+      static_cast<double>(alive_objects) / static_cast<double>(objects);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dataflasks::bench;
+
+  const dataflasks::Config cfg = parse_bench_args(argc, argv);
+  const auto nodes = static_cast<std::size_t>(cfg.get_int("nodes", 300));
+  const auto slices = static_cast<std::uint32_t>(cfg.get_int("slices", 6));
+  const auto objects = static_cast<std::size_t>(cfg.get_int("objects", 120));
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  std::printf(
+      "# Churn comparison: DataFlasks vs Chord DHT baseline (N=%zu)\n",
+      nodes);
+  std::printf("%12s %22s %22s\n", "", "DataFlasks", "Chord-DHT");
+  std::printf("%12s %11s %10s %11s %10s\n", "churn(ev/s)", "read_ok",
+              "durable", "read_ok", "durable");
+
+  for (const double rate : {0.0, 0.5, 1.0, 2.0}) {
+    const auto df = run_dataflasks(nodes, slices, objects, rate, seed);
+    const auto dht = run_dht(nodes, objects, rate, seed);
+    std::printf("%12.1f %11.3f %10.3f %11.3f %10.3f\n", rate,
+                df.read_success, df.survivors, dht.read_success,
+                dht.survivors);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nexpected: both near 1.0 when stable; as churn grows the DHT's "
+      "availability/durability degrade faster (ring repair lags, no replica "
+      "regeneration), while DataFlasks' slice replication + anti-entropy "
+      "hold — the paper's SI motivation.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 4 (paper §VI): average number of messages per node for a YCSB
+// write-only workload, N = 500..3000, slice count PROPORTIONAL to N
+// (k = N / slice_size, slice_size defaulting to 50 => constant replication
+// factor; at N=500 this matches Figure 3's k=10).
+//
+// Paper result: messages per node grow "gracefully" (sub-linearly), from
+// ~200 at 500 nodes to ~1200 at 3000 nodes: a randomly chosen contact node
+// hits the target slice with probability 1/k, so discovery dissemination
+// must reach ~beta*k nodes per request and k grows with N.
+//
+// Run: fig4_proportional_slices [nodes_min=500 nodes_max=3000
+//                                nodes_step=500 slice_size=50
+//                                ops_per_node=1 seed=42]
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dataflasks;
+  using namespace dataflasks::bench;
+
+  const Config cfg = parse_bench_args(argc, argv);
+  const auto slice_size =
+      static_cast<std::size_t>(cfg.get_int("slice_size", 50));
+  FigureOptions options;
+  options.ops_per_node =
+      static_cast<std::size_t>(cfg.get_int("ops_per_node", 1));
+  options.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  apply_protocol_args(cfg, options);
+
+  print_figure_header(
+      "Figure 4: avg messages per node, slices proportional to N "
+      "(constant replication factor), YCSB write-only");
+
+  std::vector<FigureRow> rows;
+  for (const std::size_t nodes : node_sweep(cfg)) {
+    const auto slices = static_cast<std::uint32_t>(
+        std::max<std::size_t>(1, nodes / slice_size));
+    rows.push_back(run_message_experiment(nodes, slices, options));
+    print_figure_row(rows.back());
+  }
+
+  // Shape checks: growth across the sweep (paper: ~6x from 500 to 3000
+  // nodes) and sub-linearity (growth ratio below the node-count ratio).
+  const double first = rows.front().msgs_counted;
+  const double last = rows.back().msgs_counted;
+  const double node_ratio = static_cast<double>(rows.back().nodes) /
+                            static_cast<double>(rows.front().nodes);
+  std::printf("\ngrowth ratio (msgs at %zu / msgs at %zu nodes): %.2f  "
+              "[paper: grows ~6x; sub-linear iff < node ratio %.1f]\n",
+              rows.back().nodes, rows.front().nodes,
+              first > 0 ? last / first : 0.0, node_ratio);
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Google-benchmark micro benchmarks for the hot paths underneath the
+// simulation: RNG, hashing, serialization, store operations, view
+// manipulation, dedup cache and the event queue.
+#include <benchmark/benchmark.h>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "dissemination/dedup_cache.hpp"
+#include "pss/view.hpp"
+#include "sim/event_queue.hpp"
+#include "store/memstore.hpp"
+#include "store/object.hpp"
+#include "workload/distributions.hpp"
+
+namespace dataflasks {
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngNextBelow(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_below(1000));
+  }
+}
+BENCHMARK(BM_RngNextBelow);
+
+void BM_StableKeyHash(benchmark::State& state) {
+  const std::string key = "user8517097267634966620";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stable_key_hash(key));
+  }
+}
+BENCHMARK(BM_StableKeyHash);
+
+void BM_Crc32(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ObjectEncodeDecode(benchmark::State& state) {
+  const store::Object obj{"user12345678901234567", 42,
+                          Bytes(static_cast<std::size_t>(state.range(0)), 7)};
+  for (auto _ : state) {
+    Writer w;
+    store::encode(w, obj);
+    Reader r(w.buffer());
+    benchmark::DoNotOptimize(store::decode_object(r));
+  }
+}
+BENCHMARK(BM_ObjectEncodeDecode)->Arg(100)->Arg(1024);
+
+void BM_MemStorePut(benchmark::State& state) {
+  store::MemStore store;
+  std::uint64_t i = 0;
+  const Bytes value(100, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.put({"key" + std::to_string(i++ % 10000), 1, value}));
+  }
+}
+BENCHMARK(BM_MemStorePut);
+
+void BM_MemStoreGetLatest(benchmark::State& state) {
+  store::MemStore store;
+  for (int i = 0; i < 10000; ++i) {
+    (void)store.put({"key" + std::to_string(i), 1, Bytes(100, 1)});
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.get("key" + std::to_string(i++ % 10000), std::nullopt));
+  }
+}
+BENCHMARK(BM_MemStoreGetLatest);
+
+void BM_MemStoreDigest(benchmark::State& state) {
+  store::MemStore store;
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)store.put({"key" + std::to_string(i), 1, Bytes(16, 1)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.digest());
+  }
+}
+BENCHMARK(BM_MemStoreDigest)->Arg(100)->Arg(1000);
+
+void BM_ViewShuffleSample(benchmark::State& state) {
+  pss::View view(20);
+  for (int i = 0; i < 20; ++i) {
+    view.insert({NodeId(static_cast<std::uint64_t>(i)), 0});
+  }
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.sample(rng, 8));
+  }
+}
+BENCHMARK(BM_ViewShuffleSample);
+
+void BM_DedupCache(benchmark::State& state) {
+  dissemination::DedupCache cache(1 << 15);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.seen_or_insert(i++ % (1 << 16)));
+  }
+}
+BENCHMARK(BM_DedupCache);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  Rng rng(42);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.push(static_cast<SimTime>(rng.next_below(1 << 20)), []() {});
+    }
+    while (!queue.empty()) {
+      auto fn = queue.pop();
+      benchmark::DoNotOptimize(fn);
+    }
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  workload::ZipfianDistribution zipf(
+      static_cast<std::uint64_t>(state.range(0)));
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext)->Arg(1000)->Arg(1000000);
+
+}  // namespace
+}  // namespace dataflasks
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Substrate validation (paper §II): epidemic dissemination assumes views
+// are "a uniformly random sample of nodes". Measures, for Cyclon and
+// Newscast: in-degree dispersion, clustering coefficient and view freshness
+// over time — the properties that make ln(N)+c dissemination work.
+//
+// Run: pss_quality [nodes=500 cycles=120 seed=42]
+#include <cmath>
+#include <cstdio>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "bench_util.hpp"
+#include "pss/cyclon.hpp"
+#include "pss/newscast.hpp"
+
+namespace {
+
+using namespace dataflasks;
+
+struct OverlayStats {
+  double in_degree_mean = 0.0;
+  double in_degree_cv = 0.0;  ///< coefficient of variation (stddev/mean)
+  double clustering = 0.0;    ///< mean local clustering coefficient
+  double reachable = 0.0;     ///< BFS coverage from node 0
+};
+
+OverlayStats measure(const std::vector<std::unique_ptr<pss::PeerSampling>>&
+                         protos) {
+  const std::size_t n = protos.size();
+  std::map<std::uint64_t, int> in_degree;
+  std::vector<std::set<std::uint64_t>> adjacency(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const NodeId peer : protos[i]->view().ids()) {
+      ++in_degree[peer.value];
+      adjacency[i].insert(peer.value);
+    }
+  }
+
+  OverlayStats stats;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it = in_degree.find(i);
+    const double d = it == in_degree.end() ? 0.0 : it->second;
+    sum += d;
+    sum_sq += d * d;
+  }
+  stats.in_degree_mean = sum / static_cast<double>(n);
+  const double var =
+      sum_sq / static_cast<double>(n) - stats.in_degree_mean * stats.in_degree_mean;
+  stats.in_degree_cv =
+      stats.in_degree_mean > 0 ? std::sqrt(std::max(0.0, var)) /
+                                     stats.in_degree_mean
+                               : 0.0;
+
+  // Local clustering: fraction of a node's neighbour pairs that are
+  // themselves neighbours (sampled).
+  double clustering_total = 0.0;
+  std::size_t clustering_nodes = 0;
+  for (std::size_t i = 0; i < n; i += 7) {
+    const auto& neigh = adjacency[i];
+    if (neigh.size() < 2) continue;
+    std::size_t links = 0, pairs = 0;
+    for (auto a = neigh.begin(); a != neigh.end(); ++a) {
+      for (auto b = std::next(a); b != neigh.end(); ++b) {
+        ++pairs;
+        if (adjacency[static_cast<std::size_t>(*a)].contains(*b) ||
+            adjacency[static_cast<std::size_t>(*b)].contains(*a)) {
+          ++links;
+        }
+      }
+    }
+    clustering_total += static_cast<double>(links) /
+                        static_cast<double>(pairs);
+    ++clustering_nodes;
+  }
+  stats.clustering = clustering_nodes > 0
+                         ? clustering_total /
+                               static_cast<double>(clustering_nodes)
+                         : 0.0;
+
+  // Reachability from node 0.
+  std::set<std::uint64_t> visited{0};
+  std::vector<std::uint64_t> frontier{0};
+  while (!frontier.empty()) {
+    const auto at = frontier.back();
+    frontier.pop_back();
+    for (const auto peer : adjacency[static_cast<std::size_t>(at)]) {
+      if (visited.insert(peer).second) frontier.push_back(peer);
+    }
+  }
+  stats.reachable =
+      static_cast<double>(visited.size()) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dataflasks::bench;
+
+  const Config cfg = parse_bench_args(argc, argv);
+  const auto nodes = static_cast<std::size_t>(cfg.get_int("nodes", 500));
+  const auto cycles = static_cast<std::size_t>(cfg.get_int("cycles", 120));
+  const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+
+  std::printf("# PSS overlay quality (N=%zu): random-graph-like views are "
+              "the epidemic premise (paper SII)\n",
+              nodes);
+  std::printf("%10s %8s %12s %12s %12s %12s\n", "protocol", "cycle",
+              "in_deg_mean", "in_deg_cv", "clustering", "reachable");
+
+  for (const char* kind : {"cyclon", "newscast"}) {
+    sim::Simulator simulator(seed);
+    sim::NetworkModel model(sim::LatencyModel{5 * kMillis, 50 * kMillis});
+    net::SimTransport transport(simulator, model);
+
+    std::vector<std::unique_ptr<pss::PeerSampling>> protos;
+    Rng seeder(seed ^ 0x955);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      if (std::string(kind) == "cyclon") {
+        protos.push_back(std::make_unique<pss::Cyclon>(
+            NodeId(i), transport, Rng(seeder.next_u64()),
+            pss::CyclonOptions{}));
+      } else {
+        protos.push_back(std::make_unique<pss::Newscast>(
+            NodeId(i), transport, Rng(seeder.next_u64()),
+            pss::NewscastOptions{}));
+      }
+    }
+    for (std::size_t i = 0; i < nodes; ++i) {
+      protos[i]->bootstrap({NodeId((i + 1) % nodes), NodeId((i + 2) % nodes)});
+      auto* proto = protos[i].get();
+      transport.register_handler(
+          NodeId(i),
+          [proto](const net::Message& msg) { proto->handle(msg); });
+      simulator.schedule_periodic(simulator.rng().next_in(0, kSeconds),
+                                  kSeconds, [proto]() { proto->tick(); });
+    }
+
+    for (const std::size_t checkpoint : {10ul, 30ul, cycles}) {
+      simulator.run_until(static_cast<SimTime>(checkpoint) * kSeconds);
+      const auto stats = measure(protos);
+      std::printf("%10s %8zu %12.1f %12.3f %12.4f %12.3f\n", kind,
+                  checkpoint, stats.in_degree_mean, stats.in_degree_cv,
+                  stats.clustering, stats.reachable);
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nexpected: Cyclon's in-degree CV stays low (~random graph, "
+      "clustering ~ view/N); Newscast trades higher skew for faster "
+      "self-healing. Both keep the overlay connected (reachable ~1.0).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Churn resilience: the paper's thesis ("faults and churn become the rule
+// instead of the exception", §I) made visible. A cluster keeps serving
+// writes and reads while a third of its nodes crash and rejoin on a
+// continuous schedule; a final audit shows no acknowledged write was lost.
+//
+//   $ ./examples/churn_resilience
+#include <cstdio>
+
+#include "harness/cluster.hpp"
+
+int main() {
+  using namespace dataflasks;
+
+  harness::ClusterOptions options;
+  options.node_count = 120;
+  options.seed = 21;
+  options.node.slice_config = {6, 1};
+  harness::Cluster cluster(options);
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+  std::printf("cluster of %zu nodes converged (6 slices)\n",
+              options.node_count);
+
+  // Continuous churn for 3 simulated minutes: one crash/restart event per
+  // second across the system, 10-30 s downtime each.
+  Rng churn_rng(99);
+  sim::ChurnPlanOptions churn;
+  churn.start = cluster.simulator().now();
+  churn.end = churn.start + 180 * kSeconds;
+  churn.events_per_second = 1.0;
+  churn.downtime_min = 10 * kSeconds;
+  churn.downtime_max = 30 * kSeconds;
+  const auto plan = sim::make_churn_plan(cluster.node_ids(), churn, churn_rng);
+  cluster.apply_churn_plan(plan);
+  std::printf("scheduled %zu churn events over 180 s\n", plan.size());
+
+  auto& client = cluster.add_client();
+  int acked = 0, failed = 0;
+  constexpr int kWrites = 60;
+
+  for (int i = 0; i < kWrites; ++i) {
+    client.put("log-entry-" + std::to_string(i), Bytes{static_cast<uint8_t>(i)},
+               1, [&](const client::PutResult& result) {
+                 result.ok ? ++acked : ++failed;
+               });
+    cluster.run_for(3 * kSeconds);
+    if ((i + 1) % 20 == 0) {
+      std::size_t down = 0;
+      for (std::size_t n = 0; n < cluster.size(); ++n) {
+        if (!cluster.node(n).running()) ++down;
+      }
+      std::printf("t=%3llds: %d writes issued, %d acked, %zu nodes down\n",
+                  static_cast<long long>(cluster.simulator().now() / kSeconds),
+                  i + 1, acked, down);
+    }
+  }
+
+  // Let the churn window close and anti-entropy repair the damage.
+  cluster.run_for(120 * kSeconds);
+
+  int durable = 0;
+  double coverage_total = 0.0;
+  for (int i = 0; i < kWrites; ++i) {
+    const Key key = "log-entry-" + std::to_string(i);
+    if (cluster.replica_count(key, 1) > 0) ++durable;
+    coverage_total += cluster.slice_coverage(key, 1);
+  }
+
+  std::printf("\nresults under churn:\n");
+  std::printf("  writes acked:        %d/%d\n", acked, kWrites);
+  std::printf("  writes durable:      %d/%d\n", durable, kWrites);
+  std::printf("  mean slice coverage: %.0f%%\n",
+              100.0 * coverage_total / kWrites);
+  std::printf("  (the structured-DHT comparison lives in "
+              "bench/churn_comparison)\n");
+  return 0;
+}

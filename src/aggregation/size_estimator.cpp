@@ -1,0 +1,94 @@
+#include "aggregation/size_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dataflasks::aggregation {
+
+SizeEstimator::SizeEstimator(NodeId self, net::Transport& transport,
+                             pss::PeerSampling& pss, Rng rng,
+                             SizeEstimatorOptions options)
+    : self_(self),
+      transport_(transport),
+      pss_(pss),
+      rng_(rng),
+      options_(options) {
+  ensure(options_.vector_size >= 3, "SizeEstimator: K must be >= 3");
+  restart_epoch();
+  epoch_ = 0;  // restart_epoch() bumped it; the first epoch is 0
+}
+
+void SizeEstimator::restart_epoch() {
+  ++epoch_;
+  ticks_in_epoch_ = 0;
+  minima_.resize(options_.vector_size);
+  for (auto& x : minima_) x = rng_.next_exponential(1.0);
+}
+
+double SizeEstimator::estimate_from(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (const double v : x) sum += v;
+  if (sum <= 0.0) return 1.0;
+  return std::max(1.0, (static_cast<double>(x.size()) - 1.0) / sum);
+}
+
+double SizeEstimator::estimate() const {
+  // Mid-epoch vectors underestimate the spread of minima early on; the
+  // settled snapshot from the previous epoch is the stable answer. Before
+  // the first epoch closes, fall back to the live vector.
+  return settled_estimate_ > 1.0 ? settled_estimate_
+                                 : estimate_from(minima_);
+}
+
+std::size_t SizeEstimator::estimated_fanout(double c) const {
+  const double n = estimate();
+  if (n < 2.0) return 1;
+  const double f = std::ceil(std::log(n) + c);
+  return f < 1.0 ? 1 : static_cast<std::size_t>(f);
+}
+
+Bytes SizeEstimator::encode_state() const {
+  Writer w;
+  w.u64(epoch_);
+  w.vec(minima_, [&w](double v) { w.f64(v); });
+  return w.take();
+}
+
+void SizeEstimator::tick() {
+  if (++ticks_in_epoch_ >= options_.epoch_length) {
+    // Close the epoch: its vector has had time to spread; snapshot it.
+    settled_estimate_ = estimate_from(minima_);
+    restart_epoch();
+  }
+  for (const NodeId peer : pss_.sample_peers(options_.gossip_fanout)) {
+    if (peer == self_) continue;
+    transport_.send(net::Message{self_, peer, kSizeGossip, encode_state()});
+  }
+}
+
+bool SizeEstimator::handle(const net::Message& msg) {
+  if (msg.type != kSizeGossip) return false;
+
+  Reader r(msg.payload);
+  const std::uint64_t peer_epoch = r.u64();
+  const auto peer_minima = r.vec<double>([&r]() { return r.f64(); });
+  if (!r.finish().ok()) return true;  // malformed: drop
+  if (peer_minima.size() != minima_.size()) return true;  // config mismatch
+
+  if (peer_epoch > epoch_) {
+    // The peer is ahead (its epoch clock fired first): adopt its epoch so
+    // the whole system converges on one round despite unsynchronised ticks.
+    epoch_ = peer_epoch;
+    ticks_in_epoch_ = 0;
+    for (auto& x : minima_) x = rng_.next_exponential(1.0);
+  } else if (peer_epoch < epoch_) {
+    return true;  // stale epoch: ignore
+  }
+
+  for (std::size_t i = 0; i < minima_.size(); ++i) {
+    minima_[i] = std::min(minima_[i], peer_minima[i]);
+  }
+  return true;
+}
+
+}  // namespace dataflasks::aggregation

@@ -1,0 +1,69 @@
+// Epidemic system-size estimation by extrema propagation (the role the
+// paper's citation [24] — fault-tolerant aggregation — plays in its stack).
+// DataFlasks needs ln(N)+c to size dissemination fanouts (§II), yet no node
+// may hold global knowledge; this estimator provides N-hat by gossip alone.
+//
+// Method (Baquero et al., extrema propagation): every node draws K
+// exponential(1) variates; gossip exchanges keep the element-wise MINIMUM
+// of the vectors. The minimum of N exponentials is exponential with rate N,
+// so after the minima have spread, sum(x) ~ Gamma(K, 1/N) and
+// N-hat = (K - 1) / sum(minima) is an unbiased estimator with relative
+// error ~ 1/sqrt(K-2). Epoch restarts keep the estimate live under churn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "pss/peer_sampling.hpp"
+
+namespace dataflasks::aggregation {
+
+constexpr std::uint16_t kSizeGossip = net::kSlicingTypeBase + 8;
+
+struct SizeEstimatorOptions {
+  std::size_t vector_size = 64;       ///< K: accuracy ~ 1/sqrt(K-2)
+  std::size_t gossip_fanout = 1;      ///< partners per tick
+  std::uint32_t epoch_length = 32;    ///< ticks before a fresh epoch starts
+};
+
+class SizeEstimator {
+ public:
+  SizeEstimator(NodeId self, net::Transport& transport,
+                pss::PeerSampling& pss, Rng rng,
+                SizeEstimatorOptions options = {});
+
+  /// One gossip cycle: push our minima vector to random peers and advance
+  /// the epoch clock.
+  void tick();
+
+  /// Consumes kSizeGossip messages; false if the type is not ours.
+  bool handle(const net::Message& msg);
+
+  /// Current estimate of the system size (>= 1). Uses the previous epoch's
+  /// converged vector when available, else the live one.
+  [[nodiscard]] double estimate() const;
+
+  /// ceil(ln(N-hat)) + c, the paper's epidemic fanout, from local data only.
+  [[nodiscard]] std::size_t estimated_fanout(double c) const;
+
+  [[nodiscard]] std::uint64_t current_epoch() const { return epoch_; }
+
+ private:
+  void restart_epoch();
+  [[nodiscard]] static double estimate_from(const std::vector<double>& x);
+  [[nodiscard]] Bytes encode_state() const;
+
+  NodeId self_;
+  net::Transport& transport_;
+  pss::PeerSampling& pss_;
+  Rng rng_;
+  SizeEstimatorOptions options_;
+  std::uint64_t epoch_ = 0;
+  std::uint32_t ticks_in_epoch_ = 0;
+  std::vector<double> minima_;
+  double settled_estimate_ = 1.0;  ///< snapshot from the last closed epoch
+};
+
+}  // namespace dataflasks::aggregation

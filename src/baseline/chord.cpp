@@ -1,0 +1,292 @@
+#include "baseline/chord.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace dataflasks::baseline {
+
+std::uint64_t chord_ring_id(NodeId node) {
+  return stable_key_hash("chord-node:" + std::to_string(node.value));
+}
+
+bool in_ring_range(std::uint64_t x, std::uint64_t from, std::uint64_t to) {
+  if (from == to) return true;  // full circle
+  if (from < to) return x > from && x <= to;
+  return x > from || x <= to;  // wraps around zero
+}
+
+namespace {
+
+// Route message layout: u64 target | u8 purpose | u8 hops | u64 origin | bytes
+Bytes encode_route(std::uint64_t target, std::uint8_t purpose,
+                   std::uint8_t hops, NodeId origin, const Bytes& payload) {
+  Writer w;
+  w.u64(target);
+  w.u8(purpose);
+  w.u8(hops);
+  w.node_id(origin);
+  w.bytes(payload);
+  return w.take();
+}
+
+// GetPredReply layout: u64 pred(or invalid) | vec<u64> successor list
+Bytes encode_pred_reply(const std::optional<NodeId>& pred,
+                        const std::vector<NodeId>& successors) {
+  Writer w;
+  w.node_id(pred.value_or(NodeId()));
+  w.vec(successors, [&w](NodeId n) { w.node_id(n); });
+  return w.take();
+}
+
+}  // namespace
+
+ChordNode::ChordNode(NodeId self, net::Transport& transport, Rng rng,
+                     ChordOptions options, DeliverFn deliver)
+    : self_(self),
+      ring_id_(chord_ring_id(self)),
+      transport_(transport),
+      rng_(rng),
+      options_(options),
+      deliver_(std::move(deliver)) {
+  fingers_.fill(NodeId());
+  ensure(options_.successor_list_size > 0, "Chord: zero successor list");
+}
+
+void ChordNode::join(NodeId contact) {
+  predecessor_.reset();
+  successors_.clear();
+  if (!contact.valid() || contact == self_) {
+    successors_.push_back(self_);  // new ring of one
+    return;
+  }
+  // Optimistic join: adopt the contact as successor; stabilization walks us
+  // to the correct position within a few rounds (classic Chord behaviour).
+  successors_.push_back(contact);
+}
+
+bool ChordNode::owns(std::uint64_t target) const {
+  if (!predecessor_) return true;
+  return in_ring_range(target, chord_ring_id(*predecessor_), ring_id_);
+}
+
+NodeId ChordNode::closest_preceding(std::uint64_t target) const {
+  // Scan fingers from the top, then the successor list, for the node whose
+  // ring id most closely precedes the target.
+  for (std::size_t i = fingers_.size(); i-- > 0;) {
+    const NodeId f = fingers_[i];
+    if (!f.valid() || f == self_) continue;
+    if (in_ring_range(chord_ring_id(f), ring_id_, target - 1)) return f;
+  }
+  for (std::size_t i = successors_.size(); i-- > 0;) {
+    const NodeId s = successors_[i];
+    if (!s.valid() || s == self_) continue;
+    if (in_ring_range(chord_ring_id(s), ring_id_, target - 1)) return s;
+  }
+  return successor();
+}
+
+void ChordNode::route(std::uint64_t target, std::uint8_t purpose,
+                      Bytes payload) {
+  if (owns(target)) {
+    if (deliver_) deliver_(purpose, payload, self_);
+    return;
+  }
+  forward_route(target, purpose, 0, self_, payload);
+}
+
+void ChordNode::forward_route(std::uint64_t target, std::uint8_t purpose,
+                              std::uint8_t hops, NodeId origin,
+                              const Bytes& payload) {
+  if (hops >= options_.max_route_hops) return;  // routing loop safety valve
+  NodeId next = successor();
+  if (!in_ring_range(target, ring_id_, chord_ring_id(successor()))) {
+    next = closest_preceding(target);
+  }
+  if (next == self_ || !next.valid()) return;  // isolated; drop
+  transport_.send(net::Message{
+      self_, next, kChordRoute,
+      encode_route(target, purpose, hops + 1, origin, payload)});
+}
+
+void ChordNode::tick() {
+  // Successor failure detection: a stabilize round that never answered.
+  if (awaiting_successor_reply_ &&
+      ++rounds_without_successor_reply_ >= options_.successor_timeout_rounds) {
+    if (successors_.size() > 1) {
+      successors_.erase(successors_.begin());
+    } else if (!successors_.empty() && successors_.front() != self_) {
+      successors_.front() = self_;  // last resort: point at ourselves
+    }
+    rounds_without_successor_reply_ = 0;
+    awaiting_successor_reply_ = false;
+  }
+  stabilize();
+  check_predecessor();
+  fix_next_finger();
+}
+
+void ChordNode::check_predecessor() {
+  // A dead predecessor must be cleared, or we keep advertising it through
+  // GetPredReply and the ring never heals (classic check_predecessor()).
+  if (!predecessor_ || *predecessor_ == self_) {
+    awaiting_pred_pong_ = false;
+    rounds_without_pred_pong_ = 0;
+    return;
+  }
+  if (awaiting_pred_pong_ &&
+      ++rounds_without_pred_pong_ >= options_.successor_timeout_rounds) {
+    predecessor_.reset();
+    awaiting_pred_pong_ = false;
+    rounds_without_pred_pong_ = 0;
+    return;
+  }
+  awaiting_pred_pong_ = true;
+  transport_.send(net::Message{self_, *predecessor_, kChordPing, {}});
+}
+
+void ChordNode::stabilize() {
+  NodeId succ = successor();
+  if ((succ == self_ || !succ.valid()) && predecessor_ &&
+      *predecessor_ != self_) {
+    // Ring creator case: we still point at ourselves but someone has
+    // notified us. Adopting the predecessor as successor closes the
+    // two-node ring (classic Chord's stabilize with x = predecessor).
+    if (successors_.empty()) {
+      successors_.push_back(*predecessor_);
+    } else {
+      successors_.front() = *predecessor_;
+    }
+    succ = successor();
+  }
+  if (succ == self_ || !succ.valid()) return;
+  awaiting_successor_reply_ = true;
+  transport_.send(net::Message{self_, succ, kChordGetPred, {}});
+}
+
+void ChordNode::fix_next_finger() {
+  // finger[i] = successor(ring_id + 2^i); route a lookup whose purpose tag
+  // encodes the finger index (0xF0 marker + index via payload).
+  next_finger_ = (next_finger_ + 1) % 64;
+  const std::uint64_t target = ring_id_ + (std::uint64_t{1} << next_finger_);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(next_finger_));
+  route(target, /*purpose=*/0xF0, w.take());
+}
+
+bool ChordNode::handle(const net::Message& msg) {
+  switch (msg.type) {
+    case kChordRoute: {
+      Reader r(msg.payload);
+      const std::uint64_t target = r.u64();
+      const std::uint8_t purpose = r.u8();
+      const std::uint8_t hops = r.u8();
+      const NodeId origin = r.node_id();
+      const Bytes payload = r.bytes();
+      if (!r.finish().ok()) return true;
+
+      if (owns(target)) {
+        if (purpose == 0xF0) {
+          // Finger fix: tell the origin we own this finger target.
+          Writer w;
+          w.u8(payload.empty() ? 0 : payload.front());
+          w.node_id(self_);
+          transport_.send(net::Message{self_, origin, kChordRoute,
+                                       encode_route(target, 0xF1, 0, self_,
+                                                    w.take())});
+        } else if (purpose == 0xF1) {
+          // A finger answer delivered to us (we are the origin).
+          Reader fr(payload);
+          const std::uint8_t index = fr.u8();
+          const NodeId owner = fr.node_id();
+          if (fr.finish().ok() && index < fingers_.size()) {
+            fingers_[index] = owner;
+          }
+        } else if (deliver_) {
+          deliver_(purpose, payload, origin);
+        }
+        return true;
+      }
+      forward_route(target, purpose, hops, origin, payload);
+      return true;
+    }
+
+    case kChordGetPred: {
+      transport_.send(net::Message{self_, msg.src, kChordGetPredReply,
+                                   encode_pred_reply(predecessor_,
+                                                     successors_)});
+      // The asker believes we are its successor; it may become our
+      // predecessor. Classic notify handles it; nothing to do here.
+      return true;
+    }
+
+    case kChordGetPredReply: {
+      Reader r(msg.payload);
+      const NodeId pred = r.node_id();
+      const auto succ_list =
+          r.vec<NodeId>([&r]() { return r.node_id(); });
+      if (!r.finish().ok()) return true;
+
+      awaiting_successor_reply_ = false;
+      rounds_without_successor_reply_ = 0;
+
+      // stabilize(): if successor's predecessor sits between us and the
+      // successor, it becomes our new successor.
+      if (pred.valid() && pred != self_ &&
+          in_ring_range(chord_ring_id(pred), ring_id_,
+                        chord_ring_id(successor()) - 1)) {
+        successors_.insert(successors_.begin(), pred);
+      }
+      // Rebuild the successor list from the (possibly new) successor's list.
+      std::vector<NodeId> rebuilt;
+      rebuilt.push_back(successor());
+      for (const NodeId s : succ_list) {
+        if (s.valid() && s != self_ &&
+            std::find(rebuilt.begin(), rebuilt.end(), s) == rebuilt.end()) {
+          rebuilt.push_back(s);
+        }
+        if (rebuilt.size() >= options_.successor_list_size) break;
+      }
+      successors_ = std::move(rebuilt);
+
+      // notify(successor): we might be its predecessor.
+      Writer w;
+      w.node_id(self_);
+      transport_.send(
+          net::Message{self_, successor(), kChordNotify, w.take()});
+      return true;
+    }
+
+    case kChordPing: {
+      transport_.send(net::Message{self_, msg.src, kChordPong, {}});
+      return true;
+    }
+
+    case kChordPong: {
+      if (predecessor_ && msg.src == *predecessor_) {
+        awaiting_pred_pong_ = false;
+        rounds_without_pred_pong_ = 0;
+      }
+      return true;
+    }
+
+    case kChordNotify: {
+      Reader r(msg.payload);
+      const NodeId candidate = r.node_id();
+      if (!r.finish().ok() || !candidate.valid() || candidate == self_) {
+        return true;
+      }
+      if (!predecessor_ ||
+          in_ring_range(chord_ring_id(candidate),
+                        chord_ring_id(*predecessor_), ring_id_ - 1)) {
+        predecessor_ = candidate;
+      }
+      return true;
+    }
+
+    default:
+      return false;
+  }
+}
+
+}  // namespace dataflasks::baseline

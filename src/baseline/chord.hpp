@@ -1,0 +1,111 @@
+// Chord-style structured overlay: the "structured peer-to-peer" substrate
+// (DHT) that existing tuple-stores rely on and that DataFlasks' motivation
+// targets (paper §I: DHTs assume moderately stable environments). Used as
+// the comparison baseline for routing cost and availability under churn.
+//
+// Implements the classic protocol: 64-bit identifier ring, immediate
+// successor + successor list for resilience, finger table for O(log N)
+// routing, periodic stabilize / notify / fix-fingers / check-predecessor.
+// Routing is recursive: the query is forwarded to the closest preceding
+// node until the owner is reached, which replies directly to the origin.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+
+namespace dataflasks::baseline {
+
+constexpr std::uint16_t kChordRoute = net::kBaselineTypeBase + 0;
+constexpr std::uint16_t kChordGetPred = net::kBaselineTypeBase + 2;
+constexpr std::uint16_t kChordGetPredReply = net::kBaselineTypeBase + 3;
+constexpr std::uint16_t kChordNotify = net::kBaselineTypeBase + 4;
+constexpr std::uint16_t kChordPing = net::kBaselineTypeBase + 5;
+constexpr std::uint16_t kChordPong = net::kBaselineTypeBase + 6;
+
+/// Ring position derived from a node's transport id.
+[[nodiscard]] std::uint64_t chord_ring_id(NodeId node);
+
+/// True when `x` lies in the half-open ring interval (from, to].
+[[nodiscard]] bool in_ring_range(std::uint64_t x, std::uint64_t from,
+                                 std::uint64_t to);
+
+struct ChordOptions {
+  std::size_t successor_list_size = 8;
+  std::uint8_t max_route_hops = 64;
+  /// Stabilize rounds without an answer from the successor before failing
+  /// over to the next successor-list entry.
+  std::uint32_t successor_timeout_rounds = 2;
+};
+
+class ChordNode {
+ public:
+  /// `deliver`: invoked when this node is the owner of a routed payload's
+  /// target. `purpose` is an opaque tag for the upper layer (the KV store).
+  using DeliverFn = std::function<void(std::uint8_t purpose,
+                                       const Bytes& payload, NodeId origin)>;
+
+  ChordNode(NodeId self, net::Transport& transport, Rng rng,
+            ChordOptions options, DeliverFn deliver);
+
+  /// Joins via `contact` (any live ring member), or creates a new ring when
+  /// contact is invalid.
+  void join(NodeId contact);
+
+  /// One maintenance round: stabilize + notify + fix one finger.
+  void tick();
+
+  /// Routes `payload` toward the owner of ring position `target`.
+  /// Delivered locally when this node already owns the target.
+  void route(std::uint64_t target, std::uint8_t purpose, Bytes payload);
+
+  /// Consumes Chord messages; false when the type is not ours.
+  bool handle(const net::Message& msg);
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] std::uint64_t ring_id() const { return ring_id_; }
+  [[nodiscard]] NodeId successor() const { return successors_.empty()
+                                               ? self_
+                                               : successors_.front(); }
+  [[nodiscard]] const std::vector<NodeId>& successor_list() const {
+    return successors_;
+  }
+  [[nodiscard]] std::optional<NodeId> predecessor() const {
+    return predecessor_;
+  }
+
+  /// True when `target` falls between our predecessor and us — i.e. this
+  /// node owns the key. With no predecessor knowledge we claim ownership
+  /// (safe: replication absorbs transient misroutes).
+  [[nodiscard]] bool owns(std::uint64_t target) const;
+
+ private:
+  void stabilize();
+  void check_predecessor();
+  void fix_next_finger();
+  [[nodiscard]] NodeId closest_preceding(std::uint64_t target) const;
+  void forward_route(std::uint64_t target, std::uint8_t purpose,
+                     std::uint8_t hops, NodeId origin, const Bytes& payload);
+
+  NodeId self_;
+  std::uint64_t ring_id_;
+  net::Transport& transport_;
+  Rng rng_;
+  ChordOptions options_;
+  DeliverFn deliver_;
+
+  std::optional<NodeId> predecessor_;
+  std::vector<NodeId> successors_;  ///< [0] = immediate successor
+  std::array<NodeId, 64> fingers_;
+  std::size_t next_finger_ = 1;
+  std::uint32_t rounds_without_successor_reply_ = 0;
+  bool awaiting_successor_reply_ = false;
+  std::uint32_t rounds_without_pred_pong_ = 0;
+  bool awaiting_pred_pong_ = false;
+};
+
+}  // namespace dataflasks::baseline

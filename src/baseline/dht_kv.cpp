@@ -1,0 +1,274 @@
+#include "baseline/dht_kv.hpp"
+
+#include "common/hash.hpp"
+#include "store/object.hpp"
+
+namespace dataflasks::baseline {
+
+namespace {
+
+// Store payload: u64 rid | u64 coordinator | u8 remaining_replicas | object
+Bytes encode_store(std::uint64_t rid, NodeId coordinator,
+                   std::uint8_t remaining, const store::Object& obj) {
+  Writer w;
+  w.u64(rid);
+  w.node_id(coordinator);
+  w.u8(remaining);
+  store::encode(w, obj);
+  return w.take();
+}
+
+// Get payload: u64 rid | u64 coordinator | key | has_version | version
+Bytes encode_get(std::uint64_t rid, NodeId coordinator, const Key& key,
+                 const std::optional<Version>& version) {
+  Writer w;
+  w.u64(rid);
+  w.node_id(coordinator);
+  w.str(key);
+  w.boolean(version.has_value());
+  w.u64(version.value_or(0));
+  return w.take();
+}
+
+}  // namespace
+
+DhtNode::DhtNode(NodeId self, sim::Simulator& simulator,
+                 net::Transport& transport, Rng rng, DhtKvOptions options)
+    : self_(self),
+      simulator_(simulator),
+      transport_(transport),
+      rng_(rng),
+      options_(options) {}
+
+DhtNode::~DhtNode() {
+  if (running_) crash();
+}
+
+void DhtNode::start(NodeId contact) {
+  ensure(!running_, "DhtNode::start on a running node");
+  store_.clear();  // volatile store, same crash semantics as DataFlasks sims
+  chord_ = std::make_unique<ChordNode>(
+      self_, transport_, rng_.fork(0xc40d), options_.chord,
+      [this](std::uint8_t purpose, const Bytes& payload, NodeId origin) {
+        deliver(purpose, payload, origin);
+      });
+  chord_->join(contact);
+  transport_.register_handler(
+      self_, [this](const net::Message& msg) { dispatch(msg); });
+  maintenance_ = simulator_.schedule_periodic(
+      rng_.next_in(0, options_.maintenance_period),
+      options_.maintenance_period, [this]() { chord_->tick(); });
+  running_ = true;
+}
+
+void DhtNode::crash() {
+  ensure(running_, "DhtNode::crash on a stopped node");
+  maintenance_.cancel();
+  transport_.unregister_handler(self_);
+  for (auto& [_, p] : pending_puts_) p.timer.cancel();
+  for (auto& [_, p] : pending_gets_) p.timer.cancel();
+  pending_puts_.clear();
+  pending_gets_.clear();
+  running_ = false;
+}
+
+void DhtNode::put(Key key, Bytes value, Version version, PutCallback done) {
+  const std::uint64_t rid = next_rid_++;
+  PendingPut pending;
+  pending.key = std::move(key);
+  pending.value = std::move(value);
+  pending.version = version;
+  pending.done = std::move(done);
+  pending.started = simulator_.now();
+  pending_puts_.emplace(rid, std::move(pending));
+  metrics_.counter("dht.puts").add();
+  send_put(rid);
+}
+
+void DhtNode::send_put(std::uint64_t rid) {
+  auto& pending = pending_puts_.at(rid);
+  ++pending.attempts;
+  const store::Object obj{pending.key, pending.version, pending.value};
+  chord_->route(stable_key_hash(pending.key), kPurposeStore,
+                encode_store(rid, self_,
+                             static_cast<std::uint8_t>(options_.replication),
+                             obj));
+  pending.timer = simulator_.schedule_after(
+      options_.request_timeout, [this, rid]() {
+        const auto it = pending_puts_.find(rid);
+        if (it == pending_puts_.end()) return;
+        if (it->second.attempts < options_.max_attempts) {
+          metrics_.counter("dht.put_retries").add();
+          send_put(rid);
+          return;
+        }
+        DhtPutResult result;
+        result.ok = false;
+        result.attempts = it->second.attempts;
+        result.latency = simulator_.now() - it->second.started;
+        auto done = std::move(it->second.done);
+        pending_puts_.erase(it);
+        metrics_.counter("dht.put_failures").add();
+        if (done) done(result);
+      });
+}
+
+void DhtNode::get(Key key, std::optional<Version> version, GetCallback done) {
+  const std::uint64_t rid = next_rid_++;
+  PendingGet pending;
+  pending.key = std::move(key);
+  pending.version = version;
+  pending.done = std::move(done);
+  pending.started = simulator_.now();
+  pending_gets_.emplace(rid, std::move(pending));
+  metrics_.counter("dht.gets").add();
+  send_get(rid);
+}
+
+void DhtNode::send_get(std::uint64_t rid) {
+  auto& pending = pending_gets_.at(rid);
+  ++pending.attempts;
+  chord_->route(stable_key_hash(pending.key), kPurposeGet,
+                encode_get(rid, self_, pending.key, pending.version));
+  pending.timer = simulator_.schedule_after(
+      options_.request_timeout, [this, rid]() {
+        const auto it = pending_gets_.find(rid);
+        if (it == pending_gets_.end()) return;
+        if (it->second.attempts < options_.max_attempts) {
+          metrics_.counter("dht.get_retries").add();
+          send_get(rid);
+          return;
+        }
+        DhtGetResult result;
+        result.ok = false;
+        result.attempts = it->second.attempts;
+        result.latency = simulator_.now() - it->second.started;
+        auto done = std::move(it->second.done);
+        pending_gets_.erase(it);
+        metrics_.counter("dht.get_failures").add();
+        if (done) done(result);
+      });
+}
+
+void DhtNode::deliver(std::uint8_t purpose, const Bytes& payload,
+                      NodeId /*origin*/) {
+  switch (purpose) {
+    case kPurposeStore:
+    case kPurposeReplicate: {
+      Reader r(payload);
+      const std::uint64_t rid = r.u64();
+      const NodeId coordinator = r.node_id();
+      const std::uint8_t remaining = r.u8();
+      const store::Object obj = store::decode_object(r);
+      if (!r.finish().ok()) return;
+
+      if (store_.put(obj).ok()) metrics_.counter("dht.objects_stored").add();
+
+      if (purpose == kPurposeStore) {
+        // Owner: replicate down the successor chain, then ack.
+        std::uint8_t left = remaining > 0 ? remaining - 1 : 0;
+        for (const NodeId succ : chord_->successor_list()) {
+          if (left == 0) break;
+          if (succ == self_ || !succ.valid()) continue;
+          transport_.send(net::Message{
+              self_, succ, kChordRoute,
+              // Direct replicate: bypass routing, tag the payload so the
+              // receiver stores without re-replicating.
+              [&] {
+                Writer w;
+                w.u64(chord_ring_id(succ));
+                w.u8(kPurposeReplicate);
+                w.u8(0);
+                w.node_id(self_);
+                w.bytes(encode_store(rid, coordinator, 0, obj));
+                return w.take();
+              }()});
+          --left;
+        }
+        Writer w;
+        w.u64(rid);
+        transport_.send(net::Message{self_, coordinator, kDhtAck, w.take()});
+      }
+      return;
+    }
+
+    case kPurposeGet: {
+      Reader r(payload);
+      const std::uint64_t rid = r.u64();
+      const NodeId coordinator = r.node_id();
+      const Key key = r.str();
+      const bool has_version = r.boolean();
+      const Version version = r.u64();
+      if (!r.finish().ok()) return;
+
+      auto obj = store_.get(
+          key, has_version ? std::optional<Version>(version) : std::nullopt);
+      Writer w;
+      w.u64(rid);
+      w.boolean(obj.ok());
+      store::encode(w, obj.ok() ? obj.value() : store::Object{key, 0, {}});
+      transport_.send(
+          net::Message{self_, coordinator, kDhtGetReply, w.take()});
+      return;
+    }
+
+    default:
+      return;
+  }
+}
+
+void DhtNode::dispatch(const net::Message& msg) {
+  if (!running_) return;
+  if (chord_->handle(msg)) return;
+
+  switch (msg.type) {
+    case kDhtAck: {
+      Reader r(msg.payload);
+      const std::uint64_t rid = r.u64();
+      if (!r.finish().ok()) return;
+      const auto it = pending_puts_.find(rid);
+      if (it == pending_puts_.end()) return;
+      it->second.timer.cancel();
+      DhtPutResult result;
+      result.ok = true;
+      result.attempts = it->second.attempts;
+      result.latency = simulator_.now() - it->second.started;
+      auto done = std::move(it->second.done);
+      pending_puts_.erase(it);
+      metrics_.counter("dht.put_successes").add();
+      if (done) done(result);
+      return;
+    }
+
+    case kDhtGetReply: {
+      Reader r(msg.payload);
+      const std::uint64_t rid = r.u64();
+      const bool found = r.boolean();
+      const store::Object obj = store::decode_object(r);
+      if (!r.finish().ok()) return;
+      const auto it = pending_gets_.find(rid);
+      if (it == pending_gets_.end()) return;
+      if (!found) {
+        // Authoritative miss from the owner: let the timeout retry (the
+        // object may live on a successor after churn).
+        return;
+      }
+      it->second.timer.cancel();
+      DhtGetResult result;
+      result.ok = true;
+      result.object = obj;
+      result.attempts = it->second.attempts;
+      result.latency = simulator_.now() - it->second.started;
+      auto done = std::move(it->second.done);
+      pending_gets_.erase(it);
+      metrics_.counter("dht.get_successes").add();
+      if (done) done(result);
+      return;
+    }
+
+    default:
+      return;
+  }
+}
+
+}  // namespace dataflasks::baseline

@@ -1,0 +1,118 @@
+// Key-value store over the Chord overlay: the structured baseline the
+// DataFlasks paper positions itself against. The owner of hash(key) stores
+// objects and replicates them to its successor list (Dynamo-style chain),
+// which is exactly the placement whose availability degrades when the ring
+// is churned faster than stabilization repairs it.
+//
+// Any node can act as coordinator: it routes the request to the owner and
+// manages the client-visible timeout/retry, mirroring how any DataFlasks
+// node accepts client requests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "baseline/chord.hpp"
+#include "common/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "store/memstore.hpp"
+
+namespace dataflasks::baseline {
+
+constexpr std::uint16_t kDhtAck = net::kBaselineTypeBase + 8;
+constexpr std::uint16_t kDhtGetReply = net::kBaselineTypeBase + 9;
+
+// Route purposes used over ChordNode.
+constexpr std::uint8_t kPurposeStore = 1;
+constexpr std::uint8_t kPurposeGet = 2;
+constexpr std::uint8_t kPurposeReplicate = 3;
+
+struct DhtKvOptions {
+  ChordOptions chord;
+  std::size_t replication = 3;  ///< copies kept on the successor chain
+  SimTime request_timeout = 2 * kSeconds;
+  std::uint32_t max_attempts = 4;
+  SimTime maintenance_period = 1 * kSeconds;
+};
+
+struct DhtPutResult {
+  bool ok = false;
+  std::uint32_t attempts = 0;
+  SimTime latency = 0;
+};
+
+struct DhtGetResult {
+  bool ok = false;
+  store::Object object;
+  std::uint32_t attempts = 0;
+  SimTime latency = 0;
+};
+
+class DhtNode {
+ public:
+  using PutCallback = std::function<void(const DhtPutResult&)>;
+  using GetCallback = std::function<void(const DhtGetResult&)>;
+
+  DhtNode(NodeId self, sim::Simulator& simulator, net::Transport& transport,
+          Rng rng, DhtKvOptions options);
+  ~DhtNode();
+
+  DhtNode(const DhtNode&) = delete;
+  DhtNode& operator=(const DhtNode&) = delete;
+
+  /// Boots the node and joins the ring via `contact` (invalid = new ring).
+  void start(NodeId contact);
+  void crash();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Coordinator API (client-facing): route a put/get through this node.
+  void put(Key key, Bytes value, Version version, PutCallback done);
+  void get(Key key, std::optional<Version> version, GetCallback done);
+
+  [[nodiscard]] NodeId id() const { return self_; }
+  [[nodiscard]] ChordNode& chord() { return *chord_; }
+  [[nodiscard]] store::Store& store() { return store_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct PendingPut {
+    Key key;
+    Bytes value;
+    Version version = 0;
+    PutCallback done;
+    std::uint32_t attempts = 0;
+    SimTime started = 0;
+    sim::TimerHandle timer;
+  };
+  struct PendingGet {
+    Key key;
+    std::optional<Version> version;
+    GetCallback done;
+    std::uint32_t attempts = 0;
+    SimTime started = 0;
+    sim::TimerHandle timer;
+  };
+
+  void dispatch(const net::Message& msg);
+  void deliver(std::uint8_t purpose, const Bytes& payload, NodeId origin);
+  void send_put(std::uint64_t rid);
+  void send_get(std::uint64_t rid);
+
+  NodeId self_;
+  sim::Simulator& simulator_;
+  net::Transport& transport_;
+  Rng rng_;
+  DhtKvOptions options_;
+  MetricsRegistry metrics_;
+  store::MemStore store_;
+  std::unique_ptr<ChordNode> chord_;
+  sim::TimerHandle maintenance_;
+  bool running_ = false;
+
+  std::uint64_t next_rid_ = 1;
+  std::unordered_map<std::uint64_t, PendingPut> pending_puts_;
+  std::unordered_map<std::uint64_t, PendingGet> pending_gets_;
+};
+
+}  // namespace dataflasks::baseline

@@ -1,0 +1,214 @@
+#include "client/client.hpp"
+
+#include "slicing/slice_map.hpp"
+
+namespace dataflasks::client {
+
+Client::Client(NodeId id, net::Transport& transport,
+               sim::Simulator& simulator, LoadBalancer& balancer, Rng rng,
+               ClientOptions options)
+    : id_(id),
+      transport_(transport),
+      simulator_(simulator),
+      balancer_(balancer),
+      rng_(rng),
+      options_(options) {
+  transport_.register_handler(
+      id_, [this](const net::Message& msg) { dispatch(msg); });
+}
+
+Client::~Client() {
+  transport_.unregister_handler(id_);
+  for (auto& [_, pending] : pending_puts_) pending.timer.cancel();
+  for (auto& [_, pending] : pending_gets_) {
+    pending.timer.cancel();
+    pending.hedge_timer.cancel();
+  }
+}
+
+RequestId Client::next_request_id() {
+  return RequestId{id_.value, next_seq_++};
+}
+
+std::optional<SliceId> Client::slice_of(const Key& key) const {
+  if (options_.slice_count_hint == 0) return std::nullopt;
+  return slicing::key_to_slice(key, options_.slice_count_hint);
+}
+
+void Client::put(Key key, Bytes value, Version version, PutCallback done) {
+  const RequestId rid = next_request_id();
+  PendingPut pending;
+  pending.request =
+      core::PutRequest{rid, id_, store::Object{std::move(key),
+                                               version, std::move(value)}};
+  pending.done = std::move(done);
+  pending.started = simulator_.now();
+  auto [it, inserted] = pending_puts_.emplace(rid, std::move(pending));
+  ensure(inserted, "duplicate put request id");
+  metrics_.counter("client.puts").add();
+  send_put(it->second);
+}
+
+Version Client::put_auto(Key key, Bytes value, PutCallback done) {
+  // Versions must be unique system-wide for a (key, value) pair: replicas
+  // reject a version re-stamped with different bytes (the upper layer owns
+  // ordering, paper §III). Counter in the high bits keeps per-client
+  // monotonicity; the client id in the low 24 bits keeps concurrent
+  // clients' stamps disjoint.
+  const Version version =
+      (++version_counters_[key] << 24) | (id_.value & 0xFFFFFF);
+  put(std::move(key), std::move(value), version, std::move(done));
+  return version;
+}
+
+void Client::get(Key key, std::optional<Version> version, GetCallback done) {
+  const RequestId rid = next_request_id();
+  PendingGet pending;
+  pending.request = core::GetRequest{rid, id_, std::move(key), version};
+  pending.done = std::move(done);
+  pending.started = simulator_.now();
+  auto [it, inserted] = pending_gets_.emplace(rid, std::move(pending));
+  ensure(inserted, "duplicate get request id");
+  metrics_.counter("client.gets").add();
+  send_get(it->second);
+}
+
+void Client::send_put(PendingPut& pending) {
+  ++pending.attempts;
+  pending.contact =
+      balancer_.pick_contact(slice_of(pending.request.object.key));
+  transport_.send(net::Message{id_, pending.contact, core::kClientPut,
+                               core::encode_inner(pending.request)});
+  const RequestId rid = pending.request.rid;
+  pending.timer = simulator_.schedule_after(
+      options_.request_timeout, [this, rid]() { on_put_timeout(rid); });
+}
+
+void Client::send_get(PendingGet& pending) {
+  ++pending.attempts;
+  pending.contact = balancer_.pick_contact(slice_of(pending.request.key));
+  transport_.send(net::Message{id_, pending.contact, core::kClientGet,
+                               core::encode_inner(pending.request)});
+  const RequestId rid = pending.request.rid;
+  pending.timer = simulator_.schedule_after(
+      options_.request_timeout, [this, rid]() { on_get_timeout(rid); });
+
+  if (options_.get_hedge_delay > 0) {
+    pending.hedge_timer = simulator_.schedule_after(
+        options_.get_hedge_delay, [this, rid]() {
+          const auto it = pending_gets_.find(rid);
+          if (it == pending_gets_.end()) return;  // already answered
+          // Second contact, same request id: whichever replica answers
+          // first wins and the duplicate reply is absorbed by rid dedup.
+          const NodeId hedge_contact =
+              balancer_.pick_contact(slice_of(it->second.request.key));
+          transport_.send(
+              net::Message{id_, hedge_contact, core::kClientGet,
+                           core::encode_inner(it->second.request)});
+          metrics_.counter("client.get_hedges").add();
+        });
+  }
+}
+
+void Client::on_put_timeout(RequestId rid) {
+  const auto it = pending_puts_.find(rid);
+  if (it == pending_puts_.end()) return;  // completed meanwhile
+  PendingPut& pending = it->second;
+  balancer_.node_unreachable(pending.contact);
+  if (pending.attempts < options_.max_attempts) {
+    metrics_.counter("client.put_retries").add();
+    send_put(pending);
+    return;
+  }
+  metrics_.counter("client.put_failures").add();
+  PutResult result;
+  result.ok = false;
+  result.key = pending.request.object.key;
+  result.version = pending.request.object.version;
+  result.attempts = pending.attempts;
+  result.latency = simulator_.now() - pending.started;
+  auto done = std::move(pending.done);
+  pending_puts_.erase(it);
+  if (done) done(result);
+}
+
+void Client::on_get_timeout(RequestId rid) {
+  const auto it = pending_gets_.find(rid);
+  if (it == pending_gets_.end()) return;
+  PendingGet& pending = it->second;
+  pending.hedge_timer.cancel();
+  balancer_.node_unreachable(pending.contact);
+  if (pending.attempts < options_.max_attempts) {
+    metrics_.counter("client.get_retries").add();
+    send_get(pending);
+    return;
+  }
+  metrics_.counter("client.get_failures").add();
+  GetResult result;
+  result.ok = false;
+  result.attempts = pending.attempts;
+  result.latency = simulator_.now() - pending.started;
+  auto done = std::move(pending.done);
+  pending_gets_.erase(it);
+  if (done) done(result);
+}
+
+void Client::dispatch(const net::Message& msg) {
+  switch (msg.type) {
+    case core::kPutAck: {
+      const auto ack = core::decode_put_ack(msg.payload);
+      if (!ack) return;
+      const auto it = pending_puts_.find(ack->rid);
+      if (it == pending_puts_.end()) {
+        // Duplicate ack for an already-completed request: the epidemic
+        // normal case the client library exists to absorb (paper §V).
+        metrics_.counter("client.duplicate_acks").add();
+        return;
+      }
+      balancer_.observe_replica(ack->replica, ack->slice);
+      PendingPut& pending = it->second;
+      pending.timer.cancel();
+      PutResult result;
+      result.ok = true;
+      result.key = ack->key;
+      result.version = ack->version;
+      result.replica = ack->replica;
+      result.attempts = pending.attempts;
+      result.latency = simulator_.now() - pending.started;
+      auto done = std::move(pending.done);
+      pending_puts_.erase(it);
+      metrics_.counter("client.put_successes").add();
+      if (done) done(result);
+      return;
+    }
+    case core::kGetReply: {
+      const auto reply = core::decode_get_reply(msg.payload);
+      if (!reply) return;
+      const auto it = pending_gets_.find(reply->rid);
+      if (it == pending_gets_.end()) {
+        metrics_.counter("client.duplicate_replies").add();
+        return;
+      }
+      if (!reply->found) return;  // authoritative misses don't complete; wait
+      balancer_.observe_replica(reply->replica, reply->slice);
+      PendingGet& pending = it->second;
+      pending.timer.cancel();
+      pending.hedge_timer.cancel();
+      GetResult result;
+      result.ok = true;
+      result.object = reply->object;
+      result.replica = reply->replica;
+      result.attempts = pending.attempts;
+      result.latency = simulator_.now() - pending.started;
+      auto done = std::move(pending.done);
+      pending_gets_.erase(it);
+      metrics_.counter("client.get_successes").add();
+      if (done) done(result);
+      return;
+    }
+    default:
+      metrics_.counter("client.unhandled_messages").add();
+  }
+}
+
+}  // namespace dataflasks::client

@@ -1,0 +1,124 @@
+// DataFlasks client library (paper §V): one component implements the
+// put/get API by contacting a node from the Load Balancer; the other deals
+// with reply messages — "it must know how to handle multiple replies for
+// the same request", which epidemic dissemination naturally produces, by
+// deduplicating on the request identifier.
+//
+// The client also stamps versions for puts (standing in for DataDroplets,
+// which the paper says totally orders operations before they reach
+// DataFlasks): a monotonic per-key counter.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "client/load_balancer.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/messages.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+#include "store/object.hpp"
+
+namespace dataflasks::client {
+
+struct ClientOptions {
+  SimTime request_timeout = 2 * kSeconds;
+  std::uint32_t max_attempts = 4;  ///< total tries (1 initial + retries)
+  /// When set, the client maps keys to slices itself (enables slice-aware
+  /// load balancing). Must match the cluster's slice count; zero disables.
+  std::uint32_t slice_count_hint = 0;
+  /// Hedged reads: when > 0, an unanswered get is re-sent to a *second*
+  /// contact after this delay (without consuming a retry attempt). Cuts
+  /// tail latency when the first contact is slow or dead, at the cost of
+  /// occasional duplicate work — which the reply dedup absorbs anyway.
+  SimTime get_hedge_delay = 0;
+};
+
+struct PutResult {
+  bool ok = false;
+  Key key;
+  Version version = 0;
+  NodeId replica;           ///< first acknowledging replica
+  std::uint32_t attempts = 0;
+  SimTime latency = 0;
+};
+
+struct GetResult {
+  bool ok = false;
+  store::Object object;
+  NodeId replica;
+  std::uint32_t attempts = 0;
+  SimTime latency = 0;
+};
+
+class Client {
+ public:
+  using PutCallback = std::function<void(const PutResult&)>;
+  using GetCallback = std::function<void(const GetResult&)>;
+
+  Client(NodeId id, net::Transport& transport, sim::Simulator& simulator,
+         LoadBalancer& balancer, Rng rng, ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Writes `value` under `key` with an explicit version (upper layers that
+  /// order operations themselves use this form).
+  void put(Key key, Bytes value, Version version, PutCallback done);
+
+  /// Writes with an auto-stamped version (monotonic per key, this client).
+  Version put_auto(Key key, Bytes value, PutCallback done);
+
+  /// Reads `key`; `version == nullopt` asks for the latest.
+  void get(Key key, std::optional<Version> version, GetCallback done);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] std::size_t inflight() const {
+    return pending_puts_.size() + pending_gets_.size();
+  }
+
+ private:
+  struct PendingPut {
+    core::PutRequest request;
+    PutCallback done;
+    std::uint32_t attempts = 0;
+    SimTime started = 0;
+    NodeId contact;
+    sim::TimerHandle timer;
+  };
+  struct PendingGet {
+    core::GetRequest request;
+    GetCallback done;
+    std::uint32_t attempts = 0;
+    SimTime started = 0;
+    NodeId contact;
+    sim::TimerHandle timer;
+    sim::TimerHandle hedge_timer;
+  };
+
+  void dispatch(const net::Message& msg);
+  void send_put(PendingPut& pending);
+  void send_get(PendingGet& pending);
+  void on_put_timeout(RequestId rid);
+  void on_get_timeout(RequestId rid);
+  [[nodiscard]] std::optional<SliceId> slice_of(const Key& key) const;
+  [[nodiscard]] RequestId next_request_id();
+
+  NodeId id_;
+  net::Transport& transport_;
+  sim::Simulator& simulator_;
+  LoadBalancer& balancer_;
+  Rng rng_;
+  ClientOptions options_;
+  MetricsRegistry metrics_;
+  std::uint64_t next_seq_ = 1;
+  std::unordered_map<Key, Version> version_counters_;
+  std::unordered_map<RequestId, PendingPut> pending_puts_;
+  std::unordered_map<RequestId, PendingGet> pending_gets_;
+};
+
+}  // namespace dataflasks::client

@@ -1,0 +1,46 @@
+#include "client/load_balancer.hpp"
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::client {
+
+RandomLoadBalancer::RandomLoadBalancer(std::vector<NodeId> nodes, Rng rng)
+    : nodes_(std::move(nodes)), rng_(rng) {
+  ensure(!nodes_.empty(), "RandomLoadBalancer: empty node list");
+}
+
+NodeId RandomLoadBalancer::pick_contact(std::optional<SliceId> /*slice*/) {
+  return rng_.pick(nodes_);
+}
+
+SliceCacheLoadBalancer::SliceCacheLoadBalancer(std::vector<NodeId> nodes,
+                                               Rng rng)
+    : RandomLoadBalancer(std::move(nodes), rng) {}
+
+NodeId SliceCacheLoadBalancer::pick_contact(std::optional<SliceId> slice) {
+  if (slice) {
+    const auto it = cache_.find(*slice);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  ++misses_;
+  return RandomLoadBalancer::pick_contact(slice);
+}
+
+void SliceCacheLoadBalancer::observe_replica(NodeId node, SliceId slice) {
+  cache_[slice] = node;
+}
+
+void SliceCacheLoadBalancer::node_unreachable(NodeId node) {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second == node) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dataflasks::client

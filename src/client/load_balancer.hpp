@@ -1,0 +1,70 @@
+// Load Balancer (paper §V): "provides the Client Library with references to
+// nodes that can answer client requests. ... For now, the Load Balancer
+// provides the client with a random contact node."
+//
+// Two policies are provided: the paper's random policy and the §VII
+// optimization direction — a slice cache that remembers which node answered
+// for each slice and contacts it directly next time.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dataflasks::client {
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  /// Picks a contact node for a request targeting `slice` (nullopt when the
+  /// client cannot compute the slice, e.g. unknown slice count).
+  [[nodiscard]] virtual NodeId pick_contact(std::optional<SliceId> slice) = 0;
+
+  /// Feedback: `node` (a member of `slice`) answered a request.
+  virtual void observe_replica(NodeId /*node*/, SliceId /*slice*/) {}
+
+  /// Feedback: `node` failed to answer before the timeout.
+  virtual void node_unreachable(NodeId /*node*/) {}
+};
+
+/// The paper's policy: a uniformly random node from the bootstrap list.
+class RandomLoadBalancer : public LoadBalancer {
+ public:
+  RandomLoadBalancer(std::vector<NodeId> nodes, Rng rng);
+
+  [[nodiscard]] NodeId pick_contact(std::optional<SliceId> slice) override;
+
+  void set_nodes(std::vector<NodeId> nodes) { nodes_ = std::move(nodes); }
+  [[nodiscard]] const std::vector<NodeId>& nodes() const { return nodes_; }
+
+ protected:
+  std::vector<NodeId> nodes_;
+  Rng rng_;
+};
+
+/// §VII optimization: remembers one known replica per slice (learned from
+/// acks/replies) and contacts it directly, falling back to random. Entries
+/// are dropped on timeout feedback, so churn self-heals the cache.
+class SliceCacheLoadBalancer final : public RandomLoadBalancer {
+ public:
+  SliceCacheLoadBalancer(std::vector<NodeId> nodes, Rng rng);
+
+  [[nodiscard]] NodeId pick_contact(std::optional<SliceId> slice) override;
+  void observe_replica(NodeId node, SliceId slice) override;
+  void node_unreachable(NodeId node) override;
+
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::uint64_t cache_hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return misses_; }
+
+ private:
+  std::unordered_map<SliceId, NodeId> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dataflasks::client

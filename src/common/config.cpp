@@ -1,0 +1,104 @@
+#include "common/config.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace dataflasks {
+
+namespace {
+
+std::optional<std::pair<std::string, std::string>> split_kv(
+    const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) return std::nullopt;
+  return std::make_pair(token.substr(0, eq), token.substr(eq + 1));
+}
+
+}  // namespace
+
+Result<Config> Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      if (token.front() == '#') break;  // rest of line is a comment
+      auto kv = split_kv(token);
+      if (!kv) {
+        return Error::invalid_argument("config token not key=value: " + token);
+      }
+      cfg.values_[kv->first] = kv->second;
+    }
+  }
+  return cfg;
+}
+
+Result<Config> Config::from_args(const std::vector<std::string>& args) {
+  Config cfg;
+  for (const auto& token : args) {
+    auto kv = split_kv(token);
+    if (!kv) {
+      return Error::invalid_argument("argument not key=value: " + token);
+    }
+    cfg.values_[kv->first] = kv->second;
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::int64_t out = 0;
+  const auto& s = it->second;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return fallback;
+  return out;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(it->second, &consumed);
+    return consumed == it->second.size() ? v : fallback;
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const auto& s = it->second;
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  return fallback;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+std::vector<std::pair<std::string, std::string>> Config::items() const {
+  return {values_.begin(), values_.end()};
+}
+
+}  // namespace dataflasks

@@ -1,0 +1,49 @@
+// Typed key=value configuration with defaults. Benches and examples accept
+// overrides on the command line ("key=value" arguments) so sweeps don't
+// require recompilation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace dataflasks {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "a=1 b=2.5 name=x" style text (whitespace/newline separated).
+  /// Lines starting with '#' are comments.
+  [[nodiscard]] static Result<Config> parse(const std::string& text);
+
+  /// Builds from argv-style "key=value" tokens; unknown tokens are an error.
+  [[nodiscard]] static Result<Config> from_args(
+      const std::vector<std::string>& args);
+
+  void set(const std::string& key, std::string value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Merge `other` on top of this config (other wins).
+  void merge(const Config& other);
+
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> items() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dataflasks

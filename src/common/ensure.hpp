@@ -1,0 +1,28 @@
+// Invariant checking helpers. Protocol code uses ensure() for conditions
+// that indicate a programming error (never for remote-input validation,
+// which returns Result instead).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dataflasks {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws InvariantViolation when `condition` is false. Kept enabled in all
+/// build types: simulation determinism makes violations reproducible, so the
+/// cost of checking is worth the debuggability.
+inline void ensure(bool condition, const std::string& what,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantViolation(std::string(loc.file_name()) + ":" +
+                             std::to_string(loc.line()) + ": " + what);
+  }
+}
+
+}  // namespace dataflasks

@@ -1,0 +1,66 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks {
+
+Histogram::Histogram(std::size_t reservoir_capacity, std::uint64_t seed)
+    : capacity_(reservoir_capacity), rng_(seed) {
+  ensure(capacity_ > 0, "Histogram: zero capacity");
+  samples_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void Histogram::record(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+
+  if (samples_.size() < capacity_) {
+    samples_.push_back(value);
+  } else {
+    // Vitter's Algorithm R: element i replaces a slot with prob capacity/i.
+    const std::uint64_t j = rng_.next_below(count_);
+    if (j < capacity_) samples_[static_cast<std::size_t>(j)] = value;
+  }
+}
+
+double Histogram::min() const { return count_ ? min_ : 0.0; }
+double Histogram::max() const { return count_ ? max_ : 0.0; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void Histogram::reset() {
+  samples_.clear();
+  count_ = 0;
+  sum_ = sum_sq_ = min_ = max_ = 0.0;
+}
+
+}  // namespace dataflasks

@@ -1,0 +1,42 @@
+// Streaming histogram with exact storage of samples up to a cap, then
+// reservoir sampling. Good enough for bench percentile reporting without
+// pulling in a sketch library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dataflasks {
+
+class Histogram {
+ public:
+  explicit Histogram(std::size_t reservoir_capacity = 65536,
+                     std::uint64_t seed = 0x5eed);
+
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Quantile in [0,1]; exact while under capacity, approximate afterwards.
+  [[nodiscard]] double quantile(double q) const;
+
+  void reset();
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::vector<double> samples_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dataflasks

@@ -1,0 +1,34 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace dataflasks {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void set_global_log_level(LogLevel level) { g_level = level; }
+LogLevel global_log_level() { return g_level; }
+
+void Logger::emit(LogLevel level, const std::string& line) const {
+  if (sink_) {
+    sink_(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%-5s %s\n", to_string(level), line.c_str());
+}
+
+}  // namespace dataflasks

@@ -1,0 +1,72 @@
+// Minimal leveled logger. Protocol code logs through a per-node Logger so
+// simulated output can be prefixed with node id and virtual time. Disabled
+// levels cost one branch.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace dataflasks {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// Global minimum level; tests set kOff or kError to keep output clean.
+void set_global_log_level(LogLevel level);
+[[nodiscard]] LogLevel global_log_level();
+
+class Logger {
+ public:
+  /// Sink receives fully formatted lines. Defaults to stderr.
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  Logger() = default;
+  explicit Logger(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  void set_prefix(std::string prefix) { prefix_ = std::move(prefix); }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= global_log_level();
+  }
+
+  template <typename... Args>
+  void log(LogLevel level, const Args&... args) const {
+    if (!enabled(level)) return;
+    std::ostringstream oss;
+    if (!prefix_.empty()) oss << "[" << prefix_ << "] ";
+    (oss << ... << args);
+    emit(level, oss.str());
+  }
+
+  template <typename... Args>
+  void trace(const Args&... args) const {
+    log(LogLevel::kTrace, args...);
+  }
+  template <typename... Args>
+  void debug(const Args&... args) const {
+    log(LogLevel::kDebug, args...);
+  }
+  template <typename... Args>
+  void info(const Args&... args) const {
+    log(LogLevel::kInfo, args...);
+  }
+  template <typename... Args>
+  void warn(const Args&... args) const {
+    log(LogLevel::kWarn, args...);
+  }
+  template <typename... Args>
+  void error(const Args&... args) const {
+    log(LogLevel::kError, args...);
+  }
+
+ private:
+  void emit(LogLevel level, const std::string& line) const;
+
+  std::string prefix_;
+  Sink sink_;
+};
+
+}  // namespace dataflasks

@@ -1,0 +1,4 @@
+#include "common/metrics.hpp"
+
+// Header-only today; TU kept so the component participates in the build
+// graph and future non-inline additions have a home.

@@ -1,0 +1,60 @@
+// Lightweight metrics: named counters and gauges grouped in a registry.
+// Benches read these to report exactly what crossed the simulated wire.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dataflasks {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Registry of counters/gauges, keyed by name. Single-threaded by design
+/// (the simulator is single-threaded); nodes each own a registry.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  all_counters() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+    return out;
+  }
+
+  void reset_counters() {
+    for (auto& [_, c] : counters_) c.reset();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+};
+
+}  // namespace dataflasks

@@ -1,0 +1,124 @@
+// Minimal expected-like result type. Used for operations whose failure is a
+// normal outcome (lookup miss, decode error, I/O failure) rather than a bug.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks {
+
+/// Error payload: machine-readable code plus human-readable context.
+struct Error {
+  enum class Code {
+    kNotFound,
+    kDecode,
+    kIo,
+    kTimeout,
+    kUnavailable,
+    kInvalidArgument,
+    kConflict,
+  };
+
+  Code code = Code::kInvalidArgument;
+  std::string message;
+
+  [[nodiscard]] static Error not_found(std::string msg) {
+    return {Code::kNotFound, std::move(msg)};
+  }
+  [[nodiscard]] static Error decode(std::string msg) {
+    return {Code::kDecode, std::move(msg)};
+  }
+  [[nodiscard]] static Error io(std::string msg) {
+    return {Code::kIo, std::move(msg)};
+  }
+  [[nodiscard]] static Error timeout(std::string msg) {
+    return {Code::kTimeout, std::move(msg)};
+  }
+  [[nodiscard]] static Error unavailable(std::string msg) {
+    return {Code::kUnavailable, std::move(msg)};
+  }
+  [[nodiscard]] static Error invalid_argument(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  [[nodiscard]] static Error conflict(std::string msg) {
+    return {Code::kConflict, std::move(msg)};
+  }
+};
+
+[[nodiscard]] constexpr const char* to_string(Error::Code c) {
+  switch (c) {
+    case Error::Code::kNotFound: return "not_found";
+    case Error::Code::kDecode: return "decode";
+    case Error::Code::kIo: return "io";
+    case Error::Code::kTimeout: return "timeout";
+    case Error::Code::kUnavailable: return "unavailable";
+    case Error::Code::kInvalidArgument: return "invalid_argument";
+    case Error::Code::kConflict: return "conflict";
+  }
+  return "unknown";
+}
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    ensure(ok(), "Result::value() on error: " + error_message());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    ensure(ok(), "Result::value() on error: " + error_message());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    ensure(ok(), "Result::value() on error: " + error_message());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    ensure(!ok(), "Result::error() on success");
+    return std::get<Error>(state_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  [[nodiscard]] std::string error_message() const {
+    return ok() ? std::string() : std::get<Error>(state_).message;
+  }
+
+  std::variant<T, Error> state_;
+};
+
+/// Result for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Status ok_status() { return {}; }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    ensure(failed_, "Status::error() on success");
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace dataflasks

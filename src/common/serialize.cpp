@@ -1,0 +1,9 @@
+// serialize.hpp is header-only; this TU exists so the build exposes a
+// df_common object for it and catches ODR/include mistakes early.
+#include "common/serialize.hpp"
+
+namespace dataflasks {
+
+static_assert(sizeof(double) == 8, "serialization assumes 64-bit IEEE doubles");
+
+}  // namespace dataflasks

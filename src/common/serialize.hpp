@@ -1,0 +1,163 @@
+// Byte-level serialization for protocol messages. Everything that crosses
+// the (simulated) wire is encoded through these, so message sizes reported
+// by benches are real and decode failures are exercised by tests.
+//
+// Encoding: little-endian fixed-width integers, length-prefixed strings and
+// vectors (u32 length). No alignment requirements, no padding.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace dataflasks {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void i64(std::int64_t v) { append(&v, sizeof v); }
+  void f64(double v) { append(&v, sizeof v); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void node_id(NodeId id) { u64(id.value); }
+  void request_id(RequestId r) {
+    u64(r.client);
+    u64(r.seq);
+  }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    append(s.data(), s.size());
+  }
+
+  void bytes(const Bytes& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    append(b.data(), b.size());
+  }
+
+  /// Encodes a vector via a per-element callback: `vec(v, [&](const T& t){...})`.
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& items, Fn&& encode_one) {
+    u32(static_cast<std::uint32_t>(items.size()));
+    for (const T& item : items) encode_one(item);
+  }
+
+  [[nodiscard]] const Bytes& buffer() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  void append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  Bytes buf_;
+};
+
+/// Reader tracks a failure flag instead of throwing: malformed input from
+/// the network is a normal (tested) condition, not a bug. Callers check
+/// `ok()` once after decoding a whole message.
+class Reader {
+ public:
+  explicit Reader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() { return read_scalar<std::uint8_t>(); }
+  std::uint16_t u16() { return read_scalar<std::uint16_t>(); }
+  std::uint32_t u32() { return read_scalar<std::uint32_t>(); }
+  std::uint64_t u64() { return read_scalar<std::uint64_t>(); }
+  std::int64_t i64() { return read_scalar<std::int64_t>(); }
+  double f64() { return read_scalar<double>(); }
+  bool boolean() { return u8() != 0; }
+
+  NodeId node_id() { return NodeId(u64()); }
+  RequestId request_id() {
+    RequestId r;
+    r.client = u64();
+    r.seq = u64();
+    return r;
+  }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!check(n)) return {};
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  Bytes bytes() {
+    const std::uint32_t n = u32();
+    if (!check(n)) return {};
+    Bytes out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Decodes a vector via a per-element callback returning T.
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& decode_one) {
+    const std::uint32_t n = u32();
+    // Guard: each element needs >= 1 byte, so n can never exceed what's left.
+    if (n > remaining()) {
+      fail();
+      return {};
+    }
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n && ok(); ++i) out.push_back(decode_one());
+    return out;
+  }
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  [[nodiscard]] bool at_end() const { return ok() && pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+  /// Convenience: converts decode state into a Status.
+  [[nodiscard]] Status finish() const {
+    if (!ok()) return Error::decode("truncated or malformed message");
+    if (pos_ != size_) return Error::decode("trailing bytes after message");
+    return Status::ok_status();
+  }
+
+ private:
+  template <typename T>
+  T read_scalar() {
+    if (!check(sizeof(T))) return T{};
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool check(std::size_t n) {
+    if (failed_ || size_ - pos_ < n) {
+      fail();
+      return false;
+    }
+    return true;
+  }
+
+  void fail() { failed_ = true; }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace dataflasks

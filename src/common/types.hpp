@@ -1,0 +1,81 @@
+// Fundamental identifier and time types shared by every DataFlasks module.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace dataflasks {
+
+/// Identifies a node (process) in the system. Dense small integers in the
+/// simulator; opaque to every protocol (protocols never do arithmetic on it).
+struct NodeId {
+  std::uint64_t value = kInvalid;
+
+  static constexpr std::uint64_t kInvalid =
+      std::numeric_limits<std::uint64_t>::max();
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint64_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+/// Object key. DataFlasks keys are arbitrary strings; routing uses their hash.
+using Key = std::string;
+
+/// Version stamp attached to every object by the upper layer (DataDroplets in
+/// STRATUS). Puts on the same key are totally ordered by version.
+using Version = std::uint64_t;
+
+/// Index of a slice in [0, k). Slices partition both nodes and the key space.
+using SliceId = std::uint32_t;
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicros = 1;
+constexpr SimTime kMillis = 1000 * kMicros;
+constexpr SimTime kSeconds = 1000 * kMillis;
+
+/// Unique id for a client request; used to deduplicate the multiple replies
+/// that epidemic dissemination naturally produces (paper §V).
+struct RequestId {
+  std::uint64_t client = 0;  ///< issuing client id
+  std::uint64_t seq = 0;     ///< per-client sequence number
+
+  friend constexpr auto operator<=>(RequestId, RequestId) = default;
+};
+
+[[nodiscard]] inline std::string to_string(NodeId id) {
+  return id.valid() ? "n" + std::to_string(id.value) : "n<invalid>";
+}
+
+[[nodiscard]] inline std::string to_string(RequestId r) {
+  return "req:" + std::to_string(r.client) + ":" + std::to_string(r.seq);
+}
+
+}  // namespace dataflasks
+
+template <>
+struct std::hash<dataflasks::NodeId> {
+  std::size_t operator()(dataflasks::NodeId id) const noexcept {
+    // SplitMix64 finalizer: NodeIds are dense integers, so spread them.
+    std::uint64_t x = id.value + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+template <>
+struct std::hash<dataflasks::RequestId> {
+  std::size_t operator()(dataflasks::RequestId r) const noexcept {
+    std::uint64_t x = r.client * 0x9e3779b97f4a7c15ULL + r.seq;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

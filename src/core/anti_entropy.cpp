@@ -1,0 +1,116 @@
+#include "core/anti_entropy.hpp"
+
+#include <algorithm>
+
+namespace dataflasks::core {
+
+AntiEntropy::AntiEntropy(NodeId self, net::Transport& transport,
+                         store::Store& store, Rng rng,
+                         AntiEntropyOptions options, SliceFn my_slice,
+                         KeySliceFn key_slice, SlicePeersFn slice_peers,
+                         MetricsRegistry& metrics)
+    : self_(self),
+      transport_(transport),
+      store_(store),
+      rng_(rng),
+      options_(options),
+      my_slice_(std::move(my_slice)),
+      key_slice_(std::move(key_slice)),
+      slice_peers_(std::move(slice_peers)),
+      metrics_(metrics) {
+  ensure(options_.digest_cap > 0, "AntiEntropy: zero digest cap");
+  ensure(options_.push_cap > 0, "AntiEntropy: zero push cap");
+}
+
+std::vector<store::DigestEntry> AntiEntropy::local_digest_sample() {
+  std::vector<store::DigestEntry> digest = store_.digest();
+  if (digest.size() > options_.digest_cap) {
+    // Random subset: successive rounds cover different parts of the store,
+    // so convergence still completes, just over more rounds.
+    digest = rng_.sample(digest, options_.digest_cap);
+  }
+  return digest;
+}
+
+void AntiEntropy::send_digest(NodeId to, bool is_reply) {
+  const AeDigest msg{is_reply, local_digest_sample()};
+  transport_.send(net::Message{self_, to, kAeDigest, encode(msg)});
+  metrics_.counter("ae.digests_sent").add();
+}
+
+void AntiEntropy::tick() {
+  const auto partners = slice_peers_(1);
+  if (partners.empty()) return;
+  send_digest(partners.front(), /*is_reply=*/false);
+}
+
+bool AntiEntropy::handle(const net::Message& msg) {
+  switch (msg.type) {
+    case kAeDigest: {
+      const auto digest = decode_ae_digest(msg.payload);
+      if (digest) handle_digest(msg, *digest);
+      return true;
+    }
+    case kAePull: {
+      const auto pull = decode_ae_pull(msg.payload);
+      if (pull) handle_pull(msg, *pull);
+      return true;
+    }
+    case kAePush: {
+      const auto push = decode_ae_push(msg.payload);
+      if (push) handle_push(*push);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void AntiEntropy::handle_digest(const net::Message& msg,
+                                const AeDigest& digest) {
+  // Pull whatever the partner has that we miss (and that belongs to us).
+  AePull pull;
+  const SliceId mine = my_slice_();
+  for (const store::DigestEntry& entry : digest.entries) {
+    if (key_slice_(entry.key) != mine) continue;
+    if (!store_.contains(entry.key, entry.version)) {
+      pull.entries.push_back(entry);
+      if (pull.entries.size() >= options_.push_cap) break;
+    }
+  }
+  if (!pull.entries.empty()) {
+    transport_.send(net::Message{self_, msg.src, kAePull, encode(pull)});
+    metrics_.counter("ae.pulls_sent").add();
+  }
+
+  // Answer the initiating leg with our own digest so repair is symmetric.
+  if (!digest.is_reply) {
+    send_digest(msg.src, /*is_reply=*/true);
+  }
+}
+
+void AntiEntropy::handle_pull(const net::Message& msg, const AePull& pull) {
+  AePush push;
+  for (const store::DigestEntry& entry : pull.entries) {
+    auto obj = store_.get(entry.key, entry.version);
+    if (!obj.ok()) continue;  // we may have dropped it since the digest
+    push.objects.push_back(std::move(obj).value());
+    if (push.objects.size() >= options_.push_cap) break;
+  }
+  if (!push.objects.empty()) {
+    transport_.send(net::Message{self_, msg.src, kAePush, encode(push)});
+    metrics_.counter("ae.pushes_sent").add();
+  }
+}
+
+void AntiEntropy::handle_push(const AePush& push) {
+  const SliceId mine = my_slice_();
+  for (const store::Object& obj : push.objects) {
+    if (key_slice_(obj.key) != mine) continue;  // not ours (stale pull)
+    if (store_.put(obj).ok()) {
+      metrics_.counter("ae.objects_repaired").add();
+    }
+  }
+}
+
+}  // namespace dataflasks::core

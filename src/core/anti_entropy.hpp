@@ -1,0 +1,58 @@
+// Intra-slice anti-entropy: periodic digest exchange with a random
+// slice-mate, pulling whatever the partner has that we miss. This is our
+// resolution of the paper's open problem of "maintaining replication level
+// in face of churn or faults" (§VII): every object eventually reaches every
+// live member of its slice, with batched, constant-per-cycle message cost.
+#pragma once
+
+#include <functional>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/messages.hpp"
+#include "net/transport.hpp"
+#include "store/store.hpp"
+
+namespace dataflasks::core {
+
+struct AntiEntropyOptions {
+  std::size_t digest_cap = 512;   ///< max digest entries per message
+  std::size_t push_cap = 128;     ///< max objects per push message
+};
+
+class AntiEntropy {
+ public:
+  using SliceFn = std::function<SliceId()>;
+  using KeySliceFn = std::function<SliceId(const Key&)>;
+  using SlicePeersFn = std::function<std::vector<NodeId>(std::size_t)>;
+
+  AntiEntropy(NodeId self, net::Transport& transport, store::Store& store,
+              Rng rng, AntiEntropyOptions options, SliceFn my_slice,
+              KeySliceFn key_slice, SlicePeersFn slice_peers,
+              MetricsRegistry& metrics);
+
+  /// One anti-entropy round: send our digest to one random slice-mate.
+  void tick();
+
+  /// Consumes kAeDigest / kAePull / kAePush messages.
+  bool handle(const net::Message& msg);
+
+ private:
+  [[nodiscard]] std::vector<store::DigestEntry> local_digest_sample();
+  void send_digest(NodeId to, bool is_reply);
+  void handle_digest(const net::Message& msg, const AeDigest& digest);
+  void handle_pull(const net::Message& msg, const AePull& pull);
+  void handle_push(const AePush& push);
+
+  NodeId self_;
+  net::Transport& transport_;
+  store::Store& store_;
+  Rng rng_;
+  AntiEntropyOptions options_;
+  SliceFn my_slice_;
+  KeySliceFn key_slice_;
+  SlicePeersFn slice_peers_;
+  MetricsRegistry& metrics_;
+};
+
+}  // namespace dataflasks::core

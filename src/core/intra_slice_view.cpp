@@ -1,0 +1,110 @@
+#include "core/intra_slice_view.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::core {
+
+IntraSliceView::IntraSliceView(NodeId self, IntraSliceViewOptions options,
+                               Rng rng)
+    : self_(self), options_(options), rng_(rng) {
+  ensure(options_.capacity > 0, "IntraSliceView: zero capacity");
+}
+
+void IntraSliceView::observe(NodeId node, SliceId slice, SliceId my_slice) {
+  if (node == self_) return;
+
+  if (slice == my_slice) {
+    auto it = members_.find(node);
+    if (it != members_.end()) {
+      it->second.age = 0;
+      return;
+    }
+    if (members_.size() >= options_.capacity) {
+      // Evict the oldest member to make room; fresh information wins.
+      auto victim = members_.begin();
+      for (auto mit = members_.begin(); mit != members_.end(); ++mit) {
+        if (mit->second.age > victim->second.age) victim = mit;
+      }
+      members_.erase(victim);
+    }
+    members_[node] = MemberEntry{0};
+    // The node may have moved into our slice; drop any directory entry.
+    for (auto dit = directory_.begin(); dit != directory_.end();) {
+      if (dit->second.node == node) {
+        dit = directory_.erase(dit);
+      } else {
+        ++dit;
+      }
+    }
+    return;
+  }
+
+  // Other slice: refresh the directory. A node that moved out of our slice
+  // must also leave the member set.
+  members_.erase(node);
+  const auto it = directory_.find(slice);
+  if (it == directory_.end() && directory_.size() >= options_.directory_capacity) {
+    // Evict the oldest directory slice.
+    auto victim = directory_.begin();
+    for (auto dit = directory_.begin(); dit != directory_.end(); ++dit) {
+      if (dit->second.age > victim->second.age) victim = dit;
+    }
+    directory_.erase(victim);
+  }
+  directory_[slice] = DirectoryEntry{node, 0};
+}
+
+void IntraSliceView::tick() {
+  for (auto it = members_.begin(); it != members_.end();) {
+    if (++it->second.age > options_.max_entry_age) {
+      it = members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = directory_.begin(); it != directory_.end();) {
+    if (++it->second.age > options_.max_entry_age) {
+      it = directory_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void IntraSliceView::reset_slice_entries() { members_.clear(); }
+
+std::vector<NodeId> IntraSliceView::peers(std::size_t count) {
+  std::vector<NodeId> all = all_peers();
+  return rng_.sample(all, count);
+}
+
+std::vector<NodeId> IntraSliceView::all_peers() const {
+  std::vector<NodeId> out;
+  out.reserve(members_.size());
+  for (const auto& [node, _] : members_) out.push_back(node);
+  // Deterministic base order (hash maps iterate arbitrarily); sampling
+  // re-randomizes with the node's own stream.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<NodeId> IntraSliceView::directory_lookup(SliceId slice) const {
+  const auto it = directory_.find(slice);
+  if (it == directory_.end()) return std::nullopt;
+  return it->second.node;
+}
+
+void IntraSliceView::forget(NodeId node) {
+  members_.erase(node);
+  for (auto it = directory_.begin(); it != directory_.end();) {
+    if (it->second.node == node) {
+      it = directory_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace dataflasks::core

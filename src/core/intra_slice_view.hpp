@@ -1,0 +1,66 @@
+// Slice-local membership (paper §IV-B: "we consider a Peer Sampling Service
+// intra-slice"). Built by filtering slice advertisements out of the gossip
+// stream: entries for this node's own slice feed intra-slice dissemination
+// and anti-entropy partner selection; one recent contact per *other* slice
+// is kept as a routing directory (the §VII cache optimization).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dataflasks::core {
+
+struct IntraSliceViewOptions {
+  std::size_t capacity = 32;          ///< max same-slice entries
+  std::uint32_t max_entry_age = 16;   ///< ticks before an entry expires
+  std::size_t directory_capacity = 64;  ///< max other-slice contacts
+};
+
+class IntraSliceView {
+ public:
+  IntraSliceView(NodeId self, IntraSliceViewOptions options, Rng rng);
+
+  /// Records that `node` claims to be in `slice`. `my_slice` filters which
+  /// entries belong in the slice view vs. the directory.
+  void observe(NodeId node, SliceId slice, SliceId my_slice);
+
+  /// Ages entries and expires stale ones; call once per advertisement period.
+  void tick();
+
+  /// Drops everything slice-local (the node changed slice).
+  void reset_slice_entries();
+
+  /// Up to `count` distinct same-slice peers, uniformly sampled.
+  [[nodiscard]] std::vector<NodeId> peers(std::size_t count);
+
+  [[nodiscard]] std::vector<NodeId> all_peers() const;
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+
+  /// A recently observed contact in `slice`, if any (routing shortcut).
+  [[nodiscard]] std::optional<NodeId> directory_lookup(SliceId slice) const;
+
+  /// Forget a peer everywhere (e.g. it stopped responding).
+  void forget(NodeId node);
+
+ private:
+  struct MemberEntry {
+    std::uint32_t age = 0;
+  };
+  struct DirectoryEntry {
+    NodeId node;
+    std::uint32_t age = 0;
+  };
+
+  NodeId self_;
+  IntraSliceViewOptions options_;
+  Rng rng_;
+  std::unordered_map<NodeId, MemberEntry> members_;
+  std::unordered_map<SliceId, DirectoryEntry> directory_;
+};
+
+}  // namespace dataflasks::core

@@ -1,0 +1,273 @@
+#include "core/messages.hpp"
+
+namespace dataflasks::core {
+
+namespace {
+
+void encode_version_opt(Writer& w, const std::optional<Version>& v) {
+  w.boolean(v.has_value());
+  w.u64(v.value_or(0));
+}
+
+std::optional<Version> decode_version_opt(Reader& r) {
+  const bool has = r.boolean();
+  const Version v = r.u64();
+  return has ? std::optional<Version>(v) : std::nullopt;
+}
+
+void encode_config(Writer& w, const slicing::SliceConfig& config) {
+  w.u32(config.slice_count);
+  w.u64(config.epoch);
+}
+
+slicing::SliceConfig decode_config(Reader& r) {
+  slicing::SliceConfig config;
+  config.slice_count = r.u32();
+  config.epoch = r.u64();
+  return config;
+}
+
+}  // namespace
+
+// ---- inner payloads ---------------------------------------------------------
+
+Bytes encode_inner(const PutRequest& req) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(InnerKind::kPut));
+  w.request_id(req.rid);
+  w.node_id(req.client);
+  encode(w, req.object);
+  return w.take();
+}
+
+Bytes encode_inner(const GetRequest& req) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(InnerKind::kGet));
+  w.request_id(req.rid);
+  w.node_id(req.client);
+  w.str(req.key);
+  encode_version_opt(w, req.version);
+  return w.take();
+}
+
+Bytes encode_inner(const HandoffRequest& req) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(InnerKind::kHandoff));
+  encode(w, req.object);
+  return w.take();
+}
+
+std::optional<InnerKind> peek_inner_kind(const Bytes& payload) {
+  if (payload.empty()) return std::nullopt;
+  switch (payload.front()) {
+    case static_cast<std::uint8_t>(InnerKind::kPut): return InnerKind::kPut;
+    case static_cast<std::uint8_t>(InnerKind::kGet): return InnerKind::kGet;
+    case static_cast<std::uint8_t>(InnerKind::kHandoff):
+      return InnerKind::kHandoff;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<HandoffRequest> decode_handoff(const Bytes& payload) {
+  Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(InnerKind::kHandoff)) {
+    return std::nullopt;
+  }
+  HandoffRequest req;
+  req.object = store::decode_object(r);
+  if (!r.finish().ok()) return std::nullopt;
+  return req;
+}
+
+std::optional<PutRequest> decode_put(const Bytes& payload) {
+  Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(InnerKind::kPut)) return std::nullopt;
+  PutRequest req;
+  req.rid = r.request_id();
+  req.client = r.node_id();
+  req.object = store::decode_object(r);
+  if (!r.finish().ok()) return std::nullopt;
+  return req;
+}
+
+std::optional<GetRequest> decode_get(const Bytes& payload) {
+  Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(InnerKind::kGet)) return std::nullopt;
+  GetRequest req;
+  req.rid = r.request_id();
+  req.client = r.node_id();
+  req.key = r.str();
+  req.version = decode_version_opt(r);
+  if (!r.finish().ok()) return std::nullopt;
+  return req;
+}
+
+// ---- direct messages --------------------------------------------------------
+
+Bytes encode(const PutAck& msg) {
+  Writer w;
+  w.request_id(msg.rid);
+  w.node_id(msg.replica);
+  w.u32(msg.slice);
+  w.str(msg.key);
+  w.u64(msg.version);
+  return w.take();
+}
+
+std::optional<PutAck> decode_put_ack(const Bytes& payload) {
+  Reader r(payload);
+  PutAck msg;
+  msg.rid = r.request_id();
+  msg.replica = r.node_id();
+  msg.slice = r.u32();
+  msg.key = r.str();
+  msg.version = r.u64();
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+Bytes encode(const GetReply& msg) {
+  Writer w;
+  w.request_id(msg.rid);
+  w.node_id(msg.replica);
+  w.u32(msg.slice);
+  w.boolean(msg.found);
+  encode(w, msg.object);
+  return w.take();
+}
+
+std::optional<GetReply> decode_get_reply(const Bytes& payload) {
+  Reader r(payload);
+  GetReply msg;
+  msg.rid = r.request_id();
+  msg.replica = r.node_id();
+  msg.slice = r.u32();
+  msg.found = r.boolean();
+  msg.object = store::decode_object(r);
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+Bytes encode(const ReplicatePush& msg) {
+  Writer w;
+  encode(w, msg.object);
+  return w.take();
+}
+
+std::optional<ReplicatePush> decode_replicate_push(const Bytes& payload) {
+  Reader r(payload);
+  ReplicatePush msg;
+  msg.object = store::decode_object(r);
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+// ---- slice advertisement ------------------------------------------------------
+
+Bytes encode(const SliceAdvert& msg) {
+  Writer w;
+  w.node_id(msg.node);
+  w.u32(msg.slice);
+  encode_config(w, msg.config);
+  return w.take();
+}
+
+std::optional<SliceAdvert> decode_slice_advert(const Bytes& payload) {
+  Reader r(payload);
+  SliceAdvert msg;
+  msg.node = r.node_id();
+  msg.slice = r.u32();
+  msg.config = decode_config(r);
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+// ---- anti-entropy -------------------------------------------------------------
+
+Bytes encode(const AeDigest& msg) {
+  Writer w;
+  w.boolean(msg.is_reply);
+  w.vec(msg.entries,
+        [&w](const store::DigestEntry& e) { store::encode(w, e); });
+  return w.take();
+}
+
+std::optional<AeDigest> decode_ae_digest(const Bytes& payload) {
+  Reader r(payload);
+  AeDigest msg;
+  msg.is_reply = r.boolean();
+  msg.entries = r.vec<store::DigestEntry>(
+      [&r]() { return store::decode_digest_entry(r); });
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+Bytes encode(const AePull& msg) {
+  Writer w;
+  w.vec(msg.entries,
+        [&w](const store::DigestEntry& e) { store::encode(w, e); });
+  return w.take();
+}
+
+std::optional<AePull> decode_ae_pull(const Bytes& payload) {
+  Reader r(payload);
+  AePull msg;
+  msg.entries = r.vec<store::DigestEntry>(
+      [&r]() { return store::decode_digest_entry(r); });
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+Bytes encode(const AePush& msg) {
+  Writer w;
+  w.vec(msg.objects, [&w](const store::Object& o) { store::encode(w, o); });
+  return w.take();
+}
+
+std::optional<AePush> decode_ae_push(const Bytes& payload) {
+  Reader r(payload);
+  AePush msg;
+  msg.objects =
+      r.vec<store::Object>([&r]() { return store::decode_object(r); });
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+// ---- state transfer ------------------------------------------------------------
+
+Bytes encode(const StRequest& msg) {
+  Writer w;
+  w.u32(msg.slice);
+  store::encode(w, msg.cursor);
+  return w.take();
+}
+
+std::optional<StRequest> decode_st_request(const Bytes& payload) {
+  Reader r(payload);
+  StRequest msg;
+  msg.slice = r.u32();
+  msg.cursor = store::decode_digest_entry(r);
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+Bytes encode(const StReply& msg) {
+  Writer w;
+  w.u32(msg.slice);
+  w.boolean(msg.done);
+  w.vec(msg.objects, [&w](const store::Object& o) { store::encode(w, o); });
+  return w.take();
+}
+
+std::optional<StReply> decode_st_reply(const Bytes& payload) {
+  Reader r(payload);
+  StReply msg;
+  msg.slice = r.u32();
+  msg.done = r.boolean();
+  msg.objects =
+      r.vec<store::Object>([&r]() { return store::decode_object(r); });
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace dataflasks::core

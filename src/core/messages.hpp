@@ -1,0 +1,165 @@
+// DataFlasks protocol messages: client requests, replica traffic,
+// anti-entropy and state transfer, plus slice advertisements. Each struct
+// has an explicit codec; decoders return nullopt on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "slicing/slice_map.hpp"
+#include "store/object.hpp"
+
+namespace dataflasks::core {
+
+// ---- message type tags ----------------------------------------------------
+// Request-category traffic (counted by the paper's figures):
+constexpr std::uint16_t kClientPut = net::kRequestTypeBase + 8;
+constexpr std::uint16_t kClientGet = net::kRequestTypeBase + 9;
+constexpr std::uint16_t kPutAck = net::kRequestTypeBase + 10;
+constexpr std::uint16_t kGetReply = net::kRequestTypeBase + 11;
+constexpr std::uint16_t kReplicatePush = net::kRequestTypeBase + 12;
+// Maintenance traffic:
+constexpr std::uint16_t kSliceAdvert = net::kSlicingTypeBase + 4;
+constexpr std::uint16_t kAeDigest = net::kAntiEntropyTypeBase + 0;
+constexpr std::uint16_t kAePull = net::kAntiEntropyTypeBase + 1;
+constexpr std::uint16_t kAePush = net::kAntiEntropyTypeBase + 2;
+constexpr std::uint16_t kStRequest = net::kAntiEntropyTypeBase + 3;
+constexpr std::uint16_t kStReply = net::kAntiEntropyTypeBase + 4;
+
+// ---- inner payloads carried by the spray router ----------------------------
+
+enum class InnerKind : std::uint8_t { kPut = 1, kGet = 2, kHandoff = 3 };
+
+/// A write travelling toward its slice. Carries the full object plus enough
+/// routing state for any slice member to acknowledge the client directly.
+struct PutRequest {
+  RequestId rid;
+  NodeId client;
+  store::Object object;
+};
+
+/// A read travelling toward its slice. `version == nullopt` asks for the
+/// latest version the replica knows.
+struct GetRequest {
+  RequestId rid;
+  NodeId client;
+  Key key;
+  std::optional<Version> version;
+};
+
+/// An object being re-homed to its slice without a waiting client: hinted
+/// handoff for replicas that landed on the wrong node (stale slice views,
+/// slice changes). No ack is produced; durability is restored by storage at
+/// the slice plus anti-entropy.
+struct HandoffRequest {
+  store::Object object;
+};
+
+[[nodiscard]] Bytes encode_inner(const PutRequest& req);
+[[nodiscard]] Bytes encode_inner(const GetRequest& req);
+[[nodiscard]] Bytes encode_inner(const HandoffRequest& req);
+[[nodiscard]] std::optional<InnerKind> peek_inner_kind(const Bytes& payload);
+[[nodiscard]] std::optional<PutRequest> decode_put(const Bytes& payload);
+[[nodiscard]] std::optional<GetRequest> decode_get(const Bytes& payload);
+[[nodiscard]] std::optional<HandoffRequest> decode_handoff(
+    const Bytes& payload);
+
+// ---- direct (unicast) messages ---------------------------------------------
+
+/// Replica -> client: the object was stored. Carries the replica's slice so
+/// slice-aware load balancers can learn the mapping (paper §VII).
+struct PutAck {
+  RequestId rid;
+  NodeId replica;
+  SliceId slice = 0;
+  Key key;
+  Version version = 0;
+};
+
+/// Replica -> client: read result. `found == false` is an authoritative miss
+/// from a replica of the key's slice (the key/version is not stored there).
+struct GetReply {
+  RequestId rid;
+  NodeId replica;
+  SliceId slice = 0;
+  bool found = false;
+  store::Object object;
+};
+
+/// Immediate redundancy push: the delivering replica copies a fresh write to
+/// a few slice-mates without waiting for anti-entropy.
+struct ReplicatePush {
+  store::Object object;
+};
+
+[[nodiscard]] Bytes encode(const PutAck& msg);
+[[nodiscard]] Bytes encode(const GetReply& msg);
+[[nodiscard]] Bytes encode(const ReplicatePush& msg);
+[[nodiscard]] std::optional<PutAck> decode_put_ack(const Bytes& payload);
+[[nodiscard]] std::optional<GetReply> decode_get_reply(const Bytes& payload);
+[[nodiscard]] std::optional<ReplicatePush> decode_replicate_push(
+    const Bytes& payload);
+
+// ---- slice advertisement (maintenance) --------------------------------------
+
+/// Periodic gossip: "node X is in slice S under config C". Feeds the
+/// intra-slice views and the slice directory used for routing shortcuts.
+struct SliceAdvert {
+  NodeId node;
+  SliceId slice = 0;
+  slicing::SliceConfig config;
+};
+
+[[nodiscard]] Bytes encode(const SliceAdvert& msg);
+[[nodiscard]] std::optional<SliceAdvert> decode_slice_advert(
+    const Bytes& payload);
+
+// ---- anti-entropy -----------------------------------------------------------
+
+/// Digest exchange: `is_reply` distinguishes the answer leg (a reply must
+/// not trigger another reply). Entries may be a random sample when the
+/// store exceeds the digest cap.
+struct AeDigest {
+  bool is_reply = false;
+  std::vector<store::DigestEntry> entries;
+};
+
+struct AePull {
+  std::vector<store::DigestEntry> entries;
+};
+
+struct AePush {
+  std::vector<store::Object> objects;
+};
+
+[[nodiscard]] Bytes encode(const AeDigest& msg);
+[[nodiscard]] Bytes encode(const AePull& msg);
+[[nodiscard]] Bytes encode(const AePush& msg);
+[[nodiscard]] std::optional<AeDigest> decode_ae_digest(const Bytes& payload);
+[[nodiscard]] std::optional<AePull> decode_ae_pull(const Bytes& payload);
+[[nodiscard]] std::optional<AePush> decode_ae_push(const Bytes& payload);
+
+// ---- state transfer ----------------------------------------------------------
+
+/// Cursor-paged snapshot request for one slice's data. The cursor is the
+/// last (key, version) already received; empty key means "from the start".
+struct StRequest {
+  SliceId slice = 0;
+  store::DigestEntry cursor;
+};
+
+struct StReply {
+  SliceId slice = 0;
+  bool done = false;
+  std::vector<store::Object> objects;
+};
+
+[[nodiscard]] Bytes encode(const StRequest& msg);
+[[nodiscard]] Bytes encode(const StReply& msg);
+[[nodiscard]] std::optional<StRequest> decode_st_request(const Bytes& payload);
+[[nodiscard]] std::optional<StReply> decode_st_reply(const Bytes& payload);
+
+}  // namespace dataflasks::core

@@ -1,0 +1,181 @@
+#include "core/node.hpp"
+
+namespace dataflasks::core {
+
+Node::Node(NodeId id, double capacity, sim::Simulator& simulator,
+           net::Transport& transport, NodeOptions options, std::uint64_t seed,
+           std::unique_ptr<store::Store> durable_store)
+    : id_(id),
+      capacity_(capacity),
+      simulator_(simulator),
+      transport_(transport),
+      options_(options),
+      rng_(seed),
+      store_(std::move(durable_store)),
+      store_is_volatile_(store_ == nullptr) {
+  if (store_ == nullptr) store_ = std::make_unique<store::MemStore>();
+}
+
+Node::~Node() {
+  if (running_) crash();
+}
+
+void Node::build_components() {
+  // Every start gets fresh, independent randomness: a restarted node must
+  // not replay its previous gossip choices.
+  Rng boot = rng_.fork(0xb007);
+
+  switch (options_.pss_kind) {
+    case PssKind::kCyclon:
+      pss_ = std::make_unique<pss::Cyclon>(id_, transport_, boot.fork(1),
+                                           options_.cyclon);
+      break;
+    case PssKind::kNewscast:
+      pss_ = std::make_unique<pss::Newscast>(id_, transport_, boot.fork(1),
+                                             options_.newscast);
+      break;
+  }
+
+  std::unique_ptr<slicing::Slicer> slicer;
+  switch (options_.slicer_kind) {
+    case SlicerKind::kSliver:
+      slicer = std::make_unique<slicing::Sliver>(
+          id_, capacity_, transport_, *pss_, boot.fork(2),
+          options_.slice_config, options_.sliver);
+      break;
+    case SlicerKind::kOrdered:
+      slicer = std::make_unique<slicing::OrderedSlicing>(
+          id_, capacity_, transport_, *pss_, boot.fork(2),
+          options_.slice_config);
+      break;
+  }
+
+  slices_ = std::make_unique<SliceManager>(id_, transport_, *pss_,
+                                           std::move(slicer), boot.fork(3),
+                                           options_.slice_manager);
+
+  requests_ = std::make_unique<RequestHandler>(
+      id_, transport_, *pss_, *slices_, *store_, boot.fork(4),
+      options_.request, metrics_);
+
+  anti_entropy_ = std::make_unique<AntiEntropy>(
+      id_, transport_, *store_, boot.fork(5), options_.anti_entropy,
+      [this]() { return slices_->slice(); },
+      [this](const Key& key) { return slices_->key_slice(key); },
+      [this](std::size_t count) { return slices_->slice_peers(count); },
+      metrics_);
+
+  if (options_.size_estimation) {
+    size_estimator_ = std::make_unique<aggregation::SizeEstimator>(
+        id_, transport_, *pss_, boot.fork(7), options_.size_estimator);
+  } else {
+    size_estimator_.reset();
+  }
+
+  state_transfer_ = std::make_unique<StateTransfer>(
+      id_, transport_, *store_, boot.fork(6), options_.state_transfer,
+      [this]() { return slices_->slice(); },
+      [this](const Key& key) { return slices_->key_slice(key); },
+      [this](std::size_t count) { return slices_->slice_peers(count); },
+      metrics_);
+
+  slices_->set_config_change_listener(
+      [this](const slicing::SliceConfig& config) {
+        requests_->on_config_changed(config);
+      });
+  slices_->set_slice_change_listener([this](SliceId, SliceId) {
+    metrics_.counter("node.slice_changes").add();
+    if (options_.state_transfer_on_slice_change) {
+      state_transfer_->begin();
+    }
+  });
+}
+
+void Node::start(const std::vector<NodeId>& seeds) {
+  ensure(!running_, "Node::start on a running node");
+
+  if (store_is_volatile_) {
+    // A fresh process has an empty volatile store.
+    store_ = std::make_unique<store::MemStore>();
+  }
+  build_components();
+  pss_->bootstrap(seeds);
+
+  transport_.register_handler(
+      id_, [this](const net::Message& msg) { dispatch(msg); });
+  start_timers();
+  running_ = true;
+  metrics_.counter("node.starts").add();
+
+  // A (re)joining node pulls its slice's data as soon as it knows peers.
+  if (options_.state_transfer_on_slice_change) {
+    state_transfer_->begin();
+  }
+}
+
+void Node::start_timers() {
+  auto jitter = [this](SimTime period) {
+    return rng_.next_in(0, period);  // desynchronize cycles across nodes
+  };
+
+  timers_.push_back(simulator_.schedule_periodic(
+      jitter(options_.pss_period), options_.pss_period,
+      [this]() { pss_->tick(); }));
+  timers_.push_back(simulator_.schedule_periodic(
+      jitter(options_.slicing_period), options_.slicing_period,
+      [this]() { slices_->tick_slicing(); }));
+  timers_.push_back(simulator_.schedule_periodic(
+      jitter(options_.advert_period), options_.advert_period,
+      [this]() { slices_->tick_advertisement(); }));
+  if (options_.anti_entropy_enabled) {
+    timers_.push_back(simulator_.schedule_periodic(
+        jitter(options_.ae_period), options_.ae_period,
+        [this]() { anti_entropy_->tick(); }));
+  }
+  timers_.push_back(simulator_.schedule_periodic(
+      jitter(options_.st_tick_period), options_.st_tick_period,
+      [this]() { state_transfer_->tick(); }));
+  if (options_.request.hinted_handoff) {
+    timers_.push_back(simulator_.schedule_periodic(
+        jitter(options_.handoff_period), options_.handoff_period,
+        [this]() { requests_->tick_maintenance(); }));
+  }
+  if (size_estimator_ != nullptr) {
+    timers_.push_back(simulator_.schedule_periodic(
+        jitter(options_.size_estimation_period),
+        options_.size_estimation_period,
+        [this]() { size_estimator_->tick(); }));
+  }
+}
+
+void Node::crash() {
+  ensure(running_, "Node::crash on a stopped node");
+  for (auto& timer : timers_) timer.cancel();
+  timers_.clear();
+  transport_.unregister_handler(id_);
+  running_ = false;
+  metrics_.counter("node.crashes").add();
+  if (store_is_volatile_) {
+    static_cast<store::MemStore&>(*store_).clear();
+  }
+}
+
+void Node::dispatch(const net::Message& msg) {
+  if (!running_) return;
+  if (pss_->handle(msg)) return;
+  if (slices_->handle(msg)) return;
+  if (requests_->handle(msg)) return;
+  if (anti_entropy_->handle(msg)) return;
+  if (state_transfer_->handle(msg)) return;
+  if (size_estimator_ != nullptr && size_estimator_->handle(msg)) return;
+  metrics_.counter("node.unhandled_messages").add();
+}
+
+void Node::propose_slice_count(std::uint32_t slice_count) {
+  slicing::SliceConfig config = slices_->config();
+  config.slice_count = slice_count;
+  ++config.epoch;
+  slices_->adopt_config(config);
+}
+
+}  // namespace dataflasks::core

@@ -1,0 +1,201 @@
+#include "core/request_handler.hpp"
+
+#include "common/hash.hpp"
+
+namespace dataflasks::core {
+
+RequestHandler::RequestHandler(NodeId self, net::Transport& transport,
+                               pss::PeerSampling& pss, SliceManager& slices,
+                               store::Store& store, Rng rng,
+                               RequestHandlerOptions options,
+                               MetricsRegistry& metrics)
+    : self_(self),
+      transport_(transport),
+      slices_(slices),
+      store_(store),
+      rng_(rng),
+      options_(options),
+      metrics_(metrics) {
+  dissemination::SprayOptions spray = options_.spray;
+  spray.max_hops = dissemination::adaptive_ttl(
+      spray.global_fanout, slices_.config().slice_count, options_.ttl_beta);
+
+  router_ = std::make_unique<dissemination::SprayRouter>(
+      self, transport, pss, rng_.fork(0x0f0e),
+      spray,
+      /*current_slice=*/[this]() { return slices_.slice(); },
+      /*slice_peers=*/
+      [this](std::size_t count) { return slices_.slice_peers(count); },
+      /*deliver=*/
+      [this](const Bytes& payload, SliceId target, NodeId origin) {
+        return deliver(payload, target, origin);
+      },
+      /*directory=*/
+      [this](SliceId slice) { return slices_.directory_lookup(slice); });
+}
+
+void RequestHandler::on_config_changed(const slicing::SliceConfig& config) {
+  dissemination::SprayOptions spray = router_->options();
+  spray.max_hops = dissemination::adaptive_ttl(
+      spray.global_fanout, config.slice_count, options_.ttl_beta);
+  router_->set_options(spray);
+}
+
+bool RequestHandler::handle(const net::Message& msg) {
+  if (router_->handle(msg)) return true;
+
+  switch (msg.type) {
+    case kClientPut: {
+      const auto put = decode_put(msg.payload);
+      if (!put) return true;  // malformed: drop
+      metrics_.counter("rh.client_puts").add();
+      spray_or_deliver(slices_.key_slice(put->object.key),
+                       Bytes(msg.payload));
+      return true;
+    }
+    case kClientGet: {
+      const auto get = decode_get(msg.payload);
+      if (!get) return true;
+      metrics_.counter("rh.client_gets").add();
+      spray_or_deliver(slices_.key_slice(get->key), Bytes(msg.payload));
+      return true;
+    }
+    case kReplicatePush: {
+      const auto push = decode_replicate_push(msg.payload);
+      if (!push) return true;
+      if (slices_.key_slice(push->object.key) == slices_.slice()) {
+        if (store_.put(push->object).ok()) {
+          metrics_.counter("rh.pushes_stored").add();
+        }
+      } else if (options_.hinted_handoff) {
+        // Misrouted copy (stale view or slice change mid-flight): keep it
+        // and re-home it to the right slice on the next maintenance tick.
+        buffer_handoff(push->object);
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void RequestHandler::spray_or_deliver(SliceId target, Bytes inner) {
+  router_->originate(target, std::move(inner));
+}
+
+dissemination::DeliverResult RequestHandler::deliver(const Bytes& payload,
+                                                     SliceId /*target*/,
+                                                     NodeId /*origin*/) {
+  const auto kind = peek_inner_kind(payload);
+  if (!kind) return dissemination::DeliverResult::kStop;
+
+  switch (*kind) {
+    case InnerKind::kPut: {
+      const auto put = decode_put(payload);
+      if (!put) return dissemination::DeliverResult::kStop;
+      return handle_put_delivery(*put);
+    }
+    case InnerKind::kGet: {
+      const auto get = decode_get(payload);
+      if (!get) return dissemination::DeliverResult::kStop;
+      return handle_get_delivery(*get);
+    }
+    case InnerKind::kHandoff: {
+      const auto handoff = decode_handoff(payload);
+      if (!handoff) return dissemination::DeliverResult::kStop;
+      if (slices_.key_slice(handoff->object.key) == slices_.slice() &&
+          store_.put(handoff->object).ok()) {
+        metrics_.counter("rh.handoffs_stored").add();
+      }
+      return dissemination::DeliverResult::kStop;
+    }
+  }
+  return dissemination::DeliverResult::kStop;
+}
+
+void RequestHandler::buffer_handoff(store::Object object) {
+  if (handoff_.size() >= options_.handoff_capacity) {
+    handoff_.pop_front();  // oldest hint gives way; anti-entropy backstops
+    metrics_.counter("rh.handoffs_evicted").add();
+  }
+  handoff_.push_back(std::move(object));
+}
+
+void RequestHandler::tick_maintenance() {
+  if (!options_.hinted_handoff) return;
+
+  // Re-home buffered misrouted copies. A directory contact for the target
+  // slice makes this one cheap unicast; discovery spray is the fallback.
+  //
+  // Deliberately NOT done here: scanning the store for "foreign" keys left
+  // behind by slice changes. Replication = slice membership means a
+  // misplaced node is never an object's sole holder, state transfer
+  // completion already drops foreign keys safely, and at large k (slice
+  // width below rank-estimate noise) such a scan turns boundary jitter
+  // into discovery-spray storms.
+  for (std::size_t i = 0;
+       i < options_.handoff_per_tick && !handoff_.empty(); ++i) {
+    store::Object obj = std::move(handoff_.front());
+    handoff_.pop_front();
+    const std::uint64_t fingerprint =
+        hash_combine(stable_key_hash(obj.key), obj.version);
+    if (resprayed_.seen_or_insert(fingerprint)) continue;  // already re-homed
+    const SliceId target = slices_.key_slice(obj.key);
+
+    if (const auto contact = slices_.directory_lookup(target);
+        contact && *contact != self_) {
+      const ReplicatePush push{std::move(obj)};
+      transport_.send(
+          net::Message{self_, *contact, kReplicatePush, encode(push)});
+      metrics_.counter("rh.handoffs_forwarded").add();
+    } else {
+      metrics_.counter("rh.handoffs_sprayed").add();
+      spray_or_deliver(target, encode_inner(HandoffRequest{std::move(obj)}));
+    }
+  }
+}
+
+dissemination::DeliverResult RequestHandler::handle_put_delivery(
+    const PutRequest& put) {
+  const Status stored = store_.put(put.object);
+  if (!stored.ok()) {
+    // Version conflict: the upper layer broke its ordering contract. Do not
+    // ack; the client will time out and surface the failure.
+    metrics_.counter("rh.put_conflicts").add();
+    return dissemination::DeliverResult::kStop;
+  }
+  metrics_.counter("rh.puts_stored").add();
+
+  const PutAck ack{put.rid, self_, slices_.slice(), put.object.key,
+                   put.object.version};
+  transport_.send(net::Message{self_, put.client, kPutAck, encode(ack)});
+
+  // Immediate redundancy: copy to a few slice-mates right away so the write
+  // survives this node failing before the next anti-entropy round.
+  const ReplicatePush push{put.object};
+  const Bytes encoded = encode(push);
+  for (const NodeId peer : slices_.slice_peers(options_.direct_replication)) {
+    if (peer == self_) continue;
+    transport_.send(net::Message{self_, peer, kReplicatePush, encoded});
+  }
+  return dissemination::DeliverResult::kStop;
+}
+
+dissemination::DeliverResult RequestHandler::handle_get_delivery(
+    const GetRequest& get) {
+  auto obj = store_.get(get.key, get.version);
+  if (obj.ok()) {
+    metrics_.counter("rh.gets_served").add();
+    const GetReply reply{get.rid, self_, slices_.slice(), true,
+                         std::move(obj).value()};
+    transport_.send(net::Message{self_, get.client, kGetReply, encode(reply)});
+    return dissemination::DeliverResult::kStop;
+  }
+  // We are in the key's slice but lack the object (still replicating, or it
+  // never existed). Keep the request spreading inside the slice: another
+  // member may hold it. The client times out on a true miss.
+  metrics_.counter("rh.gets_missed").add();
+  return dissemination::DeliverResult::kContinueInSlice;
+}
+
+}  // namespace dataflasks::core

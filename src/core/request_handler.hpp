@@ -1,0 +1,94 @@
+// Request Handler (paper §V, Fig. 2): "responsible for dealing with requests
+// made to the node. It knows to which slice the node belongs to from the
+// Slice Manager and stores and retrieves correspondent data to and from the
+// Data Store."
+//
+// Put path: any node may receive a client put; it sprays the request toward
+// the key's slice. The first slice member reached stores the object, acks
+// the client directly, and pushes immediate copies to a few slice-mates;
+// full-slice replication then converges via anti-entropy.
+//
+// Get path: the request sprays to the slice; members holding the requested
+// version reply directly to the client (the client deduplicates multiple
+// replies, paper §V); members missing it keep relaying inside the slice.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/messages.hpp"
+#include "core/slice_manager.hpp"
+#include "dissemination/spray_router.hpp"
+#include "net/transport.hpp"
+#include "store/store.hpp"
+
+namespace dataflasks::core {
+
+struct RequestHandlerOptions {
+  /// Slice-mates receiving an immediate copy of each fresh write (in
+  /// addition to the storing member). Anti-entropy completes the slice.
+  std::size_t direct_replication = 3;
+  dissemination::SprayOptions spray;
+  /// Coverage multiplier for the adaptive TTL: a spray aims to reach
+  /// ~beta * slice_count nodes, giving P(miss slice) <= e^-beta.
+  double ttl_beta = 3.0;
+  /// Hinted handoff: replica pushes that arrive at a node outside the
+  /// object's slice are buffered and re-homed to the right slice instead
+  /// of being dropped (paper §VII: replica maintenance under slice
+  /// changes). Directory contacts make re-homing one unicast.
+  bool hinted_handoff = true;
+  std::size_t handoff_capacity = 256;   ///< buffered misrouted objects
+  std::size_t handoff_per_tick = 16;    ///< re-homed per maintenance tick
+};
+
+class RequestHandler {
+ public:
+  RequestHandler(NodeId self, net::Transport& transport,
+                 pss::PeerSampling& pss, SliceManager& slices,
+                 store::Store& store, Rng rng, RequestHandlerOptions options,
+                 MetricsRegistry& metrics);
+
+  /// Consumes kClientPut / kClientGet / kReplicatePush and spray messages.
+  bool handle(const net::Message& msg);
+
+  /// Recomputes the spray TTL for a new slice count (config change).
+  void on_config_changed(const slicing::SliceConfig& config);
+
+  /// Periodic maintenance: re-homes buffered misrouted objects and a
+  /// bounded batch of foreign keys found in the local store.
+  void tick_maintenance();
+
+
+  [[nodiscard]] const dissemination::SprayOptions& spray_options() const {
+    return router_->options();
+  }
+  [[nodiscard]] std::size_t handoff_backlog() const {
+    return handoff_.size();
+  }
+
+ private:
+  dissemination::DeliverResult deliver(const Bytes& payload, SliceId target,
+                                       NodeId origin);
+  dissemination::DeliverResult handle_put_delivery(const PutRequest& put);
+  dissemination::DeliverResult handle_get_delivery(const GetRequest& get);
+  void spray_or_deliver(SliceId target, Bytes inner);
+  void buffer_handoff(store::Object object);
+
+  NodeId self_;
+  net::Transport& transport_;
+  SliceManager& slices_;
+  store::Store& store_;
+  Rng rng_;
+  RequestHandlerOptions options_;
+  MetricsRegistry& metrics_;
+  std::unique_ptr<dissemination::SprayRouter> router_;
+  std::deque<store::Object> handoff_;
+  /// Each (key, version) is re-homed at most once per node incarnation;
+  /// anti-entropy backstops anything lost after that.
+  dissemination::DedupCache resprayed_{1 << 12};
+};
+
+}  // namespace dataflasks::core

@@ -1,0 +1,75 @@
+#include "core/slice_manager.hpp"
+
+namespace dataflasks::core {
+
+SliceManager::SliceManager(NodeId self, net::Transport& transport,
+                           pss::PeerSampling& pss,
+                           std::unique_ptr<slicing::Slicer> slicer, Rng rng,
+                           SliceManagerOptions options)
+    : self_(self),
+      transport_(transport),
+      pss_(pss),
+      slicer_(std::move(slicer)),
+      rng_(rng),
+      options_(options),
+      view_(self, options.view, rng_.fork(0x51ce)),
+      last_seen_config_(slicer_->config()) {
+  ensure(slicer_ != nullptr, "SliceManager: null slicer");
+}
+
+void SliceManager::set_slice_change_listener(SliceChangeListener listener) {
+  slice_listener_ = std::move(listener);
+  slicer_->set_slice_change_listener(
+      [this](SliceId from, SliceId to) {
+        // Our old slice view is useless in the new slice.
+        view_.reset_slice_entries();
+        if (slice_listener_) slice_listener_(from, to);
+      });
+}
+
+void SliceManager::tick_advertisement() {
+  view_.tick();
+
+  // Detect config changes made by the slicer (epidemic adoption) so the
+  // owner can react (e.g. recompute spray TTL).
+  if (!(last_seen_config_ == slicer_->config())) {
+    last_seen_config_ = slicer_->config();
+    if (config_listener_) config_listener_(last_seen_config_);
+  }
+
+  for (const NodeId peer : pss_.sample_peers(options_.advert_fanout)) {
+    send_advert(peer);
+  }
+  // Also refresh known slice-mates directly: keeps the intra-slice overlay
+  // connected even when PSS samples rarely land in our own slice (large k).
+  for (const NodeId peer : view_.peers(1)) {
+    send_advert(peer);
+  }
+}
+
+void SliceManager::send_advert(NodeId to) {
+  if (to == self_) return;
+  const SliceAdvert advert{self_, slice(), slicer_->config()};
+  transport_.send(net::Message{self_, to, kSliceAdvert, encode(advert)});
+}
+
+bool SliceManager::handle(const net::Message& msg) {
+  if (slicer_->handle(msg)) return true;
+  if (msg.type != kSliceAdvert) return false;
+
+  const auto advert = decode_slice_advert(msg.payload);
+  if (!advert) return true;  // malformed: drop
+
+  slicer_->adopt_config(advert->config);
+  view_.observe(advert->node, advert->slice, slice());
+
+  // Answer first-contact adverts from same-slice peers so both sides learn
+  // each other quickly (symmetric intra-slice links).
+  if (advert->slice == slice() && advert->node != self_ &&
+      !view_.all_peers().empty() && rng_.next_bernoulli(0.25)) {
+    send_advert(advert->node);
+  }
+  return true;
+}
+
+}  // namespace dataflasks::core

@@ -1,0 +1,100 @@
+// Slice Manager (paper §V, Fig. 2): owns the slicing protocol instance,
+// the intra-slice view and the advertisement gossip that feeds it. The rest
+// of the node asks it three questions: which slice am I in, which slice
+// does this key map to, and who else is in my slice.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/intra_slice_view.hpp"
+#include "core/messages.hpp"
+#include "net/transport.hpp"
+#include "pss/peer_sampling.hpp"
+#include "slicing/slicer.hpp"
+
+namespace dataflasks::core {
+
+struct SliceManagerOptions {
+  IntraSliceViewOptions view;
+  std::size_t advert_fanout = 2;  ///< peers advertised to per advert tick
+};
+
+class SliceManager {
+ public:
+  using SliceChangeListener =
+      std::function<void(SliceId from, SliceId to)>;
+  using ConfigChangeListener =
+      std::function<void(const slicing::SliceConfig&)>;
+
+  SliceManager(NodeId self, net::Transport& transport,
+               pss::PeerSampling& pss, std::unique_ptr<slicing::Slicer> slicer,
+               Rng rng, SliceManagerOptions options);
+
+  /// One slicing-protocol gossip cycle.
+  void tick_slicing() { slicer_->tick(); }
+
+  /// One advertisement cycle: age the view and gossip our (id, slice).
+  void tick_advertisement();
+
+  /// Consumes slicing and advertisement messages.
+  bool handle(const net::Message& msg);
+
+  [[nodiscard]] SliceId slice() const { return slicer_->slice(); }
+  [[nodiscard]] const slicing::SliceConfig& config() const {
+    return slicer_->config();
+  }
+  [[nodiscard]] SliceId key_slice(const Key& key) const {
+    return slicing::key_to_slice(key, config().slice_count);
+  }
+  [[nodiscard]] double rank_estimate() const {
+    return slicer_->rank_estimate();
+  }
+
+  [[nodiscard]] std::vector<NodeId> slice_peers(std::size_t count) {
+    return view_.peers(count);
+  }
+  [[nodiscard]] std::vector<NodeId> all_slice_peers() const {
+    return view_.all_peers();
+  }
+  [[nodiscard]] std::optional<NodeId> directory_lookup(SliceId slice) const {
+    return view_.directory_lookup(slice);
+  }
+  [[nodiscard]] const IntraSliceView& view() const { return view_; }
+
+  /// Adopts a (possibly newer) slice configuration.
+  void adopt_config(const slicing::SliceConfig& config) {
+    slicer_->adopt_config(config);
+  }
+
+  /// Learns a peer's slice opportunistically (e.g. from request traffic).
+  void observe_peer(NodeId node, SliceId slice) {
+    view_.observe(node, slice, this->slice());
+  }
+
+  void forget_peer(NodeId node) { view_.forget(node); }
+
+  void set_slice_change_listener(SliceChangeListener listener);
+  void set_config_change_listener(ConfigChangeListener listener) {
+    config_listener_ = std::move(listener);
+  }
+
+  [[nodiscard]] slicing::Slicer& slicer() { return *slicer_; }
+
+ private:
+  void send_advert(NodeId to);
+
+  NodeId self_;
+  net::Transport& transport_;
+  pss::PeerSampling& pss_;
+  std::unique_ptr<slicing::Slicer> slicer_;
+  Rng rng_;
+  SliceManagerOptions options_;
+  IntraSliceView view_;
+  SliceChangeListener slice_listener_;
+  ConfigChangeListener config_listener_;
+  slicing::SliceConfig last_seen_config_;
+};
+
+}  // namespace dataflasks::core

@@ -1,0 +1,125 @@
+#include "core/state_transfer.hpp"
+
+#include <algorithm>
+
+namespace dataflasks::core {
+
+StateTransfer::StateTransfer(NodeId self, net::Transport& transport,
+                             store::Store& store, Rng rng,
+                             StateTransferOptions options, SliceFn my_slice,
+                             KeySliceFn key_slice, SlicePeersFn slice_peers,
+                             MetricsRegistry& metrics)
+    : self_(self),
+      transport_(transport),
+      store_(store),
+      rng_(rng),
+      options_(options),
+      my_slice_(std::move(my_slice)),
+      key_slice_(std::move(key_slice)),
+      slice_peers_(std::move(slice_peers)),
+      metrics_(metrics) {
+  ensure(options_.page_size > 0, "StateTransfer: zero page size");
+}
+
+void StateTransfer::begin() {
+  active_ = true;
+  target_slice_ = my_slice_();
+  cursor_ = store::DigestEntry{};
+  ticks_without_progress_ = 0;
+  progressed_since_tick_ = false;
+  request_page();
+}
+
+void StateTransfer::tick() {
+  if (!active_) return;
+  if (my_slice_() != target_slice_) {
+    // Moved again mid-transfer: restart against the new slice.
+    begin();
+    return;
+  }
+  if (progressed_since_tick_) {
+    progressed_since_tick_ = false;
+    ticks_without_progress_ = 0;
+    return;
+  }
+  if (++ticks_without_progress_ >= options_.stall_ticks) {
+    ticks_without_progress_ = 0;
+    request_page();  // retry, possibly with a different peer
+  }
+}
+
+void StateTransfer::request_page() {
+  const auto peers = slice_peers_(1);
+  if (peers.empty()) return;  // no known slice-mates yet; tick() retries
+  const StRequest request{target_slice_, cursor_};
+  transport_.send(
+      net::Message{self_, peers.front(), kStRequest, encode(request)});
+  metrics_.counter("st.pages_requested").add();
+}
+
+bool StateTransfer::handle(const net::Message& msg) {
+  switch (msg.type) {
+    case kStRequest: {
+      const auto request = decode_st_request(msg.payload);
+      if (request) handle_request(msg, *request);
+      return true;
+    }
+    case kStReply: {
+      const auto reply = decode_st_reply(msg.payload);
+      if (reply) handle_reply(*reply);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void StateTransfer::handle_request(const net::Message& msg,
+                                   const StRequest& request) {
+  // Serve a page of the requested slice's objects, ordered by (key, version),
+  // strictly after the cursor.
+  std::vector<store::DigestEntry> entries = store_.digest();
+  std::erase_if(entries, [&](const store::DigestEntry& e) {
+    return key_slice_(e.key) != request.slice || !(request.cursor < e);
+  });
+  std::sort(entries.begin(), entries.end());
+  if (entries.size() > options_.page_size) entries.resize(options_.page_size);
+
+  StReply reply;
+  reply.slice = request.slice;
+  reply.done = entries.size() < options_.page_size;
+  for (const store::DigestEntry& e : entries) {
+    auto obj = store_.get(e.key, e.version);
+    if (obj.ok()) reply.objects.push_back(std::move(obj).value());
+  }
+  transport_.send(net::Message{self_, msg.src, kStReply, encode(reply)});
+  metrics_.counter("st.pages_served").add();
+}
+
+void StateTransfer::handle_reply(const StReply& reply) {
+  if (!active_ || reply.slice != target_slice_) return;
+
+  for (const store::Object& obj : reply.objects) {
+    if (key_slice_(obj.key) != target_slice_) continue;
+    if (store_.put(obj).ok()) {
+      metrics_.counter("st.objects_received").add();
+    }
+    const store::DigestEntry entry{obj.key, obj.version};
+    cursor_ = std::max(cursor_, entry);
+  }
+  progressed_since_tick_ = true;
+
+  if (reply.done) {
+    active_ = false;
+    // Drop data that belongs to other slices now that ours is complete; the
+    // remaining members of the old slice still hold it.
+    const SliceId mine = target_slice_;
+    store_.remove_keys_where(
+        [this, mine](const Key& key) { return key_slice_(key) != mine; });
+    if (on_complete_) on_complete_(target_slice_);
+  } else {
+    request_page();
+  }
+}
+
+}  // namespace dataflasks::core

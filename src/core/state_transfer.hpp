@@ -1,0 +1,75 @@
+// Slice state transfer (paper §VII: "when a node joins a certain slice,
+// mechanisms for efficient state transfer must be devised"). When a node
+// joins or changes slice it pulls a cursor-paged snapshot of the slice's
+// data from a member, then drops objects that no longer belong to it.
+// Paging bounds per-message size so the system never stalls on bulk copy —
+// the paper's worry about "the majority of the system concerned with state
+// transfer" is addressed by rate-limiting to one page per tick.
+#pragma once
+
+#include <functional>
+
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "core/messages.hpp"
+#include "net/transport.hpp"
+#include "store/store.hpp"
+
+namespace dataflasks::core {
+
+struct StateTransferOptions {
+  std::size_t page_size = 64;  ///< objects per snapshot page
+  /// Ticks without progress before the transfer retries with another peer.
+  std::uint32_t stall_ticks = 3;
+};
+
+class StateTransfer {
+ public:
+  using SliceFn = std::function<SliceId()>;
+  using KeySliceFn = std::function<SliceId(const Key&)>;
+  using SlicePeersFn = std::function<std::vector<NodeId>(std::size_t)>;
+  using CompletionFn = std::function<void(SliceId slice)>;
+
+  StateTransfer(NodeId self, net::Transport& transport, store::Store& store,
+                Rng rng, StateTransferOptions options, SliceFn my_slice,
+                KeySliceFn key_slice, SlicePeersFn slice_peers,
+                MetricsRegistry& metrics);
+
+  /// Starts (or restarts) a transfer into the current slice.
+  void begin();
+
+  /// Drives retries; call periodically.
+  void tick();
+
+  /// Consumes kStRequest / kStReply messages.
+  bool handle(const net::Message& msg);
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Invoked when a transfer completes (all pages received).
+  void set_completion_listener(CompletionFn fn) { on_complete_ = std::move(fn); }
+
+ private:
+  void request_page();
+  void handle_request(const net::Message& msg, const StRequest& request);
+  void handle_reply(const StReply& reply);
+
+  NodeId self_;
+  net::Transport& transport_;
+  store::Store& store_;
+  Rng rng_;
+  StateTransferOptions options_;
+  SliceFn my_slice_;
+  KeySliceFn key_slice_;
+  SlicePeersFn slice_peers_;
+  MetricsRegistry& metrics_;
+  CompletionFn on_complete_;
+
+  bool active_ = false;
+  SliceId target_slice_ = 0;
+  store::DigestEntry cursor_;
+  std::uint32_t ticks_without_progress_ = 0;
+  bool progressed_since_tick_ = false;
+};
+
+}  // namespace dataflasks::core

@@ -1,0 +1,27 @@
+#include "dissemination/dedup_cache.hpp"
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::dissemination {
+
+DedupCache::DedupCache(std::size_t capacity) : capacity_(capacity) {
+  ensure(capacity_ > 0, "DedupCache: zero capacity");
+}
+
+bool DedupCache::seen_or_insert(std::uint64_t id) {
+  if (set_.contains(id)) return true;
+  if (set_.size() >= capacity_) {
+    set_.erase(order_.front());
+    order_.pop_front();
+  }
+  set_.insert(id);
+  order_.push_back(id);
+  return false;
+}
+
+void DedupCache::clear() {
+  set_.clear();
+  order_.clear();
+}
+
+}  // namespace dataflasks::dissemination

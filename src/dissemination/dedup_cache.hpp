@@ -1,0 +1,34 @@
+// Bounded duplicate-suppression cache. Epidemic dissemination floods the
+// same message id to a node many times; the first arrival wins and the rest
+// must be dropped cheaply. FIFO eviction bounds memory on long runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace dataflasks::dissemination {
+
+class DedupCache {
+ public:
+  explicit DedupCache(std::size_t capacity);
+
+  /// Returns true when `id` was already present; otherwise inserts it
+  /// (evicting the oldest entry if at capacity) and returns false.
+  bool seen_or_insert(std::uint64_t id);
+
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return set_.contains(id);
+  }
+  [[nodiscard]] std::size_t size() const { return set_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<std::uint64_t> set_;
+  std::deque<std::uint64_t> order_;
+};
+
+}  // namespace dataflasks::dissemination

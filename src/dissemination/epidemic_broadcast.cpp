@@ -1,0 +1,69 @@
+#include "dissemination/epidemic_broadcast.hpp"
+
+#include <cmath>
+
+#include "common/hash.hpp"
+
+namespace dataflasks::dissemination {
+
+std::size_t atomic_fanout(std::size_t system_size, double c) {
+  if (system_size < 2) return 1;
+  const double f = std::ceil(std::log(static_cast<double>(system_size)) + c);
+  return f < 1.0 ? 1 : static_cast<std::size_t>(f);
+}
+
+EpidemicBroadcast::EpidemicBroadcast(NodeId self, net::Transport& transport,
+                                     pss::PeerSampling& pss, Rng rng,
+                                     BroadcastOptions options,
+                                     DeliverFn deliver)
+    : self_(self),
+      transport_(transport),
+      pss_(pss),
+      rng_(rng),
+      options_(options),
+      deliver_(std::move(deliver)),
+      seen_(options.dedup_capacity) {}
+
+std::uint64_t EpidemicBroadcast::broadcast(Bytes payload) {
+  // Globally unique id: origin id mixed with a local sequence number.
+  const std::uint64_t id =
+      hash_combine(self_.value, 0xb40adca57ULL + next_local_id_++);
+  seen_.seen_or_insert(id);
+  if (deliver_) deliver_(payload, self_);
+  relay(id, self_, 0, payload);
+  return id;
+}
+
+bool EpidemicBroadcast::handle(const net::Message& msg) {
+  if (msg.type != kBroadcastMsg) return false;
+
+  Reader r(msg.payload);
+  const std::uint64_t id = r.u64();
+  const NodeId origin = r.node_id();
+  const std::uint8_t hops = r.u8();
+  const Bytes payload = r.bytes();
+  if (!r.finish().ok()) return true;  // malformed: drop
+
+  if (seen_.seen_or_insert(id)) return true;  // duplicate
+
+  if (deliver_) deliver_(payload, origin);
+  if (hops < options_.max_hops) relay(id, origin, hops + 1, payload);
+  return true;
+}
+
+void EpidemicBroadcast::relay(std::uint64_t id, NodeId origin,
+                              std::uint8_t hops, const Bytes& payload) {
+  Writer w;
+  w.u64(id);
+  w.node_id(origin);
+  w.u8(hops);
+  w.bytes(payload);
+  const Bytes encoded = w.take();
+
+  for (const NodeId peer : pss_.sample_peers(options_.fanout)) {
+    if (peer == self_) continue;
+    transport_.send(net::Message{self_, peer, kBroadcastMsg, encoded});
+  }
+}
+
+}  // namespace dataflasks::dissemination

@@ -1,0 +1,65 @@
+// Full epidemic broadcast (paper §II): every infected node relays to
+// fanout = ln(N) + c random peers, achieving atomic infection with
+// probability e^{-e^{-c}}. DataFlasks uses this for configuration epochs
+// (dynamic slice count); benches use it as the "atomic dissemination"
+// comparison point against slice-targeted spraying.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "dissemination/dedup_cache.hpp"
+#include "net/transport.hpp"
+#include "pss/peer_sampling.hpp"
+
+namespace dataflasks::dissemination {
+
+constexpr std::uint16_t kBroadcastMsg = net::kRequestTypeBase + 0;
+
+struct BroadcastOptions {
+  /// Relay fanout. The canonical choice is ceil(ln N) + c; the owner sets it
+  /// from its (approximate) knowledge of system scale.
+  std::size_t fanout = 8;
+  std::uint8_t max_hops = 64;  ///< safety bound; epidemic dies via dedup first
+  std::size_t dedup_capacity = 1 << 14;
+};
+
+/// Computes ln(N) + c rounded up, the paper's relay count for atomic
+/// dissemination with failure probability e^{-e^{-c}}.
+[[nodiscard]] std::size_t atomic_fanout(std::size_t system_size, double c);
+
+class EpidemicBroadcast {
+ public:
+  /// `deliver` runs exactly once per broadcast id on each infected node.
+  using DeliverFn =
+      std::function<void(const Bytes& payload, NodeId origin)>;
+
+  EpidemicBroadcast(NodeId self, net::Transport& transport,
+                    pss::PeerSampling& pss, Rng rng, BroadcastOptions options,
+                    DeliverFn deliver);
+
+  /// Originates a broadcast; returns its id. Delivers locally as well.
+  std::uint64_t broadcast(Bytes payload);
+
+  /// Consumes broadcast messages; false when the type is not ours.
+  bool handle(const net::Message& msg);
+
+  [[nodiscard]] const BroadcastOptions& options() const { return options_; }
+  void set_fanout(std::size_t fanout) { options_.fanout = fanout; }
+
+ private:
+  void relay(std::uint64_t id, NodeId origin, std::uint8_t hops,
+             const Bytes& payload);
+
+  NodeId self_;
+  net::Transport& transport_;
+  pss::PeerSampling& pss_;
+  Rng rng_;
+  BroadcastOptions options_;
+  DeliverFn deliver_;
+  DedupCache seen_;
+  std::uint64_t next_local_id_ = 0;
+};
+
+}  // namespace dataflasks::dissemination

@@ -1,0 +1,120 @@
+#include "harness/runner.hpp"
+
+#include "common/hash.hpp"
+
+namespace dataflasks::harness {
+
+Runner::Runner(Cluster& cluster, std::vector<client::Client*> clients,
+               std::vector<std::vector<workload::Op>> streams)
+    : cluster_(cluster),
+      clients_(std::move(clients)),
+      streams_(std::move(streams)),
+      cursors_(clients_.size(), 0) {
+  ensure(clients_.size() == streams_.size(),
+         "Runner: one op stream per client required");
+}
+
+Bytes Runner::make_value(std::size_t size, std::uint64_t salt) {
+  Bytes value(size);
+  std::uint64_t state = salt;
+  for (auto& byte : value) {
+    byte = static_cast<std::uint8_t>(splitmix64(state) & 0xff);
+  }
+  return value;
+}
+
+bool Runner::run(SimTime deadline) {
+  active_streams_ = 0;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (!streams_[i].empty()) {
+      ++active_streams_;
+      issue_next(i);
+    }
+  }
+  while (active_streams_ > 0 && cluster_.simulator().now() < deadline &&
+         cluster_.simulator().pending_events() > 0) {
+    cluster_.simulator().run_until(
+        std::min(deadline, cluster_.simulator().now() + 1 * kSeconds));
+  }
+  return active_streams_ == 0;
+}
+
+void Runner::issue_next(std::size_t client_index) {
+  auto& cursor = cursors_[client_index];
+  const auto& stream = streams_[client_index];
+  if (cursor >= stream.size()) {
+    --active_streams_;
+    return;
+  }
+  const workload::Op& op = stream[cursor++];
+  client::Client& cli = *clients_[client_index];
+
+  switch (op.kind) {
+    case workload::OpKind::kRead:
+      ++stats_.gets_issued;
+      cli.get(op.key, std::nullopt, [this, client_index](
+                                        const client::GetResult& result) {
+        if (result.ok) {
+          ++stats_.gets_succeeded;
+          stats_.get_latency.record(static_cast<double>(result.latency));
+        } else {
+          ++stats_.gets_failed;
+        }
+        on_op_done(client_index);
+      });
+      break;
+
+    case workload::OpKind::kUpdate:
+    case workload::OpKind::kInsert: {
+      ++stats_.puts_issued;
+      const Bytes value =
+          make_value(op.value_size, stable_key_hash(op.key) + cursor);
+      cli.put_auto(op.key, value, [this, client_index](
+                                      const client::PutResult& result) {
+        if (result.ok) {
+          ++stats_.puts_succeeded;
+          stats_.put_latency.record(static_cast<double>(result.latency));
+        } else {
+          ++stats_.puts_failed;
+        }
+        on_op_done(client_index);
+      });
+      break;
+    }
+
+    case workload::OpKind::kReadModifyWrite: {
+      ++stats_.gets_issued;
+      // Read, then write a new version of the same key on completion.
+      cli.get(op.key, std::nullopt, [this, client_index, op](
+                                        const client::GetResult& result) {
+        if (result.ok) {
+          ++stats_.gets_succeeded;
+          stats_.get_latency.record(static_cast<double>(result.latency));
+        } else {
+          ++stats_.gets_failed;
+        }
+        ++stats_.puts_issued;
+        const Bytes value = make_value(op.value_size, stable_key_hash(op.key));
+        clients_[client_index]->put_auto(
+            op.key, value,
+            [this, client_index](const client::PutResult& put_result) {
+              if (put_result.ok) {
+                ++stats_.puts_succeeded;
+                stats_.put_latency.record(
+                    static_cast<double>(put_result.latency));
+              } else {
+                ++stats_.puts_failed;
+              }
+              on_op_done(client_index);
+            });
+      });
+      break;
+    }
+  }
+}
+
+void Runner::on_op_done(std::size_t client_index) {
+  issue_next(client_index);
+}
+
+}  // namespace dataflasks::harness

@@ -1,0 +1,70 @@
+// Closed-loop workload runner: drives YCSB-style op streams through a set
+// of clients inside the simulation, one outstanding op per client, and
+// aggregates success counts and latency distributions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/client.hpp"
+#include "common/histogram.hpp"
+#include "harness/cluster.hpp"
+#include "workload/ycsb.hpp"
+
+namespace dataflasks::harness {
+
+struct RunnerStats {
+  std::uint64_t puts_issued = 0;
+  std::uint64_t puts_succeeded = 0;
+  std::uint64_t puts_failed = 0;
+  std::uint64_t gets_issued = 0;
+  std::uint64_t gets_succeeded = 0;
+  std::uint64_t gets_failed = 0;
+  Histogram put_latency;  ///< microseconds of virtual time
+  Histogram get_latency;
+
+  [[nodiscard]] std::uint64_t ops_completed() const {
+    return puts_succeeded + puts_failed + gets_succeeded + gets_failed;
+  }
+  [[nodiscard]] double put_success_rate() const {
+    const auto total = puts_succeeded + puts_failed;
+    return total == 0 ? 1.0
+                      : static_cast<double>(puts_succeeded) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double get_success_rate() const {
+    const auto total = gets_succeeded + gets_failed;
+    return total == 0 ? 1.0
+                      : static_cast<double>(gets_succeeded) /
+                            static_cast<double>(total);
+  }
+};
+
+class Runner {
+ public:
+  /// `clients[i]` executes `streams[i]` sequentially (closed loop).
+  Runner(Cluster& cluster, std::vector<client::Client*> clients,
+         std::vector<std::vector<workload::Op>> streams);
+
+  /// Runs until every stream finishes or virtual `deadline` passes.
+  /// Returns true when all ops completed (successfully or not) in time.
+  bool run(SimTime deadline);
+
+  [[nodiscard]] const RunnerStats& stats() const { return stats_; }
+
+  /// Convenience: value payload for an op (deterministic filler bytes).
+  [[nodiscard]] static Bytes make_value(std::size_t size, std::uint64_t salt);
+
+ private:
+  void issue_next(std::size_t client_index);
+  void on_op_done(std::size_t client_index);
+
+  Cluster& cluster_;
+  std::vector<client::Client*> clients_;
+  std::vector<std::vector<workload::Op>> streams_;
+  std::vector<std::size_t> cursors_;
+  std::size_t active_streams_ = 0;
+  RunnerStats stats_;
+};
+
+}  // namespace dataflasks::harness

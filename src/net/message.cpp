@@ -1,0 +1,26 @@
+#include "net/message.hpp"
+
+namespace dataflasks::net {
+
+MsgCategory category_of(std::uint16_t type) {
+  if (type >= kBaselineTypeBase) return MsgCategory::kBaseline;
+  if (type >= kAntiEntropyTypeBase) return MsgCategory::kAntiEntropy;
+  if (type >= kRequestTypeBase) return MsgCategory::kRequest;
+  if (type >= kSlicingTypeBase) return MsgCategory::kSlicing;
+  if (type >= kPssTypeBase) return MsgCategory::kPeerSampling;
+  return MsgCategory::kOther;
+}
+
+const char* to_string(MsgCategory category) {
+  switch (category) {
+    case MsgCategory::kPeerSampling: return "peer_sampling";
+    case MsgCategory::kSlicing: return "slicing";
+    case MsgCategory::kRequest: return "request";
+    case MsgCategory::kAntiEntropy: return "anti_entropy";
+    case MsgCategory::kBaseline: return "baseline";
+    case MsgCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+}  // namespace dataflasks::net

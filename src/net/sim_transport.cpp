@@ -1,0 +1,83 @@
+#include "net/sim_transport.hpp"
+
+#include <utility>
+
+namespace dataflasks::net {
+
+SimTransport::SimTransport(sim::Simulator& simulator, sim::NetworkModel& model)
+    : simulator_(simulator), model_(model), rng_(simulator.rng().fork(0x7a57)) {}
+
+void SimTransport::send(Message msg) {
+  const auto category = static_cast<std::size_t>(msg.category());
+  auto& sender = node_stats_[msg.src];
+  sender.sent += 1;
+  sender.bytes_sent += msg.wire_size();
+  auto& sender_cat = category_stats_[msg.src].stats[category];
+  sender_cat.sent += 1;
+  sender_cat.bytes_sent += msg.wire_size();
+  ++total_sent_;
+
+  const auto delay = model_.delivery_delay(msg.src, msg.dst, rng_);
+  if (!delay) {
+    ++total_dropped_;
+    return;
+  }
+
+  simulator_.schedule_after(*delay, [this, m = std::move(msg)]() {
+    deliver(m);
+  });
+}
+
+void SimTransport::deliver(const Message& msg) {
+  // Liveness is re-checked at delivery time: the destination may have
+  // crashed while the packet was in flight.
+  if (!model_.node_up(msg.dst)) {
+    ++total_dropped_;
+    return;
+  }
+  const auto it = handlers_.find(msg.dst);
+  if (it == handlers_.end()) {
+    ++total_dropped_;
+    return;
+  }
+
+  const auto category = static_cast<std::size_t>(msg.category());
+  auto& receiver = node_stats_[msg.dst];
+  receiver.received += 1;
+  receiver.bytes_received += msg.wire_size();
+  auto& receiver_cat = category_stats_[msg.dst].stats[category];
+  receiver_cat.received += 1;
+  receiver_cat.bytes_received += msg.wire_size();
+  ++total_delivered_;
+
+  it->second(msg);
+}
+
+void SimTransport::register_handler(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void SimTransport::unregister_handler(NodeId node) { handlers_.erase(node); }
+
+const TrafficStats& SimTransport::stats(NodeId node) const {
+  static const TrafficStats kEmpty;
+  const auto it = node_stats_.find(node);
+  return it == node_stats_.end() ? kEmpty : it->second;
+}
+
+TrafficStats SimTransport::stats_for_category(NodeId node,
+                                              MsgCategory category) const {
+  const auto it = category_stats_.find(node);
+  if (it == category_stats_.end()) return {};
+  return it->second.stats[static_cast<std::size_t>(category)];
+}
+
+void SimTransport::reset_stats() {
+  node_stats_.clear();
+  category_stats_.clear();
+  total_sent_ = 0;
+  total_delivered_ = 0;
+  total_dropped_ = 0;
+}
+
+}  // namespace dataflasks::net

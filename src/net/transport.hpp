@@ -1,0 +1,30 @@
+// Transport abstraction consumed by every protocol component. Protocols see
+// only send(); delivery happens through the handler they registered. The
+// simulator provides the single in-tree implementation (SimTransport); the
+// interface keeps protocol code free of simulator details and lets tests
+// substitute capture transports.
+#pragma once
+
+#include <functional>
+
+#include "net/message.hpp"
+
+namespace dataflasks::net {
+
+class Transport {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  virtual ~Transport() = default;
+
+  /// Fire-and-forget datagram semantics: may be dropped, never errors back.
+  virtual void send(Message msg) = 0;
+
+  /// Registers the message handler for `node`. Replaces any previous one.
+  virtual void register_handler(NodeId node, Handler handler) = 0;
+
+  /// Removes the handler (e.g. node crash); queued deliveries are dropped.
+  virtual void unregister_handler(NodeId node) = 0;
+};
+
+}  // namespace dataflasks::net

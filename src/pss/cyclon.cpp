@@ -1,0 +1,121 @@
+#include "pss/cyclon.hpp"
+
+#include <algorithm>
+
+namespace dataflasks::pss {
+
+Cyclon::Cyclon(NodeId self, net::Transport& transport, Rng rng,
+               CyclonOptions options)
+    : self_(self),
+      transport_(transport),
+      rng_(rng),
+      options_(options),
+      view_(options.view_size) {
+  ensure(options_.shuffle_length > 0, "Cyclon: zero shuffle length");
+  ensure(options_.shuffle_length <= options_.view_size,
+         "Cyclon: shuffle length exceeds view size");
+}
+
+void Cyclon::bootstrap(const std::vector<NodeId>& seeds) {
+  for (const NodeId seed : seeds) {
+    if (seed == self_) continue;
+    view_.insert_evicting_oldest(NodeDescriptor{seed, 0});
+  }
+}
+
+Bytes Cyclon::encode_payload(
+    const std::vector<NodeDescriptor>& descriptors) const {
+  Writer w;
+  w.vec(descriptors,
+        [&w](const NodeDescriptor& d) { encode(w, d); });
+  return w.take();
+}
+
+std::optional<std::vector<NodeDescriptor>> Cyclon::decode_payload(
+    const net::Message& msg) {
+  Reader r(msg.payload);
+  auto descriptors = r.vec<NodeDescriptor>(
+      [&r]() { return decode_descriptor(r); });
+  if (!r.finish().ok()) return std::nullopt;
+  return descriptors;
+}
+
+void Cyclon::tick() {
+  if (view_.empty()) return;
+
+  view_.increase_age();
+
+  // Step 1-2: pick the oldest neighbour and remove it. If it is alive its
+  // reply re-inserts it with age 0; if dead, it is now forgotten.
+  const auto oldest = view_.oldest();
+  const NodeId peer = oldest->id;
+  view_.remove(peer);
+
+  // Step 3: subset of l-1 random descriptors plus a fresh self-descriptor.
+  auto subset = view_.sample(rng_, options_.shuffle_length - 1);
+  subset.push_back(NodeDescriptor{self_, 0});
+
+  pending_sent_ = subset;
+  pending_peer_ = peer;
+
+  transport_.send(net::Message{self_, peer, kCyclonShuffleRequest,
+                               encode_payload(subset)});
+}
+
+bool Cyclon::handle(const net::Message& msg) {
+  if (msg.type != kCyclonShuffleRequest && msg.type != kCyclonShuffleReply) {
+    return false;
+  }
+  const auto received = decode_payload(msg);
+  if (!received) return true;  // malformed: drop, stay consistent
+
+  if (msg.type == kCyclonShuffleRequest) {
+    // Responder: answer with a random subset (may include stale entries —
+    // that is fine, ages travel with descriptors).
+    const auto reply_subset = view_.sample(rng_, options_.shuffle_length);
+    transport_.send(net::Message{self_, msg.src, kCyclonShuffleReply,
+                                 encode_payload(reply_subset)});
+    merge(*received, reply_subset);
+  } else {
+    // Initiator receiving the reply: replacement victims are the entries we
+    // shipped out; the shuffled-away peer slot is already free.
+    if (msg.src == pending_peer_) {
+      merge(*received, pending_sent_);
+      pending_sent_.clear();
+      pending_peer_ = NodeId();
+    } else {
+      merge(*received, {});
+    }
+  }
+  return true;
+}
+
+void Cyclon::merge(const std::vector<NodeDescriptor>& received,
+                   const std::vector<NodeDescriptor>& sent) {
+  std::vector<NodeDescriptor> fresh;
+  for (const NodeDescriptor& d : received) {
+    if (d.id == self_) continue;
+    if (!view_.contains(d.id)) fresh.push_back(d);
+
+    if (view_.insert(d)) continue;
+    // View full: reuse a slot occupied by a descriptor we sent away, per the
+    // Cyclon exchange rule; otherwise keep our entry.
+    for (const NodeDescriptor& victim : sent) {
+      if (view_.remove(victim.id)) {
+        view_.insert(d);
+        break;
+      }
+    }
+  }
+  notify_samples(fresh);
+}
+
+std::vector<NodeId> Cyclon::sample_peers(std::size_t count) {
+  std::vector<NodeId> out;
+  for (const NodeDescriptor& d : view_.sample(rng_, count)) {
+    out.push_back(d.id);
+  }
+  return out;
+}
+
+}  // namespace dataflasks::pss

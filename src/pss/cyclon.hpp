@@ -1,0 +1,60 @@
+// Cyclon [9]: age-based shuffling peer sampling. Each cycle the node ages
+// its view, removes the oldest neighbour Q, and trades a random subset of
+// descriptors with Q. Unanswered exchanges implicitly evict dead peers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "pss/peer_sampling.hpp"
+
+namespace dataflasks::pss {
+
+constexpr std::uint16_t kCyclonShuffleRequest = net::kPssTypeBase + 0;
+constexpr std::uint16_t kCyclonShuffleReply = net::kPssTypeBase + 1;
+
+struct CyclonOptions {
+  std::size_t view_size = 20;      ///< c in the Cyclon paper
+  std::size_t shuffle_length = 8;  ///< l: descriptors exchanged per shuffle
+};
+
+class Cyclon final : public PeerSampling {
+ public:
+  Cyclon(NodeId self, net::Transport& transport, Rng rng,
+         CyclonOptions options = {});
+
+  void bootstrap(const std::vector<NodeId>& seeds) override;
+  void tick() override;
+  bool handle(const net::Message& msg) override;
+  [[nodiscard]] const View& view() const override { return view_; }
+  std::vector<NodeId> sample_peers(std::size_t count) override;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] const CyclonOptions& options() const { return options_; }
+
+ private:
+  struct ShufflePayload {
+    std::vector<NodeDescriptor> descriptors;
+  };
+
+  [[nodiscard]] Bytes encode_payload(
+      const std::vector<NodeDescriptor>& descriptors) const;
+  [[nodiscard]] static std::optional<std::vector<NodeDescriptor>>
+  decode_payload(const net::Message& msg);
+
+  void merge(const std::vector<NodeDescriptor>& received,
+             const std::vector<NodeDescriptor>& sent);
+
+  NodeId self_;
+  net::Transport& transport_;
+  Rng rng_;
+  CyclonOptions options_;
+  View view_;
+  /// Descriptors sent in the in-flight shuffle; used as replacement victims
+  /// when the reply arrives (Cyclon's slot-reuse rule).
+  std::vector<NodeDescriptor> pending_sent_;
+  NodeId pending_peer_;
+};
+
+}  // namespace dataflasks::pss

@@ -1,0 +1,98 @@
+#include "pss/newscast.hpp"
+
+#include <algorithm>
+
+namespace dataflasks::pss {
+
+Newscast::Newscast(NodeId self, net::Transport& transport, Rng rng,
+                   NewscastOptions options)
+    : self_(self),
+      transport_(transport),
+      rng_(rng),
+      options_(options),
+      view_(options.view_size) {}
+
+void Newscast::bootstrap(const std::vector<NodeId>& seeds) {
+  for (const NodeId seed : seeds) {
+    if (seed == self_) continue;
+    view_.insert_evicting_oldest(NodeDescriptor{seed, 0});
+  }
+}
+
+Bytes Newscast::encode_view_with_self() const {
+  Writer w;
+  std::vector<NodeDescriptor> items = view_.entries();
+  items.push_back(NodeDescriptor{self_, 0});
+  w.vec(items, [&w](const NodeDescriptor& d) { encode(w, d); });
+  return w.take();
+}
+
+void Newscast::tick() {
+  view_.increase_age();
+  const auto peer = view_.random_entry(rng_);
+  if (!peer) return;
+  transport_.send(net::Message{self_, peer->id, kNewscastExchangeRequest,
+                               encode_view_with_self()});
+}
+
+bool Newscast::handle(const net::Message& msg) {
+  if (msg.type != kNewscastExchangeRequest &&
+      msg.type != kNewscastExchangeReply) {
+    return false;
+  }
+  Reader r(msg.payload);
+  auto received =
+      r.vec<NodeDescriptor>([&r]() { return decode_descriptor(r); });
+  if (!r.finish().ok()) return true;  // malformed: drop
+
+  if (msg.type == kNewscastExchangeRequest) {
+    transport_.send(net::Message{self_, msg.src, kNewscastExchangeReply,
+                                 encode_view_with_self()});
+  }
+  merge(received);
+  return true;
+}
+
+void Newscast::merge(const std::vector<NodeDescriptor>& received) {
+  std::vector<NodeDescriptor> fresh;
+  // Union of current view and received items, self excluded.
+  std::vector<NodeDescriptor> pool = view_.entries();
+  for (const NodeDescriptor& d : received) {
+    if (d.id == self_) continue;
+    if (!view_.contains(d.id)) fresh.push_back(d);
+    bool merged = false;
+    for (auto& existing : pool) {
+      if (existing.id == d.id) {
+        existing.age = std::min(existing.age, d.age);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) pool.push_back(d);
+  }
+
+  // Keep the freshest view_size items. Ties are broken randomly (from this
+  // node's own stream, so still deterministic per run): a global tie-break
+  // like "lowest id wins" makes every node keep the same entries and the
+  // overlay collapses onto a few hubs.
+  rng_.shuffle(pool);
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const NodeDescriptor& a, const NodeDescriptor& b) {
+                     return a.age < b.age;
+                   });
+  if (pool.size() > options_.view_size) pool.resize(options_.view_size);
+
+  view_.clear();
+  for (const NodeDescriptor& d : pool) view_.insert(d);
+  notify_samples(fresh);
+}
+
+std::vector<NodeId> Newscast::sample_peers(std::size_t count) {
+  std::vector<NodeId> out;
+  for (const NodeDescriptor& d : view_.sample(rng_, count)) {
+    out.push_back(d.id);
+  }
+  return out;
+}
+
+}  // namespace dataflasks::pss

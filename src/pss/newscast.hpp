@@ -1,0 +1,44 @@
+// Newscast [10]: timestamp-based peer sampling. Each cycle the node trades
+// its *entire* view (plus a fresh self item) with one random neighbour; both
+// then keep the `view_size` freshest items. Simpler than Cyclon, heavier on
+// bandwidth, very robust to churn.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "pss/peer_sampling.hpp"
+
+namespace dataflasks::pss {
+
+constexpr std::uint16_t kNewscastExchangeRequest = net::kPssTypeBase + 2;
+constexpr std::uint16_t kNewscastExchangeReply = net::kPssTypeBase + 3;
+
+struct NewscastOptions {
+  std::size_t view_size = 20;
+};
+
+class Newscast final : public PeerSampling {
+ public:
+  Newscast(NodeId self, net::Transport& transport, Rng rng,
+           NewscastOptions options = {});
+
+  void bootstrap(const std::vector<NodeId>& seeds) override;
+  void tick() override;
+  bool handle(const net::Message& msg) override;
+  [[nodiscard]] const View& view() const override { return view_; }
+  std::vector<NodeId> sample_peers(std::size_t count) override;
+
+ private:
+  [[nodiscard]] Bytes encode_view_with_self() const;
+  void merge(const std::vector<NodeDescriptor>& received);
+
+  NodeId self_;
+  net::Transport& transport_;
+  Rng rng_;
+  NewscastOptions options_;
+  View view_;
+};
+
+}  // namespace dataflasks::pss

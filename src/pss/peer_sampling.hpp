@@ -1,0 +1,57 @@
+// Peer Sampling Service interface (paper §II). Implementations (Cyclon,
+// Newscast) provide each node with a continuously refreshed partial view
+// approximating a uniform random sample of the whole system.
+//
+// Driving model: the owner (core::Node or a test harness) calls tick() on
+// the gossip period and routes incoming messages to handle(). Protocols
+// never touch the simulator directly, only the Transport.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/message.hpp"
+#include "pss/view.hpp"
+
+namespace dataflasks::pss {
+
+class PeerSampling {
+ public:
+  /// Invoked with every batch of descriptors freshly learned from a gossip
+  /// exchange. DataFlasks builds its slice-local views by filtering this
+  /// stream (paper §IV-B "we consider a Peer Sampling Service intra-slice").
+  using SampleListener =
+      std::function<void(const std::vector<NodeDescriptor>&)>;
+
+  virtual ~PeerSampling() = default;
+
+  /// Installs initial contacts (e.g. from a bootstrap service).
+  virtual void bootstrap(const std::vector<NodeId>& seeds) = 0;
+
+  /// One gossip cycle.
+  virtual void tick() = 0;
+
+  /// Consumes a message if its type belongs to this protocol.
+  /// Returns false (without side effects) otherwise.
+  virtual bool handle(const net::Message& msg) = 0;
+
+  /// Current partial view.
+  [[nodiscard]] virtual const View& view() const = 0;
+
+  /// Up to `count` distinct peer ids sampled from the current view.
+  virtual std::vector<NodeId> sample_peers(std::size_t count) = 0;
+
+  void set_sample_listener(SampleListener listener) {
+    listener_ = std::move(listener);
+  }
+
+ protected:
+  void notify_samples(const std::vector<NodeDescriptor>& batch) const {
+    if (listener_ && !batch.empty()) listener_(batch);
+  }
+
+ private:
+  SampleListener listener_;
+};
+
+}  // namespace dataflasks::pss

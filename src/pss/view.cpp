@@ -1,0 +1,91 @@
+#include "pss/view.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::pss {
+
+void encode(Writer& w, const NodeDescriptor& d) {
+  w.node_id(d.id);
+  w.u32(d.age);
+}
+
+NodeDescriptor decode_descriptor(Reader& r) {
+  NodeDescriptor d;
+  d.id = r.node_id();
+  d.age = r.u32();
+  return d;
+}
+
+View::View(std::size_t capacity) : capacity_(capacity) {
+  ensure(capacity_ > 0, "View: zero capacity");
+  entries_.reserve(capacity_);
+}
+
+bool View::contains(NodeId id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [id](const NodeDescriptor& d) { return d.id == id; });
+}
+
+bool View::insert(NodeDescriptor d) {
+  for (auto& entry : entries_) {
+    if (entry.id == d.id) {
+      entry.age = std::min(entry.age, d.age);
+      return true;
+    }
+  }
+  if (full()) return false;
+  entries_.push_back(d);
+  return true;
+}
+
+void View::insert_evicting_oldest(NodeDescriptor d) {
+  if (insert(d)) return;
+  const auto victim = std::max_element(
+      entries_.begin(), entries_.end(),
+      [](const NodeDescriptor& a, const NodeDescriptor& b) {
+        return a.age < b.age;
+      });
+  *victim = d;
+}
+
+bool View::remove(NodeId id) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [id](const NodeDescriptor& d) {
+                                 return d.id == id;
+                               });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+std::optional<NodeDescriptor> View::oldest() const {
+  if (entries_.empty()) return std::nullopt;
+  return *std::max_element(entries_.begin(), entries_.end(),
+                           [](const NodeDescriptor& a, const NodeDescriptor& b) {
+                             return a.age < b.age;
+                           });
+}
+
+void View::increase_age() {
+  for (auto& entry : entries_) ++entry.age;
+}
+
+std::vector<NodeDescriptor> View::sample(Rng& rng, std::size_t count) const {
+  return rng.sample(entries_, count);
+}
+
+std::optional<NodeDescriptor> View::random_entry(Rng& rng) const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_[rng.next_below(entries_.size())];
+}
+
+std::vector<NodeId> View::ids() const {
+  std::vector<NodeId> out;
+  out.reserve(entries_.size());
+  for (const auto& d : entries_) out.push_back(d.id);
+  return out;
+}
+
+}  // namespace dataflasks::pss

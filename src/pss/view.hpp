@@ -1,0 +1,76 @@
+// Partial view: the bounded set of node descriptors a gossip protocol
+// maintains. Descriptors carry an age used by Cyclon-style replacement
+// policies (old entries are the most likely to be dead).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace dataflasks::pss {
+
+struct NodeDescriptor {
+  NodeId id;
+  std::uint32_t age = 0;
+
+  friend bool operator==(const NodeDescriptor& a, const NodeDescriptor& b) {
+    return a.id == b.id && a.age == b.age;
+  }
+};
+
+void encode(Writer& w, const NodeDescriptor& d);
+[[nodiscard]] NodeDescriptor decode_descriptor(Reader& r);
+
+/// Bounded, id-unique collection of descriptors. Not a protocol itself —
+/// Cyclon/Newscast implement their merge policies on top of it.
+class View {
+ public:
+  explicit View(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+
+  [[nodiscard]] bool contains(NodeId id) const;
+
+  /// Inserts or refreshes a descriptor. An existing entry for the same id
+  /// keeps the *younger* age. Returns false when the view is full and the
+  /// id is new (caller decides the eviction policy).
+  bool insert(NodeDescriptor d);
+
+  /// Inserts, evicting the oldest entry if full. Always succeeds.
+  void insert_evicting_oldest(NodeDescriptor d);
+
+  bool remove(NodeId id);
+
+  /// Entry with the maximum age; nullopt when empty.
+  [[nodiscard]] std::optional<NodeDescriptor> oldest() const;
+
+  /// Ages every entry by one.
+  void increase_age();
+
+  /// Uniform sample of up to `count` descriptors (no replacement).
+  [[nodiscard]] std::vector<NodeDescriptor> sample(Rng& rng,
+                                                   std::size_t count) const;
+
+  /// One uniformly random entry; nullopt when empty.
+  [[nodiscard]] std::optional<NodeDescriptor> random_entry(Rng& rng) const;
+
+  [[nodiscard]] const std::vector<NodeDescriptor>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::vector<NodeId> ids() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<NodeDescriptor> entries_;
+};
+
+}  // namespace dataflasks::pss

@@ -1,0 +1,75 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::sim {
+
+std::vector<ChurnEvent> make_churn_plan(const std::vector<NodeId>& nodes,
+                                        const ChurnPlanOptions& options,
+                                        Rng& rng) {
+  ensure(options.end >= options.start, "churn plan: end before start");
+  std::vector<ChurnEvent> plan;
+  if (nodes.empty() || options.events_per_second <= 0.0) return plan;
+
+  // Track when each node is next available to crash (it must be up).
+  std::unordered_map<NodeId, SimTime> up_again;
+
+  const double mean_gap_us =
+      static_cast<double>(kSeconds) / options.events_per_second;
+
+  double t = static_cast<double>(options.start);
+  while (true) {
+    t += rng.next_exponential(mean_gap_us);
+    const auto at = static_cast<SimTime>(t);
+    if (at >= options.end) break;
+
+    // Pick an up node; bounded retries keep the generator total even when
+    // nearly everyone is down.
+    NodeId victim;
+    bool found = false;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const NodeId candidate = rng.pick(nodes);
+      const auto it = up_again.find(candidate);
+      if (it == up_again.end() || it->second <= at) {
+        victim = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+
+    plan.push_back({at, victim, ChurnEventKind::kCrash});
+    if (options.restart) {
+      const SimTime downtime =
+          options.downtime_min == options.downtime_max
+              ? options.downtime_min
+              : rng.next_in(options.downtime_min, options.downtime_max);
+      const SimTime back = at + downtime;
+      up_again[victim] = back;
+      if (back < options.end) {
+        plan.push_back({back, victim, ChurnEventKind::kRestart});
+      }
+    } else {
+      up_again[victim] = options.end;  // never crashes again
+    }
+  }
+
+  std::sort(plan.begin(), plan.end());
+  return plan;
+}
+
+std::vector<ChurnEvent> make_correlated_failure(
+    const std::vector<NodeId>& candidates, std::size_t count, SimTime at,
+    Rng& rng) {
+  std::vector<ChurnEvent> plan;
+  for (const NodeId node : rng.sample(candidates, count)) {
+    plan.push_back({at, node, ChurnEventKind::kCrash});
+  }
+  std::sort(plan.begin(), plan.end());
+  return plan;
+}
+
+}  // namespace dataflasks::sim

@@ -1,0 +1,54 @@
+// Churn plan generation: deterministic schedules of node failures, leaves,
+// joins and restarts. The harness applies the plan by killing/restarting
+// protocol nodes; plans are pure data so tests can assert on them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dataflasks::sim {
+
+enum class ChurnEventKind : std::uint8_t {
+  kCrash,    ///< node dies without warning; may restart later with empty state
+  kRestart,  ///< previously crashed node comes back (fresh state, same id)
+};
+
+struct ChurnEvent {
+  SimTime at = 0;
+  NodeId node;
+  ChurnEventKind kind = ChurnEventKind::kCrash;
+
+  friend bool operator<(const ChurnEvent& a, const ChurnEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.node != b.node) return a.node < b.node;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  }
+};
+
+struct ChurnPlanOptions {
+  SimTime start = 0;          ///< no events before this time
+  SimTime end = 0;            ///< no events at/after this time
+  double events_per_second = 0.0;  ///< crash arrivals across the whole system
+  SimTime downtime_min = 5 * kSeconds;   ///< crashed node restarts after
+  SimTime downtime_max = 60 * kSeconds;  ///< uniform in [min,max)
+  bool restart = true;        ///< whether crashed nodes come back
+};
+
+/// Samples a churn plan: crash arrivals form a Poisson process over the node
+/// population; each crash optionally schedules a restart. A node is never
+/// double-crashed while down.
+[[nodiscard]] std::vector<ChurnEvent> make_churn_plan(
+    const std::vector<NodeId>& nodes, const ChurnPlanOptions& options,
+    Rng& rng);
+
+/// Correlated failure: crashes `count` distinct nodes drawn from `candidates`
+/// at exactly time `at` (the paper's "significant portion of a slice fails"
+/// scenario, §IV-A).
+[[nodiscard]] std::vector<ChurnEvent> make_correlated_failure(
+    const std::vector<NodeId>& candidates, std::size_t count, SimTime at,
+    Rng& rng);
+
+}  // namespace dataflasks::sim

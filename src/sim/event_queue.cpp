@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::sim {
+
+void EventQueue::push(SimTime at, Callback fn) {
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn)});
+  sift_up(heap_.size() - 1);
+}
+
+SimTime EventQueue::next_time() const {
+  ensure(!heap_.empty(), "EventQueue::next_time on empty queue");
+  return heap_.front().at;
+}
+
+EventQueue::Callback EventQueue::pop() {
+  ensure(!heap_.empty(), "EventQueue::pop on empty queue");
+  Callback fn = std::move(heap_.front().fn);
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return fn;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
+    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace dataflasks::sim

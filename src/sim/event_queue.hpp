@@ -1,0 +1,53 @@
+// Priority queue of timestamped events. Ties are broken by insertion
+// sequence so simulation runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dataflasks::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`. Events scheduled for the same
+  /// time fire in insertion order.
+  void push(SimTime at, Callback fn);
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest event's callback. Requires !empty().
+  [[nodiscard]] Callback pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+
+  // Min-heap by (at, seq).
+  [[nodiscard]] static bool later(const Entry& a, const Entry& b) {
+    return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dataflasks::sim

@@ -1,0 +1,58 @@
+#include "sim/network.hpp"
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::sim {
+
+SimTime LatencyModel::sample(Rng& rng) const {
+  ensure(min >= 0 && min <= max, "LatencyModel: invalid bounds");
+  if (min == max) return min;
+  return rng.next_in(min, max);
+}
+
+std::optional<SimTime> NetworkModel::delivery_delay(NodeId src, NodeId dst,
+                                                    Rng& rng) const {
+  if (!node_up(src) || !node_up(dst)) return std::nullopt;
+
+  if (!partition_group_.empty()) {
+    const auto src_it = partition_group_.find(src);
+    const auto dst_it = partition_group_.find(dst);
+    const std::uint32_t src_group =
+        src_it == partition_group_.end() ? 0 : src_it->second;
+    const std::uint32_t dst_group =
+        dst_it == partition_group_.end() ? 0 : dst_it->second;
+    if (src_group != dst_group && src_group != 0 && dst_group != 0) {
+      return std::nullopt;
+    }
+    // A node in a named partition cannot reach the default group either:
+    // partitions split the network fully.
+    if ((src_group == 0) != (dst_group == 0)) return std::nullopt;
+  }
+
+  if (loss_probability_ > 0.0 && rng.next_bernoulli(loss_probability_)) {
+    return std::nullopt;
+  }
+  return latency_.sample(rng);
+}
+
+void NetworkModel::set_node_up(NodeId node, bool up) {
+  if (up) {
+    down_.erase(node);
+  } else {
+    down_.insert(node);
+  }
+}
+
+bool NetworkModel::node_up(NodeId node) const { return !down_.contains(node); }
+
+void NetworkModel::set_partition_group(NodeId node, std::uint32_t group) {
+  if (group == 0) {
+    partition_group_.erase(node);
+  } else {
+    partition_group_[node] = group;
+  }
+}
+
+void NetworkModel::clear_partitions() { partition_group_.clear(); }
+
+}  // namespace dataflasks::sim

@@ -1,0 +1,62 @@
+// Network behaviour model: decides whether and when a packet sent between
+// two nodes is delivered. Pure policy — the actual queuing of delivery
+// events lives in net::SimTransport, keeping this model reusable and
+// independently testable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace dataflasks::sim {
+
+/// Link latency distribution. Uniform in [min,max) matches wide-area jitter
+/// well enough for protocol studies; constant is useful in tests.
+struct LatencyModel {
+  SimTime min = 5 * kMillis;
+  SimTime max = 50 * kMillis;
+
+  [[nodiscard]] static LatencyModel constant(SimTime value) {
+    return {value, value};
+  }
+
+  [[nodiscard]] SimTime sample(Rng& rng) const;
+};
+
+class NetworkModel {
+ public:
+  NetworkModel() = default;
+  explicit NetworkModel(LatencyModel latency, double loss_probability = 0.0)
+      : latency_(latency), loss_probability_(loss_probability) {}
+
+  /// Returns the delivery delay for a packet src -> dst, or nullopt when the
+  /// packet is dropped (loss, dead endpoint, or partition).
+  [[nodiscard]] std::optional<SimTime> delivery_delay(NodeId src, NodeId dst,
+                                                      Rng& rng) const;
+
+  void set_latency(LatencyModel latency) { latency_ = latency; }
+  void set_loss_probability(double p) { loss_probability_ = p; }
+  [[nodiscard]] double loss_probability() const { return loss_probability_; }
+
+  /// Node lifecycle: packets to or from a down node vanish (no error signal,
+  /// exactly like UDP into a crashed host).
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const;
+
+  /// Partition groups: nodes assigned different non-zero groups cannot
+  /// communicate. Group 0 (default) talks to everyone up.
+  void set_partition_group(NodeId node, std::uint32_t group);
+  void clear_partitions();
+
+ private:
+  LatencyModel latency_;
+  double loss_probability_ = 0.0;
+  std::unordered_set<NodeId> down_;
+  std::unordered_map<NodeId, std::uint32_t> partition_group_;
+};
+
+}  // namespace dataflasks::sim

@@ -1,0 +1,76 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+TimerHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  ensure(at >= now_, "Simulator::schedule_at in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(at, [alive, fn = std::move(fn)]() {
+    if (*alive) fn();
+  });
+  return TimerHandle(std::move(alive));
+}
+
+TimerHandle Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+  ensure(delay >= 0, "Simulator::schedule_after negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerHandle Simulator::schedule_periodic(SimTime initial_delay, SimTime period,
+                                         std::function<void()> fn) {
+  ensure(period > 0, "Simulator::schedule_periodic non-positive period");
+  auto alive = std::make_shared<bool>(true);
+
+  // Each firing re-schedules the next occurrence while the handle is alive.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, alive, period, fn = std::move(fn), tick]() {
+    if (!*alive) return;
+    fn();
+    if (*alive) {
+      queue_.push(now_ + period, [tick]() { (*tick)(); });
+    }
+  };
+  queue_.push(now_ + initial_delay, [tick]() { (*tick)(); });
+  return TimerHandle(std::move(alive));
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    const SimTime at = queue_.next_time();
+    auto fn = queue_.pop();
+    ensure(at >= now_, "event queue time went backwards");
+    now_ = at;
+    fn();
+    ++executed;
+  }
+  if (queue_.empty() || (!stopped_ && queue_.next_time() > deadline)) {
+    // Advance the clock to the deadline so back-to-back run_until calls
+    // observe contiguous virtual time.
+    now_ = std::max(now_, deadline);
+  }
+  return executed;
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!stopped_ && !queue_.empty()) {
+    const SimTime at = queue_.next_time();
+    auto fn = queue_.pop();
+    ensure(at >= now_, "event queue time went backwards");
+    now_ = at;
+    fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace dataflasks::sim

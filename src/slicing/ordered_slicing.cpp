@@ -1,0 +1,124 @@
+#include "slicing/ordered_slicing.hpp"
+
+namespace dataflasks::slicing {
+
+namespace {
+
+// Exchange payload layout:
+//   u8   is_swap      (request: always 0; reply: 1 when the partner swapped)
+//   f64  attribute    (sender's attribute; unused in swap replies)
+//   u64  sender_id_for_tiebreak
+//   f64  random_value
+//   u64  proposal_seq (echoed in replies so the initiator can detect races)
+//   u32  slice_count, u64 epoch (piggybacked config)
+struct ExchangeMsg {
+  bool is_swap = false;
+  double attribute = 0.0;
+  NodeId sender;
+  double random_value = 0.0;
+  std::uint64_t proposal_seq = 0;
+  SliceConfig config;
+};
+
+std::optional<ExchangeMsg> decode_exchange(const net::Message& msg) {
+  Reader r(msg.payload);
+  ExchangeMsg out;
+  out.is_swap = r.boolean();
+  out.attribute = r.f64();
+  out.sender = r.node_id();
+  out.random_value = r.f64();
+  out.proposal_seq = r.u64();
+  out.config.slice_count = r.u32();
+  out.config.epoch = r.u64();
+  if (!r.finish().ok()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+OrderedSlicing::OrderedSlicing(NodeId self, double attribute,
+                               net::Transport& transport,
+                               pss::PeerSampling& pss, Rng rng,
+                               SliceConfig initial_config)
+    : self_(self),
+      attribute_(attribute),
+      transport_(transport),
+      pss_(pss),
+      rng_(rng),
+      random_value_(rng_.next_double()) {
+  config_ = initial_config;
+  init_announced_slice();
+}
+
+SliceId OrderedSlicing::raw_slice() const {
+  return rank_to_slice(random_value_, config_.slice_count);
+}
+
+bool OrderedSlicing::orders_before(double attr, NodeId id) const {
+  if (attribute_ != attr) return attribute_ < attr;
+  return self_ < id;
+}
+
+Bytes OrderedSlicing::encode_exchange(bool is_swap, double random_value,
+                                      std::uint64_t proposal_seq) const {
+  Writer w;
+  w.boolean(is_swap);
+  w.f64(attribute_);
+  w.node_id(self_);
+  w.f64(random_value);
+  w.u64(proposal_seq);
+  w.u32(config_.slice_count);
+  w.u64(config_.epoch);
+  return w.take();
+}
+
+void OrderedSlicing::tick() {
+  const auto peers = pss_.sample_peers(1);
+  if (peers.empty()) return;
+  transport_.send(net::Message{
+      self_, peers.front(), kRankExchangeRequest,
+      encode_exchange(false, random_value_, proposal_seq_)});
+}
+
+bool OrderedSlicing::handle(const net::Message& msg) {
+  if (msg.type != kRankExchangeRequest && msg.type != kRankExchangeReply) {
+    return false;
+  }
+  const auto exchange = decode_exchange(msg);
+  if (!exchange) return true;  // malformed: drop
+
+  adopt_config(exchange->config);
+
+  if (msg.type == kRankExchangeRequest) {
+    // Responder decides atomically whether the pair is misordered.
+    const bool i_order_first = orders_before(exchange->attribute,
+                                             exchange->sender);
+    const bool my_value_smaller = random_value_ < exchange->random_value;
+    const bool misordered = (i_order_first != my_value_smaller) &&
+                            random_value_ != exchange->random_value;
+    if (misordered) {
+      const double mine = random_value_;
+      random_value_ = exchange->random_value;  // adopt theirs
+      ++proposal_seq_;
+      transport_.send(net::Message{
+          self_, msg.src, kRankExchangeReply,
+          encode_exchange(true, mine, exchange->proposal_seq)});
+    } else {
+      transport_.send(net::Message{
+          self_, msg.src, kRankExchangeReply,
+          encode_exchange(false, random_value_, exchange->proposal_seq)});
+    }
+  } else if (exchange->is_swap) {
+    // Initiator: apply the swap only if our value did not change since the
+    // proposal (otherwise a rank value would be silently dropped).
+    if (exchange->proposal_seq == proposal_seq_) {
+      random_value_ = exchange->random_value;
+      ++proposal_seq_;
+    }
+  }
+
+  reevaluate();
+  return true;
+}
+
+}  // namespace dataflasks::slicing

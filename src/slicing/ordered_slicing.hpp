@@ -1,0 +1,52 @@
+// Ordered slicing (Jelasity & Kermarrec [13]): every node draws a uniform
+// random value r in [0,1); gossip partners whose (attribute, random-value)
+// orderings disagree swap random values. At convergence the random values
+// are sorted like the attributes, so r approximates the normalized rank and
+// floor(r * k) is the node's slice.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "pss/peer_sampling.hpp"
+#include "slicing/slicer.hpp"
+
+namespace dataflasks::slicing {
+
+constexpr std::uint16_t kRankExchangeRequest = net::kSlicingTypeBase + 0;
+constexpr std::uint16_t kRankExchangeReply = net::kSlicingTypeBase + 1;
+
+class OrderedSlicing final : public Slicer {
+ public:
+  /// `attribute`: the slicing criterion (storage capacity in the paper).
+  /// `pss`: source of random gossip partners.
+  OrderedSlicing(NodeId self, double attribute, net::Transport& transport,
+                 pss::PeerSampling& pss, Rng rng, SliceConfig initial_config);
+
+  void tick() override;
+  bool handle(const net::Message& msg) override;
+  [[nodiscard]] SliceId raw_slice() const override;
+  [[nodiscard]] double rank_estimate() const override { return random_value_; }
+  [[nodiscard]] double attribute() const override { return attribute_; }
+
+ private:
+  /// Total order on (attribute, node id): ties in attribute are broken by
+  /// id so every node has a distinct rank.
+  [[nodiscard]] bool orders_before(double attr, NodeId id) const;
+
+  [[nodiscard]] Bytes encode_exchange(bool is_swap, double random_value,
+                                      std::uint64_t proposal_seq) const;
+
+  NodeId self_;
+  double attribute_;
+  net::Transport& transport_;
+  pss::PeerSampling& pss_;
+  Rng rng_;
+  double random_value_;
+  /// Guards in-flight proposals: a reply only applies if we did not swap
+  /// with someone else in between (avoids losing rank values).
+  std::uint64_t proposal_seq_ = 0;
+};
+
+}  // namespace dataflasks::slicing

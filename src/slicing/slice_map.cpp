@@ -1,0 +1,22 @@
+#include "slicing/slice_map.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+#include "common/hash.hpp"
+
+namespace dataflasks::slicing {
+
+SliceId key_to_slice(const Key& key, std::uint32_t slice_count) {
+  ensure(slice_count > 0, "key_to_slice: zero slices");
+  return hash_to_bucket(stable_key_hash(key), slice_count);
+}
+
+SliceId rank_to_slice(double rank, std::uint32_t slice_count) {
+  ensure(slice_count > 0, "rank_to_slice: zero slices");
+  rank = std::clamp(rank, 0.0, 1.0);
+  const auto slice = static_cast<SliceId>(rank * slice_count);
+  return std::min(slice, slice_count - 1);
+}
+
+}  // namespace dataflasks::slicing

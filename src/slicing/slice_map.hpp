@@ -1,0 +1,35 @@
+// Pure slice-mapping functions shared by nodes and clients. Both sides must
+// agree exactly on key -> slice for routing to work, so this logic lives in
+// one place and is deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dataflasks::slicing {
+
+/// Maps an object key onto one of k slices via its stable hash (uniform
+/// range split of the 64-bit hash space).
+[[nodiscard]] SliceId key_to_slice(const Key& key, std::uint32_t slice_count);
+
+/// Maps a normalized attribute rank in [0,1] onto a slice index.
+/// rank == 1.0 maps to the last slice.
+[[nodiscard]] SliceId rank_to_slice(double rank, std::uint32_t slice_count);
+
+/// Slice configuration disseminated epidemically. Nodes adopt the config
+/// with the highest epoch, which lets an operator re-shard a live system
+/// (the paper's "dynamic configuration of the slicing mechanism", §IV-C).
+struct SliceConfig {
+  std::uint32_t slice_count = 1;
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const SliceConfig&, const SliceConfig&) = default;
+
+  /// True when `other` should replace this config.
+  [[nodiscard]] bool superseded_by(const SliceConfig& other) const {
+    return other.epoch > epoch;
+  }
+};
+
+}  // namespace dataflasks::slicing

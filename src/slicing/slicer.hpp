@@ -1,0 +1,126 @@
+// Distributed slicing interface (paper §II, §IV-A). A slicer autonomously
+// assigns its node to one of k slices ordered by a locally measured
+// attribute (storage capacity in the paper), using only gossip — no global
+// knowledge. Implementations: OrderedSlicing (rank-value swapping, [13]) and
+// Sliver (observed-attribute counting, [12]).
+#pragma once
+
+#include <algorithm>
+#include <functional>
+
+#include "net/message.hpp"
+#include "slicing/slice_map.hpp"
+
+namespace dataflasks::slicing {
+
+class Slicer {
+ public:
+  /// Fired when the node's slice assignment changes; DataFlasks uses it to
+  /// trigger state transfer (paper §VII).
+  using SliceChangeListener = std::function<void(SliceId from, SliceId to)>;
+
+  virtual ~Slicer() = default;
+
+  /// One gossip cycle.
+  virtual void tick() = 0;
+
+  /// Consumes slicing-protocol messages; false if the type is not ours.
+  virtual bool handle(const net::Message& msg) = 0;
+
+  /// Instantaneous slice implied by the current rank estimate and config.
+  /// Rank estimates jitter, so this can flap at slice boundaries.
+  [[nodiscard]] virtual SliceId raw_slice() const = 0;
+
+  /// The *announced* slice: raw_slice() filtered through hysteresis. This
+  /// is what routing, storage and replication key on — without damping, a
+  /// boundary node would flap between slices and thrash state transfer and
+  /// replica placement (the paper's §VII warning that careless slice moves
+  /// "can have a serious impact in performance and persistence").
+  [[nodiscard]] SliceId slice() const { return announced_slice_; }
+
+  /// Estimated normalized rank of this node's attribute, in [0,1).
+  [[nodiscard]] virtual double rank_estimate() const = 0;
+
+  /// The node's attribute (higher = more capacity = later slice).
+  [[nodiscard]] virtual double attribute() const = 0;
+
+  [[nodiscard]] const SliceConfig& config() const { return config_; }
+
+  /// Locally adopts a new config (higher epoch wins); piggybacked on gossip
+  /// so it spreads epidemically.
+  void adopt_config(const SliceConfig& candidate) {
+    if (config_.superseded_by(candidate)) {
+      config_ = candidate;
+      reevaluate();
+    }
+  }
+
+  void set_slice_change_listener(SliceChangeListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Evaluations a new raw slice must persist for before it is announced.
+  /// 1 disables damping (useful in unit tests).
+  void set_slice_hysteresis(std::uint32_t evaluations) {
+    hysteresis_ = evaluations == 0 ? 1 : evaluations;
+  }
+
+ protected:
+  /// Derived constructors call this once their rank state exists.
+  void init_announced_slice() { announced_slice_ = raw_slice(); }
+
+  /// Derived classes call this after every state mutation (tick or message).
+  ///
+  /// Rank estimates are noisy (jitter ~ 1/sqrt(observations)), which is the
+  /// same order as a slice's width for moderate k — so a plain raw_slice()
+  /// comparison flaps forever at boundaries. Two filters apply before a
+  /// change is announced:
+  ///  - spatial: the estimate must sit clearly *interior* to the new slice
+  ///    (margin fraction of the slice width away from both edges), and be
+  ///    seen `hysteresis_` consecutive times;
+  ///  - fallback: a node parked exactly on a boundary after a true shift
+  ///    still moves once the same new slice persists 10x longer.
+  void reevaluate() {
+    const SliceId raw = raw_slice();
+    if (raw == announced_slice_) {
+      pending_count_ = 0;
+      return;
+    }
+    if (raw != pending_slice_) {
+      pending_slice_ = raw;
+      pending_count_ = 1;
+    } else {
+      ++pending_count_;
+    }
+
+    const double width = 1.0 / static_cast<double>(config_.slice_count);
+    const double rank = std::clamp(rank_estimate(), 0.0, 1.0);
+    const double lower = static_cast<double>(raw) * width;
+    const bool clear_of_lower =
+        raw == 0 || rank >= lower + kBoundaryMargin * width;
+    const bool clear_of_upper = raw == config_.slice_count - 1 ||
+                                rank <= lower + width - kBoundaryMargin * width;
+    const bool interior = clear_of_lower && clear_of_upper;
+
+    if ((interior && pending_count_ >= hysteresis_) ||
+        pending_count_ >= 10 * hysteresis_) {
+      const SliceId from = announced_slice_;
+      announced_slice_ = raw;
+      pending_count_ = 0;
+      if (listener_) listener_(from, raw);
+    }
+  }
+
+  SliceConfig config_;
+
+ private:
+  static constexpr double kBoundaryMargin = 0.2;
+
+  SliceChangeListener listener_;
+  SliceId announced_slice_ = 0;
+  SliceId pending_slice_ = 0;
+  std::uint32_t pending_count_ = 0;
+  std::uint32_t hysteresis_ = 3;
+};
+
+}  // namespace dataflasks::slicing

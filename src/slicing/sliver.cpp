@@ -1,0 +1,129 @@
+#include "slicing/sliver.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dataflasks::slicing {
+
+namespace {
+
+struct SampleMsg {
+  NodeId sender;
+  double attribute = 0.0;
+  SliceConfig config;
+};
+
+std::optional<SampleMsg> decode_sample(const net::Message& msg) {
+  Reader r(msg.payload);
+  SampleMsg out;
+  out.sender = r.node_id();
+  out.attribute = r.f64();
+  out.config.slice_count = r.u32();
+  out.config.epoch = r.u64();
+  if (!r.finish().ok()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+Sliver::Sliver(NodeId self, double attribute, net::Transport& transport,
+               pss::PeerSampling& pss, Rng rng, SliceConfig initial_config,
+               SliverOptions options)
+    : self_(self),
+      attribute_(attribute),
+      transport_(transport),
+      pss_(pss),
+      rng_(rng),
+      options_(options) {
+  ensure(options_.window_capacity > 0, "Sliver: zero window");
+  config_ = initial_config;
+  init_announced_slice();
+}
+
+Bytes Sliver::encode_sample() const {
+  Writer w;
+  w.node_id(self_);
+  w.f64(attribute_);
+  w.u32(config_.slice_count);
+  w.u64(config_.epoch);
+  return w.take();
+}
+
+double Sliver::rank_estimate() const {
+  if (observations_.empty()) return 0.5;  // no information yet: middle
+  std::size_t before = 0;
+  for (const auto& [node, obs] : observations_) {
+    // Total order on (attribute, id) so equal capacities still get distinct
+    // ranks (ties broken by node id).
+    if (obs.attribute < attribute_ ||
+        (obs.attribute == attribute_ && node < self_)) {
+      ++before;
+    }
+  }
+  // +1 in the denominator counts this node itself in the population.
+  return static_cast<double>(before) /
+         static_cast<double>(observations_.size() + 1);
+}
+
+SliceId Sliver::raw_slice() const {
+  return rank_to_slice(rank_estimate(), config_.slice_count);
+}
+
+void Sliver::tick() {
+  expire_and_bound();
+  reevaluate();  // expiry can move the rank estimate
+  for (const NodeId peer : pss_.sample_peers(options_.gossip_fanout)) {
+    transport_.send(
+        net::Message{self_, peer, kSliverSampleRequest, encode_sample()});
+  }
+}
+
+bool Sliver::handle(const net::Message& msg) {
+  if (msg.type != kSliverSampleRequest && msg.type != kSliverSampleReply) {
+    return false;
+  }
+  const auto sample = decode_sample(msg);
+  if (!sample) return true;  // malformed: drop
+
+  adopt_config(sample->config);
+  observe(sample->sender, sample->attribute);
+
+  if (msg.type == kSliverSampleRequest) {
+    transport_.send(
+        net::Message{self_, msg.src, kSliverSampleReply, encode_sample()});
+  }
+
+  reevaluate();
+  return true;
+}
+
+void Sliver::observe(NodeId node, double attribute) {
+  if (node == self_) return;
+  observations_[node] = Observation{attribute, 0};
+}
+
+void Sliver::expire_and_bound() {
+  for (auto it = observations_.begin(); it != observations_.end();) {
+    if (++it->second.age > options_.max_observation_age) {
+      it = observations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Bound memory: evict the oldest observations beyond capacity.
+  if (observations_.size() > options_.window_capacity) {
+    std::vector<std::pair<NodeId, std::uint32_t>> by_age;
+    by_age.reserve(observations_.size());
+    for (const auto& [node, obs] : observations_) {
+      by_age.emplace_back(node, obs.age);
+    }
+    std::sort(by_age.begin(), by_age.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    const std::size_t excess = observations_.size() - options_.window_capacity;
+    for (std::size_t i = 0; i < excess; ++i) {
+      observations_.erase(by_age[i].first);
+    }
+  }
+}
+
+}  // namespace dataflasks::slicing

@@ -1,0 +1,65 @@
+// Sliver (Gramoli et al. [12]): rank estimation by counting. Each node
+// remembers a bounded sliding window of (node, attribute) pairs it has seen
+// through gossip and estimates its rank as the fraction of observed
+// attributes ordered before its own. Faster convergence than value swapping
+// and naturally self-healing under churn (stale observations expire).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "pss/peer_sampling.hpp"
+#include "slicing/slicer.hpp"
+
+namespace dataflasks::slicing {
+
+constexpr std::uint16_t kSliverSampleRequest = net::kSlicingTypeBase + 2;
+constexpr std::uint16_t kSliverSampleReply = net::kSlicingTypeBase + 3;
+
+struct SliverOptions {
+  /// Max remembered observations. Rank jitter ~ 1/(2 sqrt(window)), and a
+  /// node flaps when jitter approaches the slice width 1/k — size the
+  /// window for the largest k you expect.
+  std::size_t window_capacity = 384;
+  std::uint32_t max_observation_age = 192;  ///< ticks before expiry
+  std::size_t gossip_fanout = 1;  ///< partners contacted per tick
+};
+
+class Sliver final : public Slicer {
+ public:
+  Sliver(NodeId self, double attribute, net::Transport& transport,
+         pss::PeerSampling& pss, Rng rng, SliceConfig initial_config,
+         SliverOptions options = {});
+
+  void tick() override;
+  bool handle(const net::Message& msg) override;
+  [[nodiscard]] SliceId raw_slice() const override;
+  [[nodiscard]] double rank_estimate() const override;
+  [[nodiscard]] double attribute() const override { return attribute_; }
+
+  [[nodiscard]] std::size_t observation_count() const {
+    return observations_.size();
+  }
+
+ private:
+  struct Observation {
+    double attribute = 0.0;
+    std::uint32_t age = 0;
+  };
+
+  void observe(NodeId node, double attribute);
+  void expire_and_bound();
+  [[nodiscard]] Bytes encode_sample() const;
+
+  NodeId self_;
+  double attribute_;
+  net::Transport& transport_;
+  pss::PeerSampling& pss_;
+  Rng rng_;
+  SliverOptions options_;
+  std::unordered_map<NodeId, Observation> observations_;
+};
+
+}  // namespace dataflasks::slicing

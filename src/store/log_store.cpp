@@ -1,0 +1,269 @@
+#include "store/log_store.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/serialize.hpp"
+
+namespace dataflasks::store {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xDF1A5C05;
+constexpr std::size_t kHeaderSize = 3 * sizeof(std::uint32_t);
+
+Bytes encode_body(const Object& obj) {
+  Writer w;
+  w.str(obj.key);
+  w.u64(obj.version);
+  w.bytes(obj.value);
+  return w.take();
+}
+
+bool decode_body(const Bytes& body, Object& out) {
+  Reader r(body);
+  out.key = r.str();
+  out.version = r.u64();
+  out.value = r.bytes();
+  return r.finish().ok();
+}
+
+}  // namespace
+
+LogStore::LogStore(std::string path) : path_(std::move(path)) {
+  // "a+b" creates the file when missing but fseek/fread still work.
+  file_ = std::fopen(path_.c_str(), "a+b");
+  if (file_ == nullptr) {
+    open_status_ = Error::io("cannot open log file: " + path_);
+    return;
+  }
+  open_status_ = recover();
+}
+
+LogStore::~LogStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status LogStore::recover() {
+  std::fseek(file_, 0, SEEK_END);
+  const long end = std::ftell(file_);
+  if (end < 0) return Error::io("ftell failed on " + path_);
+
+  std::size_t pos = 0;
+  std::fseek(file_, 0, SEEK_SET);
+  while (pos + kHeaderSize <= static_cast<std::size_t>(end)) {
+    std::uint32_t header[3];
+    std::fseek(file_, static_cast<long>(pos), SEEK_SET);
+    if (std::fread(header, sizeof header, 1, file_) != 1) break;
+    const std::uint32_t magic = header[0];
+    const std::uint32_t crc = header[1];
+    const std::uint32_t body_len = header[2];
+    if (magic != kMagic) break;
+    if (pos + kHeaderSize + body_len > static_cast<std::size_t>(end)) {
+      break;  // torn write: record promises more bytes than exist
+    }
+
+    Bytes body(body_len);
+    if (body_len > 0 && std::fread(body.data(), body_len, 1, file_) != 1) {
+      break;
+    }
+    if (crc32(body.data(), body.size()) != crc) break;  // corrupt record
+
+    Object obj;
+    if (!decode_body(body, obj)) break;
+
+    Slot slot{pos + kHeaderSize, body_len};
+    auto& versions = index_[obj.key];
+    if (!versions.contains(obj.version)) {
+      ++object_count_;
+      value_bytes_ += obj.value.size();
+    }
+    versions[obj.version] = slot;  // later duplicate records win (same data)
+    pos += kHeaderSize + body_len;
+  }
+  log_end_ = pos;
+  // Position for appends; the torn tail (if any) is overwritten by compact().
+  std::fseek(file_, 0, SEEK_END);
+  return Status::ok_status();
+}
+
+Status LogStore::append_record(const Object& obj, Slot& out) {
+  const Bytes body = encode_body(obj);
+  const std::uint32_t header[3] = {
+      kMagic, crc32(body.data(), body.size()),
+      static_cast<std::uint32_t>(body.size())};
+
+  std::fseek(file_, 0, SEEK_END);
+  const long at = std::ftell(file_);
+  if (at < 0) return Error::io("ftell failed on " + path_);
+  if (std::fwrite(header, sizeof header, 1, file_) != 1 ||
+      (!body.empty() && std::fwrite(body.data(), body.size(), 1, file_) != 1)) {
+    return Error::io("append failed on " + path_);
+  }
+  out = Slot{static_cast<std::size_t>(at) + kHeaderSize,
+             static_cast<std::uint32_t>(body.size())};
+  log_end_ = static_cast<std::size_t>(at) + kHeaderSize + body.size();
+  return Status::ok_status();
+}
+
+Result<Object> LogStore::read_record(const Slot& slot) const {
+  Bytes body(slot.body_len);
+  std::fseek(file_, static_cast<long>(slot.offset), SEEK_SET);
+  if (slot.body_len > 0 &&
+      std::fread(body.data(), slot.body_len, 1, file_) != 1) {
+    return Error::io("short read at offset " + std::to_string(slot.offset));
+  }
+  Object obj;
+  if (!decode_body(body, obj)) {
+    return Error::decode("corrupt record at offset " +
+                         std::to_string(slot.offset));
+  }
+  return obj;
+}
+
+Status LogStore::put(const Object& obj) {
+  if (!open_status_.ok()) return open_status_;
+  auto& versions = index_[obj.key];
+  const auto it = versions.find(obj.version);
+  if (it != versions.end()) {
+    // Idempotence / conflict check against the stored record.
+    auto existing = read_record(it->second);
+    if (!existing.ok()) return existing.error();
+    if (existing.value().value != obj.value) {
+      return Error::conflict("different value for existing version of key '" +
+                             obj.key + "'");
+    }
+    return Status::ok_status();
+  }
+
+  Slot slot;
+  if (Status s = append_record(obj, slot); !s.ok()) return s;
+  versions[obj.version] = slot;
+  ++object_count_;
+  value_bytes_ += obj.value.size();
+  return Status::ok_status();
+}
+
+Result<Object> LogStore::get(const Key& key,
+                             std::optional<Version> version) const {
+  const auto it = index_.find(key);
+  if (it == index_.end() || it->second.empty()) {
+    return Error::not_found("no such key: " + key);
+  }
+  const auto& versions = it->second;
+  if (!version) return read_record(versions.rbegin()->second);
+  const auto vit = versions.find(*version);
+  if (vit == versions.end()) {
+    return Error::not_found("no such version of key: " + key);
+  }
+  return read_record(vit->second);
+}
+
+bool LogStore::contains(const Key& key, Version version) const {
+  const auto it = index_.find(key);
+  return it != index_.end() && it->second.contains(version);
+}
+
+std::vector<DigestEntry> LogStore::digest() const {
+  std::vector<DigestEntry> out;
+  out.reserve(object_count_);
+  for (const auto& [key, versions] : index_) {
+    for (const auto& [version, _] : versions) {
+      out.push_back(DigestEntry{key, version});
+    }
+  }
+  return out;
+}
+
+std::vector<Object> LogStore::all() const {
+  std::vector<Object> out;
+  out.reserve(object_count_);
+  for (const auto& [key, versions] : index_) {
+    for (const auto& [_, slot] : versions) {
+      auto obj = read_record(slot);
+      if (obj.ok()) out.push_back(std::move(obj).value());
+    }
+  }
+  return out;
+}
+
+std::size_t LogStore::remove_keys_where(
+    const std::function<bool(const Key&)>& predicate) {
+  std::size_t removed = 0;
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (predicate(it->first)) {
+      removed += it->second.size();
+      object_count_ -= it->second.size();
+      for (const auto& [_, slot] : it->second) {
+        // Value length = body minus key-length field, key, version and
+        // value-length field.
+        const std::size_t overhead =
+            sizeof(std::uint32_t) + it->first.size() + sizeof(std::uint64_t) +
+            sizeof(std::uint32_t);
+        value_bytes_ -= slot.body_len >= overhead ? slot.body_len - overhead : 0;
+      }
+      it = index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The log itself still holds the records; compact() reclaims the space.
+  return removed;
+}
+
+Result<std::size_t> LogStore::compact() {
+  if (!open_status_.ok()) return open_status_.error();
+  const std::string tmp_path = path_ + ".compact";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (tmp == nullptr) return Error::io("cannot open " + tmp_path);
+
+  const std::size_t before = log_end_;
+  std::unordered_map<Key, std::map<Version, Slot>> new_index;
+  std::size_t new_end = 0;
+  for (const auto& [key, versions] : index_) {
+    for (const auto& [version, slot] : versions) {
+      auto obj = read_record(slot);
+      if (!obj.ok()) continue;  // skip unreadable (shouldn't happen)
+      const Bytes body = encode_body(obj.value());
+      const std::uint32_t header[3] = {
+          kMagic, crc32(body.data(), body.size()),
+          static_cast<std::uint32_t>(body.size())};
+      if (std::fwrite(header, sizeof header, 1, tmp) != 1 ||
+          (!body.empty() &&
+           std::fwrite(body.data(), body.size(), 1, tmp) != 1)) {
+        std::fclose(tmp);
+        std::remove(tmp_path.c_str());
+        return Error::io("write failed during compaction");
+      }
+      new_index[key][version] = Slot{new_end + kHeaderSize,
+                                     static_cast<std::uint32_t>(body.size())};
+      new_end += kHeaderSize + body.size();
+    }
+  }
+  std::fclose(tmp);
+
+  std::fclose(file_);
+  file_ = nullptr;
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    // Try to reopen the original so the store stays usable.
+    file_ = std::fopen(path_.c_str(), "a+b");
+    return Error::io("rename failed during compaction");
+  }
+  file_ = std::fopen(path_.c_str(), "a+b");
+  if (file_ == nullptr) {
+    open_status_ = Error::io("cannot reopen after compaction: " + path_);
+    return open_status_.error();
+  }
+  index_ = std::move(new_index);
+  log_end_ = new_end;
+  return before > new_end ? before - new_end : std::size_t{0};
+}
+
+Status LogStore::sync() {
+  if (!open_status_.ok()) return open_status_;
+  if (std::fflush(file_) != 0) return Error::io("fflush failed on " + path_);
+  return Status::ok_status();
+}
+
+}  // namespace dataflasks::store

@@ -1,0 +1,78 @@
+// Log-structured persistent Data Store: an append-only record log with an
+// in-memory index, CRC-validated recovery and offline compaction. This is
+// the "node hard disk" persistence mechanism the paper's Data Store
+// abstraction points at (§V).
+//
+// Record layout (little-endian):
+//   u32 magic | u32 crc_of_body | u32 body_len | body
+//   body = u32 key_len | key | u64 version | u32 value_len | value
+// Recovery scans the log, skipping the tail after the first corrupt or
+// truncated record (torn write on crash).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "store/store.hpp"
+
+namespace dataflasks::store {
+
+class LogStore final : public Store {
+ public:
+  /// Opens (creating if absent) the log at `path` and rebuilds the index.
+  /// Check `open_status()` before use.
+  explicit LogStore(std::string path);
+  ~LogStore() override;
+
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  [[nodiscard]] const Status& open_status() const { return open_status_; }
+
+  Status put(const Object& obj) override;
+  [[nodiscard]] Result<Object> get(
+      const Key& key, std::optional<Version> version) const override;
+  [[nodiscard]] bool contains(const Key& key, Version version) const override;
+  [[nodiscard]] std::vector<DigestEntry> digest() const override;
+  [[nodiscard]] std::vector<Object> all() const override;
+  std::size_t remove_keys_where(
+      const std::function<bool(const Key&)>& predicate) override;
+  [[nodiscard]] std::size_t object_count() const override {
+    return object_count_;
+  }
+  [[nodiscard]] std::size_t value_bytes() const override {
+    return value_bytes_;
+  }
+
+  /// Rewrites the log keeping only indexed records (drops removed objects
+  /// and torn tails). Returns bytes reclaimed.
+  Result<std::size_t> compact();
+
+  /// Flushes buffered appends to the OS.
+  Status sync();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t log_bytes() const { return log_end_; }
+
+ private:
+  struct Slot {
+    std::size_t offset = 0;    ///< file offset of the record body
+    std::uint32_t body_len = 0;
+  };
+
+  Status recover();
+  Status append_record(const Object& obj, Slot& out);
+  [[nodiscard]] Result<Object> read_record(const Slot& slot) const;
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  Status open_status_;
+  std::unordered_map<Key, std::map<Version, Slot>> index_;
+  std::size_t log_end_ = 0;
+  std::size_t object_count_ = 0;
+  std::size_t value_bytes_ = 0;
+};
+
+}  // namespace dataflasks::store

@@ -1,0 +1,90 @@
+#include "store/memstore.hpp"
+
+namespace dataflasks::store {
+
+Status MemStore::put(const Object& obj) {
+  auto& versions = data_[obj.key];
+  const auto it = versions.find(obj.version);
+  if (it != versions.end()) {
+    if (it->second != obj.value) {
+      return Error::conflict("different value for existing version of key '" +
+                             obj.key + "'");
+    }
+    return Status::ok_status();  // idempotent re-store
+  }
+  versions.emplace(obj.version, obj.value);
+  ++object_count_;
+  value_bytes_ += obj.value.size();
+  return Status::ok_status();
+}
+
+Result<Object> MemStore::get(const Key& key,
+                             std::optional<Version> version) const {
+  const auto it = data_.find(key);
+  if (it == data_.end() || it->second.empty()) {
+    return Error::not_found("no such key: " + key);
+  }
+  const auto& versions = it->second;
+  if (!version) {
+    const auto& [v, value] = *versions.rbegin();
+    return Object{key, v, value};
+  }
+  const auto vit = versions.find(*version);
+  if (vit == versions.end()) {
+    return Error::not_found("no such version of key: " + key);
+  }
+  return Object{key, vit->first, vit->second};
+}
+
+bool MemStore::contains(const Key& key, Version version) const {
+  const auto it = data_.find(key);
+  return it != data_.end() && it->second.contains(version);
+}
+
+std::vector<DigestEntry> MemStore::digest() const {
+  std::vector<DigestEntry> out;
+  out.reserve(object_count_);
+  for (const auto& [key, versions] : data_) {
+    for (const auto& [version, _] : versions) {
+      out.push_back(DigestEntry{key, version});
+    }
+  }
+  return out;
+}
+
+std::vector<Object> MemStore::all() const {
+  std::vector<Object> out;
+  out.reserve(object_count_);
+  for (const auto& [key, versions] : data_) {
+    for (const auto& [version, value] : versions) {
+      out.push_back(Object{key, version, value});
+    }
+  }
+  return out;
+}
+
+std::size_t MemStore::remove_keys_where(
+    const std::function<bool(const Key&)>& predicate) {
+  std::size_t removed = 0;
+  for (auto it = data_.begin(); it != data_.end();) {
+    if (predicate(it->first)) {
+      removed += it->second.size();
+      object_count_ -= it->second.size();
+      for (const auto& [_, value] : it->second) {
+        value_bytes_ -= value.size();
+      }
+      it = data_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void MemStore::clear() {
+  data_.clear();
+  object_count_ = 0;
+  value_bytes_ = 0;
+}
+
+}  // namespace dataflasks::store

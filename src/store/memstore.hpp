@@ -1,0 +1,42 @@
+// In-memory versioned store: the default Data Store in simulations, where a
+// node crash is expected to lose state (durability then comes from the
+// other replicas in the slice, which is exactly what churn benches measure).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "store/store.hpp"
+
+namespace dataflasks::store {
+
+class MemStore final : public Store {
+ public:
+  MemStore() = default;
+
+  Status put(const Object& obj) override;
+  [[nodiscard]] Result<Object> get(
+      const Key& key, std::optional<Version> version) const override;
+  [[nodiscard]] bool contains(const Key& key, Version version) const override;
+  [[nodiscard]] std::vector<DigestEntry> digest() const override;
+  [[nodiscard]] std::vector<Object> all() const override;
+  std::size_t remove_keys_where(
+      const std::function<bool(const Key&)>& predicate) override;
+  [[nodiscard]] std::size_t object_count() const override {
+    return object_count_;
+  }
+  [[nodiscard]] std::size_t value_bytes() const override {
+    return value_bytes_;
+  }
+
+  void clear();
+
+ private:
+  // Ordered inner map: "latest version" is rbegin(), and digests come out
+  // deterministically ordered for stable tests.
+  std::unordered_map<Key, std::map<Version, Bytes>> data_;
+  std::size_t object_count_ = 0;
+  std::size_t value_bytes_ = 0;
+};
+
+}  // namespace dataflasks::store

@@ -1,0 +1,31 @@
+#include "store/object.hpp"
+
+namespace dataflasks::store {
+
+void encode(Writer& w, const Object& obj) {
+  w.str(obj.key);
+  w.u64(obj.version);
+  w.bytes(obj.value);
+}
+
+Object decode_object(Reader& r) {
+  Object obj;
+  obj.key = r.str();
+  obj.version = r.u64();
+  obj.value = r.bytes();
+  return obj;
+}
+
+void encode(Writer& w, const DigestEntry& entry) {
+  w.str(entry.key);
+  w.u64(entry.version);
+}
+
+DigestEntry decode_digest_entry(Reader& r) {
+  DigestEntry entry;
+  entry.key = r.str();
+  entry.version = r.u64();
+  return entry;
+}
+
+}  // namespace dataflasks::store

@@ -1,0 +1,37 @@
+// The unit DataFlasks stores: a versioned key-value object. Versions are
+// assigned by the upper layer (DataDroplets in STRATUS); DataFlasks never
+// resolves conflicts itself — puts on the same key are totally ordered
+// before they reach us (paper §III).
+#pragma once
+
+#include <cstdint>
+
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace dataflasks::store {
+
+struct Object {
+  Key key;
+  Version version = 0;
+  Bytes value;
+
+  friend bool operator==(const Object&, const Object&) = default;
+};
+
+/// Compact identity of an object: what anti-entropy digests carry.
+struct DigestEntry {
+  Key key;
+  Version version = 0;
+
+  friend bool operator==(const DigestEntry&, const DigestEntry&) = default;
+  friend auto operator<=>(const DigestEntry&, const DigestEntry&) = default;
+};
+
+void encode(Writer& w, const Object& obj);
+[[nodiscard]] Object decode_object(Reader& r);
+
+void encode(Writer& w, const DigestEntry& entry);
+[[nodiscard]] DigestEntry decode_digest_entry(Reader& r);
+
+}  // namespace dataflasks::store

@@ -1,0 +1,47 @@
+// Data Store abstraction (paper §V): "an abstraction of the actual storing
+// mechanism which can be the node hard disk or other persistence mechanism".
+// DataFlasks keeps every version it receives; gets address a specific
+// version or the latest known one.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/result.hpp"
+#include "store/object.hpp"
+
+namespace dataflasks::store {
+
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  /// Stores an object. Re-storing the same (key, version) is idempotent;
+  /// a different value for an existing (key, version) is a conflict (the
+  /// upper layer guarantees this never happens, so we surface it loudly).
+  virtual Status put(const Object& obj) = 0;
+
+  /// `version == nullopt` means "latest stored version".
+  [[nodiscard]] virtual Result<Object> get(
+      const Key& key, std::optional<Version> version) const = 0;
+
+  [[nodiscard]] virtual bool contains(const Key& key,
+                                      Version version) const = 0;
+
+  /// Every (key, version) held; the anti-entropy digest source.
+  [[nodiscard]] virtual std::vector<DigestEntry> digest() const = 0;
+
+  /// All stored objects in unspecified order (state transfer snapshots).
+  [[nodiscard]] virtual std::vector<Object> all() const = 0;
+
+  /// Removes objects for which `predicate(key)` is true (e.g. dropping data
+  /// outside the node's slice after a slice change). Returns removed count.
+  virtual std::size_t remove_keys_where(
+      const std::function<bool(const Key&)>& predicate) = 0;
+
+  [[nodiscard]] virtual std::size_t object_count() const = 0;
+  [[nodiscard]] virtual std::size_t value_bytes() const = 0;
+};
+
+}  // namespace dataflasks::store

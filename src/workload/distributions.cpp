@@ -1,0 +1,98 @@
+#include "workload/distributions.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "common/hash.hpp"
+
+namespace dataflasks::workload {
+
+UniformDistribution::UniformDistribution(std::uint64_t item_count)
+    : count_(item_count) {
+  ensure(count_ > 0, "UniformDistribution: zero items");
+}
+
+std::uint64_t UniformDistribution::next(Rng& rng) {
+  return rng.next_below(count_);
+}
+
+void UniformDistribution::grow(std::uint64_t new_item_count) {
+  ensure(new_item_count >= count_, "distribution cannot shrink");
+  count_ = new_item_count;
+}
+
+ZipfianDistribution::ZipfianDistribution(std::uint64_t item_count,
+                                         double theta)
+    : count_(item_count), theta_(theta) {
+  ensure(count_ > 0, "ZipfianDistribution: zero items");
+  ensure(theta_ > 0.0 && theta_ < 1.0, "ZipfianDistribution: theta in (0,1)");
+  recompute();
+}
+
+double ZipfianDistribution::zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+void ZipfianDistribution::recompute() {
+  zeta2theta_ = zeta(2, theta_);
+  zetan_ = zeta(count_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(count_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+std::uint64_t ZipfianDistribution::next(Rng& rng) {
+  // Gray et al. "Quickly generating billion-record synthetic databases",
+  // as used by YCSB's ZipfianGenerator.
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto idx = static_cast<std::uint64_t>(
+      static_cast<double>(count_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return idx >= count_ ? count_ - 1 : idx;
+}
+
+void ZipfianDistribution::grow(std::uint64_t new_item_count) {
+  ensure(new_item_count >= count_, "distribution cannot shrink");
+  if (new_item_count == count_) return;
+  count_ = new_item_count;
+  // Full recompute: O(n). Callers that grow per insert (Latest) accept this
+  // for the modest item counts simulations use.
+  recompute();
+}
+
+ScrambledZipfianDistribution::ScrambledZipfianDistribution(
+    std::uint64_t item_count)
+    : count_(item_count), zipf_(item_count) {}
+
+std::uint64_t ScrambledZipfianDistribution::next(Rng& rng) {
+  std::uint64_t state = zipf_.next(rng) + 0x9a3c974ab1UL;
+  return splitmix64(state) % count_;
+}
+
+void ScrambledZipfianDistribution::grow(std::uint64_t new_item_count) {
+  zipf_.grow(new_item_count);
+  count_ = new_item_count;
+}
+
+LatestDistribution::LatestDistribution(std::uint64_t item_count)
+    : count_(item_count), zipf_(item_count) {}
+
+std::uint64_t LatestDistribution::next(Rng& rng) {
+  const std::uint64_t offset = zipf_.next(rng);
+  // Most popular = most recent (highest index).
+  return count_ - 1 - (offset >= count_ ? count_ - 1 : offset);
+}
+
+void LatestDistribution::grow(std::uint64_t new_item_count) {
+  zipf_.grow(new_item_count);
+  count_ = new_item_count;
+}
+
+}  // namespace dataflasks::workload

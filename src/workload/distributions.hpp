@@ -1,0 +1,87 @@
+// Key-choice distributions mirroring the YCSB core generators [26]:
+// uniform, zipfian (Gray's method with precomputed zeta), scrambled zipfian
+// and latest. DataFlasks' evaluation uses YCSB as the request driver, so
+// these reproduce the same op streams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace dataflasks::workload {
+
+class IntegerDistribution {
+ public:
+  virtual ~IntegerDistribution() = default;
+
+  /// Next item index in [0, item_count).
+  virtual std::uint64_t next(Rng& rng) = 0;
+
+  /// Informs the distribution that the item space grew (inserts).
+  virtual void grow(std::uint64_t new_item_count) = 0;
+
+  [[nodiscard]] virtual std::uint64_t item_count() const = 0;
+};
+
+class UniformDistribution final : public IntegerDistribution {
+ public:
+  explicit UniformDistribution(std::uint64_t item_count);
+  std::uint64_t next(Rng& rng) override;
+  void grow(std::uint64_t new_item_count) override;
+  [[nodiscard]] std::uint64_t item_count() const override { return count_; }
+
+ private:
+  std::uint64_t count_;
+};
+
+/// YCSB's ZipfianGenerator: skewed access where item 0 is the most popular.
+/// theta defaults to YCSB's 0.99.
+class ZipfianDistribution final : public IntegerDistribution {
+ public:
+  explicit ZipfianDistribution(std::uint64_t item_count, double theta = 0.99);
+  std::uint64_t next(Rng& rng) override;
+  void grow(std::uint64_t new_item_count) override;
+  [[nodiscard]] std::uint64_t item_count() const override { return count_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+ private:
+  void recompute();
+  [[nodiscard]] static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t count_;
+  double theta_;
+  double alpha_ = 0.0;
+  double zetan_ = 0.0;
+  double eta_ = 0.0;
+  double zeta2theta_ = 0.0;
+};
+
+/// Zipfian popularity spread over the whole key space via hashing, so the
+/// hot items are not clustered at low indices (YCSB ScrambledZipfian).
+class ScrambledZipfianDistribution final : public IntegerDistribution {
+ public:
+  explicit ScrambledZipfianDistribution(std::uint64_t item_count);
+  std::uint64_t next(Rng& rng) override;
+  void grow(std::uint64_t new_item_count) override;
+  [[nodiscard]] std::uint64_t item_count() const override { return count_; }
+
+ private:
+  std::uint64_t count_;
+  ZipfianDistribution zipf_;
+};
+
+/// YCSB's Latest: most recently inserted items are the most popular.
+class LatestDistribution final : public IntegerDistribution {
+ public:
+  explicit LatestDistribution(std::uint64_t item_count);
+  std::uint64_t next(Rng& rng) override;
+  void grow(std::uint64_t new_item_count) override;
+  [[nodiscard]] std::uint64_t item_count() const override { return count_; }
+
+ private:
+  std::uint64_t count_;
+  ZipfianDistribution zipf_;
+};
+
+}  // namespace dataflasks::workload

@@ -1,0 +1,127 @@
+#include "workload/ycsb.hpp"
+
+#include "common/ensure.hpp"
+#include "common/hash.hpp"
+
+namespace dataflasks::workload {
+
+WorkloadSpec WorkloadSpec::A() {
+  WorkloadSpec s;
+  s.name = "ycsb-a";
+  s.read_proportion = 0.5;
+  s.update_proportion = 0.5;
+  s.distribution = KeyDistribution::kZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::B() {
+  WorkloadSpec s;
+  s.name = "ycsb-b";
+  s.read_proportion = 0.95;
+  s.update_proportion = 0.05;
+  s.distribution = KeyDistribution::kZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::C() {
+  WorkloadSpec s;
+  s.name = "ycsb-c";
+  s.read_proportion = 1.0;
+  s.distribution = KeyDistribution::kZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::D() {
+  WorkloadSpec s;
+  s.name = "ycsb-d";
+  s.read_proportion = 0.95;
+  s.insert_proportion = 0.05;
+  s.distribution = KeyDistribution::kLatest;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::F() {
+  WorkloadSpec s;
+  s.name = "ycsb-f";
+  s.read_proportion = 0.5;
+  s.rmw_proportion = 0.5;
+  s.distribution = KeyDistribution::kZipfian;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::write_only() {
+  WorkloadSpec s;
+  s.name = "write-only";
+  s.update_proportion = 1.0;
+  s.distribution = KeyDistribution::kUniform;
+  return s;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, Rng rng)
+    : spec_(std::move(spec)), rng_(rng), insert_cursor_(spec_.record_count) {
+  ensure(spec_.record_count > 0, "workload: zero records");
+  const double total = spec_.read_proportion + spec_.update_proportion +
+                       spec_.insert_proportion + spec_.rmw_proportion;
+  ensure(total > 0.999 && total < 1.001, "workload proportions must sum to 1");
+
+  switch (spec_.distribution) {
+    case KeyDistribution::kUniform:
+      chooser_ = std::make_unique<UniformDistribution>(spec_.record_count);
+      break;
+    case KeyDistribution::kZipfian:
+      chooser_ = std::make_unique<ZipfianDistribution>(spec_.record_count);
+      break;
+    case KeyDistribution::kScrambledZipfian:
+      chooser_ =
+          std::make_unique<ScrambledZipfianDistribution>(spec_.record_count);
+      break;
+    case KeyDistribution::kLatest:
+      chooser_ = std::make_unique<LatestDistribution>(spec_.record_count);
+      break;
+  }
+}
+
+Key WorkloadGenerator::key_for(std::uint64_t index) {
+  // YCSB hashes the index so adjacent records are spread over the key space.
+  std::uint64_t state = index;
+  return "user" + std::to_string(splitmix64(state));
+}
+
+std::vector<Op> WorkloadGenerator::load_phase() const {
+  std::vector<Op> ops;
+  ops.reserve(spec_.record_count);
+  for (std::uint64_t i = 0; i < spec_.record_count; ++i) {
+    ops.push_back(Op{OpKind::kInsert, key_for(i), spec_.value_size});
+  }
+  return ops;
+}
+
+OpKind WorkloadGenerator::choose_kind() {
+  double p = rng_.next_double();
+  if ((p -= spec_.read_proportion) < 0) return OpKind::kRead;
+  if ((p -= spec_.update_proportion) < 0) return OpKind::kUpdate;
+  if ((p -= spec_.insert_proportion) < 0) return OpKind::kInsert;
+  return OpKind::kReadModifyWrite;
+}
+
+Op WorkloadGenerator::next() {
+  const OpKind kind = choose_kind();
+  if (kind == OpKind::kInsert) {
+    const std::uint64_t index = insert_cursor_++;
+    chooser_->grow(insert_cursor_);
+    return Op{OpKind::kInsert, key_for(index), spec_.value_size};
+  }
+  const std::uint64_t index = chooser_->next(rng_);
+  return Op{kind, key_for(index), spec_.value_size};
+}
+
+std::vector<Op> WorkloadGenerator::transaction_phase() {
+  std::vector<Op> ops;
+  ops.reserve(spec_.operation_count);
+  for (std::size_t i = 0; i < spec_.operation_count; ++i) {
+    ops.push_back(next());
+  }
+  return ops;
+}
+
+}  // namespace dataflasks::workload

@@ -1,0 +1,80 @@
+// YCSB-style workload specifications and op-stream generation [26].
+// Standard mixes A-D and F are provided plus the write-only workload the
+// DataFlasks evaluation uses ("We ran YCSB configured for a write only
+// workload", §VI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "workload/distributions.hpp"
+
+namespace dataflasks::workload {
+
+enum class OpKind : std::uint8_t {
+  kRead,
+  kUpdate,           ///< write a new version of an existing record
+  kInsert,           ///< write a brand-new record
+  kReadModifyWrite,  ///< read then update the same record
+};
+
+struct Op {
+  OpKind kind = OpKind::kRead;
+  Key key;
+  std::size_t value_size = 0;
+};
+
+enum class KeyDistribution { kUniform, kZipfian, kScrambledZipfian, kLatest };
+
+struct WorkloadSpec {
+  std::string name = "custom";
+  std::size_t record_count = 1000;
+  std::size_t operation_count = 1000;
+  double read_proportion = 0.0;
+  double update_proportion = 0.0;
+  double insert_proportion = 0.0;
+  double rmw_proportion = 0.0;
+  KeyDistribution distribution = KeyDistribution::kZipfian;
+  std::size_t value_size = 100;
+
+  /// Standard YCSB presets.
+  [[nodiscard]] static WorkloadSpec A();  ///< update heavy: 50/50 r/u, zipf
+  [[nodiscard]] static WorkloadSpec B();  ///< read mostly: 95/5 r/u, zipf
+  [[nodiscard]] static WorkloadSpec C();  ///< read only, zipf
+  [[nodiscard]] static WorkloadSpec D();  ///< read latest: 95/5 r/i, latest
+  [[nodiscard]] static WorkloadSpec F();  ///< read-modify-write 50/50, zipf
+  /// The paper's evaluation workload: 100% writes.
+  [[nodiscard]] static WorkloadSpec write_only();
+};
+
+/// Deterministic op-stream generator for one logical YCSB client.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadSpec spec, Rng rng);
+
+  /// YCSB-style record key ("user" + hashed index).
+  [[nodiscard]] static Key key_for(std::uint64_t index);
+
+  /// The load phase: one insert per initial record.
+  [[nodiscard]] std::vector<Op> load_phase() const;
+
+  /// Next transaction-phase operation.
+  [[nodiscard]] Op next();
+
+  /// Whole transaction phase (operation_count ops).
+  [[nodiscard]] std::vector<Op> transaction_phase();
+
+  [[nodiscard]] const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  [[nodiscard]] OpKind choose_kind();
+
+  WorkloadSpec spec_;
+  Rng rng_;
+  std::unique_ptr<IntegerDistribution> chooser_;
+  std::uint64_t insert_cursor_;  ///< next fresh record index for inserts
+};
+
+}  // namespace dataflasks::workload

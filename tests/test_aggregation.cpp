@@ -1,0 +1,154 @@
+// Size-estimator tests: extrema-propagation accuracy across system sizes
+// (TEST_P sweep), epoch synchronisation, churn adaptivity and the derived
+// ln(N)+c fanout.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aggregation/size_estimator.hpp"
+#include "pss/cyclon.hpp"
+#include "test_util.hpp"
+
+namespace dataflasks::aggregation {
+namespace {
+
+using testing::SimBundle;
+
+struct EstimatorNode {
+  std::unique_ptr<pss::Cyclon> pss;
+  std::unique_ptr<SizeEstimator> estimator;
+};
+
+std::vector<EstimatorNode> make_overlay(SimBundle& bundle, std::size_t count,
+                                        SizeEstimatorOptions options = {}) {
+  std::vector<EstimatorNode> nodes(count);
+  Rng seeder(1234);
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes[i].pss = std::make_unique<pss::Cyclon>(
+        NodeId(i), *bundle.transport, Rng(seeder.next_u64()),
+        pss::CyclonOptions{});
+    nodes[i].estimator = std::make_unique<SizeEstimator>(
+        NodeId(i), *bundle.transport, *nodes[i].pss, Rng(seeder.next_u64()),
+        options);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes[i].pss->bootstrap({NodeId((i + 1) % count), NodeId((i + 5) % count)});
+    auto* node = &nodes[i];
+    bundle.transport->register_handler(
+        NodeId(i), [node](const net::Message& msg) {
+          if (node->pss->handle(msg)) return;
+          node->estimator->handle(msg);
+        });
+    bundle.simulator.schedule_periodic(
+        bundle.simulator.rng().next_in(0, kSeconds), kSeconds, [node]() {
+          node->pss->tick();
+          node->estimator->tick();
+        });
+  }
+  return nodes;
+}
+
+class SizeEstimatorSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SizeEstimatorSweep, EstimatesWithinTwentyPercent) {
+  const std::size_t n = GetParam();
+  SimBundle bundle(0x51 + n);
+  auto nodes = make_overlay(bundle, n);
+  // Two full epochs (epoch_length=32 ticks at 1s) plus settling.
+  bundle.run_for(100 * kSeconds);
+
+  double total = 0.0;
+  for (const auto& node : nodes) total += node.estimator->estimate();
+  const double mean = total / static_cast<double>(n);
+  EXPECT_NEAR(mean, static_cast<double>(n), 0.2 * static_cast<double>(n))
+      << "mean estimate " << mean << " for true size " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeEstimatorSweep,
+                         ::testing::Values(30, 100, 300),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(SizeEstimatorTest, NodesAgreeWithEachOther) {
+  SimBundle bundle(0x52);
+  auto nodes = make_overlay(bundle, 100);
+  bundle.run_for(100 * kSeconds);
+
+  // Extrema propagation converges every node to the same minima vector, so
+  // estimates across nodes should be near-identical within an epoch.
+  double lo = 1e18, hi = 0.0;
+  for (const auto& node : nodes) {
+    lo = std::min(lo, node.estimator->estimate());
+    hi = std::max(hi, node.estimator->estimate());
+  }
+  EXPECT_LT(hi / lo, 1.5);
+}
+
+TEST(SizeEstimatorTest, FanoutMatchesLnN) {
+  SimBundle bundle(0x53);
+  auto nodes = make_overlay(bundle, 200);
+  bundle.run_for(100 * kSeconds);
+
+  // ln(200) ~ 5.3; with c = 1, fanout should land on ceil(5.3+1) = 7 (+-1
+  // for estimation error).
+  const std::size_t fanout = nodes[0].estimator->estimated_fanout(1.0);
+  EXPECT_GE(fanout, 6u);
+  EXPECT_LE(fanout, 8u);
+}
+
+TEST(SizeEstimatorTest, TracksShrinkingSystem) {
+  SimBundle bundle(0x54);
+  auto nodes = make_overlay(bundle, 200);
+  bundle.run_for(100 * kSeconds);
+  const double before = nodes[0].estimator->estimate();
+  EXPECT_NEAR(before, 200.0, 50.0);
+
+  // Kill three quarters of the system; epoch restarts flush the dead
+  // nodes' minima and the estimate tracks the survivors.
+  for (std::size_t i = 50; i < 200; ++i) {
+    bundle.model.set_node_up(NodeId(i), false);
+    bundle.transport->unregister_handler(NodeId(i));
+  }
+  bundle.run_for(150 * kSeconds);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    total += nodes[i].estimator->estimate();
+  }
+  const double after = total / 50.0;
+  EXPECT_LT(after, 100.0);  // clearly tracking the shrink
+  EXPECT_GT(after, 20.0);
+}
+
+TEST(SizeEstimatorTest, MalformedAndMismatchedGossipIgnored) {
+  SimBundle bundle(0x55);
+  pss::Cyclon pss(NodeId(0), *bundle.transport, Rng(1), {});
+  SizeEstimator estimator(NodeId(0), *bundle.transport, pss, Rng(2), {});
+  const double before = estimator.estimate();
+
+  EXPECT_TRUE(estimator.handle(
+      net::Message{NodeId(1), NodeId(0), kSizeGossip, Bytes{1, 2, 3}}));
+
+  // Wrong vector size (different K config) must also be ignored.
+  Writer w;
+  w.u64(0);
+  std::vector<double> wrong_k{0.1, 0.2};
+  w.vec(wrong_k, [&w](double v) { w.f64(v); });
+  EXPECT_TRUE(estimator.handle(
+      net::Message{NodeId(1), NodeId(0), kSizeGossip, w.take()}));
+
+  EXPECT_DOUBLE_EQ(estimator.estimate(), before);
+}
+
+TEST(SizeEstimatorTest, RejectsTinyVectors) {
+  SimBundle bundle(0x56);
+  pss::Cyclon pss(NodeId(0), *bundle.transport, Rng(1), {});
+  SizeEstimatorOptions opts;
+  opts.vector_size = 2;
+  EXPECT_THROW(SizeEstimator(NodeId(0), *bundle.transport, pss, Rng(2), opts),
+               InvariantViolation);
+}
+
+}  // namespace
+}  // namespace dataflasks::aggregation

@@ -1,0 +1,253 @@
+// Baseline (Chord DHT) tests: ring arithmetic, overlay stabilization,
+// routing correctness, KV replication, and behaviour when the ring is
+// churned — the failure mode the DataFlasks paper builds its case on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "baseline/chord.hpp"
+#include "baseline/dht_kv.hpp"
+#include "test_util.hpp"
+
+namespace dataflasks::baseline {
+namespace {
+
+using testing::SimBundle;
+
+// ---- ring arithmetic -----------------------------------------------------------
+
+TEST(RingMath, InRangeNormalAndWrapped) {
+  EXPECT_TRUE(in_ring_range(5, 1, 10));
+  EXPECT_FALSE(in_ring_range(15, 1, 10));
+  EXPECT_TRUE(in_ring_range(10, 1, 10));  // inclusive upper bound
+  EXPECT_FALSE(in_ring_range(1, 1, 10));  // exclusive lower bound
+  // Wrapped interval (from > to).
+  EXPECT_TRUE(in_ring_range(2, 100, 10));
+  EXPECT_TRUE(in_ring_range(200, 100, 10));
+  EXPECT_FALSE(in_ring_range(50, 100, 10));
+  // Full circle.
+  EXPECT_TRUE(in_ring_range(7, 3, 3));
+}
+
+TEST(RingMath, RingIdsAreStableAndSpread) {
+  EXPECT_EQ(chord_ring_id(NodeId(1)), chord_ring_id(NodeId(1)));
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 100; ++i) ids.insert(chord_ring_id(NodeId(i)));
+  EXPECT_EQ(ids.size(), 100u);  // no collisions among small ids
+}
+
+// ---- cluster harness -------------------------------------------------------------
+
+struct DhtCluster {
+  DhtCluster(SimBundle& bundle, std::size_t count, DhtKvOptions options = {})
+      : bundle_(bundle) {
+    Rng seeder(17);
+    for (std::size_t i = 0; i < count; ++i) {
+      nodes.push_back(std::make_unique<DhtNode>(
+          NodeId(i), bundle.simulator, *bundle.transport,
+          Rng(seeder.next_u64()), options));
+    }
+    // Sequential join through node 0, the classic bootstrap pattern.
+    nodes[0]->start(NodeId());
+    for (std::size_t i = 1; i < count; ++i) nodes[i]->start(NodeId(0));
+  }
+
+  /// True when successor pointers form a single cycle covering all nodes.
+  [[nodiscard]] bool ring_is_consistent() const {
+    std::vector<const DhtNode*> alive;
+    for (const auto& n : nodes) {
+      if (n->running()) alive.push_back(n.get());
+    }
+    if (alive.empty()) return true;
+
+    // Sort by ring id; node i's successor must be node (i+1) mod n.
+    std::vector<const DhtNode*> sorted = alive;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const DhtNode* a, const DhtNode* b) {
+                return chord_ring_id(a->id()) < chord_ring_id(b->id());
+              });
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const DhtNode* expected = sorted[(i + 1) % sorted.size()];
+      if (const_cast<DhtNode*>(sorted[i])->chord().successor() !=
+          expected->id()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  SimBundle& bundle_;
+  std::vector<std::unique_ptr<DhtNode>> nodes;
+};
+
+// ---- stabilization ------------------------------------------------------------------
+
+TEST(Chord, RingStabilizesFromSequentialJoins) {
+  SimBundle bundle(81);
+  DhtCluster cluster(bundle, 30);
+  bundle.run_for(120 * kSeconds);
+  EXPECT_TRUE(cluster.ring_is_consistent());
+}
+
+TEST(Chord, SuccessorListsFillUp) {
+  SimBundle bundle(82);
+  DhtKvOptions opts;
+  opts.chord.successor_list_size = 4;
+  DhtCluster cluster(bundle, 20, opts);
+  bundle.run_for(120 * kSeconds);
+  for (const auto& node : cluster.nodes) {
+    EXPECT_GE(node->chord().successor_list().size(), 3u)
+        << "node " << node->id().value;
+  }
+}
+
+TEST(Chord, PredecessorsConverge) {
+  SimBundle bundle(83);
+  DhtCluster cluster(bundle, 25);
+  bundle.run_for(120 * kSeconds);
+  int with_pred = 0;
+  for (const auto& node : cluster.nodes) {
+    if (node->chord().predecessor().has_value()) ++with_pred;
+  }
+  EXPECT_GE(with_pred, 23);
+}
+
+TEST(Chord, RingHealsAfterCrashes) {
+  SimBundle bundle(84);
+  DhtCluster cluster(bundle, 30);
+  bundle.run_for(120 * kSeconds);
+  ASSERT_TRUE(cluster.ring_is_consistent());
+
+  // Crash 5 non-adjacent nodes.
+  for (std::size_t i : {3u, 9u, 15u, 21u, 27u}) {
+    bundle.model.set_node_up(NodeId(i), false);
+    cluster.nodes[i]->crash();
+  }
+  bundle.run_for(120 * kSeconds);
+  EXPECT_TRUE(cluster.ring_is_consistent());
+}
+
+// ---- KV over the ring ------------------------------------------------------------------
+
+TEST(DhtKv, PutThenGetThroughAnyCoordinator) {
+  SimBundle bundle(85);
+  DhtCluster cluster(bundle, 25);
+  bundle.run_for(120 * kSeconds);
+
+  DhtPutResult put_result;
+  cluster.nodes[3]->put("alpha", Bytes{1, 2}, 1,
+                        [&](const DhtPutResult& r) { put_result = r; });
+  bundle.run_for(10 * kSeconds);
+  ASSERT_TRUE(put_result.ok);
+
+  // Read through a different coordinator.
+  DhtGetResult get_result;
+  cluster.nodes[11]->get("alpha", std::nullopt,
+                         [&](const DhtGetResult& r) { get_result = r; });
+  bundle.run_for(10 * kSeconds);
+  ASSERT_TRUE(get_result.ok);
+  EXPECT_EQ(get_result.object.value, (Bytes{1, 2}));
+}
+
+TEST(DhtKv, ReplicatesToSuccessors) {
+  SimBundle bundle(86);
+  DhtKvOptions opts;
+  opts.replication = 3;
+  DhtCluster cluster(bundle, 20, opts);
+  bundle.run_for(120 * kSeconds);
+
+  DhtPutResult result;
+  cluster.nodes[0]->put("replicated", Bytes{7}, 1,
+                        [&](const DhtPutResult& r) { result = r; });
+  bundle.run_for(10 * kSeconds);
+  ASSERT_TRUE(result.ok);
+
+  int copies = 0;
+  for (const auto& node : cluster.nodes) {
+    if (node->store().contains("replicated", 1)) ++copies;
+  }
+  EXPECT_GE(copies, 2);
+  EXPECT_LE(copies, 4);
+}
+
+TEST(DhtKv, VersionedReads) {
+  SimBundle bundle(87);
+  DhtCluster cluster(bundle, 15);
+  bundle.run_for(120 * kSeconds);
+
+  cluster.nodes[0]->put("v", Bytes{1}, 1, nullptr);
+  cluster.nodes[0]->put("v", Bytes{2}, 2, nullptr);
+  bundle.run_for(10 * kSeconds);
+
+  DhtGetResult v1, latest;
+  cluster.nodes[5]->get("v", Version{1},
+                        [&](const DhtGetResult& r) { v1 = r; });
+  cluster.nodes[5]->get("v", std::nullopt,
+                        [&](const DhtGetResult& r) { latest = r; });
+  bundle.run_for(10 * kSeconds);
+  ASSERT_TRUE(v1.ok);
+  EXPECT_EQ(v1.object.value, Bytes{1});
+  ASSERT_TRUE(latest.ok);
+  EXPECT_EQ(latest.object.version, 2u);
+}
+
+TEST(DhtKv, MissingKeyTimesOut) {
+  SimBundle bundle(88);
+  DhtKvOptions opts;
+  opts.request_timeout = 1 * kSeconds;
+  opts.max_attempts = 2;
+  DhtCluster cluster(bundle, 15, opts);
+  bundle.run_for(120 * kSeconds);
+
+  DhtGetResult result;
+  result.ok = true;
+  cluster.nodes[2]->get("ghost", std::nullopt,
+                        [&](const DhtGetResult& r) { result = r; });
+  bundle.run_for(30 * kSeconds);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.attempts, 2u);
+}
+
+TEST(DhtKv, AvailabilityDegradesWhenOwnerAndReplicasCrash) {
+  SimBundle bundle(89);
+  DhtKvOptions opts;
+  opts.replication = 2;
+  DhtCluster cluster(bundle, 20, opts);
+  bundle.run_for(120 * kSeconds);
+
+  cluster.nodes[0]->put("fragile", Bytes{9}, 1, nullptr);
+  bundle.run_for(10 * kSeconds);
+
+  // Crash every node holding the object; no repair protocol exists in the
+  // baseline, so the data is simply gone (DataFlasks' anti-entropy is the
+  // contrast benched in churn_comparison).
+  for (auto& node : cluster.nodes) {
+    if (node->running() && node->store().contains("fragile", 1)) {
+      bundle.model.set_node_up(node->id(), false);
+      node->crash();
+    }
+  }
+  bundle.run_for(60 * kSeconds);
+
+  DhtGetResult result;
+  result.ok = true;
+  bool done = false;
+  // Pick a live coordinator.
+  for (auto& node : cluster.nodes) {
+    if (node->running()) {
+      node->get("fragile", std::nullopt, [&](const DhtGetResult& r) {
+        result = r;
+        done = true;
+      });
+      break;
+    }
+  }
+  bundle.run_for(60 * kSeconds);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(result.ok);
+}
+
+}  // namespace
+}  // namespace dataflasks::baseline

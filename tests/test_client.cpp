@@ -1,0 +1,205 @@
+// Client library tests: load balancer policies in isolation, then the full
+// client against a real cluster — acks, multi-reply deduplication (paper
+// §V), timeouts and retries.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "client/client.hpp"
+#include "client/load_balancer.hpp"
+#include "harness/cluster.hpp"
+#include "test_util.hpp"
+
+namespace dataflasks::client {
+namespace {
+
+// ---- load balancers -------------------------------------------------------------
+
+TEST(RandomLB, PicksFromNodeList) {
+  RandomLoadBalancer lb({NodeId(1), NodeId(2), NodeId(3)}, Rng(1));
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(lb.pick_contact(std::nullopt).value);
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(RandomLB, EmptyListRejected) {
+  EXPECT_THROW(RandomLoadBalancer({}, Rng(1)), InvariantViolation);
+}
+
+TEST(SliceCacheLB, UsesCachedReplicaForKnownSlice) {
+  SliceCacheLoadBalancer lb({NodeId(1), NodeId(2), NodeId(3)}, Rng(1));
+  lb.observe_replica(NodeId(2), /*slice=*/7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(lb.pick_contact(SliceId{7}), NodeId(2));
+  }
+  EXPECT_EQ(lb.cache_hits(), 20u);
+}
+
+TEST(SliceCacheLB, FallsBackToRandomOnMiss) {
+  SliceCacheLoadBalancer lb({NodeId(1), NodeId(2)}, Rng(1));
+  const NodeId pick = lb.pick_contact(SliceId{9});
+  EXPECT_TRUE(pick == NodeId(1) || pick == NodeId(2));
+  EXPECT_EQ(lb.cache_misses(), 1u);
+}
+
+TEST(SliceCacheLB, UnreachableNodeEvicted) {
+  SliceCacheLoadBalancer lb({NodeId(1), NodeId(2)}, Rng(1));
+  lb.observe_replica(NodeId(1), 3);
+  lb.observe_replica(NodeId(1), 4);
+  EXPECT_EQ(lb.cache_size(), 2u);
+  lb.node_unreachable(NodeId(1));
+  EXPECT_EQ(lb.cache_size(), 0u);
+}
+
+// ---- client against a live cluster ------------------------------------------------
+
+harness::ClusterOptions small_cluster_options(std::uint64_t seed = 7) {
+  harness::ClusterOptions opts;
+  opts.node_count = 60;
+  opts.seed = seed;
+  opts.node.slice_config = {4, 1};
+  return opts;
+}
+
+class ClientClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<harness::Cluster>(small_cluster_options());
+    cluster_->start_all();
+    cluster_->run_for(60 * kSeconds);  // converge PSS + slicing + views
+  }
+
+  std::unique_ptr<harness::Cluster> cluster_;
+};
+
+TEST_F(ClientClusterTest, PutIsAcknowledged) {
+  auto& client = cluster_->add_client();
+  PutResult result;
+  client.put("hello", Bytes{1, 2, 3}, 1,
+             [&](const PutResult& r) { result = r; });
+  cluster_->run_for(10 * kSeconds);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.key, "hello");
+  EXPECT_EQ(result.version, 1u);
+  EXPECT_GT(result.latency, 0);
+}
+
+TEST_F(ClientClusterTest, GetReturnsWhatWasPut) {
+  auto& client = cluster_->add_client();
+  client.put("k1", Bytes{0xAA, 0xBB}, 1, nullptr);
+  cluster_->run_for(10 * kSeconds);
+
+  GetResult result;
+  client.get("k1", std::nullopt, [&](const GetResult& r) { result = r; });
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.object.value, (Bytes{0xAA, 0xBB}));
+  EXPECT_EQ(result.object.version, 1u);
+}
+
+TEST_F(ClientClusterTest, GetSpecificVersion) {
+  auto& client = cluster_->add_client();
+  client.put("multi", Bytes{1}, 1, nullptr);
+  client.put("multi", Bytes{2}, 2, nullptr);
+  cluster_->run_for(15 * kSeconds);
+
+  GetResult v1, latest;
+  client.get("multi", Version{1}, [&](const GetResult& r) { v1 = r; });
+  client.get("multi", std::nullopt, [&](const GetResult& r) { latest = r; });
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(v1.ok);
+  EXPECT_EQ(v1.object.value, Bytes{1});
+  ASSERT_TRUE(latest.ok);
+  EXPECT_EQ(latest.object.version, 2u);
+}
+
+TEST_F(ClientClusterTest, PutAutoStampsMonotonicVersions) {
+  auto& client = cluster_->add_client();
+  const Version v1 = client.put_auto("auto", Bytes{1}, nullptr);
+  const Version v2 = client.put_auto("auto", Bytes{2}, nullptr);
+  EXPECT_LT(v1, v2);
+  cluster_->run_for(10 * kSeconds);
+
+  GetResult result;
+  client.get("auto", v2, [&](const GetResult& r) { result = r; });
+  cluster_->run_for(10 * kSeconds);
+  EXPECT_TRUE(result.ok);
+}
+
+TEST_F(ClientClusterTest, MissingKeyTimesOutAfterRetries) {
+  ClientOptions opts;
+  opts.request_timeout = 2 * kSeconds;
+  opts.max_attempts = 2;
+  auto& client = cluster_->add_client(opts);
+
+  GetResult result;
+  result.ok = true;
+  client.get("never_written", std::nullopt,
+             [&](const GetResult& r) { result = r; });
+  cluster_->run_for(30 * kSeconds);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(client.metrics().counter_value("client.get_failures"), 1u);
+}
+
+TEST_F(ClientClusterTest, DuplicateRepliesAreAbsorbed) {
+  auto& client = cluster_->add_client();
+  // Write, wait for replication so several members hold the object...
+  client.put("dup", Bytes{7}, 1, nullptr);
+  cluster_->run_for(20 * kSeconds);
+
+  // ...then read repeatedly: epidemic dissemination can produce several
+  // replies per request; exactly one callback per get must fire.
+  int callbacks = 0;
+  for (int i = 0; i < 5; ++i) {
+    client.get("dup", std::nullopt, [&](const GetResult&) { ++callbacks; });
+  }
+  cluster_->run_for(15 * kSeconds);
+  EXPECT_EQ(callbacks, 5);
+  EXPECT_EQ(client.inflight(), 0u);
+}
+
+TEST_F(ClientClusterTest, RetrySucceedsWhenFirstContactIsDead) {
+  ClientOptions opts;
+  opts.request_timeout = 2 * kSeconds;
+  opts.max_attempts = 4;
+  auto& client = cluster_->add_client(opts);
+
+  // Kill a third of the cluster: some picks will hit dead contacts and the
+  // retry path must find a live one.
+  for (std::size_t i = 0; i < 20; ++i) cluster_->crash(i);
+
+  int successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    client.put("retry_key" + std::to_string(i), Bytes{1}, 1,
+               [&](const PutResult& r) {
+                 if (r.ok) ++successes;
+               });
+  }
+  cluster_->run_for(60 * kSeconds);
+  EXPECT_EQ(successes, 10);
+}
+
+TEST_F(ClientClusterTest, SliceCacheBalancerLearnsFromAcks) {
+  ClientOptions opts;
+  opts.slice_count_hint = 4;  // enables client-side slice computation
+  auto& client = cluster_->add_client(opts, "slice-cache");
+
+  for (int i = 0; i < 20; ++i) {
+    client.put("warm" + std::to_string(i), Bytes{1}, 1, nullptr);
+  }
+  cluster_->run_for(30 * kSeconds);
+
+  auto& lb = static_cast<SliceCacheLoadBalancer&>(cluster_->balancer(0));
+  EXPECT_GT(lb.cache_size(), 0u);
+
+  const auto hits_before = lb.cache_hits();
+  for (int i = 0; i < 20; ++i) {
+    client.put("warm" + std::to_string(i), Bytes{2}, 2, nullptr);
+  }
+  cluster_->run_for(30 * kSeconds);
+  EXPECT_GT(lb.cache_hits(), hits_before);
+}
+
+}  // namespace
+}  // namespace dataflasks::client

@@ -1,0 +1,378 @@
+// Unit tests for the common kit: rng, hashing, serialization, config,
+// histogram, result types.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/config.hpp"
+#include "common/ensure.hpp"
+#include "common/hash.hpp"
+#include "common/histogram.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/types.hpp"
+
+namespace dataflasks {
+namespace {
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  // Chi-squared with 9 dof: 99.9th percentile ~ 27.9.
+  double chi2 = 0.0;
+  const double expected = kSamples / static_cast<double>(kBuckets);
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.next_bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+  EXPECT_FALSE(rng.next_bernoulli(0.0));
+  EXPECT_TRUE(rng.next_bernoulli(1.0));
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.1);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(42);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(1);  // same salt, later state: still distinct
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ShuffleKeepsAllElements) {
+  Rng rng(1);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto copy = v;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, SampleReturnsDistinctElements) {
+  Rng rng(2);
+  std::vector<int> pool(100);
+  for (int i = 0; i < 100; ++i) pool[i] = i;
+  const auto sample = rng.sample(pool, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleLargerThanPoolReturnsAll) {
+  Rng rng(2);
+  std::vector<int> pool{1, 2, 3};
+  EXPECT_EQ(rng.sample(pool, 10).size(), 3u);
+}
+
+TEST(Rng, PickOnEmptyThrows) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), InvariantViolation);
+}
+
+// ---- hashing ----------------------------------------------------------------
+
+TEST(Hash, Fnv1aKnownVector) {
+  // FNV-1a 64 of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  // Standard test vector.
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Hash, StableKeyHashIsStable) {
+  EXPECT_EQ(stable_key_hash("user42"), stable_key_hash("user42"));
+  EXPECT_NE(stable_key_hash("user42"), stable_key_hash("user43"));
+}
+
+TEST(Hash, BucketsAreUniform) {
+  constexpr std::uint32_t kBuckets = 16;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < 160000; ++i) {
+    ++counts[hash_to_bucket(stable_key_hash("key" + std::to_string(i)),
+                            kBuckets)];
+  }
+  const double expected = 160000.0 / kBuckets;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.1);
+}
+
+TEST(Hash, BucketInRange) {
+  for (std::uint32_t buckets : {1u, 2u, 7u, 64u}) {
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_LT(hash_to_bucket(stable_key_hash(std::to_string(i)), buckets),
+                buckets);
+    }
+  }
+}
+
+TEST(Hash, Crc32KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const char data[] = "123456789";
+  EXPECT_EQ(crc32(data, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(data, 0), 0u);
+}
+
+// ---- serialization -----------------------------------------------------------
+
+TEST(Serialize, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.25);
+  w.boolean(true);
+  w.boolean(false);
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.25);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.finish().ok());
+}
+
+TEST(Serialize, StringAndBytesRoundTrip) {
+  Writer w;
+  w.str("hello world");
+  w.str("");
+  w.bytes(Bytes{1, 2, 3});
+  Reader r(w.buffer());
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.finish().ok());
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  Writer w;
+  std::vector<std::uint64_t> values{1, 2, 3, 42};
+  w.vec(values, [&w](std::uint64_t v) { w.u64(v); });
+  Reader r(w.buffer());
+  const auto decoded = r.vec<std::uint64_t>([&r]() { return r.u64(); });
+  EXPECT_EQ(decoded, values);
+  EXPECT_TRUE(r.finish().ok());
+}
+
+TEST(Serialize, TruncatedInputFails) {
+  Writer w;
+  w.u64(42);
+  Bytes buf = w.take();
+  buf.resize(4);  // cut in half
+  Reader r(buf);
+  (void)r.u64();
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.finish().ok());
+}
+
+TEST(Serialize, TrailingBytesDetected) {
+  Writer w;
+  w.u32(1);
+  w.u32(2);
+  Reader r(w.buffer());
+  (void)r.u32();
+  EXPECT_FALSE(r.finish().ok());  // one u32 left unread
+}
+
+TEST(Serialize, MaliciousVectorLengthRejected) {
+  // A length prefix promising 2^31 elements with a 1-byte body must fail
+  // cleanly instead of allocating.
+  Writer w;
+  w.u32(0x80000000u);
+  w.u8(7);
+  Reader r(w.buffer());
+  const auto decoded = r.vec<std::uint8_t>([&r]() { return r.u8(); });
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, NodeAndRequestIdRoundTrip) {
+  Writer w;
+  w.node_id(NodeId(77));
+  w.request_id(RequestId{5, 9});
+  Reader r(w.buffer());
+  EXPECT_EQ(r.node_id(), NodeId(77));
+  const RequestId rid = r.request_id();
+  EXPECT_EQ(rid.client, 5u);
+  EXPECT_EQ(rid.seq, 9u);
+  EXPECT_TRUE(r.finish().ok());
+}
+
+// ---- Result / Status -----------------------------------------------------------
+
+TEST(Result, ValueAndError) {
+  Result<int> ok_result(42);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.value(), 42);
+  EXPECT_EQ(ok_result.value_or(-1), 42);
+
+  Result<int> err_result(Error::not_found("missing"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.error().code, Error::Code::kNotFound);
+  EXPECT_EQ(err_result.value_or(-1), -1);
+  EXPECT_THROW(err_result.value(), InvariantViolation);
+}
+
+TEST(Status, OkAndError) {
+  Status ok = Status::ok_status();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_THROW((void)ok.error(), InvariantViolation);
+
+  Status err = Error::io("disk on fire");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, Error::Code::kIo);
+}
+
+// ---- Config ----------------------------------------------------------------------
+
+TEST(Config, ParsesKeyValues) {
+  auto cfg = Config::parse("nodes=100 slices=10\nseed=42 name=test");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().get_int("nodes", 0), 100);
+  EXPECT_EQ(cfg.value().get_int("slices", 0), 10);
+  EXPECT_EQ(cfg.value().get_string("name", ""), "test");
+  EXPECT_EQ(cfg.value().get_int("missing", -7), -7);
+}
+
+TEST(Config, CommentsAndBlankLines) {
+  auto cfg = Config::parse("# a comment\n\na=1 # trailing comment\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg.value().get_int("a", 0), 1);
+  EXPECT_FALSE(cfg.value().has("#"));
+}
+
+TEST(Config, RejectsMalformedTokens) {
+  EXPECT_FALSE(Config::parse("novalue").ok());
+  EXPECT_FALSE(Config::from_args({"=x"}).ok());
+}
+
+TEST(Config, TypedGetters) {
+  auto cfg = Config::from_args({"f=2.5", "b=true", "n=-3", "junk=abc"});
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_DOUBLE_EQ(cfg.value().get_double("f", 0.0), 2.5);
+  EXPECT_TRUE(cfg.value().get_bool("b", false));
+  EXPECT_EQ(cfg.value().get_int("n", 0), -3);
+  EXPECT_EQ(cfg.value().get_int("junk", 9), 9);      // not a number
+  EXPECT_EQ(cfg.value().get_double("junk", 1.5), 1.5);
+}
+
+TEST(Config, MergeOverrides) {
+  auto base = Config::from_args({"a=1", "b=2"}).value();
+  auto overlay = Config::from_args({"b=3", "c=4"}).value();
+  base.merge(overlay);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 3);
+  EXPECT_EQ(base.get_int("c", 0), 4);
+}
+
+// ---- Histogram -----------------------------------------------------------------
+
+TEST(Histogram, BasicStatistics) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.stddev(), 29.0, 0.5);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, ReservoirKeepsDistributionShape) {
+  Histogram h(1000, 7);
+  for (int i = 0; i < 100000; ++i) h.record(i % 1000);
+  // Median of uniform 0..999 should stay near 500 despite sampling.
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 60.0);
+  EXPECT_EQ(h.count(), 100000u);
+}
+
+// ---- types ------------------------------------------------------------------------
+
+TEST(Types, NodeIdValidity) {
+  EXPECT_FALSE(NodeId().valid());
+  EXPECT_TRUE(NodeId(0).valid());
+  EXPECT_EQ(to_string(NodeId(7)), "n7");
+}
+
+TEST(Types, RequestIdHashAndEquality) {
+  const RequestId a{1, 2}, b{1, 2}, c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(std::hash<RequestId>{}(a), std::hash<RequestId>{}(b));
+}
+
+}  // namespace
+}  // namespace dataflasks

@@ -1,0 +1,134 @@
+// Regression tests for slice-announcement hysteresis: rank-estimate jitter
+// at a slice boundary must NOT flap the announced slice (each flap costs a
+// state transfer, view reset and handoff churn — the §VII thrashing risk),
+// while genuine rank shifts must still be announced promptly.
+#include <gtest/gtest.h>
+
+#include "pss/cyclon.hpp"
+#include "slicing/sliver.hpp"
+#include "test_util.hpp"
+
+namespace dataflasks::slicing {
+namespace {
+
+using testing::SimBundle;
+
+/// Feeds a Sliver instance a synthetic observation stream that pins its
+/// rank estimate wherever the test wants it.
+struct SliverHarness {
+  explicit SliverHarness(SimBundle& bundle, std::uint32_t slices)
+      : pss(NodeId(0), *bundle.transport, Rng(1), {}),
+        sliver(NodeId(0), /*attribute=*/100.0, *bundle.transport, pss,
+               Rng(2), SliceConfig{slices, 1}) {}
+
+  /// Installs `below` observations under our attribute and `above` over it,
+  /// moving rank_estimate() to ~below/(below+above+1).
+  void set_rank(std::size_t below, std::size_t above) {
+    // Distinct node ids per call so observe() replaces cleanly.
+    std::uint64_t id = 1;
+    for (std::size_t i = 0; i < below; ++i) {
+      feed(NodeId(id++), 1.0);
+    }
+    for (std::size_t i = 0; i < above; ++i) {
+      feed(NodeId(id++), 200.0);
+    }
+  }
+
+  void feed(NodeId from, double attribute) {
+    Writer w;
+    w.node_id(from);
+    w.f64(attribute);
+    w.u32(sliver.config().slice_count);
+    w.u64(sliver.config().epoch);
+    sliver.handle(
+        net::Message{from, NodeId(0), kSliverSampleReply, w.take()});
+  }
+
+  pss::Cyclon pss;
+  Sliver sliver;
+};
+
+TEST(Hysteresis, BoundaryJitterDoesNotFlapAnnouncedSlice) {
+  SimBundle bundle(0x71);
+  SliverHarness h(bundle, /*slices=*/10);
+
+  // Park the estimate just inside slice 5, then settle the announcement.
+  h.set_rank(52, 48);
+  for (int i = 0; i < 50; ++i) h.feed(NodeId(1), 1.0);
+  const SliceId settled = h.sliver.slice();
+
+  int changes = 0;
+  h.sliver.set_slice_change_listener([&](SliceId, SliceId) { ++changes; });
+
+  // Jitter across the 0.5 boundary: the raw slice flips between 4 and 5,
+  // but each excursion stays within the boundary margin, so the announced
+  // slice must hold still.
+  for (int round = 0; round < 200; ++round) {
+    // Flip one observation back and forth across our attribute.
+    h.feed(NodeId(9999), round % 2 == 0 ? 1.0 : 200.0);
+  }
+  EXPECT_EQ(h.sliver.slice(), settled);
+  EXPECT_EQ(changes, 0);
+}
+
+TEST(Hysteresis, GenuineShiftIsAnnounced) {
+  SimBundle bundle(0x72);
+  SliverHarness h(bundle, /*slices=*/10);
+  h.set_rank(50, 50);
+  const SliceId before = h.sliver.slice();
+
+  int changes = 0;
+  h.sliver.set_slice_change_listener([&](SliceId, SliceId) { ++changes; });
+
+  // A real shift: most observed attributes now sit above ours, pushing the
+  // rank clearly into a lower slice's interior. The estimate migrates
+  // gradually as observations accumulate, so the announcement may step
+  // through intermediate slices — but each at most once (no flapping), and
+  // it must land on the final slice.
+  h.set_rank(10, 150);
+  for (int i = 0; i < 20; ++i) h.feed(NodeId(7), 200.0);
+
+  EXPECT_NE(h.sliver.slice(), before);
+  EXPECT_GE(changes, 1);
+  EXPECT_LE(changes, 5);  // one per crossed slice, no oscillation
+  EXPECT_LT(h.sliver.rank_estimate(), 0.2);
+  EXPECT_EQ(h.sliver.slice(), h.sliver.raw_slice());
+}
+
+TEST(Hysteresis, FallbackMovesPersistentBoundarySitter) {
+  SimBundle bundle(0x73);
+  SliverHarness h(bundle, /*slices=*/2);
+  // Rank within the boundary margin of slice 1 (just above 0.5): spatial
+  // hysteresis rejects the move, but the long-count fallback must
+  // eventually announce it rather than pinning the node forever.
+  h.set_rank(30, 70);  // rank ~0.3 -> slice 0, settle there
+  for (int i = 0; i < 40; ++i) h.feed(NodeId(2), 200.0);
+  ASSERT_EQ(h.sliver.slice(), 0u);
+
+  int changes = 0;
+  h.sliver.set_slice_change_listener([&](SliceId, SliceId) { ++changes; });
+
+  h.set_rank(53, 47);  // rank ~0.525: inside slice 1 but near its edge
+  for (int i = 0; i < 100; ++i) h.feed(NodeId(3), 1.0);
+
+  EXPECT_EQ(h.sliver.slice(), 1u);
+  EXPECT_EQ(changes, 1);
+}
+
+TEST(Hysteresis, DisabledWithHysteresisOne) {
+  SimBundle bundle(0x74);
+  SliverHarness h(bundle, /*slices=*/10);
+  h.sliver.set_slice_hysteresis(1);
+  h.set_rank(50, 50);
+
+  int changes = 0;
+  h.sliver.set_slice_change_listener([&](SliceId, SliceId) { ++changes; });
+  // Even with hysteresis 1, the spatial margin still applies; a clear
+  // interior move announces on the first evaluation.
+  h.set_rank(5, 150);
+  h.feed(NodeId(5), 200.0);
+  EXPECT_GE(changes, 1);
+}
+
+}  // namespace
+}  // namespace dataflasks::slicing

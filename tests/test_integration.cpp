@@ -1,0 +1,298 @@
+// Whole-system integration tests: a full DataFlasks deployment in the
+// simulator — slicing convergence, write replication across the slice,
+// durability under churn and correlated failure, dynamic re-sharding, and
+// crash-restart state transfer. These are the paper's dependability claims
+// exercised end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/cluster.hpp"
+#include "harness/runner.hpp"
+
+namespace dataflasks::harness {
+namespace {
+
+ClusterOptions default_options(std::size_t nodes, std::uint32_t slices,
+                               std::uint64_t seed) {
+  ClusterOptions opts;
+  opts.node_count = nodes;
+  opts.seed = seed;
+  opts.node.slice_config = {slices, 1};
+  return opts;
+}
+
+TEST(Integration, SlicingPopulatesAllSlices) {
+  Cluster cluster(default_options(100, 5, 11));
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+
+  const auto histogram = cluster.slice_histogram();
+  ASSERT_EQ(histogram.size(), 5u);
+  for (const auto& [slice, count] : histogram) {
+    EXPECT_NEAR(count, 20, 12) << "slice " << slice;
+  }
+}
+
+TEST(Integration, WriteReplicatesAcrossItsSlice) {
+  Cluster cluster(default_options(80, 4, 12));
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+
+  auto& client = cluster.add_client();
+  client.put("replicated", Bytes{1, 2, 3}, 1, nullptr);
+  cluster.run_for(5 * kSeconds);
+
+  // Immediately: the storing member + direct pushes.
+  EXPECT_GE(cluster.replica_count("replicated", 1), 1u);
+
+  // After anti-entropy rounds: (nearly) the whole slice.
+  cluster.run_for(60 * kSeconds);
+  EXPECT_GE(cluster.slice_coverage("replicated", 1), 0.8);
+}
+
+TEST(Integration, DataSurvivesMinorityCrash) {
+  Cluster cluster(default_options(80, 4, 13));
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 10; ++i) {
+    client.put("key" + std::to_string(i), Bytes{static_cast<uint8_t>(i)}, 1,
+               nullptr);
+  }
+  cluster.run_for(60 * kSeconds);  // replicate fully
+
+  // Crash a quarter of the system (volatile stores: data on them is lost).
+  for (std::size_t i = 0; i < 20; ++i) cluster.crash(i);
+  cluster.run_for(30 * kSeconds);
+
+  // Every object still readable.
+  int recovered = 0;
+  for (int i = 0; i < 10; ++i) {
+    client::GetResult result;
+    client.get("key" + std::to_string(i), std::nullopt,
+               [&](const client::GetResult& r) { result = r; });
+    cluster.run_for(15 * kSeconds);
+    if (result.ok) ++recovered;
+  }
+  EXPECT_EQ(recovered, 10);
+}
+
+TEST(Integration, AntiEntropyRestoresReplicationAfterCorrelatedFailure) {
+  Cluster cluster(default_options(80, 4, 14));
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+
+  auto& client = cluster.add_client();
+  client.put("precious", Bytes{42}, 1, nullptr);
+  cluster.run_for(60 * kSeconds);
+  const double coverage_before = cluster.slice_coverage("precious", 1);
+  ASSERT_GE(coverage_before, 0.8);
+
+  // Kill half the members of the object's slice (paper §IV-A scenario).
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto& node = cluster.node(i);
+    if (node.running() && node.key_slice("precious") == node.slice() &&
+        node.store().contains("precious", 1)) {
+      members.push_back(i);
+    }
+  }
+  ASSERT_GE(members.size(), 4u);
+  for (std::size_t i = 0; i < members.size() / 2; ++i) {
+    cluster.crash(members[i]);
+  }
+
+  // Replicas drop, then anti-entropy pulls the object back onto surviving
+  // and newly arrived slice members.
+  cluster.run_for(120 * kSeconds);
+  EXPECT_GE(cluster.slice_coverage("precious", 1), 0.8);
+  EXPECT_GE(cluster.replica_count("precious", 1), 2u);
+}
+
+TEST(Integration, CrashedNodeRejoinsAndPullsSliceState) {
+  Cluster cluster(default_options(60, 3, 15));
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 20; ++i) {
+    client.put("st" + std::to_string(i), Bytes{1}, 1, nullptr);
+  }
+  cluster.run_for(60 * kSeconds);
+
+  // Crash one node, let the system move on, restart it empty.
+  cluster.crash(7);
+  cluster.run_for(30 * kSeconds);
+  EXPECT_EQ(cluster.node(7).store().object_count(), 0u);
+  cluster.restart(7);
+  cluster.run_for(120 * kSeconds);
+
+  // The rejoined node holds its slice's objects again (via state transfer
+  // and anti-entropy).
+  auto& node = cluster.node(7);
+  std::size_t mine = 0, held = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Key key = "st" + std::to_string(i);
+    if (node.key_slice(key) == node.slice()) {
+      ++mine;
+      if (node.store().contains(key, 1)) ++held;
+    }
+  }
+  if (mine > 0) {
+    EXPECT_GE(static_cast<double>(held) / static_cast<double>(mine), 0.7);
+  }
+}
+
+TEST(Integration, SurvivesContinuousChurnDuringWrites) {
+  Cluster cluster(default_options(100, 5, 16));
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+
+  // Continuous churn: ~1 event/2s across the run window.
+  Rng churn_rng(99);
+  sim::ChurnPlanOptions churn;
+  churn.start = cluster.simulator().now();
+  churn.end = churn.start + 120 * kSeconds;
+  churn.events_per_second = 0.5;
+  churn.downtime_min = 5 * kSeconds;
+  churn.downtime_max = 20 * kSeconds;
+  cluster.apply_churn_plan(
+      sim::make_churn_plan(cluster.node_ids(), churn, churn_rng));
+
+  auto& client = cluster.add_client();
+  int acked = 0;
+  constexpr int kWrites = 30;
+  for (int i = 0; i < kWrites; ++i) {
+    client.put("churn" + std::to_string(i), Bytes{1}, 1,
+               [&](const client::PutResult& r) {
+                 if (r.ok) ++acked;
+               });
+    cluster.run_for(4 * kSeconds);
+  }
+  cluster.run_for(30 * kSeconds);
+
+  // Writes keep succeeding under churn...
+  EXPECT_GE(acked, kWrites * 9 / 10);
+
+  // ...and acknowledged data remains durable after the churn window.
+  cluster.run_for(60 * kSeconds);
+  int durable = 0;
+  for (int i = 0; i < kWrites; ++i) {
+    if (cluster.replica_count("churn" + std::to_string(i), 1) > 0) ++durable;
+  }
+  EXPECT_GE(durable, acked * 9 / 10);
+}
+
+TEST(Integration, DynamicReshardPropagatesAndDataStaysReadable) {
+  Cluster cluster(default_options(60, 3, 17));
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 10; ++i) {
+    client.put("rs" + std::to_string(i), Bytes{1}, 1, nullptr);
+  }
+  cluster.run_for(60 * kSeconds);
+
+  // Re-shard 3 -> 6 slices from one node; config spreads epidemically.
+  cluster.node(0).propose_slice_count(6);
+  cluster.run_for(120 * kSeconds);
+
+  std::size_t adopted = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.node(i).running() &&
+        cluster.node(i).slice_config().slice_count == 6) {
+      ++adopted;
+    }
+  }
+  EXPECT_GE(adopted, cluster.size() * 9 / 10);
+
+  // Data written under the old config is still readable (state transfer +
+  // anti-entropy re-homed it).
+  cluster.run_for(120 * kSeconds);
+  int readable = 0;
+  for (int i = 0; i < 10; ++i) {
+    client::GetResult result;
+    client.get("rs" + std::to_string(i), std::nullopt,
+               [&](const client::GetResult& r) { result = r; });
+    cluster.run_for(15 * kSeconds);
+    if (result.ok) ++readable;
+  }
+  EXPECT_GE(readable, 8);
+}
+
+TEST(Integration, YcsbWorkloadThroughRunner) {
+  Cluster cluster(default_options(60, 3, 18));
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+
+  workload::WorkloadSpec spec = workload::WorkloadSpec::A();
+  spec.record_count = 30;
+  spec.operation_count = 60;
+
+  // Load phase through one client, then run the mixed phase on three.
+  std::vector<client::Client*> clients;
+  for (int i = 0; i < 3; ++i) clients.push_back(&cluster.add_client());
+
+  workload::WorkloadGenerator gen(spec, Rng(5));
+  Runner load(cluster, {clients[0]}, {gen.load_phase()});
+  ASSERT_TRUE(load.run(cluster.simulator().now() + 300 * kSeconds));
+  EXPECT_EQ(load.stats().puts_succeeded, 30u);
+
+  std::vector<std::vector<workload::Op>> streams;
+  for (int i = 0; i < 3; ++i) streams.push_back(gen.transaction_phase());
+  Runner txn(cluster, clients, std::move(streams));
+  ASSERT_TRUE(txn.run(cluster.simulator().now() + 600 * kSeconds));
+
+  const auto& stats = txn.stats();
+  EXPECT_GT(stats.puts_issued + stats.gets_issued, 0u);
+  EXPECT_GE(stats.put_success_rate(), 0.95);
+  EXPECT_GE(stats.get_success_rate(), 0.95);
+  EXPECT_GT(stats.get_latency.count(), 0u);
+}
+
+TEST(Integration, NodesEstimateSystemSizeByGossip) {
+  auto opts = default_options(150, 3, 20);
+  opts.node.size_estimation = true;
+  Cluster cluster(opts);
+  cluster.start_all();
+  cluster.run_for(100 * kSeconds);  // two estimation epochs
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    total += cluster.node(i).estimated_system_size();
+  }
+  const double mean = total / static_cast<double>(cluster.size());
+  EXPECT_NEAR(mean, 150.0, 35.0);
+
+  // Disabled estimation reports 0 (feature flag respected).
+  Cluster plain(default_options(10, 2, 21));
+  plain.start_all();
+  plain.run_for(5 * kSeconds);
+  EXPECT_EQ(plain.node(0).estimated_system_size(), 0.0);
+}
+
+TEST(Integration, MessageAccountingSeparatesCategories) {
+  Cluster cluster(default_options(40, 2, 19));
+  cluster.start_all();
+  cluster.run_for(30 * kSeconds);
+
+  // Maintenance traffic exists before any request.
+  EXPECT_GT(cluster.mean_messages_per_node(net::MsgCategory::kPeerSampling),
+            0.0);
+  EXPECT_GT(cluster.mean_messages_per_node(net::MsgCategory::kSlicing), 0.0);
+  const double requests_before =
+      cluster.mean_messages_per_node(net::MsgCategory::kRequest);
+
+  auto& client = cluster.add_client();
+  client.put("acct", Bytes{1}, 1, nullptr);
+  cluster.run_for(10 * kSeconds);
+
+  EXPECT_GT(cluster.mean_messages_per_node(net::MsgCategory::kRequest),
+            requests_before);
+}
+
+}  // namespace
+}  // namespace dataflasks::harness

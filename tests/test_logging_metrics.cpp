@@ -1,0 +1,101 @@
+// Unit tests for the observability kit: leveled logger with custom sinks,
+// and the metrics registry the node components report into.
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+
+namespace dataflasks {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(global_log_level()) {}
+  ~LogLevelGuard() { set_global_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logging, RespectsGlobalLevel) {
+  LogLevelGuard guard;
+  set_global_log_level(LogLevel::kWarn);
+
+  std::vector<std::string> lines;
+  Logger logger("n1");
+  logger.set_sink([&](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+
+  logger.debug("dropped");
+  logger.info("dropped too");
+  logger.warn("kept");
+  logger.error("kept as well");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("[n1] kept"), std::string::npos);
+}
+
+TEST(Logging, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_global_log_level(LogLevel::kOff);
+  int calls = 0;
+  Logger logger;
+  logger.set_sink([&](LogLevel, const std::string&) { ++calls; });
+  logger.error("nope");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Logging, FormatsMultipleArguments) {
+  LogLevelGuard guard;
+  set_global_log_level(LogLevel::kTrace);
+  std::string captured;
+  Logger logger("node");
+  logger.set_sink([&](LogLevel, const std::string& line) { captured = line; });
+  logger.info("count=", 42, " ratio=", 1.5);
+  EXPECT_EQ(captured, "[node] count=42 ratio=1.5");
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST(Logging, EnabledMatchesLevel) {
+  LogLevelGuard guard;
+  set_global_log_level(LogLevel::kInfo);
+  Logger logger;
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_TRUE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+}
+
+TEST(Metrics, CountersAccumulateAndReset) {
+  MetricsRegistry registry;
+  registry.counter("ops").add();
+  registry.counter("ops").add(4);
+  EXPECT_EQ(registry.counter_value("ops"), 5u);
+  EXPECT_EQ(registry.counter_value("missing"), 0u);
+
+  registry.reset_counters();
+  EXPECT_EQ(registry.counter_value("ops"), 0u);
+}
+
+TEST(Metrics, GaugesHoldLatestValue) {
+  MetricsRegistry registry;
+  registry.gauge("load").set(0.7);
+  registry.gauge("load").set(0.9);
+  EXPECT_DOUBLE_EQ(registry.gauge("load").value(), 0.9);
+}
+
+TEST(Metrics, AllCountersEnumerates) {
+  MetricsRegistry registry;
+  registry.counter("a").add(1);
+  registry.counter("b").add(2);
+  const auto all = registry.all_counters();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "a");
+  EXPECT_EQ(all[1].second, 2u);
+}
+
+}  // namespace
+}  // namespace dataflasks

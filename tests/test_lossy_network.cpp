@@ -1,0 +1,84 @@
+// Failure-injection tests: the whole stack under sustained message loss.
+// Epidemic protocols' core selling point is redundancy; these tests pin
+// down that puts/gets, slicing and replication all survive a lossy network
+// (10-20% drop rates) with only latency/retry degradation.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+
+namespace dataflasks {
+namespace {
+
+harness::ClusterOptions lossy(double loss, std::uint64_t seed) {
+  harness::ClusterOptions opts;
+  opts.node_count = 80;
+  opts.seed = seed;
+  opts.loss_probability = loss;
+  opts.node.slice_config = {4, 1};
+  return opts;
+}
+
+class LossyNetworkTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossyNetworkTest, SlicingStillConverges) {
+  harness::Cluster cluster(lossy(GetParam(), 41));
+  cluster.start_all();
+  cluster.run_for(120 * kSeconds);
+
+  const auto histogram = cluster.slice_histogram();
+  ASSERT_EQ(histogram.size(), 4u);
+  for (const auto& [slice, count] : histogram) {
+    EXPECT_NEAR(count, 20, 14) << "slice " << slice;
+  }
+}
+
+TEST_P(LossyNetworkTest, WritesAndReadsSucceedWithRetries) {
+  harness::Cluster cluster(lossy(GetParam(), 42));
+  cluster.start_all();
+  cluster.run_for(120 * kSeconds);
+
+  client::ClientOptions copts;
+  copts.max_attempts = 6;  // loss eats some attempts
+  auto& client = cluster.add_client(copts);
+
+  int put_ok = 0;
+  for (int i = 0; i < 15; ++i) {
+    client.put("lossy" + std::to_string(i), Bytes{1}, 1,
+               [&](const client::PutResult& r) { put_ok += r.ok ? 1 : 0; });
+    cluster.run_for(5 * kSeconds);
+  }
+  cluster.run_for(30 * kSeconds);
+  EXPECT_GE(put_ok, 14);
+
+  int get_ok = 0;
+  for (int i = 0; i < 15; ++i) {
+    client.get("lossy" + std::to_string(i), std::nullopt,
+               [&](const client::GetResult& r) { get_ok += r.ok ? 1 : 0; });
+    cluster.run_for(5 * kSeconds);
+  }
+  cluster.run_for(30 * kSeconds);
+  EXPECT_GE(get_ok, 14);
+}
+
+TEST_P(LossyNetworkTest, AntiEntropyStillConvergesReplication) {
+  harness::Cluster cluster(lossy(GetParam(), 43));
+  cluster.start_all();
+  cluster.run_for(120 * kSeconds);
+
+  auto& client = cluster.add_client();
+  client.put("replicate_me", Bytes{9}, 1, nullptr);
+  cluster.run_for(120 * kSeconds);  // anti-entropy through a lossy network
+
+  EXPECT_GE(cluster.slice_coverage("replicate_me", 1), 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossyNetworkTest,
+                         ::testing::Values(0.10, 0.20),
+                         [](const auto& info) {
+                           return "loss" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace dataflasks

@@ -1,0 +1,263 @@
+// Unit tests for the discrete-event simulator, network model and churn
+// planner.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/churn.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dataflasks::sim {
+namespace {
+
+// ---- EventQueue ---------------------------------------------------------------
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&]() { order.push_back(3); });
+  q.push(10, [&]() { order.push_back(1); });
+  q.push(20, [&]() { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&order, i]() { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeAndSize) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(42, []() {});
+  q.push(7, []() {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_time(), 7);
+  (void)q.pop();
+  EXPECT_EQ(q.next_time(), 42);
+}
+
+TEST(EventQueue, StressOrdering) {
+  EventQueue q;
+  Rng rng(9);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 5000; ++i) {
+    const auto t = static_cast<SimTime>(rng.next_below(100000));
+    q.push(t, []() {});
+    times.push_back(t);
+  }
+  SimTime prev = -1;
+  while (!q.empty()) {
+    const SimTime t = q.next_time();
+    EXPECT_GE(t, prev);
+    prev = t;
+    (void)q.pop();
+  }
+}
+
+// ---- Simulator -------------------------------------------------------------------
+
+TEST(Simulator, AdvancesVirtualTime) {
+  Simulator s(1);
+  SimTime seen = -1;
+  s.schedule_after(100, [&]() { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s(1);
+  int fired = 0;
+  s.schedule_at(50, [&]() { ++fired; });
+  s.schedule_at(150, [&]() { ++fired; });
+  s.run_until(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 100);  // clock advanced to the deadline
+  s.run_until(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelledTimerDoesNotFire) {
+  Simulator s(1);
+  bool fired = false;
+  auto handle = s.schedule_after(10, [&]() { fired = true; });
+  handle.cancel();
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, PeriodicFiresUntilCancelled) {
+  Simulator s(1);
+  int count = 0;
+  auto handle = s.schedule_periodic(0, 10, [&]() { ++count; });
+  s.run_until(55);
+  EXPECT_EQ(count, 6);  // t = 0,10,20,30,40,50
+  handle.cancel();
+  s.run_until(200);
+  EXPECT_EQ(count, 6);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator s(1);
+  s.schedule_at(100, []() {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(50, []() {}), InvariantViolation);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s(1);
+  std::vector<SimTime> fire_times;
+  s.schedule_after(10, [&]() {
+    fire_times.push_back(s.now());
+    s.schedule_after(10, [&]() { fire_times.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(fire_times, (std::vector<SimTime>{10, 20}));
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator s(1);
+  int fired = 0;
+  s.schedule_at(1, [&]() {
+    ++fired;
+    s.stop();
+  });
+  s.schedule_at(2, [&]() { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();  // resumes with remaining events
+  EXPECT_EQ(fired, 2);
+}
+
+// ---- LatencyModel / NetworkModel ------------------------------------------------
+
+TEST(LatencyModel, ConstantAndRange) {
+  Rng rng(3);
+  auto constant = LatencyModel::constant(5 * kMillis);
+  EXPECT_EQ(constant.sample(rng), 5 * kMillis);
+
+  LatencyModel range{10, 20};
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime v = range.sample(rng);
+    EXPECT_GE(v, 10);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(NetworkModel, DropsToDownNodes) {
+  Rng rng(1);
+  NetworkModel m(LatencyModel::constant(1));
+  EXPECT_TRUE(m.delivery_delay(NodeId(1), NodeId(2), rng).has_value());
+  m.set_node_up(NodeId(2), false);
+  EXPECT_FALSE(m.delivery_delay(NodeId(1), NodeId(2), rng).has_value());
+  EXPECT_FALSE(m.delivery_delay(NodeId(2), NodeId(1), rng).has_value());
+  m.set_node_up(NodeId(2), true);
+  EXPECT_TRUE(m.delivery_delay(NodeId(1), NodeId(2), rng).has_value());
+}
+
+TEST(NetworkModel, LossProbability) {
+  Rng rng(7);
+  NetworkModel m(LatencyModel::constant(1), 0.5);
+  int delivered = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (m.delivery_delay(NodeId(1), NodeId(2), rng)) ++delivered;
+  }
+  EXPECT_NEAR(delivered / 10000.0, 0.5, 0.03);
+}
+
+TEST(NetworkModel, PartitionsSplitTheNetwork) {
+  Rng rng(1);
+  NetworkModel m(LatencyModel::constant(1));
+  m.set_partition_group(NodeId(1), 1);
+  m.set_partition_group(NodeId(2), 2);
+  // Different groups cannot talk; same group can.
+  EXPECT_FALSE(m.delivery_delay(NodeId(1), NodeId(2), rng).has_value());
+  m.set_partition_group(NodeId(2), 1);
+  EXPECT_TRUE(m.delivery_delay(NodeId(1), NodeId(2), rng).has_value());
+  // Partitioned nodes cannot reach the default group either.
+  EXPECT_FALSE(m.delivery_delay(NodeId(1), NodeId(3), rng).has_value());
+  m.clear_partitions();
+  EXPECT_TRUE(m.delivery_delay(NodeId(1), NodeId(3), rng).has_value());
+}
+
+// ---- churn plans ------------------------------------------------------------------
+
+TEST(Churn, PlanRespectsWindowAndOrdering) {
+  Rng rng(5);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 50; ++i) nodes.emplace_back(i);
+
+  ChurnPlanOptions opts;
+  opts.start = 10 * kSeconds;
+  opts.end = 100 * kSeconds;
+  opts.events_per_second = 2.0;
+  const auto plan = make_churn_plan(nodes, opts, rng);
+
+  ASSERT_FALSE(plan.empty());
+  SimTime prev = 0;
+  for (const auto& event : plan) {
+    EXPECT_GE(event.at, opts.start);
+    EXPECT_LT(event.at, opts.end);
+    EXPECT_GE(event.at, prev);
+    prev = event.at;
+  }
+}
+
+TEST(Churn, CrashThenRestartPerNode) {
+  Rng rng(5);
+  std::vector<NodeId> nodes{NodeId(0), NodeId(1), NodeId(2)};
+  ChurnPlanOptions opts;
+  opts.end = 200 * kSeconds;
+  opts.events_per_second = 0.5;
+  opts.downtime_min = opts.downtime_max = 1 * kSeconds;
+  const auto plan = make_churn_plan(nodes, opts, rng);
+
+  // Every node alternates crash/restart when scanned in time order.
+  std::map<std::uint64_t, ChurnEventKind> last;
+  for (const auto& event : plan) {
+    const auto it = last.find(event.node.value);
+    if (it != last.end()) {
+      EXPECT_NE(static_cast<int>(it->second), static_cast<int>(event.kind))
+          << "node " << event.node.value << " repeated "
+          << static_cast<int>(event.kind);
+    }
+    last[event.node.value] = event.kind;
+  }
+}
+
+TEST(Churn, ZeroRateMakesEmptyPlan) {
+  Rng rng(1);
+  std::vector<NodeId> nodes{NodeId(0)};
+  ChurnPlanOptions opts;
+  opts.end = 100 * kSeconds;
+  opts.events_per_second = 0.0;
+  EXPECT_TRUE(make_churn_plan(nodes, opts, rng).empty());
+}
+
+TEST(Churn, CorrelatedFailurePicksDistinctNodes) {
+  Rng rng(3);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 20; ++i) nodes.emplace_back(i);
+  const auto plan = make_correlated_failure(nodes, 5, 42, rng);
+  ASSERT_EQ(plan.size(), 5u);
+  std::set<std::uint64_t> unique;
+  for (const auto& event : plan) {
+    EXPECT_EQ(event.at, 42);
+    EXPECT_EQ(static_cast<int>(event.kind),
+              static_cast<int>(ChurnEventKind::kCrash));
+    unique.insert(event.node.value);
+  }
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dataflasks::sim

@@ -1,0 +1,270 @@
+// Slicing tests: key/rank mapping, config epochs, and convergence of both
+// slicing protocols (OrderedSlicing, Sliver) to attribute-ordered slices —
+// the property DataFlasks' data distribution rests on (§IV-A).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "pss/cyclon.hpp"
+#include "slicing/ordered_slicing.hpp"
+#include "slicing/slice_map.hpp"
+#include "slicing/sliver.hpp"
+#include "test_util.hpp"
+
+namespace dataflasks::slicing {
+namespace {
+
+using testing::SimBundle;
+
+// ---- slice mapping -----------------------------------------------------------
+
+TEST(SliceMap, KeyToSliceInRangeAndStable) {
+  for (std::uint32_t k : {1u, 2u, 10u, 60u}) {
+    for (int i = 0; i < 200; ++i) {
+      const Key key = "key" + std::to_string(i);
+      const SliceId s = key_to_slice(key, k);
+      EXPECT_LT(s, k);
+      EXPECT_EQ(s, key_to_slice(key, k));
+    }
+  }
+}
+
+TEST(SliceMap, KeysSpreadAcrossSlices) {
+  constexpr std::uint32_t kSlices = 10;
+  std::map<SliceId, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[key_to_slice("user" + std::to_string(i), kSlices)];
+  }
+  EXPECT_EQ(counts.size(), kSlices);
+  for (const auto& [slice, count] : counts) {
+    EXPECT_NEAR(count, 1000, 150);
+  }
+}
+
+TEST(SliceMap, RankToSliceBoundaries) {
+  EXPECT_EQ(rank_to_slice(0.0, 10), 0u);
+  EXPECT_EQ(rank_to_slice(0.05, 10), 0u);
+  EXPECT_EQ(rank_to_slice(0.15, 10), 1u);
+  EXPECT_EQ(rank_to_slice(0.95, 10), 9u);
+  EXPECT_EQ(rank_to_slice(1.0, 10), 9u);   // clamped to last slice
+  EXPECT_EQ(rank_to_slice(-0.5, 10), 0u);  // clamped up
+  EXPECT_EQ(rank_to_slice(0.7, 1), 0u);
+}
+
+TEST(SliceConfigTest, EpochOrdering) {
+  SliceConfig a{10, 1}, b{20, 2}, c{30, 1};
+  EXPECT_TRUE(a.superseded_by(b));
+  EXPECT_FALSE(b.superseded_by(a));
+  EXPECT_FALSE(a.superseded_by(c));  // same epoch: no change
+}
+
+// ---- protocol harness ------------------------------------------------------------
+
+struct SlicingNode {
+  std::unique_ptr<pss::Cyclon> pss;
+  std::unique_ptr<Slicer> slicer;
+  double attribute;
+};
+
+std::vector<SlicingNode> make_slicing_overlay(SimBundle& bundle,
+                                              std::size_t count,
+                                              const std::string& kind,
+                                              SliceConfig config) {
+  std::vector<SlicingNode> nodes(count);
+  Rng seeder(99);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Attribute = node index => ideal slice is index * k / count.
+    nodes[i].attribute = static_cast<double>(i);
+    nodes[i].pss = std::make_unique<pss::Cyclon>(
+        NodeId(i), *bundle.transport, Rng(seeder.next_u64()),
+        pss::CyclonOptions{});
+    if (kind == "ordered") {
+      nodes[i].slicer = std::make_unique<OrderedSlicing>(
+          NodeId(i), nodes[i].attribute, *bundle.transport, *nodes[i].pss,
+          Rng(seeder.next_u64()), config);
+    } else {
+      nodes[i].slicer = std::make_unique<Sliver>(
+          NodeId(i), nodes[i].attribute, *bundle.transport, *nodes[i].pss,
+          Rng(seeder.next_u64()), config);
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes[i].pss->bootstrap({NodeId((i + 1) % count), NodeId((i + 7) % count)});
+    auto* node = &nodes[i];
+    bundle.transport->register_handler(
+        NodeId(i), [node](const net::Message& msg) {
+          if (node->pss->handle(msg)) return;
+          node->slicer->handle(msg);
+        });
+    bundle.simulator.schedule_periodic(
+        bundle.simulator.rng().next_in(0, kSeconds), kSeconds, [node]() {
+          node->pss->tick();
+          node->slicer->tick();
+        });
+  }
+  return nodes;
+}
+
+/// Mean |rank_estimate - ideal_rank| over all nodes.
+double mean_rank_error(const std::vector<SlicingNode>& nodes) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const double ideal =
+        static_cast<double>(i) / static_cast<double>(nodes.size());
+    total += std::abs(nodes[i].slicer->rank_estimate() - ideal);
+  }
+  return total / static_cast<double>(nodes.size());
+}
+
+/// Fraction of nodes whose slice matches the ideal attribute-ordered slice.
+double slice_accuracy(const std::vector<SlicingNode>& nodes,
+                      std::uint32_t k) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const double ideal_rank =
+        static_cast<double>(i) / static_cast<double>(nodes.size());
+    if (nodes[i].slicer->slice() == rank_to_slice(ideal_rank, k)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(nodes.size());
+}
+
+class SlicerConvergenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SlicerConvergenceTest, RanksConvergeTowardIdeal) {
+  SimBundle bundle(7);
+  auto nodes = make_slicing_overlay(bundle, 100, GetParam(), {10, 1});
+  bundle.run_for(120 * kSeconds);
+  // Sliver converges tightly; ordered slicing's swap walk is slower/noisier.
+  const double tolerance = std::string(GetParam()) == "sliver" ? 0.05 : 0.15;
+  EXPECT_LT(mean_rank_error(nodes), tolerance);
+}
+
+TEST_P(SlicerConvergenceTest, MajorityLandInCorrectSlice) {
+  SimBundle bundle(8);
+  constexpr std::uint32_t kSlices = 5;
+  auto nodes = make_slicing_overlay(bundle, 100, GetParam(), {kSlices, 1});
+  bundle.run_for(120 * kSeconds);
+  const double threshold = std::string(GetParam()) == "sliver" ? 0.8 : 0.5;
+  EXPECT_GT(slice_accuracy(nodes, kSlices), threshold);
+}
+
+TEST_P(SlicerConvergenceTest, SlicesArePopulatedEvenly) {
+  SimBundle bundle(9);
+  constexpr std::uint32_t kSlices = 4;
+  auto nodes = make_slicing_overlay(bundle, 80, GetParam(), {kSlices, 1});
+  bundle.run_for(120 * kSeconds);
+  std::map<SliceId, int> histogram;
+  for (const auto& node : nodes) ++histogram[node.slicer->slice()];
+  ASSERT_EQ(histogram.size(), kSlices);
+  for (const auto& [slice, count] : histogram) {
+    EXPECT_NEAR(count, 20, 10) << "slice " << slice;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, SlicerConvergenceTest,
+                         ::testing::Values("sliver", "ordered"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// ---- dynamic reconfiguration -------------------------------------------------------
+
+TEST(DynamicConfig, EpochSpreadsEpidemically) {
+  SimBundle bundle(10);
+  auto nodes = make_slicing_overlay(bundle, 60, "sliver", {10, 1});
+  bundle.run_for(60 * kSeconds);
+
+  // One node proposes k=20 with a newer epoch.
+  nodes[0].slicer->adopt_config({20, 2});
+  bundle.run_for(60 * kSeconds);
+
+  for (const auto& node : nodes) {
+    EXPECT_EQ(node.slicer->config().slice_count, 20u);
+    EXPECT_EQ(node.slicer->config().epoch, 2u);
+  }
+}
+
+TEST(DynamicConfig, StaleEpochIsIgnored) {
+  SimBundle bundle(11);
+  auto nodes = make_slicing_overlay(bundle, 20, "sliver", {10, 5});
+  nodes[0].slicer->adopt_config({99, 3});  // older epoch
+  EXPECT_EQ(nodes[0].slicer->config().slice_count, 10u);
+}
+
+TEST(DynamicConfig, SliceChangeListenerFiresOnReshard) {
+  SimBundle bundle(12);
+  auto nodes = make_slicing_overlay(bundle, 40, "sliver", {2, 1});
+  bundle.run_for(60 * kSeconds);
+
+  int changes = 0;
+  for (auto& node : nodes) {
+    node.slicer->set_slice_change_listener(
+        [&changes](SliceId, SliceId) { ++changes; });
+  }
+  // Re-shard 2 -> 16: most nodes must move slice.
+  nodes[0].slicer->adopt_config({16, 2});
+  bundle.run_for(60 * kSeconds);
+  EXPECT_GT(changes, 20);
+}
+
+// ---- Sliver specifics ----------------------------------------------------------------
+
+TEST(SliverTest, RankWithNoObservationsIsMiddle) {
+  SimBundle bundle(13);
+  pss::Cyclon pss(NodeId(0), *bundle.transport, Rng(1), {});
+  Sliver sliver(NodeId(0), 5.0, *bundle.transport, pss, Rng(2), {10, 1});
+  EXPECT_DOUBLE_EQ(sliver.rank_estimate(), 0.5);
+}
+
+TEST(SliverTest, EqualAttributesGetDistinctRanksViaIdTiebreak) {
+  SimBundle bundle(14);
+  // Two nodes, identical attribute: ranks must differ via id ordering.
+  pss::Cyclon pss0(NodeId(0), *bundle.transport, Rng(1), {});
+  pss::Cyclon pss1(NodeId(1), *bundle.transport, Rng(2), {});
+  Sliver s0(NodeId(0), 7.0, *bundle.transport, pss0, Rng(3), {2, 1});
+  Sliver s1(NodeId(1), 7.0, *bundle.transport, pss1, Rng(4), {2, 1});
+  s0.set_slice_hysteresis(1);  // no damping: observe one slice move directly
+  s1.set_slice_hysteresis(1);
+
+  // Hand-feed observations of each other.
+  Writer w0;
+  w0.node_id(NodeId(1));
+  w0.f64(7.0);
+  w0.u32(2);
+  w0.u64(1);
+  s0.handle(net::Message{NodeId(1), NodeId(0), kSliverSampleReply, w0.take()});
+
+  Writer w1;
+  w1.node_id(NodeId(0));
+  w1.f64(7.0);
+  w1.u32(2);
+  w1.u64(1);
+  s1.handle(net::Message{NodeId(0), NodeId(1), kSliverSampleReply, w1.take()});
+
+  EXPECT_LT(s0.rank_estimate(), s1.rank_estimate());
+  EXPECT_NE(s0.slice(), s1.slice());
+}
+
+TEST(SliverTest, ObservationWindowIsBounded) {
+  SimBundle bundle(15);
+  pss::Cyclon pss(NodeId(0), *bundle.transport, Rng(1), {});
+  SliverOptions opts;
+  opts.window_capacity = 16;
+  Sliver sliver(NodeId(0), 5.0, *bundle.transport, pss, Rng(2), {10, 1}, opts);
+
+  for (int i = 1; i <= 100; ++i) {
+    Writer w;
+    w.node_id(NodeId(i));
+    w.f64(static_cast<double>(i));
+    w.u32(10);
+    w.u64(1);
+    sliver.handle(
+        net::Message{NodeId(i), NodeId(0), kSliverSampleReply, w.take()});
+  }
+  sliver.tick();  // triggers expiry/bounding
+  EXPECT_LE(sliver.observation_count(), opts.window_capacity);
+}
+
+}  // namespace
+}  // namespace dataflasks::slicing

@@ -1,0 +1,291 @@
+// Unit tests for the Data Store implementations: versioned semantics shared
+// by MemStore and LogStore (typed parametrized suite), plus LogStore
+// persistence: recovery, torn-write handling, corruption and compaction.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "store/log_store.hpp"
+#include "store/memstore.hpp"
+
+namespace dataflasks::store {
+namespace {
+
+Bytes value_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string temp_log_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("dataflasks_test_" + tag + "_" + std::to_string(::getpid()) +
+           ".log"))
+      .string();
+}
+
+// ---- shared Store contract ---------------------------------------------------
+
+class StoreFactory {
+ public:
+  virtual ~StoreFactory() = default;
+  virtual std::unique_ptr<Store> make() = 0;
+};
+
+class MemStoreFactory : public StoreFactory {
+ public:
+  std::unique_ptr<Store> make() override {
+    return std::make_unique<MemStore>();
+  }
+};
+
+class LogStoreFactory : public StoreFactory {
+ public:
+  std::unique_ptr<Store> make() override {
+    const auto path = temp_log_path("contract" + std::to_string(counter_++));
+    std::remove(path.c_str());
+    return std::make_unique<LogStore>(path);
+  }
+
+ private:
+  int counter_ = 0;
+};
+
+class StoreContractTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "mem") {
+      factory_ = std::make_unique<MemStoreFactory>();
+    } else {
+      factory_ = std::make_unique<LogStoreFactory>();
+    }
+    store_ = factory_->make();
+  }
+
+  std::unique_ptr<StoreFactory> factory_;
+  std::unique_ptr<Store> store_;
+};
+
+TEST_P(StoreContractTest, PutThenGetExactVersion) {
+  ASSERT_TRUE(store_->put({"k", 1, value_of("v1")}).ok());
+  auto got = store_->get("k", 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().value, value_of("v1"));
+  EXPECT_EQ(got.value().version, 1u);
+}
+
+TEST_P(StoreContractTest, GetLatestReturnsHighestVersion) {
+  ASSERT_TRUE(store_->put({"k", 1, value_of("old")}).ok());
+  ASSERT_TRUE(store_->put({"k", 3, value_of("newest")}).ok());
+  ASSERT_TRUE(store_->put({"k", 2, value_of("mid")}).ok());
+  auto got = store_->get("k", std::nullopt);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().version, 3u);
+  EXPECT_EQ(got.value().value, value_of("newest"));
+}
+
+TEST_P(StoreContractTest, MissingKeyAndVersionAreNotFound) {
+  EXPECT_FALSE(store_->get("ghost", std::nullopt).ok());
+  ASSERT_TRUE(store_->put({"k", 1, value_of("x")}).ok());
+  auto miss = store_->get("k", 9);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.error().code, Error::Code::kNotFound);
+}
+
+TEST_P(StoreContractTest, IdempotentRestore) {
+  ASSERT_TRUE(store_->put({"k", 1, value_of("same")}).ok());
+  ASSERT_TRUE(store_->put({"k", 1, value_of("same")}).ok());
+  EXPECT_EQ(store_->object_count(), 1u);
+}
+
+TEST_P(StoreContractTest, ConflictingRewriteRejected) {
+  ASSERT_TRUE(store_->put({"k", 1, value_of("a")}).ok());
+  auto conflict = store_->put({"k", 1, value_of("b")});
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.error().code, Error::Code::kConflict);
+  // Original value intact.
+  EXPECT_EQ(store_->get("k", 1).value().value, value_of("a"));
+}
+
+TEST_P(StoreContractTest, ContainsTracksExactPairs) {
+  ASSERT_TRUE(store_->put({"k", 2, value_of("x")}).ok());
+  EXPECT_TRUE(store_->contains("k", 2));
+  EXPECT_FALSE(store_->contains("k", 1));
+  EXPECT_FALSE(store_->contains("other", 2));
+}
+
+TEST_P(StoreContractTest, DigestListsEveryVersion) {
+  ASSERT_TRUE(store_->put({"a", 1, value_of("1")}).ok());
+  ASSERT_TRUE(store_->put({"a", 2, value_of("2")}).ok());
+  ASSERT_TRUE(store_->put({"b", 7, value_of("3")}).ok());
+  auto digest = store_->digest();
+  EXPECT_EQ(digest.size(), 3u);
+  EXPECT_EQ(store_->object_count(), 3u);
+}
+
+TEST_P(StoreContractTest, AllReturnsStoredObjects) {
+  ASSERT_TRUE(store_->put({"a", 1, value_of("va")}).ok());
+  ASSERT_TRUE(store_->put({"b", 1, value_of("vb")}).ok());
+  auto all = store_->all();
+  ASSERT_EQ(all.size(), 2u);
+  for (const auto& obj : all) {
+    EXPECT_EQ(obj.value, value_of(obj.key == "a" ? "va" : "vb"));
+  }
+}
+
+TEST_P(StoreContractTest, RemoveKeysWherePredicate) {
+  ASSERT_TRUE(store_->put({"keep", 1, value_of("k")}).ok());
+  ASSERT_TRUE(store_->put({"drop", 1, value_of("d1")}).ok());
+  ASSERT_TRUE(store_->put({"drop", 2, value_of("d2")}).ok());
+  const std::size_t removed = store_->remove_keys_where(
+      [](const Key& k) { return k == "drop"; });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_TRUE(store_->contains("keep", 1));
+  EXPECT_FALSE(store_->contains("drop", 1));
+  EXPECT_EQ(store_->object_count(), 1u);
+}
+
+TEST_P(StoreContractTest, ValueBytesAccounting) {
+  EXPECT_EQ(store_->value_bytes(), 0u);
+  ASSERT_TRUE(store_->put({"k", 1, Bytes(100)}).ok());
+  ASSERT_TRUE(store_->put({"k", 2, Bytes(50)}).ok());
+  EXPECT_EQ(store_->value_bytes(), 150u);
+}
+
+TEST_P(StoreContractTest, EmptyValueSupported) {
+  ASSERT_TRUE(store_->put({"k", 1, {}}).ok());
+  auto got = store_->get("k", 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got.value().value.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, StoreContractTest,
+                         ::testing::Values("mem", "log"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+// ---- LogStore persistence ------------------------------------------------------
+
+class LogStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_log_path("persist");
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(LogStoreTest, SurvivesReopen) {
+  {
+    LogStore s(path_);
+    ASSERT_TRUE(s.open_status().ok());
+    ASSERT_TRUE(s.put({"k1", 1, value_of("v1")}).ok());
+    ASSERT_TRUE(s.put({"k2", 5, value_of("v2")}).ok());
+    ASSERT_TRUE(s.sync().ok());
+  }
+  LogStore reopened(path_);
+  ASSERT_TRUE(reopened.open_status().ok());
+  EXPECT_EQ(reopened.object_count(), 2u);
+  EXPECT_EQ(reopened.get("k1", 1).value().value, value_of("v1"));
+  EXPECT_EQ(reopened.get("k2", std::nullopt).value().version, 5u);
+}
+
+TEST_F(LogStoreTest, TornTailIsDropped) {
+  {
+    LogStore s(path_);
+    ASSERT_TRUE(s.put({"good", 1, value_of("ok")}).ok());
+    ASSERT_TRUE(s.sync().ok());
+  }
+  {
+    // Simulate a torn write: append garbage that looks like a header start.
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    const std::uint32_t partial[2] = {0xDF1A5C05, 0xFFFFFFFF};
+    std::fwrite(partial, sizeof partial, 1, f);
+    std::fclose(f);
+  }
+  LogStore recovered(path_);
+  ASSERT_TRUE(recovered.open_status().ok());
+  EXPECT_EQ(recovered.object_count(), 1u);
+  EXPECT_TRUE(recovered.contains("good", 1));
+  // And the store keeps working after recovery.
+  EXPECT_TRUE(recovered.put({"more", 2, value_of("x")}).ok());
+}
+
+TEST_F(LogStoreTest, CorruptedRecordStopsRecoveryAtThatPoint) {
+  {
+    LogStore s(path_);
+    ASSERT_TRUE(s.put({"first", 1, value_of("aaaa")}).ok());
+    ASSERT_TRUE(s.put({"second", 1, value_of("bbbb")}).ok());
+    ASSERT_TRUE(s.sync().ok());
+  }
+  {
+    // Flip a byte inside the second record's body.
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    std::fseek(f, -2, SEEK_END);
+    std::fputc(0x5A, f);
+    std::fclose(f);
+  }
+  LogStore recovered(path_);
+  ASSERT_TRUE(recovered.open_status().ok());
+  EXPECT_TRUE(recovered.contains("first", 1));
+  EXPECT_FALSE(recovered.contains("second", 1));
+}
+
+TEST_F(LogStoreTest, CompactionReclaimsRemovedData) {
+  LogStore s(path_);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        s.put({"key" + std::to_string(i), 1, Bytes(100, 0xAB)}).ok());
+  }
+  const std::size_t before = s.log_bytes();
+  s.remove_keys_where([](const Key& k) { return k != "key0"; });
+  auto reclaimed = s.compact();
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_GT(reclaimed.value(), 0u);
+  EXPECT_LT(s.log_bytes(), before);
+  EXPECT_TRUE(s.contains("key0", 1));
+  EXPECT_EQ(s.object_count(), 1u);
+
+  // Reads still work against the compacted file.
+  EXPECT_EQ(s.get("key0", 1).value().value, Bytes(100, 0xAB));
+}
+
+TEST_F(LogStoreTest, CompactedStoreSurvivesReopen) {
+  {
+    LogStore s(path_);
+    ASSERT_TRUE(s.put({"a", 1, value_of("x")}).ok());
+    ASSERT_TRUE(s.put({"b", 1, value_of("y")}).ok());
+    s.remove_keys_where([](const Key& k) { return k == "a"; });
+    ASSERT_TRUE(s.compact().ok());
+  }
+  LogStore reopened(path_);
+  EXPECT_FALSE(reopened.contains("a", 1));
+  EXPECT_TRUE(reopened.contains("b", 1));
+}
+
+// ---- object codec -----------------------------------------------------------------
+
+TEST(ObjectCodec, RoundTrip) {
+  const Object obj{"key", 42, value_of("payload")};
+  Writer w;
+  encode(w, obj);
+  Reader r(w.buffer());
+  const Object decoded = decode_object(r);
+  EXPECT_TRUE(r.finish().ok());
+  EXPECT_EQ(decoded, obj);
+}
+
+TEST(ObjectCodec, DigestEntryOrdering) {
+  const DigestEntry a{"a", 1}, a2{"a", 2}, b{"b", 0};
+  EXPECT_LT(a, a2);
+  EXPECT_LT(a2, b);  // key dominates
+  Writer w;
+  encode(w, a);
+  Reader r(w.buffer());
+  EXPECT_EQ(decode_digest_entry(r), a);
+}
+
+}  // namespace
+}  // namespace dataflasks::store

@@ -1,0 +1,181 @@
+// SimTransport tests: delivery through the event queue, latency ordering,
+// drop semantics (loss, dead nodes, unregistered handlers, crash while in
+// flight) and the per-node / per-category traffic accounting that the
+// paper-figure benches depend on.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace dataflasks::net {
+namespace {
+
+using testing::SimBundle;
+
+Message make_msg(std::uint64_t src, std::uint64_t dst, std::uint16_t type,
+                 std::size_t payload_size = 4) {
+  return Message{NodeId(src), NodeId(dst), type, Bytes(payload_size, 0xAA)};
+}
+
+TEST(SimTransport, DeliversAfterLatency) {
+  SimBundle bundle(1, /*latency=*/25 * kMillis);
+  SimTime delivered_at = -1;
+  bundle.transport->register_handler(NodeId(2), [&](const Message&) {
+    delivered_at = bundle.simulator.now();
+  });
+  bundle.transport->send(make_msg(1, 2, kPssTypeBase));
+  bundle.run_for(kSeconds);
+  EXPECT_EQ(delivered_at, 25 * kMillis);
+}
+
+TEST(SimTransport, PayloadArrivesIntact) {
+  SimBundle bundle(2);
+  Bytes received;
+  bundle.transport->register_handler(NodeId(2), [&](const Message& msg) {
+    received = msg.payload;
+  });
+  Message msg = make_msg(1, 2, kRequestTypeBase);
+  msg.payload = Bytes{1, 2, 3, 4, 5};
+  bundle.transport->send(msg);
+  bundle.run_for(kSeconds);
+  EXPECT_EQ(received, (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(SimTransport, UnregisteredDestinationDrops) {
+  SimBundle bundle(3);
+  bundle.transport->send(make_msg(1, 99, kPssTypeBase));
+  bundle.run_for(kSeconds);
+  EXPECT_EQ(bundle.transport->total_sent(), 1u);
+  EXPECT_EQ(bundle.transport->total_delivered(), 0u);
+  EXPECT_EQ(bundle.transport->total_dropped(), 1u);
+}
+
+TEST(SimTransport, CrashWhileInFlightDrops) {
+  SimBundle bundle(4, /*latency=*/50 * kMillis);
+  int delivered = 0;
+  bundle.transport->register_handler(NodeId(2),
+                                     [&](const Message&) { ++delivered; });
+  bundle.transport->send(make_msg(1, 2, kPssTypeBase));
+  // The destination dies before the packet lands.
+  bundle.simulator.schedule_after(10 * kMillis, [&]() {
+    bundle.model.set_node_up(NodeId(2), false);
+  });
+  bundle.run_for(kSeconds);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(bundle.transport->total_dropped(), 1u);
+}
+
+TEST(SimTransport, UnregisterStopsDelivery) {
+  SimBundle bundle(5);
+  int delivered = 0;
+  bundle.transport->register_handler(NodeId(2),
+                                     [&](const Message&) { ++delivered; });
+  bundle.transport->unregister_handler(NodeId(2));
+  bundle.transport->send(make_msg(1, 2, kPssTypeBase));
+  bundle.run_for(kSeconds);
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(SimTransport, LossIsApplied) {
+  SimBundle bundle(6);
+  bundle.model.set_loss_probability(0.5);
+  int delivered = 0;
+  bundle.transport->register_handler(NodeId(2),
+                                     [&](const Message&) { ++delivered; });
+  for (int i = 0; i < 2000; ++i) {
+    bundle.transport->send(make_msg(1, 2, kPssTypeBase));
+  }
+  bundle.run_for(10 * kSeconds);
+  EXPECT_NEAR(delivered, 1000, 100);
+  EXPECT_EQ(bundle.transport->total_sent(), 2000u);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered),
+            bundle.transport->total_delivered());
+}
+
+TEST(SimTransport, PerNodeAccountingCountsBothSides) {
+  SimBundle bundle(7);
+  bundle.transport->register_handler(NodeId(2), [](const Message&) {});
+  bundle.transport->send(make_msg(1, 2, kRequestTypeBase, 10));
+  bundle.run_for(kSeconds);
+
+  const TrafficStats& sender = bundle.transport->stats(NodeId(1));
+  const TrafficStats& receiver = bundle.transport->stats(NodeId(2));
+  EXPECT_EQ(sender.sent, 1u);
+  EXPECT_EQ(sender.received, 0u);
+  EXPECT_EQ(receiver.sent, 0u);
+  EXPECT_EQ(receiver.received, 1u);
+  EXPECT_EQ(sender.bytes_sent, receiver.bytes_received);
+  EXPECT_GT(sender.bytes_sent, 10u);  // payload + envelope header
+  EXPECT_EQ(sender.total_messages(), 1u);
+}
+
+TEST(SimTransport, SendsCountEvenWhenDropped) {
+  SimBundle bundle(8);
+  bundle.model.set_node_up(NodeId(2), false);
+  bundle.transport->send(make_msg(1, 2, kPssTypeBase));
+  bundle.run_for(kSeconds);
+  // The sender did the work; the paper's per-node counts include sends.
+  EXPECT_EQ(bundle.transport->stats(NodeId(1)).sent, 1u);
+  EXPECT_EQ(bundle.transport->stats(NodeId(2)).received, 0u);
+}
+
+TEST(SimTransport, CategoryAccountingSeparatesTraffic) {
+  SimBundle bundle(9);
+  bundle.transport->register_handler(NodeId(2), [](const Message&) {});
+  bundle.transport->send(make_msg(1, 2, kPssTypeBase));
+  bundle.transport->send(make_msg(1, 2, kSlicingTypeBase));
+  bundle.transport->send(make_msg(1, 2, kRequestTypeBase));
+  bundle.transport->send(make_msg(1, 2, kRequestTypeBase + 5));
+  bundle.transport->send(make_msg(1, 2, kAntiEntropyTypeBase));
+  bundle.transport->send(make_msg(1, 2, kBaselineTypeBase));
+  bundle.run_for(kSeconds);
+
+  auto sent_in = [&](MsgCategory category) {
+    return bundle.transport->stats_for_category(NodeId(1), category).sent;
+  };
+  EXPECT_EQ(sent_in(MsgCategory::kPeerSampling), 1u);
+  EXPECT_EQ(sent_in(MsgCategory::kSlicing), 1u);
+  EXPECT_EQ(sent_in(MsgCategory::kRequest), 2u);
+  EXPECT_EQ(sent_in(MsgCategory::kAntiEntropy), 1u);
+  EXPECT_EQ(sent_in(MsgCategory::kBaseline), 1u);
+}
+
+TEST(SimTransport, ResetStatsClearsEverything) {
+  SimBundle bundle(10);
+  bundle.transport->register_handler(NodeId(2), [](const Message&) {});
+  bundle.transport->send(make_msg(1, 2, kPssTypeBase));
+  bundle.run_for(kSeconds);
+  bundle.transport->reset_stats();
+  EXPECT_EQ(bundle.transport->total_sent(), 0u);
+  EXPECT_EQ(bundle.transport->stats(NodeId(1)).sent, 0u);
+  EXPECT_EQ(bundle.transport
+                ->stats_for_category(NodeId(1), MsgCategory::kPeerSampling)
+                .sent,
+            0u);
+}
+
+TEST(MessageEnvelope, WireSizeAndCategories) {
+  Message msg = make_msg(1, 2, kRequestTypeBase, 100);
+  EXPECT_EQ(msg.wire_size(), 100u + 8 + 8 + 2 + 4);
+  EXPECT_EQ(category_of(0x0050), MsgCategory::kOther);
+  EXPECT_EQ(std::string(to_string(MsgCategory::kRequest)), "request");
+}
+
+TEST(SimTransport, ConcurrentMessagesKeepFifoPerLink) {
+  // Constant latency => messages on the same link deliver in send order.
+  SimBundle bundle(11, 10 * kMillis);
+  std::vector<std::uint8_t> order;
+  bundle.transport->register_handler(NodeId(2), [&](const Message& msg) {
+    order.push_back(msg.payload.front());
+  });
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    Message msg = make_msg(1, 2, kPssTypeBase);
+    msg.payload = Bytes{i};
+    bundle.transport->send(msg);
+  }
+  bundle.run_for(kSeconds);
+  ASSERT_EQ(order.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace dataflasks::net

@@ -1,0 +1,40 @@
+// Shared helpers for protocol-level tests: a pre-wired simulator + network
+// + transport bundle, and small assertion utilities.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/sim_transport.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dataflasks::testing {
+
+/// Simulator + network model + transport with low, constant latency:
+/// protocol logic tests should not depend on jitter.
+struct SimBundle {
+  explicit SimBundle(std::uint64_t seed = 1234,
+                     SimTime latency = 10 * kMillis)
+      : simulator(seed), model(sim::LatencyModel::constant(latency)) {
+    transport = std::make_unique<net::SimTransport>(simulator, model);
+  }
+
+  sim::Simulator simulator;
+  sim::NetworkModel model;
+  std::unique_ptr<net::SimTransport> transport;
+
+  void run_for(SimTime duration) {
+    simulator.run_until(simulator.now() + duration);
+  }
+};
+
+/// Dense node ids 0..count-1.
+inline std::vector<NodeId> make_ids(std::size_t count) {
+  std::vector<NodeId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ids.emplace_back(i);
+  return ids;
+}
+
+}  // namespace dataflasks::testing

@@ -1,0 +1,189 @@
+// Unit tests for the YCSB-style workload generators.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/distributions.hpp"
+#include "workload/ycsb.hpp"
+
+namespace dataflasks::workload {
+namespace {
+
+// ---- distributions ------------------------------------------------------------
+
+TEST(Distributions, UniformCoversRange) {
+  Rng rng(1);
+  UniformDistribution d(100);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = d.next(rng);
+    ASSERT_LT(v, 100u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Distributions, ZipfianIsSkewedTowardZero) {
+  Rng rng(2);
+  ZipfianDistribution d(1000);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[d.next(rng)];
+  // Item 0 is the most popular; YCSB zipf(0.99) gives it ~7-10% of traffic.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], kSamples / 25);
+  // And the tail still gets hit.
+  int tail_hits = 0;
+  for (const auto& [item, count] : counts) {
+    if (item > 500) tail_hits += count;
+  }
+  EXPECT_GT(tail_hits, 0);
+}
+
+TEST(Distributions, ZipfianStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t n : {1ULL, 2ULL, 10ULL, 12345ULL}) {
+    ZipfianDistribution d(n);
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(d.next(rng), n);
+  }
+}
+
+TEST(Distributions, ScrambledZipfianSpreadsHotKeys) {
+  Rng rng(4);
+  ScrambledZipfianDistribution d(1000);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[d.next(rng)];
+  // The hottest item should NOT be item 0 (hash-scrambled placement) —
+  // or rather, the hot spots should be spread: check that the top item is
+  // hot but its neighbours are not automatically hot too.
+  auto hottest = counts.begin();
+  for (auto it = counts.begin(); it != counts.end(); ++it) {
+    if (it->second > hottest->second) hottest = it;
+  }
+  EXPECT_GT(hottest->second, 1000);
+  const auto neighbour = counts.find(hottest->first + 1);
+  if (neighbour != counts.end()) {
+    EXPECT_LT(neighbour->second, hottest->second / 2);
+  }
+}
+
+TEST(Distributions, LatestFavoursRecentItems) {
+  Rng rng(5);
+  LatestDistribution d(1000);
+  std::uint64_t recent_hits = 0, old_hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = d.next(rng);
+    ASSERT_LT(v, 1000u);
+    if (v >= 900) ++recent_hits;
+    if (v < 100) ++old_hits;
+  }
+  EXPECT_GT(recent_hits, old_hits * 3);
+}
+
+TEST(Distributions, GrowExtendsRange) {
+  Rng rng(6);
+  UniformDistribution d(10);
+  d.grow(20);
+  bool saw_new = false;
+  for (int i = 0; i < 10000; ++i) {
+    if (d.next(rng) >= 10) saw_new = true;
+  }
+  EXPECT_TRUE(saw_new);
+  EXPECT_EQ(d.item_count(), 20u);
+}
+
+// ---- workload specs -------------------------------------------------------------
+
+TEST(WorkloadSpec, PresetProportionsSumToOne) {
+  for (const auto& spec :
+       {WorkloadSpec::A(), WorkloadSpec::B(), WorkloadSpec::C(),
+        WorkloadSpec::D(), WorkloadSpec::F(), WorkloadSpec::write_only()}) {
+    const double total = spec.read_proportion + spec.update_proportion +
+                         spec.insert_proportion + spec.rmw_proportion;
+    EXPECT_NEAR(total, 1.0, 1e-9) << spec.name;
+  }
+}
+
+TEST(WorkloadSpec, WriteOnlyHasNoReads) {
+  const auto spec = WorkloadSpec::write_only();
+  EXPECT_EQ(spec.read_proportion, 0.0);
+  EXPECT_EQ(spec.update_proportion, 1.0);
+}
+
+// ---- generator ---------------------------------------------------------------------
+
+TEST(WorkloadGenerator, LoadPhaseInsertsEveryRecordOnce) {
+  WorkloadSpec spec = WorkloadSpec::write_only();
+  spec.record_count = 100;
+  WorkloadGenerator gen(spec, Rng(1));
+  const auto ops = gen.load_phase();
+  ASSERT_EQ(ops.size(), 100u);
+  std::set<Key> keys;
+  for (const auto& op : ops) {
+    EXPECT_EQ(static_cast<int>(op.kind), static_cast<int>(OpKind::kInsert));
+    keys.insert(op.key);
+  }
+  EXPECT_EQ(keys.size(), 100u);
+}
+
+TEST(WorkloadGenerator, TransactionPhaseHonoursMix) {
+  WorkloadSpec spec = WorkloadSpec::A();  // 50/50 read/update
+  spec.record_count = 100;
+  spec.operation_count = 10000;
+  WorkloadGenerator gen(spec, Rng(2));
+  int reads = 0, updates = 0;
+  for (const auto& op : gen.transaction_phase()) {
+    if (op.kind == OpKind::kRead) ++reads;
+    if (op.kind == OpKind::kUpdate) ++updates;
+  }
+  EXPECT_NEAR(reads / 10000.0, 0.5, 0.03);
+  EXPECT_NEAR(updates / 10000.0, 0.5, 0.03);
+}
+
+TEST(WorkloadGenerator, InsertsCreateFreshKeys) {
+  WorkloadSpec spec;
+  spec.name = "insert-only";
+  spec.insert_proportion = 1.0;
+  spec.record_count = 10;
+  spec.operation_count = 50;
+  WorkloadGenerator gen(spec, Rng(3));
+  const auto load = gen.load_phase();
+  std::set<Key> loaded;
+  for (const auto& op : load) loaded.insert(op.key);
+
+  for (const auto& op : gen.transaction_phase()) {
+    EXPECT_EQ(static_cast<int>(op.kind), static_cast<int>(OpKind::kInsert));
+    EXPECT_FALSE(loaded.contains(op.key)) << "insert reused key " << op.key;
+  }
+}
+
+TEST(WorkloadGenerator, DeterministicForSameSeed) {
+  WorkloadSpec spec = WorkloadSpec::B();
+  spec.operation_count = 100;
+  WorkloadGenerator a(spec, Rng(7));
+  WorkloadGenerator b(spec, Rng(7));
+  const auto ops_a = a.transaction_phase();
+  const auto ops_b = b.transaction_phase();
+  ASSERT_EQ(ops_a.size(), ops_b.size());
+  for (std::size_t i = 0; i < ops_a.size(); ++i) {
+    EXPECT_EQ(ops_a[i].key, ops_b[i].key);
+    EXPECT_EQ(static_cast<int>(ops_a[i].kind),
+              static_cast<int>(ops_b[i].kind));
+  }
+}
+
+TEST(WorkloadGenerator, KeyForIsStableAndSpread) {
+  EXPECT_EQ(WorkloadGenerator::key_for(5), WorkloadGenerator::key_for(5));
+  EXPECT_NE(WorkloadGenerator::key_for(5), WorkloadGenerator::key_for(6));
+  EXPECT_TRUE(WorkloadGenerator::key_for(0).starts_with("user"));
+}
+
+TEST(WorkloadGenerator, RejectsBadProportions) {
+  WorkloadSpec spec;
+  spec.read_proportion = 0.5;  // sums to 0.5
+  EXPECT_THROW(WorkloadGenerator(spec, Rng(1)), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace dataflasks::workload
