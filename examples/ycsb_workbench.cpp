@@ -4,9 +4,9 @@
 // the paper's evaluation setup ("we ran YCSB ... as its direct client"),
 // usable for quick what-if exploration.
 //
-//   $ ./examples/ycsb_workbench workload=a nodes=120 slices=6 clients=8 \
-//         records=200 ops=400 balancer=slice-cache
-//   workload = a|b|c|d|f|write-only
+//   $ ./examples/ycsb_workbench workload=a nodes=120 records=200 ops=400
+//   workload = a|b|c|d|f|write-only; other knobs: slices= clients=
+//   balancer=random|slice-cache seed=
 #include <cstdio>
 
 #include "common/config.hpp"

@@ -60,8 +60,13 @@ class Writer {
 
  private:
   void append(const void* data, std::size_t n) {
-    const auto* p = static_cast<const std::uint8_t*>(data);
-    buf_.insert(buf_.end(), p, p + n);
+    // resize + memcpy rather than insert(iter, iter): byte-range insert trips
+    // GCC 12's -Wstringop-overflow false positive at -O2, and the n == 0
+    // guard keeps memcpy away from the null data() of an empty string/vector.
+    if (n == 0) return;
+    const std::size_t old_size = buf_.size();
+    buf_.resize(old_size + n);
+    std::memcpy(buf_.data() + old_size, data, n);
   }
 
   Bytes buf_;

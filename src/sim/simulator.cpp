@@ -28,12 +28,18 @@ TimerHandle Simulator::schedule_periodic(SimTime initial_delay, SimTime period,
   auto alive = std::make_shared<bool>(true);
 
   // Each firing re-schedules the next occurrence while the handle is alive.
+  // The closure holds only a weak reference to itself — the strong references
+  // live in the queued events — so cancelled/drained timers are reclaimed
+  // instead of leaking through a shared_ptr cycle.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, alive, period, fn = std::move(fn), tick]() {
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [this, alive, period, fn = std::move(fn), weak_tick]() {
     if (!*alive) return;
     fn();
     if (*alive) {
-      queue_.push(now_ + period, [tick]() { (*tick)(); });
+      if (auto next = weak_tick.lock()) {
+        queue_.push(now_ + period, [next]() { (*next)(); });
+      }
     }
   };
   queue_.push(now_ + initial_delay, [tick]() { (*tick)(); });

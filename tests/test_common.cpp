@@ -128,7 +128,7 @@ TEST(Rng, SampleLargerThanPoolReturnsAll) {
 TEST(Rng, PickOnEmptyThrows) {
   Rng rng(1);
   std::vector<int> empty;
-  EXPECT_THROW(rng.pick(empty), InvariantViolation);
+  EXPECT_THROW((void)rng.pick(empty), InvariantViolation);
 }
 
 // ---- hashing ----------------------------------------------------------------
@@ -275,7 +275,7 @@ TEST(Result, ValueAndError) {
   EXPECT_FALSE(err_result.ok());
   EXPECT_EQ(err_result.error().code, Error::Code::kNotFound);
   EXPECT_EQ(err_result.value_or(-1), -1);
-  EXPECT_THROW(err_result.value(), InvariantViolation);
+  EXPECT_THROW((void)err_result.value(), InvariantViolation);
 }
 
 TEST(Status, OkAndError) {
