@@ -55,7 +55,7 @@ void BM_ObjectEncodeDecode(benchmark::State& state) {
   for (auto _ : state) {
     Writer w;
     store::encode(w, obj);
-    Reader r(w.buffer());
+    Reader r(w.view());
     benchmark::DoNotOptimize(store::decode_object(r));
   }
 }

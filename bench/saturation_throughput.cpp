@@ -1,0 +1,314 @@
+// Saturation throughput bench: drives whole-system deployments of
+// N ∈ {100, 500, 1000} nodes with an open-loop put/get load whose rate
+// doubles per rung until the simulated-events-per-second of *wall* time
+// plateaus — i.e. until the harness itself, not the workload, is the
+// bottleneck. This is the repo's perf trajectory anchor: the paper's claim
+// is flat per-node load at scale, so the number of simulated events one
+// wall-second buys directly caps how many nodes and how much traffic a
+// single evaluation run can drive.
+//
+// A counting global allocator reports bytes allocated per operation, making
+// copy regressions on the dissemination hot path visible without a profiler.
+//
+// Output: a human-readable table on stdout and machine-readable JSON in
+// BENCH_saturation.json (override with out=<path>). `quick=1` runs only the
+// smallest deployment at two rungs — the CI smoke configuration.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/cluster.hpp"
+
+// ---- counting allocator -----------------------------------------------------
+// Disabled under ASan: the sanitizer owns operator new/delete there, and the
+// smoke job only needs the bench to run, not to report allocation counts.
+#if defined(__SANITIZE_ADDRESS__)
+#define DF_BENCH_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DF_BENCH_COUNT_ALLOCS 0
+#else
+#define DF_BENCH_COUNT_ALLOCS 1
+#endif
+#else
+#define DF_BENCH_COUNT_ALLOCS 1
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+#if DF_BENCH_COUNT_ALLOCS
+namespace {
+void* counted_alloc(std::size_t n) {
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // DF_BENCH_COUNT_ALLOCS
+
+namespace dataflasks::bench {
+namespace {
+
+struct RungResult {
+  std::uint64_t rate = 0;  ///< scheduled ops per simulated second
+  std::uint64_t ops_issued = 0;
+  std::uint64_t ops_acked = 0;
+  std::uint64_t sim_events = 0;
+  double wall_seconds = 0.0;
+  double sim_events_per_wall_sec = 0.0;
+  double ops_per_sim_sec = 0.0;
+  std::uint64_t bytes_allocated = 0;
+  std::uint64_t allocs = 0;
+  double bytes_per_op = 0.0;
+};
+
+struct RunResult {
+  std::size_t nodes = 0;
+  std::vector<RungResult> rungs;
+  double peak_sim_events_per_wall_sec = 0.0;
+  double peak_bytes_per_op = 0.0;  ///< at the peak-throughput rung
+};
+
+struct SaturationOptions {
+  bool anti_entropy = true;  ///< ae=0 isolates the dissemination path
+  SimTime warmup = 60 * kSeconds;
+  std::size_t record_count = 512;
+  std::size_t value_size = 256;
+  std::size_t clients = 16;
+  std::size_t ops_cap = 20'000;   ///< per rung; bounds wall time per rung
+  std::size_t max_rungs = 6;
+  double read_fraction = 0.5;
+  std::uint64_t seed = 42;
+};
+
+RunResult run_saturation(std::size_t nodes, const SaturationOptions& opts) {
+  harness::ClusterOptions copts;
+  copts.node_count = nodes;
+  copts.seed = opts.seed + nodes;
+  copts.node.anti_entropy_enabled = opts.anti_entropy;
+  harness::Cluster cluster(copts);
+  cluster.start_all();
+  cluster.simulator().run_until(opts.warmup);
+
+  std::vector<client::Client*> clients;
+  for (std::size_t i = 0; i < opts.clients; ++i) {
+    clients.push_back(&cluster.add_client());
+  }
+
+  auto key_of = [](std::size_t i) { return "sat-key-" + std::to_string(i); };
+
+  // Preload the keyspace so measurement-phase gets mostly hit.
+  std::uint64_t preload_acked = 0;
+  for (std::size_t i = 0; i < opts.record_count; ++i) {
+    clients[i % clients.size()]->put_auto(
+        key_of(i), Bytes(opts.value_size, static_cast<std::uint8_t>(i)),
+        [&preload_acked](const client::PutResult& r) {
+          if (r.ok) ++preload_acked;
+        });
+  }
+  cluster.simulator().run_until(cluster.simulator().now() + 30 * kSeconds);
+  std::printf("# nodes=%zu preloaded %llu/%zu keys\n", nodes,
+              static_cast<unsigned long long>(preload_acked),
+              opts.record_count);
+
+  RunResult result;
+  result.nodes = nodes;
+
+  Rng rng(opts.seed ^ 0x5a7);
+  std::uint64_t rate = nodes;  // 1 op per node-second to start
+  for (std::size_t rung = 0; rung < opts.max_rungs; ++rung, rate *= 2) {
+    // Window sized so each rung issues at most ops_cap operations.
+    const std::uint64_t ops_target =
+        std::min<std::uint64_t>(opts.ops_cap, rate * 8);
+    const SimTime window =
+        static_cast<SimTime>(ops_target * kSeconds / rate);
+    const SimTime start = cluster.simulator().now();
+
+    RungResult r;
+    r.rate = rate;
+    // Shared-ownership counter: a straggling op (client retries) can resolve
+    // after this rung's drain deadline, so its completion callback must not
+    // dangle into a dead stack frame. post_at (not schedule_at) keeps the
+    // measured window free of harness-side cancellation-flag allocations.
+    const auto acked = std::make_shared<std::uint64_t>(0);
+    const std::size_t value_size = opts.value_size;
+    for (std::uint64_t i = 0; i < ops_target; ++i) {
+      const SimTime at = start + static_cast<SimTime>(
+          (static_cast<double>(i) / static_cast<double>(rate)) * kSeconds);
+      client::Client* c = clients[i % clients.size()];
+      const std::string key = key_of(rng.next_below(opts.record_count));
+      const bool is_get = rng.next_double() < opts.read_fraction;
+      cluster.simulator().post_at(at, [c, key, is_get, acked, value_size]() {
+        if (is_get) {
+          c->get(key, std::nullopt, [acked](const client::GetResult& gr) {
+            if (gr.ok) ++*acked;
+          });
+        } else {
+          c->put_auto(key, Bytes(value_size, 0x5a),
+                      [acked](const client::PutResult& pr) {
+                        if (pr.ok) ++*acked;
+                      });
+        }
+      });
+    }
+    r.ops_issued = ops_target;
+
+    g_alloc_bytes.store(0, std::memory_order_relaxed);
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    const auto wall_start = std::chrono::steady_clock::now();
+    // Drain past the window end so in-flight requests resolve inside the
+    // measured region; 4s covers the client timeout plus replication pushes.
+    r.sim_events =
+        cluster.simulator().run_until(start + window + 4 * kSeconds);
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    r.wall_seconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    r.bytes_allocated = g_alloc_bytes.load(std::memory_order_relaxed);
+    r.allocs = g_alloc_count.load(std::memory_order_relaxed);
+    r.ops_acked = *acked;
+    r.sim_events_per_wall_sec =
+        r.wall_seconds > 0.0
+            ? static_cast<double>(r.sim_events) / r.wall_seconds
+            : 0.0;
+    r.ops_per_sim_sec =
+        static_cast<double>(r.ops_issued) /
+        (static_cast<double>(window + 4 * kSeconds) / kSeconds);
+    r.bytes_per_op = r.ops_issued > 0
+                         ? static_cast<double>(r.bytes_allocated) /
+                               static_cast<double>(r.ops_issued)
+                         : 0.0;
+
+    std::printf(
+        "  rung %zu: rate=%8llu ops/s  issued=%7llu acked=%7llu  "
+        "events=%9llu  wall=%6.2fs  events/s=%10.0f  bytes/op=%9.0f\n",
+        rung, static_cast<unsigned long long>(r.rate),
+        static_cast<unsigned long long>(r.ops_issued),
+        static_cast<unsigned long long>(r.ops_acked),
+        static_cast<unsigned long long>(r.sim_events), r.wall_seconds,
+        r.sim_events_per_wall_sec, r.bytes_per_op);
+    std::fflush(stdout);
+
+    const bool plateaued =
+        !result.rungs.empty() &&
+        r.sim_events_per_wall_sec <
+            1.05 * result.rungs.back().sim_events_per_wall_sec;
+    result.rungs.push_back(r);
+    if (plateaued && rung + 1 < opts.max_rungs) break;
+  }
+
+  for (const RungResult& r : result.rungs) {
+    if (r.sim_events_per_wall_sec > result.peak_sim_events_per_wall_sec) {
+      result.peak_sim_events_per_wall_sec = r.sim_events_per_wall_sec;
+      result.peak_bytes_per_op = r.bytes_per_op;
+    }
+  }
+  return result;
+}
+
+void write_json(const std::string& path, const std::vector<RunResult>& runs,
+                bool quick) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"saturation_throughput\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"alloc_counting\": %s,\n",
+               DF_BENCH_COUNT_ALLOCS ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& run = runs[i];
+    std::fprintf(f, "    {\n      \"nodes\": %zu,\n", run.nodes);
+    std::fprintf(f, "      \"peak_sim_events_per_wall_sec\": %.1f,\n",
+                 run.peak_sim_events_per_wall_sec);
+    std::fprintf(f, "      \"bytes_allocated_per_op\": %.1f,\n",
+                 run.peak_bytes_per_op);
+    std::fprintf(f, "      \"rungs\": [\n");
+    for (std::size_t j = 0; j < run.rungs.size(); ++j) {
+      const RungResult& r = run.rungs[j];
+      std::fprintf(
+          f,
+          "        {\"rate_ops_per_sim_sec\": %llu, \"ops_issued\": %llu, "
+          "\"ops_acked\": %llu, \"ops_per_sim_sec\": %.1f, "
+          "\"sim_events\": %llu, \"wall_seconds\": %.3f, "
+          "\"sim_events_per_wall_sec\": %.1f, \"bytes_allocated\": %llu, "
+          "\"allocs\": %llu, \"bytes_per_op\": %.1f}%s\n",
+          static_cast<unsigned long long>(r.rate),
+          static_cast<unsigned long long>(r.ops_issued),
+          static_cast<unsigned long long>(r.ops_acked), r.ops_per_sim_sec,
+          static_cast<unsigned long long>(r.sim_events), r.wall_seconds,
+          r.sim_events_per_wall_sec,
+          static_cast<unsigned long long>(r.bytes_allocated),
+          static_cast<unsigned long long>(r.allocs), r.bytes_per_op,
+          j + 1 < run.rungs.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace dataflasks::bench
+
+int main(int argc, char** argv) {
+  using namespace dataflasks;
+  using namespace dataflasks::bench;
+
+  const Config cfg = parse_bench_args(argc, argv);
+  const bool quick = cfg.get_int("quick", 0) != 0;
+  const std::string out = cfg.get_string("out", "BENCH_saturation.json");
+
+  SaturationOptions opts;
+  opts.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  opts.value_size = static_cast<std::size_t>(cfg.get_int("value_size", 256));
+  opts.read_fraction = cfg.get_double("read_fraction", 0.5);
+  opts.anti_entropy = cfg.get_int("ae", 1) != 0;
+  if (quick) {
+    opts.ops_cap = 4'000;
+    opts.max_rungs = 2;
+  }
+
+  std::vector<std::size_t> node_counts;
+  if (const auto n = cfg.get_int("nodes", 0); n > 0) {
+    node_counts.push_back(static_cast<std::size_t>(n));
+  } else if (quick) {
+    node_counts = {100};
+  } else {
+    node_counts = {100, 500, 1000};
+  }
+
+  std::printf("# saturation_throughput: nodes x open-loop put/get ladder\n");
+  std::vector<RunResult> runs;
+  for (const std::size_t nodes : node_counts) {
+    runs.push_back(run_saturation(nodes, opts));
+  }
+
+  std::printf("\n%8s %24s %16s\n", "nodes", "peak_sim_events/wall_s",
+              "bytes/op@peak");
+  for (const RunResult& run : runs) {
+    std::printf("%8zu %24.0f %16.0f\n", run.nodes,
+                run.peak_sim_events_per_wall_sec, run.peak_bytes_per_op);
+  }
+  write_json(out, runs, quick);
+  return 0;
+}

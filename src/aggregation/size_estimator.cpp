@@ -47,11 +47,11 @@ std::size_t SizeEstimator::estimated_fanout(double c) const {
   return f < 1.0 ? 1 : static_cast<std::size_t>(f);
 }
 
-Bytes SizeEstimator::encode_state() const {
+Payload SizeEstimator::encode_state() const {
   Writer w;
   w.u64(epoch_);
   w.vec(minima_, [&w](double v) { w.f64(v); });
-  return w.take();
+  return w.take_payload();
 }
 
 void SizeEstimator::tick() {

@@ -53,7 +53,7 @@ class SizeEstimator {
  private:
   void restart_epoch();
   [[nodiscard]] static double estimate_from(const std::vector<double>& x);
-  [[nodiscard]] Bytes encode_state() const;
+  [[nodiscard]] Payload encode_state() const;
 
   NodeId self_;
   net::Transport& transport_;

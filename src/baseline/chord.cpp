@@ -19,24 +19,26 @@ bool in_ring_range(std::uint64_t x, std::uint64_t from, std::uint64_t to) {
 namespace {
 
 // Route message layout: u64 target | u8 purpose | u8 hops | u64 origin | bytes
-Bytes encode_route(std::uint64_t target, std::uint8_t purpose,
-                   std::uint8_t hops, NodeId origin, const Bytes& payload) {
-  Writer w;
+Payload encode_route(std::uint64_t target, std::uint8_t purpose,
+                     std::uint8_t hops, NodeId origin, ByteView payload) {
+  Writer w(2 * sizeof(std::uint64_t) + 2 + sizeof(std::uint32_t) +
+           payload.size());
   w.u64(target);
   w.u8(purpose);
   w.u8(hops);
   w.node_id(origin);
   w.bytes(payload);
-  return w.take();
+  return w.take_payload();
 }
 
 // GetPredReply layout: u64 pred(or invalid) | vec<u64> successor list
-Bytes encode_pred_reply(const std::optional<NodeId>& pred,
-                        const std::vector<NodeId>& successors) {
-  Writer w;
+Payload encode_pred_reply(const std::optional<NodeId>& pred,
+                          const std::vector<NodeId>& successors) {
+  Writer w(sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+           successors.size() * sizeof(std::uint64_t));
   w.node_id(pred.value_or(NodeId()));
   w.vec(successors, [&w](NodeId n) { w.node_id(n); });
-  return w.take();
+  return w.take_payload();
 }
 
 }  // namespace
@@ -87,7 +89,7 @@ NodeId ChordNode::closest_preceding(std::uint64_t target) const {
 }
 
 void ChordNode::route(std::uint64_t target, std::uint8_t purpose,
-                      Bytes payload) {
+                      Payload payload) {
   if (owns(target)) {
     if (deliver_) deliver_(purpose, payload, self_);
     return;
@@ -97,7 +99,7 @@ void ChordNode::route(std::uint64_t target, std::uint8_t purpose,
 
 void ChordNode::forward_route(std::uint64_t target, std::uint8_t purpose,
                               std::uint8_t hops, NodeId origin,
-                              const Bytes& payload) {
+                              const Payload& payload) {
   if (hops >= options_.max_route_hops) return;  // routing loop safety valve
   NodeId next = successor();
   if (!in_ring_range(target, ring_id_, chord_ring_id(successor()))) {
@@ -171,7 +173,7 @@ void ChordNode::fix_next_finger() {
   const std::uint64_t target = ring_id_ + (std::uint64_t{1} << next_finger_);
   Writer w;
   w.u8(static_cast<std::uint8_t>(next_finger_));
-  route(target, /*purpose=*/0xF0, w.take());
+  route(target, /*purpose=*/0xF0, w.take_payload());
 }
 
 bool ChordNode::handle(const net::Message& msg) {
@@ -182,7 +184,8 @@ bool ChordNode::handle(const net::Message& msg) {
       const std::uint8_t purpose = r.u8();
       const std::uint8_t hops = r.u8();
       const NodeId origin = r.node_id();
-      const Bytes payload = r.bytes();
+      // Zero-copy: the routed payload stays a view into the incoming frame.
+      const Payload payload = r.payload();
       if (!r.finish().ok()) return true;
 
       if (owns(target)) {
@@ -193,7 +196,7 @@ bool ChordNode::handle(const net::Message& msg) {
           w.node_id(self_);
           transport_.send(net::Message{self_, origin, kChordRoute,
                                        encode_route(target, 0xF1, 0, self_,
-                                                    w.take())});
+                                                    w.take_payload())});
         } else if (purpose == 0xF1) {
           // A finger answer delivered to us (we are the origin).
           Reader fr(payload);
@@ -253,7 +256,7 @@ bool ChordNode::handle(const net::Message& msg) {
       Writer w;
       w.node_id(self_);
       transport_.send(
-          net::Message{self_, successor(), kChordNotify, w.take()});
+          net::Message{self_, successor(), kChordNotify, w.take_payload()});
       return true;
     }
 

@@ -47,7 +47,7 @@ class ChordNode {
   /// `deliver`: invoked when this node is the owner of a routed payload's
   /// target. `purpose` is an opaque tag for the upper layer (the KV store).
   using DeliverFn = std::function<void(std::uint8_t purpose,
-                                       const Bytes& payload, NodeId origin)>;
+                                       const Payload& payload, NodeId origin)>;
 
   ChordNode(NodeId self, net::Transport& transport, Rng rng,
             ChordOptions options, DeliverFn deliver);
@@ -61,7 +61,7 @@ class ChordNode {
 
   /// Routes `payload` toward the owner of ring position `target`.
   /// Delivered locally when this node already owns the target.
-  void route(std::uint64_t target, std::uint8_t purpose, Bytes payload);
+  void route(std::uint64_t target, std::uint8_t purpose, Payload payload);
 
   /// Consumes Chord messages; false when the type is not ours.
   bool handle(const net::Message& msg);
@@ -89,7 +89,8 @@ class ChordNode {
   void fix_next_finger();
   [[nodiscard]] NodeId closest_preceding(std::uint64_t target) const;
   void forward_route(std::uint64_t target, std::uint8_t purpose,
-                     std::uint8_t hops, NodeId origin, const Bytes& payload);
+                     std::uint8_t hops, NodeId origin,
+                     const Payload& payload);
 
   NodeId self_;
   std::uint64_t ring_id_;

@@ -8,26 +8,27 @@ namespace dataflasks::baseline {
 namespace {
 
 // Store payload: u64 rid | u64 coordinator | u8 remaining_replicas | object
-Bytes encode_store(std::uint64_t rid, NodeId coordinator,
-                   std::uint8_t remaining, const store::Object& obj) {
-  Writer w;
+Payload encode_store(std::uint64_t rid, NodeId coordinator,
+                     std::uint8_t remaining, const store::Object& obj) {
+  Writer w(2 * sizeof(std::uint64_t) + 1 + store::encoded_size(obj));
   w.u64(rid);
   w.node_id(coordinator);
   w.u8(remaining);
   store::encode(w, obj);
-  return w.take();
+  return w.take_payload();
 }
 
 // Get payload: u64 rid | u64 coordinator | key | has_version | version
-Bytes encode_get(std::uint64_t rid, NodeId coordinator, const Key& key,
-                 const std::optional<Version>& version) {
-  Writer w;
+Payload encode_get(std::uint64_t rid, NodeId coordinator, const Key& key,
+                   const std::optional<Version>& version) {
+  Writer w(3 * sizeof(std::uint64_t) + sizeof(std::uint32_t) + key.size() +
+           1);
   w.u64(rid);
   w.node_id(coordinator);
   w.str(key);
   w.boolean(version.has_value());
   w.u64(version.value_or(0));
-  return w.take();
+  return w.take_payload();
 }
 
 }  // namespace
@@ -49,7 +50,7 @@ void DhtNode::start(NodeId contact) {
   store_.clear();  // volatile store, same crash semantics as DataFlasks sims
   chord_ = std::make_unique<ChordNode>(
       self_, transport_, rng_.fork(0xc40d), options_.chord,
-      [this](std::uint8_t purpose, const Bytes& payload, NodeId origin) {
+      [this](std::uint8_t purpose, const Payload& payload, NodeId origin) {
         deliver(purpose, payload, origin);
       });
   chord_->join(contact);
@@ -72,7 +73,7 @@ void DhtNode::crash() {
   running_ = false;
 }
 
-void DhtNode::put(Key key, Bytes value, Version version, PutCallback done) {
+void DhtNode::put(Key key, Payload value, Version version, PutCallback done) {
   const std::uint64_t rid = next_rid_++;
   PendingPut pending;
   pending.key = std::move(key);
@@ -150,7 +151,7 @@ void DhtNode::send_get(std::uint64_t rid) {
       });
 }
 
-void DhtNode::deliver(std::uint8_t purpose, const Bytes& payload,
+void DhtNode::deliver(std::uint8_t purpose, const Payload& payload,
                       NodeId /*origin*/) {
   switch (purpose) {
     case kPurposeStore:
@@ -181,13 +182,14 @@ void DhtNode::deliver(std::uint8_t purpose, const Bytes& payload,
                 w.u8(0);
                 w.node_id(self_);
                 w.bytes(encode_store(rid, coordinator, 0, obj));
-                return w.take();
+                return w.take_payload();
               }()});
           --left;
         }
         Writer w;
         w.u64(rid);
-        transport_.send(net::Message{self_, coordinator, kDhtAck, w.take()});
+        transport_.send(
+            net::Message{self_, coordinator, kDhtAck, w.take_payload()});
       }
       return;
     }
@@ -208,7 +210,7 @@ void DhtNode::deliver(std::uint8_t purpose, const Bytes& payload,
       w.boolean(obj.ok());
       store::encode(w, obj.ok() ? obj.value() : store::Object{key, 0, {}});
       transport_.send(
-          net::Message{self_, coordinator, kDhtGetReply, w.take()});
+          net::Message{self_, coordinator, kDhtGetReply, w.take_payload()});
       return;
     }
 

@@ -67,7 +67,7 @@ class DhtNode {
   [[nodiscard]] bool running() const { return running_; }
 
   /// Coordinator API (client-facing): route a put/get through this node.
-  void put(Key key, Bytes value, Version version, PutCallback done);
+  void put(Key key, Payload value, Version version, PutCallback done);
   void get(Key key, std::optional<Version> version, GetCallback done);
 
   [[nodiscard]] NodeId id() const { return self_; }
@@ -78,7 +78,7 @@ class DhtNode {
  private:
   struct PendingPut {
     Key key;
-    Bytes value;
+    Payload value;
     Version version = 0;
     PutCallback done;
     std::uint32_t attempts = 0;
@@ -95,7 +95,7 @@ class DhtNode {
   };
 
   void dispatch(const net::Message& msg);
-  void deliver(std::uint8_t purpose, const Bytes& payload, NodeId origin);
+  void deliver(std::uint8_t purpose, const Payload& payload, NodeId origin);
   void send_put(std::uint64_t rid);
   void send_get(std::uint64_t rid);
 

@@ -35,7 +35,7 @@ std::optional<SliceId> Client::slice_of(const Key& key) const {
   return slicing::key_to_slice(key, options_.slice_count_hint);
 }
 
-void Client::put(Key key, Bytes value, Version version, PutCallback done) {
+void Client::put(Key key, Payload value, Version version, PutCallback done) {
   const RequestId rid = next_request_id();
   PendingPut pending;
   pending.request =
@@ -49,7 +49,7 @@ void Client::put(Key key, Bytes value, Version version, PutCallback done) {
   send_put(it->second);
 }
 
-Version Client::put_auto(Key key, Bytes value, PutCallback done) {
+Version Client::put_auto(Key key, Payload value, PutCallback done) {
   // Versions must be unique system-wide for a (key, value) pair: replicas
   // reject a version re-stamped with different bytes (the upper layer owns
   // ordering, paper §III). Counter in the high bits keeps per-client

@@ -66,11 +66,13 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Writes `value` under `key` with an explicit version (upper layers that
-  /// order operations themselves use this form).
-  void put(Key key, Bytes value, Version version, PutCallback done);
+  /// order operations themselves use this form). Payload converts
+  /// implicitly from `Bytes`; the value buffer is shared, not copied, all
+  /// the way to the replicas' stores.
+  void put(Key key, Payload value, Version version, PutCallback done);
 
   /// Writes with an auto-stamped version (monotonic per key, this client).
-  Version put_auto(Key key, Bytes value, PutCallback done);
+  Version put_auto(Key key, Payload value, PutCallback done);
 
   /// Reads `key`; `version == nullopt` asks for the latest.
   void get(Key key, std::optional<Version> version, GetCallback done);

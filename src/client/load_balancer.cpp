@@ -1,5 +1,7 @@
 #include "client/load_balancer.hpp"
 
+#include <algorithm>
+
 #include "common/ensure.hpp"
 
 namespace dataflasks::client {
@@ -10,7 +12,29 @@ RandomLoadBalancer::RandomLoadBalancer(std::vector<NodeId> nodes, Rng rng)
 }
 
 NodeId RandomLoadBalancer::pick_contact(std::optional<SliceId> /*slice*/) {
-  return rng_.pick(nodes_);
+  // Retry a few draws to dodge contacts that recently timed out. The last
+  // draw is returned unconditionally: it bounds the work and doubles as an
+  // occasional liveness probe, so a restarted node re-admits itself even
+  // without success feedback.
+  NodeId candidate = rng_.pick(nodes_);
+  for (int redraw = 0; redraw < 8 && unreachable_.contains(candidate);
+       ++redraw) {
+    candidate = rng_.pick(nodes_);
+  }
+  return candidate;
+}
+
+void RandomLoadBalancer::observe_replica(NodeId node, SliceId /*slice*/) {
+  unreachable_.erase(node);
+}
+
+void RandomLoadBalancer::node_unreachable(NodeId node) {
+  // Bound: never blacklist more than half the population, or a partitioned
+  // client would mark everyone unreachable and neuter the avoidance.
+  if (unreachable_.size() >= std::max<std::size_t>(1, nodes_.size() / 2)) {
+    unreachable_.clear();
+  }
+  unreachable_.insert(node);
 }
 
 SliceCacheLoadBalancer::SliceCacheLoadBalancer(std::vector<NodeId> nodes,
@@ -30,10 +54,12 @@ NodeId SliceCacheLoadBalancer::pick_contact(std::optional<SliceId> slice) {
 }
 
 void SliceCacheLoadBalancer::observe_replica(NodeId node, SliceId slice) {
+  RandomLoadBalancer::observe_replica(node, slice);
   cache_[slice] = node;
 }
 
 void SliceCacheLoadBalancer::node_unreachable(NodeId node) {
+  RandomLoadBalancer::node_unreachable(node);
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->second == node) {
       it = cache_.erase(it);

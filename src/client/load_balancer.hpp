@@ -9,6 +9,7 @@
 
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -31,19 +32,32 @@ class LoadBalancer {
   virtual void node_unreachable(NodeId /*node*/) {}
 };
 
-/// The paper's policy: a uniformly random node from the bootstrap list.
+/// The paper's policy: a uniformly random node from the bootstrap list —
+/// refined with timeout feedback: contacts that recently failed to answer
+/// are avoided, so a retry does not burn another full client timeout on a
+/// node already known to be dead.
 class RandomLoadBalancer : public LoadBalancer {
  public:
   RandomLoadBalancer(std::vector<NodeId> nodes, Rng rng);
 
   [[nodiscard]] NodeId pick_contact(std::optional<SliceId> slice) override;
+  void observe_replica(NodeId node, SliceId slice) override;
+  void node_unreachable(NodeId node) override;
 
-  void set_nodes(std::vector<NodeId> nodes) { nodes_ = std::move(nodes); }
+  void set_nodes(std::vector<NodeId> nodes) {
+    nodes_ = std::move(nodes);
+    // Stale blacklist entries for nodes no longer in the pool would pin the
+    // bounded budget and never be re-admitted; start fresh.
+    unreachable_.clear();
+  }
   [[nodiscard]] const std::vector<NodeId>& nodes() const { return nodes_; }
 
  protected:
   std::vector<NodeId> nodes_;
   Rng rng_;
+
+ private:
+  std::unordered_set<NodeId> unreachable_;
 };
 
 /// §VII optimization: remembers one known replica per slice (learned from

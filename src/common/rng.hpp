@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/ensure.hpp"
@@ -53,15 +55,81 @@ class Rng {
   template <typename T>
   [[nodiscard]] std::vector<T> sample(const std::vector<T>& items,
                                       std::size_t count) {
+    return sample_transform(items, count, [](const T& t) { return t; });
+  }
+
+  /// sample() fused with a per-element projection: `sample_transform(v, n,
+  /// [](const Desc& d) { return d.id; })` avoids materializing the sampled
+  /// descriptors just to throw them away. Draws exactly as sample() always
+  /// has, so substituting one for the other keeps runs bit-identical.
+  template <typename T, typename Fn>
+  [[nodiscard]] auto sample_transform(const std::vector<T>& items,
+                                      std::size_t count, Fn&& project)
+      -> std::vector<std::decay_t<decltype(project(items[0]))>> {
+    using Out = std::decay_t<decltype(project(items[0]))>;
+    if (count >= items.size()) {
+      if constexpr (std::is_same_v<Out, T>) {
+        return items;
+      } else {
+        std::vector<Out> all;
+        all.reserve(items.size());
+        for (const T& item : items) all.push_back(project(item));
+        return all;
+      }
+    }
+    // Small sample of a larger pool — the peer-sampling hot path. A virtual
+    // partial Fisher-Yates tracks only the touched slots, avoiding the full
+    // pool copy while drawing and returning *exactly* what the pool-copying
+    // version below would (simulation trajectories stay bit-identical).
+    constexpr std::size_t kMaxInlineSample = 16;
+    if (count <= kMaxInlineSample) {
+      std::size_t slot_pos[kMaxInlineSample * 2];
+      std::size_t slot_val[kMaxInlineSample * 2];
+      std::size_t slots = 0;
+      const auto read = [&](std::size_t pos) {
+        for (std::size_t k = 0; k < slots; ++k) {
+          if (slot_pos[k] == pos) return slot_val[k];
+        }
+        return pos;
+      };
+      const auto write = [&](std::size_t pos, std::size_t val) {
+        for (std::size_t k = 0; k < slots; ++k) {
+          if (slot_pos[k] == pos) {
+            slot_val[k] = val;
+            return;
+          }
+        }
+        slot_pos[slots] = pos;
+        slot_val[slots] = val;
+        ++slots;
+      };
+      std::vector<Out> out;
+      out.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t j = i + next_below(items.size() - i);
+        const std::size_t vi = read(i);
+        const std::size_t vj = read(j);
+        write(i, vj);
+        write(j, vi);
+        out.push_back(project(items[vj]));
+      }
+      return out;
+    }
     std::vector<T> pool = items;
-    if (count >= pool.size()) return pool;
     // Partial Fisher-Yates: the first `count` slots become the sample.
     for (std::size_t i = 0; i < count; ++i) {
       using std::swap;
       swap(pool[i], pool[i + next_below(pool.size() - i)]);
     }
-    pool.resize(count);
-    return pool;
+    if constexpr (std::is_same_v<Out, T>) {
+      pool.resize(count);
+      return pool;
+    } else {
+      std::vector<Out> out;
+      out.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) out.push_back(project(pool[i]));
+      return out;
+    }
   }
 
   /// Pick one element uniformly. Requires non-empty input.

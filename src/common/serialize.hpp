@@ -6,24 +6,42 @@
 // vectors (u32 length). No alignment requirements, no padding.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/payload.hpp"
 #include "common/result.hpp"
 #include "common/types.hpp"
 
 namespace dataflasks {
 
-using Bytes = std::vector<std::uint8_t>;
-
+/// Builds encodings directly inside a Payload's refcounted buffer, so
+/// take_payload() is a pointer hand-off: one allocation per encoded message
+/// (exactly one when the encoder reserves its size up front), zero copies.
 class Writer {
  public:
   Writer() = default;
 
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  /// Pre-sizes the buffer: encoders that know their message size do one
+  /// allocation instead of log(n) regrows.
+  explicit Writer(std::size_t reserve_hint) { reserve(reserve_hint); }
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+  ~Writer() {
+    if (buf_ != nullptr) Payload::deallocate(buf_);
+  }
+
+  void reserve(std::size_t n) {
+    if (buf_ == nullptr || buf_->capacity < n) grow(n);
+  }
+
+  void u8(std::uint8_t v) { append(&v, 1); }
   void u16(std::uint16_t v) { append(&v, sizeof v); }
   void u32(std::uint32_t v) { append(&v, sizeof v); }
   void u64(std::uint64_t v) { append(&v, sizeof v); }
@@ -42,7 +60,9 @@ class Writer {
     append(s.data(), s.size());
   }
 
-  void bytes(const Bytes& b) {
+  /// Length-prefixed byte block. ByteView converts implicitly from both
+  /// `Bytes` and `Payload`, so either can be embedded without copying first.
+  void bytes(ByteView b) {
     u32(static_cast<std::uint32_t>(b.size()));
     append(b.data(), b.size());
   }
@@ -54,22 +74,55 @@ class Writer {
     for (const T& item : items) encode_one(item);
   }
 
-  [[nodiscard]] const Bytes& buffer() const { return buf_; }
-  [[nodiscard]] Bytes take() { return std::move(buf_); }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  /// The bytes encoded so far; valid until the next mutation or take.
+  [[nodiscard]] ByteView view() const {
+    return ByteView(buf_ != nullptr ? buf_->data() : nullptr, size_);
+  }
+
+  /// Copies the encoded bytes out as a mutable vector (cold paths: disk
+  /// records, fuzz fixtures). Hot paths use take_payload() instead.
+  [[nodiscard]] Bytes take() {
+    Bytes out(view().begin(), view().end());
+    size_ = 0;
+    return out;
+  }
+
+  /// Hands the encoded buffer to an immutable shared Payload — no copy, and
+  /// the buffer is shared across any fan-out afterwards.
+  [[nodiscard]] Payload take_payload() {
+    if (buf_ == nullptr || size_ == 0) {
+      size_ = 0;
+      return Payload();
+    }
+    Payload out(buf_, size_);
+    buf_ = nullptr;
+    size_ = 0;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
 
  private:
   void append(const void* data, std::size_t n) {
-    // resize + memcpy rather than insert(iter, iter): byte-range insert trips
-    // GCC 12's -Wstringop-overflow false positive at -O2, and the n == 0
-    // guard keeps memcpy away from the null data() of an empty string/vector.
     if (n == 0) return;
-    const std::size_t old_size = buf_.size();
-    buf_.resize(old_size + n);
-    std::memcpy(buf_.data() + old_size, data, n);
+    if (buf_ == nullptr || buf_->capacity - size_ < n) grow(size_ + n);
+    std::memcpy(buf_->data() + size_, data, n);
+    size_ += static_cast<std::uint32_t>(n);
   }
 
-  Bytes buf_;
+  void grow(std::size_t min_capacity) {
+    std::size_t capacity = buf_ != nullptr ? buf_->capacity : 0;
+    capacity = std::max<std::size_t>({min_capacity, 2 * capacity, 64});
+    Payload::Ctrl* bigger = Payload::allocate(capacity);
+    if (buf_ != nullptr) {
+      std::memcpy(bigger->data(), buf_->data(), size_);
+      Payload::deallocate(buf_);
+    }
+    buf_ = bigger;
+  }
+
+  Payload::Ctrl* buf_ = nullptr;
+  std::uint32_t size_ = 0;
 };
 
 /// Reader tracks a failure flag instead of throwing: malformed input from
@@ -77,9 +130,17 @@ class Writer {
 /// `ok()` once after decoding a whole message.
 class Reader {
  public:
+  explicit Reader(ByteView buf) : data_(buf.data()), size_(buf.size()) {}
+  // Exact-match overload: keeps `Reader r(bytes)` unambiguous now that
+  // Bytes converts to both ByteView and Payload.
   explicit Reader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
   Reader(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}
+
+  /// Owner-aware reader: `payload()` hands out zero-copy sub-views of the
+  /// underlying shared buffer instead of copying embedded byte blocks.
+  explicit Reader(const Payload& p)
+      : data_(p.data()), size_(p.size()), owner_(p) {}
 
   std::uint8_t u8() { return read_scalar<std::uint8_t>(); }
   std::uint16_t u16() { return read_scalar<std::uint16_t>(); }
@@ -109,6 +170,19 @@ class Reader {
     const std::uint32_t n = u32();
     if (!check(n)) return {};
     Bytes out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Length-prefixed byte block as a Payload. Zero-copy (a sub-view of the
+  /// shared buffer) when this Reader was constructed from a Payload; falls
+  /// back to copying otherwise.
+  Payload payload() {
+    const std::uint32_t n = u32();
+    if (!check(n)) return {};
+    Payload out = owner_.data() != nullptr
+                      ? owner_.subview(pos_, n)
+                      : Payload::copy_of(ByteView(data_ + pos_, n));
     pos_ += n;
     return out;
   }
@@ -163,6 +237,7 @@ class Reader {
   std::size_t size_;
   std::size_t pos_ = 0;
   bool failed_ = false;
+  Payload owner_;  ///< set when reading from a Payload (zero-copy sub-views)
 };
 
 }  // namespace dataflasks

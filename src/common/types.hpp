@@ -5,8 +5,12 @@
 #include <functional>
 #include <limits>
 #include <string>
+#include <vector>
 
 namespace dataflasks {
+
+/// Raw byte buffer: what codecs produce and the (simulated) wire carries.
+using Bytes = std::vector<std::uint8_t>;
 
 /// Identifies a node (process) in the system. Dense small integers in the
 /// simulator; opaque to every protocol (protocols never do arithmetic on it).

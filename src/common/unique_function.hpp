@@ -1,0 +1,132 @@
+// Move-only `void()` callable with small-buffer optimization, replacing
+// std::function on the simulator's event hot path. std::function requires
+// copyability (so closures capturing a Message were copied into the queue)
+// and heap-allocates for captures beyond a couple of words. UniqueFunction
+// moves its target and stores callables up to kInlineSize bytes inline in
+// the event-queue slot, so scheduling a timer or an in-flight message does
+// not touch the allocator.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dataflasks {
+
+class UniqueFunction {
+ public:
+  /// Inline capture budget. 64 bytes covers `this` plus a whole Message
+  /// (two NodeIds, a type tag and a shared Payload view) — the transport's
+  /// delivery closure, the largest hot-path capture in the system.
+  static constexpr std::size_t kInlineSize = 64;
+
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vtable_ = inline_vtable<Fn>();
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = heap_vtable<Fn>();
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+  ~UniqueFunction() { reset(); }
+
+  /// Invokes the target. Requires a non-empty function.
+  void operator()() { vtable_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+  /// True when the target lives in the inline buffer (no heap allocation);
+  /// exposed so tests can pin down the SBO boundary.
+  [[nodiscard]] bool is_inline() const {
+    return vtable_ != nullptr && vtable_->inline_stored;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs the target into `dst` and destroys it in `src`.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static Fn* as_inline(void* s) {
+    return std::launder(reinterpret_cast<Fn*>(s));
+  }
+  template <typename Fn>
+  static Fn* as_heap(void* s) {
+    return *std::launder(reinterpret_cast<Fn**>(s));
+  }
+
+  template <typename Fn>
+  static const VTable* inline_vtable() {
+    static constexpr VTable vt = {
+        [](void* s) { (*as_inline<Fn>(s))(); },
+        [](void* src, void* dst) {
+          Fn* f = as_inline<Fn>(src);
+          ::new (dst) Fn(std::move(*f));
+          f->~Fn();
+        },
+        [](void* s) { as_inline<Fn>(s)->~Fn(); },
+        /*inline_stored=*/true};
+    return &vt;
+  }
+
+  template <typename Fn>
+  static const VTable* heap_vtable() {
+    static constexpr VTable vt = {
+        [](void* s) { (*as_heap<Fn>(s))(); },
+        [](void* src, void* dst) {
+          // Relocating a heap target just moves the pointer.
+          ::new (dst) Fn*(as_heap<Fn>(src));
+        },
+        [](void* s) { delete as_heap<Fn>(s); },
+        /*inline_stored=*/false};
+    return &vt;
+  }
+
+  void move_from(UniqueFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(other.storage_, storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace dataflasks

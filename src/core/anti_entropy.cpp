@@ -22,19 +22,20 @@ AntiEntropy::AntiEntropy(NodeId self, net::Transport& transport,
   ensure(options_.push_cap > 0, "AntiEntropy: zero push cap");
 }
 
-std::vector<store::DigestEntry> AntiEntropy::local_digest_sample() {
-  std::vector<store::DigestEntry> digest = store_.digest();
+void AntiEntropy::send_digest(NodeId to, bool is_reply) {
+  // The store maintains its digest incrementally; under the cap we encode
+  // straight from that cached reference — no copy, no materialized vector.
+  const std::vector<store::DigestEntry>& digest = store_.digest_entries();
+  Payload encoded;
   if (digest.size() > options_.digest_cap) {
     // Random subset: successive rounds cover different parts of the store,
     // so convergence still completes, just over more rounds.
-    digest = rng_.sample(digest, options_.digest_cap);
+    encoded = encode_ae_digest(is_reply,
+                               rng_.sample(digest, options_.digest_cap));
+  } else {
+    encoded = encode_ae_digest(is_reply, digest);
   }
-  return digest;
-}
-
-void AntiEntropy::send_digest(NodeId to, bool is_reply) {
-  const AeDigest msg{is_reply, local_digest_sample()};
-  transport_.send(net::Message{self_, to, kAeDigest, encode(msg)});
+  transport_.send(net::Message{self_, to, kAeDigest, std::move(encoded)});
   metrics_.counter("ae.digests_sent").add();
 }
 

@@ -38,7 +38,6 @@ class AntiEntropy {
   bool handle(const net::Message& msg);
 
  private:
-  [[nodiscard]] std::vector<store::DigestEntry> local_digest_sample();
   void send_digest(NodeId to, bool is_reply);
   void handle_digest(const net::Message& msg, const AeDigest& digest);
   void handle_pull(const net::Message& msg, const AePull& pull);

@@ -18,18 +18,19 @@ void IntraSliceView::observe(NodeId node, SliceId slice, SliceId my_slice) {
   if (slice == my_slice) {
     auto it = members_.find(node);
     if (it != members_.end()) {
-      it->second.age = 0;
+      it->second.last_seen = tick_count_;  // refresh: membership unchanged
       return;
     }
+    member_list_dirty_ = true;
     if (members_.size() >= options_.capacity) {
-      // Evict the oldest member to make room; fresh information wins.
+      // Evict the stalest member to make room; fresh information wins.
       auto victim = members_.begin();
       for (auto mit = members_.begin(); mit != members_.end(); ++mit) {
-        if (mit->second.age > victim->second.age) victim = mit;
+        if (mit->second.last_seen < victim->second.last_seen) victim = mit;
       }
       members_.erase(victim);
     }
-    members_[node] = MemberEntry{0};
+    members_[node] = MemberEntry{tick_count_};
     // The node may have moved into our slice; drop any directory entry.
     for (auto dit = directory_.begin(); dit != directory_.end();) {
       if (dit->second.node == node) {
@@ -43,29 +44,36 @@ void IntraSliceView::observe(NodeId node, SliceId slice, SliceId my_slice) {
 
   // Other slice: refresh the directory. A node that moved out of our slice
   // must also leave the member set.
-  members_.erase(node);
+  if (members_.erase(node) > 0) member_list_dirty_ = true;
   const auto it = directory_.find(slice);
-  if (it == directory_.end() && directory_.size() >= options_.directory_capacity) {
-    // Evict the oldest directory slice.
+  if (it == directory_.end() &&
+      directory_.size() >= options_.directory_capacity) {
+    // Evict the stalest directory slice.
     auto victim = directory_.begin();
     for (auto dit = directory_.begin(); dit != directory_.end(); ++dit) {
-      if (dit->second.age > victim->second.age) victim = dit;
+      if (dit->second.last_seen < victim->second.last_seen) victim = dit;
     }
     directory_.erase(victim);
   }
-  directory_[slice] = DirectoryEntry{node, 0};
+  directory_[slice] = DirectoryEntry{node, tick_count_};
 }
 
 void IntraSliceView::tick() {
+  // Expiry compares last-seen tick stamps (refreshing an entry is a stamp
+  // write, not a whole-view aging pass). The sweep itself stays per-tick:
+  // dissemination and replication target these peers, so stale members
+  // must leave the view promptly after failures.
+  ++tick_count_;
   for (auto it = members_.begin(); it != members_.end();) {
-    if (++it->second.age > options_.max_entry_age) {
+    if (tick_count_ - it->second.last_seen > options_.max_entry_age) {
+      member_list_dirty_ = true;
       it = members_.erase(it);
     } else {
       ++it;
     }
   }
   for (auto it = directory_.begin(); it != directory_.end();) {
-    if (++it->second.age > options_.max_entry_age) {
+    if (tick_count_ - it->second.last_seen > options_.max_entry_age) {
       it = directory_.erase(it);
     } else {
       ++it;
@@ -73,21 +81,31 @@ void IntraSliceView::tick() {
   }
 }
 
-void IntraSliceView::reset_slice_entries() { members_.clear(); }
+void IntraSliceView::reset_slice_entries() {
+  members_.clear();
+  member_list_.clear();
+  member_list_dirty_ = false;
+}
 
 std::vector<NodeId> IntraSliceView::peers(std::size_t count) {
-  std::vector<NodeId> all = all_peers();
-  return rng_.sample(all, count);
+  refresh_member_list();
+  return rng_.sample(member_list_, count);
 }
 
 std::vector<NodeId> IntraSliceView::all_peers() const {
-  std::vector<NodeId> out;
-  out.reserve(members_.size());
-  for (const auto& [node, _] : members_) out.push_back(node);
+  refresh_member_list();
+  return member_list_;
+}
+
+void IntraSliceView::refresh_member_list() const {
+  if (!member_list_dirty_ && member_list_.size() == members_.size()) return;
+  member_list_.clear();
+  member_list_.reserve(members_.size());
+  for (const auto& [node, _] : members_) member_list_.push_back(node);
   // Deterministic base order (hash maps iterate arbitrarily); sampling
   // re-randomizes with the node's own stream.
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(member_list_.begin(), member_list_.end());
+  member_list_dirty_ = false;
 }
 
 std::optional<NodeId> IntraSliceView::directory_lookup(SliceId slice) const {
@@ -97,7 +115,7 @@ std::optional<NodeId> IntraSliceView::directory_lookup(SliceId slice) const {
 }
 
 void IntraSliceView::forget(NodeId node) {
-  members_.erase(node);
+  if (members_.erase(node) > 0) member_list_dirty_ = true;
   for (auto it = directory_.begin(); it != directory_.end();) {
     if (it->second.node == node) {
       it = directory_.erase(it);

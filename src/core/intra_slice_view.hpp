@@ -49,18 +49,28 @@ class IntraSliceView {
 
  private:
   struct MemberEntry {
-    std::uint32_t age = 0;
+    std::uint32_t last_seen = 0;  ///< tick count at the latest observation
   };
   struct DirectoryEntry {
     NodeId node;
-    std::uint32_t age = 0;
+    std::uint32_t last_seen = 0;
   };
+
+  /// Rebuilds member_list_ (sorted member ids) when membership changed.
+  void refresh_member_list() const;
 
   NodeId self_;
   IntraSliceViewOptions options_;
   Rng rng_;
   std::unordered_map<NodeId, MemberEntry> members_;
   std::unordered_map<SliceId, DirectoryEntry> directory_;
+  std::uint32_t tick_count_ = 0;
+  // Cached sorted member ids: peers() is called on every relay and
+  // anti-entropy round, and rebuilding + sorting the list per call was a
+  // measurable share of large-run wall time. Invalidated on membership
+  // mutation only.
+  mutable std::vector<NodeId> member_list_;
+  mutable bool member_list_dirty_ = false;
 };
 
 }  // namespace dataflasks::core

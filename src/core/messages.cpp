@@ -31,33 +31,35 @@ slicing::SliceConfig decode_config(Reader& r) {
 
 // ---- inner payloads ---------------------------------------------------------
 
-Bytes encode_inner(const PutRequest& req) {
-  Writer w;
+Payload encode_inner(const PutRequest& req) {
+  Writer w(1 + 2 * sizeof(std::uint64_t) + sizeof(std::uint64_t) +
+           store::encoded_size(req.object));
   w.u8(static_cast<std::uint8_t>(InnerKind::kPut));
   w.request_id(req.rid);
   w.node_id(req.client);
   encode(w, req.object);
-  return w.take();
+  return w.take_payload();
 }
 
-Bytes encode_inner(const GetRequest& req) {
-  Writer w;
+Payload encode_inner(const GetRequest& req) {
+  Writer w(1 + 3 * sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+           req.key.size() + 1 + sizeof(std::uint64_t));
   w.u8(static_cast<std::uint8_t>(InnerKind::kGet));
   w.request_id(req.rid);
   w.node_id(req.client);
   w.str(req.key);
   encode_version_opt(w, req.version);
-  return w.take();
+  return w.take_payload();
 }
 
-Bytes encode_inner(const HandoffRequest& req) {
-  Writer w;
+Payload encode_inner(const HandoffRequest& req) {
+  Writer w(1 + store::encoded_size(req.object));
   w.u8(static_cast<std::uint8_t>(InnerKind::kHandoff));
   encode(w, req.object);
-  return w.take();
+  return w.take_payload();
 }
 
-std::optional<InnerKind> peek_inner_kind(const Bytes& payload) {
+std::optional<InnerKind> peek_inner_kind(const Payload& payload) {
   if (payload.empty()) return std::nullopt;
   switch (payload.front()) {
     case static_cast<std::uint8_t>(InnerKind::kPut): return InnerKind::kPut;
@@ -68,7 +70,7 @@ std::optional<InnerKind> peek_inner_kind(const Bytes& payload) {
   }
 }
 
-std::optional<HandoffRequest> decode_handoff(const Bytes& payload) {
+std::optional<HandoffRequest> decode_handoff(const Payload& payload) {
   Reader r(payload);
   if (r.u8() != static_cast<std::uint8_t>(InnerKind::kHandoff)) {
     return std::nullopt;
@@ -79,7 +81,7 @@ std::optional<HandoffRequest> decode_handoff(const Bytes& payload) {
   return req;
 }
 
-std::optional<PutRequest> decode_put(const Bytes& payload) {
+std::optional<PutRequest> decode_put(const Payload& payload) {
   Reader r(payload);
   if (r.u8() != static_cast<std::uint8_t>(InnerKind::kPut)) return std::nullopt;
   PutRequest req;
@@ -90,7 +92,7 @@ std::optional<PutRequest> decode_put(const Bytes& payload) {
   return req;
 }
 
-std::optional<GetRequest> decode_get(const Bytes& payload) {
+std::optional<GetRequest> decode_get(const Payload& payload) {
   Reader r(payload);
   if (r.u8() != static_cast<std::uint8_t>(InnerKind::kGet)) return std::nullopt;
   GetRequest req;
@@ -104,17 +106,18 @@ std::optional<GetRequest> decode_get(const Bytes& payload) {
 
 // ---- direct messages --------------------------------------------------------
 
-Bytes encode(const PutAck& msg) {
-  Writer w;
+Payload encode(const PutAck& msg) {
+  Writer w(3 * sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t) +
+           msg.key.size() + sizeof(std::uint64_t));
   w.request_id(msg.rid);
   w.node_id(msg.replica);
   w.u32(msg.slice);
   w.str(msg.key);
   w.u64(msg.version);
-  return w.take();
+  return w.take_payload();
 }
 
-std::optional<PutAck> decode_put_ack(const Bytes& payload) {
+std::optional<PutAck> decode_put_ack(const Payload& payload) {
   Reader r(payload);
   PutAck msg;
   msg.rid = r.request_id();
@@ -126,17 +129,18 @@ std::optional<PutAck> decode_put_ack(const Bytes& payload) {
   return msg;
 }
 
-Bytes encode(const GetReply& msg) {
-  Writer w;
+Payload encode(const GetReply& msg) {
+  Writer w(3 * sizeof(std::uint64_t) + sizeof(std::uint32_t) + 1 +
+           store::encoded_size(msg.object));
   w.request_id(msg.rid);
   w.node_id(msg.replica);
   w.u32(msg.slice);
   w.boolean(msg.found);
   encode(w, msg.object);
-  return w.take();
+  return w.take_payload();
 }
 
-std::optional<GetReply> decode_get_reply(const Bytes& payload) {
+std::optional<GetReply> decode_get_reply(const Payload& payload) {
   Reader r(payload);
   GetReply msg;
   msg.rid = r.request_id();
@@ -148,13 +152,13 @@ std::optional<GetReply> decode_get_reply(const Bytes& payload) {
   return msg;
 }
 
-Bytes encode(const ReplicatePush& msg) {
-  Writer w;
+Payload encode(const ReplicatePush& msg) {
+  Writer w(store::encoded_size(msg.object));
   encode(w, msg.object);
-  return w.take();
+  return w.take_payload();
 }
 
-std::optional<ReplicatePush> decode_replicate_push(const Bytes& payload) {
+std::optional<ReplicatePush> decode_replicate_push(const Payload& payload) {
   Reader r(payload);
   ReplicatePush msg;
   msg.object = store::decode_object(r);
@@ -164,15 +168,15 @@ std::optional<ReplicatePush> decode_replicate_push(const Bytes& payload) {
 
 // ---- slice advertisement ------------------------------------------------------
 
-Bytes encode(const SliceAdvert& msg) {
-  Writer w;
+Payload encode(const SliceAdvert& msg) {
+  Writer w(2 * sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t));
   w.node_id(msg.node);
   w.u32(msg.slice);
   encode_config(w, msg.config);
-  return w.take();
+  return w.take_payload();
 }
 
-std::optional<SliceAdvert> decode_slice_advert(const Bytes& payload) {
+std::optional<SliceAdvert> decode_slice_advert(const Payload& payload) {
   Reader r(payload);
   SliceAdvert msg;
   msg.node = r.node_id();
@@ -184,15 +188,21 @@ std::optional<SliceAdvert> decode_slice_advert(const Bytes& payload) {
 
 // ---- anti-entropy -------------------------------------------------------------
 
-Bytes encode(const AeDigest& msg) {
-  Writer w;
-  w.boolean(msg.is_reply);
-  w.vec(msg.entries,
-        [&w](const store::DigestEntry& e) { store::encode(w, e); });
-  return w.take();
+Payload encode_ae_digest(bool is_reply,
+                         const std::vector<store::DigestEntry>& entries) {
+  std::size_t size = 1 + sizeof(std::uint32_t);
+  for (const store::DigestEntry& e : entries) size += store::encoded_size(e);
+  Writer w(size);
+  w.boolean(is_reply);
+  w.vec(entries, [&w](const store::DigestEntry& e) { store::encode(w, e); });
+  return w.take_payload();
 }
 
-std::optional<AeDigest> decode_ae_digest(const Bytes& payload) {
+Payload encode(const AeDigest& msg) {
+  return encode_ae_digest(msg.is_reply, msg.entries);
+}
+
+std::optional<AeDigest> decode_ae_digest(const Payload& payload) {
   Reader r(payload);
   AeDigest msg;
   msg.is_reply = r.boolean();
@@ -202,14 +212,16 @@ std::optional<AeDigest> decode_ae_digest(const Bytes& payload) {
   return msg;
 }
 
-Bytes encode(const AePull& msg) {
-  Writer w;
+Payload encode(const AePull& msg) {
+  std::size_t size = sizeof(std::uint32_t);
+  for (const store::DigestEntry& e : msg.entries) size += store::encoded_size(e);
+  Writer w(size);
   w.vec(msg.entries,
         [&w](const store::DigestEntry& e) { store::encode(w, e); });
-  return w.take();
+  return w.take_payload();
 }
 
-std::optional<AePull> decode_ae_pull(const Bytes& payload) {
+std::optional<AePull> decode_ae_pull(const Payload& payload) {
   Reader r(payload);
   AePull msg;
   msg.entries = r.vec<store::DigestEntry>(
@@ -218,13 +230,15 @@ std::optional<AePull> decode_ae_pull(const Bytes& payload) {
   return msg;
 }
 
-Bytes encode(const AePush& msg) {
-  Writer w;
+Payload encode(const AePush& msg) {
+  std::size_t size = sizeof(std::uint32_t);
+  for (const store::Object& o : msg.objects) size += store::encoded_size(o);
+  Writer w(size);
   w.vec(msg.objects, [&w](const store::Object& o) { store::encode(w, o); });
-  return w.take();
+  return w.take_payload();
 }
 
-std::optional<AePush> decode_ae_push(const Bytes& payload) {
+std::optional<AePush> decode_ae_push(const Payload& payload) {
   Reader r(payload);
   AePush msg;
   msg.objects =
@@ -235,14 +249,14 @@ std::optional<AePush> decode_ae_push(const Bytes& payload) {
 
 // ---- state transfer ------------------------------------------------------------
 
-Bytes encode(const StRequest& msg) {
-  Writer w;
+Payload encode(const StRequest& msg) {
+  Writer w(sizeof(std::uint32_t) + store::encoded_size(msg.cursor));
   w.u32(msg.slice);
   store::encode(w, msg.cursor);
-  return w.take();
+  return w.take_payload();
 }
 
-std::optional<StRequest> decode_st_request(const Bytes& payload) {
+std::optional<StRequest> decode_st_request(const Payload& payload) {
   Reader r(payload);
   StRequest msg;
   msg.slice = r.u32();
@@ -251,15 +265,17 @@ std::optional<StRequest> decode_st_request(const Bytes& payload) {
   return msg;
 }
 
-Bytes encode(const StReply& msg) {
-  Writer w;
+Payload encode(const StReply& msg) {
+  std::size_t size = sizeof(std::uint32_t) + 1;
+  for (const store::Object& o : msg.objects) size += store::encoded_size(o);
+  Writer w(size);
   w.u32(msg.slice);
   w.boolean(msg.done);
   w.vec(msg.objects, [&w](const store::Object& o) { store::encode(w, o); });
-  return w.take();
+  return w.take_payload();
 }
 
-std::optional<StReply> decode_st_reply(const Bytes& payload) {
+std::optional<StReply> decode_st_reply(const Payload& payload) {
   Reader r(payload);
   StReply msg;
   msg.slice = r.u32();

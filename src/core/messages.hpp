@@ -58,14 +58,14 @@ struct HandoffRequest {
   store::Object object;
 };
 
-[[nodiscard]] Bytes encode_inner(const PutRequest& req);
-[[nodiscard]] Bytes encode_inner(const GetRequest& req);
-[[nodiscard]] Bytes encode_inner(const HandoffRequest& req);
-[[nodiscard]] std::optional<InnerKind> peek_inner_kind(const Bytes& payload);
-[[nodiscard]] std::optional<PutRequest> decode_put(const Bytes& payload);
-[[nodiscard]] std::optional<GetRequest> decode_get(const Bytes& payload);
+[[nodiscard]] Payload encode_inner(const PutRequest& req);
+[[nodiscard]] Payload encode_inner(const GetRequest& req);
+[[nodiscard]] Payload encode_inner(const HandoffRequest& req);
+[[nodiscard]] std::optional<InnerKind> peek_inner_kind(const Payload& payload);
+[[nodiscard]] std::optional<PutRequest> decode_put(const Payload& payload);
+[[nodiscard]] std::optional<GetRequest> decode_get(const Payload& payload);
 [[nodiscard]] std::optional<HandoffRequest> decode_handoff(
-    const Bytes& payload);
+    const Payload& payload);
 
 // ---- direct (unicast) messages ---------------------------------------------
 
@@ -95,13 +95,13 @@ struct ReplicatePush {
   store::Object object;
 };
 
-[[nodiscard]] Bytes encode(const PutAck& msg);
-[[nodiscard]] Bytes encode(const GetReply& msg);
-[[nodiscard]] Bytes encode(const ReplicatePush& msg);
-[[nodiscard]] std::optional<PutAck> decode_put_ack(const Bytes& payload);
-[[nodiscard]] std::optional<GetReply> decode_get_reply(const Bytes& payload);
+[[nodiscard]] Payload encode(const PutAck& msg);
+[[nodiscard]] Payload encode(const GetReply& msg);
+[[nodiscard]] Payload encode(const ReplicatePush& msg);
+[[nodiscard]] std::optional<PutAck> decode_put_ack(const Payload& payload);
+[[nodiscard]] std::optional<GetReply> decode_get_reply(const Payload& payload);
 [[nodiscard]] std::optional<ReplicatePush> decode_replicate_push(
-    const Bytes& payload);
+    const Payload& payload);
 
 // ---- slice advertisement (maintenance) --------------------------------------
 
@@ -113,9 +113,9 @@ struct SliceAdvert {
   slicing::SliceConfig config;
 };
 
-[[nodiscard]] Bytes encode(const SliceAdvert& msg);
+[[nodiscard]] Payload encode(const SliceAdvert& msg);
 [[nodiscard]] std::optional<SliceAdvert> decode_slice_advert(
-    const Bytes& payload);
+    const Payload& payload);
 
 // ---- anti-entropy -----------------------------------------------------------
 
@@ -135,12 +135,16 @@ struct AePush {
   std::vector<store::Object> objects;
 };
 
-[[nodiscard]] Bytes encode(const AeDigest& msg);
-[[nodiscard]] Bytes encode(const AePull& msg);
-[[nodiscard]] Bytes encode(const AePush& msg);
-[[nodiscard]] std::optional<AeDigest> decode_ae_digest(const Bytes& payload);
-[[nodiscard]] std::optional<AePull> decode_ae_pull(const Bytes& payload);
-[[nodiscard]] std::optional<AePush> decode_ae_push(const Bytes& payload);
+[[nodiscard]] Payload encode(const AeDigest& msg);
+/// Encode an AeDigest without materializing the struct: lets anti-entropy
+/// serialize straight from the store's cached digest reference.
+[[nodiscard]] Payload encode_ae_digest(bool is_reply,
+                                       const std::vector<store::DigestEntry>& entries);
+[[nodiscard]] Payload encode(const AePull& msg);
+[[nodiscard]] Payload encode(const AePush& msg);
+[[nodiscard]] std::optional<AeDigest> decode_ae_digest(const Payload& payload);
+[[nodiscard]] std::optional<AePull> decode_ae_pull(const Payload& payload);
+[[nodiscard]] std::optional<AePush> decode_ae_push(const Payload& payload);
 
 // ---- state transfer ----------------------------------------------------------
 
@@ -157,9 +161,9 @@ struct StReply {
   std::vector<store::Object> objects;
 };
 
-[[nodiscard]] Bytes encode(const StRequest& msg);
-[[nodiscard]] Bytes encode(const StReply& msg);
-[[nodiscard]] std::optional<StRequest> decode_st_request(const Bytes& payload);
-[[nodiscard]] std::optional<StReply> decode_st_reply(const Bytes& payload);
+[[nodiscard]] Payload encode(const StRequest& msg);
+[[nodiscard]] Payload encode(const StReply& msg);
+[[nodiscard]] std::optional<StRequest> decode_st_request(const Payload& payload);
+[[nodiscard]] std::optional<StReply> decode_st_reply(const Payload& payload);
 
 }  // namespace dataflasks::core

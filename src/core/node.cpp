@@ -162,12 +162,29 @@ void Node::crash() {
 
 void Node::dispatch(const net::Message& msg) {
   if (!running_) return;
-  if (pss_->handle(msg)) return;
-  if (slices_->handle(msg)) return;
-  if (requests_->handle(msg)) return;
-  if (anti_entropy_->handle(msg)) return;
-  if (state_transfer_->handle(msg)) return;
-  if (size_estimator_ != nullptr && size_estimator_->handle(msg)) return;
+  // Route by type range first: at scale this runs once per delivered
+  // message, and probing every subsystem in sequence doubles the dispatch
+  // cost for the most frequent (gossip) traffic.
+  switch (msg.category()) {
+    case net::MsgCategory::kPeerSampling:
+      if (pss_->handle(msg)) return;
+      break;
+    case net::MsgCategory::kSlicing:
+      if (slices_->handle(msg)) return;
+      // Size-estimation gossip rides in the slicing type range.
+      if (size_estimator_ != nullptr && size_estimator_->handle(msg)) return;
+      break;
+    case net::MsgCategory::kRequest:
+      if (requests_->handle(msg)) return;
+      break;
+    case net::MsgCategory::kAntiEntropy:
+      // State transfer shares the anti-entropy type range.
+      if (anti_entropy_->handle(msg)) return;
+      if (state_transfer_->handle(msg)) return;
+      break;
+    default:
+      break;
+  }
   metrics_.counter("node.unhandled_messages").add();
 }
 

@@ -27,7 +27,7 @@ RequestHandler::RequestHandler(NodeId self, net::Transport& transport,
       /*slice_peers=*/
       [this](std::size_t count) { return slices_.slice_peers(count); },
       /*deliver=*/
-      [this](const Bytes& payload, SliceId target, NodeId origin) {
+      [this](const Payload& payload, SliceId target, NodeId origin) {
         return deliver(payload, target, origin);
       },
       /*directory=*/
@@ -49,15 +49,15 @@ bool RequestHandler::handle(const net::Message& msg) {
       const auto put = decode_put(msg.payload);
       if (!put) return true;  // malformed: drop
       metrics_.counter("rh.client_puts").add();
-      spray_or_deliver(slices_.key_slice(put->object.key),
-                       Bytes(msg.payload));
+      // The client's inner encoding is sprayed as-is: share its buffer.
+      spray_or_deliver(slices_.key_slice(put->object.key), msg.payload);
       return true;
     }
     case kClientGet: {
       const auto get = decode_get(msg.payload);
       if (!get) return true;
       metrics_.counter("rh.client_gets").add();
-      spray_or_deliver(slices_.key_slice(get->key), Bytes(msg.payload));
+      spray_or_deliver(slices_.key_slice(get->key), msg.payload);
       return true;
     }
     case kReplicatePush: {
@@ -79,11 +79,11 @@ bool RequestHandler::handle(const net::Message& msg) {
   }
 }
 
-void RequestHandler::spray_or_deliver(SliceId target, Bytes inner) {
+void RequestHandler::spray_or_deliver(SliceId target, Payload inner) {
   router_->originate(target, std::move(inner));
 }
 
-dissemination::DeliverResult RequestHandler::deliver(const Bytes& payload,
+dissemination::DeliverResult RequestHandler::deliver(const Payload& payload,
                                                      SliceId /*target*/,
                                                      NodeId /*origin*/) {
   const auto kind = peek_inner_kind(payload);
@@ -172,8 +172,9 @@ dissemination::DeliverResult RequestHandler::handle_put_delivery(
 
   // Immediate redundancy: copy to a few slice-mates right away so the write
   // survives this node failing before the next anti-entropy round.
+  // Encode the push once; every slice-mate Message shares the buffer.
   const ReplicatePush push{put.object};
-  const Bytes encoded = encode(push);
+  const Payload encoded = encode(push);
   for (const NodeId peer : slices_.slice_peers(options_.direct_replication)) {
     if (peer == self_) continue;
     transport_.send(net::Message{self_, peer, kReplicatePush, encoded});

@@ -70,11 +70,11 @@ class RequestHandler {
   }
 
  private:
-  dissemination::DeliverResult deliver(const Bytes& payload, SliceId target,
+  dissemination::DeliverResult deliver(const Payload& payload, SliceId target,
                                        NodeId origin);
   dissemination::DeliverResult handle_put_delivery(const PutRequest& put);
   dissemination::DeliverResult handle_get_delivery(const GetRequest& get);
-  void spray_or_deliver(SliceId target, Bytes inner);
+  void spray_or_deliver(SliceId target, Payload inner);
   void buffer_handoff(store::Object object);
 
   NodeId self_;

@@ -37,20 +37,25 @@ void SliceManager::tick_advertisement() {
     if (config_listener_) config_listener_(last_seen_config_);
   }
 
+  // One advert encoding per cycle; every recipient shares the buffer.
+  const Payload advert = encode_advert();
   for (const NodeId peer : pss_.sample_peers(options_.advert_fanout)) {
-    send_advert(peer);
+    send_advert(peer, advert);
   }
   // Also refresh known slice-mates directly: keeps the intra-slice overlay
   // connected even when PSS samples rarely land in our own slice (large k).
   for (const NodeId peer : view_.peers(1)) {
-    send_advert(peer);
+    send_advert(peer, advert);
   }
 }
 
-void SliceManager::send_advert(NodeId to) {
+Payload SliceManager::encode_advert() const {
+  return encode(SliceAdvert{self_, slice(), slicer_->config()});
+}
+
+void SliceManager::send_advert(NodeId to, const Payload& advert) {
   if (to == self_) return;
-  const SliceAdvert advert{self_, slice(), slicer_->config()};
-  transport_.send(net::Message{self_, to, kSliceAdvert, encode(advert)});
+  transport_.send(net::Message{self_, to, kSliceAdvert, advert});
 }
 
 bool SliceManager::handle(const net::Message& msg) {
@@ -65,9 +70,9 @@ bool SliceManager::handle(const net::Message& msg) {
 
   // Answer first-contact adverts from same-slice peers so both sides learn
   // each other quickly (symmetric intra-slice links).
-  if (advert->slice == slice() && advert->node != self_ &&
-      !view_.all_peers().empty() && rng_.next_bernoulli(0.25)) {
-    send_advert(advert->node);
+  if (advert->slice == slice() && advert->node != self_ && view_.size() > 0 &&
+      rng_.next_bernoulli(0.25)) {
+    send_advert(advert->node, encode_advert());
   }
   return true;
 }

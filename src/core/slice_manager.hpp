@@ -83,7 +83,8 @@ class SliceManager {
   [[nodiscard]] slicing::Slicer& slicer() { return *slicer_; }
 
  private:
-  void send_advert(NodeId to);
+  [[nodiscard]] Payload encode_advert() const;
+  void send_advert(NodeId to, const Payload& advert);
 
   NodeId self_;
   net::Transport& transport_;

@@ -77,13 +77,21 @@ bool StateTransfer::handle(const net::Message& msg) {
 void StateTransfer::handle_request(const net::Message& msg,
                                    const StRequest& request) {
   // Serve a page of the requested slice's objects, ordered by (key, version),
-  // strictly after the cursor.
-  std::vector<store::DigestEntry> entries = store_.digest();
-  std::erase_if(entries, [&](const store::DigestEntry& e) {
-    return key_slice_(e.key) != request.slice || !(request.cursor < e);
-  });
+  // strictly after the cursor. Candidates come from the store's cached
+  // digest (no full-store materialization per page request), and only the
+  // page worth of entries is fully sorted.
+  std::vector<store::DigestEntry> entries;
+  for (const store::DigestEntry& e : store_.digest_entries()) {
+    if (key_slice_(e.key) == request.slice && request.cursor < e) {
+      entries.push_back(e);
+    }
+  }
+  if (entries.size() > options_.page_size) {
+    std::nth_element(entries.begin(), entries.begin() + options_.page_size,
+                     entries.end());
+    entries.resize(options_.page_size);
+  }
   std::sort(entries.begin(), entries.end());
-  if (entries.size() > options_.page_size) entries.resize(options_.page_size);
 
   StReply reply;
   reply.slice = request.slice;

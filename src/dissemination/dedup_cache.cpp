@@ -1,27 +1,101 @@
 #include "dissemination/dedup_cache.hpp"
 
+#include <algorithm>
+
 #include "common/ensure.hpp"
 
 namespace dataflasks::dissemination {
 
+namespace {
+constexpr int kInitialBits = 4;  ///< 16 slots; grows on demand
+}  // namespace
+
 DedupCache::DedupCache(std::size_t capacity) : capacity_(capacity) {
   ensure(capacity_ > 0, "DedupCache: zero capacity");
+  table_bits_ = kInitialBits;
+  table_.assign(std::size_t{1} << table_bits_, 0);
+  occupied_.assign(table_.size(), 0);
+  mask_ = table_.size() - 1;
+}
+
+std::size_t DedupCache::find_slot(std::uint64_t id) const {
+  std::size_t i = slot_of(id);
+  while (occupied_[i]) {
+    if (table_[i] == id) return i;
+    i = (i + 1) & mask_;
+  }
+  return kNotFound;
+}
+
+void DedupCache::insert_slot(std::uint64_t id) {
+  std::size_t i = slot_of(id);
+  while (occupied_[i]) i = (i + 1) & mask_;
+  table_[i] = id;
+  occupied_[i] = 1;
+}
+
+void DedupCache::erase_id(std::uint64_t id) {
+  std::size_t i = find_slot(id);
+  if (i == kNotFound) return;
+  // Linear-probing backward-shift deletion: close the hole by moving later
+  // probe-chain entries up, so lookups never need tombstones.
+  std::size_t j = i;
+  for (;;) {
+    occupied_[i] = 0;
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (!occupied_[j]) return;
+      const std::size_t home = slot_of(table_[j]);
+      // Move table_[j] into the hole at i unless its home slot lies in the
+      // cyclic interval (i, j] — then the probe chain still reaches it.
+      const bool reachable =
+          i <= j ? (home > i && home <= j) : (home > i || home <= j);
+      if (!reachable) break;
+    }
+    table_[i] = table_[j];
+    occupied_[i] = 1;
+    i = j;
+  }
+}
+
+void DedupCache::grow() {
+  const std::vector<std::uint64_t> old_table = std::move(table_);
+  const std::vector<std::uint8_t> old_occupied = std::move(occupied_);
+  ++table_bits_;
+  table_.assign(std::size_t{1} << table_bits_, 0);
+  occupied_.assign(table_.size(), 0);
+  mask_ = table_.size() - 1;
+  for (std::size_t i = 0; i < old_table.size(); ++i) {
+    if (old_occupied[i]) insert_slot(old_table[i]);
+  }
 }
 
 bool DedupCache::seen_or_insert(std::uint64_t id) {
-  if (set_.contains(id)) return true;
-  if (set_.size() >= capacity_) {
-    set_.erase(order_.front());
-    order_.pop_front();
+  if (find_slot(id) != kNotFound) return true;
+
+  if (count_ >= capacity_) {
+    // Evict the oldest id and reuse its ring position.
+    erase_id(ring_[ring_pos_]);
+    ring_[ring_pos_] = id;
+    ring_pos_ = (ring_pos_ + 1) % capacity_;
+  } else {
+    // Keep the probe chains short: grow at 50% load until the table covers
+    // the configured capacity.
+    if ((count_ + 1) * 2 > table_.size() && table_.size() < 2 * capacity_) {
+      grow();
+    }
+    ring_.push_back(id);
+    ++count_;
   }
-  set_.insert(id);
-  order_.push_back(id);
+  insert_slot(id);
   return false;
 }
 
 void DedupCache::clear() {
-  set_.clear();
-  order_.clear();
+  std::fill(occupied_.begin(), occupied_.end(), 0);
+  ring_.clear();
+  ring_pos_ = 0;
+  count_ = 0;
 }
 
 }  // namespace dataflasks::dissemination

@@ -24,7 +24,7 @@ EpidemicBroadcast::EpidemicBroadcast(NodeId self, net::Transport& transport,
       deliver_(std::move(deliver)),
       seen_(options.dedup_capacity) {}
 
-std::uint64_t EpidemicBroadcast::broadcast(Bytes payload) {
+std::uint64_t EpidemicBroadcast::broadcast(Payload payload) {
   // Globally unique id: origin id mixed with a local sequence number.
   const std::uint64_t id =
       hash_combine(self_.value, 0xb40adca57ULL + next_local_id_++);
@@ -41,7 +41,8 @@ bool EpidemicBroadcast::handle(const net::Message& msg) {
   const std::uint64_t id = r.u64();
   const NodeId origin = r.node_id();
   const std::uint8_t hops = r.u8();
-  const Bytes payload = r.bytes();
+  // Zero-copy: the inner payload stays a view into the incoming frame.
+  const Payload payload = r.payload();
   if (!r.finish().ok()) return true;  // malformed: drop
 
   if (seen_.seen_or_insert(id)) return true;  // duplicate
@@ -52,13 +53,16 @@ bool EpidemicBroadcast::handle(const net::Message& msg) {
 }
 
 void EpidemicBroadcast::relay(std::uint64_t id, NodeId origin,
-                              std::uint8_t hops, const Bytes& payload) {
-  Writer w;
+                              std::uint8_t hops, const Payload& payload) {
+  // One frame per relay round, shared by every peer Message (refcount bump
+  // per send, not a byte copy).
+  Writer w(2 * sizeof(std::uint64_t) + 1 + sizeof(std::uint32_t) +
+           payload.size());
   w.u64(id);
   w.node_id(origin);
   w.u8(hops);
   w.bytes(payload);
-  const Bytes encoded = w.take();
+  const Payload encoded = w.take_payload();
 
   for (const NodeId peer : pss_.sample_peers(options_.fanout)) {
     if (peer == self_) continue;

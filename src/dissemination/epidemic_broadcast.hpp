@@ -32,15 +32,16 @@ struct BroadcastOptions {
 class EpidemicBroadcast {
  public:
   /// `deliver` runs exactly once per broadcast id on each infected node.
+  /// The payload is a zero-copy view into the frame it arrived in.
   using DeliverFn =
-      std::function<void(const Bytes& payload, NodeId origin)>;
+      std::function<void(const Payload& payload, NodeId origin)>;
 
   EpidemicBroadcast(NodeId self, net::Transport& transport,
                     pss::PeerSampling& pss, Rng rng, BroadcastOptions options,
                     DeliverFn deliver);
 
   /// Originates a broadcast; returns its id. Delivers locally as well.
-  std::uint64_t broadcast(Bytes payload);
+  std::uint64_t broadcast(Payload payload);
 
   /// Consumes broadcast messages; false when the type is not ours.
   bool handle(const net::Message& msg);
@@ -50,7 +51,7 @@ class EpidemicBroadcast {
 
  private:
   void relay(std::uint64_t id, NodeId origin, std::uint8_t hops,
-             const Bytes& payload);
+             const Payload& payload);
 
   NodeId self_;
   net::Transport& transport_;

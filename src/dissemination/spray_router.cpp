@@ -40,7 +40,7 @@ SprayRouter::SprayRouter(NodeId self, net::Transport& transport,
   ensure(static_cast<bool>(deliver_), "SprayRouter: no deliver fn");
 }
 
-std::uint64_t SprayRouter::originate(SliceId target, Bytes payload) {
+std::uint64_t SprayRouter::originate(SliceId target, Payload payload) {
   const std::uint64_t id =
       hash_combine(self_.value, 0x5b4a9e11ULL + next_local_id_++);
   seen_.seen_or_insert(id);
@@ -58,7 +58,8 @@ bool SprayRouter::handle(const net::Message& msg) {
   const NodeId origin = r.node_id();
   const std::uint8_t hops = r.u8();
   const bool in_slice_phase = r.boolean();
-  const Bytes payload = r.bytes();
+  // Zero-copy: the inner payload stays a view into the incoming frame.
+  const Payload payload = r.payload();
   if (!r.finish().ok()) return true;  // malformed: drop
 
   if (seen_.seen_or_insert(id)) return true;  // duplicate
@@ -69,7 +70,7 @@ bool SprayRouter::handle(const net::Message& msg) {
 
 void SprayRouter::route(std::uint64_t id, SliceId target, NodeId origin,
                         std::uint8_t hops, bool in_slice_phase,
-                        const Bytes& payload, bool deliver_locally) {
+                        const Payload& payload, bool deliver_locally) {
   const bool in_target = current_slice_() == target;
 
   if (in_target) {
@@ -100,28 +101,32 @@ void SprayRouter::route(std::uint64_t id, SliceId target, NodeId origin,
 
 void SprayRouter::relay_global(std::uint64_t id, SliceId target, NodeId origin,
                                std::uint8_t hops, bool in_slice_phase,
-                               const Bytes& payload) {
+                               const Payload& payload) {
   std::size_t fanout = options_.global_fanout;
+  // One frame per relay round: every recipient below (directory contact and
+  // random peers alike) shares the same encoded buffer.
+  const Payload frame =
+      encode_frame(id, target, origin, hops, in_slice_phase, payload);
 
   if (options_.use_directory && directory_) {
     if (const auto contact = directory_(target);
         contact && *contact != self_) {
       // Known member of the target slice: jump straight to it and keep a
       // single random relay as a hedge against a stale directory entry.
-      send_to(*contact, id, target, origin, hops, in_slice_phase, payload);
+      transport_.send(net::Message{self_, *contact, kSprayMsg, frame});
       fanout = fanout > 1 ? 1 : 0;
     }
   }
 
   for (const NodeId peer : pss_.sample_peers(fanout)) {
     if (peer == self_) continue;
-    send_to(peer, id, target, origin, hops, in_slice_phase, payload);
+    transport_.send(net::Message{self_, peer, kSprayMsg, frame});
   }
 }
 
 void SprayRouter::relay_in_slice(std::uint64_t id, SliceId target,
                                  NodeId origin, std::uint8_t hops,
-                                 const Bytes& payload) {
+                                 const Payload& payload) {
   auto peers = slice_peers_(options_.slice_fanout);
   if (peers.empty()) {
     // Slice view not warmed up yet: fall back to global relay so the
@@ -129,23 +134,27 @@ void SprayRouter::relay_in_slice(std::uint64_t id, SliceId target,
     relay_global(id, target, origin, hops, /*in_slice_phase=*/true, payload);
     return;
   }
+  const Payload frame = encode_frame(id, target, origin, hops,
+                                     /*in_slice_phase=*/true, payload);
   for (const NodeId peer : peers) {
     if (peer == self_) continue;
-    send_to(peer, id, target, origin, hops, /*in_slice_phase=*/true, payload);
+    transport_.send(net::Message{self_, peer, kSprayMsg, frame});
   }
 }
 
-void SprayRouter::send_to(NodeId peer, std::uint64_t id, SliceId target,
-                          NodeId origin, std::uint8_t hops,
-                          bool in_slice_phase, const Bytes& payload) {
-  Writer w;
+Payload SprayRouter::encode_frame(std::uint64_t id, SliceId target,
+                                  NodeId origin, std::uint8_t hops,
+                                  bool in_slice_phase,
+                                  const Payload& payload) const {
+  Writer w(2 * sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t) + 2 +
+           payload.size());
   w.u64(id);
   w.u32(target);
   w.node_id(origin);
   w.u8(hops);
   w.boolean(in_slice_phase);
   w.bytes(payload);
-  transport_.send(net::Message{self_, peer, kSprayMsg, w.take()});
+  return w.take_payload();
 }
 
 }  // namespace dataflasks::dissemination

@@ -53,8 +53,9 @@ enum class DeliverResult {
 class SprayRouter {
  public:
   /// Called once per message id when this node is in the target slice.
+  /// The payload is a zero-copy view into the frame it arrived in.
   using DeliverFn = std::function<DeliverResult(
-      const Bytes& payload, SliceId target, NodeId origin)>;
+      const Payload& payload, SliceId target, NodeId origin)>;
   /// Supplies this node's current slice (from the slicing protocol).
   using SliceFn = std::function<SliceId()>;
   /// Supplies up to `count` known members of this node's own slice.
@@ -69,7 +70,7 @@ class SprayRouter {
 
   /// Originates a spray toward `target`. Returns the spray id. If this node
   /// is already in the target slice, delivery happens locally first.
-  std::uint64_t originate(SliceId target, Bytes payload);
+  std::uint64_t originate(SliceId target, Payload payload);
 
   /// Consumes spray messages; false when the type is not ours.
   bool handle(const net::Message& msg);
@@ -79,15 +80,19 @@ class SprayRouter {
 
  private:
   void route(std::uint64_t id, SliceId target, NodeId origin,
-             std::uint8_t hops, bool in_slice_phase, const Bytes& payload,
+             std::uint8_t hops, bool in_slice_phase, const Payload& payload,
              bool deliver_locally);
   void relay_global(std::uint64_t id, SliceId target, NodeId origin,
                     std::uint8_t hops, bool in_slice_phase,
-                    const Bytes& payload);
+                    const Payload& payload);
   void relay_in_slice(std::uint64_t id, SliceId target, NodeId origin,
-                      std::uint8_t hops, const Bytes& payload);
-  void send_to(NodeId peer, std::uint64_t id, SliceId target, NodeId origin,
-               std::uint8_t hops, bool in_slice_phase, const Bytes& payload);
+                      std::uint8_t hops, const Payload& payload);
+  /// Encodes the wire frame for one relay round; every peer in the round
+  /// shares the returned buffer.
+  [[nodiscard]] Payload encode_frame(std::uint64_t id, SliceId target,
+                                     NodeId origin, std::uint8_t hops,
+                                     bool in_slice_phase,
+                                     const Payload& payload) const;
 
   NodeId self_;
   net::Transport& transport_;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/payload.hpp"
 #include "common/serialize.hpp"
 #include "common/types.hpp"
 
@@ -35,7 +36,9 @@ struct Message {
   NodeId src;
   NodeId dst;
   std::uint16_t type = 0;
-  Bytes payload;
+  /// Immutable shared payload: copying a Message (e.g. fanning one frame
+  /// out to k peers) bumps a refcount instead of duplicating the bytes.
+  Payload payload;
 
   /// Bytes on the wire: payload plus a fixed header estimate
   /// (src + dst + type + length), mirroring a UDP datagram layout.

@@ -9,12 +9,11 @@ SimTransport::SimTransport(sim::Simulator& simulator, sim::NetworkModel& model)
 
 void SimTransport::send(Message msg) {
   const auto category = static_cast<std::size_t>(msg.category());
-  auto& sender = node_stats_[msg.src];
-  sender.sent += 1;
-  sender.bytes_sent += msg.wire_size();
-  auto& sender_cat = category_stats_[msg.src].stats[category];
-  sender_cat.sent += 1;
-  sender_cat.bytes_sent += msg.wire_size();
+  NodeStats& sender = node_stats_[msg.src];
+  sender.total.sent += 1;
+  sender.total.bytes_sent += msg.wire_size();
+  sender.per_category[category].sent += 1;
+  sender.per_category[category].bytes_sent += msg.wire_size();
   ++total_sent_;
 
   const auto delay = model_.delivery_delay(msg.src, msg.dst, rng_);
@@ -23,7 +22,10 @@ void SimTransport::send(Message msg) {
     return;
   }
 
-  simulator_.schedule_after(*delay, [this, m = std::move(msg)]() {
+  // Fire-and-forget post: the closure (this + the Message with its shared
+  // payload view) is moved into the event-queue slot inline — an in-flight
+  // packet costs zero heap allocations.
+  simulator_.post_after(*delay, [this, m = std::move(msg)]() {
     deliver(m);
   });
 }
@@ -42,12 +44,11 @@ void SimTransport::deliver(const Message& msg) {
   }
 
   const auto category = static_cast<std::size_t>(msg.category());
-  auto& receiver = node_stats_[msg.dst];
-  receiver.received += 1;
-  receiver.bytes_received += msg.wire_size();
-  auto& receiver_cat = category_stats_[msg.dst].stats[category];
-  receiver_cat.received += 1;
-  receiver_cat.bytes_received += msg.wire_size();
+  NodeStats& receiver = node_stats_[msg.dst];
+  receiver.total.received += 1;
+  receiver.total.bytes_received += msg.wire_size();
+  receiver.per_category[category].received += 1;
+  receiver.per_category[category].bytes_received += msg.wire_size();
   ++total_delivered_;
 
   it->second(msg);
@@ -62,19 +63,18 @@ void SimTransport::unregister_handler(NodeId node) { handlers_.erase(node); }
 const TrafficStats& SimTransport::stats(NodeId node) const {
   static const TrafficStats kEmpty;
   const auto it = node_stats_.find(node);
-  return it == node_stats_.end() ? kEmpty : it->second;
+  return it == node_stats_.end() ? kEmpty : it->second.total;
 }
 
 TrafficStats SimTransport::stats_for_category(NodeId node,
                                               MsgCategory category) const {
-  const auto it = category_stats_.find(node);
-  if (it == category_stats_.end()) return {};
-  return it->second.stats[static_cast<std::size_t>(category)];
+  const auto it = node_stats_.find(node);
+  if (it == node_stats_.end()) return {};
+  return it->second.per_category[static_cast<std::size_t>(category)];
 }
 
 void SimTransport::reset_stats() {
   node_stats_.clear();
-  category_stats_.clear();
   total_sent_ = 0;
   total_delivered_ = 0;
   total_dropped_ = 0;

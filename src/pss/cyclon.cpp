@@ -23,12 +23,12 @@ void Cyclon::bootstrap(const std::vector<NodeId>& seeds) {
   }
 }
 
-Bytes Cyclon::encode_payload(
+Payload Cyclon::encode_payload(
     const std::vector<NodeDescriptor>& descriptors) const {
   Writer w;
   w.vec(descriptors,
         [&w](const NodeDescriptor& d) { encode(w, d); });
-  return w.take();
+  return w.take_payload();
 }
 
 std::optional<std::vector<NodeDescriptor>> Cyclon::decode_payload(
@@ -111,11 +111,7 @@ void Cyclon::merge(const std::vector<NodeDescriptor>& received,
 }
 
 std::vector<NodeId> Cyclon::sample_peers(std::size_t count) {
-  std::vector<NodeId> out;
-  for (const NodeDescriptor& d : view_.sample(rng_, count)) {
-    out.push_back(d.id);
-  }
-  return out;
+  return view_.sample_ids(rng_, count);
 }
 
 }  // namespace dataflasks::pss

@@ -38,7 +38,7 @@ class Cyclon final : public PeerSampling {
     std::vector<NodeDescriptor> descriptors;
   };
 
-  [[nodiscard]] Bytes encode_payload(
+  [[nodiscard]] Payload encode_payload(
       const std::vector<NodeDescriptor>& descriptors) const;
   [[nodiscard]] static std::optional<std::vector<NodeDescriptor>>
   decode_payload(const net::Message& msg);

@@ -19,12 +19,12 @@ void Newscast::bootstrap(const std::vector<NodeId>& seeds) {
   }
 }
 
-Bytes Newscast::encode_view_with_self() const {
+Payload Newscast::encode_view_with_self() const {
   Writer w;
   std::vector<NodeDescriptor> items = view_.entries();
   items.push_back(NodeDescriptor{self_, 0});
   w.vec(items, [&w](const NodeDescriptor& d) { encode(w, d); });
-  return w.take();
+  return w.take_payload();
 }
 
 void Newscast::tick() {
@@ -88,11 +88,7 @@ void Newscast::merge(const std::vector<NodeDescriptor>& received) {
 }
 
 std::vector<NodeId> Newscast::sample_peers(std::size_t count) {
-  std::vector<NodeId> out;
-  for (const NodeDescriptor& d : view_.sample(rng_, count)) {
-    out.push_back(d.id);
-  }
-  return out;
+  return view_.sample_ids(rng_, count);
 }
 
 }  // namespace dataflasks::pss

@@ -31,7 +31,7 @@ class Newscast final : public PeerSampling {
   std::vector<NodeId> sample_peers(std::size_t count) override;
 
  private:
-  [[nodiscard]] Bytes encode_view_with_self() const;
+  [[nodiscard]] Payload encode_view_with_self() const;
   void merge(const std::vector<NodeDescriptor>& received);
 
   NodeId self_;

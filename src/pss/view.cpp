@@ -76,6 +76,11 @@ std::vector<NodeDescriptor> View::sample(Rng& rng, std::size_t count) const {
   return rng.sample(entries_, count);
 }
 
+std::vector<NodeId> View::sample_ids(Rng& rng, std::size_t count) const {
+  return rng.sample_transform(entries_, count,
+                              [](const NodeDescriptor& d) { return d.id; });
+}
+
 std::optional<NodeDescriptor> View::random_entry(Rng& rng) const {
   if (entries_.empty()) return std::nullopt;
   return entries_[rng.next_below(entries_.size())];

@@ -58,6 +58,11 @@ class View {
   [[nodiscard]] std::vector<NodeDescriptor> sample(Rng& rng,
                                                    std::size_t count) const;
 
+  /// Uniform sample of up to `count` entry ids — same draws as sample(),
+  /// without materializing the descriptors (the sample_peers hot path).
+  [[nodiscard]] std::vector<NodeId> sample_ids(Rng& rng,
+                                               std::size_t count) const;
+
   /// One uniformly random entry; nullopt when empty.
   [[nodiscard]] std::optional<NodeDescriptor> random_entry(Rng& rng) const;
 

@@ -1,13 +1,24 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/ensure.hpp"
 
 namespace dataflasks::sim {
 
-void EventQueue::push(SimTime at, Callback fn) {
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn)});
+void EventQueue::push(SimTime at, Callback fn, std::shared_ptr<bool> alive) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].fn = std::move(fn);
+    slots_[slot].alive = std::move(alive);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{std::move(fn), std::move(alive)});
+  }
+  heap_.push_back(Entry{at, next_seq_++, slot});
   sift_up(heap_.size() - 1);
 }
 
@@ -16,41 +27,56 @@ SimTime EventQueue::next_time() const {
   return heap_.front().at;
 }
 
-EventQueue::Callback EventQueue::pop() {
+EventQueue::Event EventQueue::pop() {
   ensure(!heap_.empty(), "EventQueue::pop on empty queue");
-  Callback fn = std::move(heap_.front().fn);
-  heap_.front() = std::move(heap_.back());
+  const Entry top = heap_.front();
+  Slot& slot = slots_[top.slot];
+  Event out{top.at, std::move(slot.fn), std::move(slot.alive)};
+  free_slots_.push_back(top.slot);
+  heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
-  return fn;
+  return out;
 }
 
 void EventQueue::clear() {
   heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
   next_seq_ = 0;
 }
 
 void EventQueue::sift_up(std::size_t i) {
+  const Entry item = heap_[i];
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
+    const std::size_t parent = (i - 1) / 4;
+    if (!later(heap_[parent], item)) break;
+    heap_[i] = heap_[parent];
     i = parent;
   }
+  heap_[i] = item;
 }
 
 void EventQueue::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
+  const Entry item = heap_[i];
   for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
     std::size_t smallest = i;
-    const std::size_t left = 2 * i + 1;
-    const std::size_t right = 2 * i + 2;
-    if (left < n && later(heap_[smallest], heap_[left])) smallest = left;
-    if (right < n && later(heap_[smallest], heap_[right])) smallest = right;
-    if (smallest == i) return;
-    std::swap(heap_[i], heap_[smallest]);
+    const Entry* best = &item;
+    for (std::size_t c = first_child; c < last_child; ++c) {
+      if (later(*best, heap_[c])) {
+        smallest = c;
+        best = &heap_[c];
+      }
+    }
+    if (smallest == i) break;
+    heap_[i] = heap_[smallest];
     i = smallest;
   }
+  heap_[i] = item;
 }
 
 }  // namespace dataflasks::sim

@@ -8,32 +8,43 @@ namespace dataflasks::sim {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
-TimerHandle Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+TimerHandle Simulator::schedule_at(SimTime at, UniqueFunction fn) {
   ensure(at >= now_, "Simulator::schedule_at in the past");
+  // The cancellation flag rides in the queue slot itself (no wrapper
+  // closure), so a cancellable timer costs one shared flag and nothing else.
   auto alive = std::make_shared<bool>(true);
-  queue_.push(at, [alive, fn = std::move(fn)]() {
-    if (*alive) fn();
-  });
+  queue_.push(at, std::move(fn), alive);
   return TimerHandle(std::move(alive));
 }
 
-TimerHandle Simulator::schedule_after(SimTime delay, std::function<void()> fn) {
+TimerHandle Simulator::schedule_after(SimTime delay, UniqueFunction fn) {
   ensure(delay >= 0, "Simulator::schedule_after negative delay");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void Simulator::post_at(SimTime at, UniqueFunction fn) {
+  ensure(at >= now_, "Simulator::post_at in the past");
+  queue_.push(at, std::move(fn));
+}
+
+void Simulator::post_after(SimTime delay, UniqueFunction fn) {
+  ensure(delay >= 0, "Simulator::post_after negative delay");
+  queue_.push(now_ + delay, std::move(fn));
+}
+
 TimerHandle Simulator::schedule_periodic(SimTime initial_delay, SimTime period,
-                                         std::function<void()> fn) {
+                                         UniqueFunction fn) {
   ensure(period > 0, "Simulator::schedule_periodic non-positive period");
   auto alive = std::make_shared<bool>(true);
 
   // Each firing re-schedules the next occurrence while the handle is alive.
-  // The closure holds only a weak reference to itself — the strong references
-  // live in the queued events — so cancelled/drained timers are reclaimed
-  // instead of leaking through a shared_ptr cycle.
-  auto tick = std::make_shared<std::function<void()>>();
-  std::weak_ptr<std::function<void()>> weak_tick = tick;
-  *tick = [this, alive, period, fn = std::move(fn), weak_tick]() {
+  // The tick callable holds only a weak reference to itself — the strong
+  // references live in the queued events — so cancelled/drained timers are
+  // reclaimed instead of leaking through a shared_ptr cycle. The per-firing
+  // closure is a single shared_ptr, which lives inline in the queue slot.
+  auto tick = std::make_shared<UniqueFunction>();
+  std::weak_ptr<UniqueFunction> weak_tick = tick;
+  *tick = [this, alive, period, fn = std::move(fn), weak_tick]() mutable {
     if (!*alive) return;
     fn();
     if (*alive) {
@@ -50,11 +61,10 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
   stopped_ = false;
   std::uint64_t executed = 0;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
-    const SimTime at = queue_.next_time();
-    auto fn = queue_.pop();
-    ensure(at >= now_, "event queue time went backwards");
-    now_ = at;
-    fn();
+    EventQueue::Event event = queue_.pop();
+    ensure(event.at >= now_, "event queue time went backwards");
+    now_ = event.at;
+    if (event.runnable()) event.fn();
     ++executed;
   }
   if (queue_.empty() || (!stopped_ && queue_.next_time() > deadline)) {
@@ -69,11 +79,10 @@ std::uint64_t Simulator::run() {
   stopped_ = false;
   std::uint64_t executed = 0;
   while (!stopped_ && !queue_.empty()) {
-    const SimTime at = queue_.next_time();
-    auto fn = queue_.pop();
-    ensure(at >= now_, "event queue time went backwards");
-    now_ = at;
-    fn();
+    EventQueue::Event event = queue_.pop();
+    ensure(event.at >= now_, "event queue time went backwards");
+    now_ = event.at;
+    if (event.runnable()) event.fn();
     ++executed;
   }
   return executed;

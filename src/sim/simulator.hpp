@@ -4,11 +4,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "common/unique_function.hpp"
 #include "sim/event_queue.hpp"
 
 namespace dataflasks::sim {
@@ -48,15 +48,21 @@ class Simulator : public Clock {
   [[nodiscard]] Rng& rng() { return rng_; }
 
   /// Schedules `fn` to run at absolute virtual time `at` (>= now).
-  TimerHandle schedule_at(SimTime at, std::function<void()> fn);
+  TimerHandle schedule_at(SimTime at, UniqueFunction fn);
 
   /// Schedules `fn` after a relative delay (>= 0).
-  TimerHandle schedule_after(SimTime delay, std::function<void()> fn);
+  TimerHandle schedule_after(SimTime delay, UniqueFunction fn);
+
+  /// Fire-and-forget variants: no cancellation handle, so no cancellation
+  /// flag is allocated. The hot path for in-flight messages — a small
+  /// closure goes straight into the event-queue slot, allocation-free.
+  void post_at(SimTime at, UniqueFunction fn);
+  void post_after(SimTime delay, UniqueFunction fn);
 
   /// Schedules `fn` every `period` starting at now + initial_delay, until the
   /// returned handle is cancelled.
   TimerHandle schedule_periodic(SimTime initial_delay, SimTime period,
-                                std::function<void()> fn);
+                                UniqueFunction fn);
 
   /// Runs until the queue drains or virtual time would exceed `deadline`.
   /// Returns the number of events executed.

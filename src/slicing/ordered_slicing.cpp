@@ -59,7 +59,7 @@ bool OrderedSlicing::orders_before(double attr, NodeId id) const {
   return self_ < id;
 }
 
-Bytes OrderedSlicing::encode_exchange(bool is_swap, double random_value,
+Payload OrderedSlicing::encode_exchange(bool is_swap, double random_value,
                                       std::uint64_t proposal_seq) const {
   Writer w;
   w.boolean(is_swap);
@@ -69,7 +69,7 @@ Bytes OrderedSlicing::encode_exchange(bool is_swap, double random_value,
   w.u64(proposal_seq);
   w.u32(config_.slice_count);
   w.u64(config_.epoch);
-  return w.take();
+  return w.take_payload();
 }
 
 void OrderedSlicing::tick() {

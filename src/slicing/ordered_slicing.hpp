@@ -35,7 +35,7 @@ class OrderedSlicing final : public Slicer {
   /// id so every node has a distinct rank.
   [[nodiscard]] bool orders_before(double attr, NodeId id) const;
 
-  [[nodiscard]] Bytes encode_exchange(bool is_swap, double random_value,
+  [[nodiscard]] Payload encode_exchange(bool is_swap, double random_value,
                                       std::uint64_t proposal_seq) const;
 
   NodeId self_;

@@ -40,28 +40,20 @@ Sliver::Sliver(NodeId self, double attribute, net::Transport& transport,
   init_announced_slice();
 }
 
-Bytes Sliver::encode_sample() const {
+Payload Sliver::encode_sample() const {
   Writer w;
   w.node_id(self_);
   w.f64(attribute_);
   w.u32(config_.slice_count);
   w.u64(config_.epoch);
-  return w.take();
+  return w.take_payload();
 }
 
 double Sliver::rank_estimate() const {
   if (observations_.empty()) return 0.5;  // no information yet: middle
-  std::size_t before = 0;
-  for (const auto& [node, obs] : observations_) {
-    // Total order on (attribute, id) so equal capacities still get distinct
-    // ranks (ties broken by node id).
-    if (obs.attribute < attribute_ ||
-        (obs.attribute == attribute_ && node < self_)) {
-      ++before;
-    }
-  }
+  // rank_before_ is maintained incrementally by observe()/expire_and_bound();
   // +1 in the denominator counts this node itself in the population.
-  return static_cast<double>(before) /
+  return static_cast<double>(rank_before_) /
          static_cast<double>(observations_.size() + 1);
 }
 
@@ -70,6 +62,7 @@ SliceId Sliver::raw_slice() const {
 }
 
 void Sliver::tick() {
+  ++tick_count_;
   expire_and_bound();
   reevaluate();  // expiry can move the rank estimate
   for (const NodeId peer : pss_.sample_peers(options_.gossip_fanout)) {
@@ -99,29 +92,59 @@ bool Sliver::handle(const net::Message& msg) {
 
 void Sliver::observe(NodeId node, double attribute) {
   if (node == self_) return;
-  observations_[node] = Observation{attribute, 0};
+  const auto [it, inserted] =
+      observations_.try_emplace(node, Observation{attribute, tick_count_});
+  if (inserted) {
+    if (ranks_before_self(node, attribute)) ++rank_before_;
+    return;
+  }
+  // Refresh: keep the incremental rank count exact if the attribute moved
+  // across this node's own (attribute, id) order point.
+  const bool was_before = ranks_before_self(node, it->second.attribute);
+  const bool now_before = ranks_before_self(node, attribute);
+  if (was_before != now_before) {
+    now_before ? ++rank_before_ : --rank_before_;
+  }
+  it->second.attribute = attribute;
+  it->second.last_seen = tick_count_;
 }
 
 void Sliver::expire_and_bound() {
+  // Expiry compares last-seen tick stamps, so no per-entry aging pass is
+  // needed every cycle: a full sweep runs only periodically, or as soon as
+  // the window overflows. With max_observation_age in the hundreds, a
+  // 16-tick sweep granularity is noise for freshness but cuts the per-tick
+  // cost from O(window) to O(1) between sweeps.
+  constexpr std::uint32_t kSweepInterval = 16;
+  const bool over_capacity = observations_.size() > options_.window_capacity;
+  if (!over_capacity && tick_count_ % kSweepInterval != 0) return;
+
   for (auto it = observations_.begin(); it != observations_.end();) {
-    if (++it->second.age > options_.max_observation_age) {
+    if (tick_count_ - it->second.last_seen > options_.max_observation_age) {
+      if (ranks_before_self(it->first, it->second.attribute)) --rank_before_;
       it = observations_.erase(it);
     } else {
       ++it;
     }
   }
-  // Bound memory: evict the oldest observations beyond capacity.
+
+  // Bound memory: evict the stalest observations beyond capacity. A partial
+  // partition finds the excess; no full sort of the window.
   if (observations_.size() > options_.window_capacity) {
-    std::vector<std::pair<NodeId, std::uint32_t>> by_age;
+    std::vector<std::pair<std::uint32_t, NodeId>> by_age;  // (last_seen, id)
     by_age.reserve(observations_.size());
     for (const auto& [node, obs] : observations_) {
-      by_age.emplace_back(node, obs.age);
+      by_age.emplace_back(obs.last_seen, node);
     }
-    std::sort(by_age.begin(), by_age.end(),
-              [](const auto& a, const auto& b) { return a.second > b.second; });
-    const std::size_t excess = observations_.size() - options_.window_capacity;
+    const std::size_t excess =
+        observations_.size() - options_.window_capacity;
+    std::nth_element(by_age.begin(),
+                     by_age.begin() + static_cast<std::ptrdiff_t>(excess),
+                     by_age.end());
     for (std::size_t i = 0; i < excess; ++i) {
-      observations_.erase(by_age[i].first);
+      const auto it = observations_.find(by_age[i].second);
+      if (ranks_before_self(it->first, it->second.attribute)) --rank_before_;
+      observations_.erase(it);
     }
   }
 }

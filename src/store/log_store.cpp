@@ -13,19 +13,19 @@ namespace {
 constexpr std::uint32_t kMagic = 0xDF1A5C05;
 constexpr std::size_t kHeaderSize = 3 * sizeof(std::uint32_t);
 
-Bytes encode_body(const Object& obj) {
-  Writer w;
+void encode_body(Writer& w, const Object& obj) {
   w.str(obj.key);
   w.u64(obj.version);
   w.bytes(obj.value);
-  return w.take();
 }
 
 bool decode_body(const Bytes& body, Object& out) {
   Reader r(body);
   out.key = r.str();
   out.version = r.u64();
-  out.value = r.bytes();
+  // payload() copies once into the shared buffer; via bytes() the value
+  // would be materialized as a vector and then copied again into Payload.
+  out.value = r.payload();
   return r.finish().ok();
 }
 
@@ -74,6 +74,7 @@ Status LogStore::recover() {
     if (!decode_body(body, obj)) break;
 
     Slot slot{pos + kHeaderSize, body_len};
+    digest_dirty_ = true;
     auto& versions = index_[obj.key];
     if (!versions.contains(obj.version)) {
       ++object_count_;
@@ -89,7 +90,9 @@ Status LogStore::recover() {
 }
 
 Status LogStore::append_record(const Object& obj, Slot& out) {
-  const Bytes body = encode_body(obj);
+  Writer w;
+  encode_body(w, obj);
+  const ByteView body = w.view();
   const std::uint32_t header[3] = {
       kMagic, crc32(body.data(), body.size()),
       static_cast<std::uint32_t>(body.size())};
@@ -142,6 +145,7 @@ Status LogStore::put(const Object& obj) {
   versions[obj.version] = slot;
   ++object_count_;
   value_bytes_ += obj.value.size();
+  if (!digest_dirty_) digest_cache_.push_back(DigestEntry{obj.key, obj.version});
   return Status::ok_status();
 }
 
@@ -165,26 +169,35 @@ bool LogStore::contains(const Key& key, Version version) const {
   return it != index_.end() && it->second.contains(version);
 }
 
-std::vector<DigestEntry> LogStore::digest() const {
-  std::vector<DigestEntry> out;
-  out.reserve(object_count_);
+const std::vector<DigestEntry>& LogStore::digest_entries() const {
+  if (digest_dirty_) {
+    digest_cache_.clear();
+    digest_cache_.reserve(object_count_);
+    for (const auto& [key, versions] : index_) {
+      for (const auto& [version, _] : versions) {
+        digest_cache_.push_back(DigestEntry{key, version});
+      }
+    }
+    digest_dirty_ = false;
+  }
+  return digest_cache_;
+}
+
+std::vector<DigestEntry> LogStore::digest() const { return digest_entries(); }
+
+void LogStore::for_each(const std::function<void(const Object&)>& fn) const {
   for (const auto& [key, versions] : index_) {
-    for (const auto& [version, _] : versions) {
-      out.push_back(DigestEntry{key, version});
+    for (const auto& [_, slot] : versions) {
+      auto obj = read_record(slot);
+      if (obj.ok()) fn(obj.value());
     }
   }
-  return out;
 }
 
 std::vector<Object> LogStore::all() const {
   std::vector<Object> out;
   out.reserve(object_count_);
-  for (const auto& [key, versions] : index_) {
-    for (const auto& [_, slot] : versions) {
-      auto obj = read_record(slot);
-      if (obj.ok()) out.push_back(std::move(obj).value());
-    }
-  }
+  for_each([&out](const Object& obj) { out.push_back(obj); });
   return out;
 }
 
@@ -208,6 +221,7 @@ std::size_t LogStore::remove_keys_where(
       ++it;
     }
   }
+  if (removed > 0) digest_dirty_ = true;
   // The log itself still holds the records; compact() reclaims the space.
   return removed;
 }
@@ -225,7 +239,9 @@ Result<std::size_t> LogStore::compact() {
     for (const auto& [version, slot] : versions) {
       auto obj = read_record(slot);
       if (!obj.ok()) continue;  // skip unreadable (shouldn't happen)
-      const Bytes body = encode_body(obj.value());
+      Writer w;
+      encode_body(w, obj.value());
+      const ByteView body = w.view();
       const std::uint32_t header[3] = {
           kMagic, crc32(body.data(), body.size()),
           static_cast<std::uint32_t>(body.size())};
@@ -257,6 +273,7 @@ Result<std::size_t> LogStore::compact() {
   }
   index_ = std::move(new_index);
   log_end_ = new_end;
+  digest_dirty_ = true;
   return before > new_end ? before - new_end : std::size_t{0};
 }
 

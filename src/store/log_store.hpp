@@ -36,6 +36,8 @@ class LogStore final : public Store {
       const Key& key, std::optional<Version> version) const override;
   [[nodiscard]] bool contains(const Key& key, Version version) const override;
   [[nodiscard]] std::vector<DigestEntry> digest() const override;
+  [[nodiscard]] const std::vector<DigestEntry>& digest_entries() const override;
+  void for_each(const std::function<void(const Object&)>& fn) const override;
   [[nodiscard]] std::vector<Object> all() const override;
   std::size_t remove_keys_where(
       const std::function<bool(const Key&)>& predicate) override;
@@ -73,6 +75,11 @@ class LogStore final : public Store {
   std::size_t log_end_ = 0;
   std::size_t object_count_ = 0;
   std::size_t value_bytes_ = 0;
+
+  // Incrementally maintained digest, mirroring MemStore: appended on put,
+  // rebuilt lazily after recovery/removal/compaction.
+  mutable std::vector<DigestEntry> digest_cache_;
+  mutable bool digest_dirty_ = false;
 };
 
 }  // namespace dataflasks::store

@@ -1,65 +1,96 @@
 #include "store/memstore.hpp"
 
+#include <algorithm>
+
 namespace dataflasks::store {
 
+std::size_t MemStore::VersionedValues::find(Version version) const {
+  const auto it =
+      std::lower_bound(versions.begin(), versions.end(), version);
+  if (it == versions.end() || *it != version) return npos;
+  return static_cast<std::size_t>(it - versions.begin());
+}
+
 Status MemStore::put(const Object& obj) {
-  auto& versions = data_[obj.key];
-  const auto it = versions.find(obj.version);
-  if (it != versions.end()) {
-    if (it->second != obj.value) {
+  VersionedValues& slot = data_[obj.key];
+  const std::size_t existing = slot.find(obj.version);
+  if (existing != VersionedValues::npos) {
+    if (slot.values[existing] != obj.value) {
       return Error::conflict("different value for existing version of key '" +
                              obj.key + "'");
     }
     return Status::ok_status();  // idempotent re-store
   }
-  versions.emplace(obj.version, obj.value);
+
+  // Versions are assigned in increasing order upstream, so the common case
+  // is an append; out-of-order arrivals (replication races) insert sorted.
+  if (slot.versions.empty() || obj.version > slot.versions.back()) {
+    slot.versions.push_back(obj.version);
+    slot.values.push_back(obj.value);  // refcount bump, not a byte copy
+  } else {
+    const auto pos = std::lower_bound(slot.versions.begin(),
+                                      slot.versions.end(), obj.version);
+    const auto index = pos - slot.versions.begin();
+    slot.versions.insert(pos, obj.version);
+    slot.values.insert(slot.values.begin() + index, obj.value);
+  }
   ++object_count_;
   value_bytes_ += obj.value.size();
+  if (!digest_dirty_) digest_cache_.push_back(DigestEntry{obj.key, obj.version});
   return Status::ok_status();
 }
 
 Result<Object> MemStore::get(const Key& key,
                              std::optional<Version> version) const {
   const auto it = data_.find(key);
-  if (it == data_.end() || it->second.empty()) {
+  if (it == data_.end() || it->second.versions.empty()) {
     return Error::not_found("no such key: " + key);
   }
-  const auto& versions = it->second;
+  const VersionedValues& slot = it->second;
   if (!version) {
-    const auto& [v, value] = *versions.rbegin();
-    return Object{key, v, value};
+    return Object{key, slot.versions.back(), slot.values.back()};
   }
-  const auto vit = versions.find(*version);
-  if (vit == versions.end()) {
+  const std::size_t index = slot.find(*version);
+  if (index == VersionedValues::npos) {
     return Error::not_found("no such version of key: " + key);
   }
-  return Object{key, vit->first, vit->second};
+  return Object{key, slot.versions[index], slot.values[index]};
 }
 
 bool MemStore::contains(const Key& key, Version version) const {
   const auto it = data_.find(key);
-  return it != data_.end() && it->second.contains(version);
+  return it != data_.end() &&
+         it->second.find(version) != VersionedValues::npos;
 }
 
-std::vector<DigestEntry> MemStore::digest() const {
-  std::vector<DigestEntry> out;
-  out.reserve(object_count_);
-  for (const auto& [key, versions] : data_) {
-    for (const auto& [version, _] : versions) {
-      out.push_back(DigestEntry{key, version});
+const std::vector<DigestEntry>& MemStore::digest_entries() const {
+  if (digest_dirty_) {
+    digest_cache_.clear();
+    digest_cache_.reserve(object_count_);
+    for (const auto& [key, slot] : data_) {
+      for (const Version version : slot.versions) {
+        digest_cache_.push_back(DigestEntry{key, version});
+      }
+    }
+    digest_dirty_ = false;
+  }
+  return digest_cache_;
+}
+
+std::vector<DigestEntry> MemStore::digest() const { return digest_entries(); }
+
+void MemStore::for_each(const std::function<void(const Object&)>& fn) const {
+  for (const auto& [key, slot] : data_) {
+    for (std::size_t i = 0; i < slot.versions.size(); ++i) {
+      fn(Object{key, slot.versions[i], slot.values[i]});
     }
   }
-  return out;
 }
 
 std::vector<Object> MemStore::all() const {
   std::vector<Object> out;
   out.reserve(object_count_);
-  for (const auto& [key, versions] : data_) {
-    for (const auto& [version, value] : versions) {
-      out.push_back(Object{key, version, value});
-    }
-  }
+  for_each([&out](const Object& obj) { out.push_back(obj); });
   return out;
 }
 
@@ -68,9 +99,9 @@ std::size_t MemStore::remove_keys_where(
   std::size_t removed = 0;
   for (auto it = data_.begin(); it != data_.end();) {
     if (predicate(it->first)) {
-      removed += it->second.size();
-      object_count_ -= it->second.size();
-      for (const auto& [_, value] : it->second) {
+      removed += it->second.versions.size();
+      object_count_ -= it->second.versions.size();
+      for (const Payload& value : it->second.values) {
         value_bytes_ -= value.size();
       }
       it = data_.erase(it);
@@ -78,6 +109,7 @@ std::size_t MemStore::remove_keys_where(
       ++it;
     }
   }
+  if (removed > 0) digest_dirty_ = true;
   return removed;
 }
 
@@ -85,6 +117,8 @@ void MemStore::clear() {
   data_.clear();
   object_count_ = 0;
   value_bytes_ = 0;
+  digest_cache_.clear();
+  digest_dirty_ = false;
 }
 
 }  // namespace dataflasks::store

@@ -1,10 +1,16 @@
 // In-memory versioned store: the default Data Store in simulations, where a
 // node crash is expected to lose state (durability then comes from the
 // other replicas in the slice, which is exactly what churn benches measure).
+//
+// Values are shared immutable Payloads: storing a replicated object retains
+// a view of the frame it arrived in (refcount bump, no byte copy), and gets
+// hand the same buffer back out. The digest is maintained incrementally —
+// appended on put, rebuilt lazily only after removals — so the per-round
+// anti-entropy digest costs O(1) instead of an O(n) walk of the version maps.
 #pragma once
 
-#include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "store/store.hpp"
 
@@ -19,6 +25,8 @@ class MemStore final : public Store {
       const Key& key, std::optional<Version> version) const override;
   [[nodiscard]] bool contains(const Key& key, Version version) const override;
   [[nodiscard]] std::vector<DigestEntry> digest() const override;
+  [[nodiscard]] const std::vector<DigestEntry>& digest_entries() const override;
+  void for_each(const std::function<void(const Object&)>& fn) const override;
   [[nodiscard]] std::vector<Object> all() const override;
   std::size_t remove_keys_where(
       const std::function<bool(const Key&)>& predicate) override;
@@ -32,11 +40,28 @@ class MemStore final : public Store {
   void clear();
 
  private:
-  // Ordered inner map: "latest version" is rbegin(), and digests come out
-  // deterministically ordered for stable tests.
-  std::unordered_map<Key, std::map<Version, Bytes>> data_;
+  // Versions of one key, kept sorted ascending — "latest" is back(). Puts
+  // arrive in near-increasing version order, so insertion is an amortized
+  // O(1) push_back; a flat vector beats a std::map here (no per-version
+  // tree node allocation, binary-search lookups on contiguous memory).
+  struct VersionedValues {
+    std::vector<Version> versions;  ///< sorted ascending
+    std::vector<Payload> values;    ///< parallel to `versions`
+
+    /// Index of `version`, or npos.
+    [[nodiscard]] std::size_t find(Version version) const;
+    static constexpr std::size_t npos = ~std::size_t{0};
+  };
+
+  std::unordered_map<Key, VersionedValues> data_;
   std::size_t object_count_ = 0;
   std::size_t value_bytes_ = 0;
+
+  // Incrementally maintained digest: put() appends; removals mark it dirty
+  // and the next digest_entries() call rebuilds. Mutable so the lazily
+  // rebuilt cache stays behind a const read API.
+  mutable std::vector<DigestEntry> digest_cache_;
+  mutable bool digest_dirty_ = false;
 };
 
 }  // namespace dataflasks::store

@@ -12,7 +12,9 @@ Object decode_object(Reader& r) {
   Object obj;
   obj.key = r.str();
   obj.version = r.u64();
-  obj.value = r.bytes();
+  // Zero-copy when the Reader wraps a Payload: the value stays a view into
+  // the network frame it arrived in.
+  obj.value = r.payload();
   return obj;
 }
 

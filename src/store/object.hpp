@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "common/payload.hpp"
 #include "common/serialize.hpp"
 #include "common/types.hpp"
 
@@ -14,7 +15,10 @@ namespace dataflasks::store {
 struct Object {
   Key key;
   Version version = 0;
-  Bytes value;
+  /// Shared immutable value bytes: replication pushes, anti-entropy and
+  /// state transfer hand the same buffer around instead of copying it, and
+  /// decoding an object out of a frame keeps a view into that frame.
+  Payload value;
 
   friend bool operator==(const Object&, const Object&) = default;
 };
@@ -33,5 +37,14 @@ void encode(Writer& w, const Object& obj);
 
 void encode(Writer& w, const DigestEntry& entry);
 [[nodiscard]] DigestEntry decode_digest_entry(Reader& r);
+
+/// Exact wire sizes, so encoders can reserve once instead of regrowing.
+[[nodiscard]] inline std::size_t encoded_size(const Object& obj) {
+  return sizeof(std::uint32_t) + obj.key.size() + sizeof(Version) +
+         sizeof(std::uint32_t) + obj.value.size();
+}
+[[nodiscard]] inline std::size_t encoded_size(const DigestEntry& entry) {
+  return sizeof(std::uint32_t) + entry.key.size() + sizeof(Version);
+}
 
 }  // namespace dataflasks::store

@@ -32,6 +32,17 @@ class Store {
   /// Every (key, version) held; the anti-entropy digest source.
   [[nodiscard]] virtual std::vector<DigestEntry> digest() const = 0;
 
+  /// Cached view of digest(): a reference to an incrementally maintained
+  /// entry list, valid until the next mutation. Anti-entropy and state
+  /// transfer read this every round; the cache makes that O(1) instead of
+  /// rebuilding the full (key, version) list per call.
+  [[nodiscard]] virtual const std::vector<DigestEntry>& digest_entries()
+      const = 0;
+
+  /// Visits every stored object without materializing a snapshot vector.
+  virtual void for_each(
+      const std::function<void(const Object&)>& fn) const = 0;
+
   /// All stored objects in unspecified order (state transfer snapshots).
   [[nodiscard]] virtual std::vector<Object> all() const = 0;
 

@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
 #include "common/types.hpp"
+#include "common/unique_function.hpp"
 
 namespace dataflasks {
 namespace {
@@ -185,7 +186,7 @@ TEST(Serialize, ScalarRoundTrip) {
   w.boolean(true);
   w.boolean(false);
 
-  Reader r(w.buffer());
+  Reader r(w.view());
   EXPECT_EQ(r.u8(), 0xAB);
   EXPECT_EQ(r.u16(), 0xBEEF);
   EXPECT_EQ(r.u32(), 0xDEADBEEFu);
@@ -202,7 +203,7 @@ TEST(Serialize, StringAndBytesRoundTrip) {
   w.str("hello world");
   w.str("");
   w.bytes(Bytes{1, 2, 3});
-  Reader r(w.buffer());
+  Reader r(w.view());
   EXPECT_EQ(r.str(), "hello world");
   EXPECT_EQ(r.str(), "");
   EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
@@ -213,7 +214,7 @@ TEST(Serialize, VectorRoundTrip) {
   Writer w;
   std::vector<std::uint64_t> values{1, 2, 3, 42};
   w.vec(values, [&w](std::uint64_t v) { w.u64(v); });
-  Reader r(w.buffer());
+  Reader r(w.view());
   const auto decoded = r.vec<std::uint64_t>([&r]() { return r.u64(); });
   EXPECT_EQ(decoded, values);
   EXPECT_TRUE(r.finish().ok());
@@ -234,7 +235,7 @@ TEST(Serialize, TrailingBytesDetected) {
   Writer w;
   w.u32(1);
   w.u32(2);
-  Reader r(w.buffer());
+  Reader r(w.view());
   (void)r.u32();
   EXPECT_FALSE(r.finish().ok());  // one u32 left unread
 }
@@ -245,7 +246,7 @@ TEST(Serialize, MaliciousVectorLengthRejected) {
   Writer w;
   w.u32(0x80000000u);
   w.u8(7);
-  Reader r(w.buffer());
+  Reader r(w.view());
   const auto decoded = r.vec<std::uint8_t>([&r]() { return r.u8(); });
   EXPECT_TRUE(decoded.empty());
   EXPECT_FALSE(r.ok());
@@ -255,12 +256,173 @@ TEST(Serialize, NodeAndRequestIdRoundTrip) {
   Writer w;
   w.node_id(NodeId(77));
   w.request_id(RequestId{5, 9});
-  Reader r(w.buffer());
+  Reader r(w.view());
   EXPECT_EQ(r.node_id(), NodeId(77));
   const RequestId rid = r.request_id();
   EXPECT_EQ(rid.client, 5u);
   EXPECT_EQ(rid.seq, 9u);
   EXPECT_TRUE(r.finish().ok());
+}
+
+// ---- Payload ---------------------------------------------------------------
+
+TEST(Payload, EmptyByDefault) {
+  const Payload p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.data(), nullptr);
+  EXPECT_EQ(p.use_count(), 0);
+  EXPECT_EQ(p, Bytes{});
+}
+
+TEST(Payload, WrapsBytesWithoutFurtherCopies) {
+  Payload::reset_alloc_stats();
+  const Payload a(Bytes{1, 2, 3, 4});
+  EXPECT_EQ(Payload::alloc_stats().buffers, 1u);
+  EXPECT_EQ(Payload::alloc_stats().bytes, 4u);
+
+  // Copying / moving Payloads shares the buffer: no new allocations.
+  const Payload b = a;
+  Payload c;
+  c = b;
+  EXPECT_EQ(Payload::alloc_stats().buffers, 1u);
+  EXPECT_TRUE(a.shares_buffer_with(b));
+  EXPECT_TRUE(a.shares_buffer_with(c));
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_EQ(b, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Payload, AliasingMessagesObserveImmutableBytes) {
+  // Two "messages" sharing one buffer: the view each one sees never changes,
+  // because nothing can mutate a wrapped buffer.
+  const Payload original(Bytes{10, 20, 30});
+  const Payload aliased = original;
+  EXPECT_EQ(original, aliased);
+  EXPECT_EQ(original.data(), aliased.data());
+  // The accessors only hand out const bytes; content checks stay stable
+  // however many holders exist.
+  EXPECT_EQ(original[1], 20);
+  EXPECT_EQ(aliased[1], 20);
+}
+
+TEST(Payload, SubviewSharesBufferAtOffset) {
+  Payload::reset_alloc_stats();
+  const Payload whole(Bytes{0, 1, 2, 3, 4, 5, 6, 7});
+  const Payload mid = whole.subview(2, 4);
+  EXPECT_EQ(Payload::alloc_stats().buffers, 1u);  // views allocate nothing
+  EXPECT_EQ(mid.size(), 4u);
+  EXPECT_EQ(mid, (Bytes{2, 3, 4, 5}));
+  EXPECT_TRUE(mid.shares_buffer_with(whole));
+  EXPECT_EQ(mid.offset(), 2u);
+  EXPECT_EQ(mid.data(), whole.data() + 2);
+
+  const Payload empty = whole.subview(8, 0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW((void)whole.subview(5, 4), InvariantViolation);
+}
+
+TEST(Payload, SubviewKeepsBufferAliveAfterParentDies) {
+  Payload view;
+  {
+    const Payload whole(Bytes{9, 8, 7, 6});
+    view = whole.subview(1, 2);
+  }
+  EXPECT_EQ(view, (Bytes{8, 7}));
+  EXPECT_EQ(view.use_count(), 1);
+}
+
+TEST(Payload, DeepEqualityAcrossDistinctBuffers) {
+  const Payload a(Bytes{1, 2, 3});
+  const Payload b(Bytes{0, 1, 2, 3, 4});
+  EXPECT_EQ(a, b.subview(1, 3));  // same bytes, different buffers
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == Payload(Bytes{1, 2, 9}));
+}
+
+TEST(Payload, ReaderHandsOutZeroCopySubviews) {
+  Writer w;
+  w.u16(7);
+  w.bytes(Bytes{5, 6, 7});
+  const Payload frame = w.take_payload();
+
+  Payload::reset_alloc_stats();
+  Reader r(frame);
+  EXPECT_EQ(r.u16(), 7);
+  const Payload inner = r.payload();
+  EXPECT_TRUE(r.finish().ok());
+  EXPECT_EQ(inner, (Bytes{5, 6, 7}));
+  // The inner payload is a view into the frame, not a copy.
+  EXPECT_TRUE(inner.shares_buffer_with(frame));
+  EXPECT_EQ(Payload::alloc_stats().buffers, 0u);
+
+  // Without an owning Payload, payload() falls back to copying.
+  Reader copy_reader(frame.view());
+  (void)copy_reader.u16();
+  const Payload copied = copy_reader.payload();
+  EXPECT_EQ(copied, (Bytes{5, 6, 7}));
+  EXPECT_EQ(Payload::alloc_stats().buffers, 1u);
+}
+
+TEST(Payload, WriterReserveDoesSingleAllocation) {
+  Payload::reset_alloc_stats();
+  Writer w(64);
+  EXPECT_EQ(Payload::alloc_stats().buffers, 1u);
+  const auto* before = w.view().data();
+  for (int i = 0; i < 8; ++i) w.u64(static_cast<std::uint64_t>(i));
+  EXPECT_EQ(w.view().data(), before);  // no regrow within the reservation
+  EXPECT_EQ(w.size(), 64u);
+  // Handing the buffer to a Payload is pointer surgery, not an allocation.
+  const Payload p = w.take_payload();
+  EXPECT_EQ(Payload::alloc_stats().buffers, 1u);
+  EXPECT_EQ(p.data(), before);
+}
+
+// ---- UniqueFunction --------------------------------------------------------
+
+TEST(UniqueFunction, SmallCapturesStayInline) {
+  int hits = 0;
+  int* p = &hits;
+  UniqueFunction f([p]() { ++*p; });
+  EXPECT_TRUE(f.is_inline());
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, LargeCapturesSpillToHeap) {
+  struct Big {
+    char blob[UniqueFunction::kInlineSize + 8];
+  };
+  Big big{};
+  big.blob[0] = 42;
+  int out = 0;
+  UniqueFunction f([big, &out]() { out = big.blob[0]; });
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(UniqueFunction, MovesMoveOnlyCaptures) {
+  auto flag = std::make_unique<int>(7);
+  int seen = 0;
+  UniqueFunction f([flag = std::move(flag), &seen]() { seen = *flag; });
+  UniqueFunction g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(UniqueFunction, DestroysTargetExactlyOnce) {
+  auto counter = std::make_shared<int>(0);
+  {
+    UniqueFunction f([counter]() {});
+    UniqueFunction g = std::move(f);
+    UniqueFunction h;
+    h = std::move(g);
+    EXPECT_EQ(counter.use_count(), 2);  // exactly one live closure copy
+  }
+  EXPECT_EQ(counter.use_count(), 1);
 }
 
 // ---- Result / Status -----------------------------------------------------------

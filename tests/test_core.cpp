@@ -25,7 +25,7 @@ Bytes value_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
 TEST(Messages, PutRequestRoundTrip) {
   const PutRequest req{RequestId{1, 2}, NodeId(3),
                        store::Object{"key", 4, value_of("value")}};
-  const Bytes encoded = encode_inner(req);
+  const Payload encoded = encode_inner(req);
   EXPECT_EQ(peek_inner_kind(encoded), InnerKind::kPut);
   const auto decoded = decode_put(encoded);
   ASSERT_TRUE(decoded.has_value());

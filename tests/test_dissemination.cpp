@@ -110,7 +110,7 @@ TEST(EpidemicBroadcast, ReachesEveryNodeWithAtomicFanout) {
   for (std::size_t i = 0; i < kNodes; ++i) {
     broadcasts[i] = std::make_unique<EpidemicBroadcast>(
         NodeId(i), *bundle.transport, *overlay[i].pss, Rng(seeder.next_u64()),
-        opts, [&delivered, i](const Bytes&, NodeId) { delivered.insert(i); });
+        opts, [&delivered, i](const Payload&, NodeId) { delivered.insert(i); });
     auto* pss = overlay[i].pss.get();
     auto* bc = broadcasts[i].get();
     bundle.transport->register_handler(
@@ -141,7 +141,7 @@ TEST(EpidemicBroadcast, DeliversExactlyOncePerNode) {
     broadcasts[i] = std::make_unique<EpidemicBroadcast>(
         NodeId(i), *bundle.transport, *overlay[i].pss, Rng(seeder.next_u64()),
         opts,
-        [&deliveries, i](const Bytes&, NodeId) { ++deliveries[i]; });
+        [&deliveries, i](const Payload&, NodeId) { ++deliveries[i]; });
     auto* pss = overlay[i].pss.get();
     auto* bc = broadcasts[i].get();
     bundle.transport->register_handler(
@@ -164,7 +164,7 @@ TEST(EpidemicBroadcast, PayloadArrivesIntactWithOrigin) {
   constexpr std::size_t kNodes = 30;
   auto overlay = make_pss_overlay(bundle, kNodes);
 
-  Bytes seen_payload;
+  Payload seen_payload;
   NodeId seen_origin;
   std::vector<std::unique_ptr<EpidemicBroadcast>> broadcasts(kNodes);
   Rng seeder(34);
@@ -173,7 +173,7 @@ TEST(EpidemicBroadcast, PayloadArrivesIntactWithOrigin) {
     opts.fanout = 6;
     broadcasts[i] = std::make_unique<EpidemicBroadcast>(
         NodeId(i), *bundle.transport, *overlay[i].pss, Rng(seeder.next_u64()),
-        opts, [&, i](const Bytes& payload, NodeId origin) {
+        opts, [&, i](const Payload& payload, NodeId origin) {
           if (i == 17) {
             seen_payload = payload;
             seen_origin = origin;
@@ -225,7 +225,7 @@ struct SprayFixture {
             return peers;
           },
           /*deliver=*/
-          [this, i](const Bytes&, SliceId, NodeId) {
+          [this, i](const Payload&, SliceId, NodeId) {
             ++deliveries[i];
             return continue_in_slice ? DeliverResult::kContinueInSlice
                                      : DeliverResult::kStop;

@@ -15,11 +15,11 @@ namespace {
 
 struct CodecCase {
   const char* name;
-  std::function<Bytes()> make_valid;
+  std::function<Payload()> make_valid;  ///< encoders emit immutable Payloads
   std::function<void(const Bytes&)> decode;  ///< must not throw / crash
 };
 
-Bytes valid_put() {
+Payload valid_put() {
   return core::encode_inner(core::PutRequest{
       RequestId{1, 2}, NodeId(3),
       store::Object{"some-key", 7, Bytes{1, 2, 3, 4, 5}}});
@@ -96,7 +96,8 @@ class CodecFuzzTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(CodecFuzzTest, EveryTruncationIsHandled) {
   const auto codec = all_codecs()[GetParam()];
-  const Bytes valid = codec.make_valid();
+  // Mutation needs a private mutable copy of the immutable encoding.
+  const Bytes valid = codec.make_valid().to_bytes();
   for (std::size_t len = 0; len < valid.size(); ++len) {
     Bytes truncated(valid.begin(), valid.begin() + static_cast<long>(len));
     ASSERT_NO_THROW(codec.decode(truncated))
@@ -106,7 +107,8 @@ TEST_P(CodecFuzzTest, EveryTruncationIsHandled) {
 
 TEST_P(CodecFuzzTest, RandomMutationsAreHandled) {
   const auto codec = all_codecs()[GetParam()];
-  const Bytes valid = codec.make_valid();
+  // Mutation needs a private mutable copy of the immutable encoding.
+  const Bytes valid = codec.make_valid().to_bytes();
   Rng rng(0xF022 + GetParam());
   for (int round = 0; round < 500; ++round) {
     Bytes mutated = valid;
@@ -143,7 +145,7 @@ INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecFuzzTest,
 TEST(CodecFuzz, PssDescriptorTruncations) {
   Writer w;
   pss::encode(w, pss::NodeDescriptor{NodeId(5), 9});
-  const Bytes valid = w.buffer();
+  const Bytes valid = w.take();
   for (std::size_t len = 0; len < valid.size(); ++len) {
     Bytes truncated(valid.begin(), valid.begin() + static_cast<long>(len));
     Reader r(truncated);

@@ -87,7 +87,7 @@ TEST(NodeDurability, DurableNodeServesRecoveredDataToClients) {
 
   // A direct get request must be answerable from the recovered log.
   bool got = false;
-  Bytes value;
+  Payload value;
   bundle.transport->register_handler(
       NodeId(500), [&](const net::Message& msg) {
         if (msg.type == kGetReply) {

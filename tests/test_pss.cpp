@@ -82,7 +82,7 @@ TEST(View, RemoveAndContains) {
 TEST(View, DescriptorCodecRoundTrip) {
   Writer w;
   encode(w, NodeDescriptor{NodeId(9), 4});
-  Reader r(w.buffer());
+  Reader r(w.view());
   const auto d = decode_descriptor(r);
   EXPECT_EQ(d.id, NodeId(9));
   EXPECT_EQ(d.age, 4u);

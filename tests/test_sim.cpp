@@ -20,7 +20,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   q.push(30, [&]() { order.push_back(3); });
   q.push(10, [&]() { order.push_back(1); });
   q.push(20, [&]() { order.push_back(2); });
-  while (!q.empty()) q.pop()();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -30,7 +30,7 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
   for (int i = 0; i < 10; ++i) {
     q.push(5, [&order, i]() { order.push_back(i); });
   }
-  while (!q.empty()) q.pop()();
+  while (!q.empty()) q.pop().fn();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 

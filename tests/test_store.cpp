@@ -271,7 +271,7 @@ TEST(ObjectCodec, RoundTrip) {
   const Object obj{"key", 42, value_of("payload")};
   Writer w;
   encode(w, obj);
-  Reader r(w.buffer());
+  Reader r(w.view());
   const Object decoded = decode_object(r);
   EXPECT_TRUE(r.finish().ok());
   EXPECT_EQ(decoded, obj);
@@ -283,7 +283,7 @@ TEST(ObjectCodec, DigestEntryOrdering) {
   EXPECT_LT(a2, b);  // key dominates
   Writer w;
   encode(w, a);
-  Reader r(w.buffer());
+  Reader r(w.view());
   EXPECT_EQ(decode_digest_entry(r), a);
 }
 

@@ -4,6 +4,7 @@
 // paper-figure benches depend on.
 #include <gtest/gtest.h>
 
+#include "core/messages.hpp"
 #include "test_util.hpp"
 
 namespace dataflasks::net {
@@ -29,7 +30,7 @@ TEST(SimTransport, DeliversAfterLatency) {
 
 TEST(SimTransport, PayloadArrivesIntact) {
   SimBundle bundle(2);
-  Bytes received;
+  Payload received;
   bundle.transport->register_handler(NodeId(2), [&](const Message& msg) {
     received = msg.payload;
   });
@@ -158,6 +159,41 @@ TEST(MessageEnvelope, WireSizeAndCategories) {
   EXPECT_EQ(msg.wire_size(), 100u + 8 + 8 + 2 + 4);
   EXPECT_EQ(category_of(0x0050), MsgCategory::kOther);
   EXPECT_EQ(std::string(to_string(MsgCategory::kRequest)), "request");
+}
+
+TEST(SimTransport, PutFanOutPerformsExactlyOnePayloadAllocation) {
+  // Zero-copy regression guard: replicating one put to k slice-mates must
+  // encode once and share that buffer through the event queue to every
+  // delivery — one payload allocation total, not one per recipient.
+  SimBundle bundle(12);
+  constexpr std::uint64_t kFanout = 4;
+
+  const Bytes value(64, 0xCD);
+  const store::Object object{"fan-out-key", 7, value};
+
+  std::size_t delivered = 0;
+  for (std::uint64_t peer = 2; peer <= 1 + kFanout; ++peer) {
+    bundle.transport->register_handler(NodeId(peer), [&](const Message& msg) {
+      const auto push = core::decode_replicate_push(msg.payload);
+      ASSERT_TRUE(push.has_value());
+      EXPECT_EQ(push->object, object);
+      ++delivered;
+    });
+  }
+
+  Payload::reset_alloc_stats();
+  const Payload encoded = core::encode(core::ReplicatePush{object});
+  for (std::uint64_t peer = 2; peer <= 1 + kFanout; ++peer) {
+    bundle.transport->send(
+        Message{NodeId(1), NodeId(peer), core::kReplicatePush, encoded});
+  }
+  bundle.run_for(kSeconds);
+
+  EXPECT_EQ(delivered, kFanout);
+  // The encode is the one and only payload buffer: Message copies, queued
+  // delivery closures and handler-side decoding all share or view it.
+  EXPECT_EQ(Payload::alloc_stats().buffers, 1u);
+  EXPECT_EQ(Payload::alloc_stats().bytes, encoded.size());
 }
 
 TEST(SimTransport, ConcurrentMessagesKeepFifoPerLink) {
