@@ -8,7 +8,7 @@
 #include "common/serialize.hpp"
 #include "dissemination/dedup_cache.hpp"
 #include "pss/view.hpp"
-#include "sim/event_queue.hpp"
+#include "runtime/event_queue.hpp"
 #include "store/memstore.hpp"
 #include "store/object.hpp"
 #include "workload/distributions.hpp"
@@ -118,7 +118,7 @@ void BM_DedupCache(benchmark::State& state) {
 BENCHMARK(BM_DedupCache);
 
 void BM_EventQueuePushPop(benchmark::State& state) {
-  sim::EventQueue queue;
+  runtime::EventQueue queue;
   Rng rng(42);
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i) {

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Real-cluster smoke test: launches 3 dataflasks_server processes on
+# localhost UDP ports, writes a key through dataflasks_cli, reads it back,
+# and asserts the value round-tripped. Used by the CI `cluster-smoke` job
+# and runnable locally:
+#
+#   ./scripts/cluster_smoke.sh [build-dir]
+#
+# Exits non-zero on any failure; always tears the servers down. The caller
+# should still wrap it in `timeout` as a hang guard (CI does).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/src/server/dataflasks_server"
+CLI="$BUILD_DIR/src/server/dataflasks_cli"
+BASE_PORT="${DATAFLASKS_SMOKE_PORT:-7411}"
+LOG_DIR="$(mktemp -d)"
+
+[[ -x "$SERVER" && -x "$CLI" ]] || {
+  echo "cluster_smoke: build dataflasks_server / dataflasks_cli first" >&2
+  exit 1
+}
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$LOG_DIR"
+}
+trap cleanup EXIT
+
+PEERS=()
+for i in 0 1 2; do
+  PEERS+=("--peer" "$i@127.0.0.1:$((BASE_PORT + i))")
+done
+
+echo "== launching 3-node cluster on ports $BASE_PORT-$((BASE_PORT + 2))"
+for i in 0 1 2; do
+  # Each node's peer list is the other two.
+  node_peers=()
+  for j in 0 1 2; do
+    [[ "$i" == "$j" ]] || node_peers+=("--peer" "$j@127.0.0.1:$((BASE_PORT + j))")
+  done
+  "$SERVER" --id "$i" --listen "127.0.0.1:$((BASE_PORT + i))" \
+    --gossip-ms 100 --ae-ms 500 "${node_peers[@]}" \
+    > "$LOG_DIR/server$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+# Wait for every server to print its ready line.
+for i in 0 1 2; do
+  for _ in $(seq 1 50); do
+    grep -q "ready on" "$LOG_DIR/server$i.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "ready on" "$LOG_DIR/server$i.log" || {
+    echo "cluster_smoke: server $i did not become ready" >&2
+    cat "$LOG_DIR/server$i.log" >&2
+    exit 1
+  }
+done
+
+echo "== put"
+"$CLI" "${PEERS[@]}" --timeout-ms 5000 put smoke-key "hello-from-real-cluster"
+
+echo "== get"
+OUT="$("$CLI" "${PEERS[@]}" --timeout-ms 5000 get smoke-key)"
+echo "$OUT"
+grep -q "hello-from-real-cluster" <<< "$OUT" || {
+  echo "cluster_smoke: get did not return the stored value" >&2
+  exit 1
+}
+
+echo "== letting anti-entropy replicate (2s), then killing node 0"
+sleep 2
+kill "${PIDS[0]}"
+wait "${PIDS[0]}" 2>/dev/null || true
+SURVIVOR_PEERS=("--peer" "1@127.0.0.1:$((BASE_PORT + 1))"
+                "--peer" "2@127.0.0.1:$((BASE_PORT + 2))")
+OUT2="$("$CLI" "${SURVIVOR_PEERS[@]}" --timeout-ms 8000 get smoke-key)"
+echo "$OUT2"
+grep -q "hello-from-real-cluster" <<< "$OUT2" || {
+  echo "cluster_smoke: replicas did not serve the value after a crash" >&2
+  exit 1
+}
+
+echo "cluster_smoke: PASS"

@@ -33,10 +33,10 @@ Payload encode_get(std::uint64_t rid, NodeId coordinator, const Key& key,
 
 }  // namespace
 
-DhtNode::DhtNode(NodeId self, sim::Simulator& simulator,
+DhtNode::DhtNode(NodeId self, runtime::Runtime& rt,
                  net::Transport& transport, Rng rng, DhtKvOptions options)
     : self_(self),
-      simulator_(simulator),
+      runtime_(rt),
       transport_(transport),
       rng_(rng),
       options_(options) {}
@@ -56,7 +56,7 @@ void DhtNode::start(NodeId contact) {
   chord_->join(contact);
   transport_.register_handler(
       self_, [this](const net::Message& msg) { dispatch(msg); });
-  maintenance_ = simulator_.schedule_periodic(
+  maintenance_ = runtime_.schedule_periodic(
       rng_.next_in(0, options_.maintenance_period),
       options_.maintenance_period, [this]() { chord_->tick(); });
   running_ = true;
@@ -80,7 +80,7 @@ void DhtNode::put(Key key, Payload value, Version version, PutCallback done) {
   pending.value = std::move(value);
   pending.version = version;
   pending.done = std::move(done);
-  pending.started = simulator_.now();
+  pending.started = runtime_.now();
   pending_puts_.emplace(rid, std::move(pending));
   metrics_.counter("dht.puts").add();
   send_put(rid);
@@ -94,7 +94,7 @@ void DhtNode::send_put(std::uint64_t rid) {
                 encode_store(rid, self_,
                              static_cast<std::uint8_t>(options_.replication),
                              obj));
-  pending.timer = simulator_.schedule_after(
+  pending.timer = runtime_.schedule_after(
       options_.request_timeout, [this, rid]() {
         const auto it = pending_puts_.find(rid);
         if (it == pending_puts_.end()) return;
@@ -106,7 +106,7 @@ void DhtNode::send_put(std::uint64_t rid) {
         DhtPutResult result;
         result.ok = false;
         result.attempts = it->second.attempts;
-        result.latency = simulator_.now() - it->second.started;
+        result.latency = runtime_.now() - it->second.started;
         auto done = std::move(it->second.done);
         pending_puts_.erase(it);
         metrics_.counter("dht.put_failures").add();
@@ -120,7 +120,7 @@ void DhtNode::get(Key key, std::optional<Version> version, GetCallback done) {
   pending.key = std::move(key);
   pending.version = version;
   pending.done = std::move(done);
-  pending.started = simulator_.now();
+  pending.started = runtime_.now();
   pending_gets_.emplace(rid, std::move(pending));
   metrics_.counter("dht.gets").add();
   send_get(rid);
@@ -131,7 +131,7 @@ void DhtNode::send_get(std::uint64_t rid) {
   ++pending.attempts;
   chord_->route(stable_key_hash(pending.key), kPurposeGet,
                 encode_get(rid, self_, pending.key, pending.version));
-  pending.timer = simulator_.schedule_after(
+  pending.timer = runtime_.schedule_after(
       options_.request_timeout, [this, rid]() {
         const auto it = pending_gets_.find(rid);
         if (it == pending_gets_.end()) return;
@@ -143,7 +143,7 @@ void DhtNode::send_get(std::uint64_t rid) {
         DhtGetResult result;
         result.ok = false;
         result.attempts = it->second.attempts;
-        result.latency = simulator_.now() - it->second.started;
+        result.latency = runtime_.now() - it->second.started;
         auto done = std::move(it->second.done);
         pending_gets_.erase(it);
         metrics_.counter("dht.get_failures").add();
@@ -234,7 +234,7 @@ void DhtNode::dispatch(const net::Message& msg) {
       DhtPutResult result;
       result.ok = true;
       result.attempts = it->second.attempts;
-      result.latency = simulator_.now() - it->second.started;
+      result.latency = runtime_.now() - it->second.started;
       auto done = std::move(it->second.done);
       pending_puts_.erase(it);
       metrics_.counter("dht.put_successes").add();
@@ -260,7 +260,7 @@ void DhtNode::dispatch(const net::Message& msg) {
       result.ok = true;
       result.object = obj;
       result.attempts = it->second.attempts;
-      result.latency = simulator_.now() - it->second.started;
+      result.latency = runtime_.now() - it->second.started;
       auto done = std::move(it->second.done);
       pending_gets_.erase(it);
       metrics_.counter("dht.get_successes").add();

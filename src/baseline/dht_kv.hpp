@@ -15,7 +15,7 @@
 
 #include "baseline/chord.hpp"
 #include "common/metrics.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/runtime.hpp"
 #include "store/memstore.hpp"
 
 namespace dataflasks::baseline {
@@ -54,7 +54,7 @@ class DhtNode {
   using PutCallback = std::function<void(const DhtPutResult&)>;
   using GetCallback = std::function<void(const DhtGetResult&)>;
 
-  DhtNode(NodeId self, sim::Simulator& simulator, net::Transport& transport,
+  DhtNode(NodeId self, runtime::Runtime& rt, net::Transport& transport,
           Rng rng, DhtKvOptions options);
   ~DhtNode();
 
@@ -83,7 +83,7 @@ class DhtNode {
     PutCallback done;
     std::uint32_t attempts = 0;
     SimTime started = 0;
-    sim::TimerHandle timer;
+    runtime::TimerHandle timer;
   };
   struct PendingGet {
     Key key;
@@ -91,7 +91,7 @@ class DhtNode {
     GetCallback done;
     std::uint32_t attempts = 0;
     SimTime started = 0;
-    sim::TimerHandle timer;
+    runtime::TimerHandle timer;
   };
 
   void dispatch(const net::Message& msg);
@@ -100,14 +100,14 @@ class DhtNode {
   void send_get(std::uint64_t rid);
 
   NodeId self_;
-  sim::Simulator& simulator_;
+  runtime::Runtime& runtime_;
   net::Transport& transport_;
   Rng rng_;
   DhtKvOptions options_;
   MetricsRegistry metrics_;
   store::MemStore store_;
   std::unique_ptr<ChordNode> chord_;
-  sim::TimerHandle maintenance_;
+  runtime::TimerHandle maintenance_;
   bool running_ = false;
 
   std::uint64_t next_rid_ = 1;

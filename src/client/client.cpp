@@ -5,11 +5,11 @@
 namespace dataflasks::client {
 
 Client::Client(NodeId id, net::Transport& transport,
-               sim::Simulator& simulator, LoadBalancer& balancer, Rng rng,
+               runtime::Runtime& rt, LoadBalancer& balancer, Rng rng,
                ClientOptions options)
     : id_(id),
       transport_(transport),
-      simulator_(simulator),
+      runtime_(rt),
       balancer_(balancer),
       rng_(rng),
       options_(options) {
@@ -42,7 +42,7 @@ void Client::put(Key key, Payload value, Version version, PutCallback done) {
       core::PutRequest{rid, id_, store::Object{std::move(key),
                                                version, std::move(value)}};
   pending.done = std::move(done);
-  pending.started = simulator_.now();
+  pending.started = runtime_.now();
   auto [it, inserted] = pending_puts_.emplace(rid, std::move(pending));
   ensure(inserted, "duplicate put request id");
   metrics_.counter("client.puts").add();
@@ -66,7 +66,7 @@ void Client::get(Key key, std::optional<Version> version, GetCallback done) {
   PendingGet pending;
   pending.request = core::GetRequest{rid, id_, std::move(key), version};
   pending.done = std::move(done);
-  pending.started = simulator_.now();
+  pending.started = runtime_.now();
   auto [it, inserted] = pending_gets_.emplace(rid, std::move(pending));
   ensure(inserted, "duplicate get request id");
   metrics_.counter("client.gets").add();
@@ -80,7 +80,7 @@ void Client::send_put(PendingPut& pending) {
   transport_.send(net::Message{id_, pending.contact, core::kClientPut,
                                core::encode_inner(pending.request)});
   const RequestId rid = pending.request.rid;
-  pending.timer = simulator_.schedule_after(
+  pending.timer = runtime_.schedule_after(
       options_.request_timeout, [this, rid]() { on_put_timeout(rid); });
 }
 
@@ -90,11 +90,11 @@ void Client::send_get(PendingGet& pending) {
   transport_.send(net::Message{id_, pending.contact, core::kClientGet,
                                core::encode_inner(pending.request)});
   const RequestId rid = pending.request.rid;
-  pending.timer = simulator_.schedule_after(
+  pending.timer = runtime_.schedule_after(
       options_.request_timeout, [this, rid]() { on_get_timeout(rid); });
 
   if (options_.get_hedge_delay > 0) {
-    pending.hedge_timer = simulator_.schedule_after(
+    pending.hedge_timer = runtime_.schedule_after(
         options_.get_hedge_delay, [this, rid]() {
           const auto it = pending_gets_.find(rid);
           if (it == pending_gets_.end()) return;  // already answered
@@ -126,7 +126,7 @@ void Client::on_put_timeout(RequestId rid) {
   result.key = pending.request.object.key;
   result.version = pending.request.object.version;
   result.attempts = pending.attempts;
-  result.latency = simulator_.now() - pending.started;
+  result.latency = runtime_.now() - pending.started;
   auto done = std::move(pending.done);
   pending_puts_.erase(it);
   if (done) done(result);
@@ -147,7 +147,7 @@ void Client::on_get_timeout(RequestId rid) {
   GetResult result;
   result.ok = false;
   result.attempts = pending.attempts;
-  result.latency = simulator_.now() - pending.started;
+  result.latency = runtime_.now() - pending.started;
   auto done = std::move(pending.done);
   pending_gets_.erase(it);
   if (done) done(result);
@@ -174,7 +174,7 @@ void Client::dispatch(const net::Message& msg) {
       result.version = ack->version;
       result.replica = ack->replica;
       result.attempts = pending.attempts;
-      result.latency = simulator_.now() - pending.started;
+      result.latency = runtime_.now() - pending.started;
       auto done = std::move(pending.done);
       pending_puts_.erase(it);
       metrics_.counter("client.put_successes").add();
@@ -199,7 +199,7 @@ void Client::dispatch(const net::Message& msg) {
       result.object = reply->object;
       result.replica = reply->replica;
       result.attempts = pending.attempts;
-      result.latency = simulator_.now() - pending.started;
+      result.latency = runtime_.now() - pending.started;
       auto done = std::move(pending.done);
       pending_gets_.erase(it);
       metrics_.counter("client.get_successes").add();

@@ -18,7 +18,7 @@
 #include "common/rng.hpp"
 #include "core/messages.hpp"
 #include "net/transport.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/runtime.hpp"
 #include "store/object.hpp"
 
 namespace dataflasks::client {
@@ -58,7 +58,7 @@ class Client {
   using PutCallback = std::function<void(const PutResult&)>;
   using GetCallback = std::function<void(const GetResult&)>;
 
-  Client(NodeId id, net::Transport& transport, sim::Simulator& simulator,
+  Client(NodeId id, net::Transport& transport, runtime::Runtime& rt,
          LoadBalancer& balancer, Rng rng, ClientOptions options = {});
   ~Client();
 
@@ -90,7 +90,7 @@ class Client {
     std::uint32_t attempts = 0;
     SimTime started = 0;
     NodeId contact;
-    sim::TimerHandle timer;
+    runtime::TimerHandle timer;
   };
   struct PendingGet {
     core::GetRequest request;
@@ -98,8 +98,8 @@ class Client {
     std::uint32_t attempts = 0;
     SimTime started = 0;
     NodeId contact;
-    sim::TimerHandle timer;
-    sim::TimerHandle hedge_timer;
+    runtime::TimerHandle timer;
+    runtime::TimerHandle hedge_timer;
   };
 
   void dispatch(const net::Message& msg);
@@ -112,7 +112,7 @@ class Client {
 
   NodeId id_;
   net::Transport& transport_;
-  sim::Simulator& simulator_;
+  runtime::Runtime& runtime_;
   LoadBalancer& balancer_;
   Rng rng_;
   ClientOptions options_;

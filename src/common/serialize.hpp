@@ -67,6 +67,10 @@ class Writer {
     append(b.data(), b.size());
   }
 
+  /// Raw bytes with no length prefix: for framing layers that have already
+  /// written an explicit length field of their own.
+  void raw(ByteView b) { append(b.data(), b.size()); }
+
   /// Encodes a vector via a per-element callback: `vec(v, [&](const T& t){...})`.
   template <typename T, typename Fn>
   void vec(const std::vector<T>& items, Fn&& encode_one) {

@@ -1,10 +1,14 @@
-// Move-only `void()` callable with small-buffer optimization, replacing
-// std::function on the simulator's event hot path. std::function requires
-// copyability (so closures capturing a Message were copied into the queue)
-// and heap-allocates for captures beyond a couple of words. UniqueFunction
-// moves its target and stores callables up to kInlineSize bytes inline in
-// the event-queue slot, so scheduling a timer or an in-flight message does
+// Move-only callable with small-buffer optimization, replacing std::function
+// on every hot path. std::function requires copyability (so closures
+// capturing a Message were copied into the queue) and heap-allocates for
+// captures beyond a couple of words. MoveOnlyFunction moves its target and
+// stores callables up to kInlineSize bytes inline, so scheduling a timer, an
+// in-flight message, or registering a capture-heavy transport handler does
 // not touch the allocator.
+//
+// `MoveOnlyFunction<Sig>` carries an arbitrary signature (e.g. the
+// transport's `void(const net::Message&)` handlers); `UniqueFunction` is the
+// `void()` instantiation the event queue and runtimes schedule.
 #pragma once
 
 #include <cstddef>
@@ -14,21 +18,25 @@
 
 namespace dataflasks {
 
-class UniqueFunction {
+template <typename Sig>
+class MoveOnlyFunction;  // undefined: only function signatures are valid
+
+template <typename R, typename... Args>
+class MoveOnlyFunction<R(Args...)> {
  public:
   /// Inline capture budget. 64 bytes covers `this` plus a whole Message
   /// (two NodeIds, a type tag and a shared Payload view) — the transport's
   /// delivery closure, the largest hot-path capture in the system.
   static constexpr std::size_t kInlineSize = 64;
 
-  UniqueFunction() = default;
-  UniqueFunction(std::nullptr_t) {}
+  MoveOnlyFunction() = default;
+  MoveOnlyFunction(std::nullptr_t) {}
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  UniqueFunction(F&& f) {
+                !std::is_same_v<std::decay_t<F>, MoveOnlyFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  MoveOnlyFunction(F&& f) {
     using Fn = std::decay_t<F>;
     if constexpr (sizeof(Fn) <= kInlineSize &&
                   alignof(Fn) <= alignof(std::max_align_t) &&
@@ -42,20 +50,22 @@ class UniqueFunction {
     }
   }
 
-  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
-  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+  MoveOnlyFunction(MoveOnlyFunction&& other) noexcept { move_from(other); }
+  MoveOnlyFunction& operator=(MoveOnlyFunction&& other) noexcept {
     if (this != &other) {
       reset();
       move_from(other);
     }
     return *this;
   }
-  UniqueFunction(const UniqueFunction&) = delete;
-  UniqueFunction& operator=(const UniqueFunction&) = delete;
-  ~UniqueFunction() { reset(); }
+  MoveOnlyFunction(const MoveOnlyFunction&) = delete;
+  MoveOnlyFunction& operator=(const MoveOnlyFunction&) = delete;
+  ~MoveOnlyFunction() { reset(); }
 
   /// Invokes the target. Requires a non-empty function.
-  void operator()() { vtable_->invoke(storage_); }
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
 
   [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
 
@@ -67,7 +77,7 @@ class UniqueFunction {
 
  private:
   struct VTable {
-    void (*invoke)(void*);
+    R (*invoke)(void*, Args&&...);
     /// Move-constructs the target into `dst` and destroys it in `src`.
     void (*relocate)(void* src, void* dst);
     void (*destroy)(void*);
@@ -86,7 +96,9 @@ class UniqueFunction {
   template <typename Fn>
   static const VTable* inline_vtable() {
     static constexpr VTable vt = {
-        [](void* s) { (*as_inline<Fn>(s))(); },
+        [](void* s, Args&&... args) -> R {
+          return (*as_inline<Fn>(s))(std::forward<Args>(args)...);
+        },
         [](void* src, void* dst) {
           Fn* f = as_inline<Fn>(src);
           ::new (dst) Fn(std::move(*f));
@@ -100,7 +112,9 @@ class UniqueFunction {
   template <typename Fn>
   static const VTable* heap_vtable() {
     static constexpr VTable vt = {
-        [](void* s) { (*as_heap<Fn>(s))(); },
+        [](void* s, Args&&... args) -> R {
+          return (*as_heap<Fn>(s))(std::forward<Args>(args)...);
+        },
         [](void* src, void* dst) {
           // Relocating a heap target just moves the pointer.
           ::new (dst) Fn*(as_heap<Fn>(src));
@@ -110,7 +124,7 @@ class UniqueFunction {
     return &vt;
   }
 
-  void move_from(UniqueFunction& other) noexcept {
+  void move_from(MoveOnlyFunction& other) noexcept {
     vtable_ = other.vtable_;
     if (vtable_ != nullptr) {
       vtable_->relocate(other.storage_, storage_);
@@ -128,5 +142,8 @@ class UniqueFunction {
   alignas(std::max_align_t) unsigned char storage_[kInlineSize];
   const VTable* vtable_ = nullptr;
 };
+
+/// The `void()` instantiation scheduled by the event queue and runtimes.
+using UniqueFunction = MoveOnlyFunction<void()>;
 
 }  // namespace dataflasks

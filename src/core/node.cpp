@@ -2,12 +2,12 @@
 
 namespace dataflasks::core {
 
-Node::Node(NodeId id, double capacity, sim::Simulator& simulator,
+Node::Node(NodeId id, double capacity, runtime::Runtime& rt,
            net::Transport& transport, NodeOptions options, std::uint64_t seed,
            std::unique_ptr<store::Store> durable_store)
     : id_(id),
       capacity_(capacity),
-      simulator_(simulator),
+      runtime_(rt),
       transport_(transport),
       options_(options),
       rng_(seed),
@@ -118,30 +118,30 @@ void Node::start_timers() {
     return rng_.next_in(0, period);  // desynchronize cycles across nodes
   };
 
-  timers_.push_back(simulator_.schedule_periodic(
+  timers_.push_back(runtime_.schedule_periodic(
       jitter(options_.pss_period), options_.pss_period,
       [this]() { pss_->tick(); }));
-  timers_.push_back(simulator_.schedule_periodic(
+  timers_.push_back(runtime_.schedule_periodic(
       jitter(options_.slicing_period), options_.slicing_period,
       [this]() { slices_->tick_slicing(); }));
-  timers_.push_back(simulator_.schedule_periodic(
+  timers_.push_back(runtime_.schedule_periodic(
       jitter(options_.advert_period), options_.advert_period,
       [this]() { slices_->tick_advertisement(); }));
   if (options_.anti_entropy_enabled) {
-    timers_.push_back(simulator_.schedule_periodic(
+    timers_.push_back(runtime_.schedule_periodic(
         jitter(options_.ae_period), options_.ae_period,
         [this]() { anti_entropy_->tick(); }));
   }
-  timers_.push_back(simulator_.schedule_periodic(
+  timers_.push_back(runtime_.schedule_periodic(
       jitter(options_.st_tick_period), options_.st_tick_period,
       [this]() { state_transfer_->tick(); }));
   if (options_.request.hinted_handoff) {
-    timers_.push_back(simulator_.schedule_periodic(
+    timers_.push_back(runtime_.schedule_periodic(
         jitter(options_.handoff_period), options_.handoff_period,
         [this]() { requests_->tick_maintenance(); }));
   }
   if (size_estimator_ != nullptr) {
-    timers_.push_back(simulator_.schedule_periodic(
+    timers_.push_back(runtime_.schedule_periodic(
         jitter(options_.size_estimation_period),
         options_.size_estimation_period,
         [this]() { size_estimator_->tick(); }));

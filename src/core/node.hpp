@@ -2,7 +2,9 @@
 // Handler + Data Store, plus our completions of the paper's open problems
 // (anti-entropy replication repair and slice state transfer). This is the
 // composition root: it owns the components, schedules their periodic ticks
-// on the simulator, and dispatches incoming messages.
+// on the runtime, and dispatches incoming messages. The node is
+// runtime-agnostic: the same code runs over the discrete-event simulator or
+// over the wall clock as a standalone UDP process.
 #pragma once
 
 #include <memory>
@@ -17,7 +19,7 @@
 #include "net/transport.hpp"
 #include "pss/cyclon.hpp"
 #include "pss/newscast.hpp"
-#include "sim/simulator.hpp"
+#include "runtime/runtime.hpp"
 #include "slicing/ordered_slicing.hpp"
 #include "slicing/sliver.hpp"
 #include "store/memstore.hpp"
@@ -69,7 +71,7 @@ class Node {
   /// `capacity` is the slicing attribute (paper: "the system will be sliced
   /// according to the individual node storage capacity"). A node with no
   /// injected store uses a volatile MemStore that a crash wipes.
-  Node(NodeId id, double capacity, sim::Simulator& simulator,
+  Node(NodeId id, double capacity, runtime::Runtime& rt,
        net::Transport& transport, NodeOptions options, std::uint64_t seed,
        std::unique_ptr<store::Store> durable_store = nullptr);
   ~Node();
@@ -122,7 +124,7 @@ class Node {
 
   NodeId id_;
   double capacity_;
-  sim::Simulator& simulator_;
+  runtime::Runtime& runtime_;
   net::Transport& transport_;
   NodeOptions options_;
   Rng rng_;
@@ -138,7 +140,7 @@ class Node {
   std::unique_ptr<StateTransfer> state_transfer_;
   std::unique_ptr<aggregation::SizeEstimator> size_estimator_;
 
-  std::vector<sim::TimerHandle> timers_;
+  std::vector<runtime::TimerHandle> timers_;
   bool running_ = false;
 };
 

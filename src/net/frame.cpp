@@ -1,0 +1,46 @@
+#include "net/frame.hpp"
+
+#include "common/ensure.hpp"
+#include "common/serialize.hpp"
+
+namespace dataflasks::net {
+
+Payload encode_frame(const Message& msg) {
+  ensure(msg.payload.size() <= kMaxFramePayload,
+         "encode_frame: payload exceeds datagram limit");
+  Writer w(kFrameHeaderSize + msg.payload.size());
+  w.u32(kFrameMagic);
+  w.u64(msg.src.value);
+  w.u64(msg.dst.value);
+  w.u16(msg.type);
+  w.u32(static_cast<std::uint32_t>(msg.payload.size()));
+  // Raw append (not Writer::bytes): the length prefix above is the frame's
+  // own, so the payload bytes follow it directly.
+  if (msg.payload.size() > 0) {
+    w.raw(msg.payload);
+  }
+  return w.take_payload();
+}
+
+std::optional<Message> decode_frame(ByteView datagram) {
+  if (datagram.size() < kFrameHeaderSize) return std::nullopt;
+  Reader r(datagram);
+  if (r.u32() != kFrameMagic) return std::nullopt;
+  Message msg;
+  msg.src = r.node_id();
+  msg.dst = r.node_id();
+  msg.type = r.u16();
+  const std::uint32_t len = r.u32();
+  if (!r.ok()) return std::nullopt;
+  if (len > kMaxFramePayload) return std::nullopt;
+  // The datagram must contain exactly the declared payload: fewer bytes is
+  // truncation, more is trailing garbage; both are rejected.
+  if (r.remaining() != len) return std::nullopt;
+  if (len > 0) {
+    msg.payload = Payload::copy_of(
+        ByteView(datagram.data() + kFrameHeaderSize, len));
+  }
+  return msg;
+}
+
+}  // namespace dataflasks::net

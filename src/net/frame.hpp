@@ -1,0 +1,50 @@
+// Datagram framing for the real (UDP) transport: one net::Message per
+// datagram. The frame wraps the exact Writer/Reader wire encodings the
+// protocols already produce (core/messages.cpp and friends), adding the
+// envelope fields the simulator carried out-of-band — src, dst, type — plus
+// a magic/version tag and an explicit payload length so truncated,
+// oversized and garbage datagrams are rejected before any protocol decoder
+// runs.
+//
+// Layout (little-endian, matching common/serialize.hpp):
+//   u32 magic      "DFK1" — rejects stray traffic on the port
+//   u64 src        sending NodeId
+//   u64 dst        destination NodeId
+//   u16 type       protocol message type tag
+//   u32 len        payload byte count; must equal exactly what follows
+//   u8[len]        protocol payload (the existing codec encodings)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/message.hpp"
+
+namespace dataflasks::net {
+
+/// 'D' 'F' 'K' '1' read little-endian.
+constexpr std::uint32_t kFrameMagic = 0x314B4644;
+
+constexpr std::size_t kFrameHeaderSize =
+    sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t) + sizeof(std::uint16_t) +
+    sizeof(std::uint32_t);
+
+/// Largest payload a frame may carry: comfortably inside the 65,507-byte
+/// UDP maximum while leaving room for the header. Oversized messages are
+/// dropped at send time (fire-and-forget semantics, counted by the
+/// transport) and rejected at decode time (a length field this large is
+/// garbage or an attack, not a message).
+constexpr std::size_t kMaxFramePayload = 60 * 1024;
+
+/// Encodes `msg` into a single contiguous datagram buffer (one allocation).
+/// Requires msg.payload.size() <= kMaxFramePayload.
+[[nodiscard]] Payload encode_frame(const Message& msg);
+
+/// Decodes one datagram. Returns nullopt for: short/truncated input, bad
+/// magic, a length field disagreeing with the actual datagram size
+/// (truncation or trailing garbage), or an oversized length. The returned
+/// Message owns a copy of the payload bytes (the caller's recv buffer is
+/// reused for the next datagram).
+[[nodiscard]] std::optional<Message> decode_frame(ByteView datagram);
+
+}  // namespace dataflasks::net

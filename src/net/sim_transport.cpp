@@ -4,8 +4,8 @@
 
 namespace dataflasks::net {
 
-SimTransport::SimTransport(sim::Simulator& simulator, sim::NetworkModel& model)
-    : simulator_(simulator), model_(model), rng_(simulator.rng().fork(0x7a57)) {}
+SimTransport::SimTransport(runtime::Runtime& rt, sim::NetworkModel& model)
+    : runtime_(rt), model_(model), rng_(rt.rng().fork(0x7a57)) {}
 
 void SimTransport::send(Message msg) {
   const auto category = static_cast<std::size_t>(msg.category());
@@ -25,7 +25,7 @@ void SimTransport::send(Message msg) {
   // Fire-and-forget post: the closure (this + the Message with its shared
   // payload view) is moved into the event-queue slot inline — an in-flight
   // packet costs zero heap allocations.
-  simulator_.post_after(*delay, [this, m = std::move(msg)]() {
+  runtime_.post_after(*delay, [this, m = std::move(msg)]() {
     deliver(m);
   });
 }

@@ -1,5 +1,5 @@
 // Simulated transport: routes messages between registered node handlers
-// through the Simulator's event queue, applying the NetworkModel's latency,
+// through the runtime's event queue, applying the NetworkModel's latency,
 // loss, partition and liveness policy. Also the system's accounting point:
 // per-node and per-category counters of messages and bytes.
 #pragma once
@@ -9,8 +9,8 @@
 
 #include "common/metrics.hpp"
 #include "net/transport.hpp"
+#include "runtime/runtime.hpp"
 #include "sim/network.hpp"
-#include "sim/simulator.hpp"
 
 namespace dataflasks::net {
 
@@ -29,7 +29,9 @@ struct TrafficStats {
 
 class SimTransport final : public Transport {
  public:
-  SimTransport(sim::Simulator& simulator, sim::NetworkModel& model);
+  /// Works against any Runtime (the harness hands it the Simulator; a
+  /// latency-injecting loopback setup could hand it the real-time loop).
+  SimTransport(runtime::Runtime& rt, sim::NetworkModel& model);
 
   void send(Message msg) override;
   void register_handler(NodeId node, Handler handler) override;
@@ -63,7 +65,7 @@ class SimTransport final : public Transport {
 
   void deliver(const Message& msg);
 
-  sim::Simulator& simulator_;
+  runtime::Runtime& runtime_;
   sim::NetworkModel& model_;
   Rng rng_;
   std::unordered_map<NodeId, Handler> handlers_;

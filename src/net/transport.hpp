@@ -1,19 +1,22 @@
 // Transport abstraction consumed by every protocol component. Protocols see
-// only send(); delivery happens through the handler they registered. The
-// simulator provides the single in-tree implementation (SimTransport); the
-// interface keeps protocol code free of simulator details and lets tests
-// substitute capture transports.
+// only send(); delivery happens through the handler they registered. Two
+// in-tree implementations: SimTransport (simulated latency/loss over the
+// discrete-event runtime) and UdpTransport (real POSIX datagrams over the
+// real-time runtime); tests additionally substitute capture transports. The
+// interface keeps protocol code free of transport details either way.
 #pragma once
 
-#include <functional>
-
+#include "common/unique_function.hpp"
 #include "net/message.hpp"
 
 namespace dataflasks::net {
 
 class Transport {
  public:
-  using Handler = std::function<void(const Message&)>;
+  /// Move-only handler: capture-heavy delivery closures (a node's dispatch
+  /// context) register without a heap allocation, matching the move-only
+  /// closure discipline of the event queue.
+  using Handler = MoveOnlyFunction<void(const Message&)>;
 
   virtual ~Transport() = default;
 

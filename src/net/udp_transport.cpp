@@ -1,0 +1,127 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/ensure.hpp"
+#include "net/frame.hpp"
+
+namespace dataflasks::net {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  ensure(::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) == 1,
+         "UdpTransport: not a numeric IPv4 address");
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(runtime::RealTimeRuntime& rt, Options options)
+    : runtime_(rt) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  ensure(fd_ >= 0, "UdpTransport: socket() failed");
+
+  sockaddr_in addr = make_addr(options.bind_host, options.port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    ensure(false, "UdpTransport: bind() failed (port in use?)");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ensure(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound),
+                       &bound_len) == 0,
+         "UdpTransport: getsockname() failed");
+  local_port_ = ntohs(bound.sin_port);
+
+  runtime_.watch_fd(fd_, [this]() { on_readable(); });
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) {
+    runtime_.unwatch_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void UdpTransport::add_peer(NodeId node, const std::string& host,
+                            std::uint16_t port) {
+  peers_[node] = make_addr(host, port);
+}
+
+void UdpTransport::send(Message msg) {
+  ++total_sent_;
+  const auto it = peers_.find(msg.dst);
+  if (it == peers_.end()) {
+    ++total_dropped_;  // unknown peer: same fate as a simulated blackhole
+    return;
+  }
+  if (msg.payload.size() > kMaxFramePayload) {
+    ++total_dropped_;
+    return;
+  }
+  const Payload frame = encode_frame(msg);
+  const ssize_t n = ::sendto(fd_, frame.data(), frame.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&it->second),
+                             sizeof it->second);
+  if (n < 0 || static_cast<std::size_t>(n) != frame.size()) {
+    ++total_dropped_;  // EAGAIN/ENOBUFS etc.: fire-and-forget drops it
+  }
+}
+
+void UdpTransport::on_readable() {
+  // Drain everything queued on the socket: the poll step is level-triggered
+  // but one wakeup may cover many datagrams.
+  std::uint8_t buf[kFrameHeaderSize + kMaxFramePayload + 1024];
+  for (;;) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof from;
+    const ssize_t n =
+        ::recvfrom(fd_, buf, sizeof buf, 0,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      // EAGAIN/EWOULDBLOCK: drained. Anything else: transient; retry on the
+      // next poll wakeup.
+      return;
+    }
+    auto msg = decode_frame(ByteView(buf, static_cast<std::size_t>(n)));
+    if (!msg) {
+      ++decode_failures_;
+      ++total_dropped_;
+      continue;
+    }
+    // Learn / refresh the sender's address so replies (and client acks)
+    // route without static configuration.
+    if (msg->src.valid()) peers_[msg->src] = from;
+
+    const auto it = handlers_.find(msg->dst);
+    if (it == handlers_.end()) {
+      ++total_dropped_;
+      continue;
+    }
+    ++total_delivered_;
+    it->second(*msg);
+  }
+}
+
+void UdpTransport::register_handler(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void UdpTransport::unregister_handler(NodeId node) { handlers_.erase(node); }
+
+}  // namespace dataflasks::net

@@ -1,0 +1,82 @@
+// Real network transport: one nonblocking IPv4 UDP socket per process,
+// integrated with the RealTimeRuntime's poll step. The peer-address table
+// maps NodeIds to sockaddrs; entries come from static configuration
+// (add_peer, the bootstrap seeds) and are learned dynamically from incoming
+// datagrams (so a client on an ephemeral port receives replies without
+// pre-registration, exactly as replicas reply to msg.src).
+//
+// Semantics match SimTransport deliberately: fire-and-forget sends, drops
+// are counted not surfaced, and a handler is invoked synchronously on the
+// runtime loop thread for every decoded datagram addressed to it.
+#pragma once
+
+#include <cstdint>
+#include <netinet/in.h>
+#include <string>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+#include "runtime/real_time_runtime.hpp"
+
+namespace dataflasks::net {
+
+class UdpTransport final : public Transport {
+ public:
+  struct Options {
+    /// Numeric IPv4 address to bind ("0.0.0.0" for all interfaces);
+    /// "localhost" is accepted as an alias for 127.0.0.1.
+    std::string bind_host = "127.0.0.1";
+    /// 0 binds an ephemeral port (read it back via local_port()).
+    std::uint16_t port = 0;
+  };
+
+  /// Opens and binds the socket and registers it with the runtime's poll
+  /// step. Throws via ensure() on socket/bind failure (misconfiguration is
+  /// fatal at boot, unlike runtime drops).
+  UdpTransport(runtime::RealTimeRuntime& rt, Options options);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Statically maps `node` to host:port. Learned entries for the same node
+  /// are overwritten by later datagrams from that node (fresher address).
+  void add_peer(NodeId node, const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
+  [[nodiscard]] bool knows_peer(NodeId node) const {
+    return peers_.contains(node);
+  }
+
+  void send(Message msg) override;
+  void register_handler(NodeId node, Handler handler) override;
+  void unregister_handler(NodeId node) override;
+
+  // Accounting, mirroring SimTransport's counters.
+  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+  [[nodiscard]] std::uint64_t total_delivered() const {
+    return total_delivered_;
+  }
+  /// Sends dropped for an unknown peer, send errors, datagrams that failed
+  /// frame decoding, and deliveries with no registered handler.
+  [[nodiscard]] std::uint64_t total_dropped() const { return total_dropped_; }
+  [[nodiscard]] std::uint64_t decode_failures() const {
+    return decode_failures_;
+  }
+
+ private:
+  /// Drains the socket: decodes and dispatches every queued datagram.
+  void on_readable();
+
+  runtime::RealTimeRuntime& runtime_;
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  std::unordered_map<NodeId, sockaddr_in> peers_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t total_dropped_ = 0;
+  std::uint64_t decode_failures_ = 0;
+};
+
+}  // namespace dataflasks::net

@@ -1,11 +1,11 @@
-#include "sim/event_queue.hpp"
+#include "runtime/event_queue.hpp"
 
 #include <algorithm>
 #include <utility>
 
 #include "common/ensure.hpp"
 
-namespace dataflasks::sim {
+namespace dataflasks::runtime {
 
 void EventQueue::push(SimTime at, Callback fn, std::shared_ptr<bool> alive) {
   std::uint32_t slot;
@@ -79,4 +79,4 @@ void EventQueue::sift_down(std::size_t i) {
   heap_[i] = item;
 }
 
-}  // namespace dataflasks::sim
+}  // namespace dataflasks::runtime

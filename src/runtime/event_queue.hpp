@@ -20,7 +20,7 @@
 #include "common/types.hpp"
 #include "common/unique_function.hpp"
 
-namespace dataflasks::sim {
+namespace dataflasks::runtime {
 
 class EventQueue {
  public:
@@ -81,4 +81,4 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
 };
 
-}  // namespace dataflasks::sim
+}  // namespace dataflasks::runtime

@@ -1,0 +1,128 @@
+#include "runtime/real_time_runtime.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <limits>
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::runtime {
+
+RealTimeRuntime::RealTimeRuntime(std::uint64_t seed)
+    : origin_(std::chrono::steady_clock::now()), rng_(seed) {}
+
+SimTime RealTimeRuntime::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+TimerHandle RealTimeRuntime::schedule_at(SimTime at, UniqueFunction fn) {
+  // Unlike the simulator there is no "scheduling in the past" invariant:
+  // wall time advances between the caller reading now() and us enqueueing,
+  // so an overdue event simply fires on the next loop iteration.
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(at, std::move(fn), alive);
+  return TimerHandle(std::move(alive));
+}
+
+void RealTimeRuntime::post_at(SimTime at, UniqueFunction fn) {
+  queue_.push(at, std::move(fn));
+}
+
+void RealTimeRuntime::watch_fd(int fd, FdHandler on_readable) {
+  ensure(fd >= 0, "RealTimeRuntime::watch_fd negative fd");
+  for (Watch& w : fds_) {
+    if (w.fd == fd) {
+      w.handler = std::move(on_readable);
+      return;
+    }
+  }
+  fds_.push_back(Watch{fd, std::move(on_readable)});
+  pollfds_stale_ = true;
+}
+
+void RealTimeRuntime::unwatch_fd(int fd) {
+  if (std::erase_if(fds_, [fd](const Watch& w) { return w.fd == fd; }) > 0) {
+    pollfds_stale_ = true;
+  }
+}
+
+std::uint64_t RealTimeRuntime::poll_io(SimTime timeout) {
+  if (pollfds_stale_) {
+    pollfds_.clear();
+    pollfds_.reserve(fds_.size());
+    for (const Watch& w : fds_) {
+      pollfds_.push_back(pollfd{w.fd, POLLIN, 0});
+    }
+    pollfds_stale_ = false;
+  }
+  // Round the timeout up to whole milliseconds so a timer due in 300us does
+  // not busy-spin through zero-timeout polls.
+  const SimTime capped = std::clamp<SimTime>(timeout, 0, kMaxPollWait);
+  const int timeout_ms =
+      static_cast<int>((capped + kMillis - 1) / kMillis);
+  const int ready = ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
+  if (ready <= 0) return 0;  // timeout, or EINTR (stop_ is re-checked)
+
+  // Collect ready descriptors first: a handler may watch/unwatch fds, which
+  // would invalidate iteration over fds_/pollfds_ themselves.
+  ready_scratch_.clear();
+  for (const pollfd& p : pollfds_) {
+    if ((p.revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      ready_scratch_.push_back(p.fd);
+    }
+  }
+  std::uint64_t dispatched = 0;
+  for (std::size_t i = 0; i < ready_scratch_.size(); ++i) {
+    const int fd = ready_scratch_[i];
+    if (stop_.load(std::memory_order_relaxed)) break;
+    const auto it = std::find_if(fds_.begin(), fds_.end(),
+                                 [fd](const Watch& w) { return w.fd == fd; });
+    if (it == fds_.end()) continue;  // unwatched by a previous handler
+    it->handler();
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+std::uint64_t RealTimeRuntime::run_until(SimTime deadline) {
+  stop_.store(false, std::memory_order_relaxed);
+  std::uint64_t executed = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Fire everything due by the current wall clock.
+    const SimTime wall = now();
+    while (!queue_.empty() && queue_.next_time() <= wall &&
+           !stop_.load(std::memory_order_relaxed)) {
+      EventQueue::Event event = queue_.pop();
+      if (event.runnable()) {
+        event.fn();
+        ++executed;
+      }
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+
+    const SimTime after = now();
+    if (after >= deadline) break;
+    SimTime wait = deadline - after;
+    if (!queue_.empty()) {
+      wait = std::min(wait, std::max<SimTime>(queue_.next_time() - after, 0));
+    }
+    executed += poll_io(wait);
+  }
+  return executed;
+}
+
+std::uint64_t RealTimeRuntime::run() {
+  return run_until(std::numeric_limits<SimTime>::max());
+}
+
+std::uint64_t RealTimeRuntime::run_for(SimTime duration) {
+  ensure(duration >= 0, "RealTimeRuntime::run_for negative duration");
+  return run_until(now() + duration);
+}
+
+}  // namespace dataflasks::runtime

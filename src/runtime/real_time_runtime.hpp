@@ -1,0 +1,92 @@
+// Real-clock Runtime: the deployment counterpart of sim::Simulator. Runs the
+// same EventQueue of UniqueFunction timers, but `now()` is the monotonic
+// wall clock and the loop sleeps in poll(2) until the next timer is due or a
+// watched file descriptor becomes readable (the UDP transport's socket).
+//
+// Single-threaded by design, like the simulator: every timer and I/O
+// callback runs on the thread inside run()/run_until(), so protocol code
+// needs no locking in either runtime. stop() is the one cross-thread /
+// signal-safe entry point (an atomic flag; an in-flight poll wakes on
+// signal EINTR or at the idle-poll cap).
+#pragma once
+
+#include <poll.h>
+
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/unique_function.hpp"
+#include "runtime/event_queue.hpp"
+#include "runtime/runtime.hpp"
+
+namespace dataflasks::runtime {
+
+class RealTimeRuntime final : public Runtime {
+ public:
+  using FdHandler = MoveOnlyFunction<void()>;
+
+  explicit RealTimeRuntime(std::uint64_t seed);
+
+  /// Microseconds of steady-clock time since construction. Monotonic, so
+  /// SimTime arithmetic written against the simulator behaves identically.
+  [[nodiscard]] SimTime now() const override;
+
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+  TimerHandle schedule_at(SimTime at, UniqueFunction fn) override;
+  void post_at(SimTime at, UniqueFunction fn) override;
+
+  /// Watches `fd` for readability; `on_readable` runs on the loop thread
+  /// every time poll reports POLLIN/POLLERR/POLLHUP. Level-triggered: the
+  /// handler must drain the descriptor. Replaces any previous handler.
+  void watch_fd(int fd, FdHandler on_readable);
+  void unwatch_fd(int fd);
+
+  /// Runs timers and I/O until stop() is called. Returns events executed
+  /// (timer firings + I/O handler invocations).
+  std::uint64_t run();
+
+  /// Runs until the wall clock reaches `deadline` (in now() coordinates) or
+  /// stop() is called, whichever is first.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Convenience: run_until(now() + duration).
+  std::uint64_t run_for(SimTime duration);
+
+  /// Makes run()/run_until() return after the current callback completes.
+  /// Async-signal-safe and callable from other threads.
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t watched_fds() const { return fds_.size(); }
+
+ private:
+  struct Watch {
+    int fd;
+    FdHandler handler;
+  };
+
+  /// Sleeps in poll(2) for at most `timeout` and dispatches ready fds.
+  /// Returns the number of handler invocations.
+  std::uint64_t poll_io(SimTime timeout);
+
+  /// Caps idle sleeps so a cross-thread stop() is honoured promptly even
+  /// when no timer is due and no fd turns readable.
+  static constexpr SimTime kMaxPollWait = 50 * kMillis;
+
+  std::chrono::steady_clock::time_point origin_;
+  EventQueue queue_;
+  Rng rng_;
+  std::vector<Watch> fds_;
+  /// poll(2) argument array, rebuilt lazily after watch/unwatch — the loop
+  /// itself stays allocation-free per wakeup (the watch set is effectively
+  /// static: one socket per transport).
+  std::vector<pollfd> pollfds_;
+  bool pollfds_stale_ = true;
+  std::vector<int> ready_scratch_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace dataflasks::runtime

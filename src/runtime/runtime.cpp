@@ -1,0 +1,44 @@
+#include "runtime/runtime.hpp"
+
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::runtime {
+
+TimerHandle Runtime::schedule_after(SimTime delay, UniqueFunction fn) {
+  ensure(delay >= 0, "Runtime::schedule_after negative delay");
+  return schedule_at(now() + delay, std::move(fn));
+}
+
+void Runtime::post_after(SimTime delay, UniqueFunction fn) {
+  ensure(delay >= 0, "Runtime::post_after negative delay");
+  post_at(now() + delay, std::move(fn));
+}
+
+TimerHandle Runtime::schedule_periodic(SimTime initial_delay, SimTime period,
+                                       UniqueFunction fn) {
+  ensure(period > 0, "Runtime::schedule_periodic non-positive period");
+  auto alive = std::make_shared<bool>(true);
+
+  // Each firing re-schedules the next occurrence while the handle is alive.
+  // The tick callable holds only a weak reference to itself — the strong
+  // references live in the queued events — so cancelled/drained timers are
+  // reclaimed instead of leaking through a shared_ptr cycle. The per-firing
+  // closure is a single shared_ptr, which lives inline in the queue slot.
+  auto tick = std::make_shared<UniqueFunction>();
+  std::weak_ptr<UniqueFunction> weak_tick = tick;
+  *tick = [this, alive, period, fn = std::move(fn), weak_tick]() mutable {
+    if (!*alive) return;
+    fn();
+    if (*alive) {
+      if (auto next = weak_tick.lock()) {
+        post_after(period, [next]() { (*next)(); });
+      }
+    }
+  };
+  post_after(initial_delay, [tick]() { (*tick)(); });
+  return TimerHandle(std::move(alive));
+}
+
+}  // namespace dataflasks::runtime

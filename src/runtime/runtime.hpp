@@ -1,0 +1,72 @@
+// Runtime abstraction: the execution surface every protocol component
+// schedules against — a clock, one-shot and periodic timers, and a master
+// RNG to fork per-component streams from. Exactly the surface the
+// discrete-event Simulator always exposed, now split out so the same
+// unmodified protocol code runs either over virtual time (sim::Simulator,
+// thousands of nodes in one process) or over the wall clock
+// (runtime::RealTimeRuntime, one real process per node on a UDP transport).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "common/unique_function.hpp"
+
+namespace dataflasks::runtime {
+
+/// Read-only clock interface handed to protocol components so they can
+/// timestamp without being able to schedule arbitrary events.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since runtime start (virtual time in the simulator,
+  /// steady-clock wall time in the real runtime).
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+/// Cancellable handle for a scheduled event. Destroying the handle does NOT
+/// cancel (fire-and-forget is the common case); call cancel() explicitly.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Wraps a shared liveness flag; runtimes check it at fire time.
+  explicit TimerHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  [[nodiscard]] bool active() const { return alive_ && *alive_; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
+
+class Runtime : public Clock {
+ public:
+  /// Master RNG; components should fork() their own streams from it.
+  [[nodiscard]] virtual Rng& rng() = 0;
+
+  /// Schedules `fn` to run at absolute time `at`. A time not in the future
+  /// fires as soon as the runtime regains control.
+  virtual TimerHandle schedule_at(SimTime at, UniqueFunction fn) = 0;
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  TimerHandle schedule_after(SimTime delay, UniqueFunction fn);
+
+  /// Fire-and-forget variants: no cancellation handle, so no cancellation
+  /// flag is allocated. The hot path for in-flight messages — a small
+  /// closure goes straight into the event-queue slot, allocation-free.
+  virtual void post_at(SimTime at, UniqueFunction fn) = 0;
+  void post_after(SimTime delay, UniqueFunction fn);
+
+  /// Schedules `fn` every `period` starting at now + initial_delay, until
+  /// the returned handle is cancelled. Implemented generically on top of
+  /// post_after, so every runtime shares the same re-arming discipline.
+  TimerHandle schedule_periodic(SimTime initial_delay, SimTime period,
+                                UniqueFunction fn);
+};
+
+}  // namespace dataflasks::runtime

@@ -1,0 +1,175 @@
+// dataflasks_cli: one-shot put/get against a live DataFlasks cluster over
+// UDP — the paper's client library (request dedup, retries, load balancing)
+// driven by the real-clock runtime instead of the simulator.
+//
+//   $ dataflasks_cli --peer 0@127.0.0.1:7100 put greeting "hello world"
+//   $ dataflasks_cli --peer 0@127.0.0.1:7100 get greeting
+//
+// Exit codes: 0 success, 1 usage/config error, 2 request failed (timeout or
+// miss after retries).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "client/load_balancer.hpp"
+#include "net/udp_transport.hpp"
+#include "runtime/real_time_runtime.hpp"
+#include "server/config.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dataflasks_cli --peer ID@HOST:PORT [--peer ...]\n"
+               "         [--timeout-ms N] [--version N] [--seed N]\n"
+               "         put <key> <value> | get <key>\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dataflasks;
+
+  std::vector<server::PeerSpec> peers;
+  std::int64_t timeout_ms = 2000;
+  Version version = 1;
+  std::uint64_t seed = 0;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--peer") {
+      const char* value = next();
+      server::PeerSpec peer;
+      if (value == nullptr || !server::parse_peer_spec(value, peer)) {
+        std::fprintf(stderr, "dataflasks_cli: bad --peer spec\n");
+        return usage();
+      }
+      peers.push_back(peer);
+    } else if (arg == "--timeout-ms") {
+      const char* value = next();
+      if (value == nullptr || (timeout_ms = std::atoll(value)) <= 0) {
+        return usage();
+      }
+    } else if (arg == "--version") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      version = static_cast<Version>(std::strtoull(value, nullptr, 10));
+    } else if (arg == "--seed") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      seed = std::strtoull(value, nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "dataflasks_cli: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (peers.empty() || positional.empty()) return usage();
+  const std::string& command = positional[0];
+  const bool is_put = command == "put";
+  const bool is_get = command == "get";
+  if ((is_put && positional.size() != 3) || (is_get && positional.size() != 2)
+      || (!is_put && !is_get)) {
+    return usage();
+  }
+
+  // Ephemeral client identity: high bits tag "client", low bits the pid so
+  // concurrent CLI invocations do not collide (replies are routed by the
+  // learned source address of this process's socket either way).
+  const std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+  const NodeId client_id(0x00C11E0000000000ULL | pid);
+  if (seed == 0) seed = 0xC11E5EEDULL ^ (pid << 16);
+
+  runtime::RealTimeRuntime rt(seed);
+  net::UdpTransport transport(rt, {});  // ephemeral local port
+  std::vector<NodeId> contact_ids;
+  for (const server::PeerSpec& peer : peers) {
+    transport.add_peer(NodeId(peer.id), peer.host, peer.port);
+    contact_ids.emplace_back(peer.id);
+  }
+
+  client::RandomLoadBalancer balancer(contact_ids, rt.rng().fork(1));
+  client::ClientOptions options;
+  // Every attempt must fit inside the run window below, so the failure
+  // callback always fires (and prints) before the deadline.
+  options.max_attempts = 3;
+  options.request_timeout =
+      std::max<std::int64_t>(timeout_ms / options.max_attempts, 50) * kMillis;
+  client::Client client(client_id, transport, rt, balancer,
+                        rt.rng().fork(2), options);
+
+  int exit_code = 2;
+  bool completed = false;
+  if (is_put) {
+    const std::string& key = positional[1];
+    const std::string& value = positional[2];
+    client.put(key, Payload(ByteView(
+                   reinterpret_cast<const std::uint8_t*>(value.data()),
+                   value.size())),
+               version, [&](const client::PutResult& result) {
+                 if (result.ok) {
+                   std::printf("OK put %s v%llu -> replica n%llu "
+                               "(%u attempts, %.1f ms)\n",
+                               result.key.c_str(),
+                               static_cast<unsigned long long>(result.version),
+                               static_cast<unsigned long long>(
+                                   result.replica.value),
+                               result.attempts,
+                               result.latency / static_cast<double>(kMillis));
+                   exit_code = 0;
+                 } else {
+                   std::fprintf(stderr, "FAILED put %s (%u attempts)\n",
+                                result.key.c_str(), result.attempts);
+                 }
+                 completed = true;
+                 rt.stop();
+               });
+  } else {
+    const std::string& key = positional[1];
+    client.get(key, std::nullopt, [&](const client::GetResult& result) {
+      if (result.ok) {
+        const std::string text(result.object.value.begin(),
+                               result.object.value.end());
+        std::printf("OK get %s v%llu = %s (replica n%llu, %.1f ms)\n",
+                    result.object.key.c_str(),
+                    static_cast<unsigned long long>(result.object.version),
+                    text.c_str(),
+                    static_cast<unsigned long long>(result.replica.value),
+                    result.latency / static_cast<double>(kMillis));
+        exit_code = 0;
+      } else {
+        std::fprintf(stderr, "FAILED get %s (%u attempts)\n", key.c_str(),
+                     result.attempts);
+      }
+      completed = true;
+      rt.stop();
+    });
+  }
+
+  // Headroom beyond the final attempt's timeout, so the failure callback
+  // (not this deadline) is what normally ends an unsuccessful run.
+  rt.run_for((timeout_ms + 500) * kMillis);
+  if (!completed) {
+    // A get of an absent key can sit forever on authoritative misses (the
+    // client ignores found=false replies by design); report it explicitly.
+    std::fprintf(stderr, "TIMEOUT %s %s (no conclusive reply)\n",
+                 command.c_str(), positional[1].c_str());
+  }
+  if (exit_code != 0 && transport.total_delivered() == 0) {
+    std::fprintf(stderr,
+                 "dataflasks_cli: no replies received — is the cluster up?\n");
+  }
+  return exit_code;
+}

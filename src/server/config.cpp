@@ -1,0 +1,206 @@
+#include "server/config.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace dataflasks::server {
+
+namespace {
+
+/// Cap on configured periods (one day): keeps `period_ms * kMillis` far
+/// from int64 overflow and turns absurd values into parse-time errors
+/// instead of a negative-period abort at node start.
+constexpr std::uint64_t kMaxPeriodMs = 24ull * 60 * 60 * 1000;
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  const char* end = text.data() + text.size();
+  const auto [p, ec] = std::from_chars(text.data(), end, out);
+  return ec == std::errc() && p == end && !text.empty();
+}
+
+bool parse_u16(const std::string& text, std::uint16_t& out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(text, v) || v > 0xFFFF) return false;
+  out = static_cast<std::uint16_t>(v);
+  return true;
+}
+
+bool parse_f64(const std::string& text, double& out) {
+  std::istringstream in(text);
+  in >> out;
+  return static_cast<bool>(in) && in.eof();
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Applies one `key = value` entry. Returns an error string, empty on ok.
+std::string apply_entry(ServerConfig& config, const std::string& key,
+                        const std::string& value) {
+  std::uint64_t u64 = 0;
+  if (key == "id") {
+    if (!parse_u64(value, config.id)) return "bad id: " + value;
+  } else if (key == "listen") {
+    if (!parse_host_port(value, config.listen_host, config.listen_port)) {
+      return "bad listen address: " + value;
+    }
+  } else if (key == "peer") {
+    PeerSpec peer;
+    if (!parse_peer_spec(value, peer)) return "bad peer spec: " + value;
+    config.peers.push_back(peer);
+  } else if (key == "capacity") {
+    if (!parse_f64(value, config.capacity) || config.capacity <= 0) {
+      return "bad capacity: " + value;
+    }
+  } else if (key == "seed") {
+    if (!parse_u64(value, config.seed)) return "bad seed: " + value;
+  } else if (key == "slices") {
+    if (!parse_u64(value, u64) || u64 == 0 || u64 > 0xFFFFFFFFULL) {
+      return "bad slice count: " + value;
+    }
+    config.slices = static_cast<std::uint32_t>(u64);
+  } else if (key == "gossip_ms") {
+    if (!parse_u64(value, u64) || u64 == 0 || u64 > kMaxPeriodMs) {
+      return "bad gossip_ms: " + value;
+    }
+    config.gossip_ms = static_cast<std::int64_t>(u64);
+  } else if (key == "ae_ms") {
+    if (!parse_u64(value, u64) || u64 == 0 || u64 > kMaxPeriodMs) {
+      return "bad ae_ms: " + value;
+    }
+    config.ae_ms = static_cast<std::int64_t>(u64);
+  } else {
+    return "unknown config key: " + key;
+  }
+  return {};
+}
+
+}  // namespace
+
+bool parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  if (!parse_u16(text.substr(colon + 1), port)) return false;
+  host = text.substr(0, colon);
+  return true;
+}
+
+bool parse_peer_spec(const std::string& text, PeerSpec& out) {
+  const auto at = text.find('@');
+  if (at == std::string::npos || at == 0) return false;
+  if (!parse_u64(text.substr(0, at), out.id)) return false;
+  return parse_host_port(text.substr(at + 1), out.host, out.port);
+}
+
+core::NodeOptions ServerConfig::node_options() const {
+  core::NodeOptions options;
+  const SimTime gossip = gossip_ms * kMillis;
+  options.pss_period = gossip;
+  options.slicing_period = gossip;
+  options.advert_period = gossip;
+  options.ae_period = ae_ms * kMillis;
+  options.st_tick_period = 2 * gossip;
+  options.handoff_period = 3 * gossip;
+  options.slice_config = {slices, /*epoch=*/1};
+  return options;
+}
+
+std::vector<NodeId> ServerConfig::peer_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(peers.size());
+  for (const PeerSpec& peer : peers) ids.emplace_back(peer.id);
+  return ids;
+}
+
+Result<ServerConfig> load_config_file(const std::string& path,
+                                      ServerConfig config) {
+  std::ifstream in(path);
+  if (!in) return Error::io("cannot open config file: " + path);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Error::invalid_argument(path + ":" + std::to_string(line_no) +
+                                     ": expected key = value");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    const std::string err = apply_entry(config, key, value);
+    if (!err.empty()) {
+      return Error::invalid_argument(path + ":" + std::to_string(line_no) +
+                                     ": " + err);
+    }
+  }
+  return config;
+}
+
+Result<ServerConfig> parse_server_args(const std::vector<std::string>& args,
+                                       std::vector<std::string>* positional) {
+  ServerConfig config;
+  // First pass: an explicit config file establishes the baseline so every
+  // other flag overrides it regardless of ordering.
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "--config") {
+      auto loaded = load_config_file(args[i + 1], std::move(config));
+      if (!loaded) return loaded.error();
+      config = std::move(loaded).value();
+    }
+  }
+
+  const auto flag_key = [](const std::string& flag) -> std::string {
+    if (flag == "--id") return "id";
+    if (flag == "--listen") return "listen";
+    if (flag == "--peer") return "peer";
+    if (flag == "--capacity") return "capacity";
+    if (flag == "--seed") return "seed";
+    if (flag == "--slices") return "slices";
+    if (flag == "--gossip-ms") return "gossip_ms";
+    if (flag == "--ae-ms") return "ae_ms";
+    return {};
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--config") {
+      // Loaded in the first pass — but a trailing --config with no value
+      // must still be an error, not a silently default-configured server.
+      if (i + 1 >= args.size()) {
+        return Error::invalid_argument("--config requires a value");
+      }
+      ++i;
+      continue;
+    }
+    const std::string key = flag_key(arg);
+    if (!key.empty()) {
+      if (i + 1 >= args.size()) {
+        return Error::invalid_argument(arg + " requires a value");
+      }
+      const std::string err = apply_entry(config, key, args[++i]);
+      if (!err.empty()) return Error::invalid_argument(err);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      return Error::invalid_argument("unknown flag: " + arg);
+    }
+    if (positional != nullptr) {
+      positional->push_back(arg);
+      continue;
+    }
+    return Error::invalid_argument("unexpected argument: " + arg);
+  }
+  return config;
+}
+
+}  // namespace dataflasks::server

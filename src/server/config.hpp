@@ -1,0 +1,77 @@
+// Configuration for standalone DataFlasks processes (dataflasks_server and
+// dataflasks_cli): a small key=value config-file format plus CLI flags that
+// override it. Kept dependency-free (no JSON/TOML library in the container)
+// and shared by both binaries and the tests.
+//
+// Config file grammar — one entry per line, '#' starts a comment:
+//   id        = 0
+//   listen    = 127.0.0.1:7100
+//   peer      = 1@127.0.0.1:7101          # repeatable
+//   capacity  = 1.5
+//   seed      = 42
+//   slices    = 1
+//   gossip_ms = 200
+//   ae_ms     = 1000
+//
+// Equivalent CLI flags: --config <file>, --id N, --listen host:port,
+// --peer id@host:port (repeatable), --capacity X, --seed N, --slices K,
+// --gossip-ms N, --ae-ms N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "core/node.hpp"
+
+namespace dataflasks::server {
+
+struct PeerSpec {
+  std::uint64_t id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct ServerConfig {
+  std::uint64_t id = 0;
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 7100;
+  std::vector<PeerSpec> peers;
+  double capacity = 1.0;
+  /// 0 derives a per-node seed from `id` so restarted processes do not
+  /// replay each other's gossip.
+  std::uint64_t seed = 0;
+  std::uint32_t slices = 1;
+  /// Gossip cadence (PSS, slicing, adverts) in wall milliseconds.
+  std::int64_t gossip_ms = 200;
+  /// Anti-entropy cadence in wall milliseconds.
+  std::int64_t ae_ms = 1000;
+
+  /// NodeOptions with every periodic cadence scaled to this config's
+  /// real-clock periods.
+  [[nodiscard]] core::NodeOptions node_options() const;
+
+  [[nodiscard]] std::vector<NodeId> peer_ids() const;
+};
+
+/// Parses "host:port". Returns false on malformed input.
+bool parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port);
+
+/// Parses "id@host:port".
+bool parse_peer_spec(const std::string& text, PeerSpec& out);
+
+/// Applies one config-file's entries on top of `config`.
+[[nodiscard]] Result<ServerConfig> load_config_file(const std::string& path,
+                                                    ServerConfig config);
+
+/// Parses the full command line (including any --config file, applied
+/// first so flags override it). `args` excludes argv[0]. Unknown flags are
+/// an error; positional arguments are returned untouched in `positional`.
+[[nodiscard]] Result<ServerConfig> parse_server_args(
+    const std::vector<std::string>& args,
+    std::vector<std::string>* positional = nullptr);
+
+}  // namespace dataflasks::server

@@ -1,0 +1,90 @@
+// dataflasks_server: boots ONE DataFlasks node as a standalone process on a
+// real-clock runtime and a UDP transport — the deployment face of the exact
+// protocol code the simulator drives with thousands of in-process nodes.
+//
+//   $ dataflasks_server --id 0 --listen 127.0.0.1:7100
+//       --peer 1@127.0.0.1:7101 --peer 2@127.0.0.1:7102
+//
+// Runs until SIGINT/SIGTERM. See src/server/config.hpp for the full flag
+// and config-file reference.
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/node.hpp"
+#include "net/udp_transport.hpp"
+#include "runtime/real_time_runtime.hpp"
+#include "server/config.hpp"
+
+namespace {
+
+dataflasks::runtime::RealTimeRuntime* g_runtime = nullptr;
+
+void handle_signal(int) {
+  // stop() is an atomic flag; the poll loop wakes on EINTR and exits.
+  if (g_runtime != nullptr) g_runtime->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dataflasks;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto parsed = server::parse_server_args(args);
+  if (!parsed) {
+    std::fprintf(stderr, "dataflasks_server: %s\n",
+                 parsed.error().message.c_str());
+    std::fprintf(stderr,
+                 "usage: dataflasks_server [--config FILE] [--id N] "
+                 "[--listen HOST:PORT] [--peer ID@HOST:PORT ...] "
+                 "[--capacity X] [--seed N] [--slices K] [--gossip-ms N] "
+                 "[--ae-ms N]\n");
+    return 1;
+  }
+  const server::ServerConfig config = std::move(parsed).value();
+
+  // Each process gets its own deterministic stream: either the configured
+  // seed or one derived from the node id (so a homogeneously-configured
+  // fleet still gossips independently).
+  const std::uint64_t seed =
+      config.seed != 0 ? config.seed : 0xDF5EED00ULL + config.id;
+
+  runtime::RealTimeRuntime rt(seed);
+  net::UdpTransport::Options net_options;
+  net_options.bind_host = config.listen_host;
+  net_options.port = config.listen_port;
+  net::UdpTransport transport(rt, net_options);
+  for (const server::PeerSpec& peer : config.peers) {
+    transport.add_peer(NodeId(peer.id), peer.host, peer.port);
+  }
+
+  core::Node node(NodeId(config.id), config.capacity, rt, transport,
+                  config.node_options(), rt.rng().fork(0xDF).next_u64());
+  node.start(config.peer_ids());
+
+  g_runtime = &rt;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  // The "ready" line is a contract: scripts (and the CI smoke test) wait
+  // for it before pointing clients at the process.
+  std::printf("dataflasks_server: node %llu ready on %s:%u (%zu peers, %u "
+              "slices)\n",
+              static_cast<unsigned long long>(config.id),
+              config.listen_host.c_str(), transport.local_port(),
+              config.peers.size(), config.slices);
+  std::fflush(stdout);
+
+  rt.run();
+
+  node.crash();
+  std::printf("dataflasks_server: node %llu stopped (sent=%llu "
+              "delivered=%llu dropped=%llu)\n",
+              static_cast<unsigned long long>(config.id),
+              static_cast<unsigned long long>(transport.total_sent()),
+              static_cast<unsigned long long>(transport.total_delivered()),
+              static_cast<unsigned long long>(transport.total_dropped()));
+  return 0;
+}

@@ -17,51 +17,16 @@ TimerHandle Simulator::schedule_at(SimTime at, UniqueFunction fn) {
   return TimerHandle(std::move(alive));
 }
 
-TimerHandle Simulator::schedule_after(SimTime delay, UniqueFunction fn) {
-  ensure(delay >= 0, "Simulator::schedule_after negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
 void Simulator::post_at(SimTime at, UniqueFunction fn) {
   ensure(at >= now_, "Simulator::post_at in the past");
   queue_.push(at, std::move(fn));
-}
-
-void Simulator::post_after(SimTime delay, UniqueFunction fn) {
-  ensure(delay >= 0, "Simulator::post_after negative delay");
-  queue_.push(now_ + delay, std::move(fn));
-}
-
-TimerHandle Simulator::schedule_periodic(SimTime initial_delay, SimTime period,
-                                         UniqueFunction fn) {
-  ensure(period > 0, "Simulator::schedule_periodic non-positive period");
-  auto alive = std::make_shared<bool>(true);
-
-  // Each firing re-schedules the next occurrence while the handle is alive.
-  // The tick callable holds only a weak reference to itself — the strong
-  // references live in the queued events — so cancelled/drained timers are
-  // reclaimed instead of leaking through a shared_ptr cycle. The per-firing
-  // closure is a single shared_ptr, which lives inline in the queue slot.
-  auto tick = std::make_shared<UniqueFunction>();
-  std::weak_ptr<UniqueFunction> weak_tick = tick;
-  *tick = [this, alive, period, fn = std::move(fn), weak_tick]() mutable {
-    if (!*alive) return;
-    fn();
-    if (*alive) {
-      if (auto next = weak_tick.lock()) {
-        queue_.push(now_ + period, [next]() { (*next)(); });
-      }
-    }
-  };
-  queue_.push(now_ + initial_delay, [tick]() { (*tick)(); });
-  return TimerHandle(std::move(alive));
 }
 
 std::uint64_t Simulator::run_until(SimTime deadline) {
   stopped_ = false;
   std::uint64_t executed = 0;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
-    EventQueue::Event event = queue_.pop();
+    runtime::EventQueue::Event event = queue_.pop();
     ensure(event.at >= now_, "event queue time went backwards");
     now_ = event.at;
     if (event.runnable()) event.fn();
@@ -79,7 +44,7 @@ std::uint64_t Simulator::run() {
   stopped_ = false;
   std::uint64_t executed = 0;
   while (!stopped_ && !queue_.empty()) {
-    EventQueue::Event event = queue_.pop();
+    runtime::EventQueue::Event event = queue_.pop();
     ensure(event.at >= now_, "event queue time went backwards");
     now_ = event.at;
     if (event.runnable()) event.fn();

@@ -1,68 +1,41 @@
 // Deterministic discrete-event simulation core. Plays the role Minha [25]
 // plays in the paper's evaluation: unmodified protocol code runs over
-// virtual time, with thousands of nodes in a single process.
+// virtual time, with thousands of nodes in a single process. One of the two
+// runtime::Runtime implementations (the other, runtime::RealTimeRuntime,
+// drives the same protocol code over the wall clock).
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "common/unique_function.hpp"
-#include "sim/event_queue.hpp"
+#include "runtime/event_queue.hpp"
+#include "runtime/runtime.hpp"
 
 namespace dataflasks::sim {
 
-/// Read-only clock interface handed to protocol components so they can
-/// timestamp without being able to schedule arbitrary events.
-class Clock {
- public:
-  virtual ~Clock() = default;
-  [[nodiscard]] virtual SimTime now() const = 0;
-};
+// The scheduling surface lives in runtime::Runtime; these aliases keep
+// simulator-centric call sites (tests, benches) reading naturally.
+using runtime::Clock;
+using runtime::TimerHandle;
 
-/// Cancellable handle for a scheduled event. Destroying the handle does NOT
-/// cancel (fire-and-forget is the common case); call cancel() explicitly.
-class TimerHandle {
- public:
-  TimerHandle() = default;
-
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
-  [[nodiscard]] bool active() const { return alive_ && *alive_; }
-
- private:
-  friend class Simulator;
-  explicit TimerHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
-};
-
-class Simulator : public Clock {
+class Simulator final : public runtime::Runtime {
  public:
   explicit Simulator(std::uint64_t seed);
 
   [[nodiscard]] SimTime now() const override { return now_; }
 
   /// Master RNG; components should fork() their own streams from it.
-  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] Rng& rng() override { return rng_; }
 
   /// Schedules `fn` to run at absolute virtual time `at` (>= now).
-  TimerHandle schedule_at(SimTime at, UniqueFunction fn);
+  TimerHandle schedule_at(SimTime at, UniqueFunction fn) override;
 
-  /// Schedules `fn` after a relative delay (>= 0).
-  TimerHandle schedule_after(SimTime delay, UniqueFunction fn);
-
-  /// Fire-and-forget variants: no cancellation handle, so no cancellation
+  /// Fire-and-forget variant: no cancellation handle, so no cancellation
   /// flag is allocated. The hot path for in-flight messages — a small
   /// closure goes straight into the event-queue slot, allocation-free.
-  void post_at(SimTime at, UniqueFunction fn);
-  void post_after(SimTime delay, UniqueFunction fn);
-
-  /// Schedules `fn` every `period` starting at now + initial_delay, until the
-  /// returned handle is cancelled.
-  TimerHandle schedule_periodic(SimTime initial_delay, SimTime period,
-                                UniqueFunction fn);
+  void post_at(SimTime at, UniqueFunction fn) override;
 
   /// Runs until the queue drains or virtual time would exceed `deadline`.
   /// Returns the number of events executed.
@@ -77,7 +50,7 @@ class Simulator : public Clock {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
  private:
-  EventQueue queue_;
+  runtime::EventQueue queue_;
   SimTime now_ = 0;
   Rng rng_;
   bool stopped_ = false;

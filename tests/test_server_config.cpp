@@ -1,0 +1,116 @@
+// Config parsing for the standalone server/CLI binaries: host:port and
+// peer-spec grammar, config files, CLI flags overriding file entries, and
+// the mapping from wall-clock cadences to NodeOptions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "server/config.hpp"
+
+namespace dataflasks::server {
+namespace {
+
+TEST(ServerConfig, ParsesHostPort) {
+  std::string host;
+  std::uint16_t port = 0;
+  ASSERT_TRUE(parse_host_port("127.0.0.1:7100", host, port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 7100);
+
+  EXPECT_FALSE(parse_host_port("no-port", host, port));
+  EXPECT_FALSE(parse_host_port(":7100", host, port));
+  EXPECT_FALSE(parse_host_port("h:99999", host, port));
+  EXPECT_FALSE(parse_host_port("h:abc", host, port));
+}
+
+TEST(ServerConfig, ParsesPeerSpec) {
+  PeerSpec peer;
+  ASSERT_TRUE(parse_peer_spec("3@10.0.0.2:7103", peer));
+  EXPECT_EQ(peer.id, 3u);
+  EXPECT_EQ(peer.host, "10.0.0.2");
+  EXPECT_EQ(peer.port, 7103);
+
+  EXPECT_FALSE(parse_peer_spec("nohost", peer));
+  EXPECT_FALSE(parse_peer_spec("@h:1", peer));
+  EXPECT_FALSE(parse_peer_spec("x@h:1", peer));
+  EXPECT_FALSE(parse_peer_spec("1@h", peer));
+}
+
+TEST(ServerConfig, ParsesFlags) {
+  auto parsed = parse_server_args(
+      {"--id", "2", "--listen", "0.0.0.0:9000", "--peer", "0@127.0.0.1:7100",
+       "--peer", "1@127.0.0.1:7101", "--capacity", "1.5", "--slices", "4",
+       "--gossip-ms", "100", "--ae-ms", "500", "--seed", "77"});
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const ServerConfig& config = parsed.value();
+  EXPECT_EQ(config.id, 2u);
+  EXPECT_EQ(config.listen_host, "0.0.0.0");
+  EXPECT_EQ(config.listen_port, 9000);
+  ASSERT_EQ(config.peers.size(), 2u);
+  EXPECT_EQ(config.peers[1].id, 1u);
+  EXPECT_DOUBLE_EQ(config.capacity, 1.5);
+  EXPECT_EQ(config.slices, 4u);
+  EXPECT_EQ(config.seed, 77u);
+
+  const core::NodeOptions options = config.node_options();
+  EXPECT_EQ(options.pss_period, 100 * kMillis);
+  EXPECT_EQ(options.ae_period, 500 * kMillis);
+  EXPECT_EQ(options.slice_config.slice_count, 4u);
+}
+
+TEST(ServerConfig, RejectsBadInput) {
+  EXPECT_FALSE(parse_server_args({"--id", "zzz"}).ok());
+  EXPECT_FALSE(parse_server_args({"--id"}).ok());
+  EXPECT_FALSE(parse_server_args({"--frobnicate", "1"}).ok());
+  EXPECT_FALSE(parse_server_args({"--slices", "0"}).ok());
+  EXPECT_FALSE(parse_server_args({"stray-positional"}).ok());
+  // A trailing --config must error, not boot an all-defaults server.
+  EXPECT_FALSE(parse_server_args({"--config"}).ok());
+  // Periods are range-checked: absurd values would otherwise overflow the
+  // microsecond conversion or go negative at schedule time.
+  EXPECT_FALSE(parse_server_args({"--gossip-ms", "9999999999999"}).ok());
+  EXPECT_FALSE(parse_server_args({"--ae-ms", "18446744073709551615"}).ok());
+}
+
+TEST(ServerConfig, LoadsConfigFileAndFlagsOverrideIt) {
+  const std::string path =
+      ::testing::TempDir() + "/dataflasks_server_config_test.conf";
+  {
+    std::ofstream out(path);
+    out << "# a 3-node localhost cluster\n"
+        << "id = 7\n"
+        << "listen = 127.0.0.1:7107   # trailing comment\n"
+        << "peer = 8@127.0.0.1:7108\n"
+        << "gossip_ms = 250\n";
+  }
+
+  auto from_file = parse_server_args({"--config", path});
+  ASSERT_TRUE(from_file.ok()) << from_file.error().message;
+  EXPECT_EQ(from_file.value().id, 7u);
+  EXPECT_EQ(from_file.value().listen_port, 7107);
+  EXPECT_EQ(from_file.value().gossip_ms, 250);
+  ASSERT_EQ(from_file.value().peers.size(), 1u);
+
+  // Flags override file values regardless of position on the line.
+  auto overridden = parse_server_args({"--id", "9", "--config", path});
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_EQ(overridden.value().id, 9u);
+  EXPECT_EQ(overridden.value().listen_port, 7107);
+
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(parse_server_args({"--config", "/nonexistent/x.conf"}).ok());
+}
+
+TEST(ServerConfig, PositionalArgumentsAreCollectedWhenRequested) {
+  std::vector<std::string> positional;
+  auto parsed = parse_server_args({"put", "key", "value"}, &positional);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(positional,
+            (std::vector<std::string>{"put", "key", "value"}));
+}
+
+}  // namespace
+}  // namespace dataflasks::server

@@ -4,13 +4,15 @@
 
 #include <vector>
 
+#include "runtime/event_queue.hpp"
 #include "sim/churn.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace dataflasks::sim {
 namespace {
+
+using runtime::EventQueue;
 
 // ---- EventQueue ---------------------------------------------------------------
 
