@@ -94,7 +94,21 @@ struct SaturationOptions {
   std::size_t ops_cap = 20'000;   ///< per rung; bounds wall time per rung
   std::size_t max_rungs = 6;
   double read_fraction = 0.5;
+  /// Ops pipelined per OpEnvelope (batch=N knob). 1 = one op per
+  /// round-trip, the pre-batching behavior.
+  std::size_t batch = 1;
   std::uint64_t seed = 42;
+};
+
+/// One leg of the batched-put comparison: `total_ops` puts issued either
+/// one per envelope or `batch_size` per envelope, same cluster shape.
+struct BatchCompareResult {
+  std::size_t batch_size = 1;
+  std::uint64_t ops = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t envelopes = 0;         ///< client envelopes incl. retries
+  double ops_per_envelope = 0.0;       ///< ops per simulated round-trip
+  double request_msgs_per_op = 0.0;    ///< whole-system request traffic
 };
 
 RunResult run_saturation(std::size_t nodes, const SaturationOptions& opts) {
@@ -148,23 +162,39 @@ RunResult run_saturation(std::size_t nodes, const SaturationOptions& opts) {
     // measured window free of harness-side cancellation-flag allocations.
     const auto acked = std::make_shared<std::uint64_t>(0);
     const std::size_t value_size = opts.value_size;
-    for (std::uint64_t i = 0; i < ops_target; ++i) {
+    const std::size_t batch = std::max<std::size_t>(1, opts.batch);
+    for (std::uint64_t i = 0; i < ops_target; i += batch) {
       const SimTime at = start + static_cast<SimTime>(
           (static_cast<double>(i) / static_cast<double>(rate)) * kSeconds);
-      client::Client* c = clients[i % clients.size()];
-      const std::string key = key_of(rng.next_below(opts.record_count));
-      const bool is_get = rng.next_double() < opts.read_fraction;
-      cluster.simulator().post_at(at, [c, key, is_get, acked, value_size]() {
-        if (is_get) {
-          c->get(key, std::nullopt, [acked](const client::GetResult& gr) {
-            if (gr.ok) ++*acked;
-          });
-        } else {
-          c->put_auto(key, Bytes(value_size, 0x5a),
-                      [acked](const client::PutResult& pr) {
-                        if (pr.ok) ++*acked;
-                      });
+      client::Client* c = clients[(i / batch) % clients.size()];
+      // Op mix drawn at schedule time so the stream is seed-deterministic;
+      // `batch` consecutive ops share one envelope at issue time.
+      const std::size_t n =
+          std::min<std::size_t>(batch, ops_target - i);
+      std::vector<std::pair<std::string, bool>> mix;  // (key, is_get)
+      mix.reserve(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        mix.emplace_back(key_of(rng.next_below(opts.record_count)),
+                         rng.next_double() < opts.read_fraction);
+      }
+      cluster.simulator().post_at(at, [c, mix = std::move(mix), acked,
+                                       value_size]() {
+        std::vector<core::Operation> ops;
+        ops.reserve(mix.size());
+        for (const auto& [key, is_get] : mix) {
+          if (is_get) {
+            ops.push_back(core::Operation::get(key));
+          } else {
+            ops.push_back(core::Operation::put(key, c->stamp_version(key),
+                                               Bytes(value_size, 0x5a)));
+          }
         }
+        c->execute(std::move(ops),
+                   [acked](const std::vector<client::OpResult>& results) {
+                     for (const client::OpResult& r : results) {
+                       if (r.ok) ++*acked;
+                     }
+                   });
       });
     }
     r.ops_issued = ops_target;
@@ -222,8 +252,81 @@ RunResult run_saturation(std::size_t nodes, const SaturationOptions& opts) {
   return result;
 }
 
+/// Batched-put mode: same cluster, same total put count, either one op per
+/// envelope or `batch_size` ops per envelope. The headline number is ops
+/// per simulated client round-trip (envelope), the batching lever the
+/// operation API redesign exists to pull.
+BatchCompareResult run_batched_put(std::size_t nodes, std::size_t batch_size,
+                                   std::size_t total_ops,
+                                   const SaturationOptions& opts) {
+  harness::ClusterOptions copts;
+  copts.node_count = nodes;
+  copts.seed = opts.seed + nodes + batch_size;
+  copts.node.anti_entropy_enabled = opts.anti_entropy;
+  harness::Cluster cluster(copts);
+  cluster.start_all();
+  cluster.simulator().run_until(opts.warmup);
+
+  client::Client& client = cluster.add_client();
+  const auto acked = std::make_shared<std::uint64_t>(0);
+  const SimTime start = cluster.simulator().now();
+  // Paced at 500 ops/simulated-second: far below saturation, so envelope
+  // counts reflect batching, not retry storms.
+  const double op_gap = static_cast<double>(kSeconds) / 500.0;
+  std::size_t issued = 0;
+  while (issued < total_ops) {
+    const std::size_t n = std::min(batch_size, total_ops - issued);
+    const SimTime at =
+        start + static_cast<SimTime>(op_gap * static_cast<double>(issued));
+    cluster.simulator().post_at(at, [&client, n, issued, acked,
+                                     value_size = opts.value_size]() {
+      std::vector<core::Operation> ops;
+      ops.reserve(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::string key = "bp-" + std::to_string(issued + j);
+        ops.push_back(core::Operation::put(key, client.stamp_version(key),
+                                           Bytes(value_size, 0x42)));
+      }
+      client.execute(std::move(ops),
+                     [acked](const std::vector<client::OpResult>& results) {
+                       for (const client::OpResult& r : results) {
+                         if (r.ok) ++*acked;
+                       }
+                     });
+    });
+    issued += n;
+  }
+  const SimTime window =
+      static_cast<SimTime>(op_gap * static_cast<double>(total_ops));
+  cluster.simulator().run_until(start + window + 10 * kSeconds);
+
+  BatchCompareResult result;
+  result.batch_size = batch_size;
+  result.ops = total_ops;
+  result.acked = *acked;
+  result.envelopes =
+      client.metrics().counter_value("client.envelopes_sent");
+  result.ops_per_envelope =
+      result.envelopes > 0
+          ? static_cast<double>(result.ops) /
+                static_cast<double>(result.envelopes)
+          : 0.0;
+  result.request_msgs_per_op =
+      cluster.mean_messages_per_node(net::MsgCategory::kRequest) *
+      static_cast<double>(nodes) / static_cast<double>(total_ops);
+  std::printf("# batched_put: batch=%zu ops=%llu acked=%llu envelopes=%llu "
+              "ops/envelope=%.2f req-msgs/op=%.1f\n",
+              result.batch_size,
+              static_cast<unsigned long long>(result.ops),
+              static_cast<unsigned long long>(result.acked),
+              static_cast<unsigned long long>(result.envelopes),
+              result.ops_per_envelope, result.request_msgs_per_op);
+  return result;
+}
+
 void write_json(const std::string& path, const std::vector<RunResult>& runs,
-                bool quick) {
+                const BatchCompareResult& single,
+                const BatchCompareResult& batched, bool quick) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -262,9 +365,29 @@ void write_json(const std::string& path, const std::vector<RunResult>& runs,
     }
     std::fprintf(f, "      ]\n    }%s\n", i + 1 < runs.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  const auto emit_leg = [f](const char* name, const BatchCompareResult& leg,
+                            bool trailing_comma) {
+    std::fprintf(
+        f,
+        "    \"%s\": {\"batch_size\": %zu, \"ops\": %llu, \"acked\": %llu, "
+        "\"envelopes\": %llu, \"ops_per_envelope\": %.2f, "
+        "\"request_msgs_per_op\": %.2f}%s\n",
+        name, leg.batch_size, static_cast<unsigned long long>(leg.ops),
+        static_cast<unsigned long long>(leg.acked),
+        static_cast<unsigned long long>(leg.envelopes), leg.ops_per_envelope,
+        leg.request_msgs_per_op, trailing_comma ? "," : "");
+  };
+  const double ratio = single.ops_per_envelope > 0.0
+                           ? batched.ops_per_envelope / single.ops_per_envelope
+                           : 0.0;
+  std::fprintf(f, "  \"batched_put\": {\n");
+  emit_leg("single_op", single, true);
+  emit_leg("batched", batched, true);
+  std::fprintf(f, "    \"ops_per_round_trip_ratio\": %.2f\n  }\n}\n", ratio);
   std::fclose(f);
-  std::printf("# wrote %s\n", path.c_str());
+  std::printf("# wrote %s (batched-put ops/round-trip ratio: %.2fx)\n",
+              path.c_str(), ratio);
 }
 
 }  // namespace
@@ -283,6 +406,8 @@ int main(int argc, char** argv) {
   opts.value_size = static_cast<std::size_t>(cfg.get_int("value_size", 256));
   opts.read_fraction = cfg.get_double("read_fraction", 0.5);
   opts.anti_entropy = cfg.get_int("ae", 1) != 0;
+  opts.batch =
+      std::max<std::size_t>(1, static_cast<std::size_t>(cfg.get_int("batch", 1)));
   if (quick) {
     opts.ops_cap = 4'000;
     opts.max_rungs = 2;
@@ -297,7 +422,8 @@ int main(int argc, char** argv) {
     node_counts = {100, 500, 1000};
   }
 
-  std::printf("# saturation_throughput: nodes x open-loop put/get ladder\n");
+  std::printf("# saturation_throughput: nodes x open-loop put/get ladder "
+              "(batch=%zu)\n", opts.batch);
   std::vector<RunResult> runs;
   for (const std::size_t nodes : node_counts) {
     runs.push_back(run_saturation(nodes, opts));
@@ -309,6 +435,16 @@ int main(int argc, char** argv) {
     std::printf("%8zu %24.0f %16.0f\n", run.nodes,
                 run.peak_sim_events_per_wall_sec, run.peak_bytes_per_op);
   }
-  write_json(out, runs, quick);
+
+  // Batched-put mode: ops per simulated round-trip, one-op envelopes vs
+  // 8-op envelopes on the smallest deployment.
+  const std::size_t compare_nodes = node_counts.front();
+  const std::size_t compare_ops = quick ? 800 : 2'000;
+  const BatchCompareResult single =
+      run_batched_put(compare_nodes, 1, compare_ops, opts);
+  const BatchCompareResult batched =
+      run_batched_put(compare_nodes, 8, compare_ops, opts);
+
+  write_json(out, runs, single, batched, quick);
   return 0;
 }

@@ -5,8 +5,9 @@
 // usable for quick what-if exploration.
 //
 //   $ ./examples/ycsb_workbench workload=a nodes=120 records=200 ops=400
-//   workload = a|b|c|d|f|write-only; other knobs: slices= clients=
-//   balancer=random|slice-cache seed=
+//   workload = a|b|c|d|f|write-only|delete-heavy; other knobs: slices=
+//   clients= balancer=random|slice-cache seed= deletes=<fraction>
+//   batch=<N: ops pipelined per envelope>
 #include <cstdio>
 
 #include "common/config.hpp"
@@ -22,6 +23,7 @@ dataflasks::workload::WorkloadSpec spec_by_name(const std::string& name) {
   if (name == "c") return WorkloadSpec::C();
   if (name == "d") return WorkloadSpec::D();
   if (name == "f") return WorkloadSpec::F();
+  if (name == "delete-heavy") return WorkloadSpec::delete_heavy();
   return WorkloadSpec::write_only();
 }
 
@@ -48,15 +50,20 @@ int main(int argc, char** argv) {
   const auto ops = static_cast<std::size_t>(cfg.get_int("ops", 400));
   const std::string balancer = cfg.get_string("balancer", "random");
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 42));
+  const double deletes = cfg.get_double("deletes", 0.0);
+  const auto batch =
+      static_cast<std::size_t>(std::max<long long>(1, cfg.get_int("batch", 1)));
 
   workload::WorkloadSpec spec = spec_by_name(workload);
+  if (deletes > 0.0) spec = spec.with_deletes(deletes);
   spec.record_count = records;
   spec.operation_count = ops / std::max<std::size_t>(1, clients);
 
   std::printf("ycsb-workbench: workload=%s nodes=%zu slices=%u clients=%zu "
-              "records=%zu ops=%zu balancer=%s\n",
+              "records=%zu ops=%zu balancer=%s deletes=%.2f batch=%zu\n",
               spec.name.c_str(), nodes, slices, clients, records,
-              spec.operation_count * clients, balancer.c_str());
+              spec.operation_count * clients, balancer.c_str(),
+              spec.delete_proportion, batch);
 
   harness::ClusterOptions copts;
   copts.node_count = nodes;
@@ -94,7 +101,7 @@ int main(int argc, char** argv) {
     workload::WorkloadGenerator gen(spec, stream_rng.fork(i));
     streams.push_back(gen.transaction_phase());
   }
-  harness::Runner txn(cluster, cluster_clients, std::move(streams));
+  harness::Runner txn(cluster, cluster_clients, std::move(streams), batch);
   const SimTime txn_start = cluster.simulator().now();
   txn.run(txn_start + 3600 * kSeconds);
   const double seconds =
@@ -114,6 +121,22 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.puts_failed),
               stats.put_latency.quantile(0.5) / kMillis,
               stats.put_latency.quantile(0.99) / kMillis);
+  if (stats.dels_issued > 0) {
+    std::printf("  deletes: %5llu ok / %llu failed, p50 %.0f ms, "
+                "p99 %.0f ms\n",
+                static_cast<unsigned long long>(stats.dels_succeeded),
+                static_cast<unsigned long long>(stats.dels_failed),
+                stats.del_latency.quantile(0.5) / kMillis,
+                stats.del_latency.quantile(0.99) / kMillis);
+  }
+  if (batch > 1) {
+    std::printf("  batch envelopes: %llu (%.1f ops/envelope)\n",
+                static_cast<unsigned long long>(stats.batches_issued),
+                stats.batches_issued > 0
+                    ? static_cast<double>(stats.ops_completed()) /
+                          static_cast<double>(stats.batches_issued)
+                    : 0.0);
+  }
   std::printf("  request msgs/node: %.1f, anti-entropy msgs/node: %.1f\n",
               cluster.mean_messages_per_node(net::MsgCategory::kRequest),
               cluster.mean_messages_per_node(net::MsgCategory::kAntiEntropy));

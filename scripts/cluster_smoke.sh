@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Real-cluster smoke test: launches 3 dataflasks_server processes on
-# localhost UDP ports, writes a key through dataflasks_cli, reads it back,
-# and asserts the value round-tripped. Used by the CI `cluster-smoke` job
-# and runnable locally:
+# Real-cluster smoke test: launches 3 dataflasks_server processes (durable
+# log-structured stores) on localhost UDP ports and drives the full
+# operation API through dataflasks_cli:
+#
+#   put -> get -> crash-survivor get        (replication)
+#   batch (pipelined puts + get)            (OpEnvelope batching)
+#   del -> get-miss                          (epidemic tombstones)
+#   restart node -> get still missing        (tombstone durability + AE)
+#
+# Used by the CI `cluster-smoke` job and runnable locally:
 #
 #   ./scripts/cluster_smoke.sh [build-dir]
 #
@@ -36,30 +42,39 @@ for i in 0 1 2; do
   PEERS+=("--peer" "$i@127.0.0.1:$((BASE_PORT + i))")
 done
 
-echo "== launching 3-node cluster on ports $BASE_PORT-$((BASE_PORT + 2))"
-for i in 0 1 2; do
-  # Each node's peer list is the other two.
-  node_peers=()
+# start_server <id>: launches one node (durable store in $LOG_DIR) and
+# records its pid in PIDS[id].
+start_server() {
+  local i="$1"
+  local node_peers=()
   for j in 0 1 2; do
     [[ "$i" == "$j" ]] || node_peers+=("--peer" "$j@127.0.0.1:$((BASE_PORT + j))")
   done
   "$SERVER" --id "$i" --listen "127.0.0.1:$((BASE_PORT + i))" \
-    --gossip-ms 100 --ae-ms 500 "${node_peers[@]}" \
-    > "$LOG_DIR/server$i.log" 2>&1 &
-  PIDS+=($!)
-done
+    --gossip-ms 100 --ae-ms 500 --store durable --data-dir "$LOG_DIR" \
+    --log-level warn "${node_peers[@]}" \
+    >> "$LOG_DIR/server$i.log" 2>&1 &
+  PIDS[$i]=$!
+}
 
-# Wait for every server to print its ready line.
-for i in 0 1 2; do
+wait_ready() {
+  local i="$1"
+  local want="$2"   # how many ready lines the log should contain
   for _ in $(seq 1 50); do
-    grep -q "ready on" "$LOG_DIR/server$i.log" 2>/dev/null && break
+    [[ "$(grep -c "ready on" "$LOG_DIR/server$i.log" 2>/dev/null || true)" -ge "$want" ]] && return 0
     sleep 0.1
   done
-  grep -q "ready on" "$LOG_DIR/server$i.log" || {
-    echo "cluster_smoke: server $i did not become ready" >&2
-    cat "$LOG_DIR/server$i.log" >&2
-    exit 1
-  }
+  echo "cluster_smoke: server $i did not become ready" >&2
+  cat "$LOG_DIR/server$i.log" >&2
+  exit 1
+}
+
+echo "== launching 3-node durable cluster on ports $BASE_PORT-$((BASE_PORT + 2))"
+for i in 0 1 2; do
+  start_server "$i"
+done
+for i in 0 1 2; do
+  wait_ready "$i" 1
 done
 
 echo "== put"
@@ -73,6 +88,19 @@ grep -q "hello-from-real-cluster" <<< "$OUT" || {
   exit 1
 }
 
+echo "== batch (pipelined envelope: 2 puts + 1 get)"
+OUT_BATCH="$(printf 'put batch-a alpha\nput batch-b beta\nget batch-a\n' | \
+  "$CLI" "${PEERS[@]}" --timeout-ms 5000 batch)"
+echo "$OUT_BATCH"
+grep -q "OK get batch-a" <<< "$OUT_BATCH" || {
+  echo "cluster_smoke: batch get did not return the batched put" >&2
+  exit 1
+}
+grep -q "3 ops, 1 envelope" <<< "$OUT_BATCH" || {
+  echo "cluster_smoke: batch did not pipeline into one envelope" >&2
+  exit 1
+}
+
 echo "== letting anti-entropy replicate (2s), then killing node 0"
 sleep 2
 kill "${PIDS[0]}"
@@ -83,6 +111,45 @@ OUT2="$("$CLI" "${SURVIVOR_PEERS[@]}" --timeout-ms 8000 get smoke-key)"
 echo "$OUT2"
 grep -q "hello-from-real-cluster" <<< "$OUT2" || {
   echo "cluster_smoke: replicas did not serve the value after a crash" >&2
+  exit 1
+}
+
+echo "== delete smoke-key through the survivors"
+"$CLI" "${SURVIVOR_PEERS[@]}" --timeout-ms 5000 del smoke-key
+
+echo "== get after delete must be an authoritative miss"
+OUT3="$("$CLI" "${SURVIVOR_PEERS[@]}" --timeout-ms 5000 get smoke-key)" || true
+echo "$OUT3"
+grep -q "deleted" <<< "$OUT3" || {
+  echo "cluster_smoke: get after delete did not report the tombstone" >&2
+  exit 1
+}
+
+echo "== restarting node 0 (durable log, missed the delete) "
+start_server 0
+wait_ready 0 2
+
+echo "== get from the restarted node only: tombstone must win"
+# Node 0 recovers smoke-key's VALUE from its log (it was down for the
+# delete); anti-entropy must hand it the tombstone, not resurrect the
+# value. Poll until the tombstone lands (bounded by the loop, not a sleep).
+OUT4=""
+for _ in $(seq 1 20); do
+  OUT4="$("$CLI" --peer "0@127.0.0.1:$BASE_PORT" --timeout-ms 4000 get smoke-key)" || true
+  grep -q "deleted" <<< "$OUT4" && break
+  sleep 0.5
+done
+echo "$OUT4"
+grep -q "deleted" <<< "$OUT4" || {
+  echo "cluster_smoke: restarted node resurrected a deleted key" >&2
+  exit 1
+}
+
+echo "== restarted node still serves live data"
+OUT5="$("$CLI" "${PEERS[@]}" --timeout-ms 8000 get batch-b)"
+echo "$OUT5"
+grep -q "beta" <<< "$OUT5" || {
+  echo "cluster_smoke: live key lost after restart" >&2
   exit 1
 }
 

@@ -4,6 +4,48 @@
 
 namespace dataflasks::client {
 
+namespace {
+
+// Constant counter names (no per-op string assembly on the hot path; all
+// under SSO size anyway).
+const char* issued_counter(core::OpType type) {
+  switch (type) {
+    case core::OpType::kPut: return "client.puts";
+    case core::OpType::kGet: return "client.gets";
+    case core::OpType::kDelete: return "client.dels";
+  }
+  return "client.ops";
+}
+
+const char* retries_counter(core::OpType type) {
+  switch (type) {
+    case core::OpType::kPut: return "client.put_retries";
+    case core::OpType::kGet: return "client.get_retries";
+    case core::OpType::kDelete: return "client.del_retries";
+  }
+  return "client.op_retries";
+}
+
+const char* failures_counter(core::OpType type) {
+  switch (type) {
+    case core::OpType::kPut: return "client.put_failures";
+    case core::OpType::kGet: return "client.get_failures";
+    case core::OpType::kDelete: return "client.del_failures";
+  }
+  return "client.op_failures";
+}
+
+const char* successes_counter(core::OpType type) {
+  switch (type) {
+    case core::OpType::kPut: return "client.put_successes";
+    case core::OpType::kGet: return "client.get_successes";
+    case core::OpType::kDelete: return "client.del_successes";
+  }
+  return "client.op_successes";
+}
+
+}  // namespace
+
 Client::Client(NodeId id, net::Transport& transport,
                runtime::Runtime& rt, LoadBalancer& balancer, Rng rng,
                ClientOptions options)
@@ -19,196 +61,289 @@ Client::Client(NodeId id, net::Transport& transport,
 
 Client::~Client() {
   transport_.unregister_handler(id_);
-  for (auto& [_, pending] : pending_puts_) pending.timer.cancel();
-  for (auto& [_, pending] : pending_gets_) {
-    pending.timer.cancel();
-    pending.hedge_timer.cancel();
+  for (auto& [_, batch] : pending_) {
+    batch.timer.cancel();
+    batch.hedge_timer.cancel();
   }
 }
 
-RequestId Client::next_request_id() {
-  return RequestId{id_.value, next_seq_++};
-}
-
-std::optional<SliceId> Client::slice_of(const Key& key) const {
-  if (options_.slice_count_hint == 0) return std::nullopt;
-  return slicing::key_to_slice(key, options_.slice_count_hint);
-}
-
-void Client::put(Key key, Payload value, Version version, PutCallback done) {
-  const RequestId rid = next_request_id();
-  PendingPut pending;
-  pending.request =
-      core::PutRequest{rid, id_, store::Object{std::move(key),
-                                               version, std::move(value)}};
-  pending.done = std::move(done);
-  pending.started = runtime_.now();
-  auto [it, inserted] = pending_puts_.emplace(rid, std::move(pending));
-  ensure(inserted, "duplicate put request id");
-  metrics_.counter("client.puts").add();
-  send_put(it->second);
-}
-
-Version Client::put_auto(Key key, Payload value, PutCallback done) {
+Version Client::stamp_version(const Key& key) {
   // Versions must be unique system-wide for a (key, value) pair: replicas
   // reject a version re-stamped with different bytes (the upper layer owns
   // ordering, paper §III). Counter in the high bits keeps per-client
   // monotonicity; the client id in the low 24 bits keeps concurrent
   // clients' stamps disjoint.
-  const Version version =
-      (++version_counters_[key] << 24) | (id_.value & 0xFFFFFF);
-  put(std::move(key), std::move(value), version, std::move(done));
-  return version;
+  return (++version_counters_[key] << 24) | (id_.value & 0xFFFFFF);
 }
 
-void Client::get(Key key, std::optional<Version> version, GetCallback done) {
-  const RequestId rid = next_request_id();
-  PendingGet pending;
-  pending.request = core::GetRequest{rid, id_, std::move(key), version};
-  pending.done = std::move(done);
-  pending.started = runtime_.now();
-  auto [it, inserted] = pending_gets_.emplace(rid, std::move(pending));
-  ensure(inserted, "duplicate get request id");
-  metrics_.counter("client.gets").add();
-  send_get(it->second);
+std::optional<SliceId> Client::slice_hint(const PendingBatch& batch) const {
+  if (options_.slice_count_hint == 0) return std::nullopt;
+  // Hint by the first unresolved op: exact for single-op requests and for
+  // batches that happen to target one slice; a plain guess otherwise (any
+  // contact can fan a mixed batch out to its slices).
+  for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+    if (!batch.resolved[i]) {
+      return slicing::key_to_slice(batch.ops[i].key,
+                                   options_.slice_count_hint);
+    }
+  }
+  return std::nullopt;
 }
 
-void Client::send_put(PendingPut& pending) {
-  ++pending.attempts;
-  pending.contact =
-      balancer_.pick_contact(slice_of(pending.request.object.key));
-  transport_.send(net::Message{id_, pending.contact, core::kClientPut,
-                               core::encode_inner(pending.request)});
-  const RequestId rid = pending.request.rid;
-  pending.timer = runtime_.schedule_after(
-      options_.request_timeout, [this, rid]() { on_put_timeout(rid); });
+void Client::execute(std::vector<core::Operation> ops, BatchCallback done) {
+  ensure(!ops.empty(), "Client::execute on an empty batch");
+  const std::uint64_t base_seq = next_seq_;
+  next_seq_ += ops.size();
+
+  PendingBatch batch;
+  batch.base_seq = base_seq;
+  batch.done = std::move(done);
+  batch.started = runtime_.now();
+  batch.unresolved = ops.size();
+  batch.resolved.assign(ops.size(), false);
+  batch.results.resize(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    OpResult& result = batch.results[i];
+    result.type = ops[i].type;
+    result.key = ops[i].key;
+    result.version = ops[i].version.value_or(0);
+    batch.read_only =
+        batch.read_only && ops[i].type == core::OpType::kGet;
+    rid_index_.emplace(base_seq + i, base_seq);
+    metrics_.counter(issued_counter(ops[i].type)).add();
+  }
+  batch.ops = std::move(ops);
+
+  auto [it, inserted] = pending_.emplace(base_seq, std::move(batch));
+  ensure(inserted, "duplicate batch base sequence");
+  metrics_.counter("client.batches").add();
+  send_batch(it->second);
 }
 
-void Client::send_get(PendingGet& pending) {
-  ++pending.attempts;
-  pending.contact = balancer_.pick_contact(slice_of(pending.request.key));
-  transport_.send(net::Message{id_, pending.contact, core::kClientGet,
-                               core::encode_inner(pending.request)});
-  const RequestId rid = pending.request.rid;
-  pending.timer = runtime_.schedule_after(
-      options_.request_timeout, [this, rid]() { on_get_timeout(rid); });
+std::vector<Payload> Client::encode_unresolved(
+    const PendingBatch& batch) const {
+  // A batch over the per-datagram budget goes out as several envelopes —
+  // the UDP transport silently drops oversized frames, so the split must
+  // happen here. Replies route by rid, so the batch bookkeeping does not
+  // care how many datagrams carried it.
+  std::vector<core::RoutedOp> unresolved;
+  for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+    if (batch.resolved[i]) continue;
+    unresolved.push_back(core::RoutedOp{
+        RequestId{id_.value, batch.base_seq + i}, batch.ops[i]});
+  }
+  std::vector<Payload> encoded;
+  core::chunk_by_budget(
+      unresolved,
+      [](const core::RoutedOp& routed) { return core::encoded_size(routed); },
+      [&encoded](std::vector<core::RoutedOp>& chunk) {
+        encoded.push_back(
+            core::encode(core::OpEnvelope{core::kOpProtocolVersion,
+                                          std::move(chunk)}));
+      });
+  return encoded;
+}
 
-  if (options_.get_hedge_delay > 0) {
-    pending.hedge_timer = runtime_.schedule_after(
-        options_.get_hedge_delay, [this, rid]() {
-          const auto it = pending_gets_.find(rid);
-          if (it == pending_gets_.end()) return;  // already answered
-          // Second contact, same request id: whichever replica answers
-          // first wins and the duplicate reply is absorbed by rid dedup.
+void Client::send_envelopes(const PendingBatch& batch, NodeId contact) {
+  for (Payload& payload : encode_unresolved(batch)) {
+    transport_.send(net::Message{id_, contact, core::kOpEnvelope,
+                                 std::move(payload)});
+    metrics_.counter("client.envelopes_sent").add();
+  }
+}
+
+void Client::send_batch(PendingBatch& batch) {
+  ++batch.attempts;
+  batch.contact = balancer_.pick_contact(slice_hint(batch));
+  send_envelopes(batch, batch.contact);
+
+  const std::uint64_t base_seq = batch.base_seq;
+  batch.timer = runtime_.schedule_after(
+      options_.request_timeout, [this, base_seq]() { on_timeout(base_seq); });
+
+  if (options_.get_hedge_delay > 0 && batch.read_only) {
+    batch.hedge_timer = runtime_.schedule_after(
+        options_.get_hedge_delay, [this, base_seq]() {
+          const auto it = pending_.find(base_seq);
+          if (it == pending_.end()) return;  // already answered
+          // Second contact, same request ids: whichever replica answers
+          // first wins and the duplicate replies are absorbed by rid dedup.
           const NodeId hedge_contact =
-              balancer_.pick_contact(slice_of(it->second.request.key));
-          transport_.send(
-              net::Message{id_, hedge_contact, core::kClientGet,
-                           core::encode_inner(it->second.request)});
+              balancer_.pick_contact(slice_hint(it->second));
+          send_envelopes(it->second, hedge_contact);
           metrics_.counter("client.get_hedges").add();
         });
   }
 }
 
-void Client::on_put_timeout(RequestId rid) {
-  const auto it = pending_puts_.find(rid);
-  if (it == pending_puts_.end()) return;  // completed meanwhile
-  PendingPut& pending = it->second;
-  balancer_.node_unreachable(pending.contact);
-  if (pending.attempts < options_.max_attempts) {
-    metrics_.counter("client.put_retries").add();
-    send_put(pending);
+void Client::on_timeout(std::uint64_t base_seq) {
+  const auto it = pending_.find(base_seq);
+  if (it == pending_.end()) return;  // completed meanwhile
+  PendingBatch& batch = it->second;
+  batch.hedge_timer.cancel();
+  balancer_.node_unreachable(batch.contact);
+  if (batch.attempts < options_.max_attempts) {
+    for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+      if (batch.resolved[i]) continue;
+      metrics_.counter(retries_counter(batch.ops[i].type)).add();
+    }
+    send_batch(batch);
     return;
   }
-  metrics_.counter("client.put_failures").add();
-  PutResult result;
-  result.ok = false;
-  result.key = pending.request.object.key;
-  result.version = pending.request.object.version;
-  result.attempts = pending.attempts;
-  result.latency = runtime_.now() - pending.started;
-  auto done = std::move(pending.done);
-  pending_puts_.erase(it);
-  if (done) done(result);
+  // Out of attempts: everything still unresolved fails.
+  for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+    if (batch.resolved[i]) continue;
+    batch.resolved[i] = true;
+    rid_index_.erase(base_seq + i);
+    OpResult& result = batch.results[i];
+    result.ok = false;
+    result.attempts = batch.attempts;
+    result.latency = runtime_.now() - batch.started;
+    metrics_.counter(failures_counter(batch.ops[i].type)).add();
+  }
+  batch.unresolved = 0;
+  complete(batch);
 }
 
-void Client::on_get_timeout(RequestId rid) {
-  const auto it = pending_gets_.find(rid);
-  if (it == pending_gets_.end()) return;
-  PendingGet& pending = it->second;
-  pending.hedge_timer.cancel();
-  balancer_.node_unreachable(pending.contact);
-  if (pending.attempts < options_.max_attempts) {
-    metrics_.counter("client.get_retries").add();
-    send_get(pending);
-    return;
-  }
-  metrics_.counter("client.get_failures").add();
-  GetResult result;
-  result.ok = false;
-  result.attempts = pending.attempts;
-  result.latency = runtime_.now() - pending.started;
-  auto done = std::move(pending.done);
-  pending_gets_.erase(it);
-  if (done) done(result);
+void Client::complete(PendingBatch& batch) {
+  batch.timer.cancel();
+  batch.hedge_timer.cancel();
+  auto done = std::move(batch.done);
+  auto results = std::move(batch.results);
+  pending_.erase(batch.base_seq);
+  if (done) done(results);
 }
 
 void Client::dispatch(const net::Message& msg) {
-  switch (msg.type) {
-    case core::kPutAck: {
-      const auto ack = core::decode_put_ack(msg.payload);
-      if (!ack) return;
-      const auto it = pending_puts_.find(ack->rid);
-      if (it == pending_puts_.end()) {
-        // Duplicate ack for an already-completed request: the epidemic
-        // normal case the client library exists to absorb (paper §V).
-        metrics_.counter("client.duplicate_acks").add();
-        return;
-      }
-      balancer_.observe_replica(ack->replica, ack->slice);
-      PendingPut& pending = it->second;
-      pending.timer.cancel();
-      PutResult result;
-      result.ok = true;
-      result.key = ack->key;
-      result.version = ack->version;
-      result.replica = ack->replica;
-      result.attempts = pending.attempts;
-      result.latency = runtime_.now() - pending.started;
-      auto done = std::move(pending.done);
-      pending_puts_.erase(it);
-      metrics_.counter("client.put_successes").add();
-      if (done) done(result);
-      return;
-    }
-    case core::kGetReply: {
-      const auto reply = core::decode_get_reply(msg.payload);
-      if (!reply) return;
-      const auto it = pending_gets_.find(reply->rid);
-      if (it == pending_gets_.end()) {
-        metrics_.counter("client.duplicate_replies").add();
-        return;
-      }
-      if (!reply->found) return;  // authoritative misses don't complete; wait
-      balancer_.observe_replica(reply->replica, reply->slice);
-      PendingGet& pending = it->second;
-      pending.timer.cancel();
-      pending.hedge_timer.cancel();
-      GetResult result;
-      result.ok = true;
-      result.object = reply->object;
-      result.replica = reply->replica;
-      result.attempts = pending.attempts;
-      result.latency = runtime_.now() - pending.started;
-      auto done = std::move(pending.done);
-      pending_gets_.erase(it);
-      metrics_.counter("client.get_successes").add();
-      if (done) done(result);
-      return;
-    }
-    default:
-      metrics_.counter("client.unhandled_messages").add();
+  if (msg.type != core::kOpReplyBatch) {
+    metrics_.counter("client.unhandled_messages").add();
+    return;
   }
+  const auto reply_batch = core::decode_op_reply_batch(msg.payload);
+  if (!reply_batch) return;
+
+  for (const core::OpReply& reply : reply_batch->replies) {
+    if (reply.rid.client != id_.value) continue;  // not ours (misroute)
+    const auto idx_it = rid_index_.find(reply.rid.seq);
+    if (idx_it == rid_index_.end()) {
+      // Duplicate reply for an already-resolved op: the epidemic normal
+      // case the client library exists to absorb (paper §V).
+      metrics_.counter("client.duplicate_replies").add();
+      continue;
+    }
+    const auto batch_it = pending_.find(idx_it->second);
+    ensure(batch_it != pending_.end(), "rid index points at a dead batch");
+    PendingBatch& batch = batch_it->second;
+    const std::size_t index =
+        static_cast<std::size_t>(reply.rid.seq - batch.base_seq);
+    ensure(index < batch.ops.size(), "reply seq outside its batch");
+
+    balancer_.observe_replica(reply_batch->replica, reply_batch->slice);
+    batch.resolved[index] = true;
+    rid_index_.erase(idx_it);
+    --batch.unresolved;
+
+    OpResult& result = batch.results[index];
+    result.attempts = batch.attempts;
+    result.latency = runtime_.now() - batch.started;
+    result.replica = reply_batch->replica;
+    switch (reply.status) {
+      case core::OpStatus::kOk:
+        result.ok = true;
+        result.version = reply.object.version;
+        if (reply.type == core::OpType::kGet) result.object = reply.object;
+        metrics_.counter(successes_counter(reply.type)).add();
+        break;
+      case core::OpStatus::kDeleted:
+        // Authoritative miss: a replica holds the key's tombstone. The op
+        // completes now (ok = false) instead of timing out. The reply
+        // object carries the tombstone's key/version (empty value).
+        result.ok = false;
+        result.deleted = true;
+        result.version = reply.object.version;
+        result.object = reply.object;
+        metrics_.counter("client.gets_deleted").add();
+        break;
+      case core::OpStatus::kSuperseded:
+        // Definitive rejection: the key's tombstone outranks this write's
+        // version; the store discarded it.
+        result.ok = false;
+        result.superseded = true;
+        result.version = reply.object.version;
+        metrics_.counter("client.puts_superseded").add();
+        break;
+    }
+    if (batch.unresolved == 0) {
+      complete(batch);
+      // `batch` is gone; later replies in this message hit the duplicate
+      // path above.
+    }
+  }
+}
+
+// ---- single-op convenience surface ------------------------------------------
+
+void Client::put(Key key, Payload value, Version version, PutCallback done) {
+  execute({core::Operation::put(std::move(key), version, std::move(value))},
+          [done = std::move(done)](const std::vector<OpResult>& results) {
+            if (!done) return;
+            const OpResult& r = results.front();
+            PutResult out;
+            out.ok = r.ok;
+            out.superseded = r.superseded;
+            out.key = r.key;
+            out.version = r.version;
+            out.replica = r.replica;
+            out.attempts = r.attempts;
+            out.latency = r.latency;
+            done(out);
+          });
+}
+
+Version Client::put_auto(Key key, Payload value, PutCallback done) {
+  const Version version = stamp_version(key);
+  put(std::move(key), std::move(value), version, std::move(done));
+  return version;
+}
+
+void Client::get(Key key, std::optional<Version> version, GetCallback done) {
+  execute({core::Operation::get(std::move(key), version)},
+          [done = std::move(done)](const std::vector<OpResult>& results) {
+            if (!done) return;
+            const OpResult& r = results.front();
+            GetResult out;
+            out.ok = r.ok;
+            out.deleted = r.deleted;
+            out.object = r.object;
+            out.replica = r.replica;
+            out.attempts = r.attempts;
+            out.latency = r.latency;
+            done(out);
+          });
+}
+
+void Client::del(Key key, Version version, DelCallback done) {
+  execute({core::Operation::del(std::move(key), version)},
+          [done = std::move(done)](const std::vector<OpResult>& results) {
+            if (!done) return;
+            const OpResult& r = results.front();
+            DelResult out;
+            out.ok = r.ok;
+            out.key = r.key;
+            out.version = r.version;
+            out.replica = r.replica;
+            out.attempts = r.attempts;
+            out.latency = r.latency;
+            done(out);
+          });
+}
+
+Version Client::del_auto(Key key, DelCallback done) {
+  // Stamped from the same per-key counter as put_auto, so the tombstone
+  // supersedes every version this client has written.
+  const Version version = stamp_version(key);
+  del(std::move(key), version, std::move(done));
+  return version;
 }
 
 }  // namespace dataflasks::client

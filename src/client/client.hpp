@@ -1,17 +1,26 @@
 // DataFlasks client library (paper §V): one component implements the
-// put/get API by contacting a node from the Load Balancer; the other deals
-// with reply messages — "it must know how to handle multiple replies for
-// the same request", which epidemic dissemination naturally produces, by
-// deduplicating on the request identifier.
+// operation API by contacting a node from the Load Balancer; the other
+// deals with reply messages — "it must know how to handle multiple replies
+// for the same request", which epidemic dissemination naturally produces,
+// by deduplicating on the request identifier.
 //
-// The client also stamps versions for puts (standing in for DataDroplets,
-// which the paper says totally orders operations before they reach
-// DataFlasks): a monotonic per-key counter.
+// The client speaks the versioned operation API: every request — a single
+// put, get or delete, or an explicit batch — is one OpEnvelope datagram,
+// and replicas answer with OpReplyBatch messages. Batches resolve per
+// operation; timeouts retry only the operations still unresolved.
+//
+// The client also stamps versions for puts and deletes (standing in for
+// DataDroplets, which the paper says totally orders operations before they
+// reach DataFlasks): a monotonic per-key counter.
+//
+// This is the callback core; client/session.hpp layers a futures-based
+// surface (Session::put/get/del/put_batch/get_many) on top of it.
 #pragma once
 
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "client/load_balancer.hpp"
 #include "common/metrics.hpp"
@@ -29,15 +38,37 @@ struct ClientOptions {
   /// When set, the client maps keys to slices itself (enables slice-aware
   /// load balancing). Must match the cluster's slice count; zero disables.
   std::uint32_t slice_count_hint = 0;
-  /// Hedged reads: when > 0, an unanswered get is re-sent to a *second*
-  /// contact after this delay (without consuming a retry attempt). Cuts
-  /// tail latency when the first contact is slow or dead, at the cost of
-  /// occasional duplicate work — which the reply dedup absorbs anyway.
+  /// Hedged reads: when > 0, a read-only request with unanswered gets is
+  /// re-sent to a *second* contact after this delay (without consuming a
+  /// retry attempt). Cuts tail latency when the first contact is slow or
+  /// dead, at the cost of occasional duplicate work — which the reply
+  /// dedup absorbs anyway.
   SimTime get_hedge_delay = 0;
+};
+
+/// Unified per-operation outcome for batch requests.
+struct OpResult {
+  bool ok = false;
+  core::OpType type = core::OpType::kGet;
+  /// Get only: the key is authoritatively deleted (a replica holds its
+  /// tombstone). `ok` is false; this is a definitive miss, not a timeout.
+  bool deleted = false;
+  /// Put only: the store discarded the write because the key's tombstone
+  /// outranks its version. `ok` is false; definitive, not a timeout.
+  bool superseded = false;
+  store::Object object;  ///< get hit: the full object
+  Key key;
+  Version version = 0;
+  NodeId replica;  ///< first replica that answered this op
+  std::uint32_t attempts = 0;
+  SimTime latency = 0;
 };
 
 struct PutResult {
   bool ok = false;
+  /// The write lost to the key's tombstone (deleted at a higher version):
+  /// a definitive rejection, not a timeout.
+  bool superseded = false;
   Key key;
   Version version = 0;
   NodeId replica;           ///< first acknowledging replica
@@ -47,7 +78,18 @@ struct PutResult {
 
 struct GetResult {
   bool ok = false;
+  /// Authoritative tombstone answer: the key was deleted (ok == false).
+  bool deleted = false;
   store::Object object;
+  NodeId replica;
+  std::uint32_t attempts = 0;
+  SimTime latency = 0;
+};
+
+struct DelResult {
+  bool ok = false;
+  Key key;
+  Version version = 0;
   NodeId replica;
   std::uint32_t attempts = 0;
   SimTime latency = 0;
@@ -57,6 +99,11 @@ class Client {
  public:
   using PutCallback = std::function<void(const PutResult&)>;
   using GetCallback = std::function<void(const GetResult&)>;
+  using DelCallback = std::function<void(const DelResult&)>;
+  /// Fires exactly once per execute(): when every op has resolved (served,
+  /// authoritatively deleted, or failed after the retry budget). Results
+  /// are in the submitted op order.
+  using BatchCallback = std::function<void(const std::vector<OpResult>&)>;
 
   Client(NodeId id, net::Transport& transport, runtime::Runtime& rt,
          LoadBalancer& balancer, Rng rng, ClientOptions options = {});
@@ -64,6 +111,10 @@ class Client {
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
+
+  /// Submits a batch of operations as one OpEnvelope (pipelining: N ops,
+  /// one round-trip). Ops may mix puts, gets and deletes across keys.
+  void execute(std::vector<core::Operation> ops, BatchCallback done);
 
   /// Writes `value` under `key` with an explicit version (upper layers that
   /// order operations themselves use this form). Payload converts
@@ -77,24 +128,32 @@ class Client {
   /// Reads `key`; `version == nullopt` asks for the latest.
   void get(Key key, std::optional<Version> version, GetCallback done);
 
+  /// Deletes `key` at an explicit version: replicas store a tombstone that
+  /// replicates like a write and supersedes every older version.
+  void del(Key key, Version version, DelCallback done);
+
+  /// Deletes with an auto-stamped version (above this client's last write).
+  Version del_auto(Key key, DelCallback done);
+
+  /// Next auto version for `key` (monotonic per key, disjoint across
+  /// clients). put_auto/del_auto use this; batch builders call it to stamp
+  /// each entry before packing the envelope.
+  [[nodiscard]] Version stamp_version(const Key& key);
+
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
-  [[nodiscard]] std::size_t inflight() const {
-    return pending_puts_.size() + pending_gets_.size();
-  }
+  /// Operations (not batches) currently awaiting resolution.
+  [[nodiscard]] std::size_t inflight() const { return rid_index_.size(); }
 
  private:
-  struct PendingPut {
-    core::PutRequest request;
-    PutCallback done;
-    std::uint32_t attempts = 0;
-    SimTime started = 0;
-    NodeId contact;
-    runtime::TimerHandle timer;
-  };
-  struct PendingGet {
-    core::GetRequest request;
-    GetCallback done;
+  struct PendingBatch {
+    std::vector<core::Operation> ops;
+    std::vector<OpResult> results;   ///< parallel to `ops`
+    std::vector<bool> resolved;      ///< parallel to `ops`
+    std::size_t unresolved = 0;
+    BatchCallback done;
+    std::uint64_t base_seq = 0;      ///< ops[i] has rid.seq == base_seq + i
+    bool read_only = true;           ///< all gets: eligible for hedging
     std::uint32_t attempts = 0;
     SimTime started = 0;
     NodeId contact;
@@ -103,12 +162,16 @@ class Client {
   };
 
   void dispatch(const net::Message& msg);
-  void send_put(PendingPut& pending);
-  void send_get(PendingGet& pending);
-  void on_put_timeout(RequestId rid);
-  void on_get_timeout(RequestId rid);
-  [[nodiscard]] std::optional<SliceId> slice_of(const Key& key) const;
-  [[nodiscard]] RequestId next_request_id();
+  void send_batch(PendingBatch& batch);
+  void send_envelopes(const PendingBatch& batch, NodeId contact);
+  void on_timeout(std::uint64_t base_seq);
+  void complete(PendingBatch& batch);
+  /// The unresolved ops re-encoded as one or more envelopes, split against
+  /// the per-datagram budget (an oversized frame would be dropped by UDP).
+  [[nodiscard]] std::vector<Payload> encode_unresolved(
+      const PendingBatch& batch) const;
+  [[nodiscard]] std::optional<SliceId> slice_hint(
+      const PendingBatch& batch) const;
 
   NodeId id_;
   net::Transport& transport_;
@@ -119,8 +182,10 @@ class Client {
   MetricsRegistry metrics_;
   std::uint64_t next_seq_ = 1;
   std::unordered_map<Key, Version> version_counters_;
-  std::unordered_map<RequestId, PendingPut> pending_puts_;
-  std::unordered_map<RequestId, PendingGet> pending_gets_;
+  /// Batches keyed by their base sequence number.
+  std::unordered_map<std::uint64_t, PendingBatch> pending_;
+  /// Every unresolved op's seq -> owning batch base_seq (reply routing).
+  std::unordered_map<std::uint64_t, std::uint64_t> rid_index_;
 };
 
 }  // namespace dataflasks::client

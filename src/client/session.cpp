@@ -1,0 +1,133 @@
+#include "client/session.hpp"
+
+namespace dataflasks::client {
+
+namespace {
+
+PutResult to_put_result(const OpResult& r) {
+  PutResult out;
+  out.ok = r.ok;
+  out.superseded = r.superseded;
+  out.key = r.key;
+  out.version = r.version;
+  out.replica = r.replica;
+  out.attempts = r.attempts;
+  out.latency = r.latency;
+  return out;
+}
+
+GetResult to_get_result(const OpResult& r) {
+  GetResult out;
+  out.ok = r.ok;
+  out.deleted = r.deleted;
+  out.object = r.object;
+  out.replica = r.replica;
+  out.attempts = r.attempts;
+  out.latency = r.latency;
+  return out;
+}
+
+}  // namespace
+
+Future<PutResult> Session::put(Key key, Payload value) {
+  Future<PutResult> future;
+  client_.put_auto(std::move(key), std::move(value),
+                   [future](const PutResult& r) mutable { future.fulfill(r); });
+  return future;
+}
+
+Future<PutResult> Session::put(Key key, Payload value, Version version) {
+  Future<PutResult> future;
+  client_.put(std::move(key), std::move(value), version,
+              [future](const PutResult& r) mutable { future.fulfill(r); });
+  return future;
+}
+
+Future<GetResult> Session::get(Key key, std::optional<Version> version) {
+  Future<GetResult> future;
+  client_.get(std::move(key), version,
+              [future](const GetResult& r) mutable { future.fulfill(r); });
+  return future;
+}
+
+Future<DelResult> Session::del(Key key) {
+  Future<DelResult> future;
+  client_.del_auto(std::move(key),
+                   [future](const DelResult& r) mutable { future.fulfill(r); });
+  return future;
+}
+
+Future<DelResult> Session::del(Key key, Version version) {
+  Future<DelResult> future;
+  client_.del(std::move(key), version,
+              [future](const DelResult& r) mutable { future.fulfill(r); });
+  return future;
+}
+
+Future<BatchPutResult> Session::put_batch(
+    std::vector<std::pair<Key, Payload>> entries) {
+  Future<BatchPutResult> future;
+  if (entries.empty()) {  // empty batch: trivially complete, nothing to send
+    future.fulfill(BatchPutResult{});
+    return future;
+  }
+  std::vector<core::Operation> ops;
+  ops.reserve(entries.size());
+  for (auto& [key, value] : entries) {
+    // Auto-stamp through the client's counter so batch writes and single
+    // writes share one version sequence per key.
+    const Version version = client_.stamp_version(key);
+    ops.push_back(
+        core::Operation::put(std::move(key), version, std::move(value)));
+  }
+  client_.execute(std::move(ops),
+                  [future](const std::vector<OpResult>& results) mutable {
+                    BatchPutResult out;
+                    out.puts.reserve(results.size());
+                    for (const OpResult& r : results) {
+                      out.puts.push_back(to_put_result(r));
+                      if (r.ok) ++out.ok_count;
+                    }
+                    future.fulfill(std::move(out));
+                  });
+  return future;
+}
+
+Future<std::vector<GetResult>> Session::get_many(std::vector<Key> keys) {
+  Future<std::vector<GetResult>> future;
+  if (keys.empty()) {
+    future.fulfill({});
+    return future;
+  }
+  std::vector<core::Operation> ops;
+  ops.reserve(keys.size());
+  for (Key& key : keys) {
+    ops.push_back(core::Operation::get(std::move(key)));
+  }
+  client_.execute(std::move(ops),
+                  [future](const std::vector<OpResult>& results) mutable {
+                    std::vector<GetResult> out;
+                    out.reserve(results.size());
+                    for (const OpResult& r : results) {
+                      out.push_back(to_get_result(r));
+                    }
+                    future.fulfill(std::move(out));
+                  });
+  return future;
+}
+
+Future<std::vector<OpResult>> Session::execute(
+    std::vector<core::Operation> ops) {
+  Future<std::vector<OpResult>> future;
+  if (ops.empty()) {
+    future.fulfill({});
+    return future;
+  }
+  client_.execute(std::move(ops),
+                  [future](const std::vector<OpResult>& results) mutable {
+                    future.fulfill(results);
+                  });
+  return future;
+}
+
+}  // namespace dataflasks::client

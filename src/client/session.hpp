@@ -1,0 +1,121 @@
+// Futures-based client surface over the callback core: a Session wraps a
+// Client and returns lightweight single-threaded futures instead of taking
+// callbacks. "Lightweight" means: no threads, no locks, no blocking —
+// a Future is a shared completion slot filled by the client's reply
+// dispatch on the runtime loop; consumers either poll ready() between
+// runtime steps or chain continuations with then() (which also fire on the
+// runtime loop). This is the surface new code should use; the callback
+// core remains underneath for closed-loop harnesses.
+//
+//   Session s(client);
+//   auto fut = s.put("k", value);          // auto-stamped version
+//   auto got = s.get("k");
+//   auto gone = s.del("k");
+//   auto batch = s.put_batch({{"a", va}, {"b", vb}});   // one envelope
+//   auto many = s.get_many({"a", "b"});                  // one envelope
+//   fut.then([](const PutResult& r) { ... });
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "client/client.hpp"
+
+namespace dataflasks::client {
+
+/// Single-threaded future: a shared slot the Session's adapter callback
+/// fills exactly once. Copyable (shares the slot); safe to outlive the
+/// Session (completion callbacks hold the slot alive, not the Session).
+template <typename T>
+class Future {
+ public:
+  Future() : state_(std::make_shared<State>()) {}
+
+  [[nodiscard]] bool ready() const { return state_->value.has_value(); }
+
+  /// The completed value. ensure()-fails when not ready; check ready() or
+  /// use then().
+  [[nodiscard]] const T& value() const {
+    ensure(state_->value.has_value(), "Future::value before completion");
+    return *state_->value;
+  }
+
+  /// Chains a continuation: runs immediately if already completed, else on
+  /// the runtime loop when the reply arrives.
+  void then(std::function<void(const T&)> fn) {
+    if (state_->value.has_value()) {
+      fn(*state_->value);
+      return;
+    }
+    state_->waiters.push_back(std::move(fn));
+  }
+
+  /// Completes the future (Session internal; exposed so custom adapters
+  /// can bridge other callback APIs).
+  void fulfill(T value) {
+    ensure(!state_->value.has_value(), "Future fulfilled twice");
+    state_->value = std::move(value);
+    // Waiters may add more waiters; a plain index walk handles that.
+    for (std::size_t i = 0; i < state_->waiters.size(); ++i) {
+      auto fn = std::move(state_->waiters[i]);
+      fn(*state_->value);
+    }
+    state_->waiters.clear();
+  }
+
+ private:
+  struct State {
+    std::optional<T> value;
+    std::vector<std::function<void(const T&)>> waiters;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Outcome of a homogeneous put batch.
+struct BatchPutResult {
+  std::size_t ok_count = 0;
+  std::vector<PutResult> puts;  ///< submitted order
+  [[nodiscard]] bool all_ok() const { return ok_count == puts.size(); }
+};
+
+class Session {
+ public:
+  explicit Session(Client& client) : client_(client) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Auto-stamped write (version from the client's per-key counter).
+  Future<PutResult> put(Key key, Payload value);
+  /// Explicitly versioned write (upper layers that order operations).
+  Future<PutResult> put(Key key, Payload value, Version version);
+
+  Future<GetResult> get(Key key,
+                        std::optional<Version> version = std::nullopt);
+
+  /// Auto-stamped delete: replicas store a tombstone superseding every
+  /// older version; the future resolves on the first replica ack.
+  Future<DelResult> del(Key key);
+  Future<DelResult> del(Key key, Version version);
+
+  /// Pipelined writes: every entry auto-stamped and packed into one
+  /// OpEnvelope (one round-trip for the whole batch).
+  Future<BatchPutResult> put_batch(
+      std::vector<std::pair<Key, Payload>> entries);
+
+  /// Pipelined reads: one envelope, results in key order. Keys that are
+  /// deleted resolve with deleted=true; keys nobody holds time out as
+  /// individual failures without blocking the rest of the batch.
+  Future<std::vector<GetResult>> get_many(std::vector<Key> keys);
+
+  /// Raw batch: mix puts, gets and deletes freely.
+  Future<std::vector<OpResult>> execute(std::vector<core::Operation> ops);
+
+  [[nodiscard]] Client& client() { return client_; }
+
+ private:
+  Client& client_;
+};
+
+}  // namespace dataflasks::client

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +13,12 @@ namespace dataflasks {
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 [[nodiscard]] const char* to_string(LogLevel level);
+
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off"
+/// (case-insensitive). nullopt on anything else — what --log-level flags
+/// feed through.
+[[nodiscard]] std::optional<LogLevel> log_level_from_string(
+    const std::string& name);
 
 /// Global minimum level; tests set kOff or kError to keep output clean.
 void set_global_log_level(LogLevel level);

@@ -20,6 +20,7 @@ struct Error {
     kUnavailable,
     kInvalidArgument,
     kConflict,
+    kSuperseded,  ///< accepted but discarded: a tombstone outranks it
   };
 
   Code code = Code::kInvalidArgument;
@@ -46,6 +47,9 @@ struct Error {
   [[nodiscard]] static Error conflict(std::string msg) {
     return {Code::kConflict, std::move(msg)};
   }
+  [[nodiscard]] static Error superseded(std::string msg) {
+    return {Code::kSuperseded, std::move(msg)};
+  }
 };
 
 [[nodiscard]] constexpr const char* to_string(Error::Code c) {
@@ -57,6 +61,7 @@ struct Error {
     case Error::Code::kUnavailable: return "unavailable";
     case Error::Code::kInvalidArgument: return "invalid_argument";
     case Error::Code::kConflict: return "conflict";
+    case Error::Code::kSuperseded: return "superseded";
   }
   return "unknown";
 }

@@ -75,6 +75,14 @@ void AntiEntropy::handle_digest(const net::Message& msg,
   for (const store::DigestEntry& entry : digest.entries) {
     if (key_slice_(entry.key) != mine) continue;
     if (!store_.contains(entry.key, entry.version)) {
+      // Tombstone-aware: don't pull versions our own tombstone supersedes —
+      // the partner's stale copy of a deleted value would be discarded on
+      // arrival anyway (and the partner heals by pulling our tombstone).
+      if (const Version tomb = store_.tombstone_version(entry.key);
+          tomb != 0 && entry.version <= tomb) {
+        metrics_.counter("ae.pulls_skipped_tombstone").add();
+        continue;
+      }
       pull.entries.push_back(entry);
       if (pull.entries.size() >= options_.push_cap) break;
     }

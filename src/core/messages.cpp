@@ -27,28 +27,129 @@ slicing::SliceConfig decode_config(Reader& r) {
   return config;
 }
 
+// ---- Operation / RoutedOp codec --------------------------------------------
+
+void encode_op(Writer& w, const Operation& op) {
+  w.u8(static_cast<std::uint8_t>(op.type));
+  w.str(op.key);
+  switch (op.type) {
+    case OpType::kPut:
+      w.u64(op.version.value_or(0));
+      w.bytes(op.value);
+      break;
+    case OpType::kGet:
+      encode_version_opt(w, op.version);
+      break;
+    case OpType::kDelete:
+      w.u64(op.version.value_or(0));
+      break;
+  }
+}
+
+/// Returns nullopt (and fails the reader) on an unknown op type.
+std::optional<Operation> decode_op(Reader& r) {
+  Operation op;
+  const std::uint8_t type = r.u8();
+  op.key = r.str();
+  switch (type) {
+    case static_cast<std::uint8_t>(OpType::kPut):
+      op.type = OpType::kPut;
+      op.version = r.u64();
+      op.value = r.payload();
+      break;
+    case static_cast<std::uint8_t>(OpType::kGet):
+      op.type = OpType::kGet;
+      op.version = decode_version_opt(r);
+      break;
+    case static_cast<std::uint8_t>(OpType::kDelete):
+      op.type = OpType::kDelete;
+      op.version = r.u64();
+      break;
+    default:
+      return std::nullopt;
+  }
+  return op;
+}
+
+void encode_routed(Writer& w, const RoutedOp& routed) {
+  w.request_id(routed.rid);
+  encode_op(w, routed.op);
+}
+
+/// Decodes a RoutedOp list shared by envelopes and spray payloads. Sets the
+/// reader failed on any malformed element.
+std::optional<std::vector<RoutedOp>> decode_routed_ops(Reader& r) {
+  bool bad_op = false;
+  auto ops = r.vec<RoutedOp>([&r, &bad_op]() {
+    RoutedOp routed;
+    routed.rid = r.request_id();
+    auto op = decode_op(r);
+    if (!op) {
+      bad_op = true;
+      return RoutedOp{};
+    }
+    routed.op = std::move(*op);
+    return routed;
+  });
+  if (bad_op || !r.ok()) return std::nullopt;
+  return ops;
+}
+
+std::size_t encoded_size_routed(const std::vector<RoutedOp>& ops) {
+  std::size_t size = sizeof(std::uint32_t);
+  for (const RoutedOp& routed : ops) size += encoded_size(routed);
+  return size;
+}
+
 }  // namespace
 
-// ---- inner payloads ---------------------------------------------------------
+std::size_t encoded_size(const Operation& op) {
+  // type + key + per-type version field + (put only) value block.
+  std::size_t size = 1 + sizeof(std::uint32_t) + op.key.size();
+  switch (op.type) {
+    case OpType::kPut:
+      size += sizeof(Version) + sizeof(std::uint32_t) + op.value.size();
+      break;
+    case OpType::kGet:
+      size += 1 + sizeof(Version);  // optional<Version>
+      break;
+    case OpType::kDelete:
+      size += sizeof(Version);
+      break;
+  }
+  return size;
+}
 
-Payload encode_inner(const PutRequest& req) {
-  Writer w(1 + 2 * sizeof(std::uint64_t) + sizeof(std::uint64_t) +
-           store::encoded_size(req.object));
-  w.u8(static_cast<std::uint8_t>(InnerKind::kPut));
-  w.request_id(req.rid);
-  w.node_id(req.client);
-  encode(w, req.object);
+std::size_t encoded_size(const RoutedOp& routed) {
+  return 2 * sizeof(std::uint64_t) + encoded_size(routed.op);
+}
+
+// ---- envelope ---------------------------------------------------------------
+
+Payload encode(const OpEnvelope& msg) {
+  Writer w(1 + encoded_size_routed(msg.ops));
+  w.u8(msg.protocol);
+  w.vec(msg.ops, [&w](const RoutedOp& routed) { encode_routed(w, routed); });
   return w.take_payload();
 }
 
-Payload encode_inner(const GetRequest& req) {
-  Writer w(1 + 3 * sizeof(std::uint64_t) + sizeof(std::uint32_t) +
-           req.key.size() + 1 + sizeof(std::uint64_t));
-  w.u8(static_cast<std::uint8_t>(InnerKind::kGet));
-  w.request_id(req.rid);
-  w.node_id(req.client);
-  w.str(req.key);
-  encode_version_opt(w, req.version);
+std::optional<OpEnvelope> decode_op_envelope(const Payload& payload) {
+  Reader r(payload);
+  OpEnvelope msg;
+  msg.protocol = r.u8();
+  if (!r.ok() || msg.protocol != kOpProtocolVersion) return std::nullopt;
+  auto ops = decode_routed_ops(r);
+  if (!ops || !r.finish().ok()) return std::nullopt;
+  msg.ops = std::move(*ops);
+  return msg;
+}
+
+// ---- inner payloads ---------------------------------------------------------
+
+Payload encode_inner(const OpsRequest& req) {
+  Writer w(1 + encoded_size_routed(req.ops));
+  w.u8(static_cast<std::uint8_t>(InnerKind::kOps));
+  w.vec(req.ops, [&w](const RoutedOp& routed) { encode_routed(w, routed); });
   return w.take_payload();
 }
 
@@ -62,12 +163,23 @@ Payload encode_inner(const HandoffRequest& req) {
 std::optional<InnerKind> peek_inner_kind(const Payload& payload) {
   if (payload.empty()) return std::nullopt;
   switch (payload.front()) {
-    case static_cast<std::uint8_t>(InnerKind::kPut): return InnerKind::kPut;
-    case static_cast<std::uint8_t>(InnerKind::kGet): return InnerKind::kGet;
+    case static_cast<std::uint8_t>(InnerKind::kOps): return InnerKind::kOps;
     case static_cast<std::uint8_t>(InnerKind::kHandoff):
       return InnerKind::kHandoff;
     default: return std::nullopt;
   }
+}
+
+std::optional<OpsRequest> decode_ops(const Payload& payload) {
+  Reader r(payload);
+  if (r.u8() != static_cast<std::uint8_t>(InnerKind::kOps)) {
+    return std::nullopt;
+  }
+  auto ops = decode_routed_ops(r);
+  if (!ops || !r.finish().ok()) return std::nullopt;
+  OpsRequest req;
+  req.ops = std::move(*ops);
+  return req;
 }
 
 std::optional<HandoffRequest> decode_handoff(const Payload& payload) {
@@ -81,87 +193,73 @@ std::optional<HandoffRequest> decode_handoff(const Payload& payload) {
   return req;
 }
 
-std::optional<PutRequest> decode_put(const Payload& payload) {
-  Reader r(payload);
-  if (r.u8() != static_cast<std::uint8_t>(InnerKind::kPut)) return std::nullopt;
-  PutRequest req;
-  req.rid = r.request_id();
-  req.client = r.node_id();
-  req.object = store::decode_object(r);
-  if (!r.finish().ok()) return std::nullopt;
-  return req;
+// ---- reply batch ------------------------------------------------------------
+
+std::size_t encoded_size(const OpReply& reply) {
+  // rid + type + status + object.
+  return 2 * sizeof(std::uint64_t) + 2 + store::encoded_size(reply.object);
 }
 
-std::optional<GetRequest> decode_get(const Payload& payload) {
-  Reader r(payload);
-  if (r.u8() != static_cast<std::uint8_t>(InnerKind::kGet)) return std::nullopt;
-  GetRequest req;
-  req.rid = r.request_id();
-  req.client = r.node_id();
-  req.key = r.str();
-  req.version = decode_version_opt(r);
-  if (!r.finish().ok()) return std::nullopt;
-  return req;
-}
-
-// ---- direct messages --------------------------------------------------------
-
-Payload encode(const PutAck& msg) {
-  Writer w(3 * sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t) +
-           msg.key.size() + sizeof(std::uint64_t));
-  w.request_id(msg.rid);
+Payload encode(const OpReplyBatch& msg) {
+  std::size_t size =
+      sizeof(std::uint64_t) + sizeof(std::uint32_t) + sizeof(std::uint32_t);
+  for (const OpReply& reply : msg.replies) {
+    size += encoded_size(reply);
+  }
+  Writer w(size);
   w.node_id(msg.replica);
   w.u32(msg.slice);
-  w.str(msg.key);
-  w.u64(msg.version);
+  w.vec(msg.replies, [&w](const OpReply& reply) {
+    w.request_id(reply.rid);
+    w.u8(static_cast<std::uint8_t>(reply.type));
+    w.u8(static_cast<std::uint8_t>(reply.status));
+    store::encode(w, reply.object);
+  });
   return w.take_payload();
 }
 
-std::optional<PutAck> decode_put_ack(const Payload& payload) {
+std::optional<OpReplyBatch> decode_op_reply_batch(const Payload& payload) {
   Reader r(payload);
-  PutAck msg;
-  msg.rid = r.request_id();
+  OpReplyBatch msg;
   msg.replica = r.node_id();
   msg.slice = r.u32();
-  msg.key = r.str();
-  msg.version = r.u64();
-  if (!r.finish().ok()) return std::nullopt;
+  bool bad = false;
+  msg.replies = r.vec<OpReply>([&r, &bad]() {
+    OpReply reply;
+    reply.rid = r.request_id();
+    const std::uint8_t type = r.u8();
+    const std::uint8_t status = r.u8();
+    if (type < static_cast<std::uint8_t>(OpType::kPut) ||
+        type > static_cast<std::uint8_t>(OpType::kDelete) ||
+        status < static_cast<std::uint8_t>(OpStatus::kOk) ||
+        status > static_cast<std::uint8_t>(OpStatus::kSuperseded)) {
+      bad = true;
+      return reply;
+    }
+    reply.type = static_cast<OpType>(type);
+    reply.status = static_cast<OpStatus>(status);
+    reply.object = store::decode_object(r);
+    return reply;
+  });
+  if (bad || !r.finish().ok()) return std::nullopt;
   return msg;
 }
 
-Payload encode(const GetReply& msg) {
-  Writer w(3 * sizeof(std::uint64_t) + sizeof(std::uint32_t) + 1 +
-           store::encoded_size(msg.object));
-  w.request_id(msg.rid);
-  w.node_id(msg.replica);
-  w.u32(msg.slice);
-  w.boolean(msg.found);
-  encode(w, msg.object);
-  return w.take_payload();
-}
-
-std::optional<GetReply> decode_get_reply(const Payload& payload) {
-  Reader r(payload);
-  GetReply msg;
-  msg.rid = r.request_id();
-  msg.replica = r.node_id();
-  msg.slice = r.u32();
-  msg.found = r.boolean();
-  msg.object = store::decode_object(r);
-  if (!r.finish().ok()) return std::nullopt;
-  return msg;
-}
+// ---- replication push -------------------------------------------------------
 
 Payload encode(const ReplicatePush& msg) {
-  Writer w(store::encoded_size(msg.object));
-  encode(w, msg.object);
+  std::size_t size = sizeof(std::uint32_t);
+  for (const store::Object& o : msg.objects) size += store::encoded_size(o);
+  Writer w(size);
+  w.vec(msg.objects, [&w](const store::Object& o) { store::encode(w, o); });
   return w.take_payload();
 }
 
 std::optional<ReplicatePush> decode_replicate_push(const Payload& payload) {
   Reader r(payload);
   ReplicatePush msg;
-  msg.object = store::decode_object(r);
+  msg.objects =
+      r.vec<store::Object>([&r]() { return store::decode_object(r); });
   if (!r.finish().ok()) return std::nullopt;
   return msg;
 }

@@ -1,6 +1,15 @@
-// DataFlasks protocol messages: client requests, replica traffic,
-// anti-entropy and state transfer, plus slice advertisements. Each struct
-// has an explicit codec; decoders return nullopt on malformed input.
+// DataFlasks protocol messages: the versioned client operation API,
+// replica traffic, anti-entropy and state transfer, plus slice
+// advertisements. Each struct has an explicit codec; decoders return
+// nullopt on malformed input.
+//
+// Client <-> node surface (the versioned operation API): a client packs up
+// to a datagram's worth of operations into one OpEnvelope (protocol
+// version byte + N routed ops); nodes decode the envelope, group the ops
+// by target slice, execute or spray each group, and answer with
+// OpReplyBatch messages carrying one entry per served operation. A single
+// put/get/delete is just an envelope of one — there is no separate
+// single-op wire path.
 #pragma once
 
 #include <cstdint>
@@ -16,10 +25,8 @@ namespace dataflasks::core {
 
 // ---- message type tags ----------------------------------------------------
 // Request-category traffic (counted by the paper's figures):
-constexpr std::uint16_t kClientPut = net::kRequestTypeBase + 8;
-constexpr std::uint16_t kClientGet = net::kRequestTypeBase + 9;
-constexpr std::uint16_t kPutAck = net::kRequestTypeBase + 10;
-constexpr std::uint16_t kGetReply = net::kRequestTypeBase + 11;
+constexpr std::uint16_t kOpEnvelope = net::kRequestTypeBase + 8;
+constexpr std::uint16_t kOpReplyBatch = net::kRequestTypeBase + 9;
 constexpr std::uint16_t kReplicatePush = net::kRequestTypeBase + 12;
 // Maintenance traffic:
 constexpr std::uint16_t kSliceAdvert = net::kSlicingTypeBase + 4;
@@ -29,25 +36,91 @@ constexpr std::uint16_t kAePush = net::kAntiEntropyTypeBase + 2;
 constexpr std::uint16_t kStRequest = net::kAntiEntropyTypeBase + 3;
 constexpr std::uint16_t kStReply = net::kAntiEntropyTypeBase + 4;
 
-// ---- inner payloads carried by the spray router ----------------------------
+// ---- the operation variant -------------------------------------------------
 
-enum class InnerKind : std::uint8_t { kPut = 1, kGet = 2, kHandoff = 3 };
+/// Wire protocol version of the operation API. Decoders reject envelopes
+/// from a different version instead of guessing at their layout.
+constexpr std::uint8_t kOpProtocolVersion = 1;
 
-/// A write travelling toward its slice. Carries the full object plus enough
-/// routing state for any slice member to acknowledge the client directly.
-struct PutRequest {
-  RequestId rid;
-  NodeId client;
-  store::Object object;
-};
+enum class OpType : std::uint8_t { kPut = 1, kGet = 2, kDelete = 3 };
 
-/// A read travelling toward its slice. `version == nullopt` asks for the
-/// latest version the replica knows.
-struct GetRequest {
-  RequestId rid;
-  NodeId client;
+/// One client operation. `version` is the write stamp for put/delete and
+/// the optional requested version for get (nullopt = latest). `value` is
+/// put-only (shared payload, zero-copy through encode/decode).
+struct Operation {
+  OpType type = OpType::kGet;
   Key key;
   std::optional<Version> version;
+  Payload value;
+
+  [[nodiscard]] static Operation put(Key key, Version version, Payload value) {
+    return Operation{OpType::kPut, std::move(key), version, std::move(value)};
+  }
+  [[nodiscard]] static Operation get(Key key,
+                                     std::optional<Version> version =
+                                         std::nullopt) {
+    return Operation{OpType::kGet, std::move(key), version, {}};
+  }
+  [[nodiscard]] static Operation del(Key key, Version version) {
+    return Operation{OpType::kDelete, std::move(key), version, {}};
+  }
+};
+
+/// An operation with its request identity, as routed through the system.
+/// rid.client doubles as the issuing client's NodeId — replies go there.
+struct RoutedOp {
+  RequestId rid;
+  Operation op;
+};
+
+/// Exact wire sizes (senders use these to keep batched messages under the
+/// one-datagram transport ceiling by splitting, instead of having the UDP
+/// layer silently drop an oversized frame).
+[[nodiscard]] std::size_t encoded_size(const Operation& op);
+[[nodiscard]] std::size_t encoded_size(const RoutedOp& routed);
+
+/// Per-message payload budget batched senders chunk against: safely under
+/// net::kMaxFramePayload (~60 kB) with headroom for envelope/spray/frame
+/// framing around the op list.
+constexpr std::size_t kBatchBytesBudget = 48 * 1024;
+
+/// Splits `items` into budget-sized chunks: `size_of(item)` gives each
+/// element's encoded size, `flush(chunk)` is called once per non-empty
+/// chunk (elements are moved in). An element alone over the budget still
+/// ships as its own chunk — the transport's hard cap decides its fate.
+template <typename T, typename SizeFn, typename FlushFn>
+void chunk_by_budget(std::vector<T>& items, SizeFn&& size_of,
+                     FlushFn&& flush) {
+  std::vector<T> chunk;
+  std::size_t chunk_bytes = 0;
+  for (T& item : items) {
+    const std::size_t item_bytes = size_of(item);
+    if (!chunk.empty() && chunk_bytes + item_bytes > kBatchBytesBudget) {
+      flush(chunk);
+      chunk.clear();
+      chunk_bytes = 0;
+    }
+    chunk_bytes += item_bytes;
+    chunk.push_back(std::move(item));
+  }
+  if (!chunk.empty()) flush(chunk);
+}
+
+/// Client -> contact node: a batch of operations in one datagram.
+struct OpEnvelope {
+  std::uint8_t protocol = kOpProtocolVersion;
+  std::vector<RoutedOp> ops;
+};
+
+// ---- inner payloads carried by the spray router ----------------------------
+
+enum class InnerKind : std::uint8_t { kOps = 1, kHandoff = 3 };
+
+/// Operations travelling toward one slice: the contact node regroups an
+/// envelope's ops by target slice and sprays each group as a unit, so a
+/// batch costs one epidemic dissemination instead of N.
+struct OpsRequest {
+  std::vector<RoutedOp> ops;
 };
 
 /// An object being re-homed to its slice without a waiting client: hinted
@@ -58,48 +131,61 @@ struct HandoffRequest {
   store::Object object;
 };
 
-[[nodiscard]] Payload encode_inner(const PutRequest& req);
-[[nodiscard]] Payload encode_inner(const GetRequest& req);
+[[nodiscard]] Payload encode_inner(const OpsRequest& req);
 [[nodiscard]] Payload encode_inner(const HandoffRequest& req);
 [[nodiscard]] std::optional<InnerKind> peek_inner_kind(const Payload& payload);
-[[nodiscard]] std::optional<PutRequest> decode_put(const Payload& payload);
-[[nodiscard]] std::optional<GetRequest> decode_get(const Payload& payload);
+[[nodiscard]] std::optional<OpsRequest> decode_ops(const Payload& payload);
 [[nodiscard]] std::optional<HandoffRequest> decode_handoff(
     const Payload& payload);
 
-// ---- direct (unicast) messages ---------------------------------------------
+// ---- envelope / reply (unicast) ---------------------------------------------
 
-/// Replica -> client: the object was stored. Carries the replica's slice so
-/// slice-aware load balancers can learn the mapping (paper §VII).
-struct PutAck {
-  RequestId rid;
-  NodeId replica;
-  SliceId slice = 0;
-  Key key;
-  Version version = 0;
+[[nodiscard]] Payload encode(const OpEnvelope& msg);
+[[nodiscard]] std::optional<OpEnvelope> decode_op_envelope(
+    const Payload& payload);
+
+/// Per-operation outcome carried in a reply batch.
+enum class OpStatus : std::uint8_t {
+  kOk = 1,          ///< put/delete stored; get served (object attached)
+  kDeleted = 2,     ///< get: the key is authoritatively deleted (tombstone)
+  kSuperseded = 3,  ///< put: discarded — outranked by the key's tombstone
 };
 
-/// Replica -> client: read result. `found == false` is an authoritative miss
-/// from a replica of the key's slice (the key/version is not stored there).
-struct GetReply {
+struct OpReply {
   RequestId rid;
-  NodeId replica;
-  SliceId slice = 0;
-  bool found = false;
+  OpType type = OpType::kGet;
+  OpStatus status = OpStatus::kOk;
+  /// Get hit: the full object. Put/delete acks, deleted-gets and
+  /// superseded-puts: key and version with an empty value.
   store::Object object;
 };
 
-/// Immediate redundancy push: the delivering replica copies a fresh write to
-/// a few slice-mates without waiting for anti-entropy.
+[[nodiscard]] std::size_t encoded_size(const OpReply& reply);
+
+/// Replica -> client: every operation this replica served out of one
+/// delivered batch (a single datagram regardless of batch size). Carries
+/// the replica's slice so slice-aware load balancers learn the mapping
+/// (paper §VII). A replica that cannot serve some get keeps that op
+/// spreading inside the slice instead of answering it; the client absorbs
+/// the resulting duplicate replies by request id (paper §V).
+struct OpReplyBatch {
+  NodeId replica;
+  SliceId slice = 0;
+  std::vector<OpReply> replies;
+};
+
+[[nodiscard]] Payload encode(const OpReplyBatch& msg);
+[[nodiscard]] std::optional<OpReplyBatch> decode_op_reply_batch(
+    const Payload& payload);
+
+/// Immediate redundancy push: the delivering replica copies fresh writes
+/// (and tombstones) to a few slice-mates without waiting for anti-entropy.
+/// One message carries every object stored out of a delivered batch.
 struct ReplicatePush {
-  store::Object object;
+  std::vector<store::Object> objects;
 };
 
-[[nodiscard]] Payload encode(const PutAck& msg);
-[[nodiscard]] Payload encode(const GetReply& msg);
 [[nodiscard]] Payload encode(const ReplicatePush& msg);
-[[nodiscard]] std::optional<PutAck> decode_put_ack(const Payload& payload);
-[[nodiscard]] std::optional<GetReply> decode_get_reply(const Payload& payload);
 [[nodiscard]] std::optional<ReplicatePush> decode_replicate_push(
     const Payload& payload);
 
@@ -121,7 +207,8 @@ struct SliceAdvert {
 
 /// Digest exchange: `is_reply` distinguishes the answer leg (a reply must
 /// not trigger another reply). Entries may be a random sample when the
-/// store exceeds the digest cap.
+/// store exceeds the digest cap. Tombstones appear as ordinary entries, so
+/// a replica that missed a delete pulls the tombstone like a missed write.
 struct AeDigest {
   bool is_reply = false;
   std::vector<store::DigestEntry> entries;

@@ -56,7 +56,7 @@ void Node::build_components() {
 
   requests_ = std::make_unique<RequestHandler>(
       id_, transport_, *pss_, *slices_, *store_, boot.fork(4),
-      options_.request, metrics_);
+      [this]() { return runtime_.now(); }, options_.request, metrics_);
 
   anti_entropy_ = std::make_unique<AntiEntropy>(
       id_, transport_, *store_, boot.fork(5), options_.anti_entropy,
@@ -139,6 +139,17 @@ void Node::start_timers() {
     timers_.push_back(runtime_.schedule_periodic(
         jitter(options_.handoff_period), options_.handoff_period,
         [this]() { requests_->tick_maintenance(); }));
+  }
+  if (options_.tombstone_grace > 0) {
+    timers_.push_back(runtime_.schedule_periodic(
+        jitter(options_.tombstone_gc_period), options_.tombstone_gc_period,
+        [this]() {
+          const std::size_t dropped = store_->gc_tombstones(
+              runtime_.now(), options_.tombstone_grace);
+          if (dropped > 0) {
+            metrics_.counter("node.tombstones_gced").add(dropped);
+          }
+        }));
   }
   if (size_estimator_ != nullptr) {
     timers_.push_back(runtime_.schedule_periodic(

@@ -59,6 +59,13 @@ struct NodeOptions {
   /// maintenance; see RequestHandlerOptions::hinted_handoff).
   SimTime handoff_period = 3 * kSeconds;
 
+  /// Tombstone lifetime: a deleted key's tombstone is garbage-collected
+  /// once older than this. Must comfortably exceed the anti-entropy
+  /// convergence window, or a lagging replica can resurrect the value.
+  /// Zero disables GC (tombstones are kept forever).
+  SimTime tombstone_grace = 10 * 60 * kSeconds;
+  SimTime tombstone_gc_period = 30 * kSeconds;
+
   /// Optional epidemic system-size estimation (extrema propagation): gives
   /// every node ln(N-hat) for fanout sizing without global knowledge.
   bool size_estimation = false;

@@ -1,12 +1,14 @@
 #include "core/request_handler.hpp"
 
+#include <map>
+
 #include "common/hash.hpp"
 
 namespace dataflasks::core {
 
 RequestHandler::RequestHandler(NodeId self, net::Transport& transport,
                                pss::PeerSampling& pss, SliceManager& slices,
-                               store::Store& store, Rng rng,
+                               store::Store& store, Rng rng, ClockFn clock,
                                RequestHandlerOptions options,
                                MetricsRegistry& metrics)
     : self_(self),
@@ -14,8 +16,10 @@ RequestHandler::RequestHandler(NodeId self, net::Transport& transport,
       slices_(slices),
       store_(store),
       rng_(rng),
+      clock_(std::move(clock)),
       options_(options),
       metrics_(metrics) {
+  ensure(clock_ != nullptr, "RequestHandler: clock required");
   dissemination::SprayOptions spray = options_.spray;
   spray.max_hops = dissemination::adaptive_ttl(
       spray.global_fanout, slices_.config().slice_count, options_.ttl_beta);
@@ -45,32 +49,18 @@ bool RequestHandler::handle(const net::Message& msg) {
   if (router_->handle(msg)) return true;
 
   switch (msg.type) {
-    case kClientPut: {
-      const auto put = decode_put(msg.payload);
-      if (!put) return true;  // malformed: drop
-      metrics_.counter("rh.client_puts").add();
-      // The client's inner encoding is sprayed as-is: share its buffer.
-      spray_or_deliver(slices_.key_slice(put->object.key), msg.payload);
-      return true;
-    }
-    case kClientGet: {
-      const auto get = decode_get(msg.payload);
-      if (!get) return true;
-      metrics_.counter("rh.client_gets").add();
-      spray_or_deliver(slices_.key_slice(get->key), msg.payload);
+    case kOpEnvelope: {
+      const auto envelope = decode_op_envelope(msg.payload);
+      if (!envelope) return true;  // malformed or wrong protocol: drop
+      metrics_.counter("rh.envelopes").add();
+      handle_envelope(*envelope);
       return true;
     }
     case kReplicatePush: {
       const auto push = decode_replicate_push(msg.payload);
       if (!push) return true;
-      if (slices_.key_slice(push->object.key) == slices_.slice()) {
-        if (store_.put(push->object).ok()) {
-          metrics_.counter("rh.pushes_stored").add();
-        }
-      } else if (options_.hinted_handoff) {
-        // Misrouted copy (stale view or slice change mid-flight): keep it
-        // and re-home it to the right slice on the next maintenance tick.
-        buffer_handoff(push->object);
+      for (const store::Object& object : push->objects) {
+        store_replicated(object);
       }
       return true;
     }
@@ -79,26 +69,52 @@ bool RequestHandler::handle(const net::Message& msg) {
   }
 }
 
+void RequestHandler::handle_envelope(const OpEnvelope& envelope) {
+  // Regroup by target slice: every op bound for the same slice travels as
+  // one spray unit (ordered map keeps spray emission deterministic). A
+  // group over the per-datagram budget is split — the UDP transport drops
+  // oversized frames, so the split must happen here.
+  std::map<SliceId, OpsRequest> by_slice;
+  for (const RoutedOp& routed : envelope.ops) {
+    by_slice[slices_.key_slice(routed.op.key)].ops.push_back(routed);
+  }
+  for (auto& [slice, group] : by_slice) {
+    metrics_.counter("rh.client_ops").add(group.ops.size());
+    chunk_by_budget(
+        group.ops, [](const RoutedOp& routed) { return encoded_size(routed); },
+        [this, slice = slice](std::vector<RoutedOp>& chunk) {
+          spray_or_deliver(slice, encode_inner(OpsRequest{std::move(chunk)}));
+        });
+  }
+}
+
+void RequestHandler::store_replicated(store::Object object) {
+  if (slices_.key_slice(object.key) == slices_.slice()) {
+    if (store_.put(object).ok()) {
+      metrics_.counter("rh.pushes_stored").add();
+    }
+  } else if (options_.hinted_handoff) {
+    // Misrouted copy (stale view or slice change mid-flight): keep it
+    // and re-home it to the right slice on the next maintenance tick.
+    buffer_handoff(std::move(object));
+  }
+}
+
 void RequestHandler::spray_or_deliver(SliceId target, Payload inner) {
   router_->originate(target, std::move(inner));
 }
 
 dissemination::DeliverResult RequestHandler::deliver(const Payload& payload,
-                                                     SliceId /*target*/,
+                                                     SliceId target,
                                                      NodeId /*origin*/) {
   const auto kind = peek_inner_kind(payload);
   if (!kind) return dissemination::DeliverResult::kStop;
 
   switch (*kind) {
-    case InnerKind::kPut: {
-      const auto put = decode_put(payload);
-      if (!put) return dissemination::DeliverResult::kStop;
-      return handle_put_delivery(*put);
-    }
-    case InnerKind::kGet: {
-      const auto get = decode_get(payload);
-      if (!get) return dissemination::DeliverResult::kStop;
-      return handle_get_delivery(*get);
+    case InnerKind::kOps: {
+      const auto ops = decode_ops(payload);
+      if (!ops) return dissemination::DeliverResult::kStop;
+      return handle_ops_delivery(*ops, target);
     }
     case InnerKind::kHandoff: {
       const auto handoff = decode_handoff(payload);
@@ -144,7 +160,7 @@ void RequestHandler::tick_maintenance() {
 
     if (const auto contact = slices_.directory_lookup(target);
         contact && *contact != self_) {
-      const ReplicatePush push{std::move(obj)};
+      const ReplicatePush push{{std::move(obj)}};
       transport_.send(
           net::Message{self_, *contact, kReplicatePush, encode(push)});
       metrics_.counter("rh.handoffs_forwarded").add();
@@ -155,48 +171,150 @@ void RequestHandler::tick_maintenance() {
   }
 }
 
-dissemination::DeliverResult RequestHandler::handle_put_delivery(
-    const PutRequest& put) {
-  const Status stored = store_.put(put.object);
-  if (!stored.ok()) {
-    // Version conflict: the upper layer broke its ordering contract. Do not
-    // ack; the client will time out and surface the failure.
-    metrics_.counter("rh.put_conflicts").add();
-    return dissemination::DeliverResult::kStop;
-  }
-  metrics_.counter("rh.puts_stored").add();
+dissemination::DeliverResult RequestHandler::handle_ops_delivery(
+    const OpsRequest& ops, SliceId target) {
+  if (ops.ops.empty()) return dissemination::DeliverResult::kStop;
 
-  const PutAck ack{put.rid, self_, slices_.slice(), put.object.key,
-                   put.object.version};
-  transport_.send(net::Message{self_, put.client, kPutAck, encode(ack)});
+  OpReplyBatch batch{self_, slices_.slice(), {}};
+  ReplicatePush push;
+  std::vector<RoutedOp> unserved_gets;
+  bool has_writes = false;
 
-  // Immediate redundancy: copy to a few slice-mates right away so the write
-  // survives this node failing before the next anti-entropy round.
-  // Encode the push once; every slice-mate Message shares the buffer.
-  const ReplicatePush push{put.object};
-  const Payload encoded = encode(push);
-  for (const NodeId peer : slices_.slice_peers(options_.direct_replication)) {
-    if (peer == self_) continue;
-    transport_.send(net::Message{self_, peer, kReplicatePush, encoded});
+  for (const RoutedOp& routed : ops.ops) {
+    const Operation& op = routed.op;
+    has_writes = has_writes || op.type != OpType::kGet;
+    switch (op.type) {
+      case OpType::kPut: {
+        store::Object object{op.key, op.version.value_or(0), op.value};
+        const Status stored = store_.put(object);
+        if (!stored.ok()) {
+          if (stored.error().code == Error::Code::kSuperseded) {
+            // The key's tombstone outranks this version: the store
+            // discarded it. Tell the client honestly — a kOk ack here
+            // would claim a write that never landed.
+            metrics_.counter("rh.puts_superseded").add();
+            batch.replies.push_back(OpReply{
+                routed.rid, OpType::kPut, OpStatus::kSuperseded,
+                store::Object{op.key, object.version, {}}});
+            break;
+          }
+          // Version conflict: the upper layer broke its ordering contract.
+          // Do not ack; the client will time out and surface the failure.
+          metrics_.counter("rh.put_conflicts").add();
+          break;
+        }
+        metrics_.counter("rh.puts_stored").add();
+        batch.replies.push_back(OpReply{
+            routed.rid, OpType::kPut, OpStatus::kOk,
+            store::Object{op.key, object.version, {}}});
+        push.objects.push_back(std::move(object));
+        break;
+      }
+      case OpType::kDelete: {
+        // First storing replica stamps the tombstone; copies propagate the
+        // stamp so every replica GCs on (roughly) the same schedule.
+        store::Object tomb = store::Object::make_tombstone(
+            op.key, op.version.value_or(0), clock_());
+        const Status stored = store_.put(tomb);
+        if (!stored.ok()) {
+          metrics_.counter("rh.delete_conflicts").add();
+          break;
+        }
+        metrics_.counter("rh.deletes_stored").add();
+        batch.replies.push_back(OpReply{
+            routed.rid, OpType::kDelete, OpStatus::kOk,
+            store::Object{op.key, tomb.version, {}}});
+        push.objects.push_back(std::move(tomb));
+        break;
+      }
+      case OpType::kGet: {
+        auto found = store_.get(op.key, op.version);
+        if (found.ok()) {
+          store::Object object = std::move(found).value();
+          if (object.tombstone) {
+            // Authoritative "deleted": completes the client's get instead
+            // of letting it time out.
+            metrics_.counter("rh.gets_deleted").add();
+            batch.replies.push_back(OpReply{
+                routed.rid, OpType::kGet, OpStatus::kDeleted,
+                store::Object{op.key, object.version, {}}});
+          } else {
+            metrics_.counter("rh.gets_served").add();
+            batch.replies.push_back(OpReply{routed.rid, OpType::kGet,
+                                            OpStatus::kOk,
+                                            std::move(object)});
+          }
+          break;
+        }
+        if (const Version tomb = store_.tombstone_version(op.key);
+            tomb != 0 && (!op.version || *op.version <= tomb)) {
+          // The requested version was dropped by a delete we hold: that is
+          // an authoritative miss, not a replication gap.
+          metrics_.counter("rh.gets_deleted").add();
+          batch.replies.push_back(
+              OpReply{routed.rid, OpType::kGet, OpStatus::kDeleted,
+                      store::Object{op.key, tomb, {}}});
+          break;
+        }
+        // In the key's slice but missing the object (still replicating, or
+        // it never existed). Keep this get spreading inside the slice:
+        // another member may hold it. The client times out on a true miss.
+        metrics_.counter("rh.gets_missed").add();
+        unserved_gets.push_back(routed);
+        break;
+      }
+    }
   }
+
+  // Reply and push batches are chunked against the per-datagram budget:
+  // two 35 kB get hits served out of one delivered batch must go out as
+  // two reply datagrams, not one silently-dropped 70 kB frame.
+  if (!batch.replies.empty()) {
+    const NodeId client(ops.ops.front().rid.client);
+    chunk_by_budget(
+        batch.replies,
+        [](const OpReply& reply) { return encoded_size(reply); },
+        [&](std::vector<OpReply>& chunk) {
+          transport_.send(net::Message{
+              self_, client, kOpReplyBatch,
+              encode(OpReplyBatch{batch.replica, batch.slice,
+                                  std::move(chunk)})});
+        });
+  }
+
+  // Immediate redundancy: copy everything stored here to a few slice-mates
+  // right away so the writes survive this node failing before the next
+  // anti-entropy round. Each chunk is encoded once and its buffer shared
+  // across the fan-out.
+  if (!push.objects.empty()) {
+    chunk_by_budget(
+        push.objects,
+        [](const store::Object& object) { return store::encoded_size(object); },
+        [this](std::vector<store::Object>& chunk) {
+          const Payload encoded = encode(ReplicatePush{std::move(chunk)});
+          for (const NodeId peer :
+               slices_.slice_peers(options_.direct_replication)) {
+            if (peer == self_) continue;
+            transport_.send(
+                net::Message{self_, peer, kReplicatePush, encoded});
+          }
+        });
+  }
+
+  if (unserved_gets.empty()) return dissemination::DeliverResult::kStop;
+  if (!has_writes) {
+    // Pure-read batch: keep the original payload relaying in the slice
+    // (duplicate replies for already-served gets are absorbed client-side
+    // by request id — the epidemic trade the paper makes everywhere else).
+    return dissemination::DeliverResult::kContinueInSlice;
+  }
+  // Mixed batch: stop the original (or every relay hop would re-execute
+  // the writes and re-fan full-value ReplicatePush copies slice-wide) and
+  // re-spray only the unserved gets. The remainder is a pure-read batch,
+  // so downstream members use the continue path — no re-spray cascade.
+  metrics_.counter("rh.batch_get_resprays").add();
+  spray_or_deliver(target, encode_inner(OpsRequest{std::move(unserved_gets)}));
   return dissemination::DeliverResult::kStop;
-}
-
-dissemination::DeliverResult RequestHandler::handle_get_delivery(
-    const GetRequest& get) {
-  auto obj = store_.get(get.key, get.version);
-  if (obj.ok()) {
-    metrics_.counter("rh.gets_served").add();
-    const GetReply reply{get.rid, self_, slices_.slice(), true,
-                         std::move(obj).value()};
-    transport_.send(net::Message{self_, get.client, kGetReply, encode(reply)});
-    return dissemination::DeliverResult::kStop;
-  }
-  // We are in the key's slice but lack the object (still replicating, or it
-  // never existed). Keep the request spreading inside the slice: another
-  // member may hold it. The client times out on a true miss.
-  metrics_.counter("rh.gets_missed").add();
-  return dissemination::DeliverResult::kContinueInSlice;
 }
 
 }  // namespace dataflasks::core

@@ -3,14 +3,21 @@
 // Slice Manager and stores and retrieves correspondent data to and from the
 // Data Store."
 //
-// Put path: any node may receive a client put; it sprays the request toward
-// the key's slice. The first slice member reached stores the object, acks
-// the client directly, and pushes immediate copies to a few slice-mates;
-// full-slice replication then converges via anti-entropy.
+// Operation API: clients send OpEnvelope batches; the contact node groups
+// the ops by target slice and sprays each group as one unit, so a batch of
+// N costs one client round-trip and (per slice touched) one epidemic
+// dissemination instead of N.
 //
-// Get path: the request sprays to the slice; members holding the requested
-// version reply directly to the client (the client deduplicates multiple
-// replies, paper §V); members missing it keep relaying inside the slice.
+// Put/delete path: the first slice member reached stores the object (a
+// tombstone for deletes), acks the client in a batched reply, and pushes
+// immediate copies of everything it stored to a few slice-mates in one
+// message; full-slice replication then converges via anti-entropy.
+//
+// Get path: members holding the requested version reply directly to the
+// client (the client deduplicates multiple replies, paper §V). Gets this
+// member cannot serve keep spreading inside the slice: a pure-read batch
+// relays as-is, while a mixed batch stops and re-sprays only its unserved
+// gets (so relaying never re-executes the batch's writes).
 #pragma once
 
 #include <deque>
@@ -46,12 +53,15 @@ struct RequestHandlerOptions {
 
 class RequestHandler {
  public:
+  /// Local clock, used to stamp tombstones at the first storing replica.
+  using ClockFn = std::function<SimTime()>;
+
   RequestHandler(NodeId self, net::Transport& transport,
                  pss::PeerSampling& pss, SliceManager& slices,
-                 store::Store& store, Rng rng, RequestHandlerOptions options,
-                 MetricsRegistry& metrics);
+                 store::Store& store, Rng rng, ClockFn clock,
+                 RequestHandlerOptions options, MetricsRegistry& metrics);
 
-  /// Consumes kClientPut / kClientGet / kReplicatePush and spray messages.
+  /// Consumes kOpEnvelope / kReplicatePush and spray messages.
   bool handle(const net::Message& msg);
 
   /// Recomputes the spray TTL for a new slice count (config change).
@@ -72,8 +82,10 @@ class RequestHandler {
  private:
   dissemination::DeliverResult deliver(const Payload& payload, SliceId target,
                                        NodeId origin);
-  dissemination::DeliverResult handle_put_delivery(const PutRequest& put);
-  dissemination::DeliverResult handle_get_delivery(const GetRequest& get);
+  dissemination::DeliverResult handle_ops_delivery(const OpsRequest& ops,
+                                                   SliceId target);
+  void handle_envelope(const OpEnvelope& envelope);
+  void store_replicated(store::Object object);
   void spray_or_deliver(SliceId target, Payload inner);
   void buffer_handoff(store::Object object);
 
@@ -82,6 +94,7 @@ class RequestHandler {
   SliceManager& slices_;
   store::Store& store_;
   Rng rng_;
+  ClockFn clock_;
   RequestHandlerOptions options_;
   MetricsRegistry& metrics_;
   std::unique_ptr<dissemination::SprayRouter> router_;

@@ -5,11 +5,13 @@
 namespace dataflasks::harness {
 
 Runner::Runner(Cluster& cluster, std::vector<client::Client*> clients,
-               std::vector<std::vector<workload::Op>> streams)
+               std::vector<std::vector<workload::Op>> streams,
+               std::size_t batch_size)
     : cluster_(cluster),
       clients_(std::move(clients)),
       streams_(std::move(streams)),
-      cursors_(clients_.size(), 0) {
+      cursors_(clients_.size(), 0),
+      batch_size_(batch_size == 0 ? 1 : batch_size) {
   ensure(clients_.size() == streams_.size(),
          "Runner: one op stream per client required");
 }
@@ -39,54 +41,99 @@ bool Runner::run(SimTime deadline) {
   return active_streams_ == 0;
 }
 
+void Runner::account(const client::OpResult& result) {
+  switch (result.type) {
+    case core::OpType::kGet:
+      if (result.ok) {
+        ++stats_.gets_succeeded;
+        stats_.get_latency.record(static_cast<double>(result.latency));
+      } else {
+        ++stats_.gets_failed;
+      }
+      break;
+    case core::OpType::kPut:
+      if (result.ok) {
+        ++stats_.puts_succeeded;
+        stats_.put_latency.record(static_cast<double>(result.latency));
+      } else {
+        ++stats_.puts_failed;
+      }
+      break;
+    case core::OpType::kDelete:
+      if (result.ok) {
+        ++stats_.dels_succeeded;
+        stats_.del_latency.record(static_cast<double>(result.latency));
+      } else {
+        ++stats_.dels_failed;
+      }
+      break;
+  }
+}
+
 void Runner::issue_next(std::size_t client_index) {
-  auto& cursor = cursors_[client_index];
   const auto& stream = streams_[client_index];
-  if (cursor >= stream.size()) {
+  if (cursors_[client_index] >= stream.size()) {
     --active_streams_;
     return;
   }
-  const workload::Op& op = stream[cursor++];
+  // Read-modify-write chains a write onto its read, so it cannot ride in a
+  // batch envelope; issue it alone (flushing nothing: batches are built
+  // fresh per call).
+  if (stream[cursors_[client_index]].kind ==
+      workload::OpKind::kReadModifyWrite) {
+    const workload::Op op = stream[cursors_[client_index]++];
+    issue_rmw(client_index, op);
+    return;
+  }
+  issue_batch(client_index);
+}
+
+void Runner::issue_batch(std::size_t client_index) {
+  auto& cursor = cursors_[client_index];
+  const auto& stream = streams_[client_index];
   client::Client& cli = *clients_[client_index];
 
-  switch (op.kind) {
-    case workload::OpKind::kRead:
-      ++stats_.gets_issued;
-      cli.get(op.key, std::nullopt, [this, client_index](
-                                        const client::GetResult& result) {
-        if (result.ok) {
-          ++stats_.gets_succeeded;
-          stats_.get_latency.record(static_cast<double>(result.latency));
-        } else {
-          ++stats_.gets_failed;
-        }
-        on_op_done(client_index);
-      });
-      break;
-
-    case workload::OpKind::kUpdate:
-    case workload::OpKind::kInsert: {
-      ++stats_.puts_issued;
-      const Bytes value =
-          make_value(op.value_size, stable_key_hash(op.key) + cursor);
-      cli.put_auto(op.key, value, [this, client_index](
-                                      const client::PutResult& result) {
-        if (result.ok) {
-          ++stats_.puts_succeeded;
-          stats_.put_latency.record(static_cast<double>(result.latency));
-        } else {
-          ++stats_.puts_failed;
-        }
-        on_op_done(client_index);
-      });
-      break;
+  // Pack up to batch_size_ consecutive non-RMW ops into one envelope.
+  std::vector<core::Operation> ops;
+  ops.reserve(batch_size_);
+  while (cursor < stream.size() && ops.size() < batch_size_ &&
+         stream[cursor].kind != workload::OpKind::kReadModifyWrite) {
+    const workload::Op& op = stream[cursor++];
+    switch (op.kind) {
+      case workload::OpKind::kRead:
+        ++stats_.gets_issued;
+        ops.push_back(core::Operation::get(op.key));
+        break;
+      case workload::OpKind::kUpdate:
+      case workload::OpKind::kInsert:
+        ++stats_.puts_issued;
+        ops.push_back(core::Operation::put(
+            op.key, cli.stamp_version(op.key),
+            make_value(op.value_size, stable_key_hash(op.key) + cursor)));
+        break;
+      case workload::OpKind::kDelete:
+        ++stats_.dels_issued;
+        ops.push_back(core::Operation::del(op.key, cli.stamp_version(op.key)));
+        break;
+      case workload::OpKind::kReadModifyWrite:
+        break;  // unreachable: loop condition excludes RMW
     }
+  }
+  ensure(!ops.empty(), "Runner: empty batch");
+  ++stats_.batches_issued;
+  cli.execute(std::move(ops), [this, client_index](
+                                  const std::vector<client::OpResult>& rs) {
+    for (const client::OpResult& r : rs) account(r);
+    on_op_done(client_index);
+  });
+}
 
-    case workload::OpKind::kReadModifyWrite: {
-      ++stats_.gets_issued;
-      // Read, then write a new version of the same key on completion.
-      cli.get(op.key, std::nullopt, [this, client_index, op](
-                                        const client::GetResult& result) {
+void Runner::issue_rmw(std::size_t client_index, const workload::Op& op) {
+  ++stats_.gets_issued;
+  // Read, then write a new version of the same key on completion.
+  clients_[client_index]->get(
+      op.key, std::nullopt,
+      [this, client_index, op](const client::GetResult& result) {
         if (result.ok) {
           ++stats_.gets_succeeded;
           stats_.get_latency.record(static_cast<double>(result.latency));
@@ -108,9 +155,6 @@ void Runner::issue_next(std::size_t client_index) {
               on_op_done(client_index);
             });
       });
-      break;
-    }
-  }
 }
 
 void Runner::on_op_done(std::size_t client_index) {

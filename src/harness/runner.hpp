@@ -20,11 +20,17 @@ struct RunnerStats {
   std::uint64_t gets_issued = 0;
   std::uint64_t gets_succeeded = 0;
   std::uint64_t gets_failed = 0;
+  std::uint64_t dels_issued = 0;
+  std::uint64_t dels_succeeded = 0;
+  std::uint64_t dels_failed = 0;
+  std::uint64_t batches_issued = 0;  ///< envelopes sent in batch mode
   Histogram put_latency;  ///< microseconds of virtual time
   Histogram get_latency;
+  Histogram del_latency;
 
   [[nodiscard]] std::uint64_t ops_completed() const {
-    return puts_succeeded + puts_failed + gets_succeeded + gets_failed;
+    return puts_succeeded + puts_failed + gets_succeeded + gets_failed +
+           dels_succeeded + dels_failed;
   }
   [[nodiscard]] double put_success_rate() const {
     const auto total = puts_succeeded + puts_failed;
@@ -43,8 +49,12 @@ struct RunnerStats {
 class Runner {
  public:
   /// `clients[i]` executes `streams[i]` sequentially (closed loop).
+  /// `batch_size > 1` pipelines up to that many consecutive ops into one
+  /// OpEnvelope per round-trip (read-modify-write ops flush the batch and
+  /// run alone, since their write depends on their read).
   Runner(Cluster& cluster, std::vector<client::Client*> clients,
-         std::vector<std::vector<workload::Op>> streams);
+         std::vector<std::vector<workload::Op>> streams,
+         std::size_t batch_size = 1);
 
   /// Runs until every stream finishes or virtual `deadline` passes.
   /// Returns true when all ops completed (successfully or not) in time.
@@ -57,12 +67,16 @@ class Runner {
 
  private:
   void issue_next(std::size_t client_index);
+  void issue_batch(std::size_t client_index);
+  void issue_rmw(std::size_t client_index, const workload::Op& op);
   void on_op_done(std::size_t client_index);
+  void account(const client::OpResult& result);
 
   Cluster& cluster_;
   std::vector<client::Client*> clients_;
   std::vector<std::vector<workload::Op>> streams_;
   std::vector<std::size_t> cursors_;
+  std::size_t batch_size_ = 1;
   std::size_t active_streams_ = 0;
   RunnerStats stats_;
 };

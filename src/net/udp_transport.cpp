@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,14 +15,38 @@
 
 namespace dataflasks::net {
 
+std::optional<std::string> resolve_ipv4(const std::string& host) {
+  // Fast path: already a numeric IPv4 address.
+  in_addr probe{};
+  if (::inet_pton(AF_INET, host.c_str(), &probe) == 1) return host;
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;  // the transport is IPv4 UDP
+  hints.ai_socktype = SOCK_DGRAM;
+  addrinfo* results = nullptr;
+  if (::getaddrinfo(host.c_str(), nullptr, &hints, &results) != 0 ||
+      results == nullptr) {
+    return std::nullopt;
+  }
+  char dotted[INET_ADDRSTRLEN] = {};
+  const auto* addr = reinterpret_cast<const sockaddr_in*>(results->ai_addr);
+  const char* ok =
+      ::inet_ntop(AF_INET, &addr->sin_addr, dotted, sizeof dotted);
+  ::freeaddrinfo(results);
+  if (ok == nullptr) return std::nullopt;
+  return std::string(dotted);
+}
+
 namespace {
 
 sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
-  ensure(::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) == 1,
+  const auto resolved = resolve_ipv4(host);
+  ensure(resolved.has_value(),
+         "UdpTransport: cannot resolve host to an IPv4 address");
+  ensure(::inet_pton(AF_INET, resolved->c_str(), &addr.sin_addr) == 1,
          "UdpTransport: not a numeric IPv4 address");
   return addr;
 }

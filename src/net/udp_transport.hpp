@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <netinet/in.h>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -20,11 +21,17 @@
 
 namespace dataflasks::net {
 
+/// Resolves a host to a dotted-quad IPv4 address: numeric addresses pass
+/// through, anything else goes through getaddrinfo (DNS, /etc/hosts — so
+/// "localhost" and real hostnames both work in --listen/--peer). Returns
+/// nullopt when the name does not resolve to an IPv4 address.
+[[nodiscard]] std::optional<std::string> resolve_ipv4(const std::string& host);
+
 class UdpTransport final : public Transport {
  public:
   struct Options {
-    /// Numeric IPv4 address to bind ("0.0.0.0" for all interfaces);
-    /// "localhost" is accepted as an alias for 127.0.0.1.
+    /// IPv4 address or resolvable hostname to bind ("0.0.0.0" for all
+    /// interfaces).
     std::string bind_host = "127.0.0.1";
     /// 0 binds an ephemeral port (read it back via local_port()).
     std::uint16_t port = 0;

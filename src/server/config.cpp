@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.hpp"
+
 namespace dataflasks::server {
 
 namespace {
@@ -74,6 +76,20 @@ std::string apply_entry(ServerConfig& config, const std::string& key,
       return "bad ae_ms: " + value;
     }
     config.ae_ms = static_cast<std::int64_t>(u64);
+  } else if (key == "store") {
+    if (value == "memory") {
+      config.store = StoreKind::kMemory;
+    } else if (value == "durable") {
+      config.store = StoreKind::kDurable;
+    } else {
+      return "bad store kind (memory|durable): " + value;
+    }
+  } else if (key == "data_dir") {
+    if (value.empty()) return "bad data_dir: empty";
+    config.data_dir = value;
+  } else if (key == "log_level") {
+    if (!log_level_from_string(value)) return "bad log_level: " + value;
+    config.log_level = value;
   } else {
     return "unknown config key: " + key;
   }
@@ -109,6 +125,12 @@ core::NodeOptions ServerConfig::node_options() const {
   options.handoff_period = 3 * gossip;
   options.slice_config = {slices, /*epoch=*/1};
   return options;
+}
+
+std::string ServerConfig::store_path() const {
+  std::string dir = data_dir;
+  if (!dir.empty() && dir.back() != '/') dir.push_back('/');
+  return dir + "dataflasks-" + std::to_string(id) + ".log";
 }
 
 std::vector<NodeId> ServerConfig::peer_ids() const {
@@ -168,6 +190,9 @@ Result<ServerConfig> parse_server_args(const std::vector<std::string>& args,
     if (flag == "--slices") return "slices";
     if (flag == "--gossip-ms") return "gossip_ms";
     if (flag == "--ae-ms") return "ae_ms";
+    if (flag == "--store") return "store";
+    if (flag == "--data-dir") return "data_dir";
+    if (flag == "--log-level") return "log_level";
     return {};
   };
 

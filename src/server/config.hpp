@@ -6,16 +6,23 @@
 // Config file grammar — one entry per line, '#' starts a comment:
 //   id        = 0
 //   listen    = 127.0.0.1:7100
-//   peer      = 1@127.0.0.1:7101          # repeatable
+//   peer      = 1@127.0.0.1:7101          # repeatable; DNS names allowed
 //   capacity  = 1.5
 //   seed      = 42
 //   slices    = 1
 //   gossip_ms = 200
 //   ae_ms     = 1000
+//   store     = memory                    # or: durable (append-only log)
+//   data_dir  = .                         # durable store directory
+//   log_level = info                      # trace|debug|info|warn|error|off
 //
 // Equivalent CLI flags: --config <file>, --id N, --listen host:port,
 // --peer id@host:port (repeatable), --capacity X, --seed N, --slices K,
-// --gossip-ms N, --ae-ms N.
+// --gossip-ms N, --ae-ms N, --store memory|durable, --data-dir DIR,
+// --log-level LEVEL.
+//
+// Hosts in listen/peer may be DNS names; resolution (getaddrinfo) happens
+// when the UDP transport binds/maps the address, not at parse time.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,11 @@ struct PeerSpec {
   std::uint16_t port = 0;
 };
 
+enum class StoreKind : std::uint8_t {
+  kMemory,   ///< volatile MemStore: a crash loses local data
+  kDurable,  ///< append-only LogStore under data_dir (survives restarts)
+};
+
 struct ServerConfig {
   std::uint64_t id = 0;
   std::string listen_host = "127.0.0.1";
@@ -48,12 +60,21 @@ struct ServerConfig {
   std::int64_t gossip_ms = 200;
   /// Anti-entropy cadence in wall milliseconds.
   std::int64_t ae_ms = 1000;
+  /// Data Store backing the node (ROADMAP "durable-store flag").
+  StoreKind store = StoreKind::kMemory;
+  /// Directory for the durable store's log file (dataflasks-<id>.log).
+  std::string data_dir = ".";
+  /// Minimum log level for the process ("info" unless overridden).
+  std::string log_level = "info";
 
   /// NodeOptions with every periodic cadence scaled to this config's
   /// real-clock periods.
   [[nodiscard]] core::NodeOptions node_options() const;
 
   [[nodiscard]] std::vector<NodeId> peer_ids() const;
+
+  /// Path of the durable store's log file for this node id.
+  [[nodiscard]] std::string store_path() const;
 };
 
 /// Parses "host:port". Returns false on malformed input.

@@ -9,13 +9,16 @@
 // and config-file reference.
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/logging.hpp"
 #include "core/node.hpp"
 #include "net/udp_transport.hpp"
 #include "runtime/real_time_runtime.hpp"
 #include "server/config.hpp"
+#include "store/log_store.hpp"
 
 namespace {
 
@@ -40,10 +43,15 @@ int main(int argc, char** argv) {
                  "usage: dataflasks_server [--config FILE] [--id N] "
                  "[--listen HOST:PORT] [--peer ID@HOST:PORT ...] "
                  "[--capacity X] [--seed N] [--slices K] [--gossip-ms N] "
-                 "[--ae-ms N]\n");
+                 "[--ae-ms N] [--store memory|durable] [--data-dir DIR] "
+                 "[--log-level LEVEL]\n");
     return 1;
   }
   const server::ServerConfig config = std::move(parsed).value();
+
+  if (const auto level = log_level_from_string(config.log_level)) {
+    set_global_log_level(*level);
+  }
 
   // Each process gets its own deterministic stream: either the configured
   // seed or one derived from the node id (so a homogeneously-configured
@@ -60,8 +68,25 @@ int main(int argc, char** argv) {
     transport.add_peer(NodeId(peer.id), peer.host, peer.port);
   }
 
+  // Durable store (--store durable): an append-only CRC'd log this process
+  // recovers on restart — tombstones included, so deletes survive too.
+  std::unique_ptr<store::Store> durable;
+  if (config.store == server::StoreKind::kDurable) {
+    auto log_store = std::make_unique<store::LogStore>(config.store_path());
+    if (!log_store->open_status().ok()) {
+      std::fprintf(stderr, "dataflasks_server: %s\n",
+                   log_store->open_status().error().message.c_str());
+      return 1;
+    }
+    std::printf("dataflasks_server: durable store %s (%zu objects "
+                "recovered)\n",
+                log_store->path().c_str(), log_store->object_count());
+    durable = std::move(log_store);
+  }
+
   core::Node node(NodeId(config.id), config.capacity, rt, transport,
-                  config.node_options(), rt.rng().fork(0xDF).next_u64());
+                  config.node_options(), rt.rng().fork(0xDF).next_u64(),
+                  std::move(durable));
   node.start(config.peer_ids());
 
   g_runtime = &rt;

@@ -10,22 +10,20 @@ namespace dataflasks::store {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0xDF1A5C05;
+// Bumped (…06) when the body grew the tombstone flags/stamp fields: a log
+// in the old format must fail loudly at open, not be silently treated as
+// one long torn tail.
+constexpr std::uint32_t kMagic = 0xDF1A5C06;
+constexpr std::uint32_t kLegacyMagic = 0xDF1A5C05;
 constexpr std::size_t kHeaderSize = 3 * sizeof(std::uint32_t);
 
 void encode_body(Writer& w, const Object& obj) {
-  w.str(obj.key);
-  w.u64(obj.version);
-  w.bytes(obj.value);
+  encode(w, obj);  // record body == the wire Object codec
 }
 
 bool decode_body(const Bytes& body, Object& out) {
   Reader r(body);
-  out.key = r.str();
-  out.version = r.u64();
-  // payload() copies once into the shared buffer; via bytes() the value
-  // would be materialized as a vector and then copied again into Payload.
-  out.value = r.payload();
+  out = decode_object(r);
   return r.finish().ok();
 }
 
@@ -45,6 +43,45 @@ LogStore::~LogStore() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+bool LogStore::superseded_by_tombstone(const std::map<Version, Slot>& versions,
+                                       Version version) {
+  for (const auto& [existing_version, slot] : versions) {
+    if (slot.tombstone && existing_version > version) return true;
+  }
+  return false;
+}
+
+bool LogStore::index_insert(const Object& obj, const Slot& slot) {
+  auto& versions = index_[obj.key];
+  if (!obj.tombstone && superseded_by_tombstone(versions, obj.version)) {
+    // Late copy of a version the key's tombstone supersedes (a stale record
+    // behind a tombstone in the log): discard so deletes stick.
+    return false;
+  }
+  const auto it = versions.find(obj.version);
+  if (it == versions.end()) {
+    ++object_count_;
+    value_bytes_ += obj.value.size();
+  }
+  versions[obj.version] = slot;  // later duplicate records win (same data)
+
+  if (obj.tombstone) {
+    // The delete supersedes every older version: drop them from the index
+    // (the log records linger until compact()).
+    for (auto vit = versions.begin(); vit != versions.end();) {
+      if (vit->first < obj.version) {
+        --object_count_;
+        value_bytes_ -= value_length(obj.key, vit->second);
+        vit = versions.erase(vit);
+        digest_dirty_ = true;
+      } else {
+        break;  // map is version-ordered
+      }
+    }
+  }
+  return true;
+}
+
 Status LogStore::recover() {
   std::fseek(file_, 0, SEEK_END);
   const long end = std::ftell(file_);
@@ -59,6 +96,11 @@ Status LogStore::recover() {
     const std::uint32_t magic = header[0];
     const std::uint32_t crc = header[1];
     const std::uint32_t body_len = header[2];
+    if (magic == kLegacyMagic) {
+      return Error::invalid_argument(
+          path_ + " uses the pre-tombstone record format; migrate or remove "
+                  "the old log");
+    }
     if (magic != kMagic) break;
     if (pos + kHeaderSize + body_len > static_cast<std::size_t>(end)) {
       break;  // torn write: record promises more bytes than exist
@@ -73,20 +115,25 @@ Status LogStore::recover() {
     Object obj;
     if (!decode_body(body, obj)) break;
 
-    Slot slot{pos + kHeaderSize, body_len};
+    Slot slot{pos + kHeaderSize, body_len, obj.tombstone, obj.deleted_at};
     digest_dirty_ = true;
-    auto& versions = index_[obj.key];
-    if (!versions.contains(obj.version)) {
-      ++object_count_;
-      value_bytes_ += obj.value.size();
-    }
-    versions[obj.version] = slot;  // later duplicate records win (same data)
+    index_insert(obj, slot);
     pos += kHeaderSize + body_len;
   }
   log_end_ = pos;
   // Position for appends; the torn tail (if any) is overwritten by compact().
   std::fseek(file_, 0, SEEK_END);
   return Status::ok_status();
+}
+
+std::size_t LogStore::value_length(const Key& key, const Slot& slot) {
+  // Value length = body minus key-length field, key, version, flags,
+  // optional deletion stamp and the value-length field.
+  const std::size_t overhead = sizeof(std::uint32_t) + key.size() +
+                               sizeof(std::uint64_t) + 1 +
+                               (slot.tombstone ? sizeof(std::int64_t) : 0) +
+                               sizeof(std::uint32_t);
+  return slot.body_len >= overhead ? slot.body_len - overhead : 0;
 }
 
 Status LogStore::append_record(const Object& obj, Slot& out) {
@@ -105,7 +152,8 @@ Status LogStore::append_record(const Object& obj, Slot& out) {
     return Error::io("append failed on " + path_);
   }
   out = Slot{static_cast<std::size_t>(at) + kHeaderSize,
-             static_cast<std::uint32_t>(body.size())};
+             static_cast<std::uint32_t>(body.size()), obj.tombstone,
+             obj.deleted_at};
   log_end_ = static_cast<std::size_t>(at) + kHeaderSize + body.size();
   return Status::ok_status();
 }
@@ -131,6 +179,10 @@ Status LogStore::put(const Object& obj) {
   const auto it = versions.find(obj.version);
   if (it != versions.end()) {
     // Idempotence / conflict check against the stored record.
+    if (it->second.tombstone != obj.tombstone) {
+      return Error::conflict("tombstone/value flip for existing version of '" +
+                             obj.key + "'");
+    }
     auto existing = read_record(it->second);
     if (!existing.ok()) return existing.error();
     if (existing.value().value != obj.value) {
@@ -139,12 +191,17 @@ Status LogStore::put(const Object& obj) {
     }
     return Status::ok_status();
   }
+  if (!obj.tombstone && superseded_by_tombstone(versions, obj.version)) {
+    // Superseded by our tombstone: discard (no resurrection) without even
+    // appending a record, and report it so write acks stay honest.
+    return Error::superseded("version " + std::to_string(obj.version) +
+                             " of key '" + obj.key +
+                             "' is below its tombstone");
+  }
 
   Slot slot;
   if (Status s = append_record(obj, slot); !s.ok()) return s;
-  versions[obj.version] = slot;
-  ++object_count_;
-  value_bytes_ += obj.value.size();
+  index_insert(obj, slot);
   if (!digest_dirty_) digest_cache_.push_back(DigestEntry{obj.key, obj.version});
   return Status::ok_status();
 }
@@ -167,6 +224,36 @@ Result<Object> LogStore::get(const Key& key,
 bool LogStore::contains(const Key& key, Version version) const {
   const auto it = index_.find(key);
   return it != index_.end() && it->second.contains(version);
+}
+
+Version LogStore::tombstone_version(const Key& key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return 0;
+  Version newest = 0;
+  for (const auto& [version, slot] : it->second) {
+    if (slot.tombstone) newest = version;  // map is ordered: last wins
+  }
+  return newest;
+}
+
+std::size_t LogStore::gc_tombstones(SimTime now, SimTime grace) {
+  std::size_t removed = 0;
+  for (auto it = index_.begin(); it != index_.end();) {
+    auto& versions = it->second;
+    for (auto vit = versions.begin(); vit != versions.end();) {
+      if (vit->second.tombstone && vit->second.deleted_at + grace <= now) {
+        --object_count_;
+        vit = versions.erase(vit);
+        ++removed;
+      } else {
+        ++vit;
+      }
+    }
+    it = versions.empty() ? index_.erase(it) : std::next(it);
+  }
+  if (removed > 0) digest_dirty_ = true;
+  // The log itself still holds the records; compact() reclaims the space.
+  return removed;
 }
 
 const std::vector<DigestEntry>& LogStore::digest_entries() const {
@@ -209,12 +296,7 @@ std::size_t LogStore::remove_keys_where(
       removed += it->second.size();
       object_count_ -= it->second.size();
       for (const auto& [_, slot] : it->second) {
-        // Value length = body minus key-length field, key, version and
-        // value-length field.
-        const std::size_t overhead =
-            sizeof(std::uint32_t) + it->first.size() + sizeof(std::uint64_t) +
-            sizeof(std::uint32_t);
-        value_bytes_ -= slot.body_len >= overhead ? slot.body_len - overhead : 0;
+        value_bytes_ -= value_length(it->first, slot);
       }
       it = index_.erase(it);
     } else {
@@ -252,8 +334,9 @@ Result<std::size_t> LogStore::compact() {
         std::remove(tmp_path.c_str());
         return Error::io("write failed during compaction");
       }
-      new_index[key][version] = Slot{new_end + kHeaderSize,
-                                     static_cast<std::uint32_t>(body.size())};
+      new_index[key][version] =
+          Slot{new_end + kHeaderSize, static_cast<std::uint32_t>(body.size()),
+               slot.tombstone, slot.deleted_at};
       new_end += kHeaderSize + body.size();
     }
   }

@@ -5,9 +5,12 @@
 //
 // Record layout (little-endian):
 //   u32 magic | u32 crc_of_body | u32 body_len | body
-//   body = u32 key_len | key | u64 version | u32 value_len | value
-// Recovery scans the log, skipping the tail after the first corrupt or
-// truncated record (torn write on crash).
+//   body = u32 key_len | key | u64 version | u8 flags
+//          | [i64 deleted_at when tombstone] | u32 value_len | value
+// (the same codec as the wire Object). Recovery scans the log, skipping the
+// tail after the first corrupt or truncated record (torn write on crash),
+// and replays tombstone semantics so a reopened store agrees with the live
+// one: a tombstone record prunes superseded versions from the index.
 #pragma once
 
 #include <cstdio>
@@ -35,6 +38,8 @@ class LogStore final : public Store {
   [[nodiscard]] Result<Object> get(
       const Key& key, std::optional<Version> version) const override;
   [[nodiscard]] bool contains(const Key& key, Version version) const override;
+  [[nodiscard]] Version tombstone_version(const Key& key) const override;
+  std::size_t gc_tombstones(SimTime now, SimTime grace) override;
   [[nodiscard]] std::vector<DigestEntry> digest() const override;
   [[nodiscard]] const std::vector<DigestEntry>& digest_entries() const override;
   void for_each(const std::function<void(const Object&)>& fn) const override;
@@ -62,11 +67,25 @@ class LogStore final : public Store {
   struct Slot {
     std::size_t offset = 0;    ///< file offset of the record body
     std::uint32_t body_len = 0;
+    bool tombstone = false;    ///< mirrored from the record, for digest/GC
+    SimTime deleted_at = 0;    ///< tombstone deletion stamp
   };
 
   Status recover();
   Status append_record(const Object& obj, Slot& out);
   [[nodiscard]] Result<Object> read_record(const Slot& slot) const;
+  /// Applies tombstone-aware index semantics for one object (shared by
+  /// put() and recovery replay). Returns false when the object is
+  /// superseded by an existing tombstone and must be discarded.
+  bool index_insert(const Object& obj, const Slot& slot);
+  /// True when a stored tombstone with a strictly higher version
+  /// supersedes `version` (equal versions are handled by the existing-entry
+  /// conflict check).
+  [[nodiscard]] static bool superseded_by_tombstone(
+      const std::map<Version, Slot>& versions, Version version);
+  /// Value byte count of an indexed record, recovered from the body length.
+  [[nodiscard]] static std::size_t value_length(const Key& key,
+                                                const Slot& slot);
 
   std::string path_;
   std::FILE* file_ = nullptr;

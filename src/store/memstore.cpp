@@ -11,15 +11,51 @@ std::size_t MemStore::VersionedValues::find(Version version) const {
   return static_cast<std::size_t>(it - versions.begin());
 }
 
+Object MemStore::object_at(const Key& key, const VersionedValues& slot,
+                           std::size_t index) const {
+  Object obj{key, slot.versions[index], slot.values[index]};
+  obj.tombstone = slot.meta[index].tombstone;
+  obj.deleted_at = slot.meta[index].deleted_at;
+  return obj;
+}
+
+void MemStore::erase_entry(VersionedValues& slot, std::size_t index) {
+  value_bytes_ -= slot.values[index].size();
+  --object_count_;
+  const bool was_tombstone = slot.meta[index].tombstone;
+  slot.versions.erase(slot.versions.begin() + static_cast<long>(index));
+  slot.values.erase(slot.values.begin() + static_cast<long>(index));
+  slot.meta.erase(slot.meta.begin() + static_cast<long>(index));
+  if (was_tombstone) {
+    slot.max_tombstone = 0;
+    for (std::size_t i = 0; i < slot.meta.size(); ++i) {
+      if (slot.meta[i].tombstone) {
+        slot.max_tombstone = std::max(slot.max_tombstone, slot.versions[i]);
+      }
+    }
+  }
+  digest_dirty_ = true;
+}
+
 Status MemStore::put(const Object& obj) {
   VersionedValues& slot = data_[obj.key];
   const std::size_t existing = slot.find(obj.version);
   if (existing != VersionedValues::npos) {
-    if (slot.values[existing] != obj.value) {
+    if (slot.meta[existing].tombstone != obj.tombstone ||
+        slot.values[existing] != obj.value) {
       return Error::conflict("different value for existing version of key '" +
                              obj.key + "'");
     }
     return Status::ok_status();  // idempotent re-store
+  }
+
+  if (!obj.tombstone && obj.version <= slot.max_tombstone) {
+    // A version the key's tombstone supersedes: discard so the deleted key
+    // cannot be resurrected, and say so — callers that ack writes must not
+    // report a discarded put as stored.
+    return Error::superseded("version " + std::to_string(obj.version) +
+                             " of key '" + obj.key +
+                             "' is below its tombstone");
   }
 
   // Versions are assigned in increasing order upstream, so the common case
@@ -27,16 +63,42 @@ Status MemStore::put(const Object& obj) {
   if (slot.versions.empty() || obj.version > slot.versions.back()) {
     slot.versions.push_back(obj.version);
     slot.values.push_back(obj.value);  // refcount bump, not a byte copy
+    slot.meta.push_back(Meta{obj.tombstone, obj.deleted_at});
   } else {
     const auto pos = std::lower_bound(slot.versions.begin(),
                                       slot.versions.end(), obj.version);
     const auto index = pos - slot.versions.begin();
     slot.versions.insert(pos, obj.version);
     slot.values.insert(slot.values.begin() + index, obj.value);
+    slot.meta.insert(slot.meta.begin() + index,
+                     Meta{obj.tombstone, obj.deleted_at});
   }
   ++object_count_;
   value_bytes_ += obj.value.size();
   if (!digest_dirty_) digest_cache_.push_back(DigestEntry{obj.key, obj.version});
+
+  if (obj.tombstone) {
+    slot.max_tombstone = std::max(slot.max_tombstone, obj.version);
+    // The delete supersedes every older version: drop them now instead of
+    // waiting for GC (frees the value bytes immediately).
+    std::size_t drop = 0;
+    while (drop < slot.versions.size() && slot.versions[drop] < obj.version) {
+      ++drop;
+    }
+    if (drop > 0) {
+      for (std::size_t i = 0; i < drop; ++i) {
+        value_bytes_ -= slot.values[i].size();
+      }
+      object_count_ -= drop;
+      slot.versions.erase(slot.versions.begin(),
+                          slot.versions.begin() + static_cast<long>(drop));
+      slot.values.erase(slot.values.begin(),
+                        slot.values.begin() + static_cast<long>(drop));
+      slot.meta.erase(slot.meta.begin(),
+                      slot.meta.begin() + static_cast<long>(drop));
+      digest_dirty_ = true;
+    }
+  }
   return Status::ok_status();
 }
 
@@ -48,19 +110,41 @@ Result<Object> MemStore::get(const Key& key,
   }
   const VersionedValues& slot = it->second;
   if (!version) {
-    return Object{key, slot.versions.back(), slot.values.back()};
+    return object_at(key, slot, slot.versions.size() - 1);
   }
   const std::size_t index = slot.find(*version);
   if (index == VersionedValues::npos) {
     return Error::not_found("no such version of key: " + key);
   }
-  return Object{key, slot.versions[index], slot.values[index]};
+  return object_at(key, slot, index);
 }
 
 bool MemStore::contains(const Key& key, Version version) const {
   const auto it = data_.find(key);
   return it != data_.end() &&
          it->second.find(version) != VersionedValues::npos;
+}
+
+Version MemStore::tombstone_version(const Key& key) const {
+  const auto it = data_.find(key);
+  return it == data_.end() ? 0 : it->second.max_tombstone;
+}
+
+std::size_t MemStore::gc_tombstones(SimTime now, SimTime grace) {
+  std::size_t removed = 0;
+  for (auto it = data_.begin(); it != data_.end();) {
+    VersionedValues& slot = it->second;
+    for (std::size_t i = 0; i < slot.versions.size();) {
+      if (slot.meta[i].tombstone && slot.meta[i].deleted_at + grace <= now) {
+        erase_entry(slot, i);
+        ++removed;
+      } else {
+        ++i;
+      }
+    }
+    it = slot.versions.empty() ? data_.erase(it) : std::next(it);
+  }
+  return removed;
 }
 
 const std::vector<DigestEntry>& MemStore::digest_entries() const {
@@ -82,7 +166,7 @@ std::vector<DigestEntry> MemStore::digest() const { return digest_entries(); }
 void MemStore::for_each(const std::function<void(const Object&)>& fn) const {
   for (const auto& [key, slot] : data_) {
     for (std::size_t i = 0; i < slot.versions.size(); ++i) {
-      fn(Object{key, slot.versions[i], slot.values[i]});
+      fn(object_at(key, slot, i));
     }
   }
 }

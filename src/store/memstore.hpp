@@ -7,6 +7,10 @@
 // hand the same buffer back out. The digest is maintained incrementally —
 // appended on put, rebuilt lazily only after removals — so the per-round
 // anti-entropy digest costs O(1) instead of an O(n) walk of the version maps.
+//
+// Tombstones are stored as regular versions with per-version metadata; a
+// tombstone put prunes superseded older versions immediately, and
+// gc_tombstones() drops tombstones past their grace period.
 #pragma once
 
 #include <unordered_map>
@@ -24,6 +28,8 @@ class MemStore final : public Store {
   [[nodiscard]] Result<Object> get(
       const Key& key, std::optional<Version> version) const override;
   [[nodiscard]] bool contains(const Key& key, Version version) const override;
+  [[nodiscard]] Version tombstone_version(const Key& key) const override;
+  std::size_t gc_tombstones(SimTime now, SimTime grace) override;
   [[nodiscard]] std::vector<DigestEntry> digest() const override;
   [[nodiscard]] const std::vector<DigestEntry>& digest_entries() const override;
   void for_each(const std::function<void(const Object&)>& fn) const override;
@@ -40,6 +46,12 @@ class MemStore final : public Store {
   void clear();
 
  private:
+  /// Per-version deletion metadata, parallel to `versions`/`values`.
+  struct Meta {
+    bool tombstone = false;
+    SimTime deleted_at = 0;
+  };
+
   // Versions of one key, kept sorted ascending — "latest" is back(). Puts
   // arrive in near-increasing version order, so insertion is an amortized
   // O(1) push_back; a flat vector beats a std::map here (no per-version
@@ -47,11 +59,21 @@ class MemStore final : public Store {
   struct VersionedValues {
     std::vector<Version> versions;  ///< sorted ascending
     std::vector<Payload> values;    ///< parallel to `versions`
+    std::vector<Meta> meta;         ///< parallel to `versions`
+    /// Newest tombstone version currently stored for this key (0 = none).
+    /// GC of the tombstone forgets the delete entirely — that is the
+    /// grace-period contract.
+    Version max_tombstone = 0;
 
     /// Index of `version`, or npos.
     [[nodiscard]] std::size_t find(Version version) const;
     static constexpr std::size_t npos = ~std::size_t{0};
   };
+
+  [[nodiscard]] Object object_at(const Key& key, const VersionedValues& slot,
+                                 std::size_t index) const;
+  /// Erases entry `index` from `slot`, updating the global counters.
+  void erase_entry(VersionedValues& slot, std::size_t index);
 
   std::unordered_map<Key, VersionedValues> data_;
   std::size_t object_count_ = 0;

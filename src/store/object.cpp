@@ -2,9 +2,15 @@
 
 namespace dataflasks::store {
 
+namespace {
+constexpr std::uint8_t kFlagTombstone = 0x01;
+}  // namespace
+
 void encode(Writer& w, const Object& obj) {
   w.str(obj.key);
   w.u64(obj.version);
+  w.u8(obj.tombstone ? kFlagTombstone : 0);
+  if (obj.tombstone) w.i64(obj.deleted_at);
   w.bytes(obj.value);
 }
 
@@ -12,6 +18,9 @@ Object decode_object(Reader& r) {
   Object obj;
   obj.key = r.str();
   obj.version = r.u64();
+  const std::uint8_t flags = r.u8();
+  obj.tombstone = (flags & kFlagTombstone) != 0;
+  if (obj.tombstone) obj.deleted_at = r.i64();
   // Zero-copy when the Reader wraps a Payload: the value stays a view into
   // the network frame it arrived in.
   obj.value = r.payload();

@@ -2,6 +2,14 @@
 // assigned by the upper layer (DataDroplets in STRATUS); DataFlasks never
 // resolves conflicts itself — puts on the same key are totally ordered
 // before they reach us (paper §III).
+//
+// Deletion is represented by tombstone objects: a delete stores an object
+// with the tombstone flag, an empty value and a deletion stamp. Tombstones
+// replicate and repair exactly like writes (spray, replicate push,
+// anti-entropy digests), which is what makes delete safe under epidemic
+// dissemination: a replica that missed the delete converges to the
+// tombstone instead of resurrecting the value. A garbage collector drops
+// tombstones once they are older than a configurable grace period.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +27,31 @@ struct Object {
   /// state transfer hand the same buffer around instead of copying it, and
   /// decoding an object out of a frame keeps a view into that frame.
   Payload value;
+  /// Deletion marker: this version records "the key was deleted here".
+  /// Tombstones carry an empty value.
+  bool tombstone = false;
+  /// When the delete was accepted, stamped by the first storing replica's
+  /// clock and propagated as-is. GC drops the tombstone once
+  /// now - deleted_at exceeds the grace period (real deployments therefore
+  /// want loosely synchronized clocks, as in other tombstone-based stores).
+  SimTime deleted_at = 0;
+
+  [[nodiscard]] static Object make_tombstone(Key key, Version version,
+                                             SimTime deleted_at) {
+    Object obj;
+    obj.key = std::move(key);
+    obj.version = version;
+    obj.tombstone = true;
+    obj.deleted_at = deleted_at;
+    return obj;
+  }
 
   friend bool operator==(const Object&, const Object&) = default;
 };
 
 /// Compact identity of an object: what anti-entropy digests carry.
+/// Tombstones appear in digests like any stored version, so anti-entropy
+/// heals missed deletes the same way it heals missed writes.
 struct DigestEntry {
   Key key;
   Version version = 0;
@@ -41,6 +69,7 @@ void encode(Writer& w, const DigestEntry& entry);
 /// Exact wire sizes, so encoders can reserve once instead of regrowing.
 [[nodiscard]] inline std::size_t encoded_size(const Object& obj) {
   return sizeof(std::uint32_t) + obj.key.size() + sizeof(Version) +
+         /*flags*/ 1 + (obj.tombstone ? sizeof(std::int64_t) : 0) +
          sizeof(std::uint32_t) + obj.value.size();
 }
 [[nodiscard]] inline std::size_t encoded_size(const DigestEntry& entry) {

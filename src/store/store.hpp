@@ -20,11 +20,30 @@ class Store {
   /// Stores an object. Re-storing the same (key, version) is idempotent;
   /// a different value for an existing (key, version) is a conflict (the
   /// upper layer guarantees this never happens, so we surface it loudly).
+  ///
+  /// Tombstone semantics: storing a tombstone at version v drops every
+  /// version < v of the key (the delete supersedes them); storing a value
+  /// at a version <= the key's newest tombstone is discarded and reported
+  /// as Error::Code::kSuperseded (a late replica copy must not resurrect a
+  /// deleted key, and a write ack must not claim a discarded put was
+  /// stored). A value above the tombstone legitimately recreates the key.
   virtual Status put(const Object& obj) = 0;
 
-  /// `version == nullopt` means "latest stored version".
+  /// `version == nullopt` means "latest stored version". Tombstones are
+  /// returned like any stored version (check Object::tombstone); callers
+  /// that serve reads translate a tombstone into an authoritative miss.
   [[nodiscard]] virtual Result<Object> get(
       const Key& key, std::optional<Version> version) const = 0;
+
+  /// Newest tombstone version stored for `key`, or 0 when none. Used by
+  /// anti-entropy to skip pulling versions our own tombstone supersedes,
+  /// and by read paths to answer "deleted" authoritatively.
+  [[nodiscard]] virtual Version tombstone_version(const Key& key) const = 0;
+
+  /// Drops tombstones whose deletion stamp is older than `now - grace`
+  /// (a tombstone must outlive the anti-entropy convergence window, or a
+  /// lagging replica could resurrect the value). Returns removed count.
+  virtual std::size_t gc_tombstones(SimTime now, SimTime grace) = 0;
 
   [[nodiscard]] virtual bool contains(const Key& key,
                                       Version version) const = 0;

@@ -57,11 +57,36 @@ WorkloadSpec WorkloadSpec::write_only() {
   return s;
 }
 
+WorkloadSpec WorkloadSpec::delete_heavy() {
+  WorkloadSpec s;
+  s.name = "delete-heavy";
+  s.read_proportion = 0.4;
+  s.update_proportion = 0.3;
+  s.delete_proportion = 0.2;
+  s.insert_proportion = 0.1;  // keyspace shrinks without fresh inserts
+  s.distribution = KeyDistribution::kUniform;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::with_deletes(double fraction) const {
+  ensure(fraction >= 0.0 && fraction < 1.0,
+         "with_deletes: fraction must be in [0, 1)");
+  WorkloadSpec s = *this;
+  const double keep = 1.0 - fraction;
+  s.read_proportion *= keep;
+  s.update_proportion *= keep;
+  s.insert_proportion *= keep;
+  s.rmw_proportion *= keep;
+  s.delete_proportion = s.delete_proportion * keep + fraction;
+  return s;
+}
+
 WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec, Rng rng)
     : spec_(std::move(spec)), rng_(rng), insert_cursor_(spec_.record_count) {
   ensure(spec_.record_count > 0, "workload: zero records");
   const double total = spec_.read_proportion + spec_.update_proportion +
-                       spec_.insert_proportion + spec_.rmw_proportion;
+                       spec_.insert_proportion + spec_.rmw_proportion +
+                       spec_.delete_proportion;
   ensure(total > 0.999 && total < 1.001, "workload proportions must sum to 1");
 
   switch (spec_.distribution) {
@@ -101,6 +126,7 @@ OpKind WorkloadGenerator::choose_kind() {
   if ((p -= spec_.read_proportion) < 0) return OpKind::kRead;
   if ((p -= spec_.update_proportion) < 0) return OpKind::kUpdate;
   if ((p -= spec_.insert_proportion) < 0) return OpKind::kInsert;
+  if ((p -= spec_.delete_proportion) < 0) return OpKind::kDelete;
   return OpKind::kReadModifyWrite;
 }
 

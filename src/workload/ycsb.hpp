@@ -18,6 +18,7 @@ enum class OpKind : std::uint8_t {
   kUpdate,           ///< write a new version of an existing record
   kInsert,           ///< write a brand-new record
   kReadModifyWrite,  ///< read then update the same record
+  kDelete,           ///< tombstone the record (epidemic delete)
 };
 
 struct Op {
@@ -36,6 +37,7 @@ struct WorkloadSpec {
   double update_proportion = 0.0;
   double insert_proportion = 0.0;
   double rmw_proportion = 0.0;
+  double delete_proportion = 0.0;
   KeyDistribution distribution = KeyDistribution::kZipfian;
   std::size_t value_size = 100;
 
@@ -47,6 +49,13 @@ struct WorkloadSpec {
   [[nodiscard]] static WorkloadSpec F();  ///< read-modify-write 50/50, zipf
   /// The paper's evaluation workload: 100% writes.
   [[nodiscard]] static WorkloadSpec write_only();
+  /// Churn-the-keyspace mix: reads + updates + deletes + compensating
+  /// inserts, exercising tombstone dissemination under load.
+  [[nodiscard]] static WorkloadSpec delete_heavy();
+
+  /// Rescales the mix to include `fraction` deletes (taken pro-rata from
+  /// the other proportions). Used by the workbench's deletes= knob.
+  [[nodiscard]] WorkloadSpec with_deletes(double fraction) const;
 };
 
 /// Deterministic op-stream generator for one logical YCSB client.

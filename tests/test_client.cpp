@@ -7,6 +7,7 @@
 
 #include "client/client.hpp"
 #include "client/load_balancer.hpp"
+#include "client/session.hpp"
 #include "harness/cluster.hpp"
 #include "test_util.hpp"
 
@@ -178,6 +179,217 @@ TEST_F(ClientClusterTest, RetrySucceedsWhenFirstContactIsDead) {
   }
   cluster_->run_for(60 * kSeconds);
   EXPECT_EQ(successes, 10);
+}
+
+// ---- delete / tombstones ----------------------------------------------------
+
+TEST_F(ClientClusterTest, DeleteIsAcknowledgedAndGetsReportDeleted) {
+  auto& client = cluster_->add_client();
+  client.put("doomed", Bytes{1}, 1, nullptr);
+  cluster_->run_for(15 * kSeconds);
+
+  DelResult del;
+  client.del("doomed", 2, [&](const DelResult& r) { del = r; });
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(del.ok);
+  EXPECT_EQ(del.key, "doomed");
+  EXPECT_EQ(del.version, 2u);
+
+  // Let the tombstone replicate slice-wide, then read: the get completes
+  // with an authoritative "deleted" instead of timing out.
+  cluster_->run_for(30 * kSeconds);
+  GetResult get;
+  get.ok = true;
+  client.get("doomed", std::nullopt, [&](const GetResult& r) { get = r; });
+  cluster_->run_for(15 * kSeconds);
+  EXPECT_FALSE(get.ok);
+  EXPECT_TRUE(get.deleted);
+  EXPECT_EQ(client.metrics().counter_value("client.gets_deleted"), 1u);
+
+  // A write below the tombstone's version is rejected honestly — not
+  // acked as stored and silently dropped.
+  PutResult stale;
+  client.put("doomed", Bytes{9}, 1, [&](const PutResult& r) { stale = r; });
+  cluster_->run_for(15 * kSeconds);
+  EXPECT_FALSE(stale.ok);
+  EXPECT_TRUE(stale.superseded);
+}
+
+TEST_F(ClientClusterTest, AntiEntropyHealsToTombstoneNotValue) {
+  auto& client = cluster_->add_client();
+  const Bytes stale_value{0xBE, 0xEF};
+  client.put("zombie", stale_value, 1, nullptr);
+  cluster_->run_for(20 * kSeconds);
+  client.del("zombie", 2, nullptr);
+  cluster_->run_for(40 * kSeconds);  // tombstone converges slice-wide
+
+  // Simulate a replica that missed the delete (rejoined from an old disk
+  // image): wipe the key on one slice member and plant the stale value.
+  core::Node* lagging = nullptr;
+  for (std::size_t i = 0; i < cluster_->size(); ++i) {
+    auto& node = cluster_->node(i);
+    if (node.running() && node.key_slice("zombie") == node.slice()) {
+      lagging = &node;
+      break;
+    }
+  }
+  ASSERT_NE(lagging, nullptr);
+  lagging->store().remove_keys_where(
+      [](const Key& k) { return k == "zombie"; });
+  ASSERT_TRUE(lagging->store().put({"zombie", 1, stale_value}).ok());
+  ASSERT_TRUE(lagging->store().contains("zombie", 1));
+
+  // Anti-entropy must converge the lagging replica to the tombstone — and
+  // must NOT spread the stale value back to the healed members.
+  cluster_->run_for(60 * kSeconds);
+  EXPECT_FALSE(lagging->store().contains("zombie", 1))
+      << "stale value survived anti-entropy";
+  EXPECT_EQ(lagging->store().tombstone_version("zombie"), 2u)
+      << "lagging replica did not converge to the tombstone";
+  EXPECT_EQ(cluster_->replica_count("zombie", 1), 0u)
+      << "the deleted value resurrected somewhere";
+}
+
+// ---- batched operations -----------------------------------------------------
+
+TEST_F(ClientClusterTest, BatchPipelinesOpsInOneEnvelope) {
+  auto& client = cluster_->add_client();
+  std::vector<core::Operation> ops;
+  for (int i = 0; i < 8; ++i) {
+    ops.push_back(core::Operation::put("batch" + std::to_string(i), 1,
+                                       Bytes{static_cast<std::uint8_t>(i)}));
+  }
+  std::vector<OpResult> results;
+  client.execute(std::move(ops),
+                 [&](const std::vector<OpResult>& r) { results = r; });
+  cluster_->run_for(15 * kSeconds);
+
+  ASSERT_EQ(results.size(), 8u);
+  for (const OpResult& r : results) {
+    EXPECT_TRUE(r.ok) << r.key;
+    EXPECT_EQ(r.type, core::OpType::kPut);
+  }
+  // The whole batch went out as one envelope (no retries needed here).
+  EXPECT_EQ(client.metrics().counter_value("client.envelopes_sent"), 1u);
+  EXPECT_EQ(client.metrics().counter_value("client.batches"), 1u);
+  EXPECT_EQ(client.inflight(), 0u);
+
+  // And the writes are individually readable afterwards.
+  GetResult got;
+  client.get("batch3", std::nullopt, [&](const GetResult& r) { got = r; });
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(got.object.value, Bytes{3});
+}
+
+TEST_F(ClientClusterTest, MixedBatchResolvesPerOperation) {
+  auto& client = cluster_->add_client();
+  client.put("mixed-old", Bytes{7}, 1, nullptr);
+  cluster_->run_for(15 * kSeconds);
+
+  ClientOptions fail_fast;
+  fail_fast.request_timeout = 2 * kSeconds;
+  fail_fast.max_attempts = 2;
+  auto& batcher = cluster_->add_client(fail_fast);
+
+  std::vector<core::Operation> ops;
+  ops.push_back(core::Operation::get("mixed-old"));          // hit
+  ops.push_back(core::Operation::put("mixed-new", 1, Bytes{8}));
+  ops.push_back(core::Operation::get("mixed-missing"));      // times out
+  std::vector<OpResult> results;
+  batcher.execute(std::move(ops),
+                  [&](const std::vector<OpResult>& r) { results = r; });
+  cluster_->run_for(30 * kSeconds);
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_EQ(results[0].object.value, Bytes{7});
+  EXPECT_TRUE(results[1].ok);
+  // The missing get fails alone after the retry budget — it does not drag
+  // the served ops down with it.
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_FALSE(results[2].deleted);
+  EXPECT_EQ(results[2].attempts, 2u);
+}
+
+TEST_F(ClientClusterTest, OversizedBatchSplitsIntoMultipleEnvelopes) {
+  auto& client = cluster_->add_client();
+  // 5 puts x 20 kB = ~100 kB of ops against a 48 kB per-datagram budget:
+  // the batch must ship as several envelopes (a single frame would be
+  // dropped by the real UDP transport) and still resolve as one batch.
+  std::vector<core::Operation> ops;
+  for (int i = 0; i < 5; ++i) {
+    ops.push_back(core::Operation::put("big" + std::to_string(i), 1,
+                                       Bytes(20 * 1024, 0xAB)));
+  }
+  std::vector<OpResult> results;
+  client.execute(std::move(ops),
+                 [&](const std::vector<OpResult>& r) { results = r; });
+  cluster_->run_for(15 * kSeconds);
+
+  ASSERT_EQ(results.size(), 5u);
+  for (const OpResult& r : results) EXPECT_TRUE(r.ok) << r.key;
+  EXPECT_GE(client.metrics().counter_value("client.envelopes_sent"), 3u);
+  EXPECT_EQ(client.metrics().counter_value("client.batches"), 1u);
+}
+
+// ---- session futures --------------------------------------------------------
+
+TEST_F(ClientClusterTest, SessionFuturesResolveAndChain) {
+  auto& client = cluster_->add_client();
+  Session session(client);
+
+  auto put = session.put("fut", Bytes{9});
+  EXPECT_FALSE(put.ready());
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(put.ready());
+  EXPECT_TRUE(put.value().ok);
+
+  auto got = session.get("fut");
+  bool chained = false;
+  got.then([&](const GetResult& r) { chained = r.ok; });
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(got.ready());
+  EXPECT_TRUE(chained);
+  EXPECT_EQ(got.value().object.value, Bytes{9});
+  // then() after completion fires immediately.
+  bool immediate = false;
+  got.then([&](const GetResult&) { immediate = true; });
+  EXPECT_TRUE(immediate);
+
+  auto gone = session.del("fut");
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(gone.ready());
+  EXPECT_TRUE(gone.value().ok);
+}
+
+TEST_F(ClientClusterTest, SessionBatchSurfaces) {
+  auto& client = cluster_->add_client();
+  Session session(client);
+
+  auto batch = session.put_batch({{"sb-a", Bytes{1}}, {"sb-b", Bytes{2}}});
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_TRUE(batch.ready());
+  EXPECT_TRUE(batch.value().all_ok());
+  ASSERT_EQ(batch.value().puts.size(), 2u);
+
+  auto many = session.get_many({"sb-a", "sb-b"});
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_TRUE(many.ready());
+  ASSERT_EQ(many.value().size(), 2u);
+  EXPECT_TRUE(many.value()[0].ok);
+  EXPECT_EQ(many.value()[0].object.value, Bytes{1});
+  EXPECT_TRUE(many.value()[1].ok);
+  EXPECT_EQ(many.value()[1].object.value, Bytes{2});
+
+  // Empty batches complete immediately instead of tripping the client's
+  // non-empty invariant.
+  auto none = session.get_many({});
+  ASSERT_TRUE(none.ready());
+  EXPECT_TRUE(none.value().empty());
+  auto no_puts = session.put_batch({});
+  ASSERT_TRUE(no_puts.ready());
+  EXPECT_TRUE(no_puts.value().all_ok());
 }
 
 TEST_F(ClientClusterTest, SliceCacheBalancerLearnsFromAcks) {

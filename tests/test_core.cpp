@@ -22,59 +22,92 @@ Bytes value_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
 
 // ---- message codecs ---------------------------------------------------------
 
-TEST(Messages, PutRequestRoundTrip) {
-  const PutRequest req{RequestId{1, 2}, NodeId(3),
-                       store::Object{"key", 4, value_of("value")}};
-  const Payload encoded = encode_inner(req);
-  EXPECT_EQ(peek_inner_kind(encoded), InnerKind::kPut);
-  const auto decoded = decode_put(encoded);
+TEST(Messages, OpEnvelopeRoundTrip) {
+  OpEnvelope envelope;
+  envelope.ops.push_back(RoutedOp{
+      RequestId{1, 2}, Operation::put("key", 4, value_of("value"))});
+  envelope.ops.push_back(RoutedOp{RequestId{1, 3}, Operation::get("k2")});
+  envelope.ops.push_back(
+      RoutedOp{RequestId{1, 4}, Operation::get("k3", Version{42})});
+  envelope.ops.push_back(RoutedOp{RequestId{1, 5}, Operation::del("k4", 9)});
+
+  const auto decoded = decode_op_envelope(encode(envelope));
   ASSERT_TRUE(decoded.has_value());
-  EXPECT_EQ(decoded->rid, req.rid);
-  EXPECT_EQ(decoded->client, req.client);
-  EXPECT_EQ(decoded->object, req.object);
+  EXPECT_EQ(decoded->protocol, kOpProtocolVersion);
+  ASSERT_EQ(decoded->ops.size(), 4u);
+  EXPECT_EQ(decoded->ops[0].rid, (RequestId{1, 2}));
+  EXPECT_EQ(decoded->ops[0].op.type, OpType::kPut);
+  EXPECT_EQ(decoded->ops[0].op.key, "key");
+  EXPECT_EQ(decoded->ops[0].op.version, Version{4});
+  EXPECT_EQ(decoded->ops[0].op.value, value_of("value"));
+  EXPECT_EQ(decoded->ops[1].op.type, OpType::kGet);
+  EXPECT_FALSE(decoded->ops[1].op.version.has_value());
+  EXPECT_EQ(decoded->ops[2].op.version, Version{42});
+  EXPECT_EQ(decoded->ops[3].op.type, OpType::kDelete);
+  EXPECT_EQ(decoded->ops[3].op.version, Version{9});
 }
 
-TEST(Messages, GetRequestRoundTripWithAndWithoutVersion) {
-  const GetRequest latest{RequestId{5, 6}, NodeId(7), "k", std::nullopt};
-  auto decoded = decode_get(encode_inner(latest));
-  ASSERT_TRUE(decoded.has_value());
-  EXPECT_FALSE(decoded->version.has_value());
-
-  const GetRequest versioned{RequestId{5, 7}, NodeId(7), "k", Version{42}};
-  decoded = decode_get(encode_inner(versioned));
-  ASSERT_TRUE(decoded.has_value());
-  ASSERT_TRUE(decoded->version.has_value());
-  EXPECT_EQ(*decoded->version, 42u);
+TEST(Messages, OpEnvelopeRejectsWrongProtocolVersion) {
+  OpEnvelope envelope;
+  envelope.protocol = kOpProtocolVersion + 1;
+  envelope.ops.push_back(RoutedOp{RequestId{1, 1}, Operation::get("k")});
+  EXPECT_FALSE(decode_op_envelope(encode(envelope)).has_value());
 }
 
-TEST(Messages, KindMismatchRejected) {
-  const PutRequest req{RequestId{1, 2}, NodeId(3),
-                       store::Object{"k", 1, value_of("v")}};
-  EXPECT_FALSE(decode_get(encode_inner(req)).has_value());
-  const GetRequest get{RequestId{1, 3}, NodeId(3), "k", std::nullopt};
-  EXPECT_FALSE(decode_put(encode_inner(get)).has_value());
+TEST(Messages, OpsRequestRoundTripAndKindMismatch) {
+  OpsRequest ops;
+  ops.ops.push_back(RoutedOp{RequestId{7, 1},
+                             Operation::put("a", 2, value_of("v"))});
+  const Payload encoded = encode_inner(ops);
+  EXPECT_EQ(peek_inner_kind(encoded), InnerKind::kOps);
+  const auto decoded = decode_ops(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->ops.size(), 1u);
+  EXPECT_EQ(decoded->ops[0].op.key, "a");
+
+  const Payload handoff =
+      encode_inner(HandoffRequest{store::Object{"k", 1, value_of("v")}});
+  EXPECT_EQ(peek_inner_kind(handoff), InnerKind::kHandoff);
+  EXPECT_FALSE(decode_ops(handoff).has_value());
+  EXPECT_FALSE(decode_handoff(encoded).has_value());
   EXPECT_FALSE(peek_inner_kind(Bytes{}).has_value());
   EXPECT_FALSE(peek_inner_kind(Bytes{0x99}).has_value());
 }
 
-TEST(Messages, AckReplyPushRoundTrip) {
-  const PutAck ack{RequestId{1, 1}, NodeId(2), 3, "k", 4};
-  auto decoded_ack = decode_put_ack(encode(ack));
-  ASSERT_TRUE(decoded_ack.has_value());
-  EXPECT_EQ(decoded_ack->slice, 3u);
-  EXPECT_EQ(decoded_ack->version, 4u);
+TEST(Messages, OpReplyBatchRoundTrip) {
+  OpReplyBatch batch;
+  batch.replica = NodeId(2);
+  batch.slice = 3;
+  batch.replies.push_back(OpReply{RequestId{1, 1}, OpType::kPut,
+                                  OpStatus::kOk, store::Object{"k", 4, {}}});
+  batch.replies.push_back(
+      OpReply{RequestId{1, 2}, OpType::kGet, OpStatus::kOk,
+              store::Object{"k", 9, value_of("v")}});
+  batch.replies.push_back(OpReply{RequestId{1, 3}, OpType::kGet,
+                                  OpStatus::kDeleted,
+                                  store::Object{"gone", 11, {}}});
 
-  const GetReply reply{RequestId{2, 2}, NodeId(5), 1, true,
-                       store::Object{"k", 9, value_of("v")}};
-  auto decoded_reply = decode_get_reply(encode(reply));
-  ASSERT_TRUE(decoded_reply.has_value());
-  EXPECT_TRUE(decoded_reply->found);
-  EXPECT_EQ(decoded_reply->object.version, 9u);
+  const auto decoded = decode_op_reply_batch(encode(batch));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->replica, NodeId(2));
+  EXPECT_EQ(decoded->slice, 3u);
+  ASSERT_EQ(decoded->replies.size(), 3u);
+  EXPECT_EQ(decoded->replies[0].status, OpStatus::kOk);
+  EXPECT_EQ(decoded->replies[0].object.version, 4u);
+  EXPECT_EQ(decoded->replies[1].object.value, value_of("v"));
+  EXPECT_EQ(decoded->replies[2].status, OpStatus::kDeleted);
+}
 
-  const ReplicatePush push{store::Object{"k", 1, value_of("v")}};
+TEST(Messages, ReplicatePushCarriesBatchesAndTombstones) {
+  ReplicatePush push;
+  push.objects.push_back(store::Object{"k", 1, value_of("v")});
+  push.objects.push_back(store::Object::make_tombstone("gone", 5, 1234));
   auto decoded_push = decode_replicate_push(encode(push));
   ASSERT_TRUE(decoded_push.has_value());
-  EXPECT_EQ(decoded_push->object, push.object);
+  ASSERT_EQ(decoded_push->objects.size(), 2u);
+  EXPECT_EQ(decoded_push->objects[0], push.objects[0]);
+  EXPECT_TRUE(decoded_push->objects[1].tombstone);
+  EXPECT_EQ(decoded_push->objects[1].deleted_at, 1234);
 }
 
 TEST(Messages, AdvertAndAeRoundTrip) {
@@ -111,16 +144,17 @@ TEST(Messages, StateTransferRoundTrip) {
 
 TEST(Messages, MalformedPayloadsReturnNullopt) {
   const Bytes junk{0x01, 0x02, 0x03};
-  EXPECT_FALSE(decode_put(junk).has_value());
-  EXPECT_FALSE(decode_put_ack(junk).has_value());
-  EXPECT_FALSE(decode_get_reply(junk).has_value());
+  EXPECT_FALSE(decode_op_envelope(junk).has_value());
+  EXPECT_FALSE(decode_ops(junk).has_value());
+  EXPECT_FALSE(decode_op_reply_batch(junk).has_value());
   EXPECT_FALSE(decode_slice_advert(junk).has_value());
   EXPECT_FALSE(decode_ae_digest(junk).has_value());
   EXPECT_FALSE(decode_st_reply(junk).has_value());
 }
 
 TEST(Messages, CategoryAssignment) {
-  EXPECT_EQ(net::category_of(kClientPut), net::MsgCategory::kRequest);
+  EXPECT_EQ(net::category_of(kOpEnvelope), net::MsgCategory::kRequest);
+  EXPECT_EQ(net::category_of(kOpReplyBatch), net::MsgCategory::kRequest);
   EXPECT_EQ(net::category_of(kReplicatePush), net::MsgCategory::kRequest);
   EXPECT_EQ(net::category_of(kSliceAdvert), net::MsgCategory::kSlicing);
   EXPECT_EQ(net::category_of(kAeDigest), net::MsgCategory::kAntiEntropy);

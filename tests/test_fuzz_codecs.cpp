@@ -19,45 +19,67 @@ struct CodecCase {
   std::function<void(const Bytes&)> decode;  ///< must not throw / crash
 };
 
-Payload valid_put() {
-  return core::encode_inner(core::PutRequest{
-      RequestId{1, 2}, NodeId(3),
-      store::Object{"some-key", 7, Bytes{1, 2, 3, 4, 5}}});
+/// A mixed envelope: put + latest-get + versioned-get + delete, so the
+/// truncation sweep crosses every per-type field layout, and a tombstone
+/// object so the flags/deleted_at path is fuzzed too.
+Payload valid_envelope() {
+  core::OpEnvelope envelope;
+  envelope.ops.push_back(core::RoutedOp{
+      RequestId{1, 2},
+      core::Operation::put("some-key", 7, Bytes{1, 2, 3, 4, 5})});
+  envelope.ops.push_back(
+      core::RoutedOp{RequestId{1, 3}, core::Operation::get("latest-key")});
+  envelope.ops.push_back(core::RoutedOp{
+      RequestId{1, 4}, core::Operation::get("versioned-key", Version{2})});
+  envelope.ops.push_back(
+      core::RoutedOp{RequestId{1, 5}, core::Operation::del("dead-key", 9)});
+  return core::encode(envelope);
 }
 
 std::vector<CodecCase> all_codecs() {
   return {
-      {"put_request", valid_put,
-       [](const Bytes& b) { (void)core::decode_put(b); }},
-      {"get_request",
+      {"op_envelope", valid_envelope,
+       [](const Bytes& b) { (void)core::decode_op_envelope(b); }},
+      {"ops_inner",
        []() {
-         return core::encode_inner(
-             core::GetRequest{RequestId{4, 5}, NodeId(6), "key", Version{2}});
+         core::OpsRequest ops;
+         ops.ops.push_back(core::RoutedOp{
+             RequestId{4, 5}, core::Operation::put("key", 2, Bytes{8})});
+         ops.ops.push_back(
+             core::RoutedOp{RequestId{4, 6}, core::Operation::del("gone", 3)});
+         return core::encode_inner(ops);
        },
-       [](const Bytes& b) { (void)core::decode_get(b); }},
+       [](const Bytes& b) { (void)core::decode_ops(b); }},
       {"handoff",
        []() {
          return core::encode_inner(
              core::HandoffRequest{store::Object{"k", 1, Bytes{9}}});
        },
        [](const Bytes& b) { (void)core::decode_handoff(b); }},
-      {"put_ack",
+      {"op_reply_batch",
        []() {
-         return core::encode(
-             core::PutAck{RequestId{1, 1}, NodeId(2), 3, "key", 4});
-       },
-       [](const Bytes& b) { (void)core::decode_put_ack(b); }},
-      {"get_reply",
-       []() {
-         return core::encode(core::GetReply{
-             RequestId{2, 2}, NodeId(5), 1, true,
+         core::OpReplyBatch batch;
+         batch.replica = NodeId(2);
+         batch.slice = 3;
+         batch.replies.push_back(
+             core::OpReply{RequestId{1, 1}, core::OpType::kPut,
+                           core::OpStatus::kOk, store::Object{"key", 4, {}}});
+         batch.replies.push_back(core::OpReply{
+             RequestId{1, 2}, core::OpType::kGet, core::OpStatus::kOk,
              store::Object{"key", 9, Bytes{1, 2}}});
+         batch.replies.push_back(core::OpReply{
+             RequestId{1, 3}, core::OpType::kGet, core::OpStatus::kDeleted,
+             store::Object{"gone", 11, {}}});
+         return core::encode(batch);
        },
-       [](const Bytes& b) { (void)core::decode_get_reply(b); }},
+       [](const Bytes& b) { (void)core::decode_op_reply_batch(b); }},
       {"replicate_push",
        []() {
-         return core::encode(
-             core::ReplicatePush{store::Object{"key", 1, Bytes{7}}});
+         core::ReplicatePush push;
+         push.objects.push_back(store::Object{"key", 1, Bytes{7}});
+         push.objects.push_back(
+             store::Object::make_tombstone("dead", 2, 777));
+         return core::encode(push);
        },
        [](const Bytes& b) { (void)core::decode_replicate_push(b); }},
       {"slice_advert",
@@ -76,8 +98,9 @@ std::vector<CodecCase> all_codecs() {
        [](const Bytes& b) { (void)core::decode_ae_pull(b); }},
       {"ae_push",
        []() {
-         return core::encode(
-             core::AePush{{store::Object{"k", 1, Bytes{1, 2, 3}}}});
+         return core::encode(core::AePush{
+             {store::Object{"k", 1, Bytes{1, 2, 3}},
+              store::Object::make_tombstone("dead", 4, 99)}});
        },
        [](const Bytes& b) { (void)core::decode_ae_push(b); }},
       {"st_request",
@@ -137,7 +160,7 @@ TEST_P(CodecFuzzTest, RandomGarbageIsHandled) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecFuzzTest,
-                         ::testing::Range<std::size_t>(0, 12),
+                         ::testing::Range<std::size_t>(0, 11),
                          [](const auto& info) {
                            return std::string(all_codecs()[info.param].name);
                          });

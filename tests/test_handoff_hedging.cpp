@@ -35,7 +35,7 @@ TEST(HintedHandoff, MisroutedPushIsRehomedToItsSlice) {
   }
   ASSERT_NE(wrong_node, nullptr);
 
-  const core::ReplicatePush push{store::Object{key, 1, Bytes{0xEE}}};
+  const core::ReplicatePush push{{store::Object{key, 1, Bytes{0xEE}}}};
   cluster.transport().send(net::Message{NodeId(999999), wrong_node->id(),
                                         core::kReplicatePush,
                                         core::encode(push)});
@@ -68,7 +68,7 @@ TEST(HintedHandoff, DisabledMeansMisroutesAreDropped) {
   }
   ASSERT_NE(wrong_node, nullptr);
 
-  const core::ReplicatePush push{store::Object{key, 1, Bytes{0xEE}}};
+  const core::ReplicatePush push{{store::Object{key, 1, Bytes{0xEE}}}};
   cluster.transport().send(net::Message{NodeId(999999), wrong_node->id(),
                                         core::kReplicatePush,
                                         core::encode(push)});
@@ -94,7 +94,7 @@ TEST(HintedHandoff, RepeatedMisroutesAreRehomedOnce) {
 
   // The same misrouted copy arrives several times (duplicated pushes);
   // the fingerprint dedup must re-home it exactly once.
-  const core::ReplicatePush push{store::Object{key, 1, Bytes{0xEE}}};
+  const core::ReplicatePush push{{store::Object{key, 1, Bytes{0xEE}}}};
   for (int i = 0; i < 5; ++i) {
     cluster.transport().send(net::Message{NodeId(999999), wrong_node->id(),
                                           core::kReplicatePush,

@@ -85,23 +85,25 @@ TEST(NodeDurability, DurableNodeServesRecoveredDataToClients) {
   node->crash();
   node->start({});
 
-  // A direct get request must be answerable from the recovered log.
+  // A direct get envelope must be answerable from the recovered log.
   bool got = false;
   Payload value;
   bundle.transport->register_handler(
       NodeId(500), [&](const net::Message& msg) {
-        if (msg.type == kGetReply) {
-          const auto reply = decode_get_reply(msg.payload);
-          if (reply && reply->found) {
+        if (msg.type == kOpReplyBatch) {
+          const auto batch = decode_op_reply_batch(msg.payload);
+          if (batch && !batch->replies.empty() &&
+              batch->replies.front().status == OpStatus::kOk) {
             got = true;
-            value = reply->object.value;
+            value = batch->replies.front().object.value;
           }
         }
       });
-  const GetRequest request{RequestId{500, 1}, NodeId(500), "answer",
-                           std::nullopt};
-  bundle.transport->send(net::Message{NodeId(500), NodeId(0), kClientGet,
-                                      encode_inner(request)});
+  OpEnvelope envelope;
+  envelope.ops.push_back(
+      RoutedOp{RequestId{500, 1}, Operation::get("answer")});
+  bundle.transport->send(
+      net::Message{NodeId(500), NodeId(0), kOpEnvelope, encode(envelope)});
   bundle.run_for(5 * kSeconds);
 
   EXPECT_TRUE(got);

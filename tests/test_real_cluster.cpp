@@ -149,19 +149,30 @@ TEST(RealCluster, LoopbackPutQuorumGetAndFullReplication) {
 // the same event count and reach the same replica state; a third with a
 // different seed almost surely diverges.
 TEST(RealCluster, SimulatorPathStaysDeterministic) {
+  // The traffic mix deliberately includes the whole operation API: single
+  // put, a mixed batch envelope (puts + get), and a delete whose tombstone
+  // replicates and is GC-eligible — same seed must still mean same events.
   const auto run_once = [](std::uint64_t seed) {
     harness::ClusterOptions options;
     options.node_count = 40;
     options.seed = seed;
     options.node.slice_config = {4, 1};
+    options.node.tombstone_grace = 20 * kSeconds;
+    options.node.tombstone_gc_period = 5 * kSeconds;
     harness::Cluster cluster(options);
     cluster.start_all();
     auto& client = cluster.add_client();
     client.put("det-key", Bytes{1, 2, 3}, 5, nullptr);
+    client.execute({core::Operation::put("det-batch-a", 1, Bytes{1}),
+                    core::Operation::put("det-batch-b", 1, Bytes{2}),
+                    core::Operation::get("det-key")},
+                   nullptr);
+    client.del("det-batch-a", 9, nullptr);
     const std::uint64_t events =
         cluster.simulator().run_until(60 * kSeconds);
     return std::pair<std::uint64_t, std::size_t>(
-        events, cluster.replica_count("det-key", 5));
+        events, cluster.replica_count("det-key", 5) +
+                    cluster.replica_count("det-batch-b", 1));
   };
 
   const auto a = run_once(1234);

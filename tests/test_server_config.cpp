@@ -7,6 +7,7 @@
 #include <fstream>
 #include <string>
 
+#include "net/udp_transport.hpp"
 #include "server/config.hpp"
 
 namespace dataflasks::server {
@@ -110,6 +111,51 @@ TEST(ServerConfig, PositionalArgumentsAreCollectedWhenRequested) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(positional,
             (std::vector<std::string>{"put", "key", "value"}));
+}
+
+TEST(ServerConfig, StoreDataDirAndLogLevelFlags) {
+  auto parsed = parse_server_args({"--id", "3", "--store", "durable",
+                                   "--data-dir", "/tmp/df", "--log-level",
+                                   "debug"});
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().store, StoreKind::kDurable);
+  EXPECT_EQ(parsed.value().data_dir, "/tmp/df");
+  EXPECT_EQ(parsed.value().log_level, "debug");
+  EXPECT_EQ(parsed.value().store_path(), "/tmp/df/dataflasks-3.log");
+
+  // Defaults: volatile memory store, info logs, data in the cwd.
+  auto defaults = parse_server_args({});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.value().store, StoreKind::kMemory);
+  EXPECT_EQ(defaults.value().store_path(), "./dataflasks-0.log");
+
+  EXPECT_FALSE(parse_server_args({"--store", "floppy"}).ok());
+  EXPECT_FALSE(parse_server_args({"--log-level", "loud"}).ok());
+}
+
+TEST(ServerConfig, HostnamesAcceptedInPeerAndListenSpecs) {
+  // The grammar keeps the host opaque; DNS names parse like addresses.
+  PeerSpec peer;
+  ASSERT_TRUE(parse_peer_spec("2@node-2.cluster.example:7102", peer));
+  EXPECT_EQ(peer.host, "node-2.cluster.example");
+  EXPECT_EQ(peer.port, 7102);
+
+  std::string host;
+  std::uint16_t port = 0;
+  ASSERT_TRUE(parse_host_port("localhost:7100", host, port));
+  EXPECT_EQ(host, "localhost");
+}
+
+TEST(ServerConfig, ResolveIpv4HandlesNamesAndNumericAddresses) {
+  // Numeric addresses pass through untouched.
+  EXPECT_EQ(net::resolve_ipv4("10.1.2.3"), std::optional<std::string>("10.1.2.3"));
+  // "localhost" resolves via getaddrinfo (/etc/hosts — no network needed).
+  const auto localhost = net::resolve_ipv4("localhost");
+  ASSERT_TRUE(localhost.has_value());
+  EXPECT_EQ(*localhost, "127.0.0.1");
+  // Unresolvable names are a clean nullopt, not an abort.
+  EXPECT_FALSE(
+      net::resolve_ipv4("definitely-not-a-real-host.invalid.").has_value());
 }
 
 }  // namespace

@@ -158,6 +158,91 @@ TEST_P(StoreContractTest, EmptyValueSupported) {
   EXPECT_TRUE(got.value().value.empty());
 }
 
+// ---- tombstones (delete semantics shared by both stores) --------------------
+
+TEST_P(StoreContractTest, TombstoneSupersedesOlderVersions) {
+  ASSERT_TRUE(store_->put({"k", 1, value_of("v1")}).ok());
+  ASSERT_TRUE(store_->put({"k", 2, value_of("v2")}).ok());
+  ASSERT_TRUE(store_->put(Object::make_tombstone("k", 3, 1000)).ok());
+
+  // Older versions are gone; the tombstone is the latest version.
+  EXPECT_FALSE(store_->contains("k", 1));
+  EXPECT_FALSE(store_->contains("k", 2));
+  EXPECT_TRUE(store_->contains("k", 3));
+  EXPECT_EQ(store_->tombstone_version("k"), 3u);
+  auto latest = store_->get("k", std::nullopt);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_TRUE(latest.value().tombstone);
+  EXPECT_EQ(latest.value().version, 3u);
+  EXPECT_EQ(latest.value().deleted_at, 1000);
+  EXPECT_EQ(store_->object_count(), 1u);
+}
+
+TEST_P(StoreContractTest, LateValueBehindTombstoneIsDiscarded) {
+  ASSERT_TRUE(store_->put(Object::make_tombstone("k", 5, 1000)).ok());
+  // A replica copy of the deleted value arrives late: discarded, and
+  // reported as superseded so write paths don't ack a dropped put.
+  const Status stale = store_->put({"k", 2, value_of("stale")});
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error().code, Error::Code::kSuperseded);
+  EXPECT_FALSE(store_->contains("k", 2));
+  EXPECT_EQ(store_->object_count(), 1u);
+  // Digest lists only the tombstone, so anti-entropy spreads the delete.
+  const auto digest = store_->digest();
+  ASSERT_EQ(digest.size(), 1u);
+  EXPECT_EQ(digest.front().version, 5u);
+}
+
+TEST_P(StoreContractTest, HigherVersionRecreatesDeletedKey) {
+  ASSERT_TRUE(store_->put({"k", 1, value_of("old")}).ok());
+  ASSERT_TRUE(store_->put(Object::make_tombstone("k", 2, 1000)).ok());
+  ASSERT_TRUE(store_->put({"k", 3, value_of("reborn")}).ok());
+  auto latest = store_->get("k", std::nullopt);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_FALSE(latest.value().tombstone);
+  EXPECT_EQ(latest.value().value, value_of("reborn"));
+  // The tombstone is still stored (until GC) under its own version.
+  EXPECT_EQ(store_->tombstone_version("k"), 2u);
+}
+
+TEST_P(StoreContractTest, TombstoneRestoreIsIdempotent) {
+  ASSERT_TRUE(store_->put(Object::make_tombstone("k", 2, 1000)).ok());
+  ASSERT_TRUE(store_->put(Object::make_tombstone("k", 2, 1000)).ok());
+  EXPECT_EQ(store_->object_count(), 1u);
+}
+
+TEST_P(StoreContractTest, GcRespectsGracePeriod) {
+  ASSERT_TRUE(store_->put(Object::make_tombstone("a", 1, 1000)).ok());
+  ASSERT_TRUE(store_->put(Object::make_tombstone("b", 1, 5000)).ok());
+  ASSERT_TRUE(store_->put({"live", 1, value_of("x")}).ok());
+
+  // now=1999, grace=1000: a (stamped 1000) is not yet past grace.
+  EXPECT_EQ(store_->gc_tombstones(1999, 1000), 0u);
+  EXPECT_TRUE(store_->contains("a", 1));
+
+  // now=2000: a expires exactly at deleted_at + grace; b survives.
+  EXPECT_EQ(store_->gc_tombstones(2000, 1000), 1u);
+  EXPECT_FALSE(store_->contains("a", 1));
+  EXPECT_EQ(store_->tombstone_version("a"), 0u);
+  EXPECT_TRUE(store_->contains("b", 1));
+  EXPECT_TRUE(store_->contains("live", 1));
+  EXPECT_EQ(store_->object_count(), 2u);
+
+  // Digest no longer lists the collected tombstone.
+  for (const auto& entry : store_->digest()) {
+    EXPECT_NE(entry.key, "a");
+  }
+}
+
+TEST_P(StoreContractTest, GcForgetsDeleteEntirely) {
+  ASSERT_TRUE(store_->put(Object::make_tombstone("k", 5, 100)).ok());
+  EXPECT_EQ(store_->gc_tombstones(10'000, 100), 1u);
+  // After GC the delete is forgotten: an old version stores again (this is
+  // the documented resurrection window the grace period must outlive).
+  ASSERT_TRUE(store_->put({"k", 2, value_of("back")}).ok());
+  EXPECT_TRUE(store_->contains("k", 2));
+}
+
 INSTANTIATE_TEST_SUITE_P(AllStores, StoreContractTest,
                          ::testing::Values("mem", "log"),
                          [](const auto& info) {
@@ -201,7 +286,7 @@ TEST_F(LogStoreTest, TornTailIsDropped) {
   {
     // Simulate a torn write: append garbage that looks like a header start.
     std::FILE* f = std::fopen(path_.c_str(), "ab");
-    const std::uint32_t partial[2] = {0xDF1A5C05, 0xFFFFFFFF};
+    const std::uint32_t partial[2] = {0xDF1A5C06, 0xFFFFFFFF};
     std::fwrite(partial, sizeof partial, 1, f);
     std::fclose(f);
   }
@@ -265,6 +350,63 @@ TEST_F(LogStoreTest, CompactedStoreSurvivesReopen) {
   EXPECT_TRUE(reopened.contains("b", 1));
 }
 
+TEST_F(LogStoreTest, LegacyFormatLogRejectedLoudly) {
+  {
+    // A log in the pre-tombstone record format (old magic): opening it
+    // must be an explicit error, not a silent zero-object recovery.
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    const std::uint32_t legacy_header[3] = {0xDF1A5C05, 0, 0};
+    std::fwrite(legacy_header, sizeof legacy_header, 1, f);
+    std::fclose(f);
+  }
+  LogStore rejected(path_);
+  ASSERT_FALSE(rejected.open_status().ok());
+  EXPECT_EQ(rejected.open_status().error().code,
+            Error::Code::kInvalidArgument);
+}
+
+// ---- LogStore tombstone persistence ------------------------------------------
+
+TEST_F(LogStoreTest, TombstoneSurvivesReopen) {
+  {
+    LogStore s(path_);
+    ASSERT_TRUE(s.put({"k", 1, value_of("v1")}).ok());
+    ASSERT_TRUE(s.put(Object::make_tombstone("k", 2, 777)).ok());
+    ASSERT_TRUE(s.sync().ok());
+  }
+  LogStore reopened(path_);
+  ASSERT_TRUE(reopened.open_status().ok());
+  // Recovery replays the tombstone semantics: v1 pruned, delete intact.
+  EXPECT_FALSE(reopened.contains("k", 1));
+  EXPECT_EQ(reopened.tombstone_version("k"), 2u);
+  auto latest = reopened.get("k", std::nullopt);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_TRUE(latest.value().tombstone);
+  EXPECT_EQ(latest.value().deleted_at, 777);
+}
+
+TEST_F(LogStoreTest, GcThenCompactReclaimsTombstoneSpace) {
+  LogStore s(path_);
+  ASSERT_TRUE(s.put({"k", 1, Bytes(200, 0xAB)}).ok());
+  ASSERT_TRUE(s.put(Object::make_tombstone("k", 2, 100)).ok());
+  ASSERT_TRUE(s.put({"keep", 1, value_of("x")}).ok());
+  const std::size_t before = s.log_bytes();
+
+  EXPECT_EQ(s.gc_tombstones(10'000, 100), 1u);
+  auto reclaimed = s.compact();
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_LT(s.log_bytes(), before);
+  EXPECT_EQ(s.object_count(), 1u);
+  EXPECT_TRUE(s.contains("keep", 1));
+
+  // A reopen after GC+compact must not resurrect key or tombstone.
+  ASSERT_TRUE(s.sync().ok());
+  LogStore reopened(path_);
+  EXPECT_FALSE(reopened.contains("k", 1));
+  EXPECT_FALSE(reopened.contains("k", 2));
+  EXPECT_EQ(reopened.tombstone_version("k"), 0u);
+}
+
 // ---- object codec -----------------------------------------------------------------
 
 TEST(ObjectCodec, RoundTrip) {
@@ -275,6 +417,19 @@ TEST(ObjectCodec, RoundTrip) {
   const Object decoded = decode_object(r);
   EXPECT_TRUE(r.finish().ok());
   EXPECT_EQ(decoded, obj);
+}
+
+TEST(ObjectCodec, TombstoneRoundTrip) {
+  const Object tomb = Object::make_tombstone("gone", 7, 123456);
+  Writer w;
+  encode(w, tomb);
+  EXPECT_EQ(w.size(), encoded_size(tomb));
+  Reader r(w.view());
+  const Object decoded = decode_object(r);
+  EXPECT_TRUE(r.finish().ok());
+  EXPECT_EQ(decoded, tomb);
+  EXPECT_TRUE(decoded.tombstone);
+  EXPECT_EQ(decoded.deleted_at, 123456);
 }
 
 TEST(ObjectCodec, DigestEntryOrdering) {

@@ -176,13 +176,14 @@ TEST(SimTransport, PutFanOutPerformsExactlyOnePayloadAllocation) {
     bundle.transport->register_handler(NodeId(peer), [&](const Message& msg) {
       const auto push = core::decode_replicate_push(msg.payload);
       ASSERT_TRUE(push.has_value());
-      EXPECT_EQ(push->object, object);
+      ASSERT_EQ(push->objects.size(), 1u);
+      EXPECT_EQ(push->objects.front(), object);
       ++delivered;
     });
   }
 
   Payload::reset_alloc_stats();
-  const Payload encoded = core::encode(core::ReplicatePush{object});
+  const Payload encoded = core::encode(core::ReplicatePush{{object}});
   for (std::uint64_t peer = 2; peer <= 1 + kFanout; ++peer) {
     bundle.transport->send(
         Message{NodeId(1), NodeId(peer), core::kReplicatePush, encoded});
