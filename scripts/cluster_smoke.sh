@@ -7,6 +7,8 @@
 #   batch (pipelined puts + get)            (OpEnvelope batching)
 #   del -> get-miss                          (epidemic tombstones)
 #   restart node -> get still missing        (tombstone durability + AE)
+#   seed-only join (--seed host:port)        (gossip-learned membership)
+#   restart on a NEW port -> still served    (gossip-healed addresses)
 #
 # Used by the CI `cluster-smoke` job and runnable locally:
 #
@@ -150,6 +152,62 @@ OUT5="$("$CLI" "${PEERS[@]}" --timeout-ms 8000 get batch-b)"
 echo "$OUT5"
 grep -q "beta" <<< "$OUT5" || {
   echo "cluster_smoke: live key lost after restart" >&2
+  exit 1
+}
+
+# ---- seed-only join: one --seed host:port, zero --peer flags ---------------
+# Node 3 knows only node 0's ADDRESS; the node id behind it is discovered by
+# the transport probe and the rest of the membership (and every address) is
+# learned through gossip. Data must replicate onto it via anti-entropy.
+NODE3_PORT=$((BASE_PORT + 3))
+start_seed_node() {
+  local port="$1"
+  "$SERVER" --id 3 --listen "127.0.0.1:$port" \
+    --seed "127.0.0.1:$BASE_PORT" \
+    --gossip-ms 100 --ae-ms 500 --store durable --data-dir "$LOG_DIR" \
+    --log-level warn \
+    >> "$LOG_DIR/server3.log" 2>&1 &
+  PIDS[3]=$!
+}
+
+echo "== node 3 joins from a single seed address (no --peer, no id)"
+start_seed_node "$NODE3_PORT"
+wait_ready 3 1
+
+echo "== node 3 converges onto existing data via gossip + anti-entropy"
+OUT6=""
+for _ in $(seq 1 30); do
+  OUT6="$("$CLI" --peer "3@127.0.0.1:$NODE3_PORT" --timeout-ms 3000 get batch-b)" || true
+  grep -q "beta" <<< "$OUT6" && break
+  sleep 0.5
+done
+echo "$OUT6"
+grep -q "beta" <<< "$OUT6" || {
+  echo "cluster_smoke: seed-joined node never served replicated data" >&2
+  exit 1
+}
+
+# ---- address healing: restart node 3 on a DIFFERENT port -------------------
+# Nobody tells the other nodes about the new port; their address tables must
+# heal from node 3's fresher-stamped gossip endpoint alone.
+NODE3_NEW_PORT=$((BASE_PORT + 13))
+echo "== killing node 3; restarting on new port $NODE3_NEW_PORT (seed-only)"
+kill "${PIDS[3]}"
+wait "${PIDS[3]}" 2>/dev/null || true
+start_seed_node "$NODE3_NEW_PORT"
+wait_ready 3 2
+
+echo "== put through node 0 only; must replicate to node 3's NEW address"
+"$CLI" --peer "0@127.0.0.1:$BASE_PORT" --timeout-ms 5000 put heal-key "post-restart-value"
+OUT7=""
+for _ in $(seq 1 30); do
+  OUT7="$("$CLI" --peer "3@127.0.0.1:$NODE3_NEW_PORT" --timeout-ms 3000 get heal-key)" || true
+  grep -q "post-restart-value" <<< "$OUT7" && break
+  sleep 0.5
+done
+echo "$OUT7"
+grep -q "post-restart-value" <<< "$OUT7" || {
+  echo "cluster_smoke: addresses did not heal after restart on a new port" >&2
   exit 1
 }
 

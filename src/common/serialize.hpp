@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -243,5 +244,43 @@ class Reader {
   bool failed_ = false;
   Payload owner_;  ///< set when reading from a Payload (zero-copy sub-views)
 };
+
+// ---- Endpoint codec ---------------------------------------------------------
+// Shared by every message that carries a gossiped address (PSS descriptors,
+// slice adverts, transport discovery probes), so the wire layout of an
+// endpoint is defined exactly once.
+
+inline void encode_endpoint(Writer& w, const Endpoint& e) {
+  w.u32(e.ip);
+  w.u16(e.port);
+  w.u64(e.stamp);
+}
+
+[[nodiscard]] inline Endpoint decode_endpoint(Reader& r) {
+  Endpoint e;
+  e.ip = r.u32();
+  e.port = r.u16();
+  e.stamp = r.u64();
+  return e;
+}
+
+/// Optional endpoint: a presence byte, then the fields. Simulated nodes
+/// have no endpoint to advertise, so absence is the common sim-path case.
+inline void encode_endpoint_opt(Writer& w, const std::optional<Endpoint>& e) {
+  w.boolean(e.has_value());
+  if (e.has_value()) encode_endpoint(w, *e);
+}
+
+[[nodiscard]] inline std::optional<Endpoint> decode_endpoint_opt(Reader& r) {
+  if (!r.boolean()) return std::nullopt;
+  return decode_endpoint(r);
+}
+
+[[nodiscard]] constexpr std::size_t encoded_size_endpoint_opt(
+    const std::optional<Endpoint>& e) {
+  return 1 + (e.has_value() ? sizeof(std::uint32_t) + sizeof(std::uint16_t) +
+                                  sizeof(std::uint64_t)
+                            : 0);
+}
 
 }  // namespace dataflasks

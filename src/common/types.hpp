@@ -44,6 +44,21 @@ constexpr SimTime kMicros = 1;
 constexpr SimTime kMillis = 1000 * kMicros;
 constexpr SimTime kSeconds = 1000 * kMillis;
 
+/// A node's reachable transport address: IPv4 + UDP port, versioned by a
+/// freshness stamp the owning node assigns at boot (wall-clock derived, so
+/// a restart always outranks the previous incarnation). Endpoints ride on
+/// PSS descriptors and slice adverts, which is how the real-cluster address
+/// table heals under churn the same way membership does. Simulated
+/// transports carry no endpoints (the simulator routes by NodeId).
+struct Endpoint {
+  std::uint32_t ip = 0;     ///< IPv4 address, host byte order
+  std::uint16_t port = 0;   ///< UDP port, host byte order
+  std::uint64_t stamp = 0;  ///< freshness: strictly larger = newer address
+
+  [[nodiscard]] constexpr bool valid() const { return port != 0; }
+  friend constexpr bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
 /// Unique id for a client request; used to deduplicate the multiple replies
 /// that epidemic dissemination naturally produces (paper §V).
 struct RequestId {
@@ -59,6 +74,13 @@ struct RequestId {
 
 [[nodiscard]] inline std::string to_string(RequestId r) {
   return "req:" + std::to_string(r.client) + ":" + std::to_string(r.seq);
+}
+
+[[nodiscard]] inline std::string to_string(const Endpoint& e) {
+  return std::to_string((e.ip >> 24) & 0xFF) + "." +
+         std::to_string((e.ip >> 16) & 0xFF) + "." +
+         std::to_string((e.ip >> 8) & 0xFF) + "." +
+         std::to_string(e.ip & 0xFF) + ":" + std::to_string(e.port);
 }
 
 }  // namespace dataflasks

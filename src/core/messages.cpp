@@ -267,10 +267,12 @@ std::optional<ReplicatePush> decode_replicate_push(const Payload& payload) {
 // ---- slice advertisement ------------------------------------------------------
 
 Payload encode(const SliceAdvert& msg) {
-  Writer w(2 * sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t));
+  Writer w(2 * sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t) +
+           encoded_size_endpoint_opt(msg.endpoint));
   w.node_id(msg.node);
   w.u32(msg.slice);
   encode_config(w, msg.config);
+  encode_endpoint_opt(w, msg.endpoint);
   return w.take_payload();
 }
 
@@ -280,6 +282,7 @@ std::optional<SliceAdvert> decode_slice_advert(const Payload& payload) {
   msg.node = r.node_id();
   msg.slice = r.u32();
   msg.config = decode_config(r);
+  msg.endpoint = decode_endpoint_opt(r);
   if (!r.finish().ok()) return std::nullopt;
   return msg;
 }

@@ -193,10 +193,13 @@ struct ReplicatePush {
 
 /// Periodic gossip: "node X is in slice S under config C". Feeds the
 /// intra-slice views and the slice directory used for routing shortcuts.
+/// Carries the advertiser's transport endpoint (when it has one), so
+/// maintenance traffic refreshes peer addresses just like PSS shuffles do.
 struct SliceAdvert {
   NodeId node;
   SliceId slice = 0;
   slicing::SliceConfig config;
+  std::optional<Endpoint> endpoint;
 };
 
 [[nodiscard]] Payload encode(const SliceAdvert& msg);
@@ -242,6 +245,11 @@ struct StRequest {
   store::DigestEntry cursor;
 };
 
+/// One snapshot page, exactly one datagram per request: the donor bounds
+/// the page by `core::kBatchBytesBudget` as well as by object count, so a
+/// page of large values never exceeds what a UDP frame carries (and a lost
+/// reply is recovered by re-requesting from the same cursor — no partial
+/// pages to resequence). `done` marks the whole transfer complete.
 struct StReply {
   SliceId slice = 0;
   bool done = false;

@@ -36,6 +36,21 @@ void Node::build_components() {
       break;
   }
 
+  // Gossip-learned routing: every shuffle advertises our endpoint and
+  // feeds every received descriptor's endpoint into the transport's
+  // address table, so addresses heal under churn the way membership does.
+  // No-ops on transports without an address table (the simulator).
+  pss_->set_self_endpoint_provider(
+      [this]() { return transport_.local_endpoint(); });
+  pss_->set_descriptor_listener(
+      [this](const std::vector<pss::NodeDescriptor>& batch) {
+        for (const pss::NodeDescriptor& d : batch) {
+          if (d.id != id_ && d.endpoint.has_value()) {
+            transport_.learn_endpoint(d.id, *d.endpoint);
+          }
+        }
+      });
+
   std::unique_ptr<slicing::Slicer> slicer;
   switch (options_.slicer_kind) {
     case SlicerKind::kSliver:
@@ -197,6 +212,11 @@ void Node::dispatch(const net::Message& msg) {
       break;
   }
   metrics_.counter("node.unhandled_messages").add();
+}
+
+void Node::add_contact(NodeId contact) {
+  if (!running_ || contact == id_ || !contact.valid()) return;
+  pss_->bootstrap({contact});
 }
 
 void Node::propose_slice_count(std::uint32_t slice_count) {

@@ -114,6 +114,10 @@ class Node {
   [[nodiscard]] pss::PeerSampling& peer_sampling() { return *pss_; }
   [[nodiscard]] RequestHandler& requests() { return *requests_; }
 
+  /// Installs a bootstrap contact discovered after start (e.g. a seed
+  /// address probe resolving its node id). No-op when not running.
+  void add_contact(NodeId contact);
+
   /// Re-shards a live system: bumps the config epoch and lets it spread
   /// epidemically through slicing gossip and adverts.
   void propose_slice_count(std::uint32_t slice_count);

@@ -50,7 +50,8 @@ void SliceManager::tick_advertisement() {
 }
 
 Payload SliceManager::encode_advert() const {
-  return encode(SliceAdvert{self_, slice(), slicer_->config()});
+  return encode(SliceAdvert{self_, slice(), slicer_->config(),
+                            transport_.local_endpoint()});
 }
 
 void SliceManager::send_advert(NodeId to, const Payload& advert) {
@@ -64,6 +65,12 @@ bool SliceManager::handle(const net::Message& msg) {
 
   const auto advert = decode_slice_advert(msg.payload);
   if (!advert) return true;  // malformed: drop
+
+  // Adverts double as address gossip: maintenance traffic keeps routing
+  // fresh even for peers the PSS rarely samples.
+  if (advert->endpoint.has_value() && advert->node != self_) {
+    transport_.learn_endpoint(advert->node, *advert->endpoint);
+  }
 
   slicer_->adopt_config(advert->config);
   view_.observe(advert->node, advert->slice, slice());

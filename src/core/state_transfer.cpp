@@ -93,13 +93,36 @@ void StateTransfer::handle_request(const net::Message& msg,
   }
   std::sort(entries.begin(), entries.end());
 
+  // A page of large values can exceed what one UDP datagram carries, and
+  // the transport drops oversized frames — which would stall the join
+  // forever. Bound the page by bytes as well as by count: ship the longest
+  // prefix that fits the datagram budget and let cursor pagination fetch
+  // the rest. One datagram per request keeps loss recovery trivial (a
+  // dropped reply is a stalled page, retried from the same cursor);
+  // splitting one page across datagrams would let a lost middle chunk
+  // advance the cursor past objects that were never received.
   StReply reply;
   reply.slice = request.slice;
-  reply.done = entries.size() < options_.page_size;
+  std::size_t page_bytes = 0;
+  bool truncated = false;
   for (const store::DigestEntry& e : entries) {
     auto obj = store_.get(e.key, e.version);
-    if (obj.ok()) reply.objects.push_back(std::move(obj).value());
+    if (!obj.ok()) continue;  // digest/store raced; entry simply not shipped
+    const std::size_t obj_bytes = store::encoded_size(obj.value());
+    // Always ship at least one object; a single value over the budget
+    // travels alone and the transport's hard cap decides its fate.
+    if (!reply.objects.empty() &&
+        page_bytes + obj_bytes > kBatchBytesBudget) {
+      truncated = true;
+      break;
+    }
+    page_bytes += obj_bytes;
+    reply.objects.push_back(std::move(obj).value());
   }
+  // Done only when this reply covers everything that remains: a full
+  // entries page means more may exist, and a byte-truncated page leaves
+  // its unsent suffix for the next cursor round.
+  reply.done = entries.size() < options_.page_size && !truncated;
   transport_.send(net::Message{self_, msg.src, kStReply, encode(reply)});
   metrics_.counter("st.pages_served").add();
 }
@@ -107,15 +130,23 @@ void StateTransfer::handle_request(const net::Message& msg,
 void StateTransfer::handle_reply(const StReply& reply) {
   if (!active_ || reply.slice != target_slice_) return;
 
+  const store::DigestEntry before = cursor_;
   for (const store::Object& obj : reply.objects) {
+    // The cursor advances over EVERY object the donor sent, including ones
+    // our slice map says belong elsewhere: if the donor's map diverges
+    // from ours, skipping them would re-request the same page forever.
+    // Foreign objects are simply not stored.
+    const store::DigestEntry entry{obj.key, obj.version};
+    cursor_ = std::max(cursor_, entry);
     if (key_slice_(obj.key) != target_slice_) continue;
     if (store_.put(obj).ok()) {
       metrics_.counter("st.objects_received").add();
     }
-    const store::DigestEntry entry{obj.key, obj.version};
-    cursor_ = std::max(cursor_, entry);
   }
-  progressed_since_tick_ = true;
+  // Only a moving cursor (or completion) counts as progress; a reply that
+  // moved nothing leaves the stall clock running so tick() retries with
+  // another peer.
+  if (cursor_ != before || reply.done) progressed_since_tick_ = true;
 
   if (reply.done) {
     active_ = false;

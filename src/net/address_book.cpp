@@ -1,0 +1,117 @@
+#include "net/address_book.hpp"
+
+#include <arpa/inet.h>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::net {
+
+sockaddr_in to_sockaddr(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(endpoint.ip);
+  addr.sin_port = htons(endpoint.port);
+  return addr;
+}
+
+Endpoint endpoint_of(const sockaddr_in& addr, std::uint64_t stamp) {
+  Endpoint endpoint;
+  endpoint.ip = ntohl(addr.sin_addr.s_addr);
+  endpoint.port = ntohs(addr.sin_port);
+  endpoint.stamp = stamp;
+  return endpoint;
+}
+
+AddressBook::AddressBook() : AddressBook(Options{}) {}
+
+AddressBook::AddressBook(Options options) : options_(options) {
+  ensure(options_.max_learned > 0, "AddressBook: zero learned capacity");
+}
+
+AddressBook::Entry& AddressBook::upsert(NodeId node) {
+  return entries_[node];
+}
+
+void AddressBook::pin(NodeId node, const sockaddr_in& addr) {
+  Entry& entry = upsert(node);
+  if (!entry.pinned) ++pinned_count_;
+  entry.addr = addr;
+  entry.pinned = true;
+  touch(entry);
+}
+
+bool AddressBook::learn(NodeId node, const Endpoint& endpoint) {
+  if (!endpoint.valid()) return false;
+  const auto it = entries_.find(node);
+  if (it == entries_.end()) {
+    Entry& entry = upsert(node);
+    entry.addr = to_sockaddr(endpoint);
+    entry.stamp = endpoint.stamp;
+    touch(entry);
+    evict_excess_learned();
+    return true;
+  }
+  Entry& entry = it->second;
+  if (endpoint.stamp <= entry.stamp) return false;  // stale gossip
+  entry.addr = to_sockaddr(endpoint);
+  entry.stamp = endpoint.stamp;
+  touch(entry);
+  return true;
+}
+
+void AddressBook::observe(NodeId node, const sockaddr_in& from) {
+  const auto it = entries_.find(node);
+  if (it == entries_.end()) {
+    Entry& entry = upsert(node);
+    entry.addr = from;
+    touch(entry);
+    evict_excess_learned();
+    return;
+  }
+  Entry& entry = it->second;
+  // A datagram source is live evidence only for entries nothing better has
+  // claimed: pinned routes are configuration, and a stamped entry was set
+  // by the node's own gossiped endpoint — a stray datagram (delayed packet
+  // from a dead socket, forged src) must not displace either, or gossip at
+  // the same stamp could never re-assert the true address. Both heal
+  // exclusively through a strictly fresher stamp.
+  if (!entry.pinned && entry.stamp == 0) entry.addr = from;
+  touch(entry);
+}
+
+const sockaddr_in* AddressBook::lookup(NodeId node) const {
+  const auto it = entries_.find(node);
+  return it != entries_.end() ? &it->second.addr : nullptr;
+}
+
+bool AddressBook::pinned(NodeId node) const {
+  const auto it = entries_.find(node);
+  return it != entries_.end() && it->second.pinned;
+}
+
+std::uint64_t AddressBook::stamp_of(NodeId node) const {
+  const auto it = entries_.find(node);
+  return it != entries_.end() ? it->second.stamp : 0;
+}
+
+std::uint16_t AddressBook::port_of(NodeId node) const {
+  const auto it = entries_.find(node);
+  return it != entries_.end() ? ntohs(it->second.addr.sin_port) : 0;
+}
+
+void AddressBook::evict_excess_learned() {
+  while (learned_count() > options_.max_learned) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.pinned) continue;
+      if (victim == entries_.end() ||
+          it->second.touched < victim->second.touched) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // all pinned (unreachable)
+    entries_.erase(victim);
+  }
+}
+
+}  // namespace dataflasks::net

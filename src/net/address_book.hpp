@@ -1,0 +1,102 @@
+// Peer-address table for the real (UDP) transport: NodeId -> sockaddr with
+// provenance. Three sources feed it, in decreasing authority per event:
+//
+//   pin()     static configuration (--peer flags, resolved seeds). Pinned
+//             entries are never evicted and never clobbered by mere
+//             datagram source addresses — a stale or spoofed-looking
+//             source must not break a configured route.
+//   learn()   gossip-learned endpoints (PSS descriptors, slice adverts,
+//             discovery probes). Stamped by the owning node at boot, so a
+//             fresher stamp updates even a pinned entry: the node itself
+//             is the authority on where it now lives.
+//   observe() datagram source addresses. Weakest: inserts unknown senders
+//             (ephemeral-port clients need replies) and refreshes entries
+//             no stronger source has claimed, but never reroutes pinned or
+//             gossip-stamped ones — a stray datagram must not displace an
+//             address only a fresher stamp is entitled to change.
+//
+// Learned (unpinned) entries are bounded: beyond `max_learned` the
+// least-recently-refreshed one is evicted, so a parade of ephemeral-port
+// clients cannot grow the table for the life of the process.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace dataflasks::net {
+
+/// Converts between the gossip representation (host byte order) and the
+/// sockaddr the socket layer wants (network byte order).
+[[nodiscard]] sockaddr_in to_sockaddr(const Endpoint& endpoint);
+[[nodiscard]] Endpoint endpoint_of(const sockaddr_in& addr,
+                                   std::uint64_t stamp = 0);
+
+class AddressBook {
+ public:
+  struct Options {
+    /// Bound on learned (unpinned) entries; pinned entries don't count.
+    std::size_t max_learned = 1024;
+  };
+
+  AddressBook();
+  explicit AddressBook(Options options);
+
+  /// Statically maps `node`, immune to eviction and to observe().
+  void pin(NodeId node, const sockaddr_in& addr);
+
+  /// Gossip-learned, stamped address. Adopted when the stamp is strictly
+  /// fresher than the entry's (pinned included); inserts unknown nodes.
+  /// Returns true when the mapping changed.
+  bool learn(NodeId node, const Endpoint& endpoint);
+
+  /// Datagram source address: inserts unknown senders and refreshes
+  /// unpinned, never-stamped entries; pinned or gossip-stamped entries
+  /// only get their liveness touched.
+  void observe(NodeId node, const sockaddr_in& from);
+
+  /// Current route for `node`; nullptr when unknown. Invalidated by any
+  /// mutating call.
+  [[nodiscard]] const sockaddr_in* lookup(NodeId node) const;
+
+  [[nodiscard]] bool contains(NodeId node) const {
+    return entries_.contains(node);
+  }
+  [[nodiscard]] bool pinned(NodeId node) const;
+  /// Freshness stamp of the entry (0 when absent or never stamped).
+  [[nodiscard]] std::uint64_t stamp_of(NodeId node) const;
+  /// UDP port (host order) the entry routes to; 0 when absent.
+  [[nodiscard]] std::uint16_t port_of(NodeId node) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t learned_count() const {
+    return entries_.size() - pinned_count_;
+  }
+
+ private:
+  struct Entry {
+    sockaddr_in addr{};
+    std::uint64_t stamp = 0;
+    bool pinned = false;
+    std::uint64_t touched = 0;  ///< recency, for LRU eviction of learned
+  };
+
+  Entry& upsert(NodeId node);
+  void touch(Entry& entry) { entry.touched = ++clock_; }
+  /// Drops the least-recently-touched learned entry while over the bound.
+  /// A linear scan, so inserting an unknown sender costs O(size) once the
+  /// table is full — bounded by max_learned, and only paid on the first
+  /// datagram from each new source, not on refreshes.
+  void evict_excess_learned();
+
+  Options options_;
+  std::unordered_map<NodeId, Entry> entries_;
+  std::size_t pinned_count_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace dataflasks::net

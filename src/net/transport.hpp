@@ -6,6 +6,9 @@
 // interface keeps protocol code free of transport details either way.
 #pragma once
 
+#include <optional>
+
+#include "common/types.hpp"
 #include "common/unique_function.hpp"
 #include "net/message.hpp"
 
@@ -28,6 +31,19 @@ class Transport {
 
   /// Removes the handler (e.g. node crash); queued deliveries are dropped.
   virtual void unregister_handler(NodeId node) = 0;
+
+  /// The address this transport can be reached at, if it has one worth
+  /// advertising. Gossip protocols attach it to self-descriptors so the
+  /// cluster learns routing epidemically. Transports that route by NodeId
+  /// (the simulator) have none.
+  [[nodiscard]] virtual std::optional<Endpoint> local_endpoint() const {
+    return std::nullopt;
+  }
+
+  /// Applies a gossip-learned address for `node` (from a PSS descriptor or
+  /// a slice advert). Transports with an address table adopt it when the
+  /// stamp is fresher than what they hold; others ignore it.
+  virtual void learn_endpoint(NodeId /*node*/, const Endpoint& /*endpoint*/) {}
 };
 
 }  // namespace dataflasks::net

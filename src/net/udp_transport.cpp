@@ -6,7 +6,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -51,14 +53,57 @@ sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   return addr;
 }
 
+bool same_addr(const sockaddr_in& a, const sockaddr_in& b) {
+  return a.sin_addr.s_addr == b.sin_addr.s_addr && a.sin_port == b.sin_port;
+}
+
+/// Boot stamp for this transport's advertised endpoint: wall-clock
+/// microseconds, forced strictly increasing process-wide so two transports
+/// created back-to-back (or a fast in-process restart) still order by
+/// creation. Across real restarts the wall clock itself provides the
+/// ordering, which is what lets a restarted node's endpoint outrank its
+/// previous incarnation everywhere. Like tombstone GC stamps, this assumes
+/// loosely synchronized (and roughly monotonic) clocks: a host whose clock
+/// steps backwards across a restart gossips a stamp its peers consider
+/// stale until real time catches up. Persisting the last stamp in the
+/// durable data dir would close that gap; not done yet.
+std::uint64_t wall_clock_micros() {
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+  return static_cast<std::uint64_t>(wall);
+}
+
+/// Gossiped stamps further than this ahead of the local wall clock are
+/// rejected: one endpoint stamped with (say) UINT64_MAX — a hugely skewed
+/// clock or a hostile frame — would otherwise outrank every future honest
+/// restart forever, cluster-wide. Rejected endpoints degrade gracefully:
+/// the entry stays unstamped, so datagram-source observation still routes
+/// the node. Generous enough that loosely synchronized clocks never trip.
+constexpr std::uint64_t kMaxStampFutureSkew = 60ull * 60 * 1000 * 1000;
+
+std::uint64_t next_boot_stamp() {
+  static std::atomic<std::uint64_t> last{0};
+  std::uint64_t now = wall_clock_micros();
+  std::uint64_t prev = last.load(std::memory_order_relaxed);
+  while (true) {
+    const std::uint64_t stamp = std::max(now, prev + 1);
+    if (last.compare_exchange_weak(prev, stamp, std::memory_order_relaxed)) {
+      return stamp;
+    }
+  }
+}
+
 }  // namespace
 
 UdpTransport::UdpTransport(runtime::RealTimeRuntime& rt, Options options)
-    : runtime_(rt) {
+    : runtime_(rt),
+      options_(std::move(options)),
+      book_(AddressBook::Options{options_.max_learned_peers}) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   ensure(fd_ >= 0, "UdpTransport: socket() failed");
 
-  sockaddr_in addr = make_addr(options.bind_host, options.port);
+  sockaddr_in addr = make_addr(options_.bind_host, options_.port);
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
     ::close(fd_);
@@ -73,10 +118,22 @@ UdpTransport::UdpTransport(runtime::RealTimeRuntime& rt, Options options)
          "UdpTransport: getsockname() failed");
   local_port_ = ntohs(bound.sin_port);
 
+  // What peers should be told: the advertise host when given, else the
+  // bind host — unless that is the wildcard, which is not a reachable
+  // address and must not be gossiped.
+  const std::string& advertise = options_.advertise_host.empty()
+                                     ? options_.bind_host
+                                     : options_.advertise_host;
+  const sockaddr_in reach = make_addr(advertise, local_port_);
+  if (reach.sin_addr.s_addr != htonl(INADDR_ANY)) {
+    local_endpoint_ = endpoint_of(reach, next_boot_stamp());
+  }
+
   runtime_.watch_fd(fd_, [this]() { on_readable(); });
 }
 
 UdpTransport::~UdpTransport() {
+  seed_timer_.cancel();
   if (fd_ >= 0) {
     runtime_.unwatch_fd(fd_);
     ::close(fd_);
@@ -85,13 +142,57 @@ UdpTransport::~UdpTransport() {
 
 void UdpTransport::add_peer(NodeId node, const std::string& host,
                             std::uint16_t port) {
-  peers_[node] = make_addr(host, port);
+  book_.pin(node, make_addr(host, port));
+}
+
+void UdpTransport::learn_endpoint(NodeId node, const Endpoint& endpoint) {
+  if (endpoint.stamp > wall_clock_micros() + kMaxStampFutureSkew) return;
+  book_.learn(node, endpoint);
+}
+
+void UdpTransport::add_seed(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  pending_seeds_.push_back(addr);
+  send_probe(addr);
+  if (!seed_timer_.active()) {
+    seed_timer_ = runtime_.schedule_periodic(
+        options_.seed_probe_period, options_.seed_probe_period,
+        [this]() { probe_pending_seeds(); });
+  }
+}
+
+void UdpTransport::probe_pending_seeds() {
+  for (const sockaddr_in& addr : pending_seeds_) send_probe(addr);
+}
+
+void UdpTransport::send_probe(const sockaddr_in& to) {
+  Message probe;
+  // A joining process may probe before its node registers; an invalid src
+  // simply means the responder cannot pre-learn our address from the frame
+  // header (it still answers to the datagram's source).
+  probe.src = handlers_.empty() ? NodeId() : handlers_.begin()->first;
+  probe.dst = NodeId();
+  probe.type = kAddrProbe;
+  Writer w;
+  encode_endpoint_opt(w, local_endpoint_);
+  probe.payload = w.take_payload();
+  send_frame_to(probe, to);
+}
+
+void UdpTransport::send_frame_to(const Message& msg, const sockaddr_in& to) {
+  const Payload frame = encode_frame(msg);
+  const ssize_t n = ::sendto(fd_, frame.data(), frame.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&to),
+                             sizeof to);
+  if (n < 0 || static_cast<std::size_t>(n) != frame.size()) {
+    ++total_dropped_;  // EAGAIN/ENOBUFS etc.: fire-and-forget drops it
+  }
 }
 
 void UdpTransport::send(Message msg) {
   ++total_sent_;
-  const auto it = peers_.find(msg.dst);
-  if (it == peers_.end()) {
+  const sockaddr_in* to = book_.lookup(msg.dst);
+  if (to == nullptr) {
     ++total_dropped_;  // unknown peer: same fate as a simulated blackhole
     return;
   }
@@ -99,13 +200,51 @@ void UdpTransport::send(Message msg) {
     ++total_dropped_;
     return;
   }
-  const Payload frame = encode_frame(msg);
-  const ssize_t n = ::sendto(fd_, frame.data(), frame.size(), 0,
-                             reinterpret_cast<const sockaddr*>(&it->second),
-                             sizeof it->second);
-  if (n < 0 || static_cast<std::size_t>(n) != frame.size()) {
-    ++total_dropped_;  // EAGAIN/ENOBUFS etc.: fire-and-forget drops it
+  send_frame_to(msg, *to);
+}
+
+void UdpTransport::handle_probe(const Message& msg, const sockaddr_in& from) {
+  if (msg.src.valid()) {
+    book_.observe(msg.src, from);
+    Reader r(msg.payload);
+    if (const auto endpoint = decode_endpoint_opt(r); endpoint && r.ok()) {
+      learn_endpoint(msg.src, *endpoint);
+    }
   }
+  // Answer for every node living on this socket (one per server process).
+  // No handler yet means the node is still booting: stay silent and let the
+  // prober's retry find us ready.
+  for (const auto& [node, handler] : handlers_) {
+    Message reply;
+    reply.src = node;
+    reply.dst = msg.src;
+    reply.type = kAddrProbeReply;
+    Writer w;
+    encode_endpoint_opt(w, local_endpoint_);
+    reply.payload = w.take_payload();
+    send_frame_to(reply, from);
+  }
+}
+
+void UdpTransport::handle_probe_reply(const Message& msg,
+                                      const sockaddr_in& from) {
+  if (!msg.src.valid()) return;
+  bool was_pending = false;
+  std::erase_if(pending_seeds_, [&](const sockaddr_in& seed) {
+    const bool match = same_addr(seed, from);
+    was_pending |= match;
+    return match;
+  });
+  if (!was_pending) return;  // duplicate or unsolicited: ignore
+  // The seed is configuration: pin it like a static peer, then let its
+  // stamped endpoint (if advertised) record freshness for future healing.
+  book_.pin(msg.src, from);
+  Reader r(msg.payload);
+  if (const auto endpoint = decode_endpoint_opt(r); endpoint && r.ok()) {
+    learn_endpoint(msg.src, *endpoint);
+  }
+  if (pending_seeds_.empty()) seed_timer_.cancel();
+  if (seed_listener_) seed_listener_(msg.src);
 }
 
 void UdpTransport::on_readable() {
@@ -129,9 +268,18 @@ void UdpTransport::on_readable() {
       ++total_dropped_;
       continue;
     }
-    // Learn / refresh the sender's address so replies (and client acks)
-    // route without static configuration.
-    if (msg->src.valid()) peers_[msg->src] = from;
+    // Discovery frames are transport business, not protocol traffic.
+    if (msg->type == kAddrProbe) {
+      handle_probe(*msg, from);
+      continue;
+    }
+    if (msg->type == kAddrProbeReply) {
+      handle_probe_reply(*msg, from);
+      continue;
+    }
+    // Record the sender's address so replies (and client acks) route
+    // without static configuration; pinned routes are not clobbered.
+    if (msg->src.valid()) book_.observe(msg->src, from);
 
     const auto it = handlers_.find(msg->dst);
     if (it == handlers_.end()) {

@@ -1,21 +1,33 @@
 // Real network transport: one nonblocking IPv4 UDP socket per process,
-// integrated with the RealTimeRuntime's poll step. The peer-address table
-// maps NodeIds to sockaddrs; entries come from static configuration
-// (add_peer, the bootstrap seeds) and are learned dynamically from incoming
-// datagrams (so a client on an ephemeral port receives replies without
-// pre-registration, exactly as replicas reply to msg.src).
+// integrated with the RealTimeRuntime's poll step. Peer routing goes
+// through an AddressBook fed from three sources: static configuration
+// (add_peer / resolved seeds, pinned), gossip-learned endpoints
+// (learn_endpoint, stamped and authoritative), and datagram source
+// addresses (so a client on an ephemeral port receives replies without
+// pre-registration). Gossip keeps the table healing under churn exactly
+// like the membership does: a node that restarts on a new port re-enters
+// routing via its fresher-stamped self-descriptor, no reconfiguration.
+//
+// Single-seed join: add_seed() probes a bare host:port with a transport-
+// level discovery frame (retried until answered); the reply carries the
+// node id(s) living at that address, which are pinned and handed to the
+// seed listener so the owner can bootstrap its PSS from them.
 //
 // Semantics match SimTransport deliberately: fire-and-forget sends, drops
 // are counted not surfaced, and a handler is invoked synchronously on the
 // runtime loop thread for every decoded datagram addressed to it.
 #pragma once
 
-#include <cstdint>
 #include <netinet/in.h>
+
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "net/address_book.hpp"
 #include "net/transport.hpp"
 #include "runtime/real_time_runtime.hpp"
 
@@ -27,6 +39,14 @@ namespace dataflasks::net {
 /// nullopt when the name does not resolve to an IPv4 address.
 [[nodiscard]] std::optional<std::string> resolve_ipv4(const std::string& host);
 
+/// Transport-level discovery frames (single-seed join). Handled inside
+/// UdpTransport, below protocol dispatch: a probe asks "which node ids
+/// live at this address?", the reply names one registered node and carries
+/// its advertised endpoint. Allocated above every protocol type range, so
+/// they classify as MsgCategory::kOther.
+constexpr std::uint16_t kAddrProbe = 0x0600;
+constexpr std::uint16_t kAddrProbeReply = 0x0601;
+
 class UdpTransport final : public Transport {
  public:
   struct Options {
@@ -35,7 +55,20 @@ class UdpTransport final : public Transport {
     std::string bind_host = "127.0.0.1";
     /// 0 binds an ephemeral port (read it back via local_port()).
     std::uint16_t port = 0;
+    /// Host gossiped to peers in self-descriptors (multi-homed hosts, or
+    /// when binding 0.0.0.0). Empty uses bind_host; a transport bound to
+    /// 0.0.0.0 with no advertise_host gossips no endpoint at all.
+    std::string advertise_host;
+    /// Bound on dynamically learned peer addresses; static peers and
+    /// resolved seeds are pinned and excluded from the bound.
+    std::size_t max_learned_peers = 1024;
+    /// Retry cadence for unanswered seed probes.
+    SimTime seed_probe_period = 500 * kMillis;
   };
+
+  /// Invoked once per seed whose probe is answered, with the node id that
+  /// lives at the seed address (already pinned by then).
+  using SeedListener = std::function<void(NodeId)>;
 
   /// Opens and binds the socket and registers it with the runtime's poll
   /// step. Throws via ensure() on socket/bind failure (misconfiguration is
@@ -46,18 +79,34 @@ class UdpTransport final : public Transport {
   UdpTransport(const UdpTransport&) = delete;
   UdpTransport& operator=(const UdpTransport&) = delete;
 
-  /// Statically maps `node` to host:port. Learned entries for the same node
-  /// are overwritten by later datagrams from that node (fresher address).
+  /// Statically maps `node` to host:port (pinned: immune to eviction and
+  /// to datagram-source overwrites; a fresher gossiped stamp still heals).
   void add_peer(NodeId node, const std::string& host, std::uint16_t port);
+
+  /// Single-seed join: probes host:port until the process there answers
+  /// with its node id, then pins the address and fires the seed listener.
+  void add_seed(const std::string& host, std::uint16_t port);
+  void set_seed_listener(SeedListener listener) {
+    seed_listener_ = std::move(listener);
+  }
+  [[nodiscard]] std::size_t pending_seeds() const {
+    return pending_seeds_.size();
+  }
 
   [[nodiscard]] std::uint16_t local_port() const { return local_port_; }
   [[nodiscard]] bool knows_peer(NodeId node) const {
-    return peers_.contains(node);
+    return book_.contains(node);
   }
+  [[nodiscard]] const AddressBook& peers() const { return book_; }
 
   void send(Message msg) override;
   void register_handler(NodeId node, Handler handler) override;
   void unregister_handler(NodeId node) override;
+
+  [[nodiscard]] std::optional<Endpoint> local_endpoint() const override {
+    return local_endpoint_;
+  }
+  void learn_endpoint(NodeId node, const Endpoint& endpoint) override;
 
   // Accounting, mirroring SimTransport's counters.
   [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
@@ -75,11 +124,22 @@ class UdpTransport final : public Transport {
   /// Drains the socket: decodes and dispatches every queued datagram.
   void on_readable();
 
+  void send_frame_to(const Message& msg, const sockaddr_in& to);
+  void send_probe(const sockaddr_in& to);
+  void probe_pending_seeds();
+  void handle_probe(const Message& msg, const sockaddr_in& from);
+  void handle_probe_reply(const Message& msg, const sockaddr_in& from);
+
   runtime::RealTimeRuntime& runtime_;
+  Options options_;
   int fd_ = -1;
   std::uint16_t local_port_ = 0;
-  std::unordered_map<NodeId, sockaddr_in> peers_;
+  std::optional<Endpoint> local_endpoint_;
+  AddressBook book_;
   std::unordered_map<NodeId, Handler> handlers_;
+  std::vector<sockaddr_in> pending_seeds_;
+  runtime::TimerHandle seed_timer_;
+  SeedListener seed_listener_;
   std::uint64_t total_sent_ = 0;
   std::uint64_t total_delivered_ = 0;
   std::uint64_t total_dropped_ = 0;

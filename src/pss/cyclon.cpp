@@ -19,7 +19,7 @@ Cyclon::Cyclon(NodeId self, net::Transport& transport, Rng rng,
 void Cyclon::bootstrap(const std::vector<NodeId>& seeds) {
   for (const NodeId seed : seeds) {
     if (seed == self_) continue;
-    view_.insert_evicting_oldest(NodeDescriptor{seed, 0});
+    view_.insert_evicting_oldest(NodeDescriptor{seed, 0, std::nullopt});
   }
 }
 
@@ -51,9 +51,11 @@ void Cyclon::tick() {
   const NodeId peer = oldest->id;
   view_.remove(peer);
 
-  // Step 3: subset of l-1 random descriptors plus a fresh self-descriptor.
+  // Step 3: subset of l-1 random descriptors plus a fresh self-descriptor
+  // (carrying this node's current endpoint, so every shuffle refreshes the
+  // recipients' routing as well as their membership).
   auto subset = view_.sample(rng_, options_.shuffle_length - 1);
-  subset.push_back(NodeDescriptor{self_, 0});
+  subset.push_back(NodeDescriptor{self_, 0, self_endpoint()});
 
   pending_sent_ = subset;
   pending_peer_ = peer;
@@ -68,6 +70,7 @@ bool Cyclon::handle(const net::Message& msg) {
   }
   const auto received = decode_payload(msg);
   if (!received) return true;  // malformed: drop, stay consistent
+  notify_descriptors(*received);
 
   if (msg.type == kCyclonShuffleRequest) {
     // Responder: answer with a random subset (may include stale entries —

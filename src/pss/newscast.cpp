@@ -15,14 +15,14 @@ Newscast::Newscast(NodeId self, net::Transport& transport, Rng rng,
 void Newscast::bootstrap(const std::vector<NodeId>& seeds) {
   for (const NodeId seed : seeds) {
     if (seed == self_) continue;
-    view_.insert_evicting_oldest(NodeDescriptor{seed, 0});
+    view_.insert_evicting_oldest(NodeDescriptor{seed, 0, std::nullopt});
   }
 }
 
 Payload Newscast::encode_view_with_self() const {
   Writer w;
   std::vector<NodeDescriptor> items = view_.entries();
-  items.push_back(NodeDescriptor{self_, 0});
+  items.push_back(NodeDescriptor{self_, 0, self_endpoint()});
   w.vec(items, [&w](const NodeDescriptor& d) { encode(w, d); });
   return w.take_payload();
 }
@@ -44,6 +44,7 @@ bool Newscast::handle(const net::Message& msg) {
   auto received =
       r.vec<NodeDescriptor>([&r]() { return decode_descriptor(r); });
   if (!r.finish().ok()) return true;  // malformed: drop
+  notify_descriptors(received);
 
   if (msg.type == kNewscastExchangeRequest) {
     transport_.send(net::Message{self_, msg.src, kNewscastExchangeReply,
@@ -64,6 +65,7 @@ void Newscast::merge(const std::vector<NodeDescriptor>& received) {
     for (auto& existing : pool) {
       if (existing.id == d.id) {
         existing.age = std::min(existing.age, d.age);
+        merge_endpoint(existing, d);
         merged = true;
         break;
       }

@@ -23,6 +23,17 @@ class PeerSampling {
   using SampleListener =
       std::function<void(const std::vector<NodeDescriptor>&)>;
 
+  /// Invoked with EVERY batch of descriptors received in a gossip exchange,
+  /// including ids already in the view. This is the routing-refresh stream:
+  /// a node whose id is long known but whose endpoint just changed (restart
+  /// on a new port) only surfaces here, never in the fresh-sample stream.
+  using DescriptorListener =
+      std::function<void(const std::vector<NodeDescriptor>&)>;
+
+  /// Supplies the address to advertise in this node's self-descriptors.
+  /// Returns nullopt when there is nothing to gossip (simulated transports).
+  using SelfEndpointFn = std::function<std::optional<Endpoint>()>;
+
   virtual ~PeerSampling() = default;
 
   /// Installs initial contacts (e.g. from a bootstrap service).
@@ -45,13 +56,32 @@ class PeerSampling {
     listener_ = std::move(listener);
   }
 
+  void set_descriptor_listener(DescriptorListener listener) {
+    descriptor_listener_ = std::move(listener);
+  }
+
+  void set_self_endpoint_provider(SelfEndpointFn fn) {
+    self_endpoint_ = std::move(fn);
+  }
+
  protected:
   void notify_samples(const std::vector<NodeDescriptor>& batch) const {
     if (listener_ && !batch.empty()) listener_(batch);
   }
 
+  void notify_descriptors(const std::vector<NodeDescriptor>& batch) const {
+    if (descriptor_listener_ && !batch.empty()) descriptor_listener_(batch);
+  }
+
+  /// Endpoint for self-descriptors (nullopt without a provider).
+  [[nodiscard]] std::optional<Endpoint> self_endpoint() const {
+    return self_endpoint_ ? self_endpoint_() : std::nullopt;
+  }
+
  private:
   SampleListener listener_;
+  DescriptorListener descriptor_listener_;
+  SelfEndpointFn self_endpoint_;
 };
 
 }  // namespace dataflasks::pss

@@ -9,13 +9,23 @@ namespace dataflasks::pss {
 void encode(Writer& w, const NodeDescriptor& d) {
   w.node_id(d.id);
   w.u32(d.age);
+  encode_endpoint_opt(w, d.endpoint);
 }
 
 NodeDescriptor decode_descriptor(Reader& r) {
   NodeDescriptor d;
   d.id = r.node_id();
   d.age = r.u32();
+  d.endpoint = decode_endpoint_opt(r);
   return d;
+}
+
+void merge_endpoint(NodeDescriptor& into, const NodeDescriptor& from) {
+  if (from.endpoint.has_value() &&
+      (!into.endpoint.has_value() ||
+       from.endpoint->stamp > into.endpoint->stamp)) {
+    into.endpoint = from.endpoint;
+  }
 }
 
 View::View(std::size_t capacity) : capacity_(capacity) {
@@ -32,6 +42,7 @@ bool View::insert(NodeDescriptor d) {
   for (auto& entry : entries_) {
     if (entry.id == d.id) {
       entry.age = std::min(entry.age, d.age);
+      merge_endpoint(entry, d);
       return true;
     }
   }

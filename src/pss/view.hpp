@@ -16,14 +16,23 @@ namespace dataflasks::pss {
 struct NodeDescriptor {
   NodeId id;
   std::uint32_t age = 0;
+  /// The node's gossiped transport address, stamped at its boot. Travels
+  /// with the descriptor through every shuffle so the real-cluster address
+  /// table heals under churn exactly like the membership does; absent on
+  /// simulated nodes (the simulator routes by NodeId alone).
+  std::optional<Endpoint> endpoint = std::nullopt;
 
-  friend bool operator==(const NodeDescriptor& a, const NodeDescriptor& b) {
-    return a.id == b.id && a.age == b.age;
-  }
+  friend bool operator==(const NodeDescriptor&, const NodeDescriptor&) =
+      default;
 };
 
 void encode(Writer& w, const NodeDescriptor& d);
 [[nodiscard]] NodeDescriptor decode_descriptor(Reader& r);
+
+/// Keeps the endpoint with the freshest stamp: a restarted node's new
+/// address (larger stamp) replaces the stale one no matter which side of a
+/// merge it arrives on.
+void merge_endpoint(NodeDescriptor& into, const NodeDescriptor& from);
 
 /// Bounded, id-unique collection of descriptors. Not a protocol itself —
 /// Cyclon/Newscast implement their merge policies on top of it.

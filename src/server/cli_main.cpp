@@ -6,7 +6,7 @@
 //   $ dataflasks_cli --peer 0@127.0.0.1:7100 put greeting "hello world"
 //   $ dataflasks_cli --peer 0@127.0.0.1:7100 get greeting
 //   $ dataflasks_cli --peer 0@127.0.0.1:7100 del greeting
-//   $ printf 'put k1 v1\nput k2 v2\nget k1\n' | \
+//   $ printf 'put k1 v1\nput k2 v2\nget k1\n' |
 //       dataflasks_cli --peer 0@127.0.0.1:7100 batch
 //
 // `batch` reads one operation per stdin line (put <key> <value> |

@@ -51,6 +51,9 @@ std::string apply_entry(ServerConfig& config, const std::string& key,
     if (!parse_host_port(value, config.listen_host, config.listen_port)) {
       return "bad listen address: " + value;
     }
+  } else if (key == "advertise") {
+    if (value.empty()) return "bad advertise host: empty";
+    config.advertise_host = value;
   } else if (key == "peer") {
     PeerSpec peer;
     if (!parse_peer_spec(value, peer)) return "bad peer spec: " + value;
@@ -60,7 +63,20 @@ std::string apply_entry(ServerConfig& config, const std::string& key,
       return "bad capacity: " + value;
     }
   } else if (key == "seed") {
-    if (!parse_u64(value, config.seed)) return "bad seed: " + value;
+    // Overloaded historically: a bare integer is the RNG seed; host:port
+    // is a join contact whose node id is discovered by probing at boot.
+    // Parse into a local first — from_chars writes through on a partial
+    // match like "127.0.0.1:7100", which must not corrupt the RNG seed.
+    if (std::uint64_t rng_seed = 0; parse_u64(value, rng_seed)) {
+      config.seed = rng_seed;
+      return {};
+    }
+    SeedSpec contact;
+    if (!parse_host_port(value, contact.host, contact.port) ||
+        contact.port == 0) {
+      return "bad seed (RNG integer or host:port contact): " + value;
+    }
+    config.seeds.push_back(contact);
   } else if (key == "slices") {
     if (!parse_u64(value, u64) || u64 == 0 || u64 > 0xFFFFFFFFULL) {
       return "bad slice count: " + value;
@@ -184,6 +200,7 @@ Result<ServerConfig> parse_server_args(const std::vector<std::string>& args,
   const auto flag_key = [](const std::string& flag) -> std::string {
     if (flag == "--id") return "id";
     if (flag == "--listen") return "listen";
+    if (flag == "--advertise") return "advertise";
     if (flag == "--peer") return "peer";
     if (flag == "--capacity") return "capacity";
     if (flag == "--seed") return "seed";

@@ -6,9 +6,15 @@
 // Config file grammar — one entry per line, '#' starts a comment:
 //   id        = 0
 //   listen    = 127.0.0.1:7100
+//   advertise = 10.0.0.5                  # host gossiped to peers; required
+//                                         # for healing when listen=0.0.0.0
 //   peer      = 1@127.0.0.1:7101          # repeatable; DNS names allowed
+//   seed      = 127.0.0.1:7100            # join contact (repeatable): the
+//                                         # node id there is discovered by
+//                                         # probing, everything else is
+//                                         # gossip-learned
 //   capacity  = 1.5
-//   seed      = 42
+//   seed      = 42                        # a bare integer is the RNG seed
 //   slices    = 1
 //   gossip_ms = 200
 //   ae_ms     = 1000
@@ -17,9 +23,10 @@
 //   log_level = info                      # trace|debug|info|warn|error|off
 //
 // Equivalent CLI flags: --config <file>, --id N, --listen host:port,
-// --peer id@host:port (repeatable), --capacity X, --seed N, --slices K,
-// --gossip-ms N, --ae-ms N, --store memory|durable, --data-dir DIR,
-// --log-level LEVEL.
+// --advertise host, --peer id@host:port (repeatable), --seed host:port
+// (repeatable join contact) or --seed N (bare integer: RNG seed),
+// --capacity X, --slices K, --gossip-ms N, --ae-ms N,
+// --store memory|durable, --data-dir DIR, --log-level LEVEL.
 //
 // Hosts in listen/peer may be DNS names; resolution (getaddrinfo) happens
 // when the UDP transport binds/maps the address, not at parse time.
@@ -41,6 +48,14 @@ struct PeerSpec {
   std::uint16_t port = 0;
 };
 
+/// A join contact known only by address: the node id living there is
+/// discovered with a transport probe at boot, and every other peer is then
+/// learned through gossip — one seed bootstraps a whole cluster membership.
+struct SeedSpec {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
 enum class StoreKind : std::uint8_t {
   kMemory,   ///< volatile MemStore: a crash loses local data
   kDurable,  ///< append-only LogStore under data_dir (survives restarts)
@@ -50,7 +65,15 @@ struct ServerConfig {
   std::uint64_t id = 0;
   std::string listen_host = "127.0.0.1";
   std::uint16_t listen_port = 7100;
+  /// Host gossiped to peers in self-descriptors and adverts. Empty uses
+  /// listen_host; binding 0.0.0.0 without an advertise host gossips no
+  /// endpoint at all (addresses then cannot heal — set this for
+  /// multi-machine deployments).
+  std::string advertise_host;
   std::vector<PeerSpec> peers;
+  /// Seed-only join contacts (`--seed host:port`); may be combined with
+  /// static peers or replace them entirely.
+  std::vector<SeedSpec> seeds;
   double capacity = 1.0;
   /// 0 derives a per-node seed from `id` so restarted processes do not
   /// replay each other's gossip.

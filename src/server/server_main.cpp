@@ -3,10 +3,14 @@
 // protocol code the simulator drives with thousands of in-process nodes.
 //
 //   $ dataflasks_server --id 0 --listen 127.0.0.1:7100
-//       --peer 1@127.0.0.1:7101 --peer 2@127.0.0.1:7102
+//   $ dataflasks_server --id 1 --listen 127.0.0.1:7101 --seed 127.0.0.1:7100
 //
-// Runs until SIGINT/SIGTERM. See src/server/config.hpp for the full flag
-// and config-file reference.
+// One --seed host:port is enough to join: the seed's node id is discovered
+// with a transport probe, and every other member's address arrives by
+// gossip (PSS descriptors and slice adverts carry endpoints). Static
+// --peer id@host:port maps still work and are pinned. Runs until
+// SIGINT/SIGTERM. See src/server/config.hpp for the full flag and
+// config-file reference.
 #include <csignal>
 #include <cstdio>
 #include <memory>
@@ -41,9 +45,10 @@ int main(int argc, char** argv) {
                  parsed.error().message.c_str());
     std::fprintf(stderr,
                  "usage: dataflasks_server [--config FILE] [--id N] "
-                 "[--listen HOST:PORT] [--peer ID@HOST:PORT ...] "
-                 "[--capacity X] [--seed N] [--slices K] [--gossip-ms N] "
-                 "[--ae-ms N] [--store memory|durable] [--data-dir DIR] "
+                 "[--listen HOST:PORT] [--advertise HOST] "
+                 "[--peer ID@HOST:PORT ...] [--seed HOST:PORT|N ...] "
+                 "[--capacity X] [--slices K] [--gossip-ms N] [--ae-ms N] "
+                 "[--store memory|durable] [--data-dir DIR] "
                  "[--log-level LEVEL]\n");
     return 1;
   }
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
   if (const auto level = log_level_from_string(config.log_level)) {
     set_global_log_level(*level);
   }
+  Logger log("server");
 
   // Each process gets its own deterministic stream: either the configured
   // seed or one derived from the node id (so a homogeneously-configured
@@ -63,7 +69,16 @@ int main(int argc, char** argv) {
   net::UdpTransport::Options net_options;
   net_options.bind_host = config.listen_host;
   net_options.port = config.listen_port;
+  net_options.advertise_host = config.advertise_host;
   net::UdpTransport transport(rt, net_options);
+  if (!transport.local_endpoint().has_value()) {
+    // Binding the wildcard without an advertise host means self-descriptors
+    // carry no endpoint: peers can still reach us through configuration and
+    // datagram sources, but gossip address healing is off for this node.
+    log.warn("listen=", config.listen_host,
+             " is not advertisable; set --advertise HOST so peers can "
+             "gossip-learn this node's address");
+  }
   for (const server::PeerSpec& peer : config.peers) {
     transport.add_peer(NodeId(peer.id), peer.host, peer.port);
   }
@@ -87,6 +102,18 @@ int main(int argc, char** argv) {
   core::Node node(NodeId(config.id), config.capacity, rt, transport,
                   config.node_options(), rt.rng().fork(0xDF).next_u64(),
                   std::move(durable));
+
+  // Seed-only join: each probe reply names the node id living at a seed
+  // address; feed it into the PSS as a bootstrap contact and let gossip
+  // learn the rest of the membership (and its addresses) from there.
+  transport.set_seed_listener([&node, &log](NodeId contact) {
+    log.info("seed resolved to ", to_string(contact));
+    node.add_contact(contact);
+  });
+  for (const server::SeedSpec& seed : config.seeds) {
+    transport.add_seed(seed.host, seed.port);
+  }
+
   node.start(config.peer_ids());
 
   g_runtime = &rt;
@@ -95,11 +122,11 @@ int main(int argc, char** argv) {
 
   // The "ready" line is a contract: scripts (and the CI smoke test) wait
   // for it before pointing clients at the process.
-  std::printf("dataflasks_server: node %llu ready on %s:%u (%zu peers, %u "
-              "slices)\n",
+  std::printf("dataflasks_server: node %llu ready on %s:%u (%zu peers, %zu "
+              "seeds, %u slices)\n",
               static_cast<unsigned long long>(config.id),
               config.listen_host.c_str(), transport.local_port(),
-              config.peers.size(), config.slices);
+              config.peers.size(), config.seeds.size(), config.slices);
   std::fflush(stdout);
 
   rt.run();

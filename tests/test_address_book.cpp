@@ -1,0 +1,136 @@
+// AddressBook semantics: the three feed paths (pin / learn / observe) and
+// their authority rules — pinned survives datagram-source noise, a fresher
+// gossip stamp heals anything, learned entries are LRU-bounded so
+// ephemeral-port clients cannot grow the table forever.
+#include <gtest/gtest.h>
+
+#include "net/address_book.hpp"
+
+namespace dataflasks::net {
+namespace {
+
+sockaddr_in addr_of(std::uint32_t ip, std::uint16_t port) {
+  return to_sockaddr(Endpoint{ip, port, 0});
+}
+
+constexpr std::uint32_t kLoopback = 0x7F000001;  // 127.0.0.1
+
+TEST(AddressBook, EndpointSockaddrRoundTrip) {
+  const Endpoint endpoint{kLoopback, 7123, 55};
+  const sockaddr_in addr = to_sockaddr(endpoint);
+  const Endpoint back = endpoint_of(addr, 55);
+  EXPECT_EQ(back, endpoint);
+  EXPECT_EQ(to_string(back), "127.0.0.1:7123");
+}
+
+TEST(AddressBook, PinThenLookup) {
+  AddressBook book;
+  EXPECT_FALSE(book.contains(NodeId(1)));
+  EXPECT_EQ(book.lookup(NodeId(1)), nullptr);
+
+  book.pin(NodeId(1), addr_of(kLoopback, 7100));
+  ASSERT_NE(book.lookup(NodeId(1)), nullptr);
+  EXPECT_EQ(book.port_of(NodeId(1)), 7100);
+  EXPECT_TRUE(book.pinned(NodeId(1)));
+  EXPECT_EQ(book.learned_count(), 0u);
+}
+
+TEST(AddressBook, ObserveInsertsAndRefreshesLearnedEntries) {
+  AddressBook book;
+  book.observe(NodeId(9), addr_of(kLoopback, 5000));
+  EXPECT_EQ(book.port_of(NodeId(9)), 5000);
+  EXPECT_FALSE(book.pinned(NodeId(9)));
+
+  // Live datagram evidence moves a learned entry.
+  book.observe(NodeId(9), addr_of(kLoopback, 5001));
+  EXPECT_EQ(book.port_of(NodeId(9)), 5001);
+}
+
+TEST(AddressBook, ObserveNeverDisplacesGossipStampedEntries) {
+  AddressBook book;
+  ASSERT_TRUE(book.learn(NodeId(4), Endpoint{kLoopback, 9000, 30}));
+  // A delayed datagram from the node's dead pre-restart socket (or a forged
+  // src) must not reroute an address gossip authoritatively set: if it
+  // did, gossip at the same stamp could never re-assert the truth.
+  book.observe(NodeId(4), addr_of(kLoopback, 9999));
+  EXPECT_EQ(book.port_of(NodeId(4)), 9000);
+  EXPECT_EQ(book.stamp_of(NodeId(4)), 30u);
+  // A strictly fresher stamp still heals it.
+  EXPECT_TRUE(book.learn(NodeId(4), Endpoint{kLoopback, 9100, 31}));
+  EXPECT_EQ(book.port_of(NodeId(4)), 9100);
+}
+
+TEST(AddressBook, ObserveNeverClobbersPinned) {
+  AddressBook book;
+  book.pin(NodeId(1), addr_of(kLoopback, 7100));
+  // A datagram claiming to be node 1 from elsewhere (stale socket,
+  // misconfigured process) must not reroute the configured address.
+  book.observe(NodeId(1), addr_of(kLoopback, 6666));
+  EXPECT_EQ(book.port_of(NodeId(1)), 7100);
+  EXPECT_TRUE(book.pinned(NodeId(1)));
+}
+
+TEST(AddressBook, FresherStampHealsEvenPinned) {
+  AddressBook book;
+  book.pin(NodeId(1), addr_of(kLoopback, 7100));
+  // The node itself gossips a new address with a boot stamp: authoritative.
+  EXPECT_TRUE(book.learn(NodeId(1), Endpoint{kLoopback, 7200, 10}));
+  EXPECT_EQ(book.port_of(NodeId(1)), 7200);
+  EXPECT_TRUE(book.pinned(NodeId(1)));  // still eviction/observe-immune
+  EXPECT_EQ(book.stamp_of(NodeId(1)), 10u);
+}
+
+TEST(AddressBook, StaleStampIsIgnored) {
+  AddressBook book;
+  ASSERT_TRUE(book.learn(NodeId(2), Endpoint{kLoopback, 8000, 20}));
+  EXPECT_FALSE(book.learn(NodeId(2), Endpoint{kLoopback, 8100, 20}));
+  EXPECT_FALSE(book.learn(NodeId(2), Endpoint{kLoopback, 8200, 5}));
+  EXPECT_EQ(book.port_of(NodeId(2)), 8000);
+  EXPECT_EQ(book.stamp_of(NodeId(2)), 20u);
+
+  EXPECT_TRUE(book.learn(NodeId(2), Endpoint{kLoopback, 8300, 21}));
+  EXPECT_EQ(book.port_of(NodeId(2)), 8300);
+}
+
+TEST(AddressBook, InvalidEndpointIsRejected) {
+  AddressBook book;
+  EXPECT_FALSE(book.learn(NodeId(3), Endpoint{kLoopback, 0, 99}));
+  EXPECT_FALSE(book.contains(NodeId(3)));
+}
+
+TEST(AddressBook, LearnedEntriesAreLruBounded) {
+  AddressBook book(AddressBook::Options{/*max_learned=*/3});
+  book.pin(NodeId(100), addr_of(kLoopback, 7100));
+  book.pin(NodeId(101), addr_of(kLoopback, 7101));
+
+  // Five ephemeral-port clients roll through; only the three most recently
+  // seen survive, and both pinned entries are untouched.
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    book.observe(NodeId(i), addr_of(kLoopback, static_cast<std::uint16_t>(
+                                                   5000 + i)));
+  }
+  EXPECT_EQ(book.learned_count(), 3u);
+  EXPECT_EQ(book.size(), 5u);
+  EXPECT_FALSE(book.contains(NodeId(0)));
+  EXPECT_FALSE(book.contains(NodeId(1)));
+  EXPECT_TRUE(book.contains(NodeId(2)));
+  EXPECT_TRUE(book.contains(NodeId(3)));
+  EXPECT_TRUE(book.contains(NodeId(4)));
+  EXPECT_TRUE(book.contains(NodeId(100)));
+  EXPECT_TRUE(book.contains(NodeId(101)));
+}
+
+TEST(AddressBook, EvictionPrefersLeastRecentlyRefreshed) {
+  AddressBook book(AddressBook::Options{/*max_learned=*/2});
+  book.observe(NodeId(1), addr_of(kLoopback, 5001));
+  book.observe(NodeId(2), addr_of(kLoopback, 5002));
+  // Refresh node 1 so node 2 becomes the LRU victim.
+  book.observe(NodeId(1), addr_of(kLoopback, 5001));
+  book.observe(NodeId(3), addr_of(kLoopback, 5003));
+  EXPECT_TRUE(book.contains(NodeId(1)));
+  EXPECT_FALSE(book.contains(NodeId(2)));
+  EXPECT_TRUE(book.contains(NodeId(3)));
+}
+
+}  // namespace
+}  // namespace dataflasks::net

@@ -111,11 +111,21 @@ TEST(Messages, ReplicatePushCarriesBatchesAndTombstones) {
 }
 
 TEST(Messages, AdvertAndAeRoundTrip) {
-  const SliceAdvert advert{NodeId(1), 5, {10, 3}};
+  const SliceAdvert advert{NodeId(1), 5, {10, 3}, std::nullopt};
   auto decoded = decode_slice_advert(encode(advert));
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->slice, 5u);
   EXPECT_EQ(decoded->config.slice_count, 10u);
+  EXPECT_FALSE(decoded->endpoint.has_value());
+
+  const SliceAdvert with_endpoint{NodeId(2), 1, {4, 9},
+                                  Endpoint{0x7F000001, 7100, 42}};
+  auto decoded_ep = decode_slice_advert(encode(with_endpoint));
+  ASSERT_TRUE(decoded_ep.has_value());
+  ASSERT_TRUE(decoded_ep->endpoint.has_value());
+  EXPECT_EQ(decoded_ep->endpoint->ip, 0x7F000001u);
+  EXPECT_EQ(decoded_ep->endpoint->port, 7100u);
+  EXPECT_EQ(decoded_ep->endpoint->stamp, 42u);
 
   const AeDigest digest{true, {{"a", 1}, {"b", 2}}};
   auto decoded_digest = decode_ae_digest(encode(digest));
@@ -459,6 +469,111 @@ TEST(StateTransferTest, CompletionDropsForeignKeysFromJoiner) {
   pair.joiner->begin();
   bundle.run_for(10 * kSeconds);
   EXPECT_FALSE(pair.store_joiner.contains(foreign, 1));
+}
+
+TEST(StateTransferTest, LargeValuePagesAreChunkedUnderDatagramBudget) {
+  SimBundle bundle(75);
+  StateTransferOptions opts;
+  opts.page_size = 64;
+  StPair pair(bundle, 0, 1, opts);
+
+  // One logical page of multi-kB values: 12 x 10 kB = ~120 kB, far over
+  // the 48 kB per-datagram budget (and over the ~60 kB frame cap that
+  // would silently drop the reply on real UDP, stalling the join forever).
+  // The donor must byte-bound each reply and page through the rest.
+  const Bytes big(10 * 1024, 0xAB);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(pair.store_donor.put({"big" + std::to_string(i), 1, big}).ok());
+  }
+
+  // Observe every StReply payload as it crosses the (simulated) wire.
+  std::size_t replies = 0;
+  std::size_t max_payload = 0;
+  StateTransfer* joiner = pair.joiner.get();
+  bundle.transport->register_handler(
+      NodeId(0), [&, joiner](const net::Message& msg) {
+        if (msg.type == kStReply) {
+          ++replies;
+          max_payload = std::max(max_payload, msg.payload.size());
+        }
+        joiner->handle(msg);
+      });
+
+  bool completed = false;
+  pair.joiner->set_completion_listener([&](SliceId) { completed = true; });
+  pair.joiner->begin();
+  bundle.run_for(20 * kSeconds);
+
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(pair.store_joiner.object_count(), 12u);
+  EXPECT_GE(replies, 3u) << "the oversized page must split across replies";
+  // Budget plus per-message framing slack: every datagram must fit a frame.
+  EXPECT_LE(max_payload, kBatchBytesBudget + 1024);
+  EXPECT_GE(pair.metrics_donor.counter_value("st.pages_served"), 3u);
+}
+
+TEST(StateTransferTest, DivergentSliceMapsCannotLivelockTheTransfer) {
+  SimBundle bundle(76);
+  StateTransferOptions opts;
+  opts.page_size = 4;
+
+  // The donor's slice map claims every key belongs to slice 0, so it keeps
+  // serving keys the joiner (slicing by hash into 4) considers foreign.
+  // Before the cursor fix the joiner re-requested the same all-foreign page
+  // forever; now the cursor advances over every served object.
+  store::MemStore store_joiner, store_donor;
+  MetricsRegistry metrics_joiner, metrics_donor;
+  const auto joiner_slice = [](const Key& key) {
+    return slicing::key_to_slice(key, 4);
+  };
+  const auto donor_slice = [](const Key&) { return SliceId{0}; };
+
+  StateTransfer joiner(
+      NodeId(0), *bundle.transport, store_joiner, Rng(1), opts,
+      []() { return SliceId{0}; }, joiner_slice,
+      [](std::size_t) { return std::vector<NodeId>{NodeId(1)}; },
+      metrics_joiner);
+  StateTransfer donor(
+      NodeId(1), *bundle.transport, store_donor, Rng(2), opts,
+      []() { return SliceId{0}; }, donor_slice,
+      [](std::size_t) { return std::vector<NodeId>{NodeId(0)}; },
+      metrics_donor);
+  bundle.transport->register_handler(
+      NodeId(0), [&joiner](const net::Message& msg) { joiner.handle(msg); });
+  bundle.transport->register_handler(
+      NodeId(1), [&donor](const net::Message& msg) { donor.handle(msg); });
+
+  // Keys named a* sort before z*, so the first pages are entirely foreign
+  // to the joiner; its own keys come last.
+  std::size_t foreign = 0, mine = 0;
+  for (int i = 0; foreign < 8 && i < 1000; ++i) {
+    const Key key = "a" + std::to_string(i);
+    if (slicing::key_to_slice(key, 4) != 0) {
+      ASSERT_TRUE(store_donor.put({key, 1, value_of("v")}).ok());
+      ++foreign;
+    }
+  }
+  for (int i = 0; mine < 3 && i < 1000; ++i) {
+    const Key key = "z" + std::to_string(i);
+    if (slicing::key_to_slice(key, 4) == 0) {
+      ASSERT_TRUE(store_donor.put({key, 1, value_of("v")}).ok());
+      ++mine;
+    }
+  }
+  ASSERT_EQ(foreign, 8u);
+  ASSERT_EQ(mine, 3u);
+
+  bool completed = false;
+  joiner.set_completion_listener([&](SliceId) { completed = true; });
+  joiner.begin();
+  for (int i = 0; i < 10 && !completed; ++i) {
+    joiner.tick();
+    bundle.run_for(kSeconds);
+  }
+
+  EXPECT_TRUE(completed) << "transfer livelocked on foreign-only pages";
+  EXPECT_FALSE(joiner.active());
+  EXPECT_EQ(store_joiner.object_count(), 3u);  // only its own keys stored
 }
 
 TEST(StateTransferTest, RetriesAfterStall) {

@@ -84,7 +84,8 @@ std::vector<CodecCase> all_codecs() {
        [](const Bytes& b) { (void)core::decode_replicate_push(b); }},
       {"slice_advert",
        []() {
-         return core::encode(core::SliceAdvert{NodeId(1), 5, {10, 3}});
+         return core::encode(core::SliceAdvert{
+             NodeId(1), 5, {10, 3}, Endpoint{0x7F000001, 7100, 99}});
        },
        [](const Bytes& b) { (void)core::decode_slice_advert(b); }},
       {"ae_digest",
@@ -166,14 +167,22 @@ INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecFuzzTest,
                          });
 
 TEST(CodecFuzz, PssDescriptorTruncations) {
-  Writer w;
-  pss::encode(w, pss::NodeDescriptor{NodeId(5), 9});
-  const Bytes valid = w.take();
-  for (std::size_t len = 0; len < valid.size(); ++len) {
-    Bytes truncated(valid.begin(), valid.begin() + static_cast<long>(len));
-    Reader r(truncated);
-    ASSERT_NO_THROW((void)pss::decode_descriptor(r));
-    EXPECT_FALSE(r.finish().ok());
+  // Both the endpoint-less and endpoint-carrying layouts must reject every
+  // proper prefix.
+  const std::vector<pss::NodeDescriptor> variants{
+      {NodeId(5), 9, std::nullopt},
+      {NodeId(5), 9, Endpoint{0x7F000001, 7105, 1234}},
+  };
+  for (const auto& descriptor : variants) {
+    Writer w;
+    pss::encode(w, descriptor);
+    const Bytes valid = w.take();
+    for (std::size_t len = 0; len < valid.size(); ++len) {
+      Bytes truncated(valid.begin(), valid.begin() + static_cast<long>(len));
+      Reader r(truncated);
+      ASSERT_NO_THROW((void)pss::decode_descriptor(r));
+      EXPECT_FALSE(r.finish().ok());
+    }
   }
 }
 

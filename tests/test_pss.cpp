@@ -86,6 +86,39 @@ TEST(View, DescriptorCodecRoundTrip) {
   const auto d = decode_descriptor(r);
   EXPECT_EQ(d.id, NodeId(9));
   EXPECT_EQ(d.age, 4u);
+  EXPECT_FALSE(d.endpoint.has_value());
+}
+
+TEST(View, DescriptorCodecRoundTripWithEndpoint) {
+  const Endpoint endpoint{0x7F000001, 7105, 987654321};
+  Writer w;
+  encode(w, NodeDescriptor{NodeId(9), 4, endpoint});
+  Reader r(w.view());
+  const auto d = decode_descriptor(r);
+  ASSERT_TRUE(r.finish().ok());
+  EXPECT_EQ(d.id, NodeId(9));
+  EXPECT_EQ(d.age, 4u);
+  ASSERT_TRUE(d.endpoint.has_value());
+  EXPECT_EQ(*d.endpoint, endpoint);
+}
+
+TEST(View, InsertKeepsFreshestEndpointStamp) {
+  View v(4);
+  EXPECT_TRUE(v.insert({NodeId(1), 5, Endpoint{0x7F000001, 7000, 10}}));
+  // A restarted node's descriptor (fresher stamp) replaces the address even
+  // when the incoming age is older.
+  EXPECT_TRUE(v.insert({NodeId(1), 9, Endpoint{0x7F000001, 7111, 20}}));
+  ASSERT_EQ(v.size(), 1u);
+  ASSERT_TRUE(v.entries().front().endpoint.has_value());
+  EXPECT_EQ(v.entries().front().endpoint->port, 7111);
+  EXPECT_EQ(v.entries().front().age, 5u);  // younger age still wins
+
+  // Stale gossip (older stamp) must not roll the address back, and an
+  // endpoint-less descriptor must not erase what we know.
+  EXPECT_TRUE(v.insert({NodeId(1), 2, Endpoint{0x7F000001, 7000, 10}}));
+  EXPECT_TRUE(v.insert({NodeId(1), 1, std::nullopt}));
+  EXPECT_EQ(v.entries().front().endpoint->port, 7111);
+  EXPECT_EQ(v.entries().front().endpoint->stamp, 20u);
 }
 
 // ---- protocol harness --------------------------------------------------------------
@@ -293,6 +326,75 @@ TEST(Cyclon, SampleListenerSeesFreshDescriptors) {
       });
   bundle.run_for(30 * kSeconds);
   EXPECT_GT(observed, 0u);
+}
+
+TEST(Cyclon, ShufflesCarryAndRefreshEndpoints) {
+  SimBundle bundle(50);
+  // Node 1 advertises an endpoint; node 0 must learn it from the shuffle's
+  // self-descriptor and surface it through the descriptor listener (the
+  // stream the real transport's address book is fed from).
+  Cyclon a(NodeId(1), *bundle.transport, Rng(1), {});
+  Cyclon b(NodeId(0), *bundle.transport, Rng(2), {});
+  a.set_self_endpoint_provider(
+      []() { return Endpoint{0x7F000001, 7101, 77}; });
+  a.bootstrap({NodeId(0)});
+  b.bootstrap({NodeId(1)});
+  bundle.transport->register_handler(
+      NodeId(1), [&a](const net::Message& msg) { a.handle(msg); });
+  bundle.transport->register_handler(
+      NodeId(0), [&b](const net::Message& msg) { b.handle(msg); });
+
+  std::vector<NodeDescriptor> seen;
+  b.set_descriptor_listener([&](const std::vector<NodeDescriptor>& batch) {
+    seen.insert(seen.end(), batch.begin(), batch.end());
+  });
+
+  a.tick();  // shuffle request 1 -> 0 carrying a's stamped self-descriptor
+  bundle.run_for(2 * kSeconds);
+
+  bool listener_saw_endpoint = false;
+  for (const NodeDescriptor& d : seen) {
+    if (d.id == NodeId(1) && d.endpoint.has_value() &&
+        d.endpoint->port == 7101) {
+      listener_saw_endpoint = true;
+    }
+  }
+  EXPECT_TRUE(listener_saw_endpoint);
+
+  bool view_has_endpoint = false;
+  for (const NodeDescriptor& d : b.view().entries()) {
+    if (d.id == NodeId(1) && d.endpoint.has_value() &&
+        d.endpoint->stamp == 77) {
+      view_has_endpoint = true;
+    }
+  }
+  EXPECT_TRUE(view_has_endpoint);
+}
+
+TEST(Newscast, ExchangesCarryEndpoints) {
+  SimBundle bundle(51);
+  Newscast a(NodeId(1), *bundle.transport, Rng(1), {});
+  Newscast b(NodeId(0), *bundle.transport, Rng(2), {});
+  a.set_self_endpoint_provider(
+      []() { return Endpoint{0x7F000001, 7201, 88}; });
+  a.bootstrap({NodeId(0)});
+  b.bootstrap({NodeId(1)});
+  bundle.transport->register_handler(
+      NodeId(1), [&a](const net::Message& msg) { a.handle(msg); });
+  bundle.transport->register_handler(
+      NodeId(0), [&b](const net::Message& msg) { b.handle(msg); });
+
+  a.tick();
+  bundle.run_for(2 * kSeconds);
+
+  bool view_has_endpoint = false;
+  for (const NodeDescriptor& d : b.view().entries()) {
+    if (d.id == NodeId(1) && d.endpoint.has_value() &&
+        d.endpoint->port == 7201) {
+      view_has_endpoint = true;
+    }
+  }
+  EXPECT_TRUE(view_has_endpoint);
 }
 
 TEST(Cyclon, MalformedMessageIsDroppedSafely) {

@@ -144,6 +144,118 @@ TEST(RealCluster, LoopbackPutQuorumGetAndFullReplication) {
   for (RealNode& n : nodes) n.node->crash();
 }
 
+// The acceptance test for gossip-learned addresses: a 3-node real-UDP
+// cluster where node 2 is killed and restarted on a DIFFERENT port, joining
+// back through a single seed address (no node id, no static peer list).
+// The survivors must relearn its address purely from PSS gossip — their
+// old entries are pinned to the dead port, so only the restarted node's
+// fresher-stamped self-descriptor can heal them — and a subsequent put
+// must replicate onto the restarted node without any add_peer call.
+TEST(RealCluster, HealsAddressesAfterRestartOnNewPort) {
+  runtime::RealTimeRuntime rt(0xA11);
+
+  constexpr std::size_t kNodes = 3;
+  std::vector<RealNode> nodes(kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    nodes[i].transport = std::make_unique<net::UdpTransport>(
+        rt, net::UdpTransport::Options{});
+    nodes[i].node = std::make_unique<core::Node>(
+        NodeId(i), /*capacity=*/1.0, rt, *nodes[i].transport,
+        fast_real_options(), /*seed=*/2000 + i);
+  }
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    for (std::size_t j = 0; j < kNodes; ++j) {
+      if (i == j) continue;
+      nodes[i].transport->add_peer(NodeId(j), "127.0.0.1",
+                                   nodes[j].transport->local_port());
+    }
+  }
+  std::vector<NodeId> all_ids;
+  for (std::size_t i = 0; i < kNodes; ++i) all_ids.emplace_back(i);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    std::vector<NodeId> seeds = all_ids;
+    std::erase(seeds, NodeId(i));
+    nodes[i].node->start(seeds);
+  }
+  const std::uint16_t seed_port = nodes[0].transport->local_port();
+  rt.run_for(200 * kMillis);
+
+  // ---- kill node 2; bring it back on a fresh ephemeral port -----------
+  const std::uint16_t old_port = nodes[2].transport->local_port();
+  nodes[2].node.reset();       // dtor crashes the node
+  nodes[2].transport.reset();  // closes the socket, frees the port
+
+  net::UdpTransport::Options rejoin;
+  rejoin.seed_probe_period = 50 * kMillis;
+  nodes[2].transport = std::make_unique<net::UdpTransport>(rt, rejoin);
+  ASSERT_NE(nodes[2].transport->local_port(), old_port)
+      << "restart must land on a different port for the test to mean "
+         "anything";
+  nodes[2].node = std::make_unique<core::Node>(
+      NodeId(2), /*capacity=*/1.0, rt, *nodes[2].transport,
+      fast_real_options(), /*seed=*/2902);
+  // Single-seed join: only node 0's ADDRESS is configured. The node id
+  // behind it comes from the discovery probe; node 1's address and the
+  // survivors' route back to us are gossip-learned.
+  core::Node& rejoined = *nodes[2].node;
+  nodes[2].transport->set_seed_listener(
+      [&rejoined](NodeId contact) { rejoined.add_contact(contact); });
+  nodes[2].transport->add_seed("127.0.0.1", seed_port);
+  nodes[2].node->start({});
+
+  // ---- survivors must relearn node 2's address via gossip alone --------
+  const std::uint16_t new_port = nodes[2].transport->local_port();
+  const auto survivors_healed = [&]() {
+    return nodes[0].transport->peers().port_of(NodeId(2)) == new_port &&
+           nodes[1].transport->peers().port_of(NodeId(2)) == new_port;
+  };
+  SimTime deadline = rt.now() + 10 * kSeconds;
+  while (!survivors_healed() && rt.now() < deadline) {
+    rt.run_for(50 * kMillis);
+  }
+  EXPECT_TRUE(survivors_healed())
+      << "survivors kept routing node 2 to the dead port";
+  // The old entries were pinned static config; only the fresher-stamped
+  // gossip endpoint may have rerouted them.
+  EXPECT_TRUE(nodes[0].transport->peers().pinned(NodeId(2)));
+  EXPECT_GT(nodes[0].transport->peers().stamp_of(NodeId(2)), 0u);
+
+  // ---- a fresh put must now converge onto the restarted node -----------
+  net::UdpTransport client_transport(rt, {});
+  for (std::size_t i = 0; i < 2; ++i) {
+    client_transport.add_peer(NodeId(i), "127.0.0.1",
+                              nodes[i].transport->local_port());
+  }
+  client::RandomLoadBalancer balancer({NodeId(0), NodeId(1)}, Rng(7));
+  client::ClientOptions client_options;
+  client_options.request_timeout = 300 * kMillis;
+  client_options.max_attempts = 4;
+  client::Client client(NodeId(9001), client_transport, rt, balancer, Rng(8),
+                        client_options);
+
+  const Key key = "healed-cluster-key";
+  bool put_done = false;
+  client::PutResult put_result;
+  client.put(key, Payload(Bytes{1, 2, 3}), 7,
+             [&](const client::PutResult& result) {
+               put_result = result;
+               put_done = true;
+               rt.stop();
+             });
+  rt.run_for(5 * kSeconds);
+  ASSERT_TRUE(put_done);
+  ASSERT_TRUE(put_result.ok);
+
+  deadline = rt.now() + 10 * kSeconds;
+  while (!nodes[2].node->store().contains(key, 7) && rt.now() < deadline) {
+    rt.run_for(50 * kMillis);
+  }
+  EXPECT_TRUE(nodes[2].node->store().contains(key, 7))
+      << "replication never reached the restarted node's new address";
+
+  for (RealNode& n : nodes) n.node->crash();
+}
+
 // Same protocol code, simulator runtime: bit-identical determinism must
 // survive the Runtime indirection. Two clusters with one seed must execute
 // the same event count and reach the same replica state; a third with a

@@ -61,6 +61,35 @@ TEST(ServerConfig, ParsesFlags) {
   EXPECT_EQ(options.slice_config.slice_count, 4u);
 }
 
+TEST(ServerConfig, SeedFlagIsRngIntegerOrJoinContact) {
+  // Bare integer: RNG seed, untouched seed-contact list.
+  auto rng = parse_server_args({"--seed", "42"});
+  ASSERT_TRUE(rng.ok());
+  EXPECT_EQ(rng.value().seed, 42u);
+  EXPECT_TRUE(rng.value().seeds.empty());
+
+  // host:port: a join contact; the RNG seed keeps its default (a partial
+  // integer parse of "127..." must not corrupt it).
+  auto contact = parse_server_args(
+      {"--seed", "127.0.0.1:7100", "--seed", "other-host:7200"});
+  ASSERT_TRUE(contact.ok());
+  EXPECT_EQ(contact.value().seed, 0u);
+  ASSERT_EQ(contact.value().seeds.size(), 2u);
+  EXPECT_EQ(contact.value().seeds[0].host, "127.0.0.1");
+  EXPECT_EQ(contact.value().seeds[0].port, 7100);
+  EXPECT_EQ(contact.value().seeds[1].host, "other-host");
+
+  EXPECT_FALSE(parse_server_args({"--seed", "not-a-thing"}).ok());
+  EXPECT_FALSE(parse_server_args({"--seed", "host:0"}).ok());
+}
+
+TEST(ServerConfig, AdvertiseHostFlagAndConfigKey) {
+  auto flag = parse_server_args({"--advertise", "10.0.0.5"});
+  ASSERT_TRUE(flag.ok());
+  EXPECT_EQ(flag.value().advertise_host, "10.0.0.5");
+  EXPECT_TRUE(parse_server_args({}).value().advertise_host.empty());
+}
+
 TEST(ServerConfig, RejectsBadInput) {
   EXPECT_FALSE(parse_server_args({"--id", "zzz"}).ok());
   EXPECT_FALSE(parse_server_args({"--id"}).ok());

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -207,6 +208,156 @@ TEST(UdpTransport, DropsOversizedPayloadAtSend) {
   msg.payload = Payload(Bytes(kMaxFramePayload + 1, 0xCC));
   a.send(msg);
   EXPECT_EQ(a.total_dropped(), 1u);
+}
+
+TEST(UdpTransport, AdvertisesStampedLocalEndpoint) {
+  runtime::RealTimeRuntime rt(1);
+  UdpTransport a(rt, {});
+  UdpTransport b(rt, {});
+  const auto ea = a.local_endpoint();
+  const auto eb = b.local_endpoint();
+  ASSERT_TRUE(ea.has_value());
+  ASSERT_TRUE(eb.has_value());
+  EXPECT_EQ(ea->ip, 0x7F000001u);  // 127.0.0.1, host byte order
+  EXPECT_EQ(ea->port, a.local_port());
+  // Stamps are strictly ordered by creation: a restarted transport always
+  // outranks its previous incarnation.
+  EXPECT_LT(ea->stamp, eb->stamp);
+
+  UdpTransport::Options wildcard;
+  wildcard.bind_host = "0.0.0.0";
+  UdpTransport c(rt, wildcard);
+  EXPECT_FALSE(c.local_endpoint().has_value())
+      << "the wildcard address is not reachable and must not be gossiped";
+}
+
+TEST(UdpTransport, GossipLearnedEndpointRoutesSends) {
+  runtime::RealTimeRuntime rt(1);
+  UdpTransport a(rt, {});
+  UdpTransport b(rt, {});
+  // No add_peer: a learns b's address purely from a gossiped endpoint.
+  a.learn_endpoint(NodeId(2), Endpoint{0x7F000001, b.local_port(), 5});
+  EXPECT_TRUE(a.knows_peer(NodeId(2)));
+
+  bool delivered = false;
+  b.register_handler(NodeId(2), [&](const Message&) {
+    delivered = true;
+    rt.stop();
+  });
+  Message msg;
+  msg.src = NodeId(1);
+  msg.dst = NodeId(2);
+  msg.type = 0x0301;
+  a.send(msg);
+  rt.run_for(2 * kSeconds);
+  EXPECT_TRUE(delivered);
+}
+
+TEST(UdpTransport, LearnedPeerTableIsBounded) {
+  runtime::RealTimeRuntime rt(1);
+  UdpTransport::Options options;
+  options.max_learned_peers = 4;
+  UdpTransport target(rt, options);
+  target.add_peer(NodeId(1000), "127.0.0.1", 7999);  // pinned, exempt
+  target.register_handler(NodeId(500), [](const Message&) {});
+
+  // A parade of ephemeral-port clients; each datagram learns an entry, but
+  // the table must not grow past the bound (+ the pinned entry).
+  std::vector<std::unique_ptr<UdpTransport>> clients;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    clients.push_back(std::make_unique<UdpTransport>(rt, UdpTransport::Options{}));
+    clients.back()->add_peer(NodeId(500), "127.0.0.1", target.local_port());
+    Message msg;
+    msg.src = NodeId(i);
+    msg.dst = NodeId(500);
+    msg.type = 0x0301;
+    clients.back()->send(msg);
+  }
+  const SimTime deadline = rt.now() + 5 * kSeconds;
+  while (target.total_delivered() < 10 && rt.now() < deadline) {
+    rt.run_for(20 * kMillis);
+  }
+  ASSERT_EQ(target.total_delivered(), 10u);
+  EXPECT_LE(target.peers().learned_count(), 4u);
+  EXPECT_TRUE(target.knows_peer(NodeId(1000)));  // pinned survived
+}
+
+TEST(UdpTransport, DatagramSourceDoesNotClobberPinnedPeer) {
+  runtime::RealTimeRuntime rt(1);
+  UdpTransport target(rt, {});
+  UdpTransport real_peer(rt, {});
+  UdpTransport impostor(rt, {});
+  target.register_handler(NodeId(9), [](const Message&) {});
+  target.add_peer(NodeId(5), "127.0.0.1", real_peer.local_port());
+
+  // The impostor's datagrams claim src=5 from a different socket; the
+  // pinned route must keep pointing at the configured address.
+  impostor.add_peer(NodeId(9), "127.0.0.1", target.local_port());
+  Message forged;
+  forged.src = NodeId(5);
+  forged.dst = NodeId(9);
+  forged.type = 0x0301;
+  impostor.send(forged);
+
+  const SimTime deadline = rt.now() + 5 * kSeconds;
+  while (target.total_delivered() < 1 && rt.now() < deadline) {
+    rt.run_for(20 * kMillis);
+  }
+  ASSERT_EQ(target.total_delivered(), 1u);
+  EXPECT_EQ(target.peers().port_of(NodeId(5)), real_peer.local_port());
+
+  // Authoritative gossip (fresher stamp) is still allowed to heal it.
+  target.learn_endpoint(NodeId(5),
+                        Endpoint{0x7F000001, impostor.local_port(), 99});
+  EXPECT_EQ(target.peers().port_of(NodeId(5)), impostor.local_port());
+}
+
+TEST(UdpTransport, SeedProbeDiscoversNodeIdAndPins) {
+  runtime::RealTimeRuntime rt(1);
+  UdpTransport server(rt, {});
+  server.register_handler(NodeId(7), [](const Message&) {});
+
+  UdpTransport joiner(rt, {});
+  NodeId discovered;
+  joiner.set_seed_listener([&](NodeId id) {
+    discovered = id;
+    rt.stop();
+  });
+  // Only an address, no id: the probe handshake resolves it.
+  joiner.add_seed("127.0.0.1", server.local_port());
+  EXPECT_EQ(joiner.pending_seeds(), 1u);
+
+  rt.run_for(5 * kSeconds);
+  EXPECT_EQ(discovered, NodeId(7));
+  EXPECT_EQ(joiner.pending_seeds(), 0u);
+  EXPECT_TRUE(joiner.knows_peer(NodeId(7)));
+  EXPECT_TRUE(joiner.peers().pinned(NodeId(7)));
+  EXPECT_EQ(joiner.peers().port_of(NodeId(7)), server.local_port());
+  // The reply carried the server's stamped endpoint.
+  EXPECT_GT(joiner.peers().stamp_of(NodeId(7)), 0u);
+}
+
+TEST(UdpTransport, SeedProbeRetriesUntilServerRegisters) {
+  runtime::RealTimeRuntime rt(1);
+  UdpTransport::Options fast_probe;
+  fast_probe.seed_probe_period = 50 * kMillis;
+  UdpTransport server(rt, {});
+  UdpTransport joiner(rt, fast_probe);
+  bool resolved = false;
+  joiner.set_seed_listener([&](NodeId) {
+    resolved = true;
+    rt.stop();
+  });
+  // Probe a server that has not registered its node yet: the first probe
+  // gets no answer; a retry after registration must still resolve it.
+  joiner.add_seed("127.0.0.1", server.local_port());
+  rt.run_for(120 * kMillis);
+  EXPECT_FALSE(resolved);
+
+  server.register_handler(NodeId(3), [](const Message&) {});
+  rt.run_for(5 * kSeconds);
+  EXPECT_TRUE(resolved);
+  EXPECT_TRUE(joiner.peers().pinned(NodeId(3)));
 }
 
 TEST(UdpTransport, IgnoresGarbageDatagrams) {
