@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Real-cluster benchmark: launches a localhost UDP fleet of
+# dataflasks_server processes and drives it with dataflasks_loadgen
+# (YCSB-style workload through the client library), producing a
+# machine-readable BENCH_real_cluster.json plus two observability
+# assertions along the way:
+#
+#   * the --metrics-port TCP endpoint answers a scrape with Prometheus
+#     text containing the per-op counters the load just incremented, and
+#   * `dataflasks_cli stats` (the v2 Stats admin op over UDP) returns the
+#     same exposition.
+#
+# Used by the CI `bench-real-smoke` job (quick settings via env) and
+# runnable locally at full size:
+#
+#   ./scripts/bench_real_cluster.sh [build-dir] [out.json]
+#
+# Tunables (environment): BENCH_NODES (default 3), BENCH_DURATION_MS
+# (default 20000), BENCH_THREADS (4), BENCH_CONCURRENCY (4),
+# BENCH_RECORDS (2000), BENCH_WORKLOAD (A), BENCH_BASE_PORT (7431).
+# Exits non-zero on any failure; always tears the servers down. Wrap in
+# `timeout` as a hang guard (CI does).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_real_cluster.json}"
+SERVER="$BUILD_DIR/src/server/dataflasks_server"
+CLI="$BUILD_DIR/src/server/dataflasks_cli"
+LOADGEN="$BUILD_DIR/src/server/dataflasks_loadgen"
+
+NODES="${BENCH_NODES:-3}"
+DURATION_MS="${BENCH_DURATION_MS:-20000}"
+THREADS="${BENCH_THREADS:-4}"
+CONCURRENCY="${BENCH_CONCURRENCY:-4}"
+RECORDS="${BENCH_RECORDS:-2000}"
+WORKLOAD="${BENCH_WORKLOAD:-A}"
+BASE_PORT="${BENCH_BASE_PORT:-7431}"
+LOG_DIR="$(mktemp -d)"
+
+[[ -x "$SERVER" && -x "$CLI" && -x "$LOADGEN" ]] || {
+  echo "bench_real_cluster: build dataflasks_server, dataflasks_cli and" \
+       "dataflasks_loadgen first" >&2
+  exit 1
+}
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$LOG_DIR"
+}
+trap cleanup EXIT
+
+PEER_FLAGS=()
+for ((i = 0; i < NODES; i++)); do
+  PEER_FLAGS+=("--peer" "$i@127.0.0.1:$((BASE_PORT + i))")
+done
+
+echo "== launching $NODES-node cluster on ports $BASE_PORT-$((BASE_PORT + NODES - 1))"
+for ((i = 0; i < NODES; i++)); do
+  node_peers=()
+  for ((j = 0; j < NODES; j++)); do
+    [[ "$i" == "$j" ]] || node_peers+=("--peer" "$j@127.0.0.1:$((BASE_PORT + j))")
+  done
+  metrics=()
+  [[ "$i" == 0 ]] && metrics=("--metrics-port" "0")  # ephemeral, printed at boot
+  "$SERVER" --id "$i" --listen "127.0.0.1:$((BASE_PORT + i))" \
+    --gossip-ms 100 --ae-ms 500 --log-level warn \
+    "${metrics[@]}" "${node_peers[@]}" \
+    > "$LOG_DIR/server$i.log" 2>&1 &
+  PIDS[$i]=$!
+done
+for ((i = 0; i < NODES; i++)); do
+  for _ in $(seq 1 50); do
+    grep -q "ready on" "$LOG_DIR/server$i.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "ready on" "$LOG_DIR/server$i.log" || {
+    echo "bench_real_cluster: server $i did not become ready" >&2
+    cat "$LOG_DIR/server$i.log" >&2
+    exit 1
+  }
+done
+
+echo "== loadgen: workload $WORKLOAD, $THREADS threads x $CONCURRENCY streams, ${DURATION_MS}ms"
+"$LOADGEN" "${PEER_FLAGS[@]}" \
+  --workload "$WORKLOAD" --threads "$THREADS" --concurrency "$CONCURRENCY" \
+  --records "$RECORDS" --duration-ms "$DURATION_MS" --out "$OUT"
+echo "== report written to $OUT"
+
+grep -q '"bench": "real_cluster"' "$OUT" || {
+  echo "bench_real_cluster: report missing or malformed" >&2
+  exit 1
+}
+
+echo "== scraping node 0's TCP metrics endpoint"
+METRICS_PORT="$(grep -oE 'metrics on 127.0.0.1:[0-9]+' "$LOG_DIR/server0.log" \
+  | head -1 | grep -oE '[0-9]+$')"
+[[ -n "$METRICS_PORT" ]] || {
+  echo "bench_real_cluster: node 0 printed no metrics port" >&2
+  cat "$LOG_DIR/server0.log" >&2
+  exit 1
+}
+SCRAPE="$(exec 3<>"/dev/tcp/127.0.0.1/$METRICS_PORT" \
+  && printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3)"
+grep -q "df_ops_total" <<< "$SCRAPE" || {
+  echo "bench_real_cluster: scrape did not expose the op counters" >&2
+  echo "$SCRAPE" >&2
+  exit 1
+}
+grep -q 'df_ops_total{op="put"} [1-9]' <<< "$SCRAPE" || {
+  echo "bench_real_cluster: put counter did not move under load" >&2
+  exit 1
+}
+echo "   $(grep -c '^df_' <<< "$SCRAPE") metric samples served"
+
+echo "== dataflasks_cli stats (v2 Stats op over UDP) must match the exposition"
+STATS="$("$CLI" "${PEER_FLAGS[@]}" --timeout-ms 5000 stats)"
+grep -q "df_ops_total" <<< "$STATS" || {
+  echo "bench_real_cluster: cli stats did not return the exposition" >&2
+  echo "$STATS" >&2
+  exit 1
+}
+
+echo "bench_real_cluster: PASS"

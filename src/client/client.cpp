@@ -1,5 +1,7 @@
 #include "client/client.hpp"
 
+#include <algorithm>
+
 #include "slicing/slice_map.hpp"
 
 namespace dataflasks::client {
@@ -13,6 +15,8 @@ const char* issued_counter(core::OpType type) {
     case core::OpType::kPut: return "client.puts";
     case core::OpType::kGet: return "client.gets";
     case core::OpType::kDelete: return "client.dels";
+    case core::OpType::kCompareAndPut: return "client.cas";
+    case core::OpType::kStats: return "client.stats";
   }
   return "client.ops";
 }
@@ -22,6 +26,8 @@ const char* retries_counter(core::OpType type) {
     case core::OpType::kPut: return "client.put_retries";
     case core::OpType::kGet: return "client.get_retries";
     case core::OpType::kDelete: return "client.del_retries";
+    case core::OpType::kCompareAndPut: return "client.cas_retries";
+    case core::OpType::kStats: return "client.stats_retries";
   }
   return "client.op_retries";
 }
@@ -31,6 +37,8 @@ const char* failures_counter(core::OpType type) {
     case core::OpType::kPut: return "client.put_failures";
     case core::OpType::kGet: return "client.get_failures";
     case core::OpType::kDelete: return "client.del_failures";
+    case core::OpType::kCompareAndPut: return "client.cas_failures";
+    case core::OpType::kStats: return "client.stats_failures";
   }
   return "client.op_failures";
 }
@@ -40,6 +48,8 @@ const char* successes_counter(core::OpType type) {
     case core::OpType::kPut: return "client.put_successes";
     case core::OpType::kGet: return "client.get_successes";
     case core::OpType::kDelete: return "client.del_successes";
+    case core::OpType::kCompareAndPut: return "client.cas_successes";
+    case core::OpType::kStats: return "client.stats_successes";
   }
   return "client.op_successes";
 }
@@ -54,7 +64,10 @@ Client::Client(NodeId id, net::Transport& transport,
       runtime_(rt),
       balancer_(balancer),
       rng_(rng),
-      options_(options) {
+      options_(options),
+      active_protocol_(std::clamp(options.protocol_version,
+                                  core::kOpProtocolMin,
+                                  core::kOpProtocolVersion)) {
   transport_.register_handler(
       id_, [this](const net::Message& msg) { dispatch(msg); });
 }
@@ -74,6 +87,15 @@ Version Client::stamp_version(const Key& key) {
   // monotonicity; the client id in the low 24 bits keeps concurrent
   // clients' stamps disjoint.
   return (++version_counters_[key] << 24) | (id_.value & 0xFFFFFF);
+}
+
+Version Client::stamp_version_above(const Key& key, Version floor) {
+  // Lifting the counter to floor's counter part makes the next stamp's
+  // counter strictly greater, so the stamp exceeds `floor` regardless of
+  // which client id sits in the low bits.
+  Version& counter = version_counters_[key];
+  counter = std::max(counter, floor >> 24);
+  return stamp_version(key);
 }
 
 std::optional<SliceId> Client::slice_hint(const PendingBatch& batch) const {
@@ -126,9 +148,16 @@ std::vector<Payload> Client::encode_unresolved(
   // the UDP transport silently drops oversized frames, so the split must
   // happen here. Replies route by rid, so the batch bookkeeping does not
   // care how many datagrams carried it.
+  // Envelope protocol: the negotiated version, lifted to whatever the
+  // batch's ops require. Ops above the negotiated version still go out at
+  // their own minimum — the server either serves them or answers with a
+  // kVersionMismatch that fails them as unsupported; silently not sending
+  // would turn "server can't do this" into a timeout.
+  std::uint8_t protocol = active_protocol_;
   std::vector<core::RoutedOp> unresolved;
   for (std::size_t i = 0; i < batch.ops.size(); ++i) {
     if (batch.resolved[i]) continue;
+    protocol = std::max(protocol, core::min_protocol_for(batch.ops[i].type));
     unresolved.push_back(core::RoutedOp{
         RequestId{id_.value, batch.base_seq + i}, batch.ops[i]});
   }
@@ -136,10 +165,9 @@ std::vector<Payload> Client::encode_unresolved(
   core::chunk_by_budget(
       unresolved,
       [](const core::RoutedOp& routed) { return core::encoded_size(routed); },
-      [&encoded](std::vector<core::RoutedOp>& chunk) {
+      [&encoded, protocol](std::vector<core::RoutedOp>& chunk) {
         encoded.push_back(
-            core::encode(core::OpEnvelope{core::kOpProtocolVersion,
-                                          std::move(chunk)}));
+            core::encode(core::OpEnvelope{protocol, std::move(chunk)}));
       });
   return encoded;
 }
@@ -205,6 +233,61 @@ void Client::on_timeout(std::uint64_t base_seq) {
   complete(batch);
 }
 
+void Client::handle_version_mismatch(const core::VersionMismatch& mismatch) {
+  if (mismatch.rid.client != id_.value) return;  // not ours (misroute)
+  const auto idx_it = rid_index_.find(mismatch.rid.seq);
+  if (idx_it == rid_index_.end()) {
+    metrics_.counter("client.duplicate_replies").add();
+    return;
+  }
+  const auto batch_it = pending_.find(idx_it->second);
+  ensure(batch_it != pending_.end(), "rid index points at a dead batch");
+  PendingBatch& batch = batch_it->second;
+  metrics_.counter("client.version_mismatches").add();
+
+  // Adopt the server's version when we can speak it. Sticky across
+  // requests: one mixed-version cluster member teaches us, the rest of the
+  // session skips the extra round-trip.
+  const std::uint8_t offered = mismatch.supported;
+  const bool adoptable = offered >= core::kOpProtocolMin &&
+                         offered <= core::kOpProtocolVersion;
+  if (adoptable && active_protocol_ != offered) {
+    active_protocol_ = offered;
+    metrics_.counter("client.protocol_negotiations").add();
+  }
+
+  // Ops the negotiated protocol cannot express fail now — "this cluster
+  // can't do that" is a definitive answer, not a timeout.
+  for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+    if (batch.resolved[i]) continue;
+    if (adoptable &&
+        core::min_protocol_for(batch.ops[i].type) <= active_protocol_) {
+      continue;
+    }
+    batch.resolved[i] = true;
+    rid_index_.erase(batch.base_seq + i);
+    --batch.unresolved;
+    OpResult& result = batch.results[i];
+    result.ok = false;
+    result.unsupported = true;
+    result.attempts = batch.attempts;
+    result.latency = runtime_.now() - batch.started;
+    metrics_.counter("client.ops_unsupported").add();
+  }
+  if (batch.unresolved == 0) {
+    complete(batch);
+    return;
+  }
+  // Re-send the remainder at the adopted version, to the same contact,
+  // without burning a retry attempt — the server answered; it is not
+  // unreachable. Guarded per version: a mismatch reply arrives per
+  // envelope chunk, and one renegotiation must not multiply resends.
+  if (batch.negotiated != active_protocol_) {
+    batch.negotiated = active_protocol_;
+    send_envelopes(batch, batch.contact);
+  }
+}
+
 void Client::complete(PendingBatch& batch) {
   batch.timer.cancel();
   batch.hedge_timer.cancel();
@@ -215,6 +298,11 @@ void Client::complete(PendingBatch& batch) {
 }
 
 void Client::dispatch(const net::Message& msg) {
+  if (msg.type == core::kVersionMismatch) {
+    const auto mismatch = core::decode_version_mismatch(msg.payload);
+    if (mismatch) handle_version_mismatch(*mismatch);
+    return;
+  }
   if (msg.type != core::kOpReplyBatch) {
     metrics_.counter("client.unhandled_messages").add();
     return;
@@ -251,7 +339,12 @@ void Client::dispatch(const net::Message& msg) {
       case core::OpStatus::kOk:
         result.ok = true;
         result.version = reply.object.version;
-        if (reply.type == core::OpType::kGet) result.object = reply.object;
+        // Gets carry the stored object; stats carry the snapshot text in
+        // the object's value.
+        if (reply.type == core::OpType::kGet ||
+            reply.type == core::OpType::kStats) {
+          result.object = reply.object;
+        }
         metrics_.counter(successes_counter(reply.type)).add();
         break;
       case core::OpStatus::kDeleted:
@@ -271,6 +364,15 @@ void Client::dispatch(const net::Message& msg) {
         result.superseded = true;
         result.version = reply.object.version;
         metrics_.counter("client.puts_superseded").add();
+        break;
+      case core::OpStatus::kCasFailed:
+        // Definitive precondition failure: `version` is the key's actual
+        // current version (the tombstone's when the key is deleted), so
+        // the caller can re-read and decide instead of retrying blind.
+        result.ok = false;
+        result.cas_failed = true;
+        result.version = reply.object.version;
+        metrics_.counter("client.cas_precondition_failures").add();
         break;
     }
     if (batch.unresolved == 0) {
@@ -344,6 +446,56 @@ Version Client::del_auto(Key key, DelCallback done) {
   const Version version = stamp_version(key);
   del(std::move(key), version, std::move(done));
   return version;
+}
+
+Version Client::cas(Key key, Version expected, Payload value,
+                    CasCallback done) {
+  // Stamp above `expected`, not just above this client's counter: the
+  // expected version usually came from a get of another client's write.
+  const Version version = stamp_version_above(key, expected);
+  cas_at(std::move(key), expected, version, std::move(value),
+         std::move(done));
+  return version;
+}
+
+void Client::cas_at(Key key, Version expected, Version version, Payload value,
+                    CasCallback done) {
+  execute({core::Operation::cas(std::move(key), expected, version,
+                                std::move(value))},
+          [done = std::move(done)](const std::vector<OpResult>& results) {
+            if (!done) return;
+            const OpResult& r = results.front();
+            CasResult out;
+            out.ok = r.ok;
+            out.cas_failed = r.cas_failed;
+            out.unsupported = r.unsupported;
+            out.key = r.key;
+            out.version = r.version;
+            out.replica = r.replica;
+            out.attempts = r.attempts;
+            out.latency = r.latency;
+            done(out);
+          });
+}
+
+void Client::stats(StatsCallback done) {
+  execute({core::Operation::stats()},
+          [done = std::move(done)](const std::vector<OpResult>& results) {
+            if (!done) return;
+            const OpResult& r = results.front();
+            StatsResult out;
+            out.ok = r.ok;
+            out.unsupported = r.unsupported;
+            const ByteView view = r.object.value.view();
+            if (view.len > 0) {
+              out.text.assign(reinterpret_cast<const char*>(view.ptr),
+                              view.len);
+            }
+            out.replica = r.replica;
+            out.attempts = r.attempts;
+            out.latency = r.latency;
+            done(out);
+          });
 }
 
 }  // namespace dataflasks::client

@@ -19,6 +19,7 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +45,11 @@ struct ClientOptions {
   /// dead, at the cost of occasional duplicate work — which the reply
   /// dedup absorbs anyway.
   SimTime get_hedge_delay = 0;
+  /// Operation-API protocol to open with. A server answering with
+  /// kVersionMismatch renegotiates the client down (or the request fails
+  /// as unsupported when the ops cannot be expressed at the server's
+  /// version). Clamped to [kOpProtocolMin, kOpProtocolVersion].
+  std::uint8_t protocol_version = core::kOpProtocolVersion;
 };
 
 /// Unified per-operation outcome for batch requests.
@@ -56,6 +62,14 @@ struct OpResult {
   /// Put only: the store discarded the write because the key's tombstone
   /// outranks its version. `ok` is false; definitive, not a timeout.
   bool superseded = false;
+  /// CompareAndPut only: the precondition failed — the key's current
+  /// version (in `version`; a tombstone's for a deleted key) differs from
+  /// the expected one. `ok` is false; definitive, not a timeout.
+  bool cas_failed = false;
+  /// The op cannot be expressed at the protocol version the contacted
+  /// server speaks (e.g. CompareAndPut against a v1-only cluster). `ok` is
+  /// false; definitive, not a timeout.
+  bool unsupported = false;
   store::Object object;  ///< get hit: the full object
   Key key;
   Version version = 0;
@@ -95,11 +109,36 @@ struct DelResult {
   SimTime latency = 0;
 };
 
+struct CasResult {
+  bool ok = false;
+  /// Precondition failed: `version` is the key's actual current version
+  /// (the tombstone's when the key is deleted). Definitive, not a timeout.
+  bool cas_failed = false;
+  /// The contacted cluster's protocol cannot express compare-and-put.
+  bool unsupported = false;
+  Key key;
+  Version version = 0;  ///< stored version on ok; current version on failure
+  NodeId replica;
+  std::uint32_t attempts = 0;
+  SimTime latency = 0;
+};
+
+struct StatsResult {
+  bool ok = false;
+  bool unsupported = false;
+  std::string text;  ///< the contact node's stats snapshot (Prometheus text)
+  NodeId replica;
+  std::uint32_t attempts = 0;
+  SimTime latency = 0;
+};
+
 class Client {
  public:
   using PutCallback = std::function<void(const PutResult&)>;
   using GetCallback = std::function<void(const GetResult&)>;
   using DelCallback = std::function<void(const DelResult&)>;
+  using CasCallback = std::function<void(const CasResult&)>;
+  using StatsCallback = std::function<void(const StatsResult&)>;
   /// Fires exactly once per execute(): when every op has resolved (served,
   /// authoritatively deleted, or failed after the retry budget). Results
   /// are in the submitted op order.
@@ -135,12 +174,36 @@ class Client {
   /// Deletes with an auto-stamped version (above this client's last write).
   Version del_auto(Key key, DelCallback done);
 
+  /// Conditional write: stores `value` only if the key's current version
+  /// equals `expected` (0 = "create only"). The new version is auto-stamped
+  /// above `expected`, so a CAS chained off a get always advances. Returns
+  /// the stamped version.
+  Version cas(Key key, Version expected, Payload value, CasCallback done);
+
+  /// CAS with an explicit new version (callers that order writes
+  /// themselves). `version` must exceed `expected` or replicas reject it.
+  void cas_at(Key key, Version expected, Version version, Payload value,
+              CasCallback done);
+
+  /// Admin op: asks the contact node for its stats snapshot (Prometheus
+  /// text — the same bytes its /metrics endpoint serves).
+  void stats(StatsCallback done);
+
   /// Next auto version for `key` (monotonic per key, disjoint across
   /// clients). put_auto/del_auto use this; batch builders call it to stamp
   /// each entry before packing the envelope.
   [[nodiscard]] Version stamp_version(const Key& key);
 
+  /// Like stamp_version, but guaranteed to stamp strictly above `floor`
+  /// (e.g. a version read from another client's write, for CAS chaining).
+  [[nodiscard]] Version stamp_version_above(const Key& key, Version floor);
+
   [[nodiscard]] NodeId id() const { return id_; }
+  /// Operation-API protocol currently spoken (moves down when a server
+  /// answers kVersionMismatch).
+  [[nodiscard]] std::uint8_t active_protocol() const {
+    return active_protocol_;
+  }
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   /// Operations (not batches) currently awaiting resolution.
   [[nodiscard]] std::size_t inflight() const { return rid_index_.size(); }
@@ -155,6 +218,10 @@ class Client {
     std::uint64_t base_seq = 0;      ///< ops[i] has rid.seq == base_seq + i
     bool read_only = true;           ///< all gets: eligible for hedging
     std::uint32_t attempts = 0;
+    /// Protocol this batch was last re-sent at after a kVersionMismatch
+    /// (0 = never). One resend per adopted version: a mismatch arriving
+    /// per envelope chunk must not multiply resends.
+    std::uint8_t negotiated = 0;
     SimTime started = 0;
     NodeId contact;
     runtime::TimerHandle timer;
@@ -162,6 +229,7 @@ class Client {
   };
 
   void dispatch(const net::Message& msg);
+  void handle_version_mismatch(const core::VersionMismatch& mismatch);
   void send_batch(PendingBatch& batch);
   void send_envelopes(const PendingBatch& batch, NodeId contact);
   void on_timeout(std::uint64_t base_seq);
@@ -180,6 +248,7 @@ class Client {
   Rng rng_;
   ClientOptions options_;
   MetricsRegistry metrics_;
+  std::uint8_t active_protocol_;
   std::uint64_t next_seq_ = 1;
   std::unordered_map<Key, Version> version_counters_;
   /// Batches keyed by their base sequence number.

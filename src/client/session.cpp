@@ -64,6 +64,28 @@ Future<DelResult> Session::del(Key key, Version version) {
   return future;
 }
 
+Future<CasResult> Session::cas(Key key, Version expected, Payload value) {
+  Future<CasResult> future;
+  client_.cas(std::move(key), expected, std::move(value),
+              [future](const CasResult& r) mutable { future.fulfill(r); });
+  return future;
+}
+
+Future<CasResult> Session::cas(Key key, Version expected, Version version,
+                               Payload value) {
+  Future<CasResult> future;
+  client_.cas_at(std::move(key), expected, version, std::move(value),
+                 [future](const CasResult& r) mutable { future.fulfill(r); });
+  return future;
+}
+
+Future<StatsResult> Session::stats() {
+  Future<StatsResult> future;
+  client_.stats(
+      [future](const StatsResult& r) mutable { future.fulfill(r); });
+  return future;
+}
+
 Future<BatchPutResult> Session::put_batch(
     std::vector<std::pair<Key, Payload>> entries) {
   Future<BatchPutResult> future;

@@ -99,6 +99,19 @@ class Session {
   Future<DelResult> del(Key key);
   Future<DelResult> del(Key key, Version version);
 
+  /// Conditional write: stores `value` only if the key's current version
+  /// equals `expected` (0 = "create only"); the new version is stamped
+  /// above `expected`. A failed precondition resolves with
+  /// cas_failed=true and the key's actual current version — definitive,
+  /// not a timeout. Fails cleanly (never resurrects) against a deleted key.
+  Future<CasResult> cas(Key key, Version expected, Payload value);
+  /// CAS with an explicit new version (must exceed `expected`).
+  Future<CasResult> cas(Key key, Version expected, Version version,
+                        Payload value);
+
+  /// Admin: the contact node's stats snapshot (Prometheus text).
+  Future<StatsResult> stats();
+
   /// Pipelined writes: every entry auto-stamped and packed into one
   /// OpEnvelope (one round-trip for the whole batch).
   Future<BatchPutResult> put_batch(

@@ -87,6 +87,7 @@ void AntiEntropy::handle_digest(const net::Message& msg,
       if (pull.entries.size() >= options_.push_cap) break;
     }
   }
+  last_pull_backlog_ = pull.entries.size();
   if (!pull.entries.empty()) {
     transport_.send(net::Message{self_, msg.src, kAePull, encode(pull)});
     metrics_.counter("ae.pulls_sent").add();

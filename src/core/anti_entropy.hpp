@@ -37,6 +37,13 @@ class AntiEntropy {
   /// Consumes kAeDigest / kAePull / kAePush messages.
   bool handle(const net::Message& msg);
 
+  /// Entries this node asked to pull in the most recent digest exchange —
+  /// an instantaneous measure of how far behind its slice this replica is
+  /// (0 = converged at last contact). Exported as an observability gauge.
+  [[nodiscard]] std::size_t last_pull_backlog() const {
+    return last_pull_backlog_;
+  }
+
  private:
   void send_digest(NodeId to, bool is_reply);
   void handle_digest(const net::Message& msg, const AeDigest& digest);
@@ -52,6 +59,7 @@ class AntiEntropy {
   KeySliceFn key_slice_;
   SlicePeersFn slice_peers_;
   MetricsRegistry& metrics_;
+  std::size_t last_pull_backlog_ = 0;
 };
 
 }  // namespace dataflasks::core

@@ -43,6 +43,13 @@ void encode_op(Writer& w, const Operation& op) {
     case OpType::kDelete:
       w.u64(op.version.value_or(0));
       break;
+    case OpType::kCompareAndPut:
+      w.u64(op.expected);
+      w.u64(op.version.value_or(0));
+      w.bytes(op.value);
+      break;
+    case OpType::kStats:
+      break;  // type + (empty) key is the whole op
   }
 }
 
@@ -64,6 +71,15 @@ std::optional<Operation> decode_op(Reader& r) {
     case static_cast<std::uint8_t>(OpType::kDelete):
       op.type = OpType::kDelete;
       op.version = r.u64();
+      break;
+    case static_cast<std::uint8_t>(OpType::kCompareAndPut):
+      op.type = OpType::kCompareAndPut;
+      op.expected = r.u64();
+      op.version = r.u64();
+      op.value = r.payload();
+      break;
+    case static_cast<std::uint8_t>(OpType::kStats):
+      op.type = OpType::kStats;
       break;
     default:
       return std::nullopt;
@@ -116,6 +132,11 @@ std::size_t encoded_size(const Operation& op) {
     case OpType::kDelete:
       size += sizeof(Version);
       break;
+    case OpType::kCompareAndPut:
+      size += 2 * sizeof(Version) + sizeof(std::uint32_t) + op.value.size();
+      break;
+    case OpType::kStats:
+      break;
   }
   return size;
 }
@@ -137,7 +158,14 @@ std::optional<OpEnvelope> decode_op_envelope(const Payload& payload) {
   Reader r(payload);
   OpEnvelope msg;
   msg.protocol = r.u8();
-  if (!r.ok() || msg.protocol != kOpProtocolVersion) return std::nullopt;
+  // Every version back to kOpProtocolMin shares this layout (v2 only added
+  // op type codes), so decode structurally and let the request handler
+  // decide whether it *serves* the carried version — a mismatch must reach
+  // it to produce the explicit kVersionMismatch reply.
+  if (!r.ok() || msg.protocol < kOpProtocolMin ||
+      msg.protocol > kOpProtocolVersion) {
+    return std::nullopt;
+  }
   auto ops = decode_routed_ops(r);
   if (!ops || !r.finish().ok()) return std::nullopt;
   msg.ops = std::move(*ops);
@@ -230,9 +258,9 @@ std::optional<OpReplyBatch> decode_op_reply_batch(const Payload& payload) {
     const std::uint8_t type = r.u8();
     const std::uint8_t status = r.u8();
     if (type < static_cast<std::uint8_t>(OpType::kPut) ||
-        type > static_cast<std::uint8_t>(OpType::kDelete) ||
+        type > static_cast<std::uint8_t>(OpType::kStats) ||
         status < static_cast<std::uint8_t>(OpStatus::kOk) ||
-        status > static_cast<std::uint8_t>(OpStatus::kSuperseded)) {
+        status > static_cast<std::uint8_t>(OpStatus::kCasFailed)) {
       bad = true;
       return reply;
     }
@@ -260,6 +288,27 @@ std::optional<ReplicatePush> decode_replicate_push(const Payload& payload) {
   ReplicatePush msg;
   msg.objects =
       r.vec<store::Object>([&r]() { return store::decode_object(r); });
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+// ---- version negotiation ------------------------------------------------------
+
+Payload encode(const VersionMismatch& msg) {
+  Writer w(2 * sizeof(std::uint64_t) + 2);
+  w.request_id(msg.rid);
+  w.u8(msg.got);
+  w.u8(msg.supported);
+  return w.take_payload();
+}
+
+std::optional<VersionMismatch> decode_version_mismatch(
+    const Payload& payload) {
+  Reader r(payload);
+  VersionMismatch msg;
+  msg.rid = r.request_id();
+  msg.got = r.u8();
+  msg.supported = r.u8();
   if (!r.finish().ok()) return std::nullopt;
   return msg;
 }

@@ -28,6 +28,7 @@ namespace dataflasks::core {
 constexpr std::uint16_t kOpEnvelope = net::kRequestTypeBase + 8;
 constexpr std::uint16_t kOpReplyBatch = net::kRequestTypeBase + 9;
 constexpr std::uint16_t kReplicatePush = net::kRequestTypeBase + 12;
+constexpr std::uint16_t kVersionMismatch = net::kRequestTypeBase + 13;
 // Maintenance traffic:
 constexpr std::uint16_t kSliceAdvert = net::kSlicingTypeBase + 4;
 constexpr std::uint16_t kAeDigest = net::kAntiEntropyTypeBase + 0;
@@ -38,20 +39,41 @@ constexpr std::uint16_t kStReply = net::kAntiEntropyTypeBase + 4;
 
 // ---- the operation variant -------------------------------------------------
 
-/// Wire protocol version of the operation API. Decoders reject envelopes
-/// from a different version instead of guessing at their layout.
-constexpr std::uint8_t kOpProtocolVersion = 1;
+/// Wire protocol version of the operation API this build speaks natively.
+/// v2 added compare-and-put and the stats admin op; the envelope layout is
+/// unchanged, so one decoder reads every version back to kOpProtocolMin. A
+/// node serves exactly one version and answers envelopes carrying any other
+/// with an explicit kVersionMismatch reply so clients can negotiate down
+/// (instead of the silent drop v1 servers gave unknown versions).
+constexpr std::uint8_t kOpProtocolVersion = 2;
+/// Oldest protocol version this build can still encode and serve.
+constexpr std::uint8_t kOpProtocolMin = 1;
 
-enum class OpType : std::uint8_t { kPut = 1, kGet = 2, kDelete = 3 };
+enum class OpType : std::uint8_t {
+  kPut = 1,
+  kGet = 2,
+  kDelete = 3,
+  kCompareAndPut = 4,  ///< conditional write (protocol v2)
+  kStats = 5,          ///< admin: metrics snapshot from the contact (v2)
+};
 
-/// One client operation. `version` is the write stamp for put/delete and
-/// the optional requested version for get (nullopt = latest). `value` is
-/// put-only (shared payload, zero-copy through encode/decode).
+/// Lowest protocol version whose envelopes may carry `type`; the client
+/// fails ops a negotiated-down connection cannot express.
+[[nodiscard]] constexpr std::uint8_t min_protocol_for(OpType type) {
+  return type == OpType::kCompareAndPut || type == OpType::kStats ? 2 : 1;
+}
+
+/// One client operation. `version` is the write stamp for put/delete/cas
+/// and the optional requested version for get (nullopt = latest). `value`
+/// is put/cas-only (shared payload, zero-copy through encode/decode).
+/// `expected` is cas-only: the version the key must currently be at (0 =
+/// "key must not exist").
 struct Operation {
   OpType type = OpType::kGet;
   Key key;
   std::optional<Version> version;
   Payload value;
+  Version expected = 0;
 
   [[nodiscard]] static Operation put(Key key, Version version, Payload value) {
     return Operation{OpType::kPut, std::move(key), version, std::move(value)};
@@ -63,6 +85,22 @@ struct Operation {
   }
   [[nodiscard]] static Operation del(Key key, Version version) {
     return Operation{OpType::kDelete, std::move(key), version, {}};
+  }
+  /// Conditional write: stores (key, version, value) only if the key's
+  /// latest live version still equals `expected` at the evaluating replica.
+  /// Best-effort in an epidemic store — the check runs against the first
+  /// replica the spray reaches, not a total order (DataDroplets owns
+  /// ordering above us, paper §III); it is exact in the steady state and a
+  /// conflict detector under races, not a linearizable CAS.
+  [[nodiscard]] static Operation cas(Key key, Version expected,
+                                     Version version, Payload value) {
+    return Operation{OpType::kCompareAndPut, std::move(key), version,
+                     std::move(value), expected};
+  }
+  /// Admin op: the contact node answers directly with its rendered metrics
+  /// snapshot (Prometheus text) in the reply object's value. Never sprayed.
+  [[nodiscard]] static Operation stats() {
+    return Operation{OpType::kStats, {}, std::nullopt, {}};
   }
 };
 
@@ -146,9 +184,12 @@ struct HandoffRequest {
 
 /// Per-operation outcome carried in a reply batch.
 enum class OpStatus : std::uint8_t {
-  kOk = 1,          ///< put/delete stored; get served (object attached)
+  kOk = 1,          ///< put/delete/cas stored; get/stats served
   kDeleted = 2,     ///< get: the key is authoritatively deleted (tombstone)
   kSuperseded = 3,  ///< put: discarded — outranked by the key's tombstone
+  kCasFailed = 4,   ///< cas: expected version did not match (the reply
+                    ///< object carries the key's actual current version;
+                    ///< a deleted key fails with the tombstone's version)
 };
 
 struct OpReply {
@@ -187,6 +228,21 @@ struct ReplicatePush {
 
 [[nodiscard]] Payload encode(const ReplicatePush& msg);
 [[nodiscard]] std::optional<ReplicatePush> decode_replicate_push(
+    const Payload& payload);
+
+/// Server -> client: an envelope carried a protocol version this node does
+/// not serve. Explicit negotiation instead of a silent drop: the client
+/// re-encodes at `supported` (when it can) without burning a retry
+/// attempt. `rid` is the rejected envelope's first op, which is how the
+/// client finds the owning batch.
+struct VersionMismatch {
+  RequestId rid;
+  std::uint8_t got = 0;        ///< version the rejected envelope carried
+  std::uint8_t supported = 0;  ///< the one version this server serves
+};
+
+[[nodiscard]] Payload encode(const VersionMismatch& msg);
+[[nodiscard]] std::optional<VersionMismatch> decode_version_mismatch(
     const Payload& payload);
 
 // ---- slice advertisement (maintenance) --------------------------------------

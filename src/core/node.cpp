@@ -1,5 +1,7 @@
 #include "core/node.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace dataflasks::core {
 
 Node::Node(NodeId id, double capacity, runtime::Runtime& rt,
@@ -72,6 +74,13 @@ void Node::build_components() {
   requests_ = std::make_unique<RequestHandler>(
       id_, transport_, *pss_, *slices_, *store_, boot.fork(4),
       [this]() { return runtime_.now(); }, options_.request, metrics_);
+  requests_->set_stats_provider(
+      stats_fn_ ? stats_fn_ : [this]() {
+        // Default snapshot: this node's event-counter registry, rendered in
+        // the same Prometheus text form the server's /metrics endpoint uses.
+        return obs::render_node_counters(metrics_, "df_node_events_total");
+      });
+  requests_->set_hot_metrics(hot_metrics_);
 
   anti_entropy_ = std::make_unique<AntiEntropy>(
       id_, transport_, *store_, boot.fork(5), options_.anti_entropy,
@@ -217,6 +226,21 @@ void Node::dispatch(const net::Message& msg) {
 void Node::add_contact(NodeId contact) {
   if (!running_ || contact == id_ || !contact.valid()) return;
   pss_->bootstrap({contact});
+}
+
+void Node::set_stats_provider(RequestHandler::StatsFn fn) {
+  stats_fn_ = std::move(fn);
+  if (requests_) {
+    requests_->set_stats_provider(
+        stats_fn_ ? stats_fn_ : [this]() {
+          return obs::render_node_counters(metrics_, "df_node_events_total");
+        });
+  }
+}
+
+void Node::set_op_metrics(const OpHotMetrics* hot) {
+  hot_metrics_ = hot;
+  if (requests_) requests_->set_hot_metrics(hot_metrics_);
 }
 
 void Node::propose_slice_count(std::uint32_t slice_count) {

@@ -128,6 +128,21 @@ class Node {
     return size_estimator_ ? size_estimator_->estimate() : 0.0;
   }
 
+  /// Installs the snapshot renderer behind the Operation::stats() admin op.
+  /// Without one, stats ops serve this node's event-counter registry in
+  /// Prometheus text form. Survives crash()/start() cycles.
+  void set_stats_provider(RequestHandler::StatsFn fn);
+
+  /// Hooks the request hot path to per-op-type counters/histograms owned by
+  /// the embedder. `hot` must outlive the node; nullptr detaches.
+  void set_op_metrics(const OpHotMetrics* hot);
+
+  /// Pull entries requested in the latest anti-entropy exchange (0 =
+  /// converged at last contact, or not running).
+  [[nodiscard]] std::size_t ae_backlog() const {
+    return anti_entropy_ ? anti_entropy_->last_pull_backlog() : 0;
+  }
+
  private:
   void build_components();
   void dispatch(const net::Message& msg);
@@ -140,6 +155,10 @@ class Node {
   NodeOptions options_;
   Rng rng_;
   MetricsRegistry metrics_;
+  /// Observability hooks outlive crash()/start() component rebuilds; they
+  /// are re-applied to the fresh RequestHandler in build_components().
+  RequestHandler::StatsFn stats_fn_;
+  const OpHotMetrics* hot_metrics_ = nullptr;
 
   std::unique_ptr<store::Store> store_;
   bool store_is_volatile_;

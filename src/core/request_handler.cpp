@@ -51,8 +51,21 @@ bool RequestHandler::handle(const net::Message& msg) {
   switch (msg.type) {
     case kOpEnvelope: {
       const auto envelope = decode_op_envelope(msg.payload);
-      if (!envelope) return true;  // malformed or wrong protocol: drop
+      if (!envelope) return true;  // malformed: drop
       metrics_.counter("rh.envelopes").add();
+      if (envelope->protocol != options_.serve_protocol) {
+        // Speak-one-version server: answer with an explicit mismatch naming
+        // what we serve, so the client renegotiates instead of timing out.
+        metrics_.counter("rh.version_mismatches").add();
+        if (!envelope->ops.empty()) {
+          const RequestId rid = envelope->ops.front().rid;
+          transport_.send(net::Message{
+              self_, NodeId(rid.client), kVersionMismatch,
+              encode(VersionMismatch{rid, envelope->protocol,
+                                     options_.serve_protocol})});
+        }
+        return true;
+      }
       handle_envelope(*envelope);
       return true;
     }
@@ -70,13 +83,43 @@ bool RequestHandler::handle(const net::Message& msg) {
 }
 
 void RequestHandler::handle_envelope(const OpEnvelope& envelope) {
+  // Stats is an admin op about *this* node: answered right here at the
+  // contact, never sprayed into a slice. Everything else regroups by
+  // target slice below.
+  std::vector<OpReply> stats_replies;
   // Regroup by target slice: every op bound for the same slice travels as
   // one spray unit (ordered map keeps spray emission deterministic). A
   // group over the per-datagram budget is split — the UDP transport drops
   // oversized frames, so the split must happen here.
   std::map<SliceId, OpsRequest> by_slice;
   for (const RoutedOp& routed : envelope.ops) {
+    if (routed.op.type == OpType::kStats) {
+      const SimTime started = clock_();
+      metrics_.counter("rh.stats_served").add();
+      const std::string text = stats_fn_ ? stats_fn_() : std::string{};
+      stats_replies.push_back(
+          OpReply{routed.rid, OpType::kStats, OpStatus::kOk,
+                  store::Object{
+                      Key{}, 0,
+                      Payload(ByteView(
+                          reinterpret_cast<const std::uint8_t*>(text.data()),
+                          text.size()))}});
+      note_op(OpType::kStats, started);
+      continue;
+    }
     by_slice[slices_.key_slice(routed.op.key)].ops.push_back(routed);
+  }
+  if (!stats_replies.empty()) {
+    const NodeId client(stats_replies.front().rid.client);
+    const SliceId slice = slices_.slice();
+    chunk_by_budget(
+        stats_replies,
+        [](const OpReply& reply) { return encoded_size(reply); },
+        [&](std::vector<OpReply>& chunk) {
+          transport_.send(net::Message{
+              self_, client, kOpReplyBatch,
+              encode(OpReplyBatch{self_, slice, std::move(chunk)})});
+        });
   }
   for (auto& [slice, group] : by_slice) {
     metrics_.counter("rh.client_ops").add(group.ops.size());
@@ -127,6 +170,16 @@ dissemination::DeliverResult RequestHandler::deliver(const Payload& payload,
     }
   }
   return dissemination::DeliverResult::kStop;
+}
+
+void RequestHandler::note_op(OpType type, SimTime started) {
+  if (hot_ == nullptr) return;
+  const std::size_t i = OpHotMetrics::index(type);
+  if (obs::Counter* counter = hot_->ops[i]) counter->add();
+  if (obs::LatencyHistogram* hist = hot_->exec_us[i]) {
+    const SimTime elapsed = clock_() - started;  // SimTime unit is µs
+    hist->record(elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0);
+  }
 }
 
 void RequestHandler::buffer_handoff(store::Object object) {
@@ -182,6 +235,7 @@ dissemination::DeliverResult RequestHandler::handle_ops_delivery(
 
   for (const RoutedOp& routed : ops.ops) {
     const Operation& op = routed.op;
+    const SimTime started = clock_();
     has_writes = has_writes || op.type != OpType::kGet;
     switch (op.type) {
       case OpType::kPut: {
@@ -263,7 +317,45 @@ dissemination::DeliverResult RequestHandler::handle_ops_delivery(
         unserved_gets.push_back(routed);
         break;
       }
+      case OpType::kCompareAndPut: {
+        store::Object object{op.key, op.version.value_or(0), op.value};
+        const store::CasOutcome outcome =
+            store_.compare_and_put(object, op.expected);
+        switch (outcome.status) {
+          case store::CasOutcome::Status::kStored:
+            metrics_.counter("rh.cas_stored").add();
+            batch.replies.push_back(OpReply{
+                routed.rid, OpType::kCompareAndPut, OpStatus::kOk,
+                store::Object{op.key, object.version, {}}});
+            push.objects.push_back(std::move(object));
+            break;
+          case store::CasOutcome::Status::kMismatch:
+          case store::CasOutcome::Status::kDeleted:
+            // Definitive precondition failure. The reply carries the key's
+            // actual current version (the tombstone's for a deleted key) so
+            // the client can re-read and decide, rather than retry blind.
+            metrics_.counter("rh.cas_failed").add();
+            batch.replies.push_back(OpReply{
+                routed.rid, OpType::kCompareAndPut, OpStatus::kCasFailed,
+                store::Object{op.key, outcome.current, {}}});
+            break;
+          case store::CasOutcome::Status::kConflict:
+            // The stamped version failed to advance past the current one:
+            // version-ordering contract broke, same as a put conflict. No
+            // ack; the client times out and surfaces the failure.
+            metrics_.counter("rh.cas_conflicts").add();
+            break;
+        }
+        break;
+      }
+      case OpType::kStats:
+        // Stats ops are answered at the contact and never sprayed; one
+        // arriving inside a slice delivery means a peer broke the
+        // protocol. Drop it (no reply — nothing sensible to report).
+        metrics_.counter("rh.stats_misrouted").add();
+        break;
     }
+    note_op(op.type, started);
   }
 
   // Reply and push batches are chunked against the per-datagram budget:

@@ -20,6 +20,7 @@
 // gets (so relaying never re-executes the batch's writes).
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -30,9 +31,23 @@
 #include "core/slice_manager.hpp"
 #include "dissemination/spray_router.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "store/store.hpp"
 
 namespace dataflasks::core {
+
+/// Optional hot-path instrumentation: per-op-type execution counters and
+/// latency histograms, pointing into an obs::MetricsRegistry owned by the
+/// embedder (the server wires one up; tests and sims usually don't). Null
+/// entries are skipped, so an uninstrumented node pays one branch per op.
+struct OpHotMetrics {
+  static constexpr std::size_t kOpTypes = 5;
+  static constexpr std::size_t index(OpType type) {
+    return static_cast<std::size_t>(type) - 1;
+  }
+  std::array<obs::Counter*, kOpTypes> ops{};
+  std::array<obs::LatencyHistogram*, kOpTypes> exec_us{};
+};
 
 struct RequestHandlerOptions {
   /// Slice-mates receiving an immediate copy of each fresh write (in
@@ -49,12 +64,19 @@ struct RequestHandlerOptions {
   bool hinted_handoff = true;
   std::size_t handoff_capacity = 256;   ///< buffered misrouted objects
   std::size_t handoff_per_tick = 16;    ///< re-homed per maintenance tick
+  /// Operation-API protocol this node serves. An envelope at any other
+  /// version is answered with an explicit kVersionMismatch naming the
+  /// served version, so clients renegotiate instead of timing out.
+  std::uint8_t serve_protocol = kOpProtocolVersion;
 };
 
 class RequestHandler {
  public:
   /// Local clock, used to stamp tombstones at the first storing replica.
   using ClockFn = std::function<SimTime()>;
+  /// Renders this node's stats snapshot (Prometheus text); serves the
+  /// Operation::stats() admin op at the contact node.
+  using StatsFn = std::function<std::string()>;
 
   RequestHandler(NodeId self, net::Transport& transport,
                  pss::PeerSampling& pss, SliceManager& slices,
@@ -79,6 +101,11 @@ class RequestHandler {
     return handoff_.size();
   }
 
+  void set_stats_provider(StatsFn fn) { stats_fn_ = std::move(fn); }
+  /// `hot` must outlive this handler (it points into the embedder's
+  /// registry); pass nullptr to detach.
+  void set_hot_metrics(const OpHotMetrics* hot) { hot_ = hot; }
+
  private:
   dissemination::DeliverResult deliver(const Payload& payload, SliceId target,
                                        NodeId origin);
@@ -88,6 +115,7 @@ class RequestHandler {
   void store_replicated(store::Object object);
   void spray_or_deliver(SliceId target, Payload inner);
   void buffer_handoff(store::Object object);
+  void note_op(OpType type, SimTime started);
 
   NodeId self_;
   net::Transport& transport_;
@@ -97,6 +125,8 @@ class RequestHandler {
   ClockFn clock_;
   RequestHandlerOptions options_;
   MetricsRegistry& metrics_;
+  StatsFn stats_fn_;
+  const OpHotMetrics* hot_ = nullptr;
   std::unique_ptr<dissemination::SprayRouter> router_;
   std::deque<store::Object> handoff_;
   /// Each (key, version) is re-homed at most once per node incarnation;

@@ -67,6 +67,11 @@ void Runner::account(const client::OpResult& result) {
         ++stats_.dels_failed;
       }
       break;
+    case core::OpType::kCompareAndPut:
+    case core::OpType::kStats:
+      // Harness streams are plain put/get/delete; admin and conditional
+      // ops don't appear in generated workloads.
+      break;
   }
 }
 

@@ -247,6 +247,27 @@ void UdpTransport::handle_probe_reply(const Message& msg,
   if (seed_listener_) seed_listener_(msg.src);
 }
 
+void UdpTransport::handle_stats_request(const Message& msg,
+                                        const sockaddr_in& from) {
+  if (!stats_provider_) {
+    ++total_dropped_;  // no provider: scrape unanswered, like a dead peer
+    return;
+  }
+  std::string text = stats_provider_();
+  if (text.size() > kMaxFramePayload) {
+    // One datagram per scrape: better a truncated (still line-oriented)
+    // snapshot than a frame the receiving side would drop whole.
+    text.resize(kMaxFramePayload);
+  }
+  Message reply;
+  reply.src = handlers_.empty() ? NodeId() : handlers_.begin()->first;
+  reply.dst = msg.src;
+  reply.type = kStatsReply;
+  reply.payload = Payload(ByteView(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  send_frame_to(reply, from);
+}
+
 void UdpTransport::on_readable() {
   // Drain everything queued on the socket: the poll step is level-triggered
   // but one wakeup may cover many datagrams.
@@ -275,6 +296,10 @@ void UdpTransport::on_readable() {
     }
     if (msg->type == kAddrProbeReply) {
       handle_probe_reply(*msg, from);
+      continue;
+    }
+    if (msg->type == kStatsRequest) {
+      handle_stats_request(*msg, from);
       continue;
     }
     // Record the sender's address so replies (and client acks) route

@@ -47,6 +47,15 @@ namespace dataflasks::net {
 constexpr std::uint16_t kAddrProbe = 0x0600;
 constexpr std::uint16_t kAddrProbeReply = 0x0601;
 
+/// Transport-level stats scrape: a kStatsRequest frame is answered (when a
+/// stats provider is installed) with a kStatsReply whose payload is the
+/// provider's text, truncated to one datagram. The UDP twin of the HTTP
+/// /metrics endpoint — reachable with nothing but the cluster transport.
+/// The reply is addressed to the requesting frame's src and dispatched to
+/// that node's registered handler on the requester side.
+constexpr std::uint16_t kStatsRequest = 0x0602;
+constexpr std::uint16_t kStatsReply = 0x0603;
+
 class UdpTransport final : public Transport {
  public:
   struct Options {
@@ -89,6 +98,13 @@ class UdpTransport final : public Transport {
   void set_seed_listener(SeedListener listener) {
     seed_listener_ = std::move(listener);
   }
+
+  /// Installs the snapshot renderer answering kStatsRequest frames; unset,
+  /// such frames are dropped (counted, not answered).
+  using StatsProvider = std::function<std::string()>;
+  void set_stats_provider(StatsProvider provider) {
+    stats_provider_ = std::move(provider);
+  }
   [[nodiscard]] std::size_t pending_seeds() const {
     return pending_seeds_.size();
   }
@@ -129,6 +145,7 @@ class UdpTransport final : public Transport {
   void probe_pending_seeds();
   void handle_probe(const Message& msg, const sockaddr_in& from);
   void handle_probe_reply(const Message& msg, const sockaddr_in& from);
+  void handle_stats_request(const Message& msg, const sockaddr_in& from);
 
   runtime::RealTimeRuntime& runtime_;
   Options options_;
@@ -140,6 +157,7 @@ class UdpTransport final : public Transport {
   std::vector<sockaddr_in> pending_seeds_;
   runtime::TimerHandle seed_timer_;
   SeedListener seed_listener_;
+  StatsProvider stats_provider_;
   std::uint64_t total_sent_ = 0;
   std::uint64_t total_delivered_ = 0;
   std::uint64_t total_dropped_ = 0;

@@ -1,0 +1,230 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::obs {
+
+namespace {
+
+const char* kind_name(std::uint8_t kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "summary";
+  }
+}
+
+void append_sample_name(std::string& out, const std::string& name,
+                        const std::string& labels,
+                        const std::string& extra_label = {}) {
+  out += name;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_f64(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based: ceil(q * total), at least 1.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.9999999);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return bucket_upper_bound(i);
+  }
+  // Writers raced count() past the bucket walk: fall back to the max seen.
+  return max();
+}
+
+void LatencyHistogram::merge_from(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  std::uint64_t theirs = other.max();
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (theirs > seen &&
+         !max_.compare_exchange_weak(seen, theirs,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+bool is_valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(const std::string& name,
+                                                Kind kind,
+                                                const std::string& help) {
+  ensure(is_valid_metric_name(name), "obs: invalid metric name");
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.kind = kind;
+    family.help = help;
+  } else {
+    ensure(family.kind == kind, "obs: metric re-registered as another kind");
+    if (family.help.empty()) family.help = help;
+  }
+  return family;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instance& inst =
+      family(name, Kind::kCounter, help).instances[labels];
+  if (!inst.counter) inst.counter = std::make_unique<Counter>();
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& labels,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instance& inst = family(name, Kind::kGauge, help).instances[labels];
+  if (!inst.gauge) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
+                                             const std::string& labels,
+                                             const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Instance& inst = family(name, Kind::kHistogram, help).instances[labels];
+  if (!inst.histogram) inst.histogram = std::make_unique<LatencyHistogram>();
+  return *inst.histogram;
+}
+
+std::string MetricsRegistry::render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP ";
+      out += name;
+      out += ' ';
+      out += family.help;
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += kind_name(static_cast<std::uint8_t>(family.kind));
+    out += '\n';
+    for (const auto& [labels, inst] : family.instances) {
+      switch (family.kind) {
+        case Kind::kCounter: {
+          append_sample_name(out, name, labels);
+          out += ' ';
+          append_u64(out, inst.counter->value());
+          out += '\n';
+          break;
+        }
+        case Kind::kGauge: {
+          append_sample_name(out, name, labels);
+          out += ' ';
+          append_f64(out, inst.gauge->value());
+          out += '\n';
+          break;
+        }
+        case Kind::kHistogram: {
+          static constexpr struct {
+            const char* label;
+            double q;
+          } kQuantiles[] = {{"quantile=\"0.5\"", 0.5},
+                            {"quantile=\"0.99\"", 0.99},
+                            {"quantile=\"0.999\"", 0.999}};
+          for (const auto& [label, q] : kQuantiles) {
+            append_sample_name(out, name, labels, label);
+            out += ' ';
+            append_u64(out, inst.histogram->quantile(q));
+            out += '\n';
+          }
+          append_sample_name(out, name + "_sum", labels);
+          out += ' ';
+          append_u64(out, inst.histogram->sum());
+          out += '\n';
+          append_sample_name(out, name + "_count", labels);
+          out += ' ';
+          append_u64(out, inst.histogram->count());
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_node_counters(const dataflasks::MetricsRegistry& node,
+                                 const std::string& name) {
+  ensure(is_valid_metric_name(name), "obs: invalid metric name");
+  std::string out;
+  out += "# TYPE " + name + " counter\n";
+  for (const auto& [counter, value] : node.all_counters()) {
+    out += name;
+    out += "{counter=\"";
+    out += escape_label_value(counter);
+    out += "\"} ";
+    append_u64(out, value);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dataflasks::obs

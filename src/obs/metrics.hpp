@@ -1,0 +1,198 @@
+// Process-wide observability metrics (ROADMAP "production load harness +
+// observability"): lock-free counters and gauges plus log-linear latency
+// histograms with cheap p50/p99/p999 extraction, grouped into a registry
+// that renders the Prometheus text exposition format.
+//
+// This layer is deliberately separate from common/metrics.hpp: that registry
+// is per-node and single-threaded (the simulator's event counters), while
+// this one is shared across threads — the server's runtime loop writes it
+// while a scrape renders it, and the load generator's worker threads each
+// fill histograms that are merged bucket-wise after join. Hot-path writes
+// are a single relaxed atomic add; locking exists only at registration and
+// render time.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/metrics.hpp"
+
+namespace dataflasks::obs {
+
+/// Monotonic counter. set() exists for mirroring an external monotonic
+/// source (e.g. the transport's datagram totals) into the exposition.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, view sizes).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-linear histogram for microsecond latencies (any non-negative u64
+/// works). Values below 2^kSubBits land in exact unit-wide buckets; above
+/// that, each power-of-two range is split into 2^kSubBits sub-buckets, so a
+/// reported quantile overestimates the true value by at most one part in
+/// 2^kSubBits (~3.1%) — the HdrHistogram trade, at a fixed 1920 buckets
+/// covering the full u64 range with no allocation after construction.
+///
+/// record() is a relaxed atomic increment; quantile()/count()/mean() read
+/// concurrently and are approximate while writers race (each bucket is
+/// internally consistent, cross-bucket totals may be mid-update — fine for
+/// monitoring, and exact once writers quiesce, which is when the load
+/// generator reads them).
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::size_t kSubCount = std::size_t{1} << kSubBits;
+  /// Majors: values >= kSubCount occupy bit-widths kSubBits+1 .. 64.
+  static constexpr std::size_t kBucketCount = (64 - kSubBits + 1) * kSubCount;
+
+  void record(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  /// Upper bound of the bucket holding the q-quantile (0 < q <= 1): the
+  /// smallest recorded-value ceiling such that at least ceil(q * count)
+  /// recorded values are <= it. Returns 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  /// Bucket-wise accumulation: how the load generator folds per-worker
+  /// histograms into one report after the worker threads join.
+  void merge_from(const LatencyHistogram& other);
+
+  /// Index of the bucket covering `value` (exposed for the percentile-math
+  /// tests).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) {
+    if (value < kSubCount) return static_cast<std::size_t>(value);
+    const unsigned width = static_cast<unsigned>(std::bit_width(value));
+    const unsigned shift = width - 1 - kSubBits;
+    const std::size_t major = width - kSubBits;
+    const std::size_t sub = (value >> shift) & (kSubCount - 1);
+    return major * kSubCount + sub;
+  }
+
+  /// Largest value mapping to bucket `index` (what quantile() reports).
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(std::size_t index) {
+    if (index < kSubCount) return index;
+    const std::size_t major = index / kSubCount;
+    const std::uint64_t sub = index % kSubCount;
+    const unsigned shift = static_cast<unsigned>(major - 1);
+    const std::uint64_t low = (kSubCount + sub) << shift;
+    return low + ((std::uint64_t{1} << shift) - 1);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Process-wide registry: metric families keyed by Prometheus metric name,
+/// instances within a family keyed by their label string (e.g. `op="put"`).
+/// Registration returns a stable reference the hot path holds on to —
+/// lookups and the registry mutex are paid once, at wiring time. Rendering
+/// walks everything under the same mutex (registration is rare; scrapes
+/// tolerate the pause).
+class MetricsRegistry {
+ public:
+  /// `labels` is the inner label list without braces ("" for none), e.g.
+  /// `op="put"`. Label values must be pre-escaped by the caller only if
+  /// they contain '"', '\' or newlines — plain identifiers need nothing.
+  Counter& counter(const std::string& name, const std::string& labels = "",
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "",
+               const std::string& help = "");
+  /// Rendered as a Prometheus summary with quantile labels 0.5 / 0.99 /
+  /// 0.999 plus _sum and _count, values in the unit recorded (we record
+  /// microseconds and suffix names _us).
+  LatencyHistogram& histogram(const std::string& name,
+                              const std::string& labels = "",
+                              const std::string& help = "");
+
+  /// Full Prometheus text exposition (HELP/TYPE lines + one sample line per
+  /// instance), families in name order.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Instance {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::map<std::string, Instance> instances;  ///< keyed by label string
+  };
+
+  Family& family(const std::string& name, Kind kind, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// Prometheus metric-name validity: [a-zA-Z_:][a-zA-Z0-9_:]*. Registration
+/// enforces this; the format tests reuse it.
+[[nodiscard]] bool is_valid_metric_name(const std::string& name);
+
+/// Escapes a label value for the exposition format (backslash, quote,
+/// newline).
+[[nodiscard]] std::string escape_label_value(const std::string& value);
+
+/// Renders a per-node (common/metrics.hpp) registry's counters as one
+/// Prometheus counter family, each counter as a label:
+///   name{counter="rh.puts_stored"} 17
+/// This is how the node's existing event counters join the exposition
+/// without re-instrumenting every subsystem.
+[[nodiscard]] std::string render_node_counters(
+    const dataflasks::MetricsRegistry& node, const std::string& name);
+
+}  // namespace dataflasks::obs

@@ -1,0 +1,110 @@
+#include "obs/metrics_endpoint.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/ensure.hpp"
+#include "net/udp_transport.hpp"  // resolve_ipv4
+
+namespace dataflasks::obs {
+
+MetricsTcpEndpoint::MetricsTcpEndpoint(runtime::RealTimeRuntime& rt,
+                                       const std::string& bind_host,
+                                       std::uint16_t port, Provider provider)
+    : runtime_(rt), provider_(std::move(provider)) {
+  ensure(provider_ != nullptr, "MetricsTcpEndpoint: provider required");
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  ensure(listen_fd_ >= 0, "MetricsTcpEndpoint: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const auto resolved = net::resolve_ipv4(bind_host);
+  ensure(resolved.has_value(),
+         "MetricsTcpEndpoint: cannot resolve bind host");
+  ensure(::inet_pton(AF_INET, resolved->c_str(), &addr.sin_addr) == 1,
+         "MetricsTcpEndpoint: bad bind address");
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ensure(false, "MetricsTcpEndpoint: bind/listen failed (port in use?)");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ensure(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                       &bound_len) == 0,
+         "MetricsTcpEndpoint: getsockname() failed");
+  port_ = ntohs(bound.sin_port);
+
+  runtime_.watch_fd(listen_fd_, [this]() { on_accept(); });
+}
+
+MetricsTcpEndpoint::~MetricsTcpEndpoint() {
+  if (listen_fd_ >= 0) {
+    runtime_.unwatch_fd(listen_fd_);
+    ::close(listen_fd_);
+  }
+}
+
+void MetricsTcpEndpoint::on_accept() {
+  // Level-triggered: drain every queued connection.
+  for (;;) {
+    const int conn = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) return;  // EAGAIN: drained (or transient error; retry later)
+    serve(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsTcpEndpoint::serve(int conn_fd) {
+  // One synchronous request/response per connection, bounded by a short
+  // receive timeout: the request line may not have arrived yet when accept
+  // fires, and a scrape is rare enough that stalling the loop up to the
+  // timeout for a hung client is an acceptable trade for not growing a
+  // connection state machine.
+  timeval timeout{};
+  timeout.tv_usec = 500 * 1000;
+  ::setsockopt(conn_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  char request[1024];
+  (void)::recv(conn_fd, request, sizeof request, 0);  // best effort
+
+  const std::string body = provider_();
+  char header[256];
+  const int header_len = std::snprintf(
+      header, sizeof header,
+      "HTTP/1.0 200 OK\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      body.size());
+  // Blocking sends with the same timeout; a stuck client forfeits its
+  // scrape (partial write, connection closed below).
+  timeout.tv_usec = 500 * 1000;
+  ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+  if (::send(conn_fd, header, static_cast<std::size_t>(header_len),
+             MSG_NOSIGNAL) == header_len) {
+    std::size_t off = 0;
+    while (off < body.size()) {
+      const ssize_t n = ::send(conn_fd, body.data() + off, body.size() - off,
+                               MSG_NOSIGNAL);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  ++scrapes_;
+}
+
+}  // namespace dataflasks::obs

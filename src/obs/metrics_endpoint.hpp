@@ -1,0 +1,46 @@
+// Plain-TCP Prometheus scrape endpoint: a listening socket on the
+// RealTimeRuntime's poll loop that answers every connection with one
+// HTTP/1.0 response carrying the rendered exposition, then closes. Enough
+// HTTP for `curl host:port/metrics` and a Prometheus scraper; deliberately
+// not a web server (one socket, no keep-alive, no routing — every path
+// returns the metrics page).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "runtime/real_time_runtime.hpp"
+
+namespace dataflasks::obs {
+
+class MetricsTcpEndpoint {
+ public:
+  /// Called per scrape on the runtime loop thread; returns the full
+  /// exposition body.
+  using Provider = std::function<std::string()>;
+
+  /// Binds and listens on bind_host:port (port 0 picks an ephemeral port —
+  /// read it back with port()). Throws via ensure() on bind failure.
+  MetricsTcpEndpoint(runtime::RealTimeRuntime& rt, const std::string& bind_host,
+                     std::uint16_t port, Provider provider);
+  ~MetricsTcpEndpoint();
+
+  MetricsTcpEndpoint(const MetricsTcpEndpoint&) = delete;
+  MetricsTcpEndpoint& operator=(const MetricsTcpEndpoint&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t scrapes_served() const { return scrapes_; }
+
+ private:
+  void on_accept();
+  void serve(int conn_fd);
+
+  runtime::RealTimeRuntime& runtime_;
+  Provider provider_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t scrapes_ = 0;
+};
+
+}  // namespace dataflasks::obs

@@ -6,6 +6,8 @@
 //   $ dataflasks_cli --peer 0@127.0.0.1:7100 put greeting "hello world"
 //   $ dataflasks_cli --peer 0@127.0.0.1:7100 get greeting
 //   $ dataflasks_cli --peer 0@127.0.0.1:7100 del greeting
+//   $ dataflasks_cli --peer 0@127.0.0.1:7100 cas greeting 0 "first write"
+//   $ dataflasks_cli --peer 0@127.0.0.1:7100 stats
 //   $ printf 'put k1 v1\nput k2 v2\nget k1\n' |
 //       dataflasks_cli --peer 0@127.0.0.1:7100 batch
 //
@@ -38,9 +40,13 @@ int usage() {
                "usage: dataflasks_cli --peer ID@HOST:PORT [--peer ...]\n"
                "         [--timeout-ms N] [--version N] [--seed N]\n"
                "         [--log-level LEVEL]\n"
-               "         put <key> <value> | get <key> | del <key> | batch\n"
+               "         put <key> <value> | get <key> | del <key> |\n"
+               "         cas <key> <expected-version> <value> | stats | "
+               "batch\n"
                "       batch reads stdin lines: put <key> <value> | "
-               "get <key> | del <key>\n");
+               "get <key> | del <key>\n"
+               "       stats prints the contact node's metrics snapshot "
+               "(Prometheus text)\n");
   return 1;
 }
 
@@ -110,11 +116,14 @@ int main(int argc, char** argv) {
   const bool is_put = command == "put";
   const bool is_get = command == "get";
   const bool is_del = command == "del";
+  const bool is_cas = command == "cas";
+  const bool is_stats = command == "stats";
   const bool is_batch = command == "batch";
   if ((is_put && positional.size() != 3) ||
       ((is_get || is_del) && positional.size() != 2) ||
-      (is_batch && positional.size() != 1) ||
-      (!is_put && !is_get && !is_del && !is_batch)) {
+      (is_cas && positional.size() != 4) ||
+      ((is_stats || is_batch) && positional.size() != 1) ||
+      (!is_put && !is_get && !is_del && !is_cas && !is_stats && !is_batch)) {
     return usage();
   }
 
@@ -223,6 +232,56 @@ int main(int argc, char** argv) {
             finish(2);
           }
         });
+  } else if (is_cas) {
+    const Version expected =
+        static_cast<Version>(std::strtoull(positional[2].c_str(), nullptr, 10));
+    session.cas(positional[1], expected, payload_of(positional[3]))
+        .then([&](const client::CasResult& result) {
+          if (result.ok) {
+            std::printf("OK cas %s v%llu -> replica n%llu "
+                        "(%u attempts, %.1f ms)\n",
+                        result.key.c_str(),
+                        static_cast<unsigned long long>(result.version),
+                        static_cast<unsigned long long>(result.replica.value),
+                        result.attempts,
+                        result.latency / static_cast<double>(kMillis));
+            finish(0);
+          } else if (result.cas_failed) {
+            std::printf("CONFLICT cas %s (current version is v%llu)\n",
+                        result.key.c_str(),
+                        static_cast<unsigned long long>(result.version));
+            finish(2);
+          } else if (result.unsupported) {
+            std::fprintf(stderr,
+                         "UNSUPPORTED cas %s (cluster speaks protocol v1)\n",
+                         result.key.c_str());
+            finish(2);
+          } else {
+            std::fprintf(stderr, "FAILED cas %s (%u attempts)\n",
+                         result.key.c_str(), result.attempts);
+            finish(2);
+          }
+        });
+  } else if (is_stats) {
+    session.stats().then([&](const client::StatsResult& result) {
+      if (result.ok) {
+        // The snapshot is the deliverable: print it verbatim (already
+        // newline-terminated Prometheus text).
+        std::fputs(result.text.c_str(), stdout);
+        std::printf("# stats from replica n%llu (%u attempts, %.1f ms)\n",
+                    static_cast<unsigned long long>(result.replica.value),
+                    result.attempts,
+                    result.latency / static_cast<double>(kMillis));
+        finish(0);
+      } else if (result.unsupported) {
+        std::fprintf(stderr,
+                     "UNSUPPORTED stats (cluster speaks protocol v1)\n");
+        finish(2);
+      } else {
+        std::fprintf(stderr, "FAILED stats (%u attempts)\n", result.attempts);
+        finish(2);
+      }
+    });
   } else {  // batch
     std::vector<core::Operation> ops;
     std::string line;

@@ -103,6 +103,11 @@ std::string apply_entry(ServerConfig& config, const std::string& key,
   } else if (key == "data_dir") {
     if (value.empty()) return "bad data_dir: empty";
     config.data_dir = value;
+  } else if (key == "metrics_port") {
+    if (!parse_u64(value, u64) || u64 > 0xFFFF) {
+      return "bad metrics_port (0-65535): " + value;
+    }
+    config.metrics_port = static_cast<std::int32_t>(u64);
   } else if (key == "log_level") {
     if (!log_level_from_string(value)) return "bad log_level: " + value;
     config.log_level = value;
@@ -209,6 +214,7 @@ Result<ServerConfig> parse_server_args(const std::vector<std::string>& args,
     if (flag == "--ae-ms") return "ae_ms";
     if (flag == "--store") return "store";
     if (flag == "--data-dir") return "data_dir";
+    if (flag == "--metrics-port") return "metrics_port";
     if (flag == "--log-level") return "log_level";
     return {};
   };

@@ -20,13 +20,17 @@
 //   ae_ms     = 1000
 //   store     = memory                    # or: durable (append-only log)
 //   data_dir  = .                         # durable store directory
+//   metrics_port = 9100                   # Prometheus TCP endpoint on the
+//                                         # listen host (0 = ephemeral;
+//                                         # omit to disable)
 //   log_level = info                      # trace|debug|info|warn|error|off
 //
 // Equivalent CLI flags: --config <file>, --id N, --listen host:port,
 // --advertise host, --peer id@host:port (repeatable), --seed host:port
 // (repeatable join contact) or --seed N (bare integer: RNG seed),
 // --capacity X, --slices K, --gossip-ms N, --ae-ms N,
-// --store memory|durable, --data-dir DIR, --log-level LEVEL.
+// --store memory|durable, --data-dir DIR, --metrics-port N,
+// --log-level LEVEL.
 //
 // Hosts in listen/peer may be DNS names; resolution (getaddrinfo) happens
 // when the UDP transport binds/maps the address, not at parse time.
@@ -87,6 +91,10 @@ struct ServerConfig {
   StoreKind store = StoreKind::kMemory;
   /// Directory for the durable store's log file (dataflasks-<id>.log).
   std::string data_dir = ".";
+  /// Plain-TCP Prometheus endpoint port on listen_host: -1 disables (the
+  /// default), 0 binds an ephemeral port (printed at boot), otherwise the
+  /// given port. Config key `metrics_port` / flag `--metrics-port`.
+  std::int32_t metrics_port = -1;
   /// Minimum log level for the process ("info" unless overridden).
   std::string log_level = "info";
 

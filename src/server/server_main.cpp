@@ -14,12 +14,15 @@
 #include <csignal>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/logging.hpp"
 #include "core/node.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_endpoint.hpp"
 #include "runtime/real_time_runtime.hpp"
 #include "server/config.hpp"
 #include "store/log_store.hpp"
@@ -49,7 +52,7 @@ int main(int argc, char** argv) {
                  "[--peer ID@HOST:PORT ...] [--seed HOST:PORT|N ...] "
                  "[--capacity X] [--slices K] [--gossip-ms N] [--ae-ms N] "
                  "[--store memory|durable] [--data-dir DIR] "
-                 "[--log-level LEVEL]\n");
+                 "[--metrics-port N] [--log-level LEVEL]\n");
     return 1;
   }
   const server::ServerConfig config = std::move(parsed).value();
@@ -103,6 +106,72 @@ int main(int argc, char** argv) {
                   config.node_options(), rt.rng().fork(0xDF).next_u64(),
                   std::move(durable));
 
+  // ---- observability ----
+  // One process-wide registry. The request hot path holds direct pointers
+  // to its per-op counters/histograms; instantaneous health (view sizes,
+  // backlogs, queue depth) is polled into gauges at render time, so a node
+  // nobody scrapes pays nothing for them.
+  obs::MetricsRegistry registry;
+  core::OpHotMetrics hot;
+  {
+    const char* kOpNames[core::OpHotMetrics::kOpTypes] = {
+        "put", "get", "delete", "cas", "stats"};
+    for (std::size_t i = 0; i < core::OpHotMetrics::kOpTypes; ++i) {
+      const std::string label = std::string("op=\"") + kOpNames[i] + "\"";
+      hot.ops[i] = &registry.counter(
+          "df_ops_total", label, "Operations executed by this node");
+      hot.exec_us[i] = &registry.histogram(
+          "df_op_exec_us", label,
+          "Local per-operation execution latency (microseconds)");
+    }
+  }
+  auto render_stats = [&]() {
+    const pss::View& view = node.peer_sampling().view();
+    registry.gauge("df_pss_view_size", "", "Partial-view entries held")
+        .set(static_cast<double>(view.size()));
+    registry.gauge("df_pss_view_capacity", "", "Partial-view capacity")
+        .set(static_cast<double>(view.capacity()));
+    registry
+        .gauge("df_ae_backlog", "",
+               "Objects requested in the latest anti-entropy exchange")
+        .set(static_cast<double>(node.ae_backlog()));
+    registry
+        .gauge("df_handoff_backlog", "",
+               "Misrouted objects buffered for re-homing")
+        .set(static_cast<double>(node.requests().handoff_backlog()));
+    registry.gauge("df_address_book_size", "", "Peer addresses known")
+        .set(static_cast<double>(transport.peers().size()));
+    registry
+        .gauge("df_address_book_learned", "",
+               "Gossip-learned (unpinned) peer addresses")
+        .set(static_cast<double>(transport.peers().learned_count()));
+    registry
+        .gauge("df_runtime_queue_depth", "",
+               "Events pending on the runtime loop")
+        .set(static_cast<double>(rt.pending_events()));
+    registry.gauge("df_store_objects", "", "Objects held by the data store")
+        .set(static_cast<double>(node.store().object_count()));
+    registry
+        .gauge("df_store_value_bytes", "", "Value bytes held by the store")
+        .set(static_cast<double>(node.store().value_bytes()));
+    registry
+        .counter("df_transport_sent_total", "", "Datagrams sent")
+        .set(transport.total_sent());
+    registry
+        .counter("df_transport_delivered_total", "", "Datagrams delivered")
+        .set(transport.total_delivered());
+    registry
+        .counter("df_transport_dropped_total", "", "Datagrams dropped")
+        .set(transport.total_dropped());
+    // The node's per-subsystem event counters ride along as one labeled
+    // family, so CLI stats, UDP scrapes and HTTP scrapes all see them.
+    return registry.render() +
+           obs::render_node_counters(node.metrics(), "df_node_events_total");
+  };
+  node.set_op_metrics(&hot);
+  node.set_stats_provider(render_stats);       // Operation::stats() admin op
+  transport.set_stats_provider(render_stats);  // kStatsRequest UDP frames
+
   // Seed-only join: each probe reply names the node id living at a seed
   // address; feed it into the PSS as a bootstrap contact and let gossip
   // learn the rest of the membership (and its addresses) from there.
@@ -115,6 +184,18 @@ int main(int argc, char** argv) {
   }
 
   node.start(config.peer_ids());
+
+  // Optional plain-TCP Prometheus endpoint (--metrics-port; 0 = ephemeral).
+  // Printed before the ready line so scripts can parse both in one pass.
+  std::optional<obs::MetricsTcpEndpoint> metrics_endpoint;
+  if (config.metrics_port >= 0) {
+    metrics_endpoint.emplace(
+        rt, config.listen_host,
+        static_cast<std::uint16_t>(config.metrics_port), render_stats);
+    std::printf("dataflasks_server: node %llu metrics on %s:%u\n",
+                static_cast<unsigned long long>(config.id),
+                config.listen_host.c_str(), metrics_endpoint->port());
+  }
 
   g_runtime = &rt;
   std::signal(SIGINT, handle_signal);

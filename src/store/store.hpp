@@ -13,6 +13,22 @@
 
 namespace dataflasks::store {
 
+/// Outcome of a compare_and_put. `current` is what the key looked like when
+/// the comparison ran: the stored version on success, the latest live
+/// version on a mismatch (0 = key absent), the tombstone's version when the
+/// key is deleted, or the version the new stamp failed to outrank on a
+/// conflict.
+struct CasOutcome {
+  enum class Status : std::uint8_t {
+    kStored,    ///< expected matched; the object is stored
+    kMismatch,  ///< key's latest live version differs from expected
+    kDeleted,   ///< key is tombstoned: CAS fails cleanly, never resurrects
+    kConflict,  ///< new version does not advance past the current one
+  };
+  Status status = Status::kMismatch;
+  Version current = 0;
+};
+
 class Store {
  public:
   virtual ~Store() = default;
@@ -28,6 +44,15 @@ class Store {
   /// deleted key, and a write ack must not claim a discarded put was
   /// stored). A value above the tombstone legitimately recreates the key.
   virtual Status put(const Object& obj) = 0;
+
+  /// Conditional write: stores `obj` only if the key's latest live version
+  /// equals `expected` (0 = "key must not exist") and obj.version advances
+  /// past it. A visible tombstone always fails the CAS (kDeleted) — a
+  /// conditional write must not resurrect a deleted key; recreating one is
+  /// a plain put above the tombstone. The default implementation is
+  /// read-compare-write, atomic because stores run on one runtime loop;
+  /// stores with internal concurrency must override.
+  virtual CasOutcome compare_and_put(const Object& obj, Version expected);
 
   /// `version == nullopt` means "latest stored version". Tombstones are
   /// returned like any stored version (check Object::tombstone); callers
@@ -73,5 +98,23 @@ class Store {
   [[nodiscard]] virtual std::size_t object_count() const = 0;
   [[nodiscard]] virtual std::size_t value_bytes() const = 0;
 };
+
+inline CasOutcome Store::compare_and_put(const Object& obj,
+                                         Version expected) {
+  const auto latest = get(obj.key, std::nullopt);
+  if (latest.ok() && latest.value().tombstone) {
+    return {CasOutcome::Status::kDeleted, latest.value().version};
+  }
+  const Version current = latest.ok() ? latest.value().version : 0;
+  if (current != expected) return {CasOutcome::Status::kMismatch, current};
+  if (obj.version <= current) return {CasOutcome::Status::kConflict, current};
+  if (!put(obj).ok()) {
+    // Unreachable for well-behaved single-threaded stores (the checks above
+    // rule out supersession and version reuse); surfaced as a conflict so a
+    // defensive override's failure is never acked as stored.
+    return {CasOutcome::Status::kConflict, current};
+  }
+  return {CasOutcome::Status::kStored, obj.version};
+}
 
 }  // namespace dataflasks::store

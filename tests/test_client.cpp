@@ -413,5 +413,204 @@ TEST_F(ClientClusterTest, SliceCacheBalancerLearnsFromAcks) {
   EXPECT_GT(lb.cache_hits(), hits_before);
 }
 
+// ---- compare-and-put (protocol v2) ------------------------------------------
+
+TEST_F(ClientClusterTest, CasCreatesThenGuardsUpdates) {
+  auto& client = cluster_->add_client();
+  Session session(client);
+
+  // expected == 0: create-only succeeds on a fresh key. Waits between the
+  // steps are generous: each CAS may land on any replica of the slice, so
+  // the previous write must have reached all of them (per-replica
+  // preconditions, like all epidemic-store reads).
+  auto created = session.cas("cas-key", 0, Bytes{1});
+  cluster_->run_for(40 * kSeconds);
+  ASSERT_TRUE(created.ready());
+  ASSERT_TRUE(created.value().ok);
+  const Version v1 = created.value().version;
+  EXPECT_GT(v1, 0u);
+
+  // Correct precondition: the update lands and the version advances.
+  auto updated = session.cas("cas-key", v1, Bytes{2});
+  cluster_->run_for(40 * kSeconds);
+  ASSERT_TRUE(updated.ready());
+  ASSERT_TRUE(updated.value().ok);
+  EXPECT_GT(updated.value().version, v1);
+
+  // Stale precondition: a definitive kCasFailed naming the current
+  // version — not a timeout.
+  auto stale = session.cas("cas-key", v1, Bytes{3});
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(stale.ready());
+  EXPECT_FALSE(stale.value().ok);
+  EXPECT_TRUE(stale.value().cas_failed);
+  EXPECT_EQ(stale.value().version, updated.value().version);
+  EXPECT_GT(client.metrics().counter_value("client.cas_precondition_failures"),
+            0u);
+
+  // The guarded value is what readers see.
+  auto got = session.get("cas-key");
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(got.ready());
+  ASSERT_TRUE(got.value().ok);
+  EXPECT_EQ(got.value().object.value, Bytes{2});
+}
+
+TEST_F(ClientClusterTest, CasCreateOnlyFailsOnExistingKey) {
+  auto& client = cluster_->add_client();
+  Session session(client);
+  auto put = session.put("occupied", Bytes{7});
+  // Long converge: the conflicting CAS below may be routed to ANY replica
+  // of the key's slice, so every replica must hold the value first (the
+  // precondition check is per-replica, like all epidemic-store reads).
+  cluster_->run_for(40 * kSeconds);
+  ASSERT_TRUE(put.ready());
+  ASSERT_TRUE(put.value().ok);
+
+  auto create = session.cas("occupied", 0, Bytes{8});
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(create.ready());
+  EXPECT_FALSE(create.value().ok);
+  EXPECT_TRUE(create.value().cas_failed);
+  EXPECT_EQ(create.value().version, put.value().version);
+}
+
+TEST_F(ClientClusterTest, CasNeverResurrectsDeletedKey) {
+  auto& client = cluster_->add_client();
+  Session session(client);
+  auto put = session.put("doomed", Bytes{1});
+  cluster_->run_for(20 * kSeconds);
+  ASSERT_TRUE(put.ready() && put.value().ok);
+  auto del = session.del("doomed");
+  cluster_->run_for(40 * kSeconds);  // tombstone must reach every replica
+  ASSERT_TRUE(del.ready() && del.value().ok);
+
+  // CAS against the tombstone's version still fails: deletes win until an
+  // unconditional put recreates the key above the tombstone.
+  auto cas = session.cas("doomed", del.value().version, Bytes{2});
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(cas.ready());
+  EXPECT_FALSE(cas.value().ok);
+  EXPECT_TRUE(cas.value().cas_failed);
+  EXPECT_EQ(cas.value().version, del.value().version);
+
+  auto got = session.get("doomed");
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(got.ready());
+  EXPECT_FALSE(got.value().ok);
+  EXPECT_TRUE(got.value().deleted);
+}
+
+// ---- stats admin op (protocol v2) -------------------------------------------
+
+TEST_F(ClientClusterTest, StatsOpReturnsContactNodeSnapshot) {
+  auto& client = cluster_->add_client();
+  Session session(client);
+  client.put("warmup", Bytes{1}, 1, nullptr);
+  cluster_->run_for(10 * kSeconds);
+
+  auto stats = session.stats();
+  cluster_->run_for(10 * kSeconds);
+  ASSERT_TRUE(stats.ready());
+  ASSERT_TRUE(stats.value().ok);
+  // Sim nodes use the default provider: the node's event counters rendered
+  // as one Prometheus family.
+  EXPECT_NE(stats.value().text.find("df_node_events_total"),
+            std::string::npos);
+  EXPECT_NE(stats.value().replica, NodeId(0xFFFFFFFF));
+}
+
+// ---- protocol negotiation ---------------------------------------------------
+
+class V1ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto opts = small_cluster_options(11);
+    opts.node.request.serve_protocol = core::kOpProtocolMin;  // v1 fleet
+    cluster_ = std::make_unique<harness::Cluster>(opts);
+    cluster_->start_all();
+    cluster_->run_for(60 * kSeconds);
+  }
+
+  std::unique_ptr<harness::Cluster> cluster_;
+};
+
+TEST_F(V1ClusterTest, ClientNegotiatesDownAndServesV1Ops) {
+  // A v2 client against a v1-only fleet: the first envelope is answered
+  // with kVersionMismatch, the client adopts v1 and resends — the batch
+  // still succeeds without burning a retry attempt.
+  auto& client = cluster_->add_client();
+  EXPECT_EQ(client.active_protocol(), core::kOpProtocolVersion);
+
+  PutResult put;
+  client.put("downgraded", Bytes{9}, 1, [&](const PutResult& r) { put = r; });
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_TRUE(put.ok);
+  EXPECT_EQ(put.attempts, 1u);
+  EXPECT_EQ(client.active_protocol(), core::kOpProtocolMin);
+  EXPECT_GT(client.metrics().counter_value("client.version_mismatches"), 0u);
+  EXPECT_EQ(client.metrics().counter_value("client.protocol_negotiations"),
+            1u);
+
+  // Subsequent envelopes go out at v1 directly: no further negotiation.
+  GetResult got;
+  client.get("downgraded", std::nullopt,
+             [&](const GetResult& r) { got = r; });
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(got.object.value, Bytes{9});
+  EXPECT_EQ(client.metrics().counter_value("client.protocol_negotiations"),
+            1u);
+}
+
+TEST_F(V1ClusterTest, V2OnlyOpsFailDefinitivelyAgainstV1Fleet) {
+  auto& client = cluster_->add_client();
+  Session session(client);
+
+  // CAS cannot be expressed at v1: a definitive unsupported failure (fast),
+  // not a timeout.
+  auto cas = session.cas("nope", 0, Bytes{1});
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_TRUE(cas.ready());
+  EXPECT_FALSE(cas.value().ok);
+  EXPECT_TRUE(cas.value().unsupported);
+
+  auto stats = session.stats();
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_TRUE(stats.ready());
+  EXPECT_FALSE(stats.value().ok);
+  EXPECT_TRUE(stats.value().unsupported);
+  EXPECT_GT(client.metrics().counter_value("client.ops_unsupported"), 0u);
+
+  // Mixed batch: the v1-expressible ops still succeed after negotiation;
+  // only the CAS comes back unsupported.
+  std::vector<core::Operation> ops;
+  ops.push_back(core::Operation::put("mixed", 1, Bytes{1}));
+  ops.push_back(core::Operation::cas("mixed", 1, 2, Bytes{2}));
+  std::vector<OpResult> results;
+  client.execute(std::move(ops),
+                 [&](const std::vector<OpResult>& r) { results = r; });
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_TRUE(results[1].unsupported);
+}
+
+TEST_F(ClientClusterTest, V1ConfiguredClientNegotiatesUpToV2) {
+  // The reverse direction: a client pinned to v1 meets a v2-serving fleet,
+  // adopts the offered version and completes the op.
+  ClientOptions opts;
+  opts.protocol_version = core::kOpProtocolMin;
+  auto& client = cluster_->add_client(opts);
+  EXPECT_EQ(client.active_protocol(), core::kOpProtocolMin);
+
+  PutResult put;
+  client.put("upgraded", Bytes{4}, 1, [&](const PutResult& r) { put = r; });
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_TRUE(put.ok);
+  EXPECT_EQ(client.active_protocol(), core::kOpProtocolVersion);
+}
+
 }  // namespace
 }  // namespace dataflasks::client

@@ -19,9 +19,10 @@ struct CodecCase {
   std::function<void(const Bytes&)> decode;  ///< must not throw / crash
 };
 
-/// A mixed envelope: put + latest-get + versioned-get + delete, so the
-/// truncation sweep crosses every per-type field layout, and a tombstone
-/// object so the flags/deleted_at path is fuzzed too.
+/// A mixed v2 envelope: put + latest-get + versioned-get + delete +
+/// compare-and-put + stats, so the truncation sweep crosses every
+/// per-type field layout (including v2's expected-version field), and a
+/// tombstone object so the flags/deleted_at path is fuzzed too.
 Payload valid_envelope() {
   core::OpEnvelope envelope;
   envelope.ops.push_back(core::RoutedOp{
@@ -33,6 +34,23 @@ Payload valid_envelope() {
       RequestId{1, 4}, core::Operation::get("versioned-key", Version{2})});
   envelope.ops.push_back(
       core::RoutedOp{RequestId{1, 5}, core::Operation::del("dead-key", 9)});
+  envelope.ops.push_back(core::RoutedOp{
+      RequestId{1, 6},
+      core::Operation::cas("guarded-key", 7, 12, Bytes{6, 7})});
+  envelope.ops.push_back(
+      core::RoutedOp{RequestId{1, 7}, core::Operation::stats()});
+  return core::encode(envelope);
+}
+
+/// A v1 envelope (no v2 op kinds): the downgrade path clients re-encode on
+/// after negotiation must stay fuzz-clean too.
+Payload valid_envelope_v1() {
+  core::OpEnvelope envelope;
+  envelope.protocol = core::kOpProtocolMin;
+  envelope.ops.push_back(core::RoutedOp{
+      RequestId{2, 1}, core::Operation::put("k", 3, Bytes{1, 2})});
+  envelope.ops.push_back(
+      core::RoutedOp{RequestId{2, 2}, core::Operation::get("k")});
   return core::encode(envelope);
 }
 
@@ -40,6 +58,13 @@ std::vector<CodecCase> all_codecs() {
   return {
       {"op_envelope", valid_envelope,
        [](const Bytes& b) { (void)core::decode_op_envelope(b); }},
+      {"op_envelope_v1", valid_envelope_v1,
+       [](const Bytes& b) { (void)core::decode_op_envelope(b); }},
+      {"version_mismatch",
+       []() {
+         return core::encode(core::VersionMismatch{RequestId{9, 1}, 1, 2});
+       },
+       [](const Bytes& b) { (void)core::decode_version_mismatch(b); }},
       {"ops_inner",
        []() {
          core::OpsRequest ops;
@@ -70,6 +95,12 @@ std::vector<CodecCase> all_codecs() {
          batch.replies.push_back(core::OpReply{
              RequestId{1, 3}, core::OpType::kGet, core::OpStatus::kDeleted,
              store::Object{"gone", 11, {}}});
+         batch.replies.push_back(core::OpReply{
+             RequestId{1, 4}, core::OpType::kCompareAndPut,
+             core::OpStatus::kCasFailed, store::Object{"key", 9, {}}});
+         batch.replies.push_back(core::OpReply{
+             RequestId{1, 5}, core::OpType::kStats, core::OpStatus::kOk,
+             store::Object{Key{}, 0, Bytes{'m', 'x', '\n'}}});
          return core::encode(batch);
        },
        [](const Bytes& b) { (void)core::decode_op_reply_batch(b); }},
@@ -161,10 +192,49 @@ TEST_P(CodecFuzzTest, RandomGarbageIsHandled) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecFuzzTest,
-                         ::testing::Range<std::size_t>(0, 11),
+                         ::testing::Range<std::size_t>(0, 13),
                          [](const auto& info) {
                            return std::string(all_codecs()[info.param].name);
                          });
+
+TEST(CodecRoundTrip, V2EnvelopeCarriesCasAndStats) {
+  const auto decoded = core::decode_op_envelope(valid_envelope());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->protocol, core::kOpProtocolVersion);
+  ASSERT_EQ(decoded->ops.size(), 6u);
+  const core::Operation& cas = decoded->ops[4].op;
+  EXPECT_EQ(cas.type, core::OpType::kCompareAndPut);
+  EXPECT_EQ(cas.key, "guarded-key");
+  EXPECT_EQ(cas.expected, 7u);
+  EXPECT_EQ(cas.version, 12u);
+  EXPECT_EQ(cas.value.size(), 2u);
+  EXPECT_EQ(decoded->ops[5].op.type, core::OpType::kStats);
+}
+
+TEST(CodecRoundTrip, V1EnvelopeStillDecodes) {
+  const auto decoded = core::decode_op_envelope(valid_envelope_v1());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->protocol, core::kOpProtocolMin);
+  EXPECT_EQ(decoded->ops.size(), 2u);
+}
+
+TEST(CodecRoundTrip, VersionMismatch) {
+  const core::VersionMismatch msg{RequestId{0xC11E, 42}, 2, 1};
+  const auto decoded = core::decode_version_mismatch(core::encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rid.client, msg.rid.client);
+  EXPECT_EQ(decoded->rid.seq, msg.rid.seq);
+  EXPECT_EQ(decoded->got, 2);
+  EXPECT_EQ(decoded->supported, 1);
+}
+
+TEST(CodecRoundTrip, MinProtocolForOpTypes) {
+  EXPECT_EQ(core::min_protocol_for(core::OpType::kPut), 1);
+  EXPECT_EQ(core::min_protocol_for(core::OpType::kGet), 1);
+  EXPECT_EQ(core::min_protocol_for(core::OpType::kDelete), 1);
+  EXPECT_EQ(core::min_protocol_for(core::OpType::kCompareAndPut), 2);
+  EXPECT_EQ(core::min_protocol_for(core::OpType::kStats), 2);
+}
 
 TEST(CodecFuzz, PssDescriptorTruncations) {
   // Both the endpoint-less and endpoint-carrying layouts must reject every

@@ -1,0 +1,261 @@
+// Observability layer: log-linear histogram percentile math (error bound,
+// bucket boundaries, merge), registry rendering against the Prometheus
+// text exposition grammar, the node-counter bridge, and the plain-TCP
+// scrape endpoint on a real runtime loop.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_endpoint.hpp"
+#include "runtime/real_time_runtime.hpp"
+
+namespace dataflasks::obs {
+namespace {
+
+// ---- histogram percentile math ----
+
+TEST(LatencyHistogram, LinearRegionIsExact) {
+  // Values below 2^kSubBits = 32 get unit-wide buckets: quantiles exact.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.quantile(0.5), 15u);   // ceil(0.5*32)=16th value = 15
+  EXPECT_EQ(h.quantile(1.0), 31u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_EQ(h.sum(), 31u * 32 / 2);
+}
+
+TEST(LatencyHistogram, QuantileErrorBoundOneToMillion) {
+  // The log-linear trade: the reported quantile overestimates the true one
+  // by at most one sub-bucket width — 1/2^kSubBits ~ 3.2%.
+  LatencyHistogram h;
+  constexpr std::uint64_t kN = 100000;
+  for (std::uint64_t v = 1; v <= kN; ++v) h.record(v);
+  for (const double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const auto exact = static_cast<std::uint64_t>(q * kN);
+    const std::uint64_t reported = h.quantile(q);
+    EXPECT_GE(reported, exact) << "q=" << q;
+    EXPECT_LE(static_cast<double>(reported),
+              static_cast<double>(exact) * 1.033 + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, BucketBoundsArePartition) {
+  // bucket_upper_bound(i) must be the largest value indexing to bucket i,
+  // and bucket i+1 must start right after it — no gaps, no overlaps.
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
+    const std::uint64_t upper = LatencyHistogram::bucket_upper_bound(i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(upper), i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(upper + 1), i + 1);
+  }
+  // Spot values across the range, including extremes.
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{31}, std::uint64_t{32},
+        std::uint64_t{1000}, std::uint64_t{1} << 40,
+        ~std::uint64_t{0}}) {
+    const std::size_t i = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(i, LatencyHistogram::kBucketCount);
+    EXPECT_GE(LatencyHistogram::bucket_upper_bound(i), v);
+  }
+}
+
+TEST(LatencyHistogram, EmptyAndSingleValue) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(4242);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.quantile(0.001), h.quantile(1.0));
+  EXPECT_GE(h.quantile(0.5), 4242u);
+  EXPECT_EQ(h.max(), 4242u);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  // Merging per-worker histograms must equal recording into one — the load
+  // generator's aggregation path.
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    ((v % 2 == 0) ? a : b).record(v * 7);
+    combined.record(v * 7);
+  }
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.max(), combined.max());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, ConcurrentRecordersLoseNothing) {
+  // The histogram is the cross-thread surface of the loadgen and server;
+  // hammer it from several threads and require exact totals after join.
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t v = 0; v < kPerThread; ++v) {
+        h.record((v % 1000) + static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+// ---- registry + exposition format ----
+
+/// Minimal Prometheus text-format validity check: every non-comment line is
+/// `name{labels} value` or `name value`, names legal, braces balanced.
+void expect_valid_exposition(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment line: " << line;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    const auto brace = series.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+      series = series.substr(0, brace);
+    }
+    EXPECT_TRUE(is_valid_metric_name(series)) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0u) << "no samples in exposition";
+}
+
+TEST(MetricsRegistry, RegistersAndRenders) {
+  MetricsRegistry registry;
+  Counter& puts = registry.counter("df_ops_total", "op=\"put\"", "ops");
+  Counter& gets = registry.counter("df_ops_total", "op=\"get\"", "ops");
+  Gauge& depth = registry.gauge("df_queue_depth", "", "queue depth");
+  LatencyHistogram& lat = registry.histogram("df_op_exec_us", "op=\"put\"");
+  puts.add(3);
+  gets.add();
+  depth.set(7.5);
+  lat.record(100);
+  lat.record(200);
+
+  // Registration is idempotent: same (name, labels) returns the same slot.
+  EXPECT_EQ(&registry.counter("df_ops_total", "op=\"put\""), &puts);
+
+  const std::string text = registry.render();
+  expect_valid_exposition(text);
+  EXPECT_NE(text.find("df_ops_total{op=\"put\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("df_ops_total{op=\"get\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("df_queue_depth 7.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE df_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE df_queue_depth gauge"), std::string::npos);
+  // Histograms render as summaries: quantiles + _sum + _count.
+  EXPECT_NE(text.find("# TYPE df_op_exec_us summary"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("df_op_exec_us_count{op=\"put\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("df_op_exec_us_sum{op=\"put\"} 300"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, MetricNameValidity) {
+  EXPECT_TRUE(is_valid_metric_name("df_ops_total"));
+  EXPECT_TRUE(is_valid_metric_name("a:b_c9"));
+  EXPECT_TRUE(is_valid_metric_name("_x"));
+  EXPECT_FALSE(is_valid_metric_name(""));
+  EXPECT_FALSE(is_valid_metric_name("9abc"));
+  EXPECT_FALSE(is_valid_metric_name("has space"));
+  EXPECT_FALSE(is_valid_metric_name("has-dash"));
+}
+
+TEST(MetricsRegistry, EscapesLabelValues) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+}
+
+TEST(MetricsRegistry, BridgesNodeCounters) {
+  // The per-node single-threaded registry joins the exposition as one
+  // labeled family — the path CLI stats / UDP / HTTP scrapes all share.
+  dataflasks::MetricsRegistry node;
+  node.counter("rh.puts_stored").add(17);
+  node.counter("pss.rounds").add(4);
+  const std::string text = render_node_counters(node, "df_node_events_total");
+  expect_valid_exposition(text);
+  EXPECT_NE(text.find("df_node_events_total{counter=\"rh.puts_stored\"} 17"),
+            std::string::npos);
+  EXPECT_NE(text.find("df_node_events_total{counter=\"pss.rounds\"} 4"),
+            std::string::npos);
+}
+
+// ---- TCP scrape endpoint ----
+
+TEST(MetricsTcpEndpoint, ServesScrapesOnRuntimeLoop) {
+  runtime::RealTimeRuntime rt(1);
+  MetricsRegistry registry;
+  registry.counter("df_test_total", "", "test").add(5);
+  MetricsTcpEndpoint endpoint(rt, "127.0.0.1", 0,
+                              [&] { return registry.render(); });
+  ASSERT_NE(endpoint.port(), 0);
+
+  // Scrape from a helper thread while the runtime loop serves.
+  std::string body;
+  std::thread scraper([&] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::send(fd, request, sizeof(request) - 1, 0),
+              static_cast<ssize_t>(sizeof(request) - 1));
+    char buf[4096];
+    ssize_t n = 0;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      body.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    rt.stop();
+  });
+  rt.run_for(2 * kSeconds);
+  scraper.join();
+
+  EXPECT_EQ(endpoint.scrapes_served(), 1u);
+  EXPECT_NE(body.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(body.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(body.find("df_test_total 5"), std::string::npos);
+  // The body after the blank line must be a valid exposition.
+  const auto split = body.find("\r\n\r\n");
+  ASSERT_NE(split, std::string::npos);
+  expect_valid_exposition(body.substr(split + 4));
+}
+
+}  // namespace
+}  // namespace dataflasks::obs

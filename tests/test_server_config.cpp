@@ -162,6 +162,33 @@ TEST(ServerConfig, StoreDataDirAndLogLevelFlags) {
   EXPECT_FALSE(parse_server_args({"--log-level", "loud"}).ok());
 }
 
+TEST(ServerConfig, MetricsPortFlagAndConfigKey) {
+  // Default: endpoint disabled.
+  auto defaults = parse_server_args({});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults.value().metrics_port, -1);
+
+  auto flagged = parse_server_args({"--metrics-port", "9100"});
+  ASSERT_TRUE(flagged.ok()) << flagged.error().message;
+  EXPECT_EQ(flagged.value().metrics_port, 9100);
+
+  // 0 is meaningful (ephemeral port, printed at boot), not "disabled".
+  auto ephemeral = parse_server_args({"--metrics-port", "0"});
+  ASSERT_TRUE(ephemeral.ok());
+  EXPECT_EQ(ephemeral.value().metrics_port, 0);
+
+  EXPECT_FALSE(parse_server_args({"--metrics-port", "65536"}).ok());
+  EXPECT_FALSE(parse_server_args({"--metrics-port", "-5"}).ok());
+  EXPECT_FALSE(parse_server_args({"--metrics-port", "web"}).ok());
+
+  const std::string path = "/tmp/dataflasks_test_metrics_port.conf";
+  std::ofstream(path) << "metrics_port = 9200\n";
+  auto from_file = parse_server_args({"--config", path});
+  ASSERT_TRUE(from_file.ok()) << from_file.error().message;
+  EXPECT_EQ(from_file.value().metrics_port, 9200);
+  std::remove(path.c_str());
+}
+
 TEST(ServerConfig, HostnamesAcceptedInPeerAndListenSpecs) {
   // The grammar keeps the host opaque; DNS names parse like addresses.
   PeerSpec peer;

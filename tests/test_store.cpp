@@ -211,6 +211,66 @@ TEST_P(StoreContractTest, TombstoneRestoreIsIdempotent) {
   EXPECT_EQ(store_->object_count(), 1u);
 }
 
+// ---- compare-and-put (the CAS operation's storage primitive) ----
+
+TEST_P(StoreContractTest, CasCreateOnlySucceedsOnMissingKey) {
+  // expected == 0 means "create only": stores iff the key has no version.
+  const auto created = store_->compare_and_put({"k", 5, value_of("v")}, 0);
+  EXPECT_EQ(created.status, CasOutcome::Status::kStored);
+  EXPECT_EQ(created.current, 5u);
+  EXPECT_EQ(store_->get("k", std::nullopt).value().value, value_of("v"));
+
+  // A second create-only against the now-existing key reports its version.
+  const auto again = store_->compare_and_put({"k", 9, value_of("w")}, 0);
+  EXPECT_EQ(again.status, CasOutcome::Status::kMismatch);
+  EXPECT_EQ(again.current, 5u);
+  EXPECT_EQ(store_->get("k", std::nullopt).value().value, value_of("v"));
+}
+
+TEST_P(StoreContractTest, CasStoresOnMatchingVersion) {
+  ASSERT_TRUE(store_->put({"k", 3, value_of("old")}).ok());
+  const auto outcome = store_->compare_and_put({"k", 7, value_of("new")}, 3);
+  EXPECT_EQ(outcome.status, CasOutcome::Status::kStored);
+  EXPECT_EQ(outcome.current, 7u);
+  EXPECT_EQ(store_->get("k", std::nullopt).value().version, 7u);
+}
+
+TEST_P(StoreContractTest, CasMismatchLeavesStoreUntouchedAndReportsCurrent) {
+  ASSERT_TRUE(store_->put({"k", 3, value_of("old")}).ok());
+  const auto outcome = store_->compare_and_put({"k", 7, value_of("new")}, 2);
+  EXPECT_EQ(outcome.status, CasOutcome::Status::kMismatch);
+  EXPECT_EQ(outcome.current, 3u);
+  EXPECT_EQ(store_->get("k", std::nullopt).value().version, 3u);
+  EXPECT_FALSE(store_->contains("k", 7));
+}
+
+TEST_P(StoreContractTest, CasAgainstTombstoneFailsWithoutResurrecting) {
+  // CAS never writes through a delete — even when the caller "expects" the
+  // tombstone's version. Recreation requires an unconditional put above
+  // the tombstone; CAS reports kDeleted with the tombstone's version.
+  ASSERT_TRUE(store_->put({"k", 1, value_of("v")}).ok());
+  ASSERT_TRUE(store_->put(Object::make_tombstone("k", 4, 1000)).ok());
+  for (const Version expected : {Version{0}, Version{1}, Version{4}}) {
+    const auto outcome =
+        store_->compare_and_put({"k", 9, value_of("zombie")}, expected);
+    EXPECT_EQ(outcome.status, CasOutcome::Status::kDeleted);
+    EXPECT_EQ(outcome.current, 4u);
+  }
+  EXPECT_TRUE(store_->get("k", std::nullopt).value().tombstone);
+  EXPECT_FALSE(store_->contains("k", 9));
+}
+
+TEST_P(StoreContractTest, CasRequiresAdvancingVersion) {
+  // Matching precondition but a non-advancing new version is a conflict:
+  // storing it would not supersede the current object under the epidemic
+  // highest-version-wins rule, so the store refuses.
+  ASSERT_TRUE(store_->put({"k", 5, value_of("v")}).ok());
+  const auto outcome = store_->compare_and_put({"k", 5, value_of("w")}, 5);
+  EXPECT_EQ(outcome.status, CasOutcome::Status::kConflict);
+  EXPECT_EQ(outcome.current, 5u);
+  EXPECT_EQ(store_->get("k", std::nullopt).value().value, value_of("v"));
+}
+
 TEST_P(StoreContractTest, GcRespectsGracePeriod) {
   ASSERT_TRUE(store_->put(Object::make_tombstone("a", 1, 1000)).ok());
   ASSERT_TRUE(store_->put(Object::make_tombstone("b", 1, 5000)).ok());

@@ -385,5 +385,54 @@ TEST(UdpTransport, IgnoresGarbageDatagrams) {
   EXPECT_EQ(target.decode_failures(), 1u);
 }
 
+TEST(UdpTransport, StatsRequestAnsweredBelowProtocolDispatch) {
+  // kStatsRequest is handled inside the transport, before protocol
+  // dispatch: a scraper needs no node id, no registered handler and no
+  // protocol state — just the server's address.
+  runtime::RealTimeRuntime rt(1);
+  UdpTransport server(rt, {});
+  server.register_handler(NodeId(7), [&](const Message&) {});
+  server.set_stats_provider([] {
+    return std::string("df_test_total 42\n");
+  });
+
+  UdpTransport scraper(rt, {});
+  scraper.add_peer(NodeId(7), "127.0.0.1", server.local_port());
+  std::string body;
+  scraper.register_handler(NodeId(0xC0FFEE), [&](const Message& msg) {
+    ASSERT_EQ(msg.type, kStatsReply);
+    EXPECT_EQ(msg.src, NodeId(7));  // first registered handler's node
+    const ByteView view = msg.payload.view();
+    body.assign(reinterpret_cast<const char*>(view.data()), view.size());
+    rt.stop();
+  });
+
+  Message request;
+  request.src = NodeId(0xC0FFEE);
+  request.dst = NodeId(7);
+  request.type = kStatsRequest;
+  scraper.send(request);
+
+  rt.run_for(2 * kSeconds);
+  EXPECT_EQ(body, "df_test_total 42\n");
+}
+
+TEST(UdpTransport, StatsRequestWithoutProviderIsCountedDrop) {
+  runtime::RealTimeRuntime rt(1);
+  UdpTransport server(rt, {});  // no provider configured
+  UdpTransport scraper(rt, {});
+  scraper.add_peer(NodeId(7), "127.0.0.1", server.local_port());
+
+  Message request;
+  request.src = NodeId(0xC0FFEE);
+  request.dst = NodeId(7);
+  request.type = kStatsRequest;
+  scraper.send(request);
+
+  rt.run_for(100 * kMillis);
+  EXPECT_EQ(server.total_dropped(), 1u);
+  EXPECT_EQ(server.total_delivered(), 0u);
+}
+
 }  // namespace
 }  // namespace dataflasks::net
