@@ -17,7 +17,11 @@
 #
 # Tunables (environment): BENCH_NODES (default 3), BENCH_DURATION_MS
 # (default 20000), BENCH_THREADS (4), BENCH_CONCURRENCY (4),
-# BENCH_RECORDS (2000), BENCH_WORKLOAD (A), BENCH_BASE_PORT (7431).
+# BENCH_RECORDS (2000), BENCH_WORKLOAD (A), BENCH_BASE_PORT (7431),
+# BENCH_SWEEP (comma-separated offered loads in ops/sec; default a
+# 4k..128k ladder — each step runs for BENCH_DURATION_MS and the report
+# gains "sweep" and "knee" sections locating the throughput knee; set
+# BENCH_SWEEP="" for a single closed-loop run without the sweep).
 # Exits non-zero on any failure; always tears the servers down. Wrap in
 # `timeout` as a hang guard (CI does).
 set -euo pipefail
@@ -35,6 +39,7 @@ CONCURRENCY="${BENCH_CONCURRENCY:-4}"
 RECORDS="${BENCH_RECORDS:-2000}"
 WORKLOAD="${BENCH_WORKLOAD:-A}"
 BASE_PORT="${BENCH_BASE_PORT:-7431}"
+SWEEP="${BENCH_SWEEP-4000,8000,16000,32000,64000,128000}"
 LOG_DIR="$(mktemp -d)"
 
 [[ -x "$SERVER" && -x "$CLI" && -x "$LOADGEN" ]] || {
@@ -84,16 +89,33 @@ for ((i = 0; i < NODES; i++)); do
   }
 done
 
-echo "== loadgen: workload $WORKLOAD, $THREADS threads x $CONCURRENCY streams, ${DURATION_MS}ms"
+SWEEP_FLAGS=()
+if [[ -n "$SWEEP" ]]; then
+  # Offered-load sweep: one open-loop step per rate against the shared
+  # preloaded records; the report locates the throughput knee (peak
+  # goodput) and the shed fraction past it.
+  SWEEP_FLAGS=("--sweep" "$SWEEP")
+  echo "== loadgen sweep: workload $WORKLOAD, rates $SWEEP ops/sec, ${DURATION_MS}ms per step"
+else
+  echo "== loadgen: workload $WORKLOAD, $THREADS threads x $CONCURRENCY streams, ${DURATION_MS}ms"
+fi
 "$LOADGEN" "${PEER_FLAGS[@]}" \
   --workload "$WORKLOAD" --threads "$THREADS" --concurrency "$CONCURRENCY" \
-  --records "$RECORDS" --duration-ms "$DURATION_MS" --out "$OUT"
+  --records "$RECORDS" --duration-ms "$DURATION_MS" \
+  "${SWEEP_FLAGS[@]}" --out "$OUT"
 echo "== report written to $OUT"
 
 grep -q '"bench": "real_cluster"' "$OUT" || {
   echo "bench_real_cluster: report missing or malformed" >&2
   exit 1
 }
+if [[ -n "$SWEEP" ]]; then
+  grep -q '"knee"' "$OUT" || {
+    echo "bench_real_cluster: sweep ran but the report has no knee" >&2
+    exit 1
+  }
+  echo "== knee: $(grep -oE '"knee": \{[^}]*\}' "$OUT")"
+fi
 
 echo "== scraping node 0's TCP metrics endpoint"
 METRICS_PORT="$(grep -oE 'metrics on 127.0.0.1:[0-9]+' "$LOG_DIR/server0.log" \

@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Overload smoke test: drives ONE dataflasks_server well past its admission
+# knee and asserts the overload contract end to end:
+#
+#   * the node ENTERS overload and sheds client work with explicit
+#     kOverloaded answers (admission.client_ops_shed moves, and the load
+#     generator reports overloaded/shed ops — backpressure, not silence);
+#   * the observability surfaces keep answering WHILE the node is shedding:
+#     the --metrics-port TCP scrape and `dataflasks_cli stats` (the admin
+#     class is never shed);
+#   * the node EXITS overload once the load stops, and a post-overload
+#     workload succeeds against the same process.
+#
+# The server runs with deliberately aggressive shedding thresholds
+# (--shed-lag-high-ms 1) so a closed-loop hammer from several client
+# threads reliably saturates the single poll loop even on fast machines.
+#
+#   ./scripts/overload_smoke.sh [build-dir]
+#
+# Tunables (environment): SMOKE_HAMMER_MS (default 8000), SMOKE_THREADS
+# (4), SMOKE_CONCURRENCY (16), SMOKE_BATCH (16), SMOKE_PORT (7481).
+# Exits non-zero on any failure; always tears the server down. Wrap in
+# `timeout` as a hang guard (CI does).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/src/server/dataflasks_server"
+CLI="$BUILD_DIR/src/server/dataflasks_cli"
+LOADGEN="$BUILD_DIR/src/server/dataflasks_loadgen"
+
+HAMMER_MS="${SMOKE_HAMMER_MS:-8000}"
+THREADS="${SMOKE_THREADS:-4}"
+CONCURRENCY="${SMOKE_CONCURRENCY:-16}"
+BATCH="${SMOKE_BATCH:-16}"
+PORT="${SMOKE_PORT:-7481}"
+LOG_DIR="$(mktemp -d)"
+
+[[ -x "$SERVER" && -x "$CLI" && -x "$LOADGEN" ]] || {
+  echo "overload_smoke: build dataflasks_server, dataflasks_cli and" \
+       "dataflasks_loadgen first" >&2
+  exit 1
+}
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$LOG_DIR"
+}
+trap cleanup EXIT
+
+scrape() {
+  exec 3<>"/dev/tcp/127.0.0.1/$METRICS_PORT" \
+    && printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3
+}
+
+echo "== launching 1-node cluster on port $PORT with aggressive shedding"
+"$SERVER" --id 0 --listen "127.0.0.1:$PORT" \
+  --gossip-ms 200 --ae-ms 1000 --log-level warn \
+  --metrics-port 0 \
+  --max-inflight-ops 256 --shed-lag-high-ms 1 --shed-lag-low-ms 1 \
+  > "$LOG_DIR/server.log" 2>&1 &
+PIDS[0]=$!
+for _ in $(seq 1 50); do
+  grep -q "ready on" "$LOG_DIR/server.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "ready on" "$LOG_DIR/server.log" || {
+  echo "overload_smoke: server did not become ready" >&2
+  cat "$LOG_DIR/server.log" >&2
+  exit 1
+}
+METRICS_PORT="$(grep -oE 'metrics on 127.0.0.1:[0-9]+' "$LOG_DIR/server.log" \
+  | head -1 | grep -oE '[0-9]+$')"
+[[ -n "$METRICS_PORT" ]] || {
+  echo "overload_smoke: server printed no metrics port" >&2
+  exit 1
+}
+
+echo "== hammering past the knee: $THREADS threads x $CONCURRENCY streams, batch $BATCH, ${HAMMER_MS}ms"
+"$LOADGEN" --peer "0@127.0.0.1:$PORT" \
+  --workload A --threads "$THREADS" --concurrency "$CONCURRENCY" \
+  --batch "$BATCH" --records 500 --duration-ms "$HAMMER_MS" \
+  --timeout-ms 500 --out "$LOG_DIR/hammer.json" \
+  > "$LOG_DIR/hammer.log" 2>&1 &
+HAMMER_PID=$!
+PIDS+=("$HAMMER_PID")
+
+# While the hammer runs: both observability surfaces must keep answering.
+sleep 3
+echo "== scraping /metrics during overload"
+MID_SCRAPE="$(scrape)"
+grep -q "df_admission_overloaded" <<< "$MID_SCRAPE" || {
+  echo "overload_smoke: mid-load scrape missing admission gauges" >&2
+  echo "$MID_SCRAPE" >&2
+  exit 1
+}
+echo "== cli stats during overload (admin class is never shed)"
+MID_STATS="$("$CLI" --peer "0@127.0.0.1:$PORT" --timeout-ms 5000 stats)"
+grep -q "df_ops_total" <<< "$MID_STATS" || {
+  echo "overload_smoke: cli stats did not answer during overload" >&2
+  echo "$MID_STATS" >&2
+  exit 1
+}
+
+# Exit 2 means "no op succeeded" — acceptable here: a node shedding the
+# entire hammer is exactly the behavior under test. Anything else is a
+# harness failure.
+HAMMER_RC=0
+wait "$HAMMER_PID" || HAMMER_RC=$?
+[[ "$HAMMER_RC" -eq 0 || "$HAMMER_RC" -eq 2 ]] || {
+  echo "overload_smoke: load generator failed (rc=$HAMMER_RC)" >&2
+  cat "$LOG_DIR/hammer.log" >&2
+  exit 1
+}
+cat "$LOG_DIR/hammer.log"
+
+echo "== shed counters must have moved"
+POST_SCRAPE="$(scrape)"
+SHED="$(grep -oE 'df_node_events_total\{counter="admission\.client_ops_shed"\} [0-9]+' \
+  <<< "$POST_SCRAPE" | grep -oE '[0-9]+$' || echo 0)"
+ENTERED="$(grep -oE 'df_node_events_total\{counter="admission\.overload_entered"\} [0-9]+' \
+  <<< "$POST_SCRAPE" | grep -oE '[0-9]+$' || echo 0)"
+echo "   overload_entered=$ENTERED client_ops_shed=$SHED"
+[[ "$ENTERED" -ge 1 && "$SHED" -ge 1 ]] || {
+  echo "overload_smoke: the hammer never tripped admission control" >&2
+  grep -E 'df_admission|admission\.' <<< "$POST_SCRAPE" >&2 || true
+  exit 1
+}
+grep -q '"overloaded": [1-9]' "$LOG_DIR/hammer.json" \
+  || grep -q '"shed_ops": [1-9]' "$LOG_DIR/hammer.json" \
+  || grep -q '"failures": [1-9]' "$LOG_DIR/hammer.json" || {
+  echo "overload_smoke: client side saw no backpressure at all" >&2
+  cat "$LOG_DIR/hammer.json" >&2
+  exit 1
+}
+
+echo "== post-overload: the node must recover and serve again"
+# The lag EWMA decays tick by tick once the loop is idle; poll the gauge
+# until the controller exits (bounded — a stuck node fails the test).
+RECOVERED=0
+for _ in $(seq 1 60); do
+  if grep -q 'df_admission_overloaded 0' <<< "$(scrape)"; then
+    RECOVERED=1
+    break
+  fi
+  sleep 0.5
+done
+[[ "$RECOVERED" -eq 1 ]] || {
+  echo "overload_smoke: node never exited overload after the load stopped" >&2
+  scrape | grep -E 'df_admission' >&2 || true
+  exit 1
+}
+"$CLI" --peer "0@127.0.0.1:$PORT" --timeout-ms 5000 --version 1 \
+  put recovered-key recovered-value > "$LOG_DIR/put.log" || {
+  echo "overload_smoke: post-overload put failed" >&2
+  cat "$LOG_DIR/put.log" >&2
+  exit 1
+}
+GOT="$("$CLI" --peer "0@127.0.0.1:$PORT" --timeout-ms 5000 get recovered-key)"
+grep -q "recovered-value" <<< "$GOT" || {
+  echo "overload_smoke: post-overload get did not return the value" >&2
+  echo "$GOT" >&2
+  exit 1
+}
+FINAL_SCRAPE="$(scrape)"
+grep -q 'df_admission_overloaded 0' <<< "$FINAL_SCRAPE" || {
+  echo "overload_smoke: node still reports overloaded after the load stopped" >&2
+  grep -E 'df_admission' <<< "$FINAL_SCRAPE" >&2 || true
+  exit 1
+}
+
+echo "overload_smoke: PASS"

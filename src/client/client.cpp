@@ -77,6 +77,7 @@ Client::~Client() {
   for (auto& [_, batch] : pending_) {
     batch.timer.cancel();
     batch.hedge_timer.cancel();
+    batch.retry_timer.cancel();
   }
 }
 
@@ -121,6 +122,9 @@ void Client::execute(std::vector<core::Operation> ops, BatchCallback done) {
   batch.base_seq = base_seq;
   batch.done = std::move(done);
   batch.started = runtime_.now();
+  if (options_.op_deadline > 0) {
+    batch.deadline = batch.started + options_.op_deadline;
+  }
   batch.unresolved = ops.size();
   batch.resolved.assign(ops.size(), false);
   batch.results.resize(ops.size());
@@ -182,12 +186,23 @@ void Client::send_envelopes(const PendingBatch& batch, NodeId contact) {
 
 void Client::send_batch(PendingBatch& batch) {
   ++batch.attempts;
-  batch.contact = balancer_.pick_contact(slice_hint(batch));
+  batch.got_reply = false;
+  batch.contact = balancer_.pick_contact(slice_hint(batch), runtime_.now());
   send_envelopes(batch, batch.contact);
+
+  // The attempt timer never outlives the deadline: a request with 100ms of
+  // budget left must resolve (one way or the other) within 100ms, not after
+  // a full request_timeout.
+  SimTime timeout = options_.request_timeout;
+  if (batch.deadline > 0) {
+    const SimTime now = runtime_.now();
+    const SimTime remaining = batch.deadline > now ? batch.deadline - now : 1;
+    timeout = std::min(timeout, remaining);
+  }
 
   const std::uint64_t base_seq = batch.base_seq;
   batch.timer = runtime_.schedule_after(
-      options_.request_timeout, [this, base_seq]() { on_timeout(base_seq); });
+      timeout, [this, base_seq]() { on_timeout(base_seq); });
 
   if (options_.get_hedge_delay > 0 && batch.read_only) {
     batch.hedge_timer = runtime_.schedule_after(
@@ -197,11 +212,30 @@ void Client::send_batch(PendingBatch& batch) {
           // Second contact, same request ids: whichever replica answers
           // first wins and the duplicate replies are absorbed by rid dedup.
           const NodeId hedge_contact =
-              balancer_.pick_contact(slice_hint(it->second));
+              balancer_.pick_contact(slice_hint(it->second), runtime_.now());
           send_envelopes(it->second, hedge_contact);
           metrics_.counter("client.get_hedges").add();
         });
   }
+}
+
+template <typename Mark>
+void Client::fail_unresolved(PendingBatch& batch, const char* counter,
+                             Mark mark) {
+  for (std::size_t i = 0; i < batch.ops.size(); ++i) {
+    if (batch.resolved[i]) continue;
+    batch.resolved[i] = true;
+    rid_index_.erase(batch.base_seq + i);
+    OpResult& result = batch.results[i];
+    result.ok = false;
+    result.attempts = batch.attempts;
+    result.latency = runtime_.now() - batch.started;
+    mark(result);
+    metrics_.counter(failures_counter(batch.ops[i].type)).add();
+    if (counter != nullptr) metrics_.counter(counter).add();
+  }
+  batch.unresolved = 0;
+  complete(batch);
 }
 
 void Client::on_timeout(std::uint64_t base_seq) {
@@ -209,7 +243,17 @@ void Client::on_timeout(std::uint64_t base_seq) {
   if (it == pending_.end()) return;  // completed meanwhile
   PendingBatch& batch = it->second;
   batch.hedge_timer.cancel();
-  balancer_.node_unreachable(batch.contact);
+  // Silence is the only evidence of a dead contact. A contact that answered
+  // this attempt — even with a negative (version mismatch, overload shed) —
+  // is alive; blacklisting it would punish honesty and steer the balancer
+  // with noise.
+  if (!batch.got_reply) balancer_.node_unreachable(batch.contact);
+  const SimTime now = runtime_.now();
+  if (batch.deadline > 0 && now >= batch.deadline) {
+    fail_unresolved(batch, "client.ops_deadline_exceeded",
+                    [](OpResult& r) { r.deadline_exceeded = true; });
+    return;
+  }
   if (batch.attempts < options_.max_attempts) {
     for (std::size_t i = 0; i < batch.ops.size(); ++i) {
       if (batch.resolved[i]) continue;
@@ -219,18 +263,66 @@ void Client::on_timeout(std::uint64_t base_seq) {
     return;
   }
   // Out of attempts: everything still unresolved fails.
-  for (std::size_t i = 0; i < batch.ops.size(); ++i) {
-    if (batch.resolved[i]) continue;
-    batch.resolved[i] = true;
-    rid_index_.erase(base_seq + i);
-    OpResult& result = batch.results[i];
-    result.ok = false;
-    result.attempts = batch.attempts;
-    result.latency = runtime_.now() - batch.started;
-    metrics_.counter(failures_counter(batch.ops[i].type)).add();
+  fail_unresolved(batch, nullptr, [](OpResult&) {});
+}
+
+void Client::handle_overloaded(NodeId from, const core::OverloadReply& shed) {
+  if (shed.rid.client != id_.value) return;  // not ours (misroute)
+  const auto idx_it = rid_index_.find(shed.rid.seq);
+  if (idx_it == rid_index_.end()) {
+    metrics_.counter("client.duplicate_replies").add();
+    return;
   }
-  batch.unresolved = 0;
-  complete(batch);
+  const auto batch_it = pending_.find(idx_it->second);
+  ensure(batch_it != pending_.end(), "rid index points at a dead batch");
+  PendingBatch& batch = batch_it->second;
+  metrics_.counter("client.overload_replies").add();
+  batch.got_reply = true;
+
+  const SimTime now = runtime_.now();
+  // Route future picks around the hot node for the server-suggested window.
+  const SimTime hint = SimTime{shed.retry_after_ms} * kMillis;
+  balancer_.node_overloaded(from, now + std::max<SimTime>(hint, kMillis));
+
+  // One backoff per attempt: a shed arrives per envelope chunk (and per
+  // hedged contact), and one overload signal must not multiply retries.
+  if (batch.retry_timer.active()) return;
+
+  // Capped exponential backoff seeded by the server's retry-after hint,
+  // jittered to 50–150% so a shed thundering herd does not re-arrive as a
+  // synchronized wave.
+  SimTime delay = batch.attempts < 20
+                      ? options_.backoff_base << (batch.attempts - 1)
+                      : options_.backoff_max;
+  delay = std::clamp(std::max(delay, hint), SimTime{1}, options_.backoff_max);
+  delay = delay / 2 + rng_.next_in(0, delay);
+
+  const bool deadline_blown =
+      batch.deadline > 0 && now + delay >= batch.deadline;
+  if (batch.attempts >= options_.max_attempts || deadline_blown) {
+    // The backoff wait cannot fit the budget: fail definitively now, as
+    // overloaded — the caller learns to slow down instead of seeing an
+    // indistinguishable timeout.
+    batch.timer.cancel();
+    batch.hedge_timer.cancel();
+    fail_unresolved(batch, "client.ops_overloaded",
+                    [](OpResult& r) { r.overloaded = true; });
+    return;
+  }
+
+  batch.timer.cancel();
+  batch.hedge_timer.cancel();
+  const std::uint64_t base_seq = batch.base_seq;
+  batch.retry_timer = runtime_.schedule_after(delay, [this, base_seq]() {
+    const auto it = pending_.find(base_seq);
+    if (it == pending_.end()) return;
+    // Explicitly deactivate the handle: the alive flag is checked at fire
+    // time, not flipped by it, and a stale-active handle would dedup away
+    // every future shed for this batch.
+    it->second.retry_timer.cancel();
+    metrics_.counter("client.overload_retries").add();
+    send_batch(it->second);
+  });
 }
 
 void Client::handle_version_mismatch(const core::VersionMismatch& mismatch) {
@@ -244,6 +336,7 @@ void Client::handle_version_mismatch(const core::VersionMismatch& mismatch) {
   ensure(batch_it != pending_.end(), "rid index points at a dead batch");
   PendingBatch& batch = batch_it->second;
   metrics_.counter("client.version_mismatches").add();
+  batch.got_reply = true;
 
   // Adopt the server's version when we can speak it. Sticky across
   // requests: one mixed-version cluster member teaches us, the rest of the
@@ -291,6 +384,7 @@ void Client::handle_version_mismatch(const core::VersionMismatch& mismatch) {
 void Client::complete(PendingBatch& batch) {
   batch.timer.cancel();
   batch.hedge_timer.cancel();
+  batch.retry_timer.cancel();
   auto done = std::move(batch.done);
   auto results = std::move(batch.results);
   pending_.erase(batch.base_seq);
@@ -301,6 +395,11 @@ void Client::dispatch(const net::Message& msg) {
   if (msg.type == core::kVersionMismatch) {
     const auto mismatch = core::decode_version_mismatch(msg.payload);
     if (mismatch) handle_version_mismatch(*mismatch);
+    return;
+  }
+  if (msg.type == core::kOverloaded) {
+    const auto shed = core::decode_overload_reply(msg.payload);
+    if (shed) handle_overloaded(msg.src, *shed);
     return;
   }
   if (msg.type != core::kOpReplyBatch) {
@@ -327,6 +426,7 @@ void Client::dispatch(const net::Message& msg) {
     ensure(index < batch.ops.size(), "reply seq outside its batch");
 
     balancer_.observe_replica(reply_batch->replica, reply_batch->slice);
+    batch.got_reply = true;
     batch.resolved[index] = true;
     rid_index_.erase(idx_it);
     --batch.unresolved;
@@ -373,6 +473,14 @@ void Client::dispatch(const net::Message& msg) {
         result.cas_failed = true;
         result.version = reply.object.version;
         metrics_.counter("client.cas_precondition_failures").add();
+        break;
+      case core::OpStatus::kOverloaded:
+        // Per-op refusal under admission control (whole-envelope shedding
+        // uses the cheaper kOverloaded frame, which retries with backoff;
+        // a per-op status inside an otherwise-served batch is definitive).
+        result.ok = false;
+        result.overloaded = true;
+        metrics_.counter("client.ops_overloaded").add();
         break;
     }
     if (batch.unresolved == 0) {

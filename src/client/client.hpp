@@ -50,6 +50,16 @@ struct ClientOptions {
   /// as unsupported when the ops cannot be expressed at the server's
   /// version). Clamped to [kOpProtocolMin, kOpProtocolVersion].
   std::uint8_t protocol_version = core::kOpProtocolVersion;
+  /// Absolute per-request budget: once this much time has passed since
+  /// execute(), unresolved ops fail definitively as deadline_exceeded —
+  /// no further retries, no unbounded backoff waits. Zero means no
+  /// deadline (legacy behavior: max_attempts alone bounds the request).
+  SimTime op_deadline = 0;
+  /// Backoff after an explicit kOverloaded shed: the retry waits
+  /// max(server retry-after hint, backoff_base << (attempts-1)) capped at
+  /// backoff_max, jittered ±50% to decorrelate a thundering herd.
+  SimTime backoff_base = 50 * kMillis;
+  SimTime backoff_max = 2 * kSeconds;
 };
 
 /// Unified per-operation outcome for batch requests.
@@ -70,6 +80,14 @@ struct OpResult {
   /// server speaks (e.g. CompareAndPut against a v1-only cluster). `ok` is
   /// false; definitive, not a timeout.
   bool unsupported = false;
+  /// Every contacted node shed the op under admission control and the
+  /// retry/backoff budget ran out. `ok` is false; definitive backpressure,
+  /// not a timeout — the caller should slow down before resubmitting.
+  bool overloaded = false;
+  /// The request's op_deadline passed before the op resolved. `ok` is
+  /// false; definitive for this request (the op may still land server-side
+  /// — same at-most-once caveat as a timeout).
+  bool deadline_exceeded = false;
   store::Object object;  ///< get hit: the full object
   Key key;
   Version version = 0;
@@ -223,16 +241,30 @@ class Client {
     /// per envelope chunk must not multiply resends.
     std::uint8_t negotiated = 0;
     SimTime started = 0;
+    /// Absolute resolve-by time (0 = none); set from options.op_deadline.
+    SimTime deadline = 0;
+    /// The current attempt's contact answered *something* (a reply batch,
+    /// a version mismatch, an overload shed). Distinguishes an explicit
+    /// negative from silence: only silence marks the contact unreachable.
+    bool got_reply = false;
     NodeId contact;
     runtime::TimerHandle timer;
     runtime::TimerHandle hedge_timer;
+    /// Pending backoff wait after a kOverloaded shed (also the dedup guard:
+    /// extra shed frames for the same attempt must not multiply retries).
+    runtime::TimerHandle retry_timer;
   };
 
   void dispatch(const net::Message& msg);
   void handle_version_mismatch(const core::VersionMismatch& mismatch);
+  void handle_overloaded(NodeId from, const core::OverloadReply& shed);
   void send_batch(PendingBatch& batch);
   void send_envelopes(const PendingBatch& batch, NodeId contact);
   void on_timeout(std::uint64_t base_seq);
+  /// Fails every unresolved op (`mark` sets the definitive flag on each
+  /// result) and fires the batch callback.
+  template <typename Mark>
+  void fail_unresolved(PendingBatch& batch, const char* counter, Mark mark);
   void complete(PendingBatch& batch);
   /// The unresolved ops re-encoded as one or more envelopes, split against
   /// the per-datagram budget (an oversized frame would be dropped by UDP).

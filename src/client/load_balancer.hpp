@@ -22,14 +22,23 @@ class LoadBalancer {
   virtual ~LoadBalancer() = default;
 
   /// Picks a contact node for a request targeting `slice` (nullopt when the
-  /// client cannot compute the slice, e.g. unknown slice count).
-  [[nodiscard]] virtual NodeId pick_contact(std::optional<SliceId> slice) = 0;
+  /// client cannot compute the slice, e.g. unknown slice count). `now` is
+  /// the caller's clock, used to expire per-contact overload avoidance
+  /// (callers without a clock may pass 0: avoidance then never expires on
+  /// its own, only through observe_replica feedback).
+  [[nodiscard]] virtual NodeId pick_contact(std::optional<SliceId> slice,
+                                            SimTime now = 0) = 0;
 
   /// Feedback: `node` (a member of `slice`) answered a request.
   virtual void observe_replica(NodeId /*node*/, SliceId /*slice*/) {}
 
   /// Feedback: `node` failed to answer before the timeout.
   virtual void node_unreachable(NodeId /*node*/) {}
+
+  /// Feedback: `node` answered with an explicit overload shed; prefer
+  /// other contacts until `until` (same clock domain as pick_contact's
+  /// `now`). Distinct from node_unreachable — an overloaded node is alive.
+  virtual void node_overloaded(NodeId /*node*/, SimTime /*until*/) {}
 };
 
 /// The paper's policy: a uniformly random node from the bootstrap list —
@@ -40,24 +49,36 @@ class RandomLoadBalancer : public LoadBalancer {
  public:
   RandomLoadBalancer(std::vector<NodeId> nodes, Rng rng);
 
-  [[nodiscard]] NodeId pick_contact(std::optional<SliceId> slice) override;
+  [[nodiscard]] NodeId pick_contact(std::optional<SliceId> slice,
+                                    SimTime now = 0) override;
   void observe_replica(NodeId node, SliceId slice) override;
   void node_unreachable(NodeId node) override;
+  void node_overloaded(NodeId node, SimTime until) override;
 
   void set_nodes(std::vector<NodeId> nodes) {
     nodes_ = std::move(nodes);
     // Stale blacklist entries for nodes no longer in the pool would pin the
     // bounded budget and never be re-admitted; start fresh.
     unreachable_.clear();
+    overloaded_until_.clear();
   }
   [[nodiscard]] const std::vector<NodeId>& nodes() const { return nodes_; }
+  /// Contacts currently under overload avoidance (expired entries are
+  /// only purged lazily by pick_contact).
+  [[nodiscard]] std::size_t overloaded_count() const {
+    return overloaded_until_.size();
+  }
 
  protected:
+  /// True while `node` is under overload avoidance; purges expired entries.
+  [[nodiscard]] bool avoid_overloaded(NodeId node, SimTime now);
+
   std::vector<NodeId> nodes_;
   Rng rng_;
 
  private:
   std::unordered_set<NodeId> unreachable_;
+  std::unordered_map<NodeId, SimTime> overloaded_until_;
 };
 
 /// §VII optimization: remembers one known replica per slice (learned from
@@ -67,7 +88,8 @@ class SliceCacheLoadBalancer final : public RandomLoadBalancer {
  public:
   SliceCacheLoadBalancer(std::vector<NodeId> nodes, Rng rng);
 
-  [[nodiscard]] NodeId pick_contact(std::optional<SliceId> slice) override;
+  [[nodiscard]] NodeId pick_contact(std::optional<SliceId> slice,
+                                    SimTime now = 0) override;
   void observe_replica(NodeId node, SliceId slice) override;
   void node_unreachable(NodeId node) override;
 

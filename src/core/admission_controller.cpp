@@ -1,0 +1,170 @@
+#include "core/admission_controller.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::core {
+
+namespace {
+
+// EWMA weight for new observations: heavy enough to track a saturation
+// onset within a few ticks, light enough that one slow op does not flip
+// the node into overload.
+constexpr double kEwmaAlpha = 0.3;
+
+}  // namespace
+
+AdmissionController::AdmissionController(ClockFn clock,
+                                         AdmissionOptions options,
+                                         MetricsRegistry& metrics)
+    : clock_(std::move(clock)), options_(options), metrics_(metrics) {
+  ensure(clock_ != nullptr, "AdmissionController: clock required");
+  trickle_tokens_ = static_cast<double>(options_.maintenance_trickle_per_sec);
+  window_start_ = clock_();
+}
+
+std::uint32_t AdmissionController::retry_after_ms() const {
+  // Scale the hint with how far past the lag watermark the node sits, so
+  // clients back off harder the deeper the saturation. Clamped to the
+  // configured bounds; client-side jitter spreads the retries.
+  double severity = 1.0;
+  if (options_.lag_high > 0) {
+    severity = std::max(
+        severity, lag_ewma_us_ / static_cast<double>(options_.lag_high));
+  }
+  if (options_.queue_high > 0 && queue_depth_ > 0) {
+    severity = std::max(severity,
+                        static_cast<double>(queue_depth_) /
+                            static_cast<double>(options_.queue_high));
+  }
+  const double hint =
+      static_cast<double>(options_.retry_after_min_ms) * severity;
+  return static_cast<std::uint32_t>(
+      std::clamp(hint, static_cast<double>(options_.retry_after_min_ms),
+                 static_cast<double>(options_.retry_after_max_ms)));
+}
+
+AdmissionController::Decision AdmissionController::admit(WorkClass cls,
+                                                         std::size_t ops) {
+  if (!options_.enabled) return Decision{true, 0};
+
+  switch (cls) {
+    case WorkClass::kAdmin:
+      // A saturated node must stay observable: stats/admin always lands.
+      metrics_.counter("admission.admin_admitted").add(ops);
+      return Decision{true, 0};
+
+    case WorkClass::kClientOp:
+      if (overloaded_) {
+        metrics_.counter("admission.client_ops_shed").add(ops);
+        return Decision{false, retry_after_ms()};
+      }
+      admitted_in_window_ += ops;
+      metrics_.counter("admission.client_ops_admitted").add(ops);
+      return Decision{true, 0};
+
+    case WorkClass::kMaintenance:
+      if (!overloaded_) {
+        metrics_.counter("admission.maintenance_admitted").add(ops);
+        return Decision{true, 0};
+      }
+      // Guaranteed trickle: gossip and anti-entropy keep converging even
+      // while client work is shed, just at a bounded rate.
+      if (trickle_tokens_ >= 1.0) {
+        trickle_tokens_ -= 1.0;
+        metrics_.counter("admission.maintenance_trickle").add(ops);
+        return Decision{true, 0};
+      }
+      metrics_.counter("admission.maintenance_shed").add(ops);
+      return Decision{false, retry_after_ms()};
+  }
+  return Decision{true, 0};
+}
+
+void AdmissionController::note_service(SimTime elapsed_us, std::size_t ops) {
+  if (!options_.enabled || ops == 0) return;
+  const double per_op =
+      static_cast<double>(elapsed_us < 0 ? 0 : elapsed_us) /
+      static_cast<double>(ops);
+  service_ewma_us_ = service_ewma_us_ == 0.0
+                         ? per_op
+                         : (1.0 - kEwmaAlpha) * service_ewma_us_ +
+                               kEwmaAlpha * per_op;
+}
+
+void AdmissionController::tick() {
+  if (!options_.enabled) return;
+  const SimTime now = clock_();
+
+  // Loop lag: how late this tick fired relative to its schedule. On a
+  // saturated poll loop, timers starve behind datagram processing and the
+  // lag climbs; in virtual time it is exactly zero.
+  const SimTime lag =
+      expected_tick_ > 0 && now > expected_tick_ ? now - expected_tick_ : 0;
+  lag_ewma_us_ = (1.0 - kEwmaAlpha) * lag_ewma_us_ +
+                 kEwmaAlpha * static_cast<double>(lag);
+  expected_tick_ = now + options_.tick_period;
+
+  queue_depth_ = probe_ ? probe_() : 0;
+
+  // Little's law: concurrent in-flight work ~= arrival rate x service
+  // time. Uses the admitted-op rate over the closing window.
+  const SimTime window = now - window_start_;
+  if (window > 0) {
+    const double rate_per_us =
+        static_cast<double>(admitted_in_window_) / static_cast<double>(window);
+    inflight_estimate_ = rate_per_us * service_ewma_us_;
+  }
+  admitted_in_window_ = 0;
+  window_start_ = now;
+
+  // Refill the maintenance trickle (bounded burst of one second's worth).
+  if (window > 0) {
+    const double refill =
+        static_cast<double>(options_.maintenance_trickle_per_sec) *
+        static_cast<double>(window) / 1e6;
+    trickle_tokens_ =
+        std::min(trickle_tokens_ + refill,
+                 static_cast<double>(options_.maintenance_trickle_per_sec));
+  }
+
+  evaluate(now);
+}
+
+void AdmissionController::evaluate(SimTime /*now*/) {
+  const bool lag_high =
+      options_.lag_high > 0 &&
+      lag_ewma_us_ > static_cast<double>(options_.lag_high);
+  const bool queue_high =
+      options_.queue_high > 0 && queue_depth_ > options_.queue_high;
+  const bool inflight_high =
+      options_.max_inflight_ops > 0 &&
+      inflight_estimate_ > static_cast<double>(options_.max_inflight_ops);
+
+  if (!overloaded_) {
+    if (lag_high || queue_high || inflight_high) {
+      overloaded_ = true;
+      metrics_.counter("admission.overload_entered").add();
+    }
+    return;
+  }
+
+  // Hysteresis: leave only when EVERY signal is back under its low
+  // watermark, so the state does not flap at the boundary.
+  const bool lag_low =
+      options_.lag_high == 0 ||
+      lag_ewma_us_ <= static_cast<double>(options_.lag_low);
+  const bool queue_low =
+      options_.queue_high == 0 || queue_depth_ <= options_.queue_low;
+  const bool inflight_low =
+      options_.max_inflight_ops == 0 ||
+      inflight_estimate_ <=
+          0.7 * static_cast<double>(options_.max_inflight_ops);
+  if (lag_low && queue_low && inflight_low) {
+    overloaded_ = false;
+    metrics_.counter("admission.overload_exited").add();
+  }
+}
+
+}  // namespace dataflasks::core

@@ -1,0 +1,123 @@
+// Admission control and load shedding: makes overload a first-class,
+// explicitly-signaled state instead of silent packet loss.
+//
+// Inbound work is classified into three priority classes:
+//   - client ops (lowest): shed first, answered with an explicit
+//     kOverloaded frame carrying a retry-after hint so clients back off
+//     and route around this node instead of burning their retry budget;
+//   - maintenance (gossip, anti-entropy, state transfer): shed under
+//     overload EXCEPT for a guaranteed token-bucket trickle, so membership
+//     and replication repair never starve (degradation, not collapse);
+//   - admin/stats (highest): always admitted — a saturated node must stay
+//     observable.
+//
+// Overload is judged from three signals, evaluated on a periodic tick:
+//   - event-loop lag: how late the tick itself fires. On the real
+//     single-threaded poll loop this is the honest saturation symptom
+//     (timers starve while datagrams monopolize the loop); in the
+//     discrete-event simulator timers never lag, so sims do not shed
+//     spuriously.
+//   - runtime queue depth, via an injected probe (the same signal the
+//     df_runtime_queue_depth gauge exports);
+//   - a Little's-law in-flight estimate: admitted-op rate x smoothed
+//     service latency, capped by max_inflight_ops.
+// Entry/exit use hysteresis (high/low watermarks) so the state does not
+// flap at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+
+namespace dataflasks::core {
+
+enum class WorkClass : std::uint8_t {
+  kClientOp = 0,    ///< operation envelopes / sprayed op deliveries
+  kMaintenance = 1, ///< gossip, slicing, anti-entropy, state transfer
+  kAdmin = 2,       ///< stats/metrics: always admitted
+};
+
+struct AdmissionOptions {
+  /// Master switch. Off by default so simulator fixtures pay nothing;
+  /// the server config turns it on (see ServerConfig::node_options()).
+  bool enabled = false;
+  /// Little's-law in-flight cap (admitted-op rate x smoothed service
+  /// latency). 0 disables this signal.
+  std::size_t max_inflight_ops = 4096;
+  /// Runtime queue depth entering / leaving overload (hysteresis).
+  std::size_t queue_high = 4096;
+  std::size_t queue_low = 1024;
+  /// Event-loop lag (tick lateness, EWMA) entering / leaving overload.
+  SimTime lag_high = 100 * kMillis;
+  SimTime lag_low = 20 * kMillis;
+  /// Signal-evaluation cadence (also the lag probe's own period).
+  SimTime tick_period = 100 * kMillis;
+  /// Maintenance messages per second still admitted while overloaded.
+  std::uint32_t maintenance_trickle_per_sec = 200;
+  /// Retry-after hint bounds carried in kOverloaded replies. The hint
+  /// scales with how far past the lag watermark the node is.
+  std::uint32_t retry_after_min_ms = 50;
+  std::uint32_t retry_after_max_ms = 2000;
+};
+
+class AdmissionController {
+ public:
+  using ClockFn = std::function<SimTime()>;
+  /// Instantaneous runtime queue depth (rt.pending_events() on the real
+  /// runtime). Optional: without one the queue signal reads zero.
+  using LoadProbeFn = std::function<std::size_t()>;
+
+  struct Decision {
+    bool admit = true;
+    std::uint32_t retry_after_ms = 0;  ///< meaningful when !admit
+  };
+
+  AdmissionController(ClockFn clock, AdmissionOptions options,
+                      MetricsRegistry& metrics);
+
+  void set_load_probe(LoadProbeFn probe) { probe_ = std::move(probe); }
+
+  /// One admission check for `ops` units of work in `cls`. Counts
+  /// per-class admitted/shed metrics; never blocks.
+  Decision admit(WorkClass cls, std::size_t ops = 1);
+
+  /// Feeds the smoothed service-latency estimate (request hot path).
+  void note_service(SimTime elapsed_us, std::size_t ops = 1);
+
+  /// Periodic signal evaluation; schedule every options.tick_period.
+  void tick();
+
+  [[nodiscard]] bool overloaded() const { return overloaded_; }
+  [[nodiscard]] const AdmissionOptions& options() const { return options_; }
+  [[nodiscard]] std::uint32_t retry_after_ms() const;
+  [[nodiscard]] double service_ewma_us() const { return service_ewma_us_; }
+  [[nodiscard]] double inflight_estimate() const { return inflight_estimate_; }
+  [[nodiscard]] double lag_ewma_us() const { return lag_ewma_us_; }
+  [[nodiscard]] std::size_t last_queue_depth() const { return queue_depth_; }
+
+ private:
+  void evaluate(SimTime now);
+
+  ClockFn clock_;
+  AdmissionOptions options_;
+  MetricsRegistry& metrics_;
+  LoadProbeFn probe_;
+
+  bool overloaded_ = false;
+  SimTime expected_tick_ = 0;  ///< when the next tick should fire (0 = first)
+  double lag_ewma_us_ = 0.0;
+  double service_ewma_us_ = 0.0;
+  double inflight_estimate_ = 0.0;
+  std::size_t queue_depth_ = 0;
+
+  /// Admitted client ops since the last tick (Little's-law arrival rate).
+  std::uint64_t admitted_in_window_ = 0;
+  SimTime window_start_ = 0;
+
+  /// Maintenance trickle bucket: refilled on tick, spent while overloaded.
+  double trickle_tokens_ = 0.0;
+};
+
+}  // namespace dataflasks::core

@@ -260,7 +260,7 @@ std::optional<OpReplyBatch> decode_op_reply_batch(const Payload& payload) {
     if (type < static_cast<std::uint8_t>(OpType::kPut) ||
         type > static_cast<std::uint8_t>(OpType::kStats) ||
         status < static_cast<std::uint8_t>(OpStatus::kOk) ||
-        status > static_cast<std::uint8_t>(OpStatus::kCasFailed)) {
+        status > static_cast<std::uint8_t>(OpStatus::kOverloaded)) {
       bad = true;
       return reply;
     }
@@ -309,6 +309,24 @@ std::optional<VersionMismatch> decode_version_mismatch(
   msg.rid = r.request_id();
   msg.got = r.u8();
   msg.supported = r.u8();
+  if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+// ---- overload backpressure ----------------------------------------------------
+
+Payload encode(const OverloadReply& msg) {
+  Writer w(2 * sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  w.request_id(msg.rid);
+  w.u32(msg.retry_after_ms);
+  return w.take_payload();
+}
+
+std::optional<OverloadReply> decode_overload_reply(const Payload& payload) {
+  Reader r(payload);
+  OverloadReply msg;
+  msg.rid = r.request_id();
+  msg.retry_after_ms = r.u32();
   if (!r.finish().ok()) return std::nullopt;
   return msg;
 }

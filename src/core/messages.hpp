@@ -29,6 +29,7 @@ constexpr std::uint16_t kOpEnvelope = net::kRequestTypeBase + 8;
 constexpr std::uint16_t kOpReplyBatch = net::kRequestTypeBase + 9;
 constexpr std::uint16_t kReplicatePush = net::kRequestTypeBase + 12;
 constexpr std::uint16_t kVersionMismatch = net::kRequestTypeBase + 13;
+constexpr std::uint16_t kOverloaded = net::kRequestTypeBase + 14;
 // Maintenance traffic:
 constexpr std::uint16_t kSliceAdvert = net::kSlicingTypeBase + 4;
 constexpr std::uint16_t kAeDigest = net::kAntiEntropyTypeBase + 0;
@@ -190,6 +191,9 @@ enum class OpStatus : std::uint8_t {
   kCasFailed = 4,   ///< cas: expected version did not match (the reply
                     ///< object carries the key's actual current version;
                     ///< a deleted key fails with the tombstone's version)
+  kOverloaded = 5,  ///< the node refused this op under admission control;
+                    ///< retry later / elsewhere (whole-envelope shedding
+                    ///< uses the cheaper kOverloaded frame instead)
 };
 
 struct OpReply {
@@ -243,6 +247,24 @@ struct VersionMismatch {
 
 [[nodiscard]] Payload encode(const VersionMismatch& msg);
 [[nodiscard]] std::optional<VersionMismatch> decode_version_mismatch(
+    const Payload& payload);
+
+/// Server -> client: the node is overloaded and shed the envelope (or the
+/// sprayed batch) owning `rid` without executing any of its ops. Explicit
+/// backpressure instead of a silent drop: the client backs off for at
+/// least `retry_after_ms`, retries elsewhere, and its load balancer routes
+/// around this node. `rid` is the shed batch's first client op, which is
+/// how the client finds the owning request (same convention as
+/// VersionMismatch). This frame is part of every protocol version the
+/// node serves — v1 clients receive it too and must resolve the ops
+/// definitively rather than hang.
+struct OverloadReply {
+  RequestId rid;
+  std::uint32_t retry_after_ms = 0;
+};
+
+[[nodiscard]] Payload encode(const OverloadReply& msg);
+[[nodiscard]] std::optional<OverloadReply> decode_overload_reply(
     const Payload& payload);
 
 // ---- slice advertisement (maintenance) --------------------------------------

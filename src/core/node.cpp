@@ -27,6 +27,14 @@ void Node::build_components() {
   // not replay its previous gossip choices.
   Rng boot = rng_.fork(0xb007);
 
+  if (options_.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(
+        [this]() { return runtime_.now(); }, options_.admission, metrics_);
+    if (load_probe_) admission_->set_load_probe(load_probe_);
+  } else {
+    admission_.reset();
+  }
+
   switch (options_.pss_kind) {
     case PssKind::kCyclon:
       pss_ = std::make_unique<pss::Cyclon>(id_, transport_, boot.fork(1),
@@ -81,6 +89,7 @@ void Node::build_components() {
         return obs::render_node_counters(metrics_, "df_node_events_total");
       });
   requests_->set_hot_metrics(hot_metrics_);
+  requests_->set_admission(admission_.get());
 
   anti_entropy_ = std::make_unique<AntiEntropy>(
       id_, transport_, *store_, boot.fork(5), options_.anti_entropy,
@@ -181,6 +190,13 @@ void Node::start_timers() {
         options_.size_estimation_period,
         [this]() { size_estimator_->tick(); }));
   }
+  if (admission_ != nullptr) {
+    // No jitter: the tick measures its own lateness (the loop-lag overload
+    // signal), so the first fire must land exactly one period out.
+    timers_.push_back(runtime_.schedule_periodic(
+        options_.admission.tick_period, options_.admission.tick_period,
+        [this]() { admission_->tick(); }));
+  }
 }
 
 void Node::crash() {
@@ -202,17 +218,23 @@ void Node::dispatch(const net::Message& msg) {
   // cost for the most frequent (gossip) traffic.
   switch (msg.category()) {
     case net::MsgCategory::kPeerSampling:
+      if (maintenance_shed()) return;
       if (pss_->handle(msg)) return;
       break;
     case net::MsgCategory::kSlicing:
+      if (maintenance_shed()) return;
       if (slices_->handle(msg)) return;
       // Size-estimation gossip rides in the slicing type range.
       if (size_estimator_ != nullptr && size_estimator_->handle(msg)) return;
       break;
     case net::MsgCategory::kRequest:
+      // Client-work admission happens inside the request handler (it can
+      // answer with an explicit kOverloaded frame; dropping here would be
+      // the silent loss this subsystem exists to remove).
       if (requests_->handle(msg)) return;
       break;
     case net::MsgCategory::kAntiEntropy:
+      if (maintenance_shed()) return;
       // State transfer shares the anti-entropy type range.
       if (anti_entropy_->handle(msg)) return;
       if (state_transfer_->handle(msg)) return;
@@ -221,6 +243,15 @@ void Node::dispatch(const net::Message& msg) {
       break;
   }
   metrics_.counter("node.unhandled_messages").add();
+}
+
+bool Node::maintenance_shed() {
+  if (admission_ == nullptr) return false;
+  if (admission_->admit(WorkClass::kMaintenance).admit) return false;
+  // Dropping gossip/anti-entropy has no reply path; the trickle admitted
+  // above is what keeps membership and repair converging under overload.
+  metrics_.counter("node.maintenance_shed").add();
+  return true;
 }
 
 void Node::add_contact(NodeId contact) {
@@ -241,6 +272,11 @@ void Node::set_stats_provider(RequestHandler::StatsFn fn) {
 void Node::set_op_metrics(const OpHotMetrics* hot) {
   hot_metrics_ = hot;
   if (requests_) requests_->set_hot_metrics(hot_metrics_);
+}
+
+void Node::set_load_probe(AdmissionController::LoadProbeFn probe) {
+  load_probe_ = std::move(probe);
+  if (admission_) admission_->set_load_probe(load_probe_);
 }
 
 void Node::propose_slice_count(std::uint32_t slice_count) {

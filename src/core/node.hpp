@@ -12,6 +12,7 @@
 
 #include "aggregation/size_estimator.hpp"
 #include "common/metrics.hpp"
+#include "core/admission_controller.hpp"
 #include "core/anti_entropy.hpp"
 #include "core/request_handler.hpp"
 #include "core/slice_manager.hpp"
@@ -65,6 +66,11 @@ struct NodeOptions {
   /// Zero disables GC (tombstones are kept forever).
   SimTime tombstone_grace = 10 * 60 * kSeconds;
   SimTime tombstone_gc_period = 30 * kSeconds;
+
+  /// Admission control / load shedding (off by default: simulator
+  /// fixtures opt in; the server config enables it). See
+  /// core/admission_controller.hpp for the policy.
+  AdmissionOptions admission;
 
   /// Optional epidemic system-size estimation (extrema propagation): gives
   /// every node ln(N-hat) for fanout sizing without global knowledge.
@@ -137,6 +143,17 @@ class Node {
   /// the embedder. `hot` must outlive the node; nullptr detaches.
   void set_op_metrics(const OpHotMetrics* hot);
 
+  /// Installs the runtime queue-depth probe feeding admission control
+  /// (e.g. RealTimeRuntime::pending_events). Survives crash()/start()
+  /// cycles; without one the queue signal reads zero.
+  void set_load_probe(AdmissionController::LoadProbeFn probe);
+
+  /// Admission controller (null when options.admission.enabled is false).
+  [[nodiscard]] AdmissionController* admission() { return admission_.get(); }
+  [[nodiscard]] const AdmissionController* admission() const {
+    return admission_.get();
+  }
+
   /// Pull entries requested in the latest anti-entropy exchange (0 =
   /// converged at last contact, or not running).
   [[nodiscard]] std::size_t ae_backlog() const {
@@ -147,6 +164,9 @@ class Node {
   void build_components();
   void dispatch(const net::Message& msg);
   void start_timers();
+  /// Maintenance-class admission check for one inbound message: true when
+  /// the message must be dropped (overloaded, trickle exhausted).
+  bool maintenance_shed();
 
   NodeId id_;
   double capacity_;
@@ -159,10 +179,12 @@ class Node {
   /// are re-applied to the fresh RequestHandler in build_components().
   RequestHandler::StatsFn stats_fn_;
   const OpHotMetrics* hot_metrics_ = nullptr;
+  AdmissionController::LoadProbeFn load_probe_;
 
   std::unique_ptr<store::Store> store_;
   bool store_is_volatile_;
 
+  std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<pss::PeerSampling> pss_;
   std::unique_ptr<SliceManager> slices_;
   std::unique_ptr<RequestHandler> requests_;

@@ -92,10 +92,13 @@ void RequestHandler::handle_envelope(const OpEnvelope& envelope) {
   // group over the per-datagram budget is split — the UDP transport drops
   // oversized frames, so the split must happen here.
   std::map<SliceId, OpsRequest> by_slice;
+  std::size_t client_ops = 0;
+  const RoutedOp* first_client_op = nullptr;
   for (const RoutedOp& routed : envelope.ops) {
     if (routed.op.type == OpType::kStats) {
       const SimTime started = clock_();
       metrics_.counter("rh.stats_served").add();
+      if (admission_ != nullptr) admission_->admit(WorkClass::kAdmin);
       const std::string text = stats_fn_ ? stats_fn_() : std::string{};
       stats_replies.push_back(
           OpReply{routed.rid, OpType::kStats, OpStatus::kOk,
@@ -107,6 +110,8 @@ void RequestHandler::handle_envelope(const OpEnvelope& envelope) {
       note_op(OpType::kStats, started);
       continue;
     }
+    ++client_ops;
+    if (first_client_op == nullptr) first_client_op = &routed;
     by_slice[slices_.key_slice(routed.op.key)].ops.push_back(routed);
   }
   if (!stats_replies.empty()) {
@@ -120,6 +125,12 @@ void RequestHandler::handle_envelope(const OpEnvelope& envelope) {
               self_, client, kOpReplyBatch,
               encode(OpReplyBatch{self_, slice, std::move(chunk)})});
         });
+  }
+  // Admission gate for the envelope's client work. Stats (above) were
+  // served regardless: a saturated node must stay observable.
+  if (first_client_op != nullptr &&
+      shed_client_ops(*first_client_op, client_ops, "rh.envelopes_shed")) {
+    return;
   }
   for (auto& [slice, group] : by_slice) {
     metrics_.counter("rh.client_ops").add(group.ops.size());
@@ -173,13 +184,36 @@ dissemination::DeliverResult RequestHandler::deliver(const Payload& payload,
 }
 
 void RequestHandler::note_op(OpType type, SimTime started) {
+  if (hot_ == nullptr && admission_ == nullptr) return;
+  const SimTime elapsed = clock_() - started;  // SimTime unit is µs
+  if (admission_ != nullptr) {
+    // Feeds the smoothed service-latency estimate behind the Little's-law
+    // overload signal.
+    admission_->note_service(elapsed > 0 ? elapsed : 0);
+  }
   if (hot_ == nullptr) return;
   const std::size_t i = OpHotMetrics::index(type);
   if (obs::Counter* counter = hot_->ops[i]) counter->add();
   if (obs::LatencyHistogram* hist = hot_->exec_us[i]) {
-    const SimTime elapsed = clock_() - started;  // SimTime unit is µs
     hist->record(elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 0);
   }
+}
+
+bool RequestHandler::shed_client_ops(const RoutedOp& first,
+                                     std::size_t op_count,
+                                     const char* shed_counter) {
+  if (admission_ == nullptr) return false;
+  const AdmissionController::Decision decision =
+      admission_->admit(WorkClass::kClientOp, op_count);
+  if (decision.admit) return false;
+  metrics_.counter(shed_counter).add();
+  // Explicit backpressure instead of a silent drop: the client finds the
+  // owning request by rid (first op, like kVersionMismatch), backs off by
+  // the hint and routes around this node.
+  transport_.send(net::Message{
+      self_, NodeId(first.rid.client), kOverloaded,
+      encode(OverloadReply{first.rid, decision.retry_after_ms})});
+  return true;
 }
 
 void RequestHandler::buffer_handoff(store::Object object) {
@@ -227,6 +261,16 @@ void RequestHandler::tick_maintenance() {
 dissemination::DeliverResult RequestHandler::handle_ops_delivery(
     const OpsRequest& ops, SliceId target) {
   if (ops.ops.empty()) return dissemination::DeliverResult::kStop;
+
+  // Replica-side admission gate: a sprayed batch reaching an overloaded
+  // member is refused with the same explicit kOverloaded frame (and stops
+  // relaying — shedding includes the epidemic fan-out). A non-overloaded
+  // member elsewhere in the slice may still serve the duplicate spray;
+  // the client's rid dedup absorbs whichever answer lands first.
+  if (shed_client_ops(ops.ops.front(), ops.ops.size(),
+                      "rh.deliveries_shed")) {
+    return dissemination::DeliverResult::kStop;
+  }
 
   OpReplyBatch batch{self_, slices_.slice(), {}};
   ReplicatePush push;

@@ -27,6 +27,7 @@
 
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "core/admission_controller.hpp"
 #include "core/messages.hpp"
 #include "core/slice_manager.hpp"
 #include "dissemination/spray_router.hpp"
@@ -105,6 +106,13 @@ class RequestHandler {
   /// `hot` must outlive this handler (it points into the embedder's
   /// registry); pass nullptr to detach.
   void set_hot_metrics(const OpHotMetrics* hot) { hot_ = hot; }
+  /// Admission control for client work: overloaded nodes answer envelopes
+  /// and sprayed deliveries with an explicit kOverloaded frame instead of
+  /// executing them (stats ops stay served). `admission` must outlive this
+  /// handler; nullptr detaches (everything admitted).
+  void set_admission(AdmissionController* admission) {
+    admission_ = admission;
+  }
 
  private:
   dissemination::DeliverResult deliver(const Payload& payload, SliceId target,
@@ -116,6 +124,10 @@ class RequestHandler {
   void spray_or_deliver(SliceId target, Payload inner);
   void buffer_handoff(store::Object object);
   void note_op(OpType type, SimTime started);
+  /// True when admission control shed the client ops (an OverloadReply
+  /// was sent to `first`'s client); the caller must not execute them.
+  bool shed_client_ops(const RoutedOp& first, std::size_t op_count,
+                       const char* shed_counter);
 
   NodeId self_;
   net::Transport& transport_;
@@ -127,6 +139,7 @@ class RequestHandler {
   MetricsRegistry& metrics_;
   StatsFn stats_fn_;
   const OpHotMetrics* hot_ = nullptr;
+  AdmissionController* admission_ = nullptr;
   std::unique_ptr<dissemination::SprayRouter> router_;
   std::deque<store::Object> handoff_;
   /// Each (key, version) is re-homed at most once per node incarnation;

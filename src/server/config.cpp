@@ -111,6 +111,34 @@ std::string apply_entry(ServerConfig& config, const std::string& key,
   } else if (key == "log_level") {
     if (!log_level_from_string(value)) return "bad log_level: " + value;
     config.log_level = value;
+  } else if (key == "max_inflight_ops") {
+    if (!parse_u64(value, config.max_inflight_ops)) {
+      return "bad max_inflight_ops: " + value;
+    }
+  } else if (key == "shed_queue_high") {
+    if (!parse_u64(value, config.shed_queue_high) ||
+        config.shed_queue_high == 0) {
+      return "bad shed_queue_high: " + value;
+    }
+  } else if (key == "shed_queue_low") {
+    if (!parse_u64(value, config.shed_queue_low)) {
+      return "bad shed_queue_low: " + value;
+    }
+  } else if (key == "shed_lag_high_ms") {
+    if (!parse_u64(value, u64) || u64 == 0 || u64 > kMaxPeriodMs) {
+      return "bad shed_lag_high_ms: " + value;
+    }
+    config.shed_lag_high_ms = static_cast<std::int64_t>(u64);
+  } else if (key == "shed_lag_low_ms") {
+    if (!parse_u64(value, u64) || u64 > kMaxPeriodMs) {
+      return "bad shed_lag_low_ms: " + value;
+    }
+    config.shed_lag_low_ms = static_cast<std::int64_t>(u64);
+  } else if (key == "shed_trickle_per_sec") {
+    if (!parse_u64(value, config.shed_trickle_per_sec) ||
+        config.shed_trickle_per_sec == 0) {
+      return "bad shed_trickle_per_sec: " + value;
+    }
   } else {
     return "unknown config key: " + key;
   }
@@ -145,6 +173,16 @@ core::NodeOptions ServerConfig::node_options() const {
   options.st_tick_period = 2 * gossip;
   options.handoff_period = 3 * gossip;
   options.slice_config = {slices, /*epoch=*/1};
+
+  options.admission.enabled = max_inflight_ops > 0;
+  options.admission.max_inflight_ops =
+      static_cast<std::size_t>(max_inflight_ops);
+  options.admission.queue_high = static_cast<std::size_t>(shed_queue_high);
+  options.admission.queue_low = static_cast<std::size_t>(shed_queue_low);
+  options.admission.lag_high = shed_lag_high_ms * kMillis;
+  options.admission.lag_low = shed_lag_low_ms * kMillis;
+  options.admission.maintenance_trickle_per_sec =
+      static_cast<std::uint32_t>(shed_trickle_per_sec);
   return options;
 }
 
@@ -216,6 +254,12 @@ Result<ServerConfig> parse_server_args(const std::vector<std::string>& args,
     if (flag == "--data-dir") return "data_dir";
     if (flag == "--metrics-port") return "metrics_port";
     if (flag == "--log-level") return "log_level";
+    if (flag == "--max-inflight-ops") return "max_inflight_ops";
+    if (flag == "--shed-queue-high") return "shed_queue_high";
+    if (flag == "--shed-queue-low") return "shed_queue_low";
+    if (flag == "--shed-lag-high-ms") return "shed_lag_high_ms";
+    if (flag == "--shed-lag-low-ms") return "shed_lag_low_ms";
+    if (flag == "--shed-trickle-per-sec") return "shed_trickle_per_sec";
     return {};
   };
 

@@ -24,13 +24,24 @@
 //                                         # listen host (0 = ephemeral;
 //                                         # omit to disable)
 //   log_level = info                      # trace|debug|info|warn|error|off
+//   max_inflight_ops = 4096               # admission control: estimated
+//                                         # in-flight op ceiling (0 turns
+//                                         # admission/shedding off)
+//   shed_queue_high = 4096                # runtime queue depth entering
+//   shed_queue_low  = 1024                # ... and leaving overload
+//   shed_lag_high_ms = 100                # event-loop lag entering
+//   shed_lag_low_ms  = 20                 # ... and leaving overload
+//   shed_trickle_per_sec = 200            # maintenance msgs still admitted
+//                                         # per second while overloaded
 //
 // Equivalent CLI flags: --config <file>, --id N, --listen host:port,
 // --advertise host, --peer id@host:port (repeatable), --seed host:port
 // (repeatable join contact) or --seed N (bare integer: RNG seed),
 // --capacity X, --slices K, --gossip-ms N, --ae-ms N,
 // --store memory|durable, --data-dir DIR, --metrics-port N,
-// --log-level LEVEL.
+// --log-level LEVEL, --max-inflight-ops N, --shed-queue-high N,
+// --shed-queue-low N, --shed-lag-high-ms N, --shed-lag-low-ms N,
+// --shed-trickle-per-sec N.
 //
 // Hosts in listen/peer may be DNS names; resolution (getaddrinfo) happens
 // when the UDP transport binds/maps the address, not at parse time.
@@ -97,6 +108,23 @@ struct ServerConfig {
   std::int32_t metrics_port = -1;
   /// Minimum log level for the process ("info" unless overridden).
   std::string log_level = "info";
+
+  /// Admission control / load shedding (core/admission_controller.hpp).
+  /// Unlike the simulator fixtures, a real server defends itself by
+  /// default; `max_inflight_ops = 0` turns admission off entirely.
+  std::uint64_t max_inflight_ops = 4096;
+  /// Runtime queue-depth watermarks: depth above high enters overload,
+  /// and overload only clears once depth falls back under low.
+  std::uint64_t shed_queue_high = 4096;
+  std::uint64_t shed_queue_low = 1024;
+  /// Event-loop lag watermarks (wall milliseconds): the admission tick
+  /// measures how late it fired — the honest symptom of a saturated
+  /// single-threaded poll loop.
+  std::int64_t shed_lag_high_ms = 100;
+  std::int64_t shed_lag_low_ms = 20;
+  /// Maintenance traffic (gossip/anti-entropy) admitted per second while
+  /// overloaded, so membership and repair never starve.
+  std::uint64_t shed_trickle_per_sec = 200;
 
   /// NodeOptions with every periodic cadence scaled to this config's
   /// real-clock periods.

@@ -47,11 +47,16 @@ int usage() {
       "         [--workload A|B|C|D|F|write-only|delete-heavy]\n"
       "         [--threads N] [--concurrency N] [--batch N] [--records N]\n"
       "         [--value-bytes N] [--duration-ms N] [--rate OPS_PER_SEC]\n"
-      "         [--timeout-ms N] [--slices K] [--seed N] [--skip-load]\n"
-      "         [--print-server-stats] [--out FILE]\n"
+      "         [--timeout-ms N] [--deadline-ms N] [--slices K] [--seed N]\n"
+      "         [--skip-load] [--sweep R1,R2,...] [--print-server-stats]\n"
+      "         [--out FILE]\n"
       "closed loop (default): `concurrency` batch streams per thread, each\n"
       "reissuing on completion; --rate switches to an open loop at a fixed\n"
-      "aggregate issue rate (shed batches are reported, not queued).\n");
+      "aggregate issue rate (shed batches are reported, not queued).\n"
+      "--deadline-ms sets an absolute per-request budget (ops fail\n"
+      "definitively as deadline_exceeded past it). --sweep runs one open\n"
+      "loop per offered rate (duration-ms each, one shared load phase) and\n"
+      "reports goodput per step plus the throughput knee.\n");
   return 1;
 }
 
@@ -66,6 +71,10 @@ struct LoadgenConfig {
   std::int64_t duration_ms = 10000;
   double rate = 0.0;  ///< aggregate ops/sec; 0 = closed loop
   std::int64_t timeout_ms = 1000;
+  /// Absolute per-request budget (client op_deadline); 0 = none.
+  std::int64_t deadline_ms = 0;
+  /// Offered-load sweep: one open-loop run per rate, knee reported.
+  std::vector<double> sweep;
   std::uint32_t slices = 0;  ///< slice-aware balancing hint (0 = off)
   std::uint64_t seed = 0;
   bool skip_load = false;
@@ -88,6 +97,10 @@ struct WorkerStats {
   std::uint64_t ops_failed = 0;
   std::uint64_t batches = 0;
   std::uint64_t shed_ops = 0;  ///< open loop only: dropped at issue time
+  /// Run-phase failure breakdown: explicit server backpressure vs. the
+  /// per-request deadline expiring (both subsets of ops_failed).
+  std::uint64_t ops_overloaded = 0;
+  std::uint64_t ops_deadline = 0;
 
   void merge_from(const WorkerStats& other) {
     load_us.merge_from(other.load_us);
@@ -100,6 +113,8 @@ struct WorkerStats {
     ops_failed += other.ops_failed;
     batches += other.batches;
     shed_ops += other.shed_ops;
+    ops_overloaded += other.ops_overloaded;
+    ops_deadline += other.ops_deadline;
   }
 };
 
@@ -158,6 +173,10 @@ void record_results(const std::vector<client::OpResult>& results,
       }
     } else {
       ++failed;
+      if (classify) {
+        if (r.overloaded) ++stats.ops_overloaded;
+        if (r.deadline_exceeded) ++stats.ops_deadline;
+      }
     }
   }
 }
@@ -166,7 +185,8 @@ void record_results(const std::vector<client::OpResult>& results,
 /// loop until the phase deadline, then a clean stop once nothing is in
 /// flight.
 void run_worker(std::size_t index, const LoadgenConfig& config,
-                std::uint64_t seed, WorkerStats& stats) {
+                std::uint64_t seed, WorkerStats& stats,
+                std::size_t id_salt) {
   runtime::RealTimeRuntime rt(seed);
   net::UdpTransport transport(rt, {});  // ephemeral local port
   std::vector<NodeId> contacts;
@@ -180,12 +200,14 @@ void run_worker(std::size_t index, const LoadgenConfig& config,
   // id's low 24 bits salt every stamped version).
   const auto pid = static_cast<std::uint64_t>(::getpid());
   const NodeId client_id(0x10AD000000000000ULL | ((pid & 0xFF) << 16) |
-                         (index & 0xFFFF));
+                         ((index + id_salt) & 0xFFFF));
   client::RandomLoadBalancer balancer(contacts, rt.rng().fork(1));
   client::ClientOptions options;
   options.request_timeout = config.timeout_ms * kMillis;
   options.max_attempts = 3;
   options.slice_count_hint = config.slices;
+  options.op_deadline =
+      config.deadline_ms > 0 ? config.deadline_ms * kMillis : 0;
   client::Client client(client_id, transport, rt, balancer, rt.rng().fork(2),
                         options);
 
@@ -309,6 +331,37 @@ void run_worker(std::size_t index, const LoadgenConfig& config,
   }
 }
 
+/// Spawns the share-nothing worker fleet for one run and merges their
+/// measurements. `id_salt` keeps client ids (and thus stamped versions)
+/// disjoint across sweep steps.
+std::unique_ptr<WorkerStats> run_fleet(const LoadgenConfig& config,
+                                       std::size_t id_salt) {
+  std::vector<std::unique_ptr<WorkerStats>> stats;
+  for (std::size_t w = 0; w < config.threads; ++w) {
+    stats.push_back(std::make_unique<WorkerStats>());
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(config.threads);
+  for (std::size_t w = 0; w < config.threads; ++w) {
+    workers.emplace_back(run_worker, w, std::cref(config),
+                         config.seed + 0x9E37 * (w + 1 + id_salt),
+                         std::ref(*stats[w]), id_salt);
+  }
+  for (std::thread& worker : workers) worker.join();
+  // WorkerStats holds atomic histogram buckets and cannot be moved, so the
+  // merged total travels behind a pointer.
+  auto total = std::make_unique<WorkerStats>();
+  for (const auto& s : stats) total->merge_from(*s);
+  return total;
+}
+
+/// One offered-load step of a --sweep run.
+struct SweepStep {
+  double offered = 0.0;   ///< target aggregate ops/sec
+  double goodput = 0.0;   ///< ops_ok / run seconds
+  std::unique_ptr<WorkerStats> stats;  ///< immovable member, held by pointer
+};
+
 void write_quantiles(std::FILE* out, const obs::LatencyHistogram& h) {
   std::fprintf(out,
                "{\"p50\": %llu, \"p90\": %llu, \"p99\": %llu, "
@@ -409,6 +462,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--timeout-ms") {
       if (!next_u64(u64) || u64 == 0) return usage();
       config.timeout_ms = static_cast<std::int64_t>(u64);
+    } else if (arg == "--deadline-ms") {
+      if (!next_u64(u64) || u64 == 0) return usage();
+      config.deadline_ms = static_cast<std::int64_t>(u64);
+    } else if (arg == "--sweep") {
+      const char* text = next();
+      if (text == nullptr || *text == '\0') return usage();
+      std::string list(text);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string token = list.substr(pos, comma - pos);
+        char* end = nullptr;
+        const double rate = std::strtod(token.c_str(), &end);
+        if (rate <= 0.0 || end == nullptr || *end != '\0') {
+          std::fprintf(stderr, "dataflasks_loadgen: bad --sweep rate\n");
+          return usage();
+        }
+        config.sweep.push_back(rate);
+        pos = comma + 1;
+      }
     } else if (arg == "--slices") {
       if (!next_u64(u64)) return usage();
       config.slices = static_cast<std::uint32_t>(u64);
@@ -444,30 +517,49 @@ int main(int argc, char** argv) {
                config.rate > 0 ? " (open loop)" : "");
 
   const auto wall_start = std::chrono::steady_clock::now();
-  std::vector<std::unique_ptr<WorkerStats>> stats;
-  for (std::size_t w = 0; w < config.threads; ++w) {
-    stats.push_back(std::make_unique<WorkerStats>());
+  const double run_seconds = static_cast<double>(config.duration_ms) / 1000.0;
+
+  // Merged share-nothing worker measurements (bucket-wise histogram
+  // accumulation keeps the single-histogram quantile error bound). A sweep
+  // aggregates every step into `total` and keeps the per-step breakdown.
+  WorkerStats total;
+  std::vector<SweepStep> sweep;
+  if (config.sweep.empty()) {
+    total.merge_from(*run_fleet(config, 0));
+  } else {
+    LoadgenConfig step_config = config;
+    for (std::size_t s = 0; s < config.sweep.size(); ++s) {
+      step_config.rate = config.sweep[s];
+      // One shared load phase; each step's id_salt keeps its client ids —
+      // and thus its stamped versions — disjoint from every other step's.
+      step_config.skip_load = config.skip_load || s > 0;
+      std::fprintf(stderr,
+                   "dataflasks_loadgen: sweep step %zu/%zu, offering %.0f "
+                   "ops/sec\n",
+                   s + 1, config.sweep.size(), step_config.rate);
+      SweepStep step;
+      step.offered = step_config.rate;
+      step.stats = run_fleet(step_config, (s + 1) * config.threads);
+      step.goodput =
+          run_seconds > 0
+              ? static_cast<double>(step.stats->ops_ok) / run_seconds
+              : 0;
+      total.merge_from(*step.stats);
+      sweep.push_back(std::move(step));
+    }
   }
-  std::vector<std::thread> workers;
-  workers.reserve(config.threads);
-  for (std::size_t w = 0; w < config.threads; ++w) {
-    workers.emplace_back(run_worker, w, std::cref(config),
-                         config.seed + 0x9E37 * (w + 1), std::ref(*stats[w]));
-  }
-  for (std::thread& worker : workers) worker.join();
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
 
-  // Merge the share-nothing workers' measurements (bucket-wise histogram
-  // accumulation keeps the single-histogram quantile error bound).
-  WorkerStats total;
-  for (const auto& s : stats) total.merge_from(*s);
-
-  const double run_seconds = static_cast<double>(config.duration_ms) / 1000.0;
+  const double measured_seconds =
+      run_seconds * static_cast<double>(std::max<std::size_t>(
+                        config.sweep.size(), 1));
   const double ops_per_sec =
-      run_seconds > 0 ? static_cast<double>(total.ops_ok) / run_seconds : 0;
+      measured_seconds > 0
+          ? static_cast<double>(total.ops_ok) / measured_seconds
+          : 0;
 
   std::FILE* out = stdout;
   if (!config.out.empty()) {
@@ -484,11 +576,12 @@ int main(int argc, char** argv) {
                "\"threads\": %zu, \"concurrency\": %zu, \"batch\": %zu, "
                "\"records\": %zu, \"value_bytes\": %zu, "
                "\"duration_ms\": %lld, \"rate\": %.0f, "
-               "\"timeout_ms\": %lld},\n",
+               "\"timeout_ms\": %lld, \"deadline_ms\": %lld},\n",
                config.workload.c_str(), config.peers.size(), config.threads,
                config.concurrency, config.batch, config.records,
                config.value_bytes, static_cast<long long>(config.duration_ms),
-               config.rate, static_cast<long long>(config.timeout_ms));
+               config.rate, static_cast<long long>(config.timeout_ms),
+               static_cast<long long>(config.deadline_ms));
   std::fprintf(out,
                "  \"load_phase\": {\"ops\": %llu, \"failures\": %llu, "
                "\"latency_us\": ",
@@ -498,26 +591,71 @@ int main(int argc, char** argv) {
   std::fprintf(out, "},\n");
   std::fprintf(out,
                "  \"run_phase\": {\"ops\": %llu, \"failures\": %llu, "
+               "\"overloaded\": %llu, \"deadline_exceeded\": %llu, "
                "\"shed_ops\": %llu, \"batches\": %llu, \"seconds\": %.1f, "
                "\"ops_per_sec\": %.1f,\n    \"latency_us\": ",
                static_cast<unsigned long long>(total.ops_ok),
                static_cast<unsigned long long>(total.ops_failed),
+               static_cast<unsigned long long>(total.ops_overloaded),
+               static_cast<unsigned long long>(total.ops_deadline),
                static_cast<unsigned long long>(total.shed_ops),
-               static_cast<unsigned long long>(total.batches), run_seconds,
-               ops_per_sec);
+               static_cast<unsigned long long>(total.batches),
+               measured_seconds, ops_per_sec);
   write_quantiles(out, total.op_us);
   std::fprintf(out, ",\n    \"read_latency_us\": ");
   write_quantiles(out, total.read_us);
   std::fprintf(out, ",\n    \"write_latency_us\": ");
   write_quantiles(out, total.write_us);
-  std::fprintf(out, "},\n  \"wall_seconds\": %.1f\n}\n", wall_seconds);
+  std::fprintf(out, "}");
+  if (!sweep.empty()) {
+    // Per-step goodput plus the throughput knee: the offered load where
+    // goodput peaks — past it the server sheds instead of collapsing.
+    std::size_t knee = 0;
+    std::fprintf(out, ",\n  \"sweep\": [");
+    for (std::size_t s = 0; s < sweep.size(); ++s) {
+      if (sweep[s].goodput > sweep[knee].goodput) knee = s;
+      const WorkerStats& st = *sweep[s].stats;
+      std::fprintf(
+          out,
+          "%s\n    {\"offered\": %.0f, \"goodput\": %.1f, \"ops\": %llu, "
+          "\"failures\": %llu, \"overloaded\": %llu, "
+          "\"deadline_exceeded\": %llu, \"shed_ops\": %llu, "
+          "\"p50_us\": %llu, \"p99_us\": %llu}",
+          s > 0 ? "," : "", sweep[s].offered, sweep[s].goodput,
+          static_cast<unsigned long long>(st.ops_ok),
+          static_cast<unsigned long long>(st.ops_failed),
+          static_cast<unsigned long long>(st.ops_overloaded),
+          static_cast<unsigned long long>(st.ops_deadline),
+          static_cast<unsigned long long>(st.shed_ops),
+          static_cast<unsigned long long>(st.op_us.quantile(0.5)),
+          static_cast<unsigned long long>(st.op_us.quantile(0.99)));
+    }
+    const WorkerStats& ks = *sweep[knee].stats;
+    const double attempted = static_cast<double>(ks.ops_ok + ks.ops_failed +
+                                                 ks.shed_ops);
+    const double shed_fraction =
+        attempted > 0
+            ? static_cast<double>(ks.ops_overloaded + ks.shed_ops) / attempted
+            : 0;
+    std::fprintf(out,
+                 "\n  ],\n  \"knee\": {\"offered\": %.0f, \"goodput\": %.1f, "
+                 "\"p99_us\": %llu, \"shed_fraction\": %.4f}",
+                 sweep[knee].offered, sweep[knee].goodput,
+                 static_cast<unsigned long long>(ks.op_us.quantile(0.99)),
+                 shed_fraction);
+  }
+  std::fprintf(out, ",\n  \"wall_seconds\": %.1f\n}\n", wall_seconds);
   if (out != stdout) std::fclose(out);
 
   std::fprintf(stderr,
-               "dataflasks_loadgen: %llu ops ok, %llu failed, %.1f ops/sec, "
+               "dataflasks_loadgen: %llu ops ok, %llu failed "
+               "(%llu overloaded, %llu deadline), %.1f ops/sec, "
                "p50 %llu us, p99 %llu us, p999 %llu us\n",
                static_cast<unsigned long long>(total.ops_ok),
-               static_cast<unsigned long long>(total.ops_failed), ops_per_sec,
+               static_cast<unsigned long long>(total.ops_failed),
+               static_cast<unsigned long long>(total.ops_overloaded),
+               static_cast<unsigned long long>(total.ops_deadline),
+               ops_per_sec,
                static_cast<unsigned long long>(total.op_us.quantile(0.5)),
                static_cast<unsigned long long>(total.op_us.quantile(0.99)),
                static_cast<unsigned long long>(total.op_us.quantile(0.999)));

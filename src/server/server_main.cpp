@@ -149,6 +149,28 @@ int main(int argc, char** argv) {
         .gauge("df_runtime_queue_depth", "",
                "Events pending on the runtime loop")
         .set(static_cast<double>(rt.pending_events()));
+    if (const core::AdmissionController* adm = node.admission()) {
+      registry
+          .gauge("df_admission_overloaded", "",
+                 "1 while admission control is shedding load")
+          .set(adm->overloaded() ? 1.0 : 0.0);
+      registry
+          .gauge("df_admission_loop_lag_us", "",
+                 "Event-loop lag EWMA seen by the admission tick")
+          .set(adm->lag_ewma_us());
+      registry
+          .gauge("df_admission_service_us", "",
+                 "Smoothed per-operation service latency")
+          .set(adm->service_ewma_us());
+      registry
+          .gauge("df_admission_inflight_estimate", "",
+                 "Little's-law in-flight operation estimate")
+          .set(adm->inflight_estimate());
+      registry
+          .gauge("df_admission_retry_after_ms", "",
+                 "Retry-after hint currently sent with sheds")
+          .set(static_cast<double>(adm->retry_after_ms()));
+    }
     registry.gauge("df_store_objects", "", "Objects held by the data store")
         .set(static_cast<double>(node.store().object_count()));
     registry
@@ -171,6 +193,9 @@ int main(int argc, char** argv) {
   node.set_op_metrics(&hot);
   node.set_stats_provider(render_stats);       // Operation::stats() admin op
   transport.set_stats_provider(render_stats);  // kStatsRequest UDP frames
+  // Admission control reads the loop's queue depth through the same probe
+  // the df_runtime_queue_depth gauge polls.
+  node.set_load_probe([&rt]() { return rt.pending_events(); });
 
   // Seed-only join: each probe reply names the node id living at a seed
   // address; feed it into the PSS as a bootstrap contact and let gossip

@@ -1,0 +1,167 @@
+// Adversarial end-to-end test: CompareAndPut racing admission-control
+// shedding AND node churn. The linearization invariants under attack:
+//   - a CAS reported ok is durable — its version survives the churn and
+//     is visible (or superseded by a later CAS this client chained after
+//     it) once the cluster recovers;
+//   - a CAS never double-applies: the final object is exactly ONE of the
+//     (version, value) pairs this client stamped, never a blend;
+//   - every CAS attempt resolves definitively (ok / cas_failed /
+//     overloaded / retries exhausted) — overload never hangs a client.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "harness/cluster.hpp"
+
+namespace dataflasks {
+namespace {
+
+using client::CasResult;
+using client::ClientOptions;
+using client::GetResult;
+using client::PutResult;
+
+constexpr std::size_t kNodes = 30;
+
+harness::ClusterOptions cas_cluster_options() {
+  harness::ClusterOptions opts;
+  opts.node_count = kNodes;
+  opts.seed = 23;
+  opts.node.slice_config = {2, 1};
+  opts.node.admission.enabled = true;
+  return opts;
+}
+
+void force_overload(harness::Cluster& cluster, std::size_t index) {
+  cluster.node(index).set_load_probe([]() { return std::size_t{1} << 20; });
+}
+
+void clear_overload(harness::Cluster& cluster, std::size_t index) {
+  cluster.node(index).set_load_probe([]() { return std::size_t{0}; });
+}
+
+TEST(CasOverloadChurn, NeverDoubleAppliesAndOkImpliesDurability) {
+  harness::Cluster cluster(cas_cluster_options());
+  cluster.start_all();
+  cluster.run_for(60 * kSeconds);
+
+  ClientOptions copts;
+  copts.request_timeout = 2 * kSeconds;
+  copts.max_attempts = 4;
+  copts.backoff_base = 50 * kMillis;
+  auto& client = cluster.add_client(copts);
+
+  const Key key = "cas-guarded";
+
+  // Seed the key while the cluster is healthy.
+  std::optional<PutResult> seeded;
+  client.put(key, Bytes{0xFF}, 1, [&](const PutResult& r) { seeded = r; });
+  cluster.run_for(20 * kSeconds);
+  ASSERT_TRUE(seeded.has_value() && seeded->ok);
+
+  // Reads the key's current version, retrying through transient overload.
+  const auto read_current = [&](Version& version_out) {
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      std::optional<GetResult> got;
+      client.get(key, std::nullopt, [&](const GetResult& r) { got = r; });
+      cluster.run_for(15 * kSeconds);
+      EXPECT_TRUE(got.has_value());  // resolved — overload must not hang
+      if (got.has_value() && got->ok) {
+        version_out = got->object.version;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // The CAS chain. Every stamped (version, value) is recorded so the final
+  // state can be checked against the set of writes that were ever issued.
+  std::map<Version, Bytes> stamped;
+  Version expected = 1;
+  Version last_ok = 0;
+  std::size_t ok_count = 0;
+  std::size_t crashed = kNodes;  // sentinel: nothing down
+
+  for (std::uint8_t step = 0; step < 8; ++step) {
+    // Rotate saturation across a sliding window of five nodes.
+    for (std::size_t i = 0; i < 5; ++i) {
+      clear_overload(cluster, ((step + 4) * 3 + i) % kNodes);
+      force_overload(cluster, (step * 3 + i) % kNodes);
+    }
+    // Churn: one node is down during the middle of the chain.
+    if (step == 2) {
+      crashed = 7;
+      cluster.crash(crashed);
+    }
+    if (step == 5 && crashed != kNodes) {
+      cluster.restart(crashed);
+      crashed = kNodes;
+    }
+    cluster.run_for(kSeconds);  // let admission ticks see the new load
+
+    ASSERT_TRUE(read_current(expected)) << "step " << int(step);
+
+    const Bytes value{step};
+    std::optional<CasResult> cas;
+    const Version version =
+        client.cas(key, expected, value, [&](const CasResult& r) { cas = r; });
+    stamped[version] = value;
+    cluster.run_for(20 * kSeconds);
+
+    // Definitive resolution, always: ok, precondition-failed, or an
+    // explicit exhaustion — never a hung callback.
+    ASSERT_TRUE(cas.has_value()) << "CAS hung at step " << int(step);
+    if (cas->ok) {
+      EXPECT_EQ(cas->version, version);
+      last_ok = version;
+      ++ok_count;
+    } else if (cas->cas_failed) {
+      // Someone (an earlier timed-out attempt of ours, landing late) got
+      // there first; the reply names the actual current version.
+      EXPECT_GE(cas->version, expected);
+    }
+    EXPECT_EQ(client.inflight(), 0u) << "step " << int(step);
+  }
+
+  // Recovery: clear all load, heal churn, let anti-entropy converge.
+  for (std::size_t i = 0; i < kNodes; ++i) clear_overload(cluster, i);
+  if (crashed != kNodes) cluster.restart(crashed);
+  cluster.run_for(120 * kSeconds);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    ASSERT_NE(cluster.node(i).admission(), nullptr);
+    EXPECT_FALSE(cluster.node(i).admission()->overloaded()) << "node " << i;
+  }
+
+  // The chain made progress despite shedding and churn.
+  EXPECT_GT(ok_count, 0u);
+
+  std::optional<GetResult> fin;
+  client.get(key, std::nullopt, [&](const GetResult& r) { fin = r; });
+  cluster.run_for(20 * kSeconds);
+  ASSERT_TRUE(fin.has_value() && fin->ok);
+
+  // No double-apply / no blend: the surviving object is exactly one of
+  // the stamped writes (or the seed), value and version consistent.
+  if (fin->object.version != 1) {
+    const auto it = stamped.find(fin->object.version);
+    ASSERT_NE(it, stamped.end())
+        << "final version " << fin->object.version
+        << " was never stamped by this client";
+    ASSERT_EQ(fin->object.value.size(), it->second.size());
+    EXPECT_TRUE(std::equal(fin->object.value.begin(),
+                           fin->object.value.end(), it->second.begin()));
+  }
+
+  // ok implies durable: a reported-ok CAS can only be superseded by a
+  // LATER stamped write (versions are stamped strictly above the chained
+  // expected), never silently lost back to an older version.
+  EXPECT_GE(fin->object.version, last_ok);
+
+  // And the winning version is actually replicated, not a ghost answer.
+  EXPECT_GE(cluster.replica_count(key, fin->object.version), 1u);
+}
+
+}  // namespace
+}  // namespace dataflasks

@@ -65,6 +65,11 @@ std::vector<CodecCase> all_codecs() {
          return core::encode(core::VersionMismatch{RequestId{9, 1}, 1, 2});
        },
        [](const Bytes& b) { (void)core::decode_version_mismatch(b); }},
+      {"overload_reply",
+       []() {
+         return core::encode(core::OverloadReply{RequestId{9, 2}, 250});
+       },
+       [](const Bytes& b) { (void)core::decode_overload_reply(b); }},
       {"ops_inner",
        []() {
          core::OpsRequest ops;
@@ -192,7 +197,7 @@ TEST_P(CodecFuzzTest, RandomGarbageIsHandled) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecFuzzTest,
-                         ::testing::Range<std::size_t>(0, 13),
+                         ::testing::Range<std::size_t>(0, 14),
                          [](const auto& info) {
                            return std::string(all_codecs()[info.param].name);
                          });
@@ -226,6 +231,24 @@ TEST(CodecRoundTrip, VersionMismatch) {
   EXPECT_EQ(decoded->rid.seq, msg.rid.seq);
   EXPECT_EQ(decoded->got, 2);
   EXPECT_EQ(decoded->supported, 1);
+}
+
+TEST(CodecRoundTrip, OverloadReply) {
+  const core::OverloadReply msg{RequestId{0x10AD, 77}, 1200};
+  const auto decoded = core::decode_overload_reply(core::encode(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rid.client, msg.rid.client);
+  EXPECT_EQ(decoded->rid.seq, msg.rid.seq);
+  EXPECT_EQ(decoded->retry_after_ms, 1200u);
+}
+
+TEST(CodecRoundTrip, OverloadReplyRejectsTrailingBytes) {
+  // A frame longer than the fixed layout is malformed, not "v-next with
+  // extra fields": decode must refuse it rather than silently truncate.
+  Bytes padded = core::encode(core::OverloadReply{RequestId{1, 1}, 50})
+                     .to_bytes();
+  padded.push_back(0xEE);
+  EXPECT_FALSE(core::decode_overload_reply(padded).has_value());
 }
 
 TEST(CodecRoundTrip, MinProtocolForOpTypes) {
