@@ -22,6 +22,19 @@
 # 4k..128k ladder — each step runs for BENCH_DURATION_MS and the report
 # gains "sweep" and "knee" sections locating the throughput knee; set
 # BENCH_SWEEP="" for a single closed-loop run without the sweep).
+#
+# Shard-ladder mode (the multi-core scaling curve): set BENCH_SHARDS to a
+# comma-separated list of shard counts, e.g.
+#
+#   BENCH_SHARDS=1,2,4,8 ./scripts/bench_real_cluster.sh build
+#
+# and the script runs one full fleet + sweep per shard count (every node
+# launched with --shards N), extracts each rung's knee, and writes a
+# combined report whose "shard_ladder" array holds one knee per shard
+# count plus "host_cores" — the scaling numbers are only meaningful
+# relative to how many hardware threads the host actually has. Per-rung
+# full reports land next to the combined one as <out>.shardsN.json.
+#
 # Exits non-zero on any failure; always tears the servers down. Wrap in
 # `timeout` as a hang guard (CI does).
 set -euo pipefail
@@ -40,6 +53,7 @@ RECORDS="${BENCH_RECORDS:-2000}"
 WORKLOAD="${BENCH_WORKLOAD:-A}"
 BASE_PORT="${BENCH_BASE_PORT:-7431}"
 SWEEP="${BENCH_SWEEP-4000,8000,16000,32000,64000,128000}"
+SHARD_LADDER="${BENCH_SHARDS:-}"
 LOG_DIR="$(mktemp -d)"
 
 [[ -x "$SERVER" && -x "$CLI" && -x "$LOADGEN" ]] || {
@@ -63,87 +77,164 @@ for ((i = 0; i < NODES; i++)); do
   PEER_FLAGS+=("--peer" "$i@127.0.0.1:$((BASE_PORT + i))")
 done
 
-echo "== launching $NODES-node cluster on ports $BASE_PORT-$((BASE_PORT + NODES - 1))"
-for ((i = 0; i < NODES; i++)); do
-  node_peers=()
-  for ((j = 0; j < NODES; j++)); do
-    [[ "$i" == "$j" ]] || node_peers+=("--peer" "$j@127.0.0.1:$((BASE_PORT + j))")
+# launch_fleet <shards>: boots the $NODES-node fleet; empty <shards> leaves
+# the server's own default (--shards 0 = one shard per hardware thread).
+launch_fleet() {
+  local shards="${1:-}"
+  local shard_flags=()
+  [[ -n "$shards" ]] && shard_flags=("--shards" "$shards")
+  for ((i = 0; i < NODES; i++)); do
+    local node_peers=()
+    for ((j = 0; j < NODES; j++)); do
+      [[ "$i" == "$j" ]] || node_peers+=("--peer" "$j@127.0.0.1:$((BASE_PORT + j))")
+    done
+    local metrics=()
+    [[ "$i" == 0 ]] && metrics=("--metrics-port" "0")  # ephemeral, printed at boot
+    "$SERVER" --id "$i" --listen "127.0.0.1:$((BASE_PORT + i))" \
+      --gossip-ms 100 --ae-ms 500 --log-level warn \
+      "${metrics[@]}" "${shard_flags[@]}" "${node_peers[@]}" \
+      > "$LOG_DIR/server$i.log" 2>&1 &
+    PIDS[$i]=$!
   done
-  metrics=()
-  [[ "$i" == 0 ]] && metrics=("--metrics-port" "0")  # ephemeral, printed at boot
-  "$SERVER" --id "$i" --listen "127.0.0.1:$((BASE_PORT + i))" \
-    --gossip-ms 100 --ae-ms 500 --log-level warn \
-    "${metrics[@]}" "${node_peers[@]}" \
-    > "$LOG_DIR/server$i.log" 2>&1 &
-  PIDS[$i]=$!
-done
-for ((i = 0; i < NODES; i++)); do
-  for _ in $(seq 1 50); do
-    grep -q "ready on" "$LOG_DIR/server$i.log" 2>/dev/null && break
-    sleep 0.1
+  for ((i = 0; i < NODES; i++)); do
+    for _ in $(seq 1 50); do
+      grep -q "ready on" "$LOG_DIR/server$i.log" 2>/dev/null && break
+      sleep 0.1
+    done
+    grep -q "ready on" "$LOG_DIR/server$i.log" || {
+      echo "bench_real_cluster: server $i did not become ready" >&2
+      cat "$LOG_DIR/server$i.log" >&2
+      exit 1
+    }
   done
-  grep -q "ready on" "$LOG_DIR/server$i.log" || {
-    echo "bench_real_cluster: server $i did not become ready" >&2
-    cat "$LOG_DIR/server$i.log" >&2
+}
+
+teardown_fleet() {
+  for ((i = 0; i < NODES; i++)); do
+    kill "${PIDS[$i]}" 2>/dev/null || true
+    wait "${PIDS[$i]}" 2>/dev/null || true
+  done
+  PIDS=()
+  rm -f "$LOG_DIR"/server*.log
+}
+
+# run_load <out.json>: drives the running fleet (sweep when configured).
+run_load() {
+  local out="$1"
+  local sweep_flags=()
+  if [[ -n "$SWEEP" ]]; then
+    sweep_flags=("--sweep" "$SWEEP")
+    echo "== loadgen sweep: workload $WORKLOAD, rates $SWEEP ops/sec, ${DURATION_MS}ms per step"
+  else
+    echo "== loadgen: workload $WORKLOAD, $THREADS threads x $CONCURRENCY streams, ${DURATION_MS}ms"
+  fi
+  "$LOADGEN" "${PEER_FLAGS[@]}" \
+    --workload "$WORKLOAD" --threads "$THREADS" --concurrency "$CONCURRENCY" \
+    --records "$RECORDS" --duration-ms "$DURATION_MS" \
+    "${sweep_flags[@]}" --out "$out"
+  grep -q '"bench": "real_cluster"' "$out" || {
+    echo "bench_real_cluster: report missing or malformed" >&2
     exit 1
   }
-done
-
-SWEEP_FLAGS=()
-if [[ -n "$SWEEP" ]]; then
-  # Offered-load sweep: one open-loop step per rate against the shared
-  # preloaded records; the report locates the throughput knee (peak
-  # goodput) and the shed fraction past it.
-  SWEEP_FLAGS=("--sweep" "$SWEEP")
-  echo "== loadgen sweep: workload $WORKLOAD, rates $SWEEP ops/sec, ${DURATION_MS}ms per step"
-else
-  echo "== loadgen: workload $WORKLOAD, $THREADS threads x $CONCURRENCY streams, ${DURATION_MS}ms"
-fi
-"$LOADGEN" "${PEER_FLAGS[@]}" \
-  --workload "$WORKLOAD" --threads "$THREADS" --concurrency "$CONCURRENCY" \
-  --records "$RECORDS" --duration-ms "$DURATION_MS" \
-  "${SWEEP_FLAGS[@]}" --out "$OUT"
-echo "== report written to $OUT"
-
-grep -q '"bench": "real_cluster"' "$OUT" || {
-  echo "bench_real_cluster: report missing or malformed" >&2
-  exit 1
+  if [[ -n "$SWEEP" ]]; then
+    grep -q '"knee"' "$out" || {
+      echo "bench_real_cluster: sweep ran but the report has no knee" >&2
+      exit 1
+    }
+    echo "== knee: $(grep -oE '"knee": \{[^}]*\}' "$out")"
+  fi
 }
-if [[ -n "$SWEEP" ]]; then
-  grep -q '"knee"' "$OUT" || {
-    echo "bench_real_cluster: sweep ran but the report has no knee" >&2
+
+# check_observability: node 0's TCP scrape + the Stats op must answer and
+# show the op counters the load just incremented.
+check_observability() {
+  echo "== scraping node 0's TCP metrics endpoint"
+  METRICS_PORT="$(grep -oE 'metrics on 127.0.0.1:[0-9]+' "$LOG_DIR/server0.log" \
+    | head -1 | grep -oE '[0-9]+$')"
+  [[ -n "$METRICS_PORT" ]] || {
+    echo "bench_real_cluster: node 0 printed no metrics port" >&2
+    cat "$LOG_DIR/server0.log" >&2
     exit 1
   }
-  echo "== knee: $(grep -oE '"knee": \{[^}]*\}' "$OUT")"
+  SCRAPE="$(exec 3<>"/dev/tcp/127.0.0.1/$METRICS_PORT" \
+    && printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3)"
+  grep -q "df_ops_total" <<< "$SCRAPE" || {
+    echo "bench_real_cluster: scrape did not expose the op counters" >&2
+    echo "$SCRAPE" >&2
+    exit 1
+  }
+  grep -q 'df_ops_total{op="put"} [1-9]' <<< "$SCRAPE" || {
+    echo "bench_real_cluster: put counter did not move under load" >&2
+    exit 1
+  }
+  echo "   $(grep -c '^df_' <<< "$SCRAPE") metric samples served"
+
+  echo "== dataflasks_cli stats (v2 Stats op over UDP) must match the exposition"
+  STATS="$("$CLI" "${PEER_FLAGS[@]}" --timeout-ms 5000 stats)"
+  grep -q "df_ops_total" <<< "$STATS" || {
+    echo "bench_real_cluster: cli stats did not return the exposition" >&2
+    echo "$STATS" >&2
+    exit 1
+  }
+}
+
+if [[ -z "$SHARD_LADDER" ]]; then
+  echo "== launching $NODES-node cluster on ports $BASE_PORT-$((BASE_PORT + NODES - 1))"
+  launch_fleet ""
+  run_load "$OUT"
+  echo "== report written to $OUT"
+  check_observability
+  echo "bench_real_cluster: PASS"
+  exit 0
 fi
 
-echo "== scraping node 0's TCP metrics endpoint"
-METRICS_PORT="$(grep -oE 'metrics on 127.0.0.1:[0-9]+' "$LOG_DIR/server0.log" \
-  | head -1 | grep -oE '[0-9]+$')"
-[[ -n "$METRICS_PORT" ]] || {
-  echo "bench_real_cluster: node 0 printed no metrics port" >&2
-  cat "$LOG_DIR/server0.log" >&2
+# ---- shard-ladder mode: one fleet + sweep per shard count ------------------
+[[ -n "$SWEEP" ]] || {
+  echo "bench_real_cluster: BENCH_SHARDS needs BENCH_SWEEP (the ladder compares knees)" >&2
   exit 1
 }
-SCRAPE="$(exec 3<>"/dev/tcp/127.0.0.1/$METRICS_PORT" \
-  && printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3)"
-grep -q "df_ops_total" <<< "$SCRAPE" || {
-  echo "bench_real_cluster: scrape did not expose the op counters" >&2
-  echo "$SCRAPE" >&2
-  exit 1
-}
-grep -q 'df_ops_total{op="put"} [1-9]' <<< "$SCRAPE" || {
-  echo "bench_real_cluster: put counter did not move under load" >&2
-  exit 1
-}
-echo "   $(grep -c '^df_' <<< "$SCRAPE") metric samples served"
+HOST_CORES="$(nproc 2>/dev/null || echo 1)"
+echo "== shard ladder: counts [$SHARD_LADDER] on a ${HOST_CORES}-core host"
+LADDER_ENTRIES=()
+LAST_SHARDS=""
+IFS=',' read -ra LADDER <<< "$SHARD_LADDER"
+for shards in "${LADDER[@]}"; do
+  echo "== rung: $NODES nodes x --shards $shards on ports $BASE_PORT-$((BASE_PORT + NODES - 1))"
+  launch_fleet "$shards"
+  grep -q "$shards shards" "$LOG_DIR/server0.log" || {
+    echo "bench_real_cluster: node 0 did not come up with $shards shards" >&2
+    cat "$LOG_DIR/server0.log" >&2
+    exit 1
+  }
+  RUNG_OUT="${OUT%.json}.shards${shards}.json"
+  run_load "$RUNG_OUT"
+  KNEE="$(grep -oE '"knee": \{[^}]*\}' "$RUNG_OUT" | sed 's/^"knee": //')"
+  [[ -n "$KNEE" ]] || {
+    echo "bench_real_cluster: rung $shards produced no knee" >&2
+    exit 1
+  }
+  LADDER_ENTRIES+=("    {\"shards\": $shards, \"knee\": $KNEE}")
+  LAST_SHARDS="$shards"
+  check_observability
+  teardown_fleet
+done
 
-echo "== dataflasks_cli stats (v2 Stats op over UDP) must match the exposition"
-STATS="$("$CLI" "${PEER_FLAGS[@]}" --timeout-ms 5000 stats)"
-grep -q "df_ops_total" <<< "$STATS" || {
-  echo "bench_real_cluster: cli stats did not return the exposition" >&2
-  echo "$STATS" >&2
-  exit 1
-}
-
+{
+  printf '{\n'
+  printf '  "bench": "real_cluster_shard_ladder",\n'
+  printf '  "host_cores": %s,\n' "$HOST_CORES"
+  printf '  "nodes": %s,\n' "$NODES"
+  printf '  "workload": "%s",\n' "$WORKLOAD"
+  printf '  "sweep_rates": "%s",\n' "$SWEEP"
+  printf '  "duration_ms_per_step": %s,\n' "$DURATION_MS"
+  printf '  "shard_ladder": [\n'
+  for ((i = 0; i < ${#LADDER_ENTRIES[@]}; i++)); do
+    sep=','
+    [[ "$i" == $((${#LADDER_ENTRIES[@]} - 1)) ]] && sep=''
+    printf '%s%s\n' "${LADDER_ENTRIES[$i]}" "$sep"
+  done
+  printf '  ]\n'
+  printf '}\n'
+} > "$OUT"
+echo "== shard-ladder report written to $OUT (rungs: ${SHARD_LADDER}, last=$LAST_SHARDS)"
 echo "bench_real_cluster: PASS"

@@ -10,6 +10,11 @@
 #   seed-only join (--seed host:port)        (gossip-learned membership)
 #   restart on a NEW port -> still served    (gossip-healed addresses)
 #
+# Node 1 runs with --shards 4 (shared-nothing multi-shard server: four
+# runtime threads, SO_REUSEPORT ingress, cross-shard mailbox) while the
+# rest pin --shards 1, so every phase above also exercises a mixed fleet
+# where a sharded process gossips, replicates and serves with classics.
+#
 # Used by the CI `cluster-smoke` job and runnable locally:
 #
 #   ./scripts/cluster_smoke.sh [build-dir]
@@ -52,9 +57,13 @@ start_server() {
   for j in 0 1 2; do
     [[ "$i" == "$j" ]] || node_peers+=("--peer" "$j@127.0.0.1:$((BASE_PORT + j))")
   done
+  # Node 1 is the multi-shard process; everything else pins the classic
+  # single-runtime wiring so both server shapes interoperate in one fleet.
+  local shards=1
+  [[ "$i" == "1" ]] && shards=4
   "$SERVER" --id "$i" --listen "127.0.0.1:$((BASE_PORT + i))" \
     --gossip-ms 100 --ae-ms 500 --store durable --data-dir "$LOG_DIR" \
-    --log-level warn "${node_peers[@]}" \
+    --shards "$shards" --log-level warn "${node_peers[@]}" \
     >> "$LOG_DIR/server$i.log" 2>&1 &
   PIDS[$i]=$!
 }
@@ -78,6 +87,11 @@ done
 for i in 0 1 2; do
   wait_ready "$i" 1
 done
+grep -q "4 shards" "$LOG_DIR/server1.log" || {
+  echo "cluster_smoke: node 1 did not come up with 4 shards" >&2
+  cat "$LOG_DIR/server1.log" >&2
+  exit 1
+}
 
 echo "== put"
 "$CLI" "${PEERS[@]}" --timeout-ms 5000 put smoke-key "hello-from-real-cluster"
@@ -165,7 +179,7 @@ start_seed_node() {
   "$SERVER" --id 3 --listen "127.0.0.1:$port" \
     --seed "127.0.0.1:$BASE_PORT" \
     --gossip-ms 100 --ae-ms 500 --store durable --data-dir "$LOG_DIR" \
-    --log-level warn \
+    --shards 1 --log-level warn \
     >> "$LOG_DIR/server3.log" 2>&1 &
   PIDS[3]=$!
 }

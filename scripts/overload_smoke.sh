@@ -17,8 +17,15 @@
 #
 #   ./scripts/overload_smoke.sh [build-dir]
 #
+# The server runs multi-shard (--shards 4 unless SMOKE_SHARDS overrides):
+# each shard judges admission on its own runtime, overload is reported for
+# the worst-pressure shard, and the shed/overload counters asserted below
+# are the per-shard counters merged at scrape time — so this smoke also
+# gates the sharded admission plumbing.
+#
 # Tunables (environment): SMOKE_HAMMER_MS (default 8000), SMOKE_THREADS
-# (4), SMOKE_CONCURRENCY (16), SMOKE_BATCH (16), SMOKE_PORT (7481).
+# (4), SMOKE_CONCURRENCY (16), SMOKE_BATCH (16), SMOKE_PORT (7481),
+# SMOKE_SHARDS (4).
 # Exits non-zero on any failure; always tears the server down. Wrap in
 # `timeout` as a hang guard (CI does).
 set -euo pipefail
@@ -33,6 +40,7 @@ THREADS="${SMOKE_THREADS:-4}"
 CONCURRENCY="${SMOKE_CONCURRENCY:-16}"
 BATCH="${SMOKE_BATCH:-16}"
 PORT="${SMOKE_PORT:-7481}"
+SHARDS="${SMOKE_SHARDS:-4}"
 LOG_DIR="$(mktemp -d)"
 
 [[ -x "$SERVER" && -x "$CLI" && -x "$LOADGEN" ]] || {
@@ -56,10 +64,10 @@ scrape() {
     && printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3
 }
 
-echo "== launching 1-node cluster on port $PORT with aggressive shedding"
+echo "== launching 1-node cluster on port $PORT with aggressive shedding ($SHARDS shards)"
 "$SERVER" --id 0 --listen "127.0.0.1:$PORT" \
   --gossip-ms 200 --ae-ms 1000 --log-level warn \
-  --metrics-port 0 \
+  --metrics-port 0 --shards "$SHARDS" \
   --max-inflight-ops 256 --shed-lag-high-ms 1 --shed-lag-low-ms 1 \
   > "$LOG_DIR/server.log" 2>&1 &
 PIDS[0]=$!

@@ -9,10 +9,13 @@
 // out of an incoming frame without copying, so bytes travel
 // client -> wire -> store touching the allocator exactly once.
 //
-// The refcount is intrusive and non-atomic: the simulator is single-threaded,
-// and an atomic shared_ptr control block would cost a second allocation per
-// message plus two fenced ops per view copy — measurable at millions of
-// messages per run.
+// The refcount is intrusive and atomic: a sharded server splits one decoded
+// envelope into per-shard sub-views that cross thread boundaries through the
+// runtime mailbox, so views of the same buffer are released concurrently.
+// Relaxed increments and an acquire-release decrement keep the cost to one
+// uncontended RMW per copy — still far cheaper than a shared_ptr control
+// block (second allocation per message, and the count lives in the same
+// cache line as the data header).
 //
 // Immutability is the contract that makes sharing safe: nothing may mutate a
 // buffer once it is wrapped in a Payload. The accessors only hand out const
@@ -20,6 +23,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <new>
@@ -61,6 +65,15 @@ struct PayloadAllocStats {
   std::uint64_t bytes = 0;    ///< sum of their sizes
 };
 
+namespace detail {
+/// Process-wide materialization totals, updated relaxed (shards allocate
+/// concurrently; only the perf tests read them, single-threaded).
+struct PayloadAllocCounters {
+  std::atomic<std::uint64_t> buffers{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+}  // namespace detail
+
 class Payload {
  public:
   Payload() = default;
@@ -82,7 +95,7 @@ class Payload {
 
   Payload(const Payload& other) noexcept
       : off_(other.off_), len_(other.len_), buf_(other.buf_) {
-    if (buf_ != nullptr) ++buf_->refs;
+    if (buf_ != nullptr) buf_->refs.fetch_add(1, std::memory_order_relaxed);
   }
   Payload(Payload&& other) noexcept
       : off_(other.off_), len_(other.len_), buf_(other.buf_) {
@@ -125,7 +138,7 @@ class Payload {
     if (length == 0) return Payload();
     Payload out;
     out.buf_ = buf_;
-    ++out.buf_->refs;
+    out.buf_->refs.fetch_add(1, std::memory_order_relaxed);
     out.off_ = off_ + static_cast<std::uint32_t>(offset);
     out.len_ = static_cast<std::uint32_t>(length);
     return out;
@@ -142,7 +155,9 @@ class Payload {
   /// exposed for zero-copy plumbing and tests.
   [[nodiscard]] std::size_t offset() const { return off_; }
   [[nodiscard]] long use_count() const {
-    return buf_ != nullptr ? static_cast<long>(buf_->refs) : 0;
+    return buf_ != nullptr
+               ? static_cast<long>(buf_->refs.load(std::memory_order_relaxed))
+               : 0;
   }
 
   /// Deep content comparison (views over different buffers holding the same
@@ -154,15 +169,22 @@ class Payload {
     return a.view_equals(ByteView(b));
   }
 
-  [[nodiscard]] static PayloadAllocStats alloc_stats() { return stats_; }
-  static void reset_alloc_stats() { stats_ = PayloadAllocStats{}; }
+  [[nodiscard]] static PayloadAllocStats alloc_stats() {
+    return PayloadAllocStats{
+        stats_.buffers.load(std::memory_order_relaxed),
+        stats_.bytes.load(std::memory_order_relaxed)};
+  }
+  static void reset_alloc_stats() {
+    stats_.buffers.store(0, std::memory_order_relaxed);
+    stats_.bytes.store(0, std::memory_order_relaxed);
+  }
 
  private:
   friend class Writer;  // builds buffers in place, then wraps them
 
   /// Intrusive control header; the data bytes follow it in one allocation.
   struct Ctrl {
-    std::uint32_t refs = 1;
+    std::atomic<std::uint32_t> refs{1};
     std::uint32_t capacity = 0;  ///< data bytes allocated after the header
 
     [[nodiscard]] std::uint8_t* data() {
@@ -174,20 +196,27 @@ class Payload {
   };
 
   [[nodiscard]] static Ctrl* allocate(std::size_t n) {
-    auto* ctrl = static_cast<Ctrl*>(::operator new(sizeof(Ctrl) + n));
-    ctrl->refs = 1;
+    auto* ctrl = ::new (::operator new(sizeof(Ctrl) + n)) Ctrl;
     ctrl->capacity = static_cast<std::uint32_t>(n);
-    ++stats_.buffers;
-    stats_.bytes += n;
+    stats_.buffers.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes.fetch_add(n, std::memory_order_relaxed);
     return ctrl;
   }
-  static void deallocate(Ctrl* ctrl) { ::operator delete(ctrl); }
+  static void deallocate(Ctrl* ctrl) {
+    ctrl->~Ctrl();
+    ::operator delete(ctrl);
+  }
 
   /// Adopts an already-filled buffer (Writer hand-off; refcount stays 1).
   Payload(Ctrl* ctrl, std::uint32_t length) : len_(length), buf_(ctrl) {}
 
   void release() {
-    if (buf_ != nullptr && --buf_->refs == 0) deallocate(buf_);
+    // Release ordering publishes this view's reads; the final decrement
+    // acquires so the deallocating thread sees every other view's effects.
+    if (buf_ != nullptr &&
+        buf_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      deallocate(buf_);
+    }
     buf_ = nullptr;
   }
 
@@ -196,8 +225,7 @@ class Payload {
     return len_ == 0 || std::equal(begin(), end(), other.begin());
   }
 
-  // Single-threaded simulator: plain counters are sufficient.
-  inline static PayloadAllocStats stats_{};
+  inline static detail::PayloadAllocCounters stats_{};
 
   std::uint32_t off_ = 0;
   std::uint32_t len_ = 0;

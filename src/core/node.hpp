@@ -124,6 +124,15 @@ class Node {
   /// address probe resolving its node id). No-op when not running.
   void add_contact(NodeId contact);
 
+  /// Injects a message exactly as if the transport had delivered it. The
+  /// multi-shard server's router forwards protocol traffic that arrived on
+  /// a sibling shard's socket through this door; it must be called on this
+  /// node's runtime thread (the router mails a closure that calls it).
+  /// Dropped when the node is not running, like a late transport delivery.
+  void deliver(const net::Message& msg) {
+    if (running_) dispatch(msg);
+  }
+
   /// Re-shards a live system: bumps the config epoch and lets it spread
   /// epidemically through slicing gossip and adverts.
   void propose_slice_count(std::uint32_t slice_count);

@@ -142,6 +142,16 @@ void RequestHandler::handle_envelope(const OpEnvelope& envelope) {
   }
 }
 
+void RequestHandler::spray_ops(SliceId target, std::vector<RoutedOp> ops) {
+  if (ops.empty()) return;
+  metrics_.counter("rh.shard_forwarded_ops").add(ops.size());
+  chunk_by_budget(
+      ops, [](const RoutedOp& routed) { return encoded_size(routed); },
+      [this, target](std::vector<RoutedOp>& chunk) {
+        spray_or_deliver(target, encode_inner(OpsRequest{std::move(chunk)}));
+      });
+}
+
 void RequestHandler::store_replicated(store::Object object) {
   if (slices_.key_slice(object.key) == slices_.slice()) {
     if (store_.put(object).ok()) {

@@ -94,6 +94,12 @@ class RequestHandler {
   /// bounded batch of foreign keys found in the local store.
   void tick_maintenance();
 
+  /// Shard-group door: sprays `ops` toward `target` exactly as an envelope
+  /// group would travel (budget-chunked, one spray unit per chunk). Shard
+  /// executors use it for gets they could not serve from their partition;
+  /// the respray relays into the slice from shard 0. Runtime-thread only.
+  void spray_ops(SliceId target, std::vector<RoutedOp> ops);
+
 
   [[nodiscard]] const dissemination::SprayOptions& spray_options() const {
     return router_->options();

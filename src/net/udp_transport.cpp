@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -100,8 +101,17 @@ UdpTransport::UdpTransport(runtime::RealTimeRuntime& rt, Options options)
     : runtime_(rt),
       options_(std::move(options)),
       book_(AddressBook::Options{options_.max_learned_peers}) {
+#if !defined(__linux__)
+  options_.batch_io = false;  // recvmmsg/sendmmsg are Linux syscalls
+#endif
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   ensure(fd_ >= 0, "UdpTransport: socket() failed");
+
+  if (options_.reuse_port) {
+    const int one = 1;
+    ensure(::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) == 0,
+           "UdpTransport: setsockopt(SO_REUSEPORT) failed");
+  }
 
   sockaddr_in addr = make_addr(options_.bind_host, options_.port);
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
@@ -129,11 +139,18 @@ UdpTransport::UdpTransport(runtime::RealTimeRuntime& rt, Options options)
     local_endpoint_ = endpoint_of(reach, next_boot_stamp());
   }
 
+  if (options_.batch_io) {
+    recv_buffers_.resize(kIoBatch *
+                         (kFrameHeaderSize + kMaxFramePayload + 1024));
+  }
+
   runtime_.watch_fd(fd_, [this]() { on_readable(); });
 }
 
 UdpTransport::~UdpTransport() {
   seed_timer_.cancel();
+  flush_timer_.cancel();
+  flush_pending_sends();  // best effort: don't strand queued egress
   if (fd_ >= 0) {
     runtime_.unwatch_fd(fd_);
     ::close(fd_);
@@ -180,27 +197,109 @@ void UdpTransport::send_probe(const sockaddr_in& to) {
 }
 
 void UdpTransport::send_frame_to(const Message& msg, const sockaddr_in& to) {
-  const Payload frame = encode_frame(msg);
+  Payload frame = encode_frame(msg);
+  if (options_.batch_io) {
+    enqueue_send(std::move(frame), to);
+    return;
+  }
   const ssize_t n = ::sendto(fd_, frame.data(), frame.size(), 0,
                              reinterpret_cast<const sockaddr*>(&to),
                              sizeof to);
   if (n < 0 || static_cast<std::size_t>(n) != frame.size()) {
-    ++total_dropped_;  // EAGAIN/ENOBUFS etc.: fire-and-forget drops it
+    total_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
+void UdpTransport::enqueue_send(Payload frame, const sockaddr_in& to) {
+  pending_sends_.push_back(PendingSend{std::move(frame), to});
+  if (pending_sends_.size() >= kIoBatch) {
+    flush_pending_sends();
+    return;
+  }
+  // One flush per loop pass: every send issued while handling the current
+  // batch of events/datagrams shares the syscall. run_until pops all due
+  // events before sleeping, so a zero-delay timer fires in this same pass —
+  // batching adds no wire latency, only syscall coalescing.
+  if (!flush_timer_.active()) {
+    flush_timer_ = runtime_.schedule_at(runtime_.now(),
+                                        [this]() { flush_pending_sends(); });
+  }
+}
+
+void UdpTransport::flush_pending_sends() {
+  if (pending_sends_.empty()) return;
+  flush_timer_.cancel();
+#if defined(__linux__)
+  std::size_t offset = 0;
+  while (offset < pending_sends_.size()) {
+    const std::size_t batch =
+        std::min(kIoBatch, pending_sends_.size() - offset);
+    iovec iovs[kIoBatch];
+    mmsghdr msgs[kIoBatch];
+    std::memset(msgs, 0, sizeof msgs);
+    for (std::size_t i = 0; i < batch; ++i) {
+      PendingSend& p = pending_sends_[offset + i];
+      iovs[i].iov_base = const_cast<std::uint8_t*>(p.frame.data());
+      iovs[i].iov_len = p.frame.size();
+      msgs[i].msg_hdr.msg_name = &p.to;
+      msgs[i].msg_hdr.msg_namelen = sizeof p.to;
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int sent =
+        ::sendmmsg(fd_, msgs, static_cast<unsigned int>(batch), 0);
+    if (sent < 0) {
+      // EAGAIN/ENOBUFS: fire-and-forget semantics drop the whole remainder
+      // rather than block the loop (the datagram contract allows loss).
+      total_dropped_.fetch_add(pending_sends_.size() - offset,
+                               std::memory_order_relaxed);
+      break;
+    }
+    batched_send_.fetch_add(static_cast<std::uint64_t>(sent),
+                            std::memory_order_relaxed);
+    offset += static_cast<std::size_t>(sent);
+    if (static_cast<std::size_t>(sent) < batch) {
+      // Partial batch: the next datagram hit a transient error; drop it and
+      // continue with the rest.
+      total_dropped_.fetch_add(1, std::memory_order_relaxed);
+      ++offset;
+    }
+  }
+#else
+  for (const PendingSend& p : pending_sends_) {
+    const ssize_t n = ::sendto(fd_, p.frame.data(), p.frame.size(), 0,
+                               reinterpret_cast<const sockaddr*>(&p.to),
+                               sizeof p.to);
+    if (n < 0 || static_cast<std::size_t>(n) != p.frame.size()) {
+      total_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+#endif
+  pending_sends_.clear();
+}
+
 void UdpTransport::send(Message msg) {
-  ++total_sent_;
+  total_sent_.fetch_add(1, std::memory_order_relaxed);
   const sockaddr_in* to = book_.lookup(msg.dst);
   if (to == nullptr) {
-    ++total_dropped_;  // unknown peer: same fate as a simulated blackhole
+    // unknown peer: same fate as a simulated blackhole
+    total_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (msg.payload.size() > kMaxFramePayload) {
-    ++total_dropped_;
+    total_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   send_frame_to(msg, *to);
+}
+
+void UdpTransport::send_to(const Message& msg, const sockaddr_in& to) {
+  total_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (msg.payload.size() > kMaxFramePayload) {
+    total_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  send_frame_to(msg, to);
 }
 
 void UdpTransport::handle_probe(const Message& msg, const sockaddr_in& from) {
@@ -250,7 +349,13 @@ void UdpTransport::handle_probe_reply(const Message& msg,
 void UdpTransport::handle_stats_request(const Message& msg,
                                         const sockaddr_in& from) {
   if (!stats_provider_) {
-    ++total_dropped_;  // no provider: scrape unanswered, like a dead peer
+    if (stats_forwarder_) {
+      // Worker shard: shard 0 owns the render; hand the request over.
+      stats_forwarder_(msg, from);
+      return;
+    }
+    // no provider: scrape unanswered, like a dead peer
+    total_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   std::string text = stats_provider_();
@@ -271,6 +376,35 @@ void UdpTransport::handle_stats_request(const Message& msg,
 void UdpTransport::on_readable() {
   // Drain everything queued on the socket: the poll step is level-triggered
   // but one wakeup may cover many datagrams.
+#if defined(__linux__)
+  if (options_.batch_io) {
+    const std::size_t slot = kFrameHeaderSize + kMaxFramePayload + 1024;
+    for (;;) {
+      iovec iovs[kIoBatch];
+      mmsghdr msgs[kIoBatch];
+      sockaddr_in froms[kIoBatch];
+      std::memset(msgs, 0, sizeof msgs);
+      for (std::size_t i = 0; i < kIoBatch; ++i) {
+        iovs[i].iov_base = recv_buffers_.data() + i * slot;
+        iovs[i].iov_len = slot;
+        msgs[i].msg_hdr.msg_name = &froms[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof froms[i];
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      const int received = ::recvmmsg(fd_, msgs, kIoBatch, 0, nullptr);
+      if (received <= 0) return;  // EAGAIN: drained
+      batched_recv_.fetch_add(static_cast<std::uint64_t>(received),
+                              std::memory_order_relaxed);
+      for (int i = 0; i < received; ++i) {
+        process_datagram(ByteView(recv_buffers_.data() + i * slot,
+                                  msgs[i].msg_len),
+                         froms[i]);
+      }
+      if (static_cast<std::size_t>(received) < kIoBatch) return;  // drained
+    }
+  }
+#endif
   std::uint8_t buf[kFrameHeaderSize + kMaxFramePayload + 1024];
   for (;;) {
     sockaddr_in from{};
@@ -283,37 +417,42 @@ void UdpTransport::on_readable() {
       // next poll wakeup.
       return;
     }
-    auto msg = decode_frame(ByteView(buf, static_cast<std::size_t>(n)));
-    if (!msg) {
-      ++decode_failures_;
-      ++total_dropped_;
-      continue;
-    }
-    // Discovery frames are transport business, not protocol traffic.
-    if (msg->type == kAddrProbe) {
-      handle_probe(*msg, from);
-      continue;
-    }
-    if (msg->type == kAddrProbeReply) {
-      handle_probe_reply(*msg, from);
-      continue;
-    }
-    if (msg->type == kStatsRequest) {
-      handle_stats_request(*msg, from);
-      continue;
-    }
-    // Record the sender's address so replies (and client acks) route
-    // without static configuration; pinned routes are not clobbered.
-    if (msg->src.valid()) book_.observe(msg->src, from);
-
-    const auto it = handlers_.find(msg->dst);
-    if (it == handlers_.end()) {
-      ++total_dropped_;
-      continue;
-    }
-    ++total_delivered_;
-    it->second(*msg);
+    process_datagram(ByteView(buf, static_cast<std::size_t>(n)), from);
   }
+}
+
+void UdpTransport::process_datagram(ByteView datagram,
+                                    const sockaddr_in& from) {
+  auto msg = decode_frame(datagram);
+  if (!msg) {
+    decode_failures_.fetch_add(1, std::memory_order_relaxed);
+    total_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Discovery frames are transport business, not protocol traffic.
+  if (msg->type == kAddrProbe) {
+    handle_probe(*msg, from);
+    return;
+  }
+  if (msg->type == kAddrProbeReply) {
+    handle_probe_reply(*msg, from);
+    return;
+  }
+  if (msg->type == kStatsRequest) {
+    handle_stats_request(*msg, from);
+    return;
+  }
+  // Record the sender's address so replies (and client acks) route
+  // without static configuration; pinned routes are not clobbered.
+  if (msg->src.valid()) book_.observe(msg->src, from);
+
+  const auto it = handlers_.find(msg->dst);
+  if (it == handlers_.end()) {
+    total_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  total_delivered_.fetch_add(1, std::memory_order_relaxed);
+  it->second(*msg);
 }
 
 void UdpTransport::register_handler(NodeId node, Handler handler) {

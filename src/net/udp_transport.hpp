@@ -20,6 +20,7 @@
 
 #include <netinet/in.h>
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -73,6 +74,15 @@ class UdpTransport final : public Transport {
     std::size_t max_learned_peers = 1024;
     /// Retry cadence for unanswered seed probes.
     SimTime seed_probe_period = 500 * kMillis;
+    /// Sets SO_REUSEPORT before bind, so N shard transports share one
+    /// addr:port and the kernel spreads datagrams across them by source
+    /// 4-tuple hash — the sharded server's ingress partitioning.
+    bool reuse_port = false;
+    /// Batched datagram I/O: recvmmsg on the drain path and sendmmsg with a
+    /// same-loop-pass egress buffer, so per-packet syscall overhead stops
+    /// dominating the hot path. Single-syscall fallback off-Linux (and when
+    /// disabled here, which tests use to pin down behavior differences).
+    bool batch_io = true;
   };
 
   /// Invoked once per seed whose probe is answered, with the node id that
@@ -100,10 +110,28 @@ class UdpTransport final : public Transport {
   }
 
   /// Installs the snapshot renderer answering kStatsRequest frames; unset,
-  /// such frames are dropped (counted, not answered).
+  /// such frames are dropped (counted, not answered) unless a forwarder is
+  /// installed.
   using StatsProvider = std::function<std::string()>;
   void set_stats_provider(StatsProvider provider) {
     stats_provider_ = std::move(provider);
+  }
+
+  /// Shard plumbing: a worker transport has no stats provider of its own;
+  /// the forwarder hands the request (plus requester address) to the shard
+  /// group, which mails it to shard 0 for rendering. Consulted only when no
+  /// provider is installed.
+  using StatsForwarder = std::function<void(const Message&, const sockaddr_in&)>;
+  void set_stats_forwarder(StatsForwarder forwarder) {
+    stats_forwarder_ = std::move(forwarder);
+  }
+
+  /// Renders via the installed provider and answers to `from` out of this
+  /// socket. Public so shard 0 can answer a scrape that arrived on a
+  /// sibling shard's socket (with SO_REUSEPORT every socket shares the
+  /// same source address, so the requester cannot tell the difference).
+  void answer_stats_request(const Message& msg, const sockaddr_in& from) {
+    handle_stats_request(msg, from);
   }
   [[nodiscard]] std::size_t pending_seeds() const {
     return pending_seeds_.size();
@@ -116,6 +144,21 @@ class UdpTransport final : public Transport {
   [[nodiscard]] const AddressBook& peers() const { return book_; }
 
   void send(Message msg) override;
+
+  /// Sends to an explicit socket address, bypassing the AddressBook. The
+  /// shard router uses it for addresses carried in slice snapshots and for
+  /// client replies from executor shards (the client's address was observed
+  /// on the ingress shard's socket, not this one). Counted like send().
+  void send_to(const Message& msg, const sockaddr_in& to);
+
+  /// Feeds a datagram-source observation into this transport's book, as if
+  /// the datagram had arrived on this socket. Owner-thread-only like every
+  /// other method; the shard router mails it ahead of forwarded messages so
+  /// shard 0 can route replies to clients seen on worker sockets.
+  void observe_peer(NodeId node, const sockaddr_in& from) {
+    book_.observe(node, from);
+  }
+
   void register_handler(NodeId node, Handler handler) override;
   void unregister_handler(NodeId node) override;
 
@@ -124,28 +167,51 @@ class UdpTransport final : public Transport {
   }
   void learn_endpoint(NodeId node, const Endpoint& endpoint) override;
 
-  // Accounting, mirroring SimTransport's counters.
-  [[nodiscard]] std::uint64_t total_sent() const { return total_sent_; }
+  // Accounting, mirroring SimTransport's counters. Written only on the
+  // owner thread; atomic so shard 0's metrics render may read every shard's
+  // totals without synchronizing the loops.
+  [[nodiscard]] std::uint64_t total_sent() const {
+    return total_sent_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t total_delivered() const {
-    return total_delivered_;
+    return total_delivered_.load(std::memory_order_relaxed);
   }
   /// Sends dropped for an unknown peer, send errors, datagrams that failed
   /// frame decoding, and deliveries with no registered handler.
-  [[nodiscard]] std::uint64_t total_dropped() const { return total_dropped_; }
+  [[nodiscard]] std::uint64_t total_dropped() const {
+    return total_dropped_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::uint64_t decode_failures() const {
-    return decode_failures_;
+    return decode_failures_.load(std::memory_order_relaxed);
+  }
+  /// Datagrams that traveled inside a batched syscall (0 when batch_io is
+  /// off or unsupported) — observability for the mmsg hot path.
+  [[nodiscard]] std::uint64_t batched_recv() const {
+    return batched_recv_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t batched_send() const {
+    return batched_send_.load(std::memory_order_relaxed);
   }
 
  private:
   /// Drains the socket: decodes and dispatches every queued datagram.
   void on_readable();
+  /// Decodes one raw datagram and routes it (discovery frames, handler
+  /// dispatch) — shared by the single-syscall and recvmmsg drain paths.
+  void process_datagram(ByteView datagram, const sockaddr_in& from);
 
   void send_frame_to(const Message& msg, const sockaddr_in& to);
+  void enqueue_send(Payload frame, const sockaddr_in& to);
+  void flush_pending_sends();
   void send_probe(const sockaddr_in& to);
   void probe_pending_seeds();
   void handle_probe(const Message& msg, const sockaddr_in& from);
   void handle_probe_reply(const Message& msg, const sockaddr_in& from);
   void handle_stats_request(const Message& msg, const sockaddr_in& from);
+
+  /// Datagrams per batched syscall. Receive buffers are a member (one
+  /// ~61 KB buffer per slot would not fit on the stack).
+  static constexpr std::size_t kIoBatch = 16;
 
   runtime::RealTimeRuntime& runtime_;
   Options options_;
@@ -158,10 +224,22 @@ class UdpTransport final : public Transport {
   runtime::TimerHandle seed_timer_;
   SeedListener seed_listener_;
   StatsProvider stats_provider_;
-  std::uint64_t total_sent_ = 0;
-  std::uint64_t total_delivered_ = 0;
-  std::uint64_t total_dropped_ = 0;
-  std::uint64_t decode_failures_ = 0;
+  StatsForwarder stats_forwarder_;
+
+  struct PendingSend {
+    Payload frame;  ///< keeps the encoded bytes alive until the syscall
+    sockaddr_in to;
+  };
+  std::vector<PendingSend> pending_sends_;
+  runtime::TimerHandle flush_timer_;
+  std::vector<std::uint8_t> recv_buffers_;  ///< kIoBatch slots, batch_io only
+
+  std::atomic<std::uint64_t> total_sent_{0};
+  std::atomic<std::uint64_t> total_delivered_{0};
+  std::atomic<std::uint64_t> total_dropped_{0};
+  std::atomic<std::uint64_t> decode_failures_{0};
+  std::atomic<std::uint64_t> batched_recv_{0};
+  std::atomic<std::uint64_t> batched_send_{0};
 };
 
 }  // namespace dataflasks::net

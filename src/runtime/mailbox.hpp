@@ -1,0 +1,124 @@
+// Lock-free cross-shard mailbox: the only channel work may travel between
+// runtime shards in the shared-nothing server.
+//
+// Shape: an intrusive MPSC queue (Vyukov's non-blocking variant). Any thread
+// pushes a heap-allocated node holding a move-only closure with one atomic
+// exchange; the single consumer — the owning shard's poll loop — drains with
+// plain loads plus one consume-side atomic per node. No locks, no CAS loops
+// on the producer side, no ABA (nodes are only reused after the consumer has
+// fully detached them).
+//
+// The closure type is the same `UniqueFunction` the event queue runs, so a
+// drained mailbox entry executes exactly like a locally posted event: code
+// that runs on a shard never observes whether it was scheduled locally or
+// mailed from another thread.
+//
+// Progress note: a producer that is preempted between the exchange and the
+// `next` store leaves the chain momentarily broken; the consumer then stops
+// early and retries on the next drain. `pop_all` therefore returns what is
+// reachable, not necessarily everything exchanged — the eventfd wake-up the
+// runtime pairs with this queue guarantees another drain follows.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/unique_function.hpp"
+
+namespace dataflasks::runtime {
+
+class Mailbox {
+ public:
+  Mailbox() : head_(&stub_), tail_(&stub_) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  ~Mailbox() {
+    // Single-threaded by the time a runtime is destroyed: drop whatever
+    // closures were never drained (their captures release normally).
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      if (node != &stub_) delete node;
+      node = next;
+    }
+  }
+
+  /// Enqueues `fn` from any thread. Wait-free: one allocation plus one
+  /// atomic exchange. Callers pair every push with a wake-up signal; the
+  /// queue deliberately offers no "was empty" answer, because producing one
+  /// would require producers to peek at consumer-owned state.
+  void push(UniqueFunction fn) { push_node(new Node(std::move(fn))); }
+
+  /// Drains every reachable entry into the consumer's care, invoking
+  /// `consume` on each closure in FIFO order. Single-consumer only.
+  /// Returns the number of closures run.
+  template <typename Consume>
+  std::size_t drain(Consume&& consume) {
+    std::size_t drained = 0;
+    while (Node* node = pop()) {
+      UniqueFunction fn = std::move(node->fn);
+      if (node != &stub_) delete node;
+      consume(std::move(fn));
+      ++drained;
+    }
+    return drained;
+  }
+
+  /// True when a producer has published at least one reachable entry.
+  /// Consumer-side heuristic (used to size poll timeouts), not a guarantee.
+  [[nodiscard]] bool likely_nonempty() const {
+    Node* tail = tail_;
+    return tail->next.load(std::memory_order_acquire) != nullptr ||
+           tail != head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(UniqueFunction f) : fn(std::move(f)) {}
+    std::atomic<Node*> next{nullptr};
+    UniqueFunction fn;
+  };
+
+  void push_node(Node* node) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    // The exchange makes this node the new head; linking the predecessor is
+    // the second, momentarily-lagging store the consumer tolerates.
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Single-consumer pop of the oldest reachable node; nullptr when empty
+  /// (or when a producer's link store is still in flight — see file header).
+  Node* pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return nullptr;  // empty (or link in flight)
+      tail_ = next;  // skip the stub; it is re-pushed when drained dry
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      tail_ = next;
+      return tail;
+    }
+    // `tail` is the last linked node. If a push has raced past it, its link
+    // store is in flight; report empty and let the wake-up retry. Otherwise
+    // recycle the stub so the final node becomes poppable.
+    if (tail != head_.load(std::memory_order_acquire)) return nullptr;
+    push_node(&stub_);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return nullptr;
+    tail_ = next;
+    return tail;
+  }
+
+  std::atomic<Node*> head_;  ///< producers exchange onto this end
+  Node* tail_;               ///< consumer-owned: oldest undrained node
+  Node stub_;                ///< sentinel so producers never see nullptr
+};
+
+}  // namespace dataflasks::runtime

@@ -1,18 +1,48 @@
 #include "runtime/real_time_runtime.hpp"
 
+#include <fcntl.h>
 #include <poll.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <limits>
 #include <utility>
 
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#endif
+
 #include "common/ensure.hpp"
 
 namespace dataflasks::runtime {
 
 RealTimeRuntime::RealTimeRuntime(std::uint64_t seed)
-    : origin_(std::chrono::steady_clock::now()), rng_(seed) {}
+    : origin_(std::chrono::steady_clock::now()), rng_(seed) {
+#if defined(__linux__)
+  wake_rx_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  ensure(wake_rx_ >= 0, "RealTimeRuntime: eventfd failed");
+  wake_tx_ = wake_rx_;
+#else
+  int fds[2];
+  ensure(::pipe(fds) == 0, "RealTimeRuntime: pipe failed");
+  for (int fd : fds) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  wake_rx_ = fds[0];
+  wake_tx_ = fds[1];
+#endif
+  // The wake descriptor rides the ordinary watch list: readable means
+  // "mailed work (or a stop) is pending", and the handler drains both the
+  // descriptor and the mailbox on the loop thread.
+  watch_fd(wake_rx_, [this] { drain_mailbox(); });
+}
+
+RealTimeRuntime::~RealTimeRuntime() {
+  if (wake_tx_ >= 0 && wake_tx_ != wake_rx_) ::close(wake_tx_);
+  if (wake_rx_ >= 0) ::close(wake_rx_);
+}
 
 SimTime RealTimeRuntime::now() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -31,6 +61,46 @@ TimerHandle RealTimeRuntime::schedule_at(SimTime at, UniqueFunction fn) {
 
 void RealTimeRuntime::post_at(SimTime at, UniqueFunction fn) {
   queue_.push(at, std::move(fn));
+}
+
+void RealTimeRuntime::post_from_any_thread(UniqueFunction fn) {
+  mailbox_.push(std::move(fn));
+  signal_wake();
+}
+
+void RealTimeRuntime::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  signal_wake();
+}
+
+void RealTimeRuntime::signal_wake() {
+  // Only async-signal-safe calls here: stop() runs from SIGINT/SIGTERM.
+  const std::uint64_t one = 1;
+#if defined(__linux__)
+  [[maybe_unused]] ssize_t n = ::write(wake_tx_, &one, sizeof(one));
+#else
+  const char token = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_tx_, &token, 1);
+#endif
+  // A full pipe/counter means a wake-up is already pending; nothing to do.
+}
+
+std::uint64_t RealTimeRuntime::drain_mailbox() {
+  // Reset the wake signal first: a push that lands after this read re-arms
+  // it, so its closure is seen either by this drain or the next poll pass.
+#if defined(__linux__)
+  std::uint64_t counter = 0;
+  while (::read(wake_rx_, &counter, sizeof(counter)) > 0) {
+  }
+#else
+  char buf[256];
+  while (::read(wake_rx_, buf, sizeof(buf)) > 0) {
+  }
+#endif
+  std::uint64_t drained = 0;
+  drained = mailbox_.drain([](UniqueFunction fn) { fn(); });
+  mailbox_drained_.fetch_add(drained, std::memory_order_relaxed);
+  return drained;
 }
 
 void RealTimeRuntime::watch_fd(int fd, FdHandler on_readable) {

@@ -5,9 +5,12 @@
 //
 // Single-threaded by design, like the simulator: every timer and I/O
 // callback runs on the thread inside run()/run_until(), so protocol code
-// needs no locking in either runtime. stop() is the one cross-thread /
-// signal-safe entry point (an atomic flag; an in-flight poll wakes on
-// signal EINTR or at the idle-poll cap).
+// needs no locking in either runtime. Two cross-thread entry points exist:
+// stop() (atomic flag + wake signal; also async-signal-safe) and
+// post_from_any_thread() (lock-free mailbox + wake signal) — the door the
+// sharded server's cross-shard traffic travels through. The wake signal is
+// an eventfd (self-pipe elsewhere) watched by the poll loop, so a sleeping
+// shard reacts to mailed work immediately instead of at the idle-poll cap.
 #pragma once
 
 #include <poll.h>
@@ -19,6 +22,7 @@
 #include "common/rng.hpp"
 #include "common/unique_function.hpp"
 #include "runtime/event_queue.hpp"
+#include "runtime/mailbox.hpp"
 #include "runtime/runtime.hpp"
 
 namespace dataflasks::runtime {
@@ -28,6 +32,7 @@ class RealTimeRuntime final : public Runtime {
   using FdHandler = MoveOnlyFunction<void()>;
 
   explicit RealTimeRuntime(std::uint64_t seed);
+  ~RealTimeRuntime() override;
 
   /// Microseconds of steady-clock time since construction. Monotonic, so
   /// SimTime arithmetic written against the simulator behaves identically.
@@ -37,6 +42,12 @@ class RealTimeRuntime final : public Runtime {
 
   TimerHandle schedule_at(SimTime at, UniqueFunction fn) override;
   void post_at(SimTime at, UniqueFunction fn) override;
+
+  /// Cross-thread work submission: pushes `fn` onto the lock-free mailbox
+  /// and wakes the poll loop. The closure runs on this runtime's thread,
+  /// interleaved with timers exactly like a locally posted event. Safe from
+  /// any thread, including while run() is sleeping in poll(2).
+  void post_from_any_thread(UniqueFunction fn) override;
 
   /// Watches `fd` for readability; `on_readable` runs on the loop thread
   /// every time poll reports POLLIN/POLLERR/POLLHUP. Level-triggered: the
@@ -56,11 +67,17 @@ class RealTimeRuntime final : public Runtime {
   std::uint64_t run_for(SimTime duration);
 
   /// Makes run()/run_until() return after the current callback completes.
-  /// Async-signal-safe and callable from other threads.
-  void stop() { stop_.store(true, std::memory_order_relaxed); }
+  /// Async-signal-safe and callable from other threads; the wake signal
+  /// means a shard sleeping in poll(2) stops promptly, not at the idle cap.
+  void stop();
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
-  [[nodiscard]] std::size_t watched_fds() const { return fds_.size(); }
+  /// User-watched descriptors (the internal wake descriptor is excluded).
+  [[nodiscard]] std::size_t watched_fds() const { return fds_.size() - 1; }
+  /// Closures executed off the cross-thread mailbox (tests/metrics).
+  [[nodiscard]] std::uint64_t mailbox_drained() const {
+    return mailbox_drained_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Watch {
@@ -71,6 +88,12 @@ class RealTimeRuntime final : public Runtime {
   /// Sleeps in poll(2) for at most `timeout` and dispatches ready fds.
   /// Returns the number of handler invocations.
   std::uint64_t poll_io(SimTime timeout);
+
+  /// Writes one token to the wake descriptor (async-signal-safe).
+  void signal_wake();
+  /// Drains the wake descriptor and runs every mailed closure. Returns the
+  /// number of closures executed.
+  std::uint64_t drain_mailbox();
 
   /// Caps idle sleeps so a cross-thread stop() is honoured promptly even
   /// when no timer is due and no fd turns readable.
@@ -87,6 +110,14 @@ class RealTimeRuntime final : public Runtime {
   bool pollfds_stale_ = true;
   std::vector<int> ready_scratch_;
   std::atomic<bool> stop_{false};
+
+  // Cross-thread wake-up plumbing: wake_rx_ is watched by the poll loop;
+  // wake_tx_ is what producers (and stop()) write to. With eventfd both are
+  // the same descriptor; the pipe fallback uses two.
+  Mailbox mailbox_;
+  int wake_rx_ = -1;
+  int wake_tx_ = -1;
+  std::atomic<std::uint64_t> mailbox_drained_{0};
 };
 
 }  // namespace dataflasks::runtime

@@ -67,6 +67,15 @@ class Runtime : public Clock {
   /// post_after, so every runtime shares the same re-arming discipline.
   TimerHandle schedule_periodic(SimTime initial_delay, SimTime period,
                                 UniqueFunction fn);
+
+  /// The cross-shard door: enqueues `fn` to run on this runtime's thread,
+  /// callable from ANY thread. Every other method on this interface is
+  /// owner-thread-only. The default forwards to post_at(now()) — correct
+  /// for single-threaded runtimes (the simulator); RealTimeRuntime
+  /// overrides it with a lock-free mailbox plus an eventfd wake-up.
+  virtual void post_from_any_thread(UniqueFunction fn) {
+    post_at(now(), std::move(fn));
+  }
 };
 
 }  // namespace dataflasks::runtime

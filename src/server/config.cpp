@@ -1,8 +1,10 @@
 #include "server/config.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/logging.hpp"
 
@@ -134,6 +136,13 @@ std::string apply_entry(ServerConfig& config, const std::string& key,
       return "bad shed_lag_low_ms: " + value;
     }
     config.shed_lag_low_ms = static_cast<std::int64_t>(u64);
+  } else if (key == "shards") {
+    // 0 = auto (hardware concurrency). Capped: beyond 16 shards the
+    // cross-shard mail and REUSEPORT group outgrow any machine this runs on.
+    if (!parse_u64(value, u64) || u64 > 16) {
+      return "bad shards (0=auto, 1-16): " + value;
+    }
+    config.shards = static_cast<std::uint32_t>(u64);
   } else if (key == "shed_trickle_per_sec") {
     if (!parse_u64(value, config.shed_trickle_per_sec) ||
         config.shed_trickle_per_sec == 0) {
@@ -184,6 +193,12 @@ core::NodeOptions ServerConfig::node_options() const {
   options.admission.maintenance_trickle_per_sec =
       static_cast<std::uint32_t>(shed_trickle_per_sec);
   return options;
+}
+
+std::size_t ServerConfig::resolved_shards() const {
+  if (shards != 0) return shards;
+  const unsigned cores = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(16, std::max<std::size_t>(1, cores));
 }
 
 std::string ServerConfig::store_path() const {
@@ -260,6 +275,7 @@ Result<ServerConfig> parse_server_args(const std::vector<std::string>& args,
     if (flag == "--shed-lag-high-ms") return "shed_lag_high_ms";
     if (flag == "--shed-lag-low-ms") return "shed_lag_low_ms";
     if (flag == "--shed-trickle-per-sec") return "shed_trickle_per_sec";
+    if (flag == "--shards") return "shards";
     return {};
   };
 

@@ -33,6 +33,8 @@
 //   shed_lag_low_ms  = 20                 # ... and leaving overload
 //   shed_trickle_per_sec = 200            # maintenance msgs still admitted
 //                                         # per second while overloaded
+//   shards = 4                            # shared-nothing runtime shards
+//                                         # (0 = one per hardware thread)
 //
 // Equivalent CLI flags: --config <file>, --id N, --listen host:port,
 // --advertise host, --peer id@host:port (repeatable), --seed host:port
@@ -41,7 +43,7 @@
 // --store memory|durable, --data-dir DIR, --metrics-port N,
 // --log-level LEVEL, --max-inflight-ops N, --shed-queue-high N,
 // --shed-queue-low N, --shed-lag-high-ms N, --shed-lag-low-ms N,
-// --shed-trickle-per-sec N.
+// --shed-trickle-per-sec N, --shards N.
 //
 // Hosts in listen/peer may be DNS names; resolution (getaddrinfo) happens
 // when the UDP transport binds/maps the address, not at parse time.
@@ -125,6 +127,15 @@ struct ServerConfig {
   /// Maintenance traffic (gossip/anti-entropy) admitted per second while
   /// overloaded, so membership and repair never starve.
   std::uint64_t shed_trickle_per_sec = 200;
+
+  /// Shared-nothing shard count: N runtime shards, each on its own thread
+  /// with its own SO_REUSEPORT socket (see server/shard_group.hpp). 0 =
+  /// auto (one shard per hardware thread, capped at 16); 1 = the classic
+  /// single-runtime server. Config key `shards` / flag `--shards`.
+  std::uint32_t shards = 0;
+
+  /// `shards` with 0 resolved to the hardware concurrency (clamped 1-16).
+  [[nodiscard]] std::size_t resolved_shards() const;
 
   /// NodeOptions with every periodic cadence scaled to this config's
   /// real-clock periods.

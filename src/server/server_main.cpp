@@ -1,5 +1,5 @@
-// dataflasks_server: boots ONE DataFlasks node as a standalone process on a
-// real-clock runtime and a UDP transport — the deployment face of the exact
+// dataflasks_server: boots ONE DataFlasks node as a standalone process on
+// real-clock runtimes and UDP transports — the deployment face of the exact
 // protocol code the simulator drives with thousands of in-process nodes.
 //
 //   $ dataflasks_server --id 0 --listen 127.0.0.1:7100
@@ -8,9 +8,14 @@
 // One --seed host:port is enough to join: the seed's node id is discovered
 // with a transport probe, and every other member's address arrives by
 // gossip (PSS descriptors and slice adverts carry endpoints). Static
-// --peer id@host:port maps still work and are pinned. Runs until
-// SIGINT/SIGTERM. See src/server/config.hpp for the full flag and
-// config-file reference.
+// --peer id@host:port maps still work and are pinned.
+//
+// --shards N (default: one per hardware thread) runs the process as a
+// shared-nothing shard group: N runtime threads, each with its own
+// SO_REUSEPORT socket, executing client ops against a partitioned store
+// while membership/gossip stays on shard 0 (see server/shard_group.hpp).
+// --shards 1 is the classic single-runtime server, unchanged. Runs until
+// SIGINT/SIGTERM. See src/server/config.hpp for the full flag reference.
 #include <csignal>
 #include <cstdio>
 #include <memory>
@@ -25,15 +30,19 @@
 #include "obs/metrics_endpoint.hpp"
 #include "runtime/real_time_runtime.hpp"
 #include "server/config.hpp"
+#include "server/shard_group.hpp"
 #include "store/log_store.hpp"
+#include "store/memstore.hpp"
+#include "store/sharded_store.hpp"
 
 namespace {
 
-dataflasks::runtime::RealTimeRuntime* g_runtime = nullptr;
+dataflasks::server::ShardGroup* g_group = nullptr;
 
 void handle_signal(int) {
-  // stop() is an atomic flag; the poll loop wakes on EINTR and exits.
-  if (g_runtime != nullptr) g_runtime->stop();
+  // ShardGroup::stop() is async-signal-safe: per runtime, an atomic flag
+  // plus an eventfd write — every shard loop wakes promptly and exits.
+  if (g_group != nullptr) g_group->stop();
 }
 
 }  // namespace
@@ -52,7 +61,7 @@ int main(int argc, char** argv) {
                  "[--peer ID@HOST:PORT ...] [--seed HOST:PORT|N ...] "
                  "[--capacity X] [--slices K] [--gossip-ms N] [--ae-ms N] "
                  "[--store memory|durable] [--data-dir DIR] "
-                 "[--metrics-port N] [--log-level LEVEL]\n");
+                 "[--metrics-port N] [--log-level LEVEL] [--shards N]\n");
     return 1;
   }
   const server::ServerConfig config = std::move(parsed).value();
@@ -62,18 +71,78 @@ int main(int argc, char** argv) {
   }
   Logger log("server");
 
+  const std::size_t shards = config.resolved_shards();
+
   // Each process gets its own deterministic stream: either the configured
   // seed or one derived from the node id (so a homogeneously-configured
-  // fleet still gossips independently).
+  // fleet still gossips independently). Shards fork per-shard streams.
   const std::uint64_t seed =
       config.seed != 0 ? config.seed : 0xDF5EED00ULL + config.id;
 
-  runtime::RealTimeRuntime rt(seed);
-  net::UdpTransport::Options net_options;
-  net_options.bind_host = config.listen_host;
-  net_options.port = config.listen_port;
-  net_options.advertise_host = config.advertise_host;
-  net::UdpTransport transport(rt, net_options);
+  // ---- store assembly ----
+  // Single shard: the classic wiring (one LogStore, or the node's own
+  // volatile MemStore). Multi shard: a ShardedStore with one partition per
+  // shard — per-partition locks make it safe for the executor threads, and
+  // its constructor re-homes recovered objects across --shards changes.
+  // Durable partitions get their own log files; partition 0 keeps the
+  // legacy file name so existing data directories upgrade in place.
+  std::unique_ptr<store::Store> assembled;
+  if (config.store == server::StoreKind::kDurable || shards > 1) {
+    std::vector<std::unique_ptr<store::Store>> partitions;
+    std::size_t recovered = 0;
+    for (std::size_t k = 0; k < shards; ++k) {
+      if (config.store == server::StoreKind::kDurable) {
+        std::string path = config.store_path();
+        if (k > 0) {
+          const std::string suffix =
+              "-shard" + std::to_string(k) + ".log";
+          path.replace(path.rfind(".log"), 4, suffix);
+        }
+        auto log_store = std::make_unique<store::LogStore>(path);
+        if (!log_store->open_status().ok()) {
+          std::fprintf(stderr, "dataflasks_server: %s\n",
+                       log_store->open_status().error().message.c_str());
+          return 1;
+        }
+        recovered += log_store->object_count();
+        partitions.push_back(std::move(log_store));
+      } else {
+        partitions.push_back(std::make_unique<store::MemStore>());
+      }
+    }
+    if (config.store == server::StoreKind::kDurable) {
+      std::printf("dataflasks_server: durable store %s (%zu objects "
+                  "recovered, %zu partitions)\n",
+                  config.store_path().c_str(), recovered, shards);
+    }
+    if (shards == 1) {
+      assembled = std::move(partitions.front());
+    } else {
+      auto sharded =
+          std::make_unique<store::ShardedStore>(std::move(partitions));
+      if (sharded->rebalanced() > 0) {
+        log.info("rebalanced ", sharded->rebalanced(),
+                 " objects across ", shards, " store partitions");
+      }
+      assembled = std::move(sharded);
+    }
+  }
+
+  server::ShardGroupOptions group_options;
+  group_options.id = NodeId(config.id);
+  group_options.capacity = config.capacity;
+  group_options.seed = seed;
+  group_options.shards = shards;
+  group_options.net.bind_host = config.listen_host;
+  group_options.net.port = config.listen_port;
+  group_options.net.advertise_host = config.advertise_host;
+  group_options.node = config.node_options();
+
+  server::ShardGroup group(group_options, std::move(assembled));
+  core::Node& node = group.node();
+  runtime::RealTimeRuntime& rt = group.shard0_runtime();
+  net::UdpTransport& transport = group.shard0_transport();
+
   if (!transport.local_endpoint().has_value()) {
     // Binding the wildcard without an advertise host means self-descriptors
     // carry no endpoint: peers can still reach us through configuration and
@@ -86,31 +155,11 @@ int main(int argc, char** argv) {
     transport.add_peer(NodeId(peer.id), peer.host, peer.port);
   }
 
-  // Durable store (--store durable): an append-only CRC'd log this process
-  // recovers on restart — tombstones included, so deletes survive too.
-  std::unique_ptr<store::Store> durable;
-  if (config.store == server::StoreKind::kDurable) {
-    auto log_store = std::make_unique<store::LogStore>(config.store_path());
-    if (!log_store->open_status().ok()) {
-      std::fprintf(stderr, "dataflasks_server: %s\n",
-                   log_store->open_status().error().message.c_str());
-      return 1;
-    }
-    std::printf("dataflasks_server: durable store %s (%zu objects "
-                "recovered)\n",
-                log_store->path().c_str(), log_store->object_count());
-    durable = std::move(log_store);
-  }
-
-  core::Node node(NodeId(config.id), config.capacity, rt, transport,
-                  config.node_options(), rt.rng().fork(0xDF).next_u64(),
-                  std::move(durable));
-
   // ---- observability ----
-  // One process-wide registry. The request hot path holds direct pointers
-  // to its per-op counters/histograms; instantaneous health (view sizes,
-  // backlogs, queue depth) is polled into gauges at render time, so a node
-  // nobody scrapes pays nothing for them.
+  // One process-wide registry. The request hot path (node AND executor
+  // shards — obs counters/histograms are atomic) holds direct pointers to
+  // its per-op counters/histograms; instantaneous health is polled into
+  // gauges at render time, so a node nobody scrapes pays nothing for them.
   obs::MetricsRegistry registry;
   core::OpHotMetrics hot;
   {
@@ -147,54 +196,80 @@ int main(int argc, char** argv) {
         .set(static_cast<double>(transport.peers().learned_count()));
     registry
         .gauge("df_runtime_queue_depth", "",
-               "Events pending on the runtime loop")
+               "Events pending on the runtime loop (shard 0)")
         .set(static_cast<double>(rt.pending_events()));
-    if (const core::AdmissionController* adm = node.admission()) {
+    registry.gauge("df_shards", "", "Shared-nothing runtime shards")
+        .set(static_cast<double>(group.shard_count()));
+    // Process overload = the max-pressure shard (node's controller
+    // included): one saturated core sheds even if its siblings idle.
+    if (const auto pressure = group.max_pressure(); pressure.valid) {
       registry
           .gauge("df_admission_overloaded", "",
                  "1 while admission control is shedding load")
-          .set(adm->overloaded() ? 1.0 : 0.0);
+          .set(pressure.overloaded ? 1.0 : 0.0);
       registry
           .gauge("df_admission_loop_lag_us", "",
                  "Event-loop lag EWMA seen by the admission tick")
-          .set(adm->lag_ewma_us());
+          .set(pressure.lag_us);
       registry
           .gauge("df_admission_service_us", "",
                  "Smoothed per-operation service latency")
-          .set(adm->service_ewma_us());
+          .set(pressure.service_us);
       registry
           .gauge("df_admission_inflight_estimate", "",
                  "Little's-law in-flight operation estimate")
-          .set(adm->inflight_estimate());
+          .set(pressure.inflight);
       registry
           .gauge("df_admission_retry_after_ms", "",
                  "Retry-after hint currently sent with sheds")
-          .set(static_cast<double>(adm->retry_after_ms()));
+          .set(static_cast<double>(pressure.retry_after_ms));
+      registry
+          .gauge("df_admission_max_shard_queue_depth", "",
+                 "Runtime queue depth on the max-pressure shard")
+          .set(static_cast<double>(pressure.queue_depth));
     }
     registry.gauge("df_store_objects", "", "Objects held by the data store")
         .set(static_cast<double>(node.store().object_count()));
     registry
         .gauge("df_store_value_bytes", "", "Value bytes held by the store")
         .set(static_cast<double>(node.store().value_bytes()));
-    registry
-        .counter("df_transport_sent_total", "", "Datagrams sent")
-        .set(transport.total_sent());
+    const server::ShardGroup::Totals totals = group.totals();
+    registry.counter("df_transport_sent_total", "", "Datagrams sent")
+        .set(totals.sent);
     registry
         .counter("df_transport_delivered_total", "", "Datagrams delivered")
-        .set(transport.total_delivered());
+        .set(totals.delivered);
+    registry.counter("df_transport_dropped_total", "", "Datagrams dropped")
+        .set(totals.dropped);
     registry
-        .counter("df_transport_dropped_total", "", "Datagrams dropped")
-        .set(transport.total_dropped());
+        .counter("df_transport_batched_recv_total", "",
+                 "Datagrams received via batched recvmmsg")
+        .set(totals.batched_recv);
+    registry
+        .counter("df_transport_batched_send_total", "",
+                 "Datagrams sent via batched sendmmsg")
+        .set(totals.batched_send);
+    registry
+        .counter("df_mailbox_drained_total", "",
+                 "Cross-shard mailbox closures executed")
+        .set(totals.mailbox_drained);
     // The node's per-subsystem event counters ride along as one labeled
-    // family, so CLI stats, UDP scrapes and HTTP scrapes all see them.
+    // family; executor-shard counters fold into the same names so CLI
+    // stats, UDP scrapes and HTTP scrapes all see one node.
+    MetricsRegistry merged;
+    for (const auto& [name, value] : node.metrics().all_counters()) {
+      merged.counter(name).add(value);
+    }
+    group.merge_counters(merged);
     return registry.render() +
-           obs::render_node_counters(node.metrics(), "df_node_events_total");
+           obs::render_node_counters(merged, "df_node_events_total");
   };
-  node.set_op_metrics(&hot);
+  group.set_op_metrics(&hot);
   node.set_stats_provider(render_stats);       // Operation::stats() admin op
   transport.set_stats_provider(render_stats);  // kStatsRequest UDP frames
   // Admission control reads the loop's queue depth through the same probe
-  // the df_runtime_queue_depth gauge polls.
+  // the df_runtime_queue_depth gauge polls (worker shards probe their own
+  // loops; see ShardGroup).
   node.set_load_probe([&rt]() { return rt.pending_events(); });
 
   // Seed-only join: each probe reply names the node id living at a seed
@@ -204,11 +279,11 @@ int main(int argc, char** argv) {
     log.info("seed resolved to ", to_string(contact));
     node.add_contact(contact);
   });
-  for (const server::SeedSpec& seed : config.seeds) {
-    transport.add_seed(seed.host, seed.port);
+  for (const server::SeedSpec& seed_spec : config.seeds) {
+    transport.add_seed(seed_spec.host, seed_spec.port);
   }
 
-  node.start(config.peer_ids());
+  group.start(config.peer_ids());
 
   // Optional plain-TCP Prometheus endpoint (--metrics-port; 0 = ephemeral).
   // Printed before the ready line so scripts can parse both in one pass.
@@ -222,27 +297,35 @@ int main(int argc, char** argv) {
                 config.listen_host.c_str(), metrics_endpoint->port());
   }
 
-  g_runtime = &rt;
+  g_group = &group;
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
-  // The "ready" line is a contract: scripts (and the CI smoke test) wait
-  // for it before pointing clients at the process.
+  // Worker shard threads spawn only after every socket is bound and every
+  // handler installed, so the ready line below is an honest contract:
+  // scripts (and the CI smoke test) wait for it before pointing clients at
+  // the process.
+  group.start_workers();
   std::printf("dataflasks_server: node %llu ready on %s:%u (%zu peers, %zu "
-              "seeds, %u slices)\n",
+              "seeds, %u slices, %zu shards)\n",
               static_cast<unsigned long long>(config.id),
               config.listen_host.c_str(), transport.local_port(),
-              config.peers.size(), config.seeds.size(), config.slices);
+              config.peers.size(), config.seeds.size(), config.slices,
+              group.shard_count());
   std::fflush(stdout);
 
-  rt.run();
+  group.run();
 
+  // SIGINT/SIGTERM stopped every shard loop; join the workers before any
+  // teardown so no executor touches the store or a socket mid-destruction.
+  group.shutdown();
   node.crash();
+  const server::ShardGroup::Totals totals = group.totals();
   std::printf("dataflasks_server: node %llu stopped (sent=%llu "
               "delivered=%llu dropped=%llu)\n",
               static_cast<unsigned long long>(config.id),
-              static_cast<unsigned long long>(transport.total_sent()),
-              static_cast<unsigned long long>(transport.total_delivered()),
-              static_cast<unsigned long long>(transport.total_dropped()));
+              static_cast<unsigned long long>(totals.sent),
+              static_cast<unsigned long long>(totals.delivered),
+              static_cast<unsigned long long>(totals.dropped));
   return 0;
 }

@@ -1,0 +1,90 @@
+// Keyspace-partitioned Store for the shared-nothing multi-shard server.
+//
+// N inner stores, one per runtime shard, partitioned by a stable key hash.
+// The hot path — a shard executor operating on its own partition — takes an
+// uncontended per-partition mutex; the locks exist so the legacy protocol
+// paths that still run whole-store operations on shard 0 (anti-entropy
+// ingest, state transfer, handoff flushes, tombstone GC, slice-change
+// evictions) stay correct against concurrent executors without rewriting
+// every protocol component for shard awareness.
+//
+// The merged digest view (digest_entries) is what anti-entropy reads every
+// round; it is rebuilt lazily behind an atomic dirty flag and only ever
+// read on shard 0, where all anti-entropy work lives.
+//
+// Restart compatibility: a durable node restarted with a different --shards
+// value recovers objects into partitions keyed by the OLD count; the
+// constructor rebalances every misplaced object into its new home partition
+// so partition-local execution stays exact.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "store/store.hpp"
+
+namespace dataflasks::store {
+
+class ShardedStore final : public Store {
+ public:
+  /// Takes ownership of one inner store per partition (same count as the
+  /// server's shards). Rebalances recovered objects whose key hashes to a
+  /// different partition (durable restarts across a --shards change).
+  explicit ShardedStore(std::vector<std::unique_ptr<Store>> partitions);
+
+  /// Owning partition of `key` among `count` shards; the single definition
+  /// shared by the store and the shard router so they can never disagree.
+  [[nodiscard]] static std::size_t partition_of(const Key& key,
+                                                std::size_t count) {
+    return count <= 1 ? 0 : stable_key_hash(key) % count;
+  }
+
+  [[nodiscard]] std::size_t partition_count() const {
+    return partitions_.size();
+  }
+  /// Objects migrated between partitions at construction (restart with a
+  /// different shard count); exposed for tests and the boot log line.
+  [[nodiscard]] std::size_t rebalanced() const { return rebalanced_; }
+
+  Status put(const Object& obj) override;
+  CasOutcome compare_and_put(const Object& obj, Version expected) override;
+  [[nodiscard]] Result<Object> get(
+      const Key& key, std::optional<Version> version) const override;
+  [[nodiscard]] Version tombstone_version(const Key& key) const override;
+  std::size_t gc_tombstones(SimTime now, SimTime grace) override;
+  [[nodiscard]] bool contains(const Key& key, Version version) const override;
+  [[nodiscard]] std::vector<DigestEntry> digest() const override;
+  [[nodiscard]] const std::vector<DigestEntry>& digest_entries()
+      const override;
+  void for_each(const std::function<void(const Object&)>& fn) const override;
+  [[nodiscard]] std::vector<Object> all() const override;
+  std::size_t remove_keys_where(
+      const std::function<bool(const Key&)>& predicate) override;
+  [[nodiscard]] std::size_t object_count() const override;
+  [[nodiscard]] std::size_t value_bytes() const override;
+
+ private:
+  struct Partition {
+    std::unique_ptr<Store> store;
+    mutable std::mutex mutex;
+  };
+
+  [[nodiscard]] Partition& home_of(const Key& key) const {
+    return *partitions_[partition_of(key, partitions_.size())];
+  }
+  void mark_dirty() const {
+    digest_dirty_.store(true, std::memory_order_release);
+  }
+
+  // unique_ptr per partition: Partition holds a mutex and must not move.
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::size_t rebalanced_ = 0;
+
+  mutable std::atomic<bool> digest_dirty_{true};
+  mutable std::vector<DigestEntry> merged_digest_;  ///< shard-0 read only
+};
+
+}  // namespace dataflasks::store
