@@ -5,6 +5,8 @@
 #
 #   put -> get -> crash-survivor get        (replication)
 #   batch (pipelined puts + get)            (OpEnvelope batching)
+#   1 MiB put -> get from ANOTHER node       (TCP stream transport)
+#   mixed fleet small put/get                (UDP fallback, stream-less node)
 #   del -> get-miss                          (epidemic tombstones)
 #   restart node -> get still missing        (tombstone durability + AE)
 #   seed-only join (--seed host:port)        (gossip-learned membership)
@@ -14,6 +16,9 @@
 # runtime threads, SO_REUSEPORT ingress, cross-shard mailbox) while the
 # rest pin --shards 1, so every phase above also exercises a mixed fleet
 # where a sharded process gossips, replicates and serves with classics.
+# Nodes 0 and 1 listen for streams (--stream-port 0, ephemeral); node 2 is
+# deliberately stream-less, so small traffic to and from it proves the
+# UDP-fallback path against a stream-capable fleet.
 #
 # Used by the CI `cluster-smoke` job and runnable locally:
 #
@@ -61,9 +66,14 @@ start_server() {
   # single-runtime wiring so both server shapes interoperate in one fleet.
   local shards=1
   [[ "$i" == "1" ]] && shards=4
+  # Node 2 stays stream-less on purpose: the mixed-fleet phase proves UDP
+  # fallback against it.
+  local stream_flags=(--stream-port 0)
+  [[ "$i" == "2" ]] && stream_flags=()
   "$SERVER" --id "$i" --listen "127.0.0.1:$((BASE_PORT + i))" \
     --gossip-ms 100 --ae-ms 500 --store durable --data-dir "$LOG_DIR" \
-    --shards "$shards" --log-level warn "${node_peers[@]}" \
+    --shards "$shards" --log-level warn "${stream_flags[@]}" \
+    "${node_peers[@]}" \
     >> "$LOG_DIR/server$i.log" 2>&1 &
   PIDS[$i]=$!
 }
@@ -92,6 +102,17 @@ grep -q "4 shards" "$LOG_DIR/server1.log" || {
   cat "$LOG_DIR/server1.log" >&2
   exit 1
 }
+for i in 0 1; do
+  grep -q "streams on" "$LOG_DIR/server$i.log" || {
+    echo "cluster_smoke: node $i did not announce its stream listener" >&2
+    cat "$LOG_DIR/server$i.log" >&2
+    exit 1
+  }
+done
+! grep -q "streams on" "$LOG_DIR/server2.log" || {
+  echo "cluster_smoke: node 2 must stay stream-less for the fallback phase" >&2
+  exit 1
+}
 
 echo "== put"
 "$CLI" "${PEERS[@]}" --timeout-ms 5000 put smoke-key "hello-from-real-cluster"
@@ -114,6 +135,57 @@ grep -q "OK get batch-a" <<< "$OUT_BATCH" || {
 }
 grep -q "3 ops, 1 envelope" <<< "$OUT_BATCH" || {
   echo "cluster_smoke: batch did not pipeline into one envelope" >&2
+  exit 1
+}
+
+# ---- stream transport: a 1 MiB value, seventeen datagram budgets wide ------
+# The put goes through node 0 and the get through node 1 ONLY: the value
+# must have replicated node-to-node (an oversized push that itself needs a
+# stream) and node 1 — the 4-shard server — must serve it back down the
+# CLI's dialed TCP connection. argv would cap a value at 128 KiB, so the
+# put rides a batch envelope from stdin.
+echo "== 1 MiB put via node 0 (streamed envelope)"
+BIG_VALUE="$(head -c $((1024 * 1024)) /dev/zero | tr '\0' 'A')BIGVALEND"
+OUT_BIG="$(printf 'put big-key %s\n' "$BIG_VALUE" | \
+  "$CLI" --peer "0@127.0.0.1:$BASE_PORT" --timeout-ms 10000 batch)"
+grep -q "OK put big-key" <<< "$OUT_BIG" || {
+  echo "cluster_smoke: 1 MiB put did not succeed" >&2
+  echo "$OUT_BIG" >&2
+  exit 1
+}
+
+echo "== 1 MiB get from node 1 only (streamed reply after replication)"
+OUT_BIG_GET=""
+for _ in $(seq 1 30); do
+  OUT_BIG_GET="$("$CLI" --peer "1@127.0.0.1:$((BASE_PORT + 1))" \
+    --timeout-ms 5000 get big-key)" || true
+  grep -q "BIGVALEND" <<< "$OUT_BIG_GET" && break
+  sleep 0.5
+done
+grep -q "BIGVALEND" <<< "$OUT_BIG_GET" || {
+  echo "cluster_smoke: 1 MiB value never became readable on another node" >&2
+  echo "${OUT_BIG_GET:0:300}" >&2
+  exit 1
+}
+[[ "${#OUT_BIG_GET}" -gt 1000000 ]] || {
+  echo "cluster_smoke: big-key reply is too small to be the 1 MiB value" >&2
+  exit 1
+}
+
+# ---- mixed fleet: the stream-less node serves and replicates over UDP ------
+echo "== mixed fleet: small put through stream-less node 2, get via node 0"
+"$CLI" --peer "2@127.0.0.1:$((BASE_PORT + 2))" --timeout-ms 5000 \
+  put mixed-key "udp-fallback-value"
+OUT_MIXED=""
+for _ in $(seq 1 30); do
+  OUT_MIXED="$("$CLI" --peer "0@127.0.0.1:$BASE_PORT" --timeout-ms 3000 \
+    get mixed-key)" || true
+  grep -q "udp-fallback-value" <<< "$OUT_MIXED" && break
+  sleep 0.5
+done
+echo "$OUT_MIXED"
+grep -q "udp-fallback-value" <<< "$OUT_MIXED" || {
+  echo "cluster_smoke: value put via the stream-less node never replicated" >&2
   exit 1
 }
 
@@ -179,7 +251,7 @@ start_seed_node() {
   "$SERVER" --id 3 --listen "127.0.0.1:$port" \
     --seed "127.0.0.1:$BASE_PORT" \
     --gossip-ms 100 --ae-ms 500 --store durable --data-dir "$LOG_DIR" \
-    --shards 1 --log-level warn \
+    --shards 1 --log-level warn --stream-port 0 \
     >> "$LOG_DIR/server3.log" 2>&1 &
   PIDS[3]=$!
 }

@@ -207,6 +207,10 @@ class Reader {
     return out;
   }
 
+  /// Marks the input malformed. For decoders that meet an invalid tag or
+  /// out-of-range field rather than a short read.
+  void invalidate() { fail(); }
+
   [[nodiscard]] bool ok() const { return !failed_; }
   [[nodiscard]] bool at_end() const { return ok() && pos_ == size_; }
   [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
@@ -264,23 +268,42 @@ inline void encode_endpoint(Writer& w, const Endpoint& e) {
   return e;
 }
 
-/// Optional endpoint: a presence byte, then the fields. Simulated nodes
-/// have no endpoint to advertise, so absence is the common sim-path case.
+/// Optional endpoint: a tag byte, then the fields. Simulated nodes have no
+/// endpoint to advertise, so absence is the common sim-path case.
+///
+/// Tags: 0 = absent; 1 = UDP-only endpoint (the pre-stream layout, still
+/// emitted whenever stream_port == 0 so old decoders keep working); 2 = the
+/// same fields followed by a u16 stream port. Unknown tags fail the decode —
+/// they are malformed input, not "v-next with extra fields".
 inline void encode_endpoint_opt(Writer& w, const std::optional<Endpoint>& e) {
-  w.boolean(e.has_value());
-  if (e.has_value()) encode_endpoint(w, *e);
+  if (!e.has_value()) {
+    w.u8(0);
+    return;
+  }
+  w.u8(e->stream_port != 0 ? 2 : 1);
+  encode_endpoint(w, *e);
+  if (e->stream_port != 0) w.u16(e->stream_port);
 }
 
 [[nodiscard]] inline std::optional<Endpoint> decode_endpoint_opt(Reader& r) {
-  if (!r.boolean()) return std::nullopt;
-  return decode_endpoint(r);
+  const std::uint8_t tag = r.u8();
+  if (tag == 0) return std::nullopt;
+  if (tag != 1 && tag != 2) {
+    r.invalidate();
+    return std::nullopt;
+  }
+  Endpoint e = decode_endpoint(r);
+  if (tag == 2) e.stream_port = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return e;
 }
 
 [[nodiscard]] constexpr std::size_t encoded_size_endpoint_opt(
     const std::optional<Endpoint>& e) {
-  return 1 + (e.has_value() ? sizeof(std::uint32_t) + sizeof(std::uint16_t) +
-                                  sizeof(std::uint64_t)
-                            : 0);
+  if (!e.has_value()) return 1;
+  return 1 + sizeof(std::uint32_t) + sizeof(std::uint16_t) +
+         sizeof(std::uint64_t) +
+         (e->stream_port != 0 ? sizeof(std::uint16_t) : 0);
 }
 
 }  // namespace dataflasks

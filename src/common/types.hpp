@@ -55,6 +55,11 @@ struct Endpoint {
   std::uint16_t port = 0;   ///< UDP port, host byte order
   std::uint64_t stamp = 0;  ///< freshness: strictly larger = newer address
 
+  /// TCP stream port the node accepts length-prefixed connections on, or 0
+  /// when the node is UDP-only. Gossiped alongside the UDP address so peers
+  /// can negotiate streams without an extra handshake round.
+  std::uint16_t stream_port = 0;
+
   [[nodiscard]] constexpr bool valid() const { return port != 0; }
   friend constexpr bool operator==(const Endpoint&, const Endpoint&) = default;
 };

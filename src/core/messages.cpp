@@ -434,11 +434,12 @@ std::optional<StRequest> decode_st_request(const Payload& payload) {
 }
 
 Payload encode(const StReply& msg) {
-  std::size_t size = sizeof(std::uint32_t) + 1;
+  std::size_t size = sizeof(std::uint32_t) + 2;
   for (const store::Object& o : msg.objects) size += store::encoded_size(o);
   Writer w(size);
   w.u32(msg.slice);
   w.boolean(msg.done);
+  w.boolean(msg.continues);
   w.vec(msg.objects, [&w](const store::Object& o) { store::encode(w, o); });
   return w.take_payload();
 }
@@ -448,6 +449,7 @@ std::optional<StReply> decode_st_reply(const Payload& payload) {
   StReply msg;
   msg.slice = r.u32();
   msg.done = r.boolean();
+  msg.continues = r.boolean();
   msg.objects =
       r.vec<store::Object>([&r]() { return store::decode_object(r); });
   if (!r.finish().ok()) return std::nullopt;

@@ -323,14 +323,19 @@ struct StRequest {
   store::DigestEntry cursor;
 };
 
-/// One snapshot page, exactly one datagram per request: the donor bounds
-/// the page by `core::kBatchBytesBudget` as well as by object count, so a
-/// page of large values never exceeds what a UDP frame carries (and a lost
-/// reply is recovered by re-requesting from the same cursor — no partial
-/// pages to resequence). `done` marks the whole transfer complete.
+/// One snapshot page. Over UDP the donor bounds the page by
+/// `core::kBatchBytesBudget` as well as by object count, so a page of large
+/// values never exceeds what a UDP frame carries (and a lost reply is
+/// recovered by re-requesting from the same cursor — no partial pages to
+/// resequence). Over a stream the donor sizes pages against the transport's
+/// bigger payload budget and answers one request with a burst of pages,
+/// every page but the last marked `continues`: the joiner treats those as
+/// progress without issuing a request per page. `done` marks the whole
+/// transfer complete.
 struct StReply {
   SliceId slice = 0;
   bool done = false;
+  bool continues = false;
   std::vector<store::Object> objects;
 };
 

@@ -76,55 +76,90 @@ bool StateTransfer::handle(const net::Message& msg) {
 
 void StateTransfer::handle_request(const net::Message& msg,
                                    const StRequest& request) {
-  // Serve a page of the requested slice's objects, ordered by (key, version),
-  // strictly after the cursor. Candidates come from the store's cached
-  // digest (no full-store materialization per page request), and only the
-  // page worth of entries is fully sorted.
+  // Size pages against what the transport can actually carry to this
+  // requester. Over UDP that is one datagram-bounded page per request (a
+  // lost reply is a stalled page, retried from the same cursor; splitting a
+  // page across datagrams would let a lost middle chunk advance the cursor
+  // past objects never received). Over a stream the transport is reliable
+  // and the budget is megabytes, so one request is answered with a burst of
+  // larger pages — every page but the last marked `continues`, so the
+  // joiner follows along without a request per page.
+  const std::size_t transport_budget = transport_.max_payload(msg.src);
+  const bool streamed =
+      transport_budget > net::Transport::kDefaultMaxPayload;
+  // Leave codec headroom: the reply carries slice/flags/count besides the
+  // encoded objects that the byte budget counts.
+  const std::size_t byte_budget =
+      streamed ? transport_budget - 4096 : kBatchBytesBudget;
+  const std::size_t count_limit =
+      streamed ? options_.page_size * options_.stream_page_scale
+               : options_.page_size;
+  const std::size_t max_pages = streamed ? options_.stream_burst_pages : 1;
+
+  store::DigestEntry cursor = request.cursor;
+  for (std::size_t page = 0; page < max_pages; ++page) {
+    bool more = false;
+    StReply reply =
+        build_page(request.slice, cursor, byte_budget, count_limit, more);
+    reply.continues = more && page + 1 < max_pages;
+    const bool empty_page = reply.objects.empty();
+    transport_.send(net::Message{self_, msg.src, kStReply, encode(reply)});
+    metrics_.counter("st.pages_served").add();
+    // An empty non-done page means every candidate raced away between
+    // digest and store; stop the burst rather than spin on it.
+    if (!reply.continues || empty_page) break;
+  }
+}
+
+StReply StateTransfer::build_page(SliceId slice, store::DigestEntry& cursor,
+                                  std::size_t byte_budget,
+                                  std::size_t count_limit, bool& more) {
+  // One page of the slice's objects, ordered by (key, version), strictly
+  // after the cursor. Candidates come from the store's cached digest (no
+  // full-store materialization per page request), and only the page worth
+  // of entries is fully sorted.
   std::vector<store::DigestEntry> entries;
   for (const store::DigestEntry& e : store_.digest_entries()) {
-    if (key_slice_(e.key) == request.slice && request.cursor < e) {
-      entries.push_back(e);
-    }
+    if (key_slice_(e.key) == slice && cursor < e) entries.push_back(e);
   }
-  if (entries.size() > options_.page_size) {
-    std::nth_element(entries.begin(), entries.begin() + options_.page_size,
+  const bool count_capped = entries.size() > count_limit;
+  if (count_capped) {
+    std::nth_element(entries.begin(),
+                     entries.begin() + static_cast<std::ptrdiff_t>(count_limit),
                      entries.end());
-    entries.resize(options_.page_size);
+    entries.resize(count_limit);
   }
   std::sort(entries.begin(), entries.end());
 
-  // A page of large values can exceed what one UDP datagram carries, and
-  // the transport drops oversized frames — which would stall the join
-  // forever. Bound the page by bytes as well as by count: ship the longest
-  // prefix that fits the datagram budget and let cursor pagination fetch
-  // the rest. One datagram per request keeps loss recovery trivial (a
-  // dropped reply is a stalled page, retried from the same cursor);
-  // splitting one page across datagrams would let a lost middle chunk
-  // advance the cursor past objects that were never received.
   StReply reply;
-  reply.slice = request.slice;
+  reply.slice = slice;
   std::size_t page_bytes = 0;
   bool truncated = false;
   for (const store::DigestEntry& e : entries) {
     auto obj = store_.get(e.key, e.version);
-    if (!obj.ok()) continue;  // digest/store raced; entry simply not shipped
+    if (!obj.ok()) {
+      // Digest/store raced; the entry is simply not shipped. The cursor
+      // still moves past it so a burst does not re-examine it.
+      cursor = std::max(cursor, e);
+      continue;
+    }
     const std::size_t obj_bytes = store::encoded_size(obj.value());
     // Always ship at least one object; a single value over the budget
     // travels alone and the transport's hard cap decides its fate.
-    if (!reply.objects.empty() &&
-        page_bytes + obj_bytes > kBatchBytesBudget) {
+    if (!reply.objects.empty() && page_bytes + obj_bytes > byte_budget) {
       truncated = true;
       break;
     }
     page_bytes += obj_bytes;
+    cursor = std::max(cursor, e);
     reply.objects.push_back(std::move(obj).value());
   }
-  // Done only when this reply covers everything that remains: a full
-  // entries page means more may exist, and a byte-truncated page leaves
-  // its unsent suffix for the next cursor round.
-  reply.done = entries.size() < options_.page_size && !truncated;
-  transport_.send(net::Message{self_, msg.src, kStReply, encode(reply)});
-  metrics_.counter("st.pages_served").add();
+  // Done only when this page covers everything that remains: a count-capped
+  // entries list means more may exist, and a byte-truncated page leaves its
+  // unsent suffix for the next cursor round.
+  more = count_capped || truncated;
+  reply.done = !more;
+  return reply;
 }
 
 void StateTransfer::handle_reply(const StReply& reply) {
@@ -156,7 +191,11 @@ void StateTransfer::handle_reply(const StReply& reply) {
     store_.remove_keys_where(
         [this, mine](const Key& key) { return key_slice_(key) != mine; });
     if (on_complete_) on_complete_(target_slice_);
-  } else {
+  } else if (!reply.continues) {
+    // A `continues` page is one of a donor-side burst: the next page is
+    // already on the wire, so requesting here would double-serve. Should
+    // the burst's tail get lost with its connection, the stall clock still
+    // runs and tick() re-requests from the cursor.
     request_page();
   }
 }

@@ -18,9 +18,17 @@
 namespace dataflasks::core {
 
 struct StateTransferOptions {
-  std::size_t page_size = 64;  ///< objects per snapshot page
+  std::size_t page_size = 64;  ///< objects per snapshot page (UDP)
   /// Ticks without progress before the transfer retries with another peer.
   std::uint32_t stall_ticks = 3;
+  /// When the transport reports a stream-sized payload budget for the
+  /// requester, the donor answers one request with up to this many pages
+  /// (each sized against the stream budget, every page but the last marked
+  /// `continues`). UDP requesters always get exactly one page per request.
+  std::size_t stream_burst_pages = 4;
+  /// Object-count bound multiplier for stream pages: the byte budget is the
+  /// real limit there, but nth_element cost still wants a count cap.
+  std::size_t stream_page_scale = 16;
 };
 
 class StateTransfer {
@@ -52,6 +60,12 @@ class StateTransfer {
  private:
   void request_page();
   void handle_request(const net::Message& msg, const StRequest& request);
+  /// Builds one page strictly after `cursor` within `byte_budget` /
+  /// `count_limit`; advances `cursor` to the last entry examined-and-shipped
+  /// and reports via `more` whether unshipped entries remain.
+  [[nodiscard]] StReply build_page(SliceId slice, store::DigestEntry& cursor,
+                                   std::size_t byte_budget,
+                                   std::size_t count_limit, bool& more);
   void handle_reply(const StReply& reply);
 
   NodeId self_;

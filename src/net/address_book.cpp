@@ -47,6 +47,7 @@ bool AddressBook::learn(NodeId node, const Endpoint& endpoint) {
     Entry& entry = upsert(node);
     entry.addr = to_sockaddr(endpoint);
     entry.stamp = endpoint.stamp;
+    entry.stream_port = endpoint.stream_port;
     touch(entry);
     evict_excess_learned();
     return true;
@@ -55,6 +56,7 @@ bool AddressBook::learn(NodeId node, const Endpoint& endpoint) {
   if (endpoint.stamp <= entry.stamp) return false;  // stale gossip
   entry.addr = to_sockaddr(endpoint);
   entry.stamp = endpoint.stamp;
+  entry.stream_port = endpoint.stream_port;
   touch(entry);
   return true;
 }
@@ -99,6 +101,19 @@ std::uint16_t AddressBook::port_of(NodeId node) const {
   return it != entries_.end() ? ntohs(it->second.addr.sin_port) : 0;
 }
 
+std::uint16_t AddressBook::stream_port_of(NodeId node) const {
+  const auto it = entries_.find(node);
+  return it != entries_.end() ? it->second.stream_port : 0;
+}
+
+std::optional<sockaddr_in> AddressBook::stream_addr_of(NodeId node) const {
+  const auto it = entries_.find(node);
+  if (it == entries_.end() || it->second.stream_port == 0) return std::nullopt;
+  sockaddr_in addr = it->second.addr;
+  addr.sin_port = htons(it->second.stream_port);
+  return addr;
+}
+
 void AddressBook::evict_excess_learned() {
   while (learned_count() > options_.max_learned) {
     auto victim = entries_.end();
@@ -110,7 +125,9 @@ void AddressBook::evict_excess_learned() {
       }
     }
     if (victim == entries_.end()) return;  // all pinned (unreachable)
+    const NodeId evicted = victim->first;
     entries_.erase(victim);
+    if (evict_listener_) evict_listener_(evicted);
   }
 }
 

@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "common/types.hpp"
+#include "common/unique_function.hpp"
 
 namespace dataflasks::net {
 
@@ -71,6 +72,19 @@ class AddressBook {
   [[nodiscard]] std::uint64_t stamp_of(NodeId node) const;
   /// UDP port (host order) the entry routes to; 0 when absent.
   [[nodiscard]] std::uint16_t port_of(NodeId node) const;
+  /// Gossip-learned TCP stream port (host order); 0 when the peer is
+  /// UDP-only or unknown.
+  [[nodiscard]] std::uint16_t stream_port_of(NodeId node) const;
+  /// TCP dial address for `node`: the entry's IP with its stream port.
+  /// nullopt when the peer is unknown or advertises no stream port.
+  [[nodiscard]] std::optional<sockaddr_in> stream_addr_of(NodeId node) const;
+
+  /// Called with the NodeId of every learned entry dropped by LRU eviction,
+  /// so layers caching per-peer resources (stream connections) release them
+  /// instead of leaking the fd until process exit.
+  void set_evict_listener(MoveOnlyFunction<void(NodeId)> listener) {
+    evict_listener_ = std::move(listener);
+  }
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t learned_count() const {
@@ -81,6 +95,7 @@ class AddressBook {
   struct Entry {
     sockaddr_in addr{};
     std::uint64_t stamp = 0;
+    std::uint16_t stream_port = 0;  ///< gossiped TCP port, 0 = UDP-only
     bool pinned = false;
     std::uint64_t touched = 0;  ///< recency, for LRU eviction of learned
   };
@@ -97,6 +112,7 @@ class AddressBook {
   std::unordered_map<NodeId, Entry> entries_;
   std::size_t pinned_count_ = 0;
   std::uint64_t clock_ = 0;
+  MoveOnlyFunction<void(NodeId)> evict_listener_;
 };
 
 }  // namespace dataflasks::net

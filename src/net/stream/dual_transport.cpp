@@ -1,0 +1,211 @@
+#include "net/stream/dual_transport.hpp"
+
+#include <utility>
+
+#include "net/frame.hpp"
+#include "net/stream/stream_frame.hpp"
+
+namespace dataflasks::net {
+
+namespace {
+constexpr SimTime kTickPeriod = 250 * kMillis;
+}  // namespace
+
+DualTransport::DualTransport(runtime::RealTimeRuntime& rt, UdpTransport& udp,
+                             StreamTransport* stream, Options options)
+    : rt_(rt), udp_(udp), stream_(stream), options_(std::move(options)) {
+  if (stream_ == nullptr) return;
+  stream_->set_receiver([this](const Message& msg) { deliver(msg); });
+  stream_->set_peer_up_listener([this](NodeId node) { on_peer_up(node); });
+  stream_->set_peer_down_listener(
+      [this](NodeId node) { on_peer_down(node); });
+  // Bugfix ride-along: when the AddressBook LRU-evicts a learned peer, the
+  // cached stream connection to it must close too, or the fd leaks for the
+  // life of the process.
+  udp_.book().set_evict_listener(
+      [this](NodeId node) { stream_->close_peer(node); });
+  tick_timer_ =
+      rt_.schedule_periodic(kTickPeriod, kTickPeriod, [this] { tick(); });
+}
+
+DualTransport::~DualTransport() {
+  tick_timer_.cancel();
+  if (stream_ != nullptr) {
+    udp_.book().set_evict_listener({});
+    stream_->set_receiver({});
+    stream_->set_peer_up_listener({});
+    stream_->set_peer_down_listener({});
+  }
+}
+
+void DualTransport::register_handler(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+  udp_.register_handler(node,
+                        [this](const Message& msg) { deliver(msg); });
+}
+
+void DualTransport::unregister_handler(NodeId node) {
+  handlers_.erase(node);
+  udp_.unregister_handler(node);
+}
+
+void DualTransport::deliver(const Message& msg) {
+  const auto it = handlers_.find(msg.dst);
+  if (it != handlers_.end()) it->second(msg);
+}
+
+bool DualTransport::prefers_stream(std::uint16_t type) {
+  return options_.prefer_stream && options_.prefer_stream(type);
+}
+
+std::size_t DualTransport::max_payload(NodeId node) const {
+  if (stream_ != nullptr && stream_->connected_to(node)) {
+    return kMaxStreamPayload;
+  }
+  return kMaxFramePayload;
+}
+
+void DualTransport::drop_oversized() {
+  dropped_no_stream_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DualTransport::send(Message msg) {
+  const bool oversized = msg.payload.size() > kMaxFramePayload;
+  if (stream_ == nullptr) {
+    if (oversized) {
+      drop_oversized();
+      return;
+    }
+    udp_.send(std::move(msg));
+    return;
+  }
+
+  const bool want = oversized || prefers_stream(msg.type);
+  if (want && stream_->send(msg)) return;  // routed stream (open or dialing)
+
+  if (!want) {
+    // Maintenance and small traffic stays on UDP — except for peers we
+    // only know through a stream (a client that dialed us has no datagram
+    // source on record): their replies ride the connection back.
+    if (udp_.knows_peer(msg.dst)) {
+      udp_.send(std::move(msg));
+      return;
+    }
+    if (stream_->send(msg)) return;
+    udp_.send(std::move(msg));  // counts the unknown-peer drop
+    return;
+  }
+
+  // Wants a stream, none routed. Dial if gossip advertised a stream port
+  // and the peer is not in dial backoff; hold the message meanwhile.
+  const auto addr = udp_.book().stream_addr_of(msg.dst);
+  const auto backoff = backoff_until_.find(msg.dst);
+  const bool backed_off =
+      backoff != backoff_until_.end() && rt_.now() < backoff->second;
+  if (addr.has_value() && !backed_off) {
+    const NodeId dst = msg.dst;
+    // Hold first: a synchronously failed dial spills it back out.
+    hold(std::move(msg));
+    stream_->dial(dst, *addr);
+    return;
+  }
+  if (oversized) {
+    // No stream path right now. Discovery (a probe or gossip round) may
+    // still be in flight, so park it until the TTL decides.
+    hold(std::move(msg));
+    return;
+  }
+  udp_.send(std::move(msg));  // transparent fallback: peer is UDP-only
+}
+
+void DualTransport::hold(Message msg) {
+  const std::size_t bytes = msg.payload.size();
+  if (held_bytes_ + bytes > options_.max_pending_bytes) {
+    if (bytes > kMaxFramePayload) {
+      drop_oversized();
+    } else {
+      udp_.send(std::move(msg));
+    }
+    return;
+  }
+  held_bytes_ += bytes;
+  held_[msg.dst].push_back(Held{std::move(msg), rt_.now()});
+}
+
+void DualTransport::on_peer_up(NodeId node) {
+  backoff_until_.erase(node);
+  const auto it = held_.find(node);
+  if (it == held_.end()) return;
+  std::deque<Held> queued = std::move(it->second);
+  held_.erase(it);
+  for (Held& h : queued) {
+    held_bytes_ -= h.msg.payload.size();
+    if (!stream_->send(h.msg)) {
+      // The connection died while draining; spill what fits back to UDP.
+      if (h.msg.payload.size() <= kMaxFramePayload) {
+        udp_.send(std::move(h.msg));
+      } else {
+        drop_oversized();
+      }
+    }
+  }
+}
+
+void DualTransport::on_peer_down(NodeId node) {
+  backoff_until_[node] = rt_.now() + options_.dial_backoff;
+  spill_to_udp(node);
+}
+
+void DualTransport::spill_to_udp(NodeId node) {
+  const auto it = held_.find(node);
+  if (it == held_.end()) return;
+  std::deque<Held> queued = std::move(it->second);
+  held_.erase(it);
+  for (Held& h : queued) {
+    held_bytes_ -= h.msg.payload.size();
+    if (h.msg.payload.size() <= kMaxFramePayload) {
+      udp_.send(std::move(h.msg));
+    } else {
+      drop_oversized();
+    }
+  }
+}
+
+void DualTransport::tick() {
+  const SimTime now = rt_.now();
+  for (auto it = held_.begin(); it != held_.end();) {
+    const NodeId node = it->first;
+    std::deque<Held>& queue = it->second;
+    // Expire messages that waited past the TTL: UDP when they fit.
+    while (!queue.empty() &&
+           now - queue.front().enqueued > options_.pending_ttl) {
+      Held h = std::move(queue.front());
+      queue.pop_front();
+      held_bytes_ -= h.msg.payload.size();
+      if (h.msg.payload.size() <= kMaxFramePayload) {
+        udp_.send(std::move(h.msg));
+      } else {
+        drop_oversized();
+      }
+    }
+    if (queue.empty()) {
+      it = held_.erase(it);
+      continue;
+    }
+    // Still waiting: re-dial once discovery lands or backoff expires.
+    if (!stream_->connected_to(node) && !stream_->dialing(node)) {
+      const auto backoff = backoff_until_.find(node);
+      const bool backed_off =
+          backoff != backoff_until_.end() && now < backoff->second;
+      const auto addr = udp_.book().stream_addr_of(node);
+      if (addr.has_value() && !backed_off) stream_->dial(node, *addr);
+    }
+    ++it;
+  }
+  // Drop stale backoff entries so the map doesn't grow with peer churn.
+  for (auto it = backoff_until_.begin(); it != backoff_until_.end();) {
+    it = now >= it->second ? backoff_until_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace dataflasks::net

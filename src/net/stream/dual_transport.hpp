@@ -1,0 +1,105 @@
+// The Transport protocols actually talk to on a stream-capable node:
+// datagrams for everything small and gossipy, streams for what needs them.
+// DualTransport composes the node's UdpTransport (always present — gossip,
+// slicing and anti-entropy maintenance never leave UDP) with an optional
+// StreamTransport, and decides per message:
+//
+//   - an open/connecting stream to the destination carries every message
+//     addressed to it (replies to a stream client ride its connection back)
+//   - payloads over the datagram budget REQUIRE a stream: dial if the
+//     AddressBook gossip advertised a stream port, hold briefly while
+//     discovery resolves, drop (counted) when the peer is UDP-only
+//   - "stream-preferred" types (a policy callback the owner supplies, e.g.
+//     client envelopes, state-transfer pulls) dial opportunistically and
+//     fall back to UDP transparently when the peer advertises no stream
+//   - everything else goes out as a datagram, unchanged
+//
+// Failed dials back off per-peer; messages held for a peer whose stream
+// never materializes are re-sent over UDP when they fit, dropped when not —
+// the same fire-and-forget contract every Transport implements.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "net/stream/stream_transport.hpp"
+#include "net/transport.hpp"
+#include "net/udp_transport.hpp"
+#include "runtime/real_time_runtime.hpp"
+
+namespace dataflasks::net {
+
+class DualTransport final : public Transport {
+ public:
+  struct Options {
+    /// Message types worth opening a stream for even when they fit in a
+    /// datagram (the owner names protocol types; net/ stays protocol-
+    /// agnostic). Empty = only oversized payloads force streams.
+    MoveOnlyFunction<bool(std::uint16_t)> prefer_stream;
+    /// Per-peer pause after a failed dial before trying again.
+    SimTime dial_backoff = 2 * kSeconds;
+    /// How long a message may wait for stream discovery/connection before
+    /// it falls back to UDP (or is dropped if oversized).
+    SimTime pending_ttl = 3 * kSeconds;
+    /// Byte bound across all messages held for not-yet-connected peers.
+    std::size_t max_pending_bytes = 32 * 1024 * 1024;
+  };
+
+  /// `stream` may be null: the node is then UDP-only and DualTransport is a
+  /// thin pass-through (oversized sends drop, counted). Both transports
+  /// must outlive this object and share `rt`'s loop thread.
+  DualTransport(runtime::RealTimeRuntime& rt, UdpTransport& udp,
+                StreamTransport* stream, Options options);
+  ~DualTransport() override;
+
+  void send(Message msg) override;
+  void register_handler(NodeId node, Handler handler) override;
+  void unregister_handler(NodeId node) override;
+  [[nodiscard]] std::optional<Endpoint> local_endpoint() const override {
+    return udp_.local_endpoint();
+  }
+  void learn_endpoint(NodeId node, const Endpoint& endpoint) override {
+    udp_.learn_endpoint(node, endpoint);
+  }
+  [[nodiscard]] std::size_t max_payload(NodeId node) const override;
+
+  [[nodiscard]] UdpTransport& udp() { return udp_; }
+  [[nodiscard]] StreamTransport* stream() { return stream_; }
+
+  /// Oversized messages dropped because no stream path to the destination
+  /// exists (peer UDP-only, dial failed, or pending budget exhausted).
+  [[nodiscard]] std::uint64_t dropped_no_stream() const {
+    return dropped_no_stream_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Held {
+    Message msg;
+    SimTime enqueued;
+  };
+
+  void deliver(const Message& msg);
+  [[nodiscard]] bool prefers_stream(std::uint16_t type);
+  void hold(Message msg);
+  void drop_oversized();
+  void on_peer_up(NodeId node);
+  void on_peer_down(NodeId node);
+  /// Flushes held messages for `node` over UDP (when they fit) or drops.
+  void spill_to_udp(NodeId node);
+  void tick();
+
+  runtime::RealTimeRuntime& rt_;
+  UdpTransport& udp_;
+  StreamTransport* stream_;
+  Options options_;
+
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::unordered_map<NodeId, std::deque<Held>> held_;
+  std::size_t held_bytes_ = 0;
+  std::unordered_map<NodeId, SimTime> backoff_until_;
+  runtime::TimerHandle tick_timer_;
+  std::atomic<std::uint64_t> dropped_no_stream_{0};
+};
+
+}  // namespace dataflasks::net

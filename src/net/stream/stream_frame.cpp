@@ -1,0 +1,96 @@
+#include "net/stream/stream_frame.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/ensure.hpp"
+
+namespace dataflasks::net {
+
+Payload encode_stream_header(const Message& msg) {
+  ensure(msg.payload.size() <= kMaxStreamPayload,
+         "encode_stream_header: payload exceeds stream limit");
+  Writer w(kStreamHeaderSize);
+  w.u32(kStreamMagic);
+  w.u64(msg.src.value);
+  w.u64(msg.dst.value);
+  w.u16(msg.type);
+  w.u32(static_cast<std::uint32_t>(msg.payload.size()));
+  return w.take_payload();
+}
+
+Payload encode_stream_frame(const Message& msg) {
+  ensure(msg.payload.size() <= kMaxStreamPayload,
+         "encode_stream_frame: payload exceeds stream limit");
+  Writer w(kStreamHeaderSize + msg.payload.size());
+  w.u32(kStreamMagic);
+  w.u64(msg.src.value);
+  w.u64(msg.dst.value);
+  w.u16(msg.type);
+  w.u32(static_cast<std::uint32_t>(msg.payload.size()));
+  if (msg.payload.size() > 0) w.raw(msg.payload);
+  return w.take_payload();
+}
+
+bool StreamFrameDecoder::parse_header() {
+  Reader r(header_, kStreamHeaderSize);
+  if (r.u32() != kStreamMagic) {
+    failed_ = true;
+    return false;
+  }
+  pending_ = Message{};
+  pending_.src = r.node_id();
+  pending_.dst = r.node_id();
+  pending_.type = r.u16();
+  const std::uint32_t len = r.u32();
+  if (len > kMaxStreamPayload) {
+    failed_ = true;
+    return false;
+  }
+  payload_want_ = len;
+  payload_.reserve(len);
+  in_payload_ = true;
+  return true;
+}
+
+void StreamFrameDecoder::feed(ByteView bytes) {
+  const std::uint8_t* cursor = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0 && !failed_) {
+    if (!in_payload_) {
+      const std::size_t take =
+          std::min(left, kStreamHeaderSize - header_have_);
+      std::memcpy(header_ + header_have_, cursor, take);
+      header_have_ += take;
+      cursor += take;
+      left -= take;
+      if (header_have_ < kStreamHeaderSize) return;  // need more bytes
+      header_have_ = 0;
+      if (!parse_header()) return;  // poisoned: framing lost
+    }
+    // Payload accumulation: append straight into the frame's final buffer.
+    const std::size_t take =
+        std::min(left, payload_want_ - payload_.size());
+    if (take > 0) {
+      payload_.raw(ByteView(cursor, take));
+      cursor += take;
+      left -= take;
+    }
+    if (payload_.size() == payload_want_) {
+      pending_.payload = payload_.take_payload();
+      ready_.push_back(std::move(pending_));
+      in_payload_ = false;
+      payload_want_ = 0;
+    }
+  }
+}
+
+std::optional<Message> StreamFrameDecoder::poll() {
+  if (ready_.empty()) return std::nullopt;
+  Message msg = std::move(ready_.front());
+  ready_.pop_front();
+  return msg;
+}
+
+}  // namespace dataflasks::net

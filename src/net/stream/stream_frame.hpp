@@ -1,0 +1,90 @@
+// Length-prefixed framing for the TCP stream transport. A stream carries a
+// back-to-back sequence of frames, each wrapping one net::Message with the
+// same envelope fields the UDP frame carries — src, dst, type — plus a
+// distinct magic so a datagram accidentally replayed into a stream (or a
+// stray client speaking the wrong protocol) is rejected immediately.
+//
+// Layout (little-endian, identical shape to net/frame.hpp):
+//   u32 magic      "DFS1" — stream framing, not the datagram "DFK1"
+//   u64 src        sending NodeId
+//   u64 dst        destination NodeId
+//   u16 type       protocol message type tag
+//   u32 len        payload byte count; up to kMaxStreamPayload
+//   u8[len]        protocol payload (the existing codec encodings)
+//
+// Unlike the datagram path, a stream delivers arbitrary byte windows:
+// StreamFrameDecoder reassembles frames across partial reads, buffering the
+// payload directly into a Payload-backed Writer so a 1 MiB value costs one
+// allocation and one copy off the socket, never a compaction pass.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/serialize.hpp"
+#include "net/message.hpp"
+
+namespace dataflasks::net {
+
+/// 'D' 'F' 'S' '1' read little-endian.
+constexpr std::uint32_t kStreamMagic = 0x31534644;
+
+/// Same field set as the datagram frame header: 26 bytes.
+constexpr std::size_t kStreamHeaderSize =
+    sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t) + sizeof(std::uint16_t) +
+    sizeof(std::uint32_t);
+
+/// Largest payload a stream frame may carry. Bounds what one malicious or
+/// corrupt length field can make a receiver buffer; 16 MiB comfortably fits
+/// the big-value and state-transfer-page workloads streams exist for.
+constexpr std::size_t kMaxStreamPayload = 16 * 1024 * 1024;
+
+/// Encodes the 26-byte frame header for `msg` (length field =
+/// msg.payload.size()). The connection writes the payload bytes after it
+/// from the message's own refcounted buffer, so a large value is never
+/// copied into a contiguous frame.
+[[nodiscard]] Payload encode_stream_header(const Message& msg);
+
+/// Encodes header + payload into one contiguous buffer. Test/fixture path;
+/// the connection hot path uses encode_stream_header + the payload view.
+[[nodiscard]] Payload encode_stream_frame(const Message& msg);
+
+/// Incremental frame reassembler. feed() accepts whatever byte window the
+/// socket produced; poll() yields completed messages in order. A malformed
+/// header (bad magic, oversized length) poisons the decoder — framing is
+/// unrecoverable once the byte stream desynchronizes, so the owning
+/// connection must close.
+class StreamFrameDecoder {
+ public:
+  /// Consumes `bytes`. No-op once poisoned.
+  void feed(ByteView bytes);
+
+  /// Next fully reassembled message, if any.
+  [[nodiscard]] std::optional<Message> poll();
+
+  /// True once a malformed header was seen; feed() stops consuming.
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Bytes of the in-progress frame buffered so far (tests/metrics).
+  [[nodiscard]] std::size_t partial_bytes() const {
+    return header_have_ + payload_.size();
+  }
+
+ private:
+  bool parse_header();
+
+  std::uint8_t header_[kStreamHeaderSize]{};
+  std::size_t header_have_ = 0;
+
+  // Set once a header parses; payload_ accumulates until payload_want_.
+  bool in_payload_ = false;
+  Message pending_{};
+  std::size_t payload_want_ = 0;
+  Writer payload_;
+
+  std::deque<Message> ready_;
+  bool failed_ = false;
+};
+
+}  // namespace dataflasks::net

@@ -1,0 +1,61 @@
+#include "net/stream/stream_listener.hpp"
+
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace dataflasks::net {
+
+StreamListener::StreamListener(runtime::RealTimeRuntime& rt, std::uint32_t ip,
+                               std::uint16_t port, AcceptHandler on_accept)
+    : rt_(rt), on_accept_(std::move(on_accept)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return;
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(ip);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  // Resolve the actual port for ephemeral binds: it is what the server
+  // prints and what gossip advertises.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  rt_.watch_fd(fd_, [this] { on_readable(); });
+}
+
+StreamListener::~StreamListener() {
+  if (fd_ >= 0) {
+    rt_.unwatch_fd(fd_);
+    ::close(fd_);
+  }
+}
+
+void StreamListener::on_readable() {
+  // Level-triggered: drain the whole backlog.
+  while (true) {
+    const int conn = ::accept4(fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient accept error: next POLLIN retries
+    }
+    ++accepted_;
+    on_accept_(conn);
+  }
+}
+
+}  // namespace dataflasks::net

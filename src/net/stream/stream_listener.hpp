@@ -1,0 +1,45 @@
+// Accepting half of the stream transport: a nonblocking listen socket on
+// the runtime poll loop. Mirrors the Dragonfly listener/connection split —
+// the listener only accepts and hands raw fds to its owner; per-connection
+// state lives entirely in StreamConnection.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+
+#include "common/unique_function.hpp"
+#include "runtime/real_time_runtime.hpp"
+
+namespace dataflasks::net {
+
+class StreamListener {
+ public:
+  using AcceptHandler = MoveOnlyFunction<void(int fd)>;
+
+  /// Binds and listens on `ip`/`port` (host byte order; port 0 picks an
+  /// ephemeral port). `on_accept` receives each accepted, nonblocking,
+  /// close-on-exec fd; ownership transfers to the handler.
+  StreamListener(runtime::RealTimeRuntime& rt, std::uint32_t ip,
+                 std::uint16_t port, AcceptHandler on_accept);
+  StreamListener(const StreamListener&) = delete;
+  StreamListener& operator=(const StreamListener&) = delete;
+  ~StreamListener();
+
+  /// False when bind/listen failed; port() is 0 then.
+  [[nodiscard]] bool listening() const { return fd_ >= 0; }
+  /// The bound port (resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  void on_readable();
+
+  runtime::RealTimeRuntime& rt_;
+  AcceptHandler on_accept_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace dataflasks::net

@@ -1,0 +1,165 @@
+#include "net/stream/stream_transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dataflasks::net {
+
+StreamTransport::StreamTransport(runtime::RealTimeRuntime& rt,
+                                 Options options)
+    : rt_(rt), options_(options) {
+  if (options_.listen) {
+    listener_ = std::make_unique<StreamListener>(
+        rt_, options_.listen_ip, options_.listen_port, [this](int fd) {
+          counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+          adopt(std::make_unique<StreamConnection>(
+              rt_, static_cast<StreamConnection::Events&>(*this),
+              counters_.io, options_.limits, fd));
+        });
+  }
+  SimTime period = options_.sweep_period;
+  if (period <= 0) {
+    period = std::min<SimTime>(options_.limits.idle_timeout / 2, kSeconds);
+  }
+  if (period <= 0) period = kSeconds;
+  sweep_timer_ = rt_.schedule_periodic(period, period, [this] { sweep(); });
+}
+
+StreamTransport::~StreamTransport() {
+  sweep_timer_.cancel();
+  // Destructors close the fds; no callbacks fire from teardown.
+  by_peer_.clear();
+  conns_.clear();
+  graveyard_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(connected_mutex_);
+    connected_peers_.clear();
+  }
+}
+
+void StreamTransport::adopt(std::unique_ptr<StreamConnection> conn) {
+  StreamConnection* raw = conn.get();
+  conns_.emplace(raw, std::move(conn));
+  counters_.active.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool StreamTransport::send(const Message& msg) {
+  const auto it = by_peer_.find(msg.dst);
+  if (it == by_peer_.end()) return false;
+  return it->second->send(msg);
+}
+
+void StreamTransport::dial(NodeId node, const sockaddr_in& addr) {
+  if (by_peer_.contains(node)) return;  // already routed or in flight
+  counters_.dialed.fetch_add(1, std::memory_order_relaxed);
+  auto conn = std::make_unique<StreamConnection>(
+      rt_, static_cast<StreamConnection::Events&>(*this), counters_.io,
+      options_.limits, node, addr);
+  if (conn->closed()) {
+    // socket()/connect() failed synchronously; nothing was ever watched.
+    counters_.dial_failures.fetch_add(1, std::memory_order_relaxed);
+    if (peer_down_) peer_down_(node);
+    return;
+  }
+  StreamConnection* raw = conn.get();
+  adopt(std::move(conn));
+  by_peer_[node] = raw;
+  if (raw->open()) {
+    // Localhost connects can complete synchronously.
+    mark_connected(node);
+    if (peer_up_) peer_up_(node);
+  }
+}
+
+void StreamTransport::close_peer(NodeId node) {
+  const auto it = by_peer_.find(node);
+  if (it == by_peer_.end()) return;
+  it->second->close();  // on_stream_closed does the bookkeeping
+}
+
+bool StreamTransport::connected_to(NodeId node) const {
+  const auto it = by_peer_.find(node);
+  return it != by_peer_.end() && it->second->open();
+}
+
+bool StreamTransport::dialing(NodeId node) const {
+  const auto it = by_peer_.find(node);
+  return it != by_peer_.end() && it->second->connecting();
+}
+
+bool StreamTransport::connected_to_any_thread(NodeId node) const {
+  const std::lock_guard<std::mutex> lock(connected_mutex_);
+  return connected_peers_.contains(node);
+}
+
+void StreamTransport::mark_connected(NodeId node) {
+  const std::lock_guard<std::mutex> lock(connected_mutex_);
+  connected_peers_.insert(node);
+}
+
+void StreamTransport::mark_disconnected(NodeId node) {
+  const std::lock_guard<std::mutex> lock(connected_mutex_);
+  connected_peers_.erase(node);
+}
+
+void StreamTransport::on_stream_message(StreamConnection& conn, Message msg) {
+  // First frame on an inbound connection binds it to the sender: replies to
+  // that NodeId ride this connection from now on (unless an outbound dial
+  // already claimed the route).
+  if (conn.peer().valid() && !by_peer_.contains(conn.peer())) {
+    by_peer_[conn.peer()] = &conn;
+    mark_connected(conn.peer());
+    if (peer_up_) peer_up_(conn.peer());
+  }
+  if (receiver_) receiver_(msg);
+}
+
+void StreamTransport::on_stream_open(StreamConnection& conn) {
+  if (conn.peer().valid() && by_peer_.contains(conn.peer()) &&
+      by_peer_[conn.peer()] == &conn) {
+    mark_connected(conn.peer());
+    if (peer_up_) peer_up_(conn.peer());
+  }
+}
+
+void StreamTransport::on_stream_closed(StreamConnection& conn) {
+  counters_.closed.fetch_add(1, std::memory_order_relaxed);
+  if (conn.outbound() && !conn.ever_open()) {
+    counters_.dial_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  const NodeId peer = conn.peer();
+  bool was_route = false;
+  if (peer.valid()) {
+    const auto route = by_peer_.find(peer);
+    if (route != by_peer_.end() && route->second == &conn) {
+      by_peer_.erase(route);
+      mark_disconnected(peer);
+      was_route = true;
+    }
+  }
+  const auto it = conns_.find(&conn);
+  if (it != conns_.end()) {
+    counters_.active.fetch_sub(1, std::memory_order_relaxed);
+    // The connection may be closing from inside its own read handler, so
+    // its destruction waits for the sweep; the fd is already closed.
+    graveyard_.push_back(std::move(it->second));
+    conns_.erase(it);
+  }
+  if (was_route && peer_down_) peer_down_(peer);
+}
+
+void StreamTransport::sweep() {
+  graveyard_.clear();
+  if (options_.limits.idle_timeout <= 0) return;
+  const SimTime cutoff = rt_.now() - options_.limits.idle_timeout;
+  std::vector<StreamConnection*> idle;
+  for (const auto& [raw, conn] : conns_) {
+    if (conn->open() && conn->egress_bytes() == 0 &&
+        conn->last_activity() < cutoff) {
+      idle.push_back(raw);
+    }
+  }
+  for (StreamConnection* conn : idle) conn->close();
+}
+
+}  // namespace dataflasks::net

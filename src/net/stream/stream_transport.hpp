@@ -1,0 +1,134 @@
+// Connection manager for the stream side of a node: an optional
+// StreamListener (servers; dial-only clients skip it) plus the set of live
+// StreamConnections, keyed by peer NodeId for routing. Inbound connections
+// are anonymous until their first frame — its src NodeId binds them, which
+// is how a server answers a client envelope back down the same TCP
+// connection without any address exchange.
+//
+// The transport never decides WHEN to use streams — that policy lives in
+// DualTransport. It exposes the mechanics: dial, send-on-existing, close,
+// and up/down notifications for fallback logic. Single-threaded on its
+// runtime's loop thread, except connected_to_any_thread() (a mutex-guarded
+// peer set) which other shards query when choosing a reply path.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/unique_function.hpp"
+#include "net/message.hpp"
+#include "net/stream/stream_connection.hpp"
+#include "net/stream/stream_listener.hpp"
+#include "runtime/real_time_runtime.hpp"
+
+namespace dataflasks::net {
+
+class StreamTransport final : private StreamConnection::Events {
+ public:
+  struct Options {
+    /// Accept inbound connections. Clients leave this off and only dial.
+    bool listen = false;
+    std::uint32_t listen_ip = 0;    ///< host order; 0 = INADDR_ANY
+    std::uint16_t listen_port = 0;  ///< 0 = ephemeral
+    StreamConnection::Limits limits;
+    /// Idle/graveyard sweep period; 0 picks min(idle_timeout / 2, 1s).
+    SimTime sweep_period = 0;
+  };
+
+  /// df_stream_* counter block (atomics: rendered from the metrics thread).
+  struct Counters {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> dialed{0};
+    std::atomic<std::uint64_t> dial_failures{0};
+    std::atomic<std::uint64_t> closed{0};
+    std::atomic<std::uint64_t> active{0};  ///< gauge
+    StreamConnection::Stats io;
+  };
+
+  StreamTransport(runtime::RealTimeRuntime& rt, Options options);
+  StreamTransport(const StreamTransport&) = delete;
+  StreamTransport& operator=(const StreamTransport&) = delete;
+  ~StreamTransport() override;
+
+  /// Bound stream port; 0 when not listening (or bind failed).
+  [[nodiscard]] std::uint16_t listen_port() const {
+    return listener_ != nullptr ? listener_->port() : 0;
+  }
+
+  /// Every reassembled frame from every connection lands here.
+  void set_receiver(MoveOnlyFunction<void(const Message&)> receiver) {
+    receiver_ = std::move(receiver);
+  }
+  /// A stream to the peer became usable (dial resolved, or an inbound
+  /// connection identified itself). Queued traffic can drain now.
+  void set_peer_up_listener(MoveOnlyFunction<void(NodeId)> listener) {
+    peer_up_ = std::move(listener);
+  }
+  /// The routing stream for the peer went away (failed dial included).
+  void set_peer_down_listener(MoveOnlyFunction<void(NodeId)> listener) {
+    peer_down_ = std::move(listener);
+  }
+
+  /// Queues `msg` on the stream routed to msg.dst (open or still
+  /// connecting). False when no such stream exists or the enqueue closed it.
+  bool send(const Message& msg);
+
+  /// Starts a connection to `node` at `addr` unless one is already routed.
+  void dial(NodeId node, const sockaddr_in& addr);
+
+  /// Closes the routed connection (address-book eviction, shutdown).
+  void close_peer(NodeId node);
+
+  [[nodiscard]] bool connected_to(NodeId node) const;
+  [[nodiscard]] bool dialing(NodeId node) const;
+  /// Thread-safe variant of connected_to for cross-shard reply routing.
+  [[nodiscard]] bool connected_to_any_thread(NodeId node) const;
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
+
+ private:
+  void on_stream_message(StreamConnection& conn, Message msg) override;
+  void on_stream_open(StreamConnection& conn) override;
+  void on_stream_closed(StreamConnection& conn) override;
+
+  void adopt(std::unique_ptr<StreamConnection> conn);
+  void mark_connected(NodeId node);
+  void mark_disconnected(NodeId node);
+  void sweep();
+
+  runtime::RealTimeRuntime& rt_;
+  Options options_;
+  Counters counters_;
+  std::unique_ptr<StreamListener> listener_;
+
+  /// All live connections, keyed by object identity (fds are recycled and
+  /// cleared on close, so they make poor keys).
+  std::unordered_map<StreamConnection*, std::unique_ptr<StreamConnection>>
+      conns_;
+  /// Send route per peer: the dialed connection, or the first inbound one
+  /// that identified itself.
+  std::unordered_map<NodeId, StreamConnection*> by_peer_;
+  /// Closed connections awaiting destruction: a connection may close from
+  /// inside its own read loop, so the object must outlive the dispatch.
+  std::vector<std::unique_ptr<StreamConnection>> graveyard_;
+
+  MoveOnlyFunction<void(const Message&)> receiver_;
+  MoveOnlyFunction<void(NodeId)> peer_up_;
+  MoveOnlyFunction<void(NodeId)> peer_down_;
+
+  mutable std::mutex connected_mutex_;
+  std::unordered_set<NodeId> connected_peers_;
+
+  runtime::TimerHandle sweep_timer_;
+};
+
+}  // namespace dataflasks::net

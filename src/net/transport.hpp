@@ -44,6 +44,18 @@ class Transport {
   /// a slice advert). Transports with an address table adopt it when the
   /// stamp is fresher than what they hold; others ignore it.
   virtual void learn_endpoint(NodeId /*node*/, const Endpoint& /*endpoint*/) {}
+
+  /// Largest payload (bytes) a single Message to `node` can carry. Datagram
+  /// transports answer their frame budget; stream-capable transports answer
+  /// the stream budget once a stream path to `node` is negotiated. Senders
+  /// of bulk data (state transfer, replication) size pages against this.
+  [[nodiscard]] virtual std::size_t max_payload(NodeId /*node*/) const {
+    return kDefaultMaxPayload;
+  }
+
+  /// The UDP frame budget, restated here so protocol code can reason about
+  /// page sizes without including net/frame.hpp.
+  static constexpr std::size_t kDefaultMaxPayload = 60 * 1024;
 };
 
 }  // namespace dataflasks::net

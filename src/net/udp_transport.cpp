@@ -18,6 +18,10 @@
 
 namespace dataflasks::net {
 
+static_assert(Transport::kDefaultMaxPayload == kMaxFramePayload,
+              "the interface-level default payload budget restates the UDP "
+              "frame limit; keep them in sync");
+
 std::optional<std::string> resolve_ipv4(const std::string& host) {
   // Fast path: already a numeric IPv4 address.
   in_addr probe{};
@@ -137,6 +141,7 @@ UdpTransport::UdpTransport(runtime::RealTimeRuntime& rt, Options options)
   const sockaddr_in reach = make_addr(advertise, local_port_);
   if (reach.sin_addr.s_addr != htonl(INADDR_ANY)) {
     local_endpoint_ = endpoint_of(reach, next_boot_stamp());
+    local_endpoint_->stream_port = options_.advertise_stream_port;
   }
 
   if (options_.batch_io) {
@@ -180,6 +185,12 @@ void UdpTransport::add_seed(const std::string& host, std::uint16_t port) {
 
 void UdpTransport::probe_pending_seeds() {
   for (const sockaddr_in& addr : pending_seeds_) send_probe(addr);
+}
+
+void UdpTransport::probe_peer(NodeId node) {
+  const sockaddr_in* to = book_.lookup(node);
+  if (to == nullptr) return;
+  send_probe(*to);
 }
 
 void UdpTransport::send_probe(const sockaddr_in& to) {
@@ -334,7 +345,16 @@ void UdpTransport::handle_probe_reply(const Message& msg,
     was_pending |= match;
     return match;
   });
-  if (!was_pending) return;  // duplicate or unsolicited: ignore
+  if (!was_pending) {
+    // Not a seed we are waiting on: a directed probe_peer() answer (or a
+    // duplicate). Adopt the advertised endpoint — this is how a client
+    // learns a server's stream port — but pin nothing.
+    Reader r(msg.payload);
+    if (const auto endpoint = decode_endpoint_opt(r); endpoint && r.ok()) {
+      learn_endpoint(msg.src, *endpoint);
+    }
+    return;
+  }
   // The seed is configuration: pin it like a static peer, then let its
   // stamped endpoint (if advertised) record freshness for future healing.
   book_.pin(msg.src, from);

@@ -69,6 +69,10 @@ class UdpTransport final : public Transport {
     /// when binding 0.0.0.0). Empty uses bind_host; a transport bound to
     /// 0.0.0.0 with no advertise_host gossips no endpoint at all.
     std::string advertise_host;
+    /// TCP stream port stamped into the advertised endpoint (0 = none).
+    /// The stream listener binds before this transport is constructed, so
+    /// gossip and discovery probes carry the resolved port from the start.
+    std::uint16_t advertise_stream_port = 0;
     /// Bound on dynamically learned peer addresses; static peers and
     /// resolved seeds are pinned and excluded from the bound.
     std::size_t max_learned_peers = 1024;
@@ -142,6 +146,16 @@ class UdpTransport final : public Transport {
     return book_.contains(node);
   }
   [[nodiscard]] const AddressBook& peers() const { return book_; }
+  /// Mutable address table: the DualTransport resolves stream dial
+  /// addresses from it and installs the eviction listener that closes an
+  /// evicted peer's cached stream connection.
+  [[nodiscard]] AddressBook& book() { return book_; }
+
+  /// Directed discovery probe to an already-known peer (clients use it to
+  /// learn a server's advertised endpoint — including its stream port —
+  /// without joining gossip). The answer is adopted via learn_endpoint;
+  /// unknown peers are a no-op.
+  void probe_peer(NodeId node);
 
   void send(Message msg) override;
 

@@ -105,6 +105,15 @@ std::uint64_t RealTimeRuntime::drain_mailbox() {
 
 void RealTimeRuntime::watch_fd(int fd, FdHandler on_readable) {
   ensure(fd >= 0, "RealTimeRuntime::watch_fd negative fd");
+  // Mutating the watch lists while poll_io is dispatching would reallocate
+  // or destroy the very closure that is executing (a listener's read
+  // handler accepts and watches a new fd; a connection unwatches itself on
+  // close), so mid-dispatch mutations are queued and applied afterwards.
+  if (dispatching_) {
+    deferred_.push_back(DeferredOp{DeferredOp::kWatchRead, fd,
+                                   std::move(on_readable)});
+    return;
+  }
   for (Watch& w : fds_) {
     if (w.fd == fd) {
       w.handler = std::move(on_readable);
@@ -116,17 +125,101 @@ void RealTimeRuntime::watch_fd(int fd, FdHandler on_readable) {
 }
 
 void RealTimeRuntime::unwatch_fd(int fd) {
+  if (dispatching_) {
+    deferred_.push_back(DeferredOp{DeferredOp::kUnwatchRead, fd, nullptr});
+    return;
+  }
   if (std::erase_if(fds_, [fd](const Watch& w) { return w.fd == fd; }) > 0) {
     pollfds_stale_ = true;
+  }
+}
+
+void RealTimeRuntime::watch_fd_writable(int fd, FdHandler on_writable) {
+  ensure(fd >= 0, "RealTimeRuntime::watch_fd_writable negative fd");
+  if (dispatching_) {
+    deferred_.push_back(DeferredOp{DeferredOp::kWatchWrite, fd,
+                                   std::move(on_writable)});
+    return;
+  }
+  for (Watch& w : write_fds_) {
+    if (w.fd == fd) {
+      w.handler = std::move(on_writable);
+      return;
+    }
+  }
+  write_fds_.push_back(Watch{fd, std::move(on_writable)});
+  pollfds_stale_ = true;
+}
+
+void RealTimeRuntime::unwatch_fd_writable(int fd) {
+  if (dispatching_) {
+    deferred_.push_back(DeferredOp{DeferredOp::kUnwatchWrite, fd, nullptr});
+    return;
+  }
+  if (std::erase_if(write_fds_,
+                    [fd](const Watch& w) { return w.fd == fd; }) > 0) {
+    pollfds_stale_ = true;
+  }
+}
+
+bool RealTimeRuntime::deferred_removes(int fd, bool writable) const {
+  // The last queued op for (fd, direction) decides: an unwatch followed by
+  // a fresh watch (fd number reused within one dispatch round) keeps the
+  // new watch live.
+  const DeferredOp::Kind unwatch =
+      writable ? DeferredOp::kUnwatchWrite : DeferredOp::kUnwatchRead;
+  const DeferredOp::Kind watch =
+      writable ? DeferredOp::kWatchWrite : DeferredOp::kWatchRead;
+  bool removed = false;
+  for (const DeferredOp& op : deferred_) {
+    if (op.fd != fd) continue;
+    if (op.kind == unwatch) removed = true;
+    if (op.kind == watch) removed = false;
+  }
+  return removed;
+}
+
+void RealTimeRuntime::apply_deferred() {
+  // Ops re-enter watch_fd/unwatch_fd with dispatching_ cleared; applying in
+  // queue order preserves unwatch-then-rewatch sequences for reused fds.
+  std::vector<DeferredOp> ops = std::move(deferred_);
+  deferred_.clear();
+  for (DeferredOp& op : ops) {
+    switch (op.kind) {
+      case DeferredOp::kWatchRead:
+        watch_fd(op.fd, std::move(op.handler));
+        break;
+      case DeferredOp::kUnwatchRead:
+        unwatch_fd(op.fd);
+        break;
+      case DeferredOp::kWatchWrite:
+        watch_fd_writable(op.fd, std::move(op.handler));
+        break;
+      case DeferredOp::kUnwatchWrite:
+        unwatch_fd_writable(op.fd);
+        break;
+    }
   }
 }
 
 std::uint64_t RealTimeRuntime::poll_io(SimTime timeout) {
   if (pollfds_stale_) {
     pollfds_.clear();
-    pollfds_.reserve(fds_.size());
+    pollfds_.reserve(fds_.size() + write_fds_.size());
     for (const Watch& w : fds_) {
       pollfds_.push_back(pollfd{w.fd, POLLIN, 0});
+    }
+    // An fd watched both ways gets one pollfd with both events set, so poll
+    // never sees the same descriptor twice.
+    for (const Watch& w : write_fds_) {
+      const auto it =
+          std::find_if(pollfds_.begin(), pollfds_.end(),
+                       [&w](const pollfd& p) { return p.fd == w.fd; });
+      if (it != pollfds_.end()) {
+        it->events |= POLLOUT;
+      } else {
+        pollfds_.push_back(pollfd{w.fd, POLLOUT, 0});
+      }
     }
     pollfds_stale_ = false;
   }
@@ -142,20 +235,41 @@ std::uint64_t RealTimeRuntime::poll_io(SimTime timeout) {
   // would invalidate iteration over fds_/pollfds_ themselves.
   ready_scratch_.clear();
   for (const pollfd& p : pollfds_) {
-    if ((p.revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
-      ready_scratch_.push_back(p.fd);
+    if ((p.revents & (POLLIN | POLLOUT | POLLERR | POLLHUP)) != 0) {
+      ready_scratch_.push_back(p);
     }
   }
   std::uint64_t dispatched = 0;
+  dispatching_ = true;
   for (std::size_t i = 0; i < ready_scratch_.size(); ++i) {
-    const int fd = ready_scratch_[i];
+    const int fd = ready_scratch_[i].fd;
+    const short revents = ready_scratch_[i].revents;
     if (stop_.load(std::memory_order_relaxed)) break;
-    const auto it = std::find_if(fds_.begin(), fds_.end(),
-                                 [fd](const Watch& w) { return w.fd == fd; });
-    if (it == fds_.end()) continue;  // unwatched by a previous handler
-    it->handler();
-    ++dispatched;
+    // Errors and hangups wake both directions: a reader learns about the
+    // close, and a connection mid-connect learns about the failure.
+    if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0 &&
+        !deferred_removes(fd, /*writable=*/false)) {
+      const auto it =
+          std::find_if(fds_.begin(), fds_.end(),
+                       [fd](const Watch& w) { return w.fd == fd; });
+      if (it != fds_.end()) {
+        it->handler();
+        ++dispatched;
+      }
+    }
+    if ((revents & (POLLOUT | POLLERR | POLLHUP)) != 0 &&
+        !deferred_removes(fd, /*writable=*/true)) {
+      const auto it =
+          std::find_if(write_fds_.begin(), write_fds_.end(),
+                       [fd](const Watch& w) { return w.fd == fd; });
+      if (it != write_fds_.end()) {
+        it->handler();
+        ++dispatched;
+      }
+    }
   }
+  dispatching_ = false;
+  apply_deferred();
   return dispatched;
 }
 

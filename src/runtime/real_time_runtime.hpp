@@ -55,6 +55,15 @@ class RealTimeRuntime final : public Runtime {
   void watch_fd(int fd, FdHandler on_readable);
   void unwatch_fd(int fd);
 
+  /// Watches `fd` for writability; `on_writable` runs on the loop thread
+  /// every time poll reports POLLOUT/POLLERR/POLLHUP. Level-triggered, so
+  /// callers unwatch once their egress queue drains (or the nonblocking
+  /// connect resolves) — a permanently-writable socket would otherwise spin
+  /// the loop. Independent of the read watch on the same fd: an fd may hold
+  /// one of each. Replaces any previous writable handler.
+  void watch_fd_writable(int fd, FdHandler on_writable);
+  void unwatch_fd_writable(int fd);
+
   /// Runs timers and I/O until stop() is called. Returns events executed
   /// (timer firings + I/O handler invocations).
   std::uint64_t run();
@@ -85,9 +94,24 @@ class RealTimeRuntime final : public Runtime {
     FdHandler handler;
   };
 
+  /// Watch-list mutation requested from inside an fd handler: applied after
+  /// the dispatch loop so the executing closure is never reallocated or
+  /// destroyed out from under itself.
+  struct DeferredOp {
+    enum Kind { kWatchRead, kUnwatchRead, kWatchWrite, kUnwatchWrite };
+    Kind kind;
+    int fd;
+    FdHandler handler;
+  };
+
   /// Sleeps in poll(2) for at most `timeout` and dispatches ready fds.
   /// Returns the number of handler invocations.
   std::uint64_t poll_io(SimTime timeout);
+
+  /// True when a deferred op leaves (fd, direction) unwatched, so a handler
+  /// that unwatched a peer mid-round is not invoked for it afterwards.
+  [[nodiscard]] bool deferred_removes(int fd, bool writable) const;
+  void apply_deferred();
 
   /// Writes one token to the wake descriptor (async-signal-safe).
   void signal_wake();
@@ -103,12 +127,20 @@ class RealTimeRuntime final : public Runtime {
   EventQueue queue_;
   Rng rng_;
   std::vector<Watch> fds_;
+  /// Writable watches, disjoint from fds_: stream connections add one while
+  /// a nonblocking connect is in flight or their egress queue is non-empty,
+  /// and remove it the moment the socket drains.
+  std::vector<Watch> write_fds_;
   /// poll(2) argument array, rebuilt lazily after watch/unwatch — the loop
   /// itself stays allocation-free per wakeup (the watch set is effectively
   /// static: one socket per transport).
   std::vector<pollfd> pollfds_;
   bool pollfds_stale_ = true;
-  std::vector<int> ready_scratch_;
+  /// (fd, revents) pairs collected before dispatch; handlers may mutate the
+  /// watch lists, so iteration never touches pollfds_/fds_ directly.
+  std::vector<pollfd> ready_scratch_;
+  bool dispatching_ = false;
+  std::vector<DeferredOp> deferred_;
   std::atomic<bool> stop_{false};
 
   // Cross-thread wake-up plumbing: wake_rx_ is watched by the poll loop;

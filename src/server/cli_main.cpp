@@ -29,6 +29,9 @@
 #include "client/load_balancer.hpp"
 #include "client/session.hpp"
 #include "common/logging.hpp"
+#include "core/messages.hpp"
+#include "net/stream/dual_transport.hpp"
+#include "net/stream/stream_transport.hpp"
 #include "net/udp_transport.hpp"
 #include "runtime/real_time_runtime.hpp"
 #include "server/config.hpp"
@@ -135,11 +138,24 @@ int main(int argc, char** argv) {
   if (seed == 0) seed = 0xC11E5EEDULL ^ (pid << 16);
 
   runtime::RealTimeRuntime rt(seed);
-  net::UdpTransport transport(rt, {});  // ephemeral local port
+  net::UdpTransport udp(rt, {});  // ephemeral local port
+  // Dial-only stream leg: envelopes ride a TCP connection when the contact
+  // advertises a stream port (big values need one — they exceed what a
+  // datagram carries), and fall back to UDP transparently when it does not.
+  net::StreamTransport stream(rt, {});
+  net::DualTransport::Options dual_options;
+  dual_options.prefer_stream = [](std::uint16_t type) {
+    return type == core::kOpEnvelope;
+  };
+  net::DualTransport transport(rt, udp, &stream, std::move(dual_options));
   std::vector<NodeId> contact_ids;
   for (const server::PeerSpec& peer : peers) {
-    transport.add_peer(NodeId(peer.id), peer.host, peer.port);
+    udp.add_peer(NodeId(peer.id), peer.host, peer.port);
     contact_ids.emplace_back(peer.id);
+    // Directed discovery: the probe answer carries the contact's advertised
+    // endpoint, stream port included, so the first oversized envelope can
+    // dial instead of being stuck UDP-only.
+    udp.probe_peer(NodeId(peer.id));
   }
 
   client::RandomLoadBalancer balancer(contact_ids, rt.rng().fork(1));
@@ -368,7 +384,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "TIMEOUT %s (no conclusive reply)\n",
                  command.c_str());
   }
-  if (exit_code != 0 && transport.total_delivered() == 0) {
+  const std::uint64_t delivered =
+      udp.total_delivered() +
+      stream.counters().io.frames_in.load(std::memory_order_relaxed);
+  if (exit_code != 0 && delivered == 0) {
     std::fprintf(stderr,
                  "dataflasks_cli: no replies received — is the cluster up?\n");
   }

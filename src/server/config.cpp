@@ -110,6 +110,11 @@ std::string apply_entry(ServerConfig& config, const std::string& key,
       return "bad metrics_port (0-65535): " + value;
     }
     config.metrics_port = static_cast<std::int32_t>(u64);
+  } else if (key == "stream_port") {
+    if (!parse_u64(value, u64) || u64 > 0xFFFF) {
+      return "bad stream_port (0-65535): " + value;
+    }
+    config.stream_port = static_cast<std::int32_t>(u64);
   } else if (key == "log_level") {
     if (!log_level_from_string(value)) return "bad log_level: " + value;
     config.log_level = value;
@@ -268,6 +273,7 @@ Result<ServerConfig> parse_server_args(const std::vector<std::string>& args,
     if (flag == "--store") return "store";
     if (flag == "--data-dir") return "data_dir";
     if (flag == "--metrics-port") return "metrics_port";
+    if (flag == "--stream-port") return "stream_port";
     if (flag == "--log-level") return "log_level";
     if (flag == "--max-inflight-ops") return "max_inflight_ops";
     if (flag == "--shed-queue-high") return "shed_queue_high";

@@ -23,6 +23,9 @@
 //   metrics_port = 9100                   # Prometheus TCP endpoint on the
 //                                         # listen host (0 = ephemeral;
 //                                         # omit to disable)
+//   stream_port = 7200                    # TCP stream listener for big
+//                                         # values / client envelopes (0 =
+//                                         # ephemeral; omit for UDP-only)
 //   log_level = info                      # trace|debug|info|warn|error|off
 //   max_inflight_ops = 4096               # admission control: estimated
 //                                         # in-flight op ceiling (0 turns
@@ -40,7 +43,7 @@
 // --advertise host, --peer id@host:port (repeatable), --seed host:port
 // (repeatable join contact) or --seed N (bare integer: RNG seed),
 // --capacity X, --slices K, --gossip-ms N, --ae-ms N,
-// --store memory|durable, --data-dir DIR, --metrics-port N,
+// --store memory|durable, --data-dir DIR, --metrics-port N, --stream-port N,
 // --log-level LEVEL, --max-inflight-ops N, --shed-queue-high N,
 // --shed-queue-low N, --shed-lag-high-ms N, --shed-lag-low-ms N,
 // --shed-trickle-per-sec N, --shards N.
@@ -108,6 +111,12 @@ struct ServerConfig {
   /// default), 0 binds an ephemeral port (printed at boot), otherwise the
   /// given port. Config key `metrics_port` / flag `--metrics-port`.
   std::int32_t metrics_port = -1;
+  /// Length-prefixed TCP stream listener port on listen_host: -1 disables
+  /// streams (the node is UDP-only and peers never dial it), 0 binds an
+  /// ephemeral port (printed before the ready line), otherwise the given
+  /// port. The resolved port is stamped into the gossiped endpoint. Config
+  /// key `stream_port` / flag `--stream-port`.
+  std::int32_t stream_port = -1;
   /// Minimum log level for the process ("info" unless overridden).
   std::string log_level = "info";
 

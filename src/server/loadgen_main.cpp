@@ -30,6 +30,9 @@
 #include "client/client.hpp"
 #include "client/load_balancer.hpp"
 #include "client/session.hpp"
+#include "core/messages.hpp"
+#include "net/stream/dual_transport.hpp"
+#include "net/stream/stream_transport.hpp"
 #include "net/udp_transport.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/real_time_runtime.hpp"
@@ -46,7 +49,8 @@ int usage() {
       "usage: dataflasks_loadgen --peer ID@HOST:PORT [--peer ...]\n"
       "         [--workload A|B|C|D|F|write-only|delete-heavy]\n"
       "         [--threads N] [--concurrency N] [--batch N] [--records N]\n"
-      "         [--value-bytes N] [--duration-ms N] [--rate OPS_PER_SEC]\n"
+      "         [--value-bytes N | --value-size N] [--duration-ms N]\n"
+      "         [--rate OPS_PER_SEC]\n"
       "         [--timeout-ms N] [--deadline-ms N] [--slices K] [--seed N]\n"
       "         [--skip-load] [--sweep R1,R2,...] [--print-server-stats]\n"
       "         [--out FILE]\n"
@@ -56,7 +60,10 @@ int usage() {
       "--deadline-ms sets an absolute per-request budget (ops fail\n"
       "definitively as deadline_exceeded past it). --sweep runs one open\n"
       "loop per offered rate (duration-ms each, one shared load phase) and\n"
-      "reports goodput per step plus the throughput knee.\n");
+      "reports goodput per step plus the throughput knee.\n"
+      "--value-size (alias of --value-bytes) may exceed the UDP datagram\n"
+      "budget: such values travel over the stream transport, so the\n"
+      "contacted servers must run with --stream-port.\n");
   return 1;
 }
 
@@ -188,11 +195,20 @@ void run_worker(std::size_t index, const LoadgenConfig& config,
                 std::uint64_t seed, WorkerStats& stats,
                 std::size_t id_salt) {
   runtime::RealTimeRuntime rt(seed);
-  net::UdpTransport transport(rt, {});  // ephemeral local port
+  net::UdpTransport udp(rt, {});  // ephemeral local port
+  // Dial-only stream leg: required when --value-size exceeds the datagram
+  // budget, transparent UDP fallback against stream-less servers otherwise.
+  net::StreamTransport stream(rt, {});
+  net::DualTransport::Options dual_options;
+  dual_options.prefer_stream = [](std::uint16_t type) {
+    return type == core::kOpEnvelope;
+  };
+  net::DualTransport transport(rt, udp, &stream, std::move(dual_options));
   std::vector<NodeId> contacts;
   for (const server::PeerSpec& peer : config.peers) {
-    transport.add_peer(NodeId(peer.id), peer.host, peer.port);
+    udp.add_peer(NodeId(peer.id), peer.host, peer.port);
     contacts.emplace_back(peer.id);
+    udp.probe_peer(NodeId(peer.id));  // learns the contact's stream port
   }
 
   // Client identity: loadgen tag | pid byte | worker index, so concurrent
@@ -450,7 +466,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--records") {
       if (!next_u64(u64)) return usage();
       config.records = u64;
-    } else if (arg == "--value-bytes") {
+    } else if (arg == "--value-bytes" || arg == "--value-size") {
       if (!next_u64(u64) || u64 == 0) return usage();
       config.value_bytes = u64;
     } else if (arg == "--duration-ms") {

@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
                  "[--peer ID@HOST:PORT ...] [--seed HOST:PORT|N ...] "
                  "[--capacity X] [--slices K] [--gossip-ms N] [--ae-ms N] "
                  "[--store memory|durable] [--data-dir DIR] "
-                 "[--metrics-port N] [--log-level LEVEL] [--shards N]\n");
+                 "[--metrics-port N] [--stream-port N] [--log-level LEVEL] "
+                 "[--shards N]\n");
     return 1;
   }
   const server::ServerConfig config = std::move(parsed).value();
@@ -136,6 +137,7 @@ int main(int argc, char** argv) {
   group_options.net.bind_host = config.listen_host;
   group_options.net.port = config.listen_port;
   group_options.net.advertise_host = config.advertise_host;
+  group_options.stream_port = config.stream_port;
   group_options.node = config.node_options();
 
   server::ShardGroup group(group_options, std::move(assembled));
@@ -253,6 +255,58 @@ int main(int argc, char** argv) {
         .counter("df_mailbox_drained_total", "",
                  "Cross-shard mailbox closures executed")
         .set(totals.mailbox_drained);
+    if (net::StreamTransport* stream = group.stream()) {
+      const net::StreamTransport::Counters& sc = stream->counters();
+      const auto val = [](const std::atomic<std::uint64_t>& v) {
+        return v.load(std::memory_order_relaxed);
+      };
+      registry
+          .counter("df_stream_accepted_total", "",
+                   "Stream connections accepted")
+          .set(val(sc.accepted));
+      registry.counter("df_stream_dialed_total", "", "Outbound stream dials")
+          .set(val(sc.dialed));
+      registry
+          .counter("df_stream_dial_failures_total", "",
+                   "Stream dials that never opened")
+          .set(val(sc.dial_failures));
+      registry
+          .counter("df_stream_closed_total", "", "Stream connections closed")
+          .set(val(sc.closed));
+      registry
+          .gauge("df_stream_active", "", "Stream connections currently open")
+          .set(static_cast<double>(val(sc.active)));
+      registry
+          .counter("df_stream_bytes_in_total", "", "Stream bytes received")
+          .set(val(sc.io.bytes_in));
+      registry.counter("df_stream_bytes_out_total", "", "Stream bytes sent")
+          .set(val(sc.io.bytes_out));
+      registry
+          .counter("df_stream_frames_in_total", "",
+                   "Stream frames reassembled and delivered")
+          .set(val(sc.io.frames_in));
+      registry
+          .counter("df_stream_frames_out_total", "", "Stream frames queued")
+          .set(val(sc.io.frames_out));
+      registry
+          .counter("df_stream_reassembly_errors_total", "",
+                   "Stream frame decode failures (connection dropped)")
+          .set(val(sc.io.reassembly_errors));
+      registry
+          .counter("df_stream_egress_overflows_total", "",
+                   "Stream connections closed for egress overflow")
+          .set(val(sc.io.egress_overflows));
+      registry
+          .gauge("df_stream_egress_queue_hwm_bytes", "",
+                 "High-water mark of any connection's egress queue")
+          .set(static_cast<double>(val(sc.io.egress_queue_hwm)));
+      if (net::DualTransport* dual = group.dual()) {
+        registry
+            .counter("df_stream_dropped_no_stream_total", "",
+                     "Oversized sends dropped with no stream path")
+            .set(dual->dropped_no_stream());
+      }
+    }
     // The node's per-subsystem event counters ride along as one labeled
     // family; executor-shard counters fold into the same names so CLI
     // stats, UDP scrapes and HTTP scrapes all see one node.
@@ -295,6 +349,14 @@ int main(int argc, char** argv) {
     std::printf("dataflasks_server: node %llu metrics on %s:%u\n",
                 static_cast<unsigned long long>(config.id),
                 config.listen_host.c_str(), metrics_endpoint->port());
+  }
+
+  // Stream listener line precedes the ready line (like the metrics line)
+  // so scripts parse the resolved ephemeral port in the same pass.
+  if (group.stream() != nullptr) {
+    std::printf("dataflasks_server: node %llu streams on %s:%u\n",
+                static_cast<unsigned long long>(config.id),
+                config.listen_host.c_str(), group.stream_port());
   }
 
   g_group = &group;

@@ -1,5 +1,7 @@
 #include "server/shard_group.hpp"
 
+#include <arpa/inet.h>
+
 #include <algorithm>
 #include <utility>
 
@@ -11,6 +13,19 @@
 namespace dataflasks::server {
 
 namespace {
+
+/// Resolves the UDP bind host to the host-byte-order IPv4 address the
+/// stream listener binds. Misconfiguration is fatal at boot, like a UDP
+/// bind failure.
+std::uint32_t stream_listen_ip(const std::string& bind_host) {
+  const auto dotted = net::resolve_ipv4(bind_host);
+  ensure(dotted.has_value(),
+         "ShardGroup: stream listener host does not resolve");
+  const in_addr_t addr = ::inet_addr(dotted->c_str());
+  ensure(addr != INADDR_NONE || *dotted == "255.255.255.255",
+         "ShardGroup: bad stream listener address");
+  return ntohl(addr);
+}
 
 /// Distinct deterministic RNG stream per shard (golden-ratio mix, same
 /// spirit as splitmix64): shards must not replay each other's gossip or
@@ -43,6 +58,22 @@ ShardGroup::ShardGroup(ShardGroupOptions options,
       net.reuse_port = true;
       if (k > 0) net.port = shards_[0]->transport->local_port();
     }
+    if (k == 0 && options_.stream_port >= 0) {
+      // Streams live on shard 0 and bind before its UDP socket, so the
+      // transport stamps the RESOLVED stream port (ephemeral included) into
+      // the endpoint gossip carries from the very first self-descriptor.
+      net::StreamTransport::Options sopts;
+      sopts.listen = true;
+      sopts.listen_ip = stream_listen_ip(net.bind_host);
+      sopts.listen_port = static_cast<std::uint16_t>(options_.stream_port);
+      stream_ = std::make_unique<net::StreamTransport>(*shard->rt, sopts);
+    }
+    if (stream_ != nullptr) {
+      // EVERY shard advertises the (shared) listener: with SO_REUSEPORT a
+      // client's discovery probe lands on an arbitrary sibling socket, and
+      // a worker answering "no stream port" would leave that client on UDP.
+      net.advertise_stream_port = stream_->listen_port();
+    }
     shard->transport = std::make_unique<net::UdpTransport>(*shard->rt, net);
 
     if (k > 0 && options_.node.admission.enabled) {
@@ -57,10 +88,27 @@ ShardGroup::ShardGroup(ShardGroupOptions options,
     shards_.push_back(std::move(shard));
   }
 
+  if (stream_ != nullptr) {
+    // Policy: state-transfer traffic prefers streams (the donor bursts
+    // megabyte pages over them); client envelopes arrive on whatever the
+    // client chose; everything gossipy stays UDP unless oversized.
+    net::DualTransport::Options dopts;
+    dopts.prefer_stream = [](std::uint16_t type) {
+      return type == core::kStRequest || type == core::kStReply;
+    };
+    dual_ = std::make_unique<net::DualTransport>(
+        *shards_[0]->rt, *shards_[0]->transport, stream_.get(),
+        std::move(dopts));
+  }
+
   // The full protocol node lives on shard 0; its store is the shared
-  // (sharded) one, so executor shards reach the same data.
+  // (sharded) one, so executor shards reach the same data. With streams
+  // enabled it talks through the DualTransport, which routes per message.
+  net::Transport& node_transport =
+      dual_ ? static_cast<net::Transport&>(*dual_)
+            : static_cast<net::Transport&>(*shards_[0]->transport);
   node_ = std::make_unique<core::Node>(
-      options_.id, options_.capacity, *shards_[0]->rt, *shards_[0]->transport,
+      options_.id, options_.capacity, *shards_[0]->rt, node_transport,
       options_.node, shards_[0]->rt->rng().fork(0xDF).next_u64(),
       std::move(store));
 }
@@ -82,9 +130,16 @@ void ShardGroup::start(const std::vector<NodeId>& peer_seeds) {
   // traffic straight back to the node).
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     Shard& shard = *shards_[k];
-    shard.transport->register_handler(
-        options_.id,
-        [this, k](const net::Message& msg) { route(k, msg); });
+    if (k == 0 && dual_ != nullptr) {
+      // Registering on the dual replaces the node's own registration for
+      // BOTH legs: datagrams and stream frames alike land in route().
+      dual_->register_handler(
+          options_.id, [this](const net::Message& msg) { route(0, msg); });
+    } else {
+      shard.transport->register_handler(
+          options_.id,
+          [this, k](const net::Message& msg) { route(k, msg); });
+    }
     if (k > 0) {
       // A UDP stats scrape landing on a worker socket is rendered by shard
       // 0 but answered FROM shard 0's socket: with SO_REUSEPORT both share
@@ -265,7 +320,15 @@ void ShardGroup::route_envelope(std::size_t from, const net::Message& msg) {
   Shard& shard = *shards_[from];
   const SliceSnapshot& snap = shard.snapshot;
   const sockaddr_in* client = shard.transport->peers().lookup(msg.src);
-  if (!snap.valid || client == nullptr) {
+  // A client with a live stream answers through shard 0's DualTransport,
+  // which picks the leg per reply (oversized → stream, small → UDP). Its
+  // datagram source may ALSO be on record — the discovery probe travels
+  // over UDP — so the stream check must win, or a megabyte reply would be
+  // pushed at the datagram socket and dropped. The zeroed sockaddr (port 0
+  // — no real client has it) is the marker execute_ops switches on.
+  const bool stream_client =
+      stream_ != nullptr && stream_->connected_to_any_thread(msg.src);
+  if (!snap.valid || (client == nullptr && !stream_client)) {
     // No slice identity yet (or no reply route): let the node handle the
     // whole envelope the classic way.
     forward_to_node(from, msg);
@@ -301,7 +364,8 @@ void ShardGroup::route_envelope(std::size_t from, const net::Message& msg) {
                            core::encode(core::OpEnvelope{
                                envelope->protocol, std::move(node_ops)})});
   }
-  const sockaddr_in client_addr = *client;
+  sockaddr_in client_addr{};  // port 0 = stream client, reply via dual
+  if (client != nullptr && !stream_client) client_addr = *client;
   for (std::size_t k = 0; k < per_shard.size(); ++k) {
     if (per_shard[k].empty()) continue;
     if (k == from) {
@@ -412,16 +476,24 @@ void ShardGroup::execute_ops(std::size_t k, std::vector<core::RoutedOp> ops,
   // Per-shard admission gate, mirroring the single-shard envelope shed: an
   // overloaded shard answers with one explicit kOverloaded frame instead
   // of executing (siblings may still be admitting — per-core backpressure).
+  // Stream-delivered envelopes answer through shard 0's DualTransport (the
+  // connection lives on its loop); datagram clients get replies straight
+  // from this shard's REUSEPORT socket.
+  const bool via_stream = client_addr.sin_port == 0;
+
   if (core::AdmissionController* adm = shard_admission(k)) {
     const core::AdmissionController::Decision decision =
         adm->admit(core::WorkClass::kClientOp, ops.size());
     if (!decision.admit) {
       c.envelopes_shed.fetch_add(1, std::memory_order_relaxed);
-      shard.transport->send_to(
-          net::Message{self, client, core::kOverloaded,
-                       core::encode(core::OverloadReply{
-                           ops.front().rid, decision.retry_after_ms})},
-          client_addr);
+      net::Message shed{self, client, core::kOverloaded,
+                        core::encode(core::OverloadReply{
+                            ops.front().rid, decision.retry_after_ms})};
+      if (via_stream) {
+        send_via_dual(k, std::move(shed));
+      } else {
+        shard.transport->send_to(shed, client_addr);
+      }
       return;
     }
   }
@@ -543,12 +615,15 @@ void ShardGroup::execute_ops(std::size_t k, std::vector<core::RoutedOp> ops,
         batch.replies,
         [](const OpReply& reply) { return core::encoded_size(reply); },
         [&](std::vector<OpReply>& chunk) {
-          shard.transport->send_to(
-              net::Message{self, client, core::kOpReplyBatch,
-                           core::encode(core::OpReplyBatch{
-                               batch.replica, batch.slice,
-                               std::move(chunk)})},
-              client_addr);
+          net::Message reply{self, client, core::kOpReplyBatch,
+                             core::encode(core::OpReplyBatch{
+                                 batch.replica, batch.slice,
+                                 std::move(chunk)})};
+          if (via_stream) {
+            send_via_dual(k, std::move(reply));
+          } else {
+            shard.transport->send_to(reply, client_addr);
+          }
         });
   }
 
@@ -563,10 +638,20 @@ void ShardGroup::execute_ops(std::size_t k, std::vector<core::RoutedOp> ops,
         [&](std::vector<store::Object>& chunk) {
           const Payload encoded =
               core::encode(core::ReplicatePush{std::move(chunk)});
+          // chunk_by_budget ships a single over-budget object as its own
+          // chunk; a push that no datagram can carry (a big value) goes
+          // through the dual, which requires a stream to the replica.
+          const bool oversized =
+              encoded.size() > net::Transport::kDefaultMaxPayload;
           for (const auto& [peer, addr] : shard.snapshot.replica_peers) {
-            shard.transport->send_to(
-                net::Message{self, peer, core::kReplicatePush, encoded},
-                addr);
+            if (oversized && dual_ != nullptr) {
+              send_via_dual(
+                  k, net::Message{self, peer, core::kReplicatePush, encoded});
+            } else {
+              shard.transport->send_to(
+                  net::Message{self, peer, core::kReplicatePush, encoded},
+                  addr);
+            }
           }
         });
   }
@@ -584,6 +669,16 @@ void ShardGroup::execute_ops(std::size_t k, std::vector<core::RoutedOp> ops,
       shards_[0]->rt->post_from_any_thread(std::move(respray));
     }
   }
+}
+
+void ShardGroup::send_via_dual(std::size_t k, net::Message msg) {
+  if (dual_ == nullptr) return;  // no stream client without a dual
+  if (k == 0) {
+    dual_->send(std::move(msg));
+    return;
+  }
+  shards_[0]->rt->post_from_any_thread(
+      [this, msg = std::move(msg)]() mutable { dual_->send(std::move(msg)); });
 }
 
 void ShardGroup::store_pushed(std::size_t k, std::vector<store::Object> objects) {

@@ -39,6 +39,8 @@
 
 #include "common/metrics.hpp"
 #include "core/node.hpp"
+#include "net/stream/dual_transport.hpp"
+#include "net/stream/stream_transport.hpp"
 #include "net/udp_transport.hpp"
 #include "runtime/real_time_runtime.hpp"
 #include "store/store.hpp"
@@ -55,6 +57,13 @@ struct ShardGroupOptions {
   /// Shard 0's transport options; workers derive theirs (same port,
   /// SO_REUSEPORT) from the bound result.
   net::UdpTransport::Options net;
+  /// TCP stream listener port on the UDP bind address: -1 = no streams
+  /// (UDP-only node), 0 = ephemeral, else the given port. The listener
+  /// binds BEFORE shard 0's UDP transport so the gossiped endpoint carries
+  /// the resolved port from the first self-descriptor. Stream ingress and
+  /// egress live on shard 0; executor shards mail stream-bound replies to
+  /// it (see execute_ops).
+  std::int32_t stream_port = -1;
   core::NodeOptions node;
   /// Cadence at which shard 0 publishes slice identity + replica addresses
   /// to the executor shards.
@@ -155,6 +164,13 @@ class ShardGroup {
   [[nodiscard]] net::UdpTransport& shard_transport(std::size_t k) {
     return *shards_[k]->transport;
   }
+  /// Null when the group was built without a stream listener.
+  [[nodiscard]] net::StreamTransport* stream() { return stream_.get(); }
+  [[nodiscard]] net::DualTransport* dual() { return dual_.get(); }
+  /// Resolved stream listener port (0 when streams are disabled).
+  [[nodiscard]] std::uint16_t stream_port() const {
+    return stream_ ? stream_->listen_port() : 0;
+  }
 
   /// Starts the node, installs the shard router on every socket and
   /// schedules snapshot publishing + per-shard admission ticks. Call on
@@ -224,12 +240,21 @@ class ShardGroup {
                    sockaddr_in client_addr);
   /// Stores replica-push objects owned by shard `k`.
   void store_pushed(std::size_t k, std::vector<store::Object> objects);
+  /// Sends `msg` through shard 0's DualTransport (stream routing happens
+  /// there), from any shard thread. Stream connections are owned by shard
+  /// 0's loop, so executor replies to stream clients ride its mailbox.
+  void send_via_dual(std::size_t k, net::Message msg);
   void publish_snapshot();
   void admission_tick(std::size_t k);
   void note_exec(std::size_t k, core::OpType type, SimTime started);
 
   ShardGroupOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Destruction order matters: the node references dual_, dual_ references
+  // stream_ and shard 0's transport/runtime — members are torn down in
+  // exactly the reverse of this declaration order.
+  std::unique_ptr<net::StreamTransport> stream_;
+  std::unique_ptr<net::DualTransport> dual_;
   std::unique_ptr<core::Node> node_;
   const core::OpHotMetrics* hot_ = nullptr;
   runtime::TimerHandle snapshot_timer_;

@@ -2,7 +2,10 @@
 // their authority rules — pinned survives datagram-source noise, a fresher
 // gossip stamp heals anything, learned entries are LRU-bounded so
 // ephemeral-port clients cannot grow the table forever.
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+
+#include <vector>
 
 #include "net/address_book.hpp"
 
@@ -130,6 +133,55 @@ TEST(AddressBook, EvictionPrefersLeastRecentlyRefreshed) {
   EXPECT_TRUE(book.contains(NodeId(1)));
   EXPECT_FALSE(book.contains(NodeId(2)));
   EXPECT_TRUE(book.contains(NodeId(3)));
+}
+
+TEST(AddressBook, LearnsGossippedStreamPort) {
+  AddressBook book;
+  ASSERT_TRUE(book.learn(NodeId(6), Endpoint{kLoopback, 9000, 30, 9500}));
+  EXPECT_EQ(book.stream_port_of(NodeId(6)), 9500);
+
+  const auto dial = book.stream_addr_of(NodeId(6));
+  ASSERT_TRUE(dial.has_value());
+  // The dial address is the entry's IP with the TCP port swapped in.
+  EXPECT_EQ(ntohl(dial->sin_addr.s_addr), kLoopback);
+  EXPECT_EQ(ntohs(dial->sin_port), 9500);
+
+  // A fresher stamp without a stream port means the node restarted
+  // stream-less: the old TCP port must not survive the update.
+  EXPECT_TRUE(book.learn(NodeId(6), Endpoint{kLoopback, 9000, 31}));
+  EXPECT_EQ(book.stream_port_of(NodeId(6)), 0);
+  EXPECT_FALSE(book.stream_addr_of(NodeId(6)).has_value());
+}
+
+TEST(AddressBook, StreamAddrAbsentForUdpOnlyOrUnknownPeers) {
+  AddressBook book;
+  EXPECT_FALSE(book.stream_addr_of(NodeId(404)).has_value());
+  EXPECT_EQ(book.stream_port_of(NodeId(404)), 0);
+
+  book.pin(NodeId(1), addr_of(kLoopback, 7100));
+  EXPECT_FALSE(book.stream_addr_of(NodeId(1)).has_value())
+      << "a pinned UDP address advertises no stream port";
+}
+
+TEST(AddressBook, EvictListenerFiresOnLruEviction) {
+  AddressBook book(AddressBook::Options{/*max_learned=*/2});
+  std::vector<NodeId> evicted;
+  book.set_evict_listener([&](NodeId node) { evicted.push_back(node); });
+
+  book.observe(NodeId(1), addr_of(kLoopback, 5001));
+  book.observe(NodeId(2), addr_of(kLoopback, 5002));
+  EXPECT_TRUE(evicted.empty());
+
+  book.observe(NodeId(3), addr_of(kLoopback, 5003));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], NodeId(1));
+  EXPECT_FALSE(book.contains(NodeId(1)))
+      << "the listener must observe the entry already gone";
+
+  // Refreshes and pinned inserts never evict, so never fire the listener.
+  book.observe(NodeId(2), addr_of(kLoopback, 5002));
+  book.pin(NodeId(100), addr_of(kLoopback, 7100));
+  EXPECT_EQ(evicted.size(), 1u);
 }
 
 }  // namespace

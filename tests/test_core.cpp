@@ -146,10 +146,17 @@ TEST(Messages, StateTransferRoundTrip) {
   EXPECT_EQ(decoded_req->slice, 7u);
   EXPECT_EQ(decoded_req->cursor.key, "cursor_key");
 
-  const StReply reply{7, true, {store::Object{"k", 1, value_of("v")}}};
+  const StReply reply{7, true, false, {store::Object{"k", 1, value_of("v")}}};
   auto decoded_reply = decode_st_reply(encode(reply));
   ASSERT_TRUE(decoded_reply.has_value());
   EXPECT_TRUE(decoded_reply->done);
+  EXPECT_FALSE(decoded_reply->continues);
+
+  const StReply burst_page{7, false, true, {}};
+  auto decoded_page = decode_st_reply(encode(burst_page));
+  ASSERT_TRUE(decoded_page.has_value());
+  EXPECT_FALSE(decoded_page->done);
+  EXPECT_TRUE(decoded_page->continues);
 }
 
 TEST(Messages, MalformedPayloadsReturnNullopt) {

@@ -4,10 +4,12 @@
 // nullopt (or a failed Reader), never by UB or exceptions.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <functional>
 
 #include "common/rng.hpp"
 #include "core/messages.hpp"
+#include "net/stream/stream_frame.hpp"
 #include "pss/view.hpp"
 
 namespace dataflasks {
@@ -145,10 +147,36 @@ std::vector<CodecCase> all_codecs() {
        [](const Bytes& b) { (void)core::decode_st_request(b); }},
       {"st_reply",
        []() {
-         return core::encode(
-             core::StReply{7, true, {store::Object{"k", 1, Bytes{5}}}});
+         return core::encode(core::StReply{
+             7, true, false, {store::Object{"k", 1, Bytes{5}}}});
        },
        [](const Bytes& b) { (void)core::decode_st_reply(b); }},
+      // A slice advert whose endpoint gossips a TCP stream port: the tag-2
+      // endpoint layout crossing a real message codec.
+      {"slice_advert_streamed",
+       []() {
+         return core::encode(core::SliceAdvert{
+             NodeId(1), 5, {10, 3}, Endpoint{0x7F000001, 7100, 99, 7200}});
+       },
+       [](const Bytes& b) { (void)core::decode_slice_advert(b); }},
+      // The stream framing layer: feed() must absorb any byte sequence
+      // without crashing — a malformed header poisons the decoder, a
+      // truncated one just waits for more bytes.
+      {"stream_frame",
+       []() {
+         net::Message msg;
+         msg.src = NodeId(3);
+         msg.dst = NodeId(4);
+         msg.type = 0x0301;
+         msg.payload = Payload(Bytes{1, 2, 3, 4, 5, 6, 7, 8, 9});
+         return net::encode_stream_frame(msg);
+       },
+       [](const Bytes& b) {
+         net::StreamFrameDecoder decoder;
+         decoder.feed(ByteView(b.data(), b.size()));
+         while (decoder.poll().has_value()) {
+         }
+       }},
   };
 }
 
@@ -197,7 +225,7 @@ TEST_P(CodecFuzzTest, RandomGarbageIsHandled) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecFuzzTest,
-                         ::testing::Range<std::size_t>(0, 14),
+                         ::testing::Range<std::size_t>(0, 16),
                          [](const auto& info) {
                            return std::string(all_codecs()[info.param].name);
                          });
@@ -260,11 +288,12 @@ TEST(CodecRoundTrip, MinProtocolForOpTypes) {
 }
 
 TEST(CodecFuzz, PssDescriptorTruncations) {
-  // Both the endpoint-less and endpoint-carrying layouts must reject every
-  // proper prefix.
+  // The endpoint-less, UDP-only, and stream-port-carrying layouts must all
+  // reject every proper prefix.
   const std::vector<pss::NodeDescriptor> variants{
       {NodeId(5), 9, std::nullopt},
       {NodeId(5), 9, Endpoint{0x7F000001, 7105, 1234}},
+      {NodeId(5), 9, Endpoint{0x7F000001, 7105, 1234, 9100}},
   };
   for (const auto& descriptor : variants) {
     Writer w;
@@ -275,6 +304,168 @@ TEST(CodecFuzz, PssDescriptorTruncations) {
       Reader r(truncated);
       ASSERT_NO_THROW((void)pss::decode_descriptor(r));
       EXPECT_FALSE(r.finish().ok());
+    }
+  }
+}
+
+// ---- endpoint codec back-compat --------------------------------------------
+// The optional-endpoint layout grew a tag-2 variant carrying a stream port.
+// Three properties keep old and new nodes interoperable: a stream-less node
+// emits bytes identical to the pre-stream layout, those legacy bytes decode
+// cleanly, and unknown tags are rejected rather than guessed at.
+
+TEST(EndpointCodec, StreamlessEncodingIsByteIdenticalToLegacyLayout) {
+  Writer w;
+  encode_endpoint_opt(w, Endpoint{0x0A000001, 7100, 42});
+  // The pre-stream layout, built by hand: tag 1, ip, port, stamp.
+  Writer legacy;
+  legacy.u8(1);
+  legacy.u32(0x0A000001);
+  legacy.u16(7100);
+  legacy.u64(42);
+  EXPECT_EQ(w.take(), legacy.take())
+      << "a node without a stream port must gossip the exact legacy bytes";
+}
+
+TEST(EndpointCodec, DecodesLegacyTagOneBytes) {
+  Writer legacy;
+  legacy.u8(1);
+  legacy.u32(0x0A000001);
+  legacy.u16(7100);
+  legacy.u64(42);
+  const Bytes wire = legacy.take();
+
+  Reader r(wire);
+  const auto endpoint = decode_endpoint_opt(r);
+  ASSERT_TRUE(endpoint.has_value());
+  EXPECT_TRUE(r.finish().ok());
+  EXPECT_EQ(endpoint->ip, 0x0A000001u);
+  EXPECT_EQ(endpoint->port, 7100);
+  EXPECT_EQ(endpoint->stamp, 42u);
+  EXPECT_EQ(endpoint->stream_port, 0) << "legacy descriptors are UDP-only";
+}
+
+TEST(EndpointCodec, RoundTripsStreamPortViaTagTwo) {
+  const Endpoint original{0x7F000001, 7105, 1234, 9100};
+  Writer w;
+  encode_endpoint_opt(w, original);
+  const Bytes wire = w.take();
+  EXPECT_EQ(wire[0], 2) << "a stream port selects the tag-2 layout";
+
+  Reader r(wire);
+  const auto decoded = decode_endpoint_opt(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(r.finish().ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(EndpointCodec, RejectsUnknownTag) {
+  Writer w;
+  encode_endpoint_opt(w, Endpoint{0x7F000001, 7105, 1234, 9100});
+  Bytes wire = w.take();
+  wire[0] = 3;  // a tag no encoder emits
+  Reader r(wire);
+  EXPECT_FALSE(decode_endpoint_opt(r).has_value());
+  EXPECT_FALSE(r.ok()) << "an unknown tag is malformed input, not v-next";
+}
+
+TEST(EndpointCodec, BothLayoutsRejectEveryTruncation) {
+  const std::vector<Endpoint> variants{
+      Endpoint{0x0A000001, 7100, 42},
+      Endpoint{0x0A000001, 7100, 42, 9100},
+  };
+  for (const Endpoint& endpoint : variants) {
+    Writer w;
+    encode_endpoint_opt(w, endpoint);
+    const Bytes valid = w.take();
+    for (std::size_t len = 1; len < valid.size(); ++len) {
+      Bytes truncated(valid.begin(), valid.begin() + static_cast<long>(len));
+      Reader r(truncated);
+      (void)decode_endpoint_opt(r);
+      EXPECT_FALSE(r.finish().ok())
+          << "prefix of length " << len << " must fail the reader";
+    }
+  }
+}
+
+// ---- stream framing --------------------------------------------------------
+// The parameterized sweep above already feeds the decoder truncations,
+// mutations and garbage in one window; these pin down the framing-specific
+// contracts the sweep cannot see.
+
+TEST(StreamFrameFuzz, TruncationsNeverCompleteAFrame) {
+  net::Message msg;
+  msg.src = NodeId(3);
+  msg.dst = NodeId(4);
+  msg.type = 0x0301;
+  msg.payload = Payload(Bytes{10, 20, 30, 40});
+  const Bytes valid = net::encode_stream_frame(msg).to_bytes();
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    net::StreamFrameDecoder decoder;
+    decoder.feed(ByteView(valid.data(), len));
+    EXPECT_FALSE(decoder.poll().has_value())
+        << "prefix of length " << len << " completed a frame";
+    EXPECT_FALSE(decoder.failed())
+        << "a truncated valid frame is pending, not malformed";
+  }
+}
+
+TEST(StreamFrameFuzz, MutatedLengthFieldNeverCrashes) {
+  net::Message msg;
+  msg.src = NodeId(3);
+  msg.dst = NodeId(4);
+  msg.type = 0x0301;
+  msg.payload = Payload(Bytes{10, 20, 30, 40});
+  const Bytes valid = net::encode_stream_frame(msg).to_bytes();
+  const std::size_t len_off = net::kStreamHeaderSize - sizeof(std::uint32_t);
+
+  Rng rng(0x57EA);
+  for (int round = 0; round < 500; ++round) {
+    Bytes mutated = valid;
+    const auto length = static_cast<std::uint32_t>(rng.next_u64());
+    std::memcpy(mutated.data() + len_off, &length, sizeof length);
+    net::StreamFrameDecoder decoder;
+    decoder.feed(ByteView(mutated.data(), mutated.size()));
+    while (decoder.poll().has_value()) {
+    }
+    if (length > net::kMaxStreamPayload) {
+      EXPECT_TRUE(decoder.failed())
+          << "length " << length << " must poison the decoder";
+    }
+  }
+}
+
+TEST(StreamFrameFuzz, OversizedDeclaredLengthIsRejected) {
+  net::Message msg;
+  msg.src = NodeId(1);
+  msg.dst = NodeId(2);
+  msg.type = 0x0302;
+  msg.payload = Payload(Bytes{1});
+  Bytes wire = net::encode_stream_frame(msg).to_bytes();
+  const std::size_t len_off = net::kStreamHeaderSize - sizeof(std::uint32_t);
+  const auto huge = static_cast<std::uint32_t>(net::kMaxStreamPayload + 1);
+  std::memcpy(wire.data() + len_off, &huge, sizeof huge);
+
+  net::StreamFrameDecoder decoder;
+  decoder.feed(ByteView(wire.data(), wire.size()));
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_FALSE(decoder.poll().has_value());
+}
+
+TEST(StreamFrameFuzz, GarbageStreamsPoisonWithoutCrashing) {
+  Rng rng(0xDF5F);
+  for (int round = 0; round < 200; ++round) {
+    net::StreamFrameDecoder decoder;
+    // Feed garbage in several windows, as a socket would deliver it.
+    const std::size_t windows = 1 + rng.next_below(4);
+    for (std::size_t i = 0; i < windows; ++i) {
+      Bytes garbage(rng.next_below(256));
+      for (auto& byte : garbage) {
+        byte = static_cast<std::uint8_t>(rng.next_below(256));
+      }
+      decoder.feed(ByteView(garbage.data(), garbage.size()));
+      while (decoder.poll().has_value()) {
+      }
     }
   }
 }
