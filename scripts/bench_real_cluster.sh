@@ -23,6 +23,13 @@
 # gains "sweep" and "knee" sections locating the throughput knee; set
 # BENCH_SWEEP="" for a single closed-loop run without the sweep).
 #
+# Cache-mode leg (single-fleet runs only): after the main load, the fleet
+# is relaunched with --max-store-bytes BENCH_CACHE_MAX_BYTES (default
+# 65536) and driven with TTL'd writes (--ttl-ms BENCH_CACHE_TTL_MS,
+# default 2000); the report gains a "cache_mode" section with the
+# expiry/eviction counters node 0 reported. Set BENCH_CACHE_TTL_MS=""
+# to skip the leg.
+#
 # Shard-ladder mode (the multi-core scaling curve): set BENCH_SHARDS to a
 # comma-separated list of shard counts, e.g.
 #
@@ -77,10 +84,12 @@ for ((i = 0; i < NODES; i++)); do
   PEER_FLAGS+=("--peer" "$i@127.0.0.1:$((BASE_PORT + i))")
 done
 
-# launch_fleet <shards>: boots the $NODES-node fleet; empty <shards> leaves
-# the server's own default (--shards 0 = one shard per hardware thread).
+# launch_fleet <shards> [extra server flags...]: boots the $NODES-node
+# fleet; empty <shards> leaves the server's own default (--shards 0 = one
+# shard per hardware thread).
 launch_fleet() {
   local shards="${1:-}"
+  shift || true
   local shard_flags=()
   [[ -n "$shards" ]] && shard_flags=("--shards" "$shards")
   for ((i = 0; i < NODES; i++)); do
@@ -92,7 +101,7 @@ launch_fleet() {
     [[ "$i" == 0 ]] && metrics=("--metrics-port" "0")  # ephemeral, printed at boot
     "$SERVER" --id "$i" --listen "127.0.0.1:$((BASE_PORT + i))" \
       --gossip-ms 100 --ae-ms 500 --log-level warn \
-      "${metrics[@]}" "${shard_flags[@]}" "${node_peers[@]}" \
+      "${metrics[@]}" "${shard_flags[@]}" "$@" "${node_peers[@]}" \
       > "$LOG_DIR/server$i.log" 2>&1 &
     PIDS[$i]=$!
   done
@@ -145,10 +154,8 @@ run_load() {
   fi
 }
 
-# check_observability: node 0's TCP scrape + the Stats op must answer and
-# show the op counters the load just incremented.
-check_observability() {
-  echo "== scraping node 0's TCP metrics endpoint"
+# scrape_node0: fetches node 0's /metrics exposition into $SCRAPE.
+scrape_node0() {
   METRICS_PORT="$(grep -oE 'metrics on 127.0.0.1:[0-9]+' "$LOG_DIR/server0.log" \
     | head -1 | grep -oE '[0-9]+$')"
   [[ -n "$METRICS_PORT" ]] || {
@@ -158,6 +165,13 @@ check_observability() {
   }
   SCRAPE="$(exec 3<>"/dev/tcp/127.0.0.1/$METRICS_PORT" \
     && printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3 && cat <&3)"
+}
+
+# check_observability: node 0's TCP scrape + the Stats op must answer and
+# show the op counters the load just incremented.
+check_observability() {
+  echo "== scraping node 0's TCP metrics endpoint"
+  scrape_node0
   grep -q "df_ops_total" <<< "$SCRAPE" || {
     echo "bench_real_cluster: scrape did not expose the op counters" >&2
     echo "$SCRAPE" >&2
@@ -178,12 +192,63 @@ check_observability() {
   }
 }
 
+# run_cache_leg: relaunches the fleet in cache mode (every run-phase write
+# carries a TTL, every node runs under a --max-store-bytes budget), waits
+# out the expiry deadline, and splices the df_store_* expiry/eviction
+# counters the fleet actually reported into the main JSON report. Skipped
+# when BENCH_CACHE_TTL_MS is set empty.
+run_cache_leg() {
+  [[ -n "$CACHE_TTL_MS" ]] || return 0
+  echo "== cache-mode leg: ttl ${CACHE_TTL_MS}ms, --max-store-bytes $CACHE_MAX_BYTES"
+  teardown_fleet
+  launch_fleet 1 --max-store-bytes "$CACHE_MAX_BYTES" --reap-ms 250
+  "$LOADGEN" "${PEER_FLAGS[@]}" \
+    --workload "$WORKLOAD" --threads "$THREADS" --concurrency "$CONCURRENCY" \
+    --records "$RECORDS" --duration-ms "$DURATION_MS" \
+    --ttl-ms "$CACHE_TTL_MS" --out "$LOG_DIR/cache.json"
+  # Every TTL'd write crosses its deadline; the 250ms reapers collect them.
+  sleep "$(( (CACHE_TTL_MS / 1000) + 2 ))"
+  scrape_node0
+  CACHE_EXPIRED="$(grep -E '^df_store_keys_expired_total ' <<< "$SCRAPE" \
+    | awk '{print $2}')"
+  CACHE_EVICTED="$(grep -E '^df_store_keys_evicted_total ' <<< "$SCRAPE" \
+    | awk '{print $2}')"
+  [[ -n "$CACHE_EXPIRED" && -n "$CACHE_EVICTED" ]] || {
+    echo "bench_real_cluster: cache leg scrape lacks the df_store counters" >&2
+    echo "$SCRAPE" >&2
+    exit 1
+  }
+  [[ "$CACHE_EXPIRED" -gt 0 ]] || {
+    echo "bench_real_cluster: TTL'd load ran but nothing expired" >&2
+    exit 1
+  }
+  [[ "$CACHE_EVICTED" -gt 0 ]] || {
+    echo "bench_real_cluster: the store budget was oversubscribed but nothing evicted" >&2
+    exit 1
+  }
+  echo "   node 0: keys_expired=$CACHE_EXPIRED keys_evicted=$CACHE_EVICTED"
+  # Splice a "cache_mode" section into the report, before the closing brace.
+  sed -i '$ d' "$OUT"
+  {
+    printf ',\n  "cache_mode": {\n'
+    printf '    "ttl_ms": %s,\n' "$CACHE_TTL_MS"
+    printf '    "max_store_bytes": %s,\n' "$CACHE_MAX_BYTES"
+    printf '    "node0_keys_expired": %s,\n' "$CACHE_EXPIRED"
+    printf '    "node0_keys_evicted": %s\n' "$CACHE_EVICTED"
+    printf '  }\n}\n'
+  } >> "$OUT"
+}
+
+CACHE_TTL_MS="${BENCH_CACHE_TTL_MS-2000}"
+CACHE_MAX_BYTES="${BENCH_CACHE_MAX_BYTES:-65536}"
+
 if [[ -z "$SHARD_LADDER" ]]; then
   echo "== launching $NODES-node cluster on ports $BASE_PORT-$((BASE_PORT + NODES - 1))"
   launch_fleet ""
   run_load "$OUT"
-  echo "== report written to $OUT"
   check_observability
+  run_cache_leg
+  echo "== report written to $OUT"
   echo "bench_real_cluster: PASS"
   exit 0
 fi

@@ -70,8 +70,11 @@ start_server() {
   # fallback against it.
   local stream_flags=(--stream-port 0)
   [[ "$i" == "2" ]] && stream_flags=()
+  # --compact-interval-sec 1: checkpoints run throughout, so the restart
+  # phase below genuinely recovers snapshot + tail, not an empty journal.
   "$SERVER" --id "$i" --listen "127.0.0.1:$((BASE_PORT + i))" \
     --gossip-ms 100 --ae-ms 500 --store durable --data-dir "$LOG_DIR" \
+    --compact-interval-sec 1 \
     --shards "$shards" --log-level warn "${stream_flags[@]}" \
     "${node_peers[@]}" \
     >> "$LOG_DIR/server$i.log" 2>&1 &
@@ -216,6 +219,23 @@ grep -q "deleted" <<< "$OUT3" || {
 echo "== restarting node 0 (durable log, missed the delete) "
 start_server 0
 wait_ready 0 2
+
+echo "== restart must recover through the checkpointed path (snapshot + tail)"
+RECOVERY_LINE="$(grep "recovered snapshot+tail" "$LOG_DIR/server0.log" | tail -1)"
+echo "$RECOVERY_LINE"
+[[ -n "$RECOVERY_LINE" ]] || {
+  echo "cluster_smoke: restarted node printed no snapshot+tail recovery line" >&2
+  cat "$LOG_DIR/server0.log" >&2
+  exit 1
+}
+# Node 0 was up for many --compact-interval-sec periods before the kill, so
+# the restart must load a checkpointed generation (>= 2) holding objects —
+# anything else means it silently fell back to a full-history replay.
+grep -qE "generation ([2-9]|[1-9][0-9]+): [1-9][0-9]* snapshot objects" \
+    <<< "$RECOVERY_LINE" || {
+  echo "cluster_smoke: restart did not load a checkpointed snapshot" >&2
+  exit 1
+}
 
 echo "== get from the restarted node only: tombstone must win"
 # Node 0 recovers smoke-key's VALUE from its log (it was down for the

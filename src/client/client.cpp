@@ -161,7 +161,7 @@ std::vector<Payload> Client::encode_unresolved(
   std::vector<core::RoutedOp> unresolved;
   for (std::size_t i = 0; i < batch.ops.size(); ++i) {
     if (batch.resolved[i]) continue;
-    protocol = std::max(protocol, core::min_protocol_for(batch.ops[i].type));
+    protocol = std::max(protocol, core::min_protocol_for(batch.ops[i]));
     unresolved.push_back(core::RoutedOp{
         RequestId{id_.value, batch.base_seq + i}, batch.ops[i]});
   }
@@ -354,7 +354,7 @@ void Client::handle_version_mismatch(const core::VersionMismatch& mismatch) {
   for (std::size_t i = 0; i < batch.ops.size(); ++i) {
     if (batch.resolved[i]) continue;
     if (adoptable &&
-        core::min_protocol_for(batch.ops[i].type) <= active_protocol_) {
+        core::min_protocol_for(batch.ops[i]) <= active_protocol_) {
       continue;
     }
     batch.resolved[i] = true;
@@ -494,13 +494,21 @@ void Client::dispatch(const net::Message& msg) {
 // ---- single-op convenience surface ------------------------------------------
 
 void Client::put(Key key, Payload value, Version version, PutCallback done) {
-  execute({core::Operation::put(std::move(key), version, std::move(value))},
+  put(std::move(key), std::move(value), version, /*ttl_ms=*/0,
+      std::move(done));
+}
+
+void Client::put(Key key, Payload value, Version version,
+                 std::uint32_t ttl_ms, PutCallback done) {
+  execute({core::Operation::put(std::move(key), version, std::move(value),
+                                ttl_ms)},
           [done = std::move(done)](const std::vector<OpResult>& results) {
             if (!done) return;
             const OpResult& r = results.front();
             PutResult out;
             out.ok = r.ok;
             out.superseded = r.superseded;
+            out.unsupported = r.unsupported;
             out.key = r.key;
             out.version = r.version;
             out.replica = r.replica;

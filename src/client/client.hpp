@@ -101,6 +101,9 @@ struct PutResult {
   /// The write lost to the key's tombstone (deleted at a higher version):
   /// a definitive rejection, not a timeout.
   bool superseded = false;
+  /// The contacted cluster's protocol cannot express this put (a TTL'd put
+  /// against a pre-v3 cluster). Definitive, not a timeout.
+  bool unsupported = false;
   Key key;
   Version version = 0;
   NodeId replica;           ///< first acknowledging replica
@@ -178,6 +181,14 @@ class Client {
   /// implicitly from `Bytes`; the value buffer is shared, not copied, all
   /// the way to the replicas' stores.
   void put(Key key, Payload value, Version version, PutCallback done);
+
+  /// Put with a time-to-live: replicas stamp an absolute expiry deadline
+  /// `ttl_ms` from now and the object expires cluster-wide (reaped, and
+  /// answered as deleted if read first). Requires protocol v3 — against an
+  /// older cluster the op fails with `unsupported` set. `ttl_ms == 0`
+  /// means no expiry (identical to the plain overload).
+  void put(Key key, Payload value, Version version, std::uint32_t ttl_ms,
+           PutCallback done);
 
   /// Writes with an auto-stamped version (monotonic per key, this client).
   Version put_auto(Key key, Payload value, PutCallback done);

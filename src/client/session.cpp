@@ -8,6 +8,7 @@ PutResult to_put_result(const OpResult& r) {
   PutResult out;
   out.ok = r.ok;
   out.superseded = r.superseded;
+  out.unsupported = r.unsupported;
   out.key = r.key;
   out.version = r.version;
   out.replica = r.replica;
@@ -39,6 +40,15 @@ Future<PutResult> Session::put(Key key, Payload value) {
 Future<PutResult> Session::put(Key key, Payload value, Version version) {
   Future<PutResult> future;
   client_.put(std::move(key), std::move(value), version,
+              [future](const PutResult& r) mutable { future.fulfill(r); });
+  return future;
+}
+
+Future<PutResult> Session::put_ttl(Key key, Payload value,
+                                   std::uint32_t ttl_ms) {
+  Future<PutResult> future;
+  const Version version = client_.stamp_version(key);
+  client_.put(std::move(key), std::move(value), version, ttl_ms,
               [future](const PutResult& r) mutable { future.fulfill(r); });
   return future;
 }

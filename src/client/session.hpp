@@ -90,6 +90,11 @@ class Session {
   Future<PutResult> put(Key key, Payload value);
   /// Explicitly versioned write (upper layers that order operations).
   Future<PutResult> put(Key key, Payload value, Version version);
+  /// Auto-stamped write with a time-to-live: the object expires
+  /// cluster-wide `ttl_ms` after the first replica stores it. Resolves
+  /// with unsupported=true against a pre-v3 cluster (ttl_ms == 0 never
+  /// does — it is a plain put).
+  Future<PutResult> put_ttl(Key key, Payload value, std::uint32_t ttl_ms);
 
   Future<GetResult> get(Key key,
                         std::optional<Version> version = std::nullopt);

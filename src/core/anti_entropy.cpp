@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "common/hash.hpp"
+
 namespace dataflasks::core {
+
+namespace {
+
+/// Identity hash of one digest entry: key hash mixed with the version, so a
+/// version bump moves the entry to a (likely) different bucket fingerprint.
+std::uint64_t entry_hash(const store::DigestEntry& entry) {
+  return hash_combine(stable_key_hash(entry.key), entry.version);
+}
+
+/// Buckets sized for ~64 entries each: a 10k-entry store summarizes into
+/// ~156 * 8 bytes, and one disagreeing entry costs one ~64-entry bucket of
+/// per-key fallback. Clamped so tiny stores still compare meaningfully and
+/// huge ones keep the summary under a frame.
+std::uint32_t bucket_count_for(std::size_t entries) {
+  const std::size_t buckets = entries / 64;
+  return static_cast<std::uint32_t>(std::clamp<std::size_t>(buckets, 16, 4096));
+}
+
+}  // namespace
 
 AntiEntropy::AntiEntropy(NodeId self, net::Transport& transport,
                          store::Store& store, Rng rng,
@@ -22,6 +43,13 @@ AntiEntropy::AntiEntropy(NodeId self, net::Transport& transport,
   ensure(options_.push_cap > 0, "AntiEntropy: zero push cap");
 }
 
+void AntiEntropy::send(NodeId to, std::uint16_t type, Payload payload) {
+  // Every outbound AE byte is counted: the O(diff) claim is asserted
+  // against this counter, not hand-waved.
+  metrics_.counter("ae.bytes_sent").add(payload.size());
+  transport_.send(net::Message{self_, to, type, std::move(payload)});
+}
+
 void AntiEntropy::send_digest(NodeId to, bool is_reply) {
   // The store maintains its digest incrementally; under the cap we encode
   // straight from that cached reference — no copy, no materialized vector.
@@ -35,14 +63,82 @@ void AntiEntropy::send_digest(NodeId to, bool is_reply) {
   } else {
     encoded = encode_ae_digest(is_reply, digest);
   }
-  transport_.send(net::Message{self_, to, kAeDigest, std::move(encoded)});
+  send(to, kAeDigest, std::move(encoded));
   metrics_.counter("ae.digests_sent").add();
+}
+
+const AntiEntropy::SummaryState& AntiEntropy::summary_state(
+    std::uint32_t bucket_count) {
+  const std::uint64_t rev = store_.mutation_rev();
+  const SliceId mine = my_slice_();
+  if (summary_.valid && summary_.rev == rev && summary_.slice == mine &&
+      summary_.bucket_count == bucket_count) {
+    return summary_;
+  }
+  summary_.rev = rev;
+  summary_.slice = mine;
+  summary_.bucket_count = bucket_count;
+  summary_.entry_count = 0;
+  summary_.fingerprints.assign(bucket_count, 0);
+  for (const store::DigestEntry& entry : store_.digest_entries()) {
+    if (key_slice_(entry.key) != mine) continue;  // foreign stragglers
+    const std::uint64_t h = entry_hash(entry);
+    summary_.fingerprints[hash_to_bucket(h, bucket_count)] ^= h;
+    ++summary_.entry_count;
+  }
+  summary_.valid = true;
+  return summary_;
+}
+
+std::vector<store::DigestEntry> AntiEntropy::entries_in_buckets(
+    std::uint32_t bucket_count, const std::vector<std::uint32_t>& buckets) {
+  const SliceId mine = my_slice_();
+  // Membership mask instead of find(): a cold replica disagrees on every
+  // bucket, and O(entries * buckets) would make its first rounds quadratic.
+  std::vector<char> wanted(bucket_count, 0);
+  for (const std::uint32_t b : buckets) wanted[b] = 1;
+  // Under the cap, reservoir-sample instead of truncating: a deterministic
+  // first-N prefix repeats the same entries every round, and once the
+  // partner holds exactly those the exchange stops making progress while
+  // the buckets still disagree. A uniform draw keeps successive rounds
+  // covering different parts of the diff (same reasoning as send_digest),
+  // at O(cap) extra memory.
+  std::vector<store::DigestEntry> out;
+  std::size_t matched = 0;
+  for (const store::DigestEntry& entry : store_.digest_entries()) {
+    if (key_slice_(entry.key) != mine) continue;
+    if (wanted[hash_to_bucket(entry_hash(entry), bucket_count)] == 0) continue;
+    if (out.size() < options_.digest_cap) {
+      out.push_back(entry);
+    } else if (const std::uint64_t j = rng_.next_below(matched + 1);
+               j < options_.digest_cap) {
+      out[j] = entry;
+    }
+    ++matched;
+  }
+  return out;
+}
+
+void AntiEntropy::send_summary(NodeId to) {
+  const SummaryState& state =
+      summary_state(bucket_count_for(store_.digest_entries().size()));
+  AeSummary msg;
+  msg.bucket_count = state.bucket_count;
+  msg.entry_count = state.entry_count;
+  msg.fingerprints = state.fingerprints;
+  send(to, kAeSummary, encode(msg));
+  metrics_.counter("ae.summaries_sent").add();
 }
 
 void AntiEntropy::tick() {
   const auto partners = slice_peers_(1);
   if (partners.empty()) return;
-  send_digest(partners.front(), /*is_reply=*/false);
+  if (options_.summary_protocol &&
+      store_.digest_entries().size() >= options_.summary_min_entries) {
+    send_summary(partners.front());
+  } else {
+    send_digest(partners.front(), /*is_reply=*/false);
+  }
 }
 
 bool AntiEntropy::handle(const net::Message& msg) {
@@ -50,6 +146,16 @@ bool AntiEntropy::handle(const net::Message& msg) {
     case kAeDigest: {
       const auto digest = decode_ae_digest(msg.payload);
       if (digest) handle_digest(msg, *digest);
+      return true;
+    }
+    case kAeSummary: {
+      const auto summary = decode_ae_summary(msg.payload);
+      if (summary) handle_summary(msg, *summary);
+      return true;
+    }
+    case kAeBucketDigest: {
+      const auto digest = decode_ae_bucket_digest(msg.payload);
+      if (digest) handle_bucket_digest(msg, *digest);
       return true;
     }
     case kAePull: {
@@ -67,12 +173,11 @@ bool AntiEntropy::handle(const net::Message& msg) {
   }
 }
 
-void AntiEntropy::handle_digest(const net::Message& msg,
-                                const AeDigest& digest) {
-  // Pull whatever the partner has that we miss (and that belongs to us).
+void AntiEntropy::pull_missing(
+    NodeId from, const std::vector<store::DigestEntry>& entries) {
   AePull pull;
   const SliceId mine = my_slice_();
-  for (const store::DigestEntry& entry : digest.entries) {
+  for (const store::DigestEntry& entry : entries) {
     if (key_slice_(entry.key) != mine) continue;
     if (!store_.contains(entry.key, entry.version)) {
       // Tombstone-aware: don't pull versions our own tombstone supersedes —
@@ -89,13 +194,66 @@ void AntiEntropy::handle_digest(const net::Message& msg,
   }
   last_pull_backlog_ = pull.entries.size();
   if (!pull.entries.empty()) {
-    transport_.send(net::Message{self_, msg.src, kAePull, encode(pull)});
+    send(from, kAePull, encode(pull));
     metrics_.counter("ae.pulls_sent").add();
   }
+}
+
+void AntiEntropy::handle_digest(const net::Message& msg,
+                                const AeDigest& digest) {
+  // Pull whatever the partner has that we miss (and that belongs to us).
+  pull_missing(msg.src, digest.entries);
 
   // Answer the initiating leg with our own digest so repair is symmetric.
   if (!digest.is_reply) {
     send_digest(msg.src, /*is_reply=*/true);
+  }
+}
+
+void AntiEntropy::handle_summary(const net::Message& msg,
+                                 const AeSummary& summary) {
+  // Compare under the SENDER's bucketing, so both sides fold the same
+  // entries into the same positions.
+  const SummaryState& mine = summary_state(summary.bucket_count);
+  std::vector<std::uint32_t> disagreeing;
+  for (std::uint32_t b = 0; b < summary.bucket_count; ++b) {
+    if (mine.fingerprints[b] != summary.fingerprints[b]) {
+      disagreeing.push_back(b);
+    }
+  }
+  if (disagreeing.empty()) {
+    // Converged: the whole round cost one summary each way and nothing
+    // else. This is the O(diff) steady state.
+    metrics_.counter("ae.summaries_converged").add();
+    last_pull_backlog_ = 0;
+    return;
+  }
+
+  AeBucketDigest reply;
+  reply.is_reply = false;
+  reply.bucket_count = summary.bucket_count;
+  reply.buckets = std::move(disagreeing);
+  reply.entries = entries_in_buckets(summary.bucket_count, reply.buckets);
+  send(msg.src, kAeBucketDigest, encode(reply));
+  metrics_.counter("ae.bucket_digests_sent").add();
+}
+
+void AntiEntropy::handle_bucket_digest(const net::Message& msg,
+                                       const AeBucketDigest& digest) {
+  // Round 2: the entries are per-key again, so the legacy pull logic
+  // applies verbatim.
+  pull_missing(msg.src, digest.entries);
+
+  if (!digest.is_reply) {
+    // We initiated with a summary; answer with our entries in the same
+    // disagreeing buckets so the partner can pull what *it* misses.
+    AeBucketDigest reply;
+    reply.is_reply = true;
+    reply.bucket_count = digest.bucket_count;
+    reply.buckets = digest.buckets;
+    reply.entries = entries_in_buckets(digest.bucket_count, digest.buckets);
+    send(msg.src, kAeBucketDigest, encode(reply));
+    metrics_.counter("ae.bucket_digests_sent").add();
   }
 }
 
@@ -108,7 +266,7 @@ void AntiEntropy::handle_pull(const net::Message& msg, const AePull& pull) {
     if (push.objects.size() >= options_.push_cap) break;
   }
   if (!push.objects.empty()) {
-    transport_.send(net::Message{self_, msg.src, kAePush, encode(push)});
+    send(msg.src, kAePush, encode(push));
     metrics_.counter("ae.pushes_sent").add();
   }
 }

@@ -1,8 +1,23 @@
-// Intra-slice anti-entropy: periodic digest exchange with a random
-// slice-mate, pulling whatever the partner has that we miss. This is our
-// resolution of the paper's open problem of "maintaining replication level
-// in face of churn or faults" (§VII): every object eventually reaches every
-// live member of its slice, with batched, constant-per-cycle message cost.
+// Intra-slice anti-entropy: periodic exchange with a random slice-mate,
+// pulling whatever the partner has that we miss. This is our resolution of
+// the paper's open problem of "maintaining replication level in face of
+// churn or faults" (§VII): every object eventually reaches every live
+// member of its slice.
+//
+// Two protocols share the pull/push legs:
+//
+//  - Legacy per-key digests (kAeDigest): the sender ships every
+//    (key, version) it holds — O(keyspace) bytes per round even between
+//    perfectly converged replicas. Still used for small stores (a digest
+//    under a few hundred entries is cheaper than a summary) and kept as a
+//    handler forever so mixed fleets interoperate.
+//
+//  - O(diff) summaries (kAeSummary → kAeBucketDigest): round 1 ships a
+//    fixed-size array of per-bucket XOR fingerprints; converged replicas
+//    stop there. Only buckets whose fingerprints disagree fall back to
+//    per-key entries (round 2), so bytes scale with the difference, not
+//    the keyspace. Fingerprints are rebuilt only when the store's
+//    mutation_rev changes (cached otherwise).
 #pragma once
 
 #include <functional>
@@ -18,6 +33,13 @@ namespace dataflasks::core {
 struct AntiEntropyOptions {
   std::size_t digest_cap = 512;   ///< max digest entries per message
   std::size_t push_cap = 128;     ///< max objects per push message
+  /// Initiate rounds with the O(diff) summary protocol. Off = legacy
+  /// per-key digests (both sides still *answer* either protocol).
+  bool summary_protocol = true;
+  /// Stores smaller than this initiate with the legacy digest even when
+  /// summaries are on: below it the full digest fits in fewer bytes than a
+  /// summary worth comparing.
+  std::size_t summary_min_entries = 64;
 };
 
 class AntiEntropy {
@@ -31,10 +53,10 @@ class AntiEntropy {
               KeySliceFn key_slice, SlicePeersFn slice_peers,
               MetricsRegistry& metrics);
 
-  /// One anti-entropy round: send our digest to one random slice-mate.
+  /// One anti-entropy round: summary (or digest) to one random slice-mate.
   void tick();
 
-  /// Consumes kAeDigest / kAePull / kAePush messages.
+  /// Consumes kAeDigest / kAeSummary / kAeBucketDigest / kAePull / kAePush.
   bool handle(const net::Message& msg);
 
   /// Entries this node asked to pull in the most recent digest exchange —
@@ -45,10 +67,36 @@ class AntiEntropy {
   }
 
  private:
+  /// Slice-filtered bucket fingerprints, rebuilt only when the store or
+  /// bucketing changes. XOR folding keeps the build one O(n) pass.
+  struct SummaryState {
+    std::uint64_t rev = 0;
+    SliceId slice = 0;
+    std::uint32_t bucket_count = 0;
+    std::uint64_t entry_count = 0;
+    std::vector<std::uint64_t> fingerprints;
+    bool valid = false;
+  };
+
   void send_digest(NodeId to, bool is_reply);
+  void send_summary(NodeId to);
   void handle_digest(const net::Message& msg, const AeDigest& digest);
+  void handle_summary(const net::Message& msg, const AeSummary& summary);
+  void handle_bucket_digest(const net::Message& msg,
+                            const AeBucketDigest& digest);
   void handle_pull(const net::Message& msg, const AePull& pull);
   void handle_push(const AePush& push);
+
+  /// Pulls the entries we miss (slice-filtered, tombstone-aware); shared by
+  /// the legacy digest leg and the summary protocol's round 2.
+  void pull_missing(NodeId from, const std::vector<store::DigestEntry>& entries);
+  /// (Re)computes fingerprints for `bucket_count` buckets over this node's
+  /// slice-local entries; returns the cached state.
+  const SummaryState& summary_state(std::uint32_t bucket_count);
+  /// This node's slice-local entries hashing into any of `buckets`.
+  [[nodiscard]] std::vector<store::DigestEntry> entries_in_buckets(
+      std::uint32_t bucket_count, const std::vector<std::uint32_t>& buckets);
+  void send(NodeId to, std::uint16_t type, Payload payload);
 
   NodeId self_;
   net::Transport& transport_;
@@ -60,6 +108,7 @@ class AntiEntropy {
   SlicePeersFn slice_peers_;
   MetricsRegistry& metrics_;
   std::size_t last_pull_backlog_ = 0;
+  SummaryState summary_;
 };
 
 }  // namespace dataflasks::core

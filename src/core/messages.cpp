@@ -29,12 +29,16 @@ slicing::SliceConfig decode_config(Reader& r) {
 
 // ---- Operation / RoutedOp codec --------------------------------------------
 
-void encode_op(Writer& w, const Operation& op) {
+void encode_op(Writer& w, const Operation& op, std::uint8_t protocol) {
   w.u8(static_cast<std::uint8_t>(op.type));
   w.str(op.key);
   switch (op.type) {
     case OpType::kPut:
       w.u64(op.version.value_or(0));
+      // v3 puts always carry the TTL field (0 = forever): the field's
+      // presence is keyed on the envelope's protocol byte, never on its
+      // value, so the layout is decidable without lookahead.
+      if (protocol >= 3) w.u32(op.ttl_ms);
       w.bytes(op.value);
       break;
     case OpType::kGet:
@@ -54,7 +58,7 @@ void encode_op(Writer& w, const Operation& op) {
 }
 
 /// Returns nullopt (and fails the reader) on an unknown op type.
-std::optional<Operation> decode_op(Reader& r) {
+std::optional<Operation> decode_op(Reader& r, std::uint8_t protocol) {
   Operation op;
   const std::uint8_t type = r.u8();
   op.key = r.str();
@@ -62,6 +66,7 @@ std::optional<Operation> decode_op(Reader& r) {
     case static_cast<std::uint8_t>(OpType::kPut):
       op.type = OpType::kPut;
       op.version = r.u64();
+      if (protocol >= 3) op.ttl_ms = r.u32();
       op.value = r.payload();
       break;
     case static_cast<std::uint8_t>(OpType::kGet):
@@ -87,19 +92,20 @@ std::optional<Operation> decode_op(Reader& r) {
   return op;
 }
 
-void encode_routed(Writer& w, const RoutedOp& routed) {
+void encode_routed(Writer& w, const RoutedOp& routed, std::uint8_t protocol) {
   w.request_id(routed.rid);
-  encode_op(w, routed.op);
+  encode_op(w, routed.op, protocol);
 }
 
 /// Decodes a RoutedOp list shared by envelopes and spray payloads. Sets the
 /// reader failed on any malformed element.
-std::optional<std::vector<RoutedOp>> decode_routed_ops(Reader& r) {
+std::optional<std::vector<RoutedOp>> decode_routed_ops(Reader& r,
+                                                       std::uint8_t protocol) {
   bool bad_op = false;
-  auto ops = r.vec<RoutedOp>([&r, &bad_op]() {
+  auto ops = r.vec<RoutedOp>([&r, &bad_op, protocol]() {
     RoutedOp routed;
     routed.rid = r.request_id();
-    auto op = decode_op(r);
+    auto op = decode_op(r, protocol);
     if (!op) {
       bad_op = true;
       return RoutedOp{};
@@ -119,12 +125,21 @@ std::size_t encoded_size_routed(const std::vector<RoutedOp>& ops) {
 
 }  // namespace
 
+std::uint8_t min_protocol_for(const Operation& op) {
+  if (op.type == OpType::kPut && op.ttl_ms != 0) return 3;
+  return min_protocol_for(op.type);
+}
+
 std::size_t encoded_size(const Operation& op) {
-  // type + key + per-type version field + (put only) value block.
+  // type + key + per-type version field + (put only) value block. Sized at
+  // the native (v3) layout: for downgraded envelopes this overestimates a
+  // put by the 4-byte TTL field, which only makes reserve hints and chunk
+  // budgets slightly conservative.
   std::size_t size = 1 + sizeof(std::uint32_t) + op.key.size();
   switch (op.type) {
     case OpType::kPut:
-      size += sizeof(Version) + sizeof(std::uint32_t) + op.value.size();
+      size += sizeof(Version) + sizeof(std::uint32_t) /* ttl_ms */ +
+              sizeof(std::uint32_t) + op.value.size();
       break;
     case OpType::kGet:
       size += 1 + sizeof(Version);  // optional<Version>
@@ -150,7 +165,9 @@ std::size_t encoded_size(const RoutedOp& routed) {
 Payload encode(const OpEnvelope& msg) {
   Writer w(1 + encoded_size_routed(msg.ops));
   w.u8(msg.protocol);
-  w.vec(msg.ops, [&w](const RoutedOp& routed) { encode_routed(w, routed); });
+  w.vec(msg.ops, [&w, &msg](const RoutedOp& routed) {
+    encode_routed(w, routed, msg.protocol);
+  });
   return w.take_payload();
 }
 
@@ -158,15 +175,15 @@ std::optional<OpEnvelope> decode_op_envelope(const Payload& payload) {
   Reader r(payload);
   OpEnvelope msg;
   msg.protocol = r.u8();
-  // Every version back to kOpProtocolMin shares this layout (v2 only added
-  // op type codes), so decode structurally and let the request handler
-  // decide whether it *serves* the carried version — a mismatch must reach
-  // it to produce the explicit kVersionMismatch reply.
+  // Every version back to kOpProtocolMin is decodable (the protocol byte
+  // selects the per-op layout), so decode structurally and let the request
+  // handler decide whether it *serves* the carried version — a mismatch
+  // must reach it to produce the explicit kVersionMismatch reply.
   if (!r.ok() || msg.protocol < kOpProtocolMin ||
       msg.protocol > kOpProtocolVersion) {
     return std::nullopt;
   }
-  auto ops = decode_routed_ops(r);
+  auto ops = decode_routed_ops(r, msg.protocol);
   if (!ops || !r.finish().ok()) return std::nullopt;
   msg.ops = std::move(*ops);
   return msg;
@@ -175,9 +192,13 @@ std::optional<OpEnvelope> decode_op_envelope(const Payload& payload) {
 // ---- inner payloads ---------------------------------------------------------
 
 Payload encode_inner(const OpsRequest& req) {
+  // Node-to-node spray traffic always rides the native layout: the contact
+  // node re-encodes here after decoding whatever version the client spoke.
   Writer w(1 + encoded_size_routed(req.ops));
   w.u8(static_cast<std::uint8_t>(InnerKind::kOps));
-  w.vec(req.ops, [&w](const RoutedOp& routed) { encode_routed(w, routed); });
+  w.vec(req.ops, [&w](const RoutedOp& routed) {
+    encode_routed(w, routed, kOpProtocolVersion);
+  });
   return w.take_payload();
 }
 
@@ -203,7 +224,7 @@ std::optional<OpsRequest> decode_ops(const Payload& payload) {
   if (r.u8() != static_cast<std::uint8_t>(InnerKind::kOps)) {
     return std::nullopt;
   }
-  auto ops = decode_routed_ops(r);
+  auto ops = decode_routed_ops(r, kOpProtocolVersion);
   if (!ops || !r.finish().ok()) return std::nullopt;
   OpsRequest req;
   req.ops = std::move(*ops);
@@ -412,6 +433,68 @@ std::optional<AePush> decode_ae_push(const Payload& payload) {
   msg.objects =
       r.vec<store::Object>([&r]() { return store::decode_object(r); });
   if (!r.finish().ok()) return std::nullopt;
+  return msg;
+}
+
+// Receivers allocate bucket_count-sized arrays (fingerprints, membership
+// masks), so a wire-supplied count far beyond what bucket sizing ever
+// produces (4096) is malformed input, not a bigger store.
+constexpr std::uint32_t kMaxSummaryBuckets = 65536;
+
+Payload encode(const AeSummary& msg) {
+  Writer w(sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+           sizeof(std::uint32_t) +
+           msg.fingerprints.size() * sizeof(std::uint64_t));
+  w.u32(msg.bucket_count);
+  w.u64(msg.entry_count);
+  w.vec(msg.fingerprints, [&w](std::uint64_t fp) { w.u64(fp); });
+  return w.take_payload();
+}
+
+std::optional<AeSummary> decode_ae_summary(const Payload& payload) {
+  Reader r(payload);
+  AeSummary msg;
+  msg.bucket_count = r.u32();
+  msg.entry_count = r.u64();
+  msg.fingerprints = r.vec<std::uint64_t>([&r]() { return r.u64(); });
+  if (!r.finish().ok()) return std::nullopt;
+  // A summary whose fingerprint array disagrees with its own bucket count
+  // is malformed — comparing it positionally would be garbage.
+  if (msg.bucket_count == 0 || msg.bucket_count > kMaxSummaryBuckets ||
+      msg.fingerprints.size() != msg.bucket_count) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+Payload encode(const AeBucketDigest& msg) {
+  std::size_t size = 1 + 2 * sizeof(std::uint32_t) +
+                     msg.buckets.size() * sizeof(std::uint32_t) +
+                     sizeof(std::uint32_t);
+  for (const store::DigestEntry& e : msg.entries) size += store::encoded_size(e);
+  Writer w(size);
+  w.boolean(msg.is_reply);
+  w.u32(msg.bucket_count);
+  w.vec(msg.buckets, [&w](std::uint32_t b) { w.u32(b); });
+  w.vec(msg.entries, [&w](const store::DigestEntry& e) { store::encode(w, e); });
+  return w.take_payload();
+}
+
+std::optional<AeBucketDigest> decode_ae_bucket_digest(const Payload& payload) {
+  Reader r(payload);
+  AeBucketDigest msg;
+  msg.is_reply = r.boolean();
+  msg.bucket_count = r.u32();
+  msg.buckets = r.vec<std::uint32_t>([&r]() { return r.u32(); });
+  msg.entries = r.vec<store::DigestEntry>(
+      [&r]() { return store::decode_digest_entry(r); });
+  if (!r.finish().ok()) return std::nullopt;
+  if (msg.bucket_count == 0 || msg.bucket_count > kMaxSummaryBuckets) {
+    return std::nullopt;
+  }
+  for (const std::uint32_t b : msg.buckets) {
+    if (b >= msg.bucket_count) return std::nullopt;
+  }
   return msg;
 }
 

@@ -37,16 +37,21 @@ constexpr std::uint16_t kAePull = net::kAntiEntropyTypeBase + 1;
 constexpr std::uint16_t kAePush = net::kAntiEntropyTypeBase + 2;
 constexpr std::uint16_t kStRequest = net::kAntiEntropyTypeBase + 3;
 constexpr std::uint16_t kStReply = net::kAntiEntropyTypeBase + 4;
+constexpr std::uint16_t kAeSummary = net::kAntiEntropyTypeBase + 5;
+constexpr std::uint16_t kAeBucketDigest = net::kAntiEntropyTypeBase + 6;
 
 // ---- the operation variant -------------------------------------------------
 
 /// Wire protocol version of the operation API this build speaks natively.
-/// v2 added compare-and-put and the stats admin op; the envelope layout is
-/// unchanged, so one decoder reads every version back to kOpProtocolMin. A
-/// node serves exactly one version and answers envelopes carrying any other
-/// with an explicit kVersionMismatch reply so clients can negotiate down
-/// (instead of the silent drop v1 servers gave unknown versions).
-constexpr std::uint8_t kOpProtocolVersion = 2;
+/// v2 added compare-and-put and the stats admin op (envelope layout
+/// unchanged); v3 adds a ttl_ms field to every Put — the first version
+/// whose op layout depends on the envelope's protocol byte, so the op
+/// codec threads that byte through. One decoder still reads every version
+/// back to kOpProtocolMin. A node serves exactly one version and answers
+/// envelopes carrying any other with an explicit kVersionMismatch reply so
+/// clients can negotiate down (instead of the silent drop v1 servers gave
+/// unknown versions).
+constexpr std::uint8_t kOpProtocolVersion = 3;
 /// Oldest protocol version this build can still encode and serve.
 constexpr std::uint8_t kOpProtocolMin = 1;
 
@@ -64,20 +69,32 @@ enum class OpType : std::uint8_t {
   return type == OpType::kCompareAndPut || type == OpType::kStats ? 2 : 1;
 }
 
+struct Operation;
+/// Per-op refinement: a plain put rides any version, but a put carrying a
+/// TTL needs v3's wire field — against an older server it must fail as
+/// `unsupported` rather than silently store forever.
+[[nodiscard]] std::uint8_t min_protocol_for(const Operation& op);
+
 /// One client operation. `version` is the write stamp for put/delete/cas
 /// and the optional requested version for get (nullopt = latest). `value`
 /// is put/cas-only (shared payload, zero-copy through encode/decode).
 /// `expected` is cas-only: the version the key must currently be at (0 =
-/// "key must not exist").
+/// "key must not exist"). `ttl_ms` is put-only (protocol v3): 0 = lives
+/// forever; otherwise the first storing replica stamps an absolute expiry
+/// deadline ttl_ms from its wall clock and the object expires cluster-wide.
 struct Operation {
   OpType type = OpType::kGet;
   Key key;
   std::optional<Version> version;
   Payload value;
   Version expected = 0;
+  std::uint32_t ttl_ms = 0;
 
-  [[nodiscard]] static Operation put(Key key, Version version, Payload value) {
-    return Operation{OpType::kPut, std::move(key), version, std::move(value)};
+  [[nodiscard]] static Operation put(Key key, Version version, Payload value,
+                                     std::uint32_t ttl_ms = 0) {
+    Operation op{OpType::kPut, std::move(key), version, std::move(value)};
+    op.ttl_ms = ttl_ms;
+    return op;
   }
   [[nodiscard]] static Operation get(Key key,
                                      std::optional<Version> version =
@@ -313,6 +330,38 @@ struct AePush {
 [[nodiscard]] std::optional<AeDigest> decode_ae_digest(const Payload& payload);
 [[nodiscard]] std::optional<AePull> decode_ae_pull(const Payload& payload);
 [[nodiscard]] std::optional<AePush> decode_ae_push(const Payload& payload);
+
+/// Round 1 of O(diff) anti-entropy: a fixed-size sketch of the sender's
+/// slice data instead of every (key, version). Entries hash into
+/// `bucket_count` buckets (hash_to_bucket over hash_combine(key_hash,
+/// version)); each bucket's fingerprint XOR-folds its entries' hashes, so
+/// it is order-independent and incremental. Two converged replicas
+/// exchange ~8 bytes per bucket and stop; only buckets whose fingerprints
+/// disagree fall back to per-key digests (round 2, AeBucketDigest).
+struct AeSummary {
+  std::uint32_t bucket_count = 0;
+  std::uint64_t entry_count = 0;  ///< entries folded in (disambiguates empty)
+  std::vector<std::uint64_t> fingerprints;  ///< one per bucket
+};
+
+/// Round 2: per-key digests for the buckets that disagreed. The responder
+/// sends its entries in those buckets (is_reply = false); the summary's
+/// sender pulls what it misses and answers with its own entries in the
+/// same buckets (is_reply = true) so repair stays symmetric. From here the
+/// classic AePull / AePush legs finish the exchange.
+struct AeBucketDigest {
+  bool is_reply = false;
+  std::uint32_t bucket_count = 0;          ///< bucketing both sides used
+  std::vector<std::uint32_t> buckets;      ///< disagreeing bucket ids
+  std::vector<store::DigestEntry> entries; ///< sender's entries in them
+};
+
+[[nodiscard]] Payload encode(const AeSummary& msg);
+[[nodiscard]] Payload encode(const AeBucketDigest& msg);
+[[nodiscard]] std::optional<AeSummary> decode_ae_summary(
+    const Payload& payload);
+[[nodiscard]] std::optional<AeBucketDigest> decode_ae_bucket_digest(
+    const Payload& payload);
 
 // ---- state transfer ----------------------------------------------------------
 

@@ -82,6 +82,10 @@ void Node::build_components() {
   requests_ = std::make_unique<RequestHandler>(
       id_, transport_, *pss_, *slices_, *store_, boot.fork(4),
       [this]() { return runtime_.now(); }, options_.request, metrics_);
+  // TTL deadlines are stamped against the wall clock so replicas in other
+  // processes agree on them (the simulator's wall_now() is its sim clock,
+  // keeping sim tests deterministic).
+  requests_->set_wall_clock([this]() { return runtime_.wall_now(); });
   requests_->set_stats_provider(
       stats_fn_ ? stats_fn_ : [this]() {
         // Default snapshot: this node's event-counter registry, rendered in
@@ -182,6 +186,37 @@ void Node::start_timers() {
           if (dropped > 0) {
             metrics_.counter("node.tombstones_gced").add(dropped);
           }
+        }));
+  }
+  if (options_.expiry_reap_period > 0) {
+    timers_.push_back(runtime_.schedule_periodic(
+        jitter(options_.expiry_reap_period), options_.expiry_reap_period,
+        [this]() {
+          const store::ReapStats reaped =
+              store_->reap(runtime_.wall_now(), options_.max_store_bytes);
+          if (reaped.expired > 0) {
+            metrics_.counter("node.keys_expired").add(reaped.expired);
+          }
+          if (reaped.evicted > 0) {
+            metrics_.counter("node.keys_evicted").add(reaped.evicted);
+          }
+        }));
+  }
+  if (options_.compact_period > 0) {
+    timers_.push_back(runtime_.schedule_periodic(
+        jitter(options_.compact_period), options_.compact_period,
+        [this]() {
+          const auto reclaimed = store_->compact_storage();
+          if (!reclaimed.ok()) {
+            // Compaction failure is not fatal (the live log keeps working);
+            // it is however the kind of quiet disk trouble operators need a
+            // counter for.
+            metrics_.counter("node.compact_failures").add();
+            return;
+          }
+          metrics_.counter("node.compactions").add();
+          metrics_.counter("node.compact_bytes_reclaimed")
+              .add(reclaimed.value());
         }));
   }
   if (size_estimator_ != nullptr) {

@@ -67,6 +67,18 @@ struct NodeOptions {
   SimTime tombstone_grace = 10 * 60 * kSeconds;
   SimTime tombstone_gc_period = 30 * kSeconds;
 
+  /// TTL expiry + eviction cadence. Each tick reaps expired versions and,
+  /// when `max_store_bytes` bounds the store, evicts cold keys down to the
+  /// budget. Zero disables the timer (objects then expire lazily at read
+  /// time only).
+  SimTime expiry_reap_period = 1 * kSeconds;
+  /// Soft cap on live store bytes for cache workloads; zero = unbounded.
+  std::size_t max_store_bytes = 0;
+  /// Periodic storage compaction (LogStore file rewrite / StorageEngine
+  /// checkpoint). Zero disables (the default for volatile stores, which
+  /// have nothing to compact).
+  SimTime compact_period = 0;
+
   /// Admission control / load shedding (off by default: simulator
   /// fixtures opt in; the server config enables it). See
   /// core/admission_controller.hpp for the policy.

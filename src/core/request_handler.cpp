@@ -20,6 +20,7 @@ RequestHandler::RequestHandler(NodeId self, net::Transport& transport,
       options_(options),
       metrics_(metrics) {
   ensure(clock_ != nullptr, "RequestHandler: clock required");
+  wall_ = clock_;
   dissemination::SprayOptions spray = options_.spray;
   spray.max_hops = dissemination::adaptive_ttl(
       spray.global_fanout, slices_.config().slice_count, options_.ttl_beta);
@@ -153,6 +154,12 @@ void RequestHandler::spray_ops(SliceId target, std::vector<RoutedOp> ops) {
 }
 
 void RequestHandler::store_replicated(store::Object object) {
+  if (object.expired(wall_())) {
+    // A copy that expired in flight: storing it would only schedule more
+    // reap work and risk serving a dead value before the wheel fires.
+    metrics_.counter("rh.pushes_expired").add();
+    return;
+  }
   if (slices_.key_slice(object.key) == slices_.slice()) {
     if (store_.put(object).ok()) {
       metrics_.counter("rh.pushes_stored").add();
@@ -294,6 +301,13 @@ dissemination::DeliverResult RequestHandler::handle_ops_delivery(
     switch (op.type) {
       case OpType::kPut: {
         store::Object object{op.key, op.version.value_or(0), op.value};
+        if (op.ttl_ms != 0) {
+          // The first storing replica stamps the absolute deadline (wall
+          // clock: replicas compare it across processes); copies propagate
+          // the stamp so the whole slice expires the object together.
+          object.expires_at =
+              wall_() + static_cast<SimTime>(op.ttl_ms) * kMillis;
+        }
         const Status stored = store_.put(object);
         if (!stored.ok()) {
           if (stored.error().code == Error::Code::kSuperseded) {
@@ -339,6 +353,16 @@ dissemination::DeliverResult RequestHandler::handle_ops_delivery(
         auto found = store_.get(op.key, op.version);
         if (found.ok()) {
           store::Object object = std::move(found).value();
+          if (object.expired(wall_())) {
+            // Expired but not yet reaped: an authoritative miss, answered
+            // like a delete so the value is never served past its deadline
+            // (and never relayed onward for a slice-mate to resurrect).
+            metrics_.counter("rh.gets_expired").add();
+            batch.replies.push_back(OpReply{
+                routed.rid, OpType::kGet, OpStatus::kDeleted,
+                store::Object{op.key, object.version, {}}});
+            break;
+          }
           if (object.tombstone) {
             // Authoritative "deleted": completes the client's get instead
             // of letting it time out.

@@ -109,6 +109,13 @@ class RequestHandler {
   }
 
   void set_stats_provider(StatsFn fn) { stats_fn_ = std::move(fn); }
+  /// Clock used to stamp TTL deadlines (`expires_at`). Must be comparable
+  /// across processes (wall time), unlike `clock` which may be a per-process
+  /// steady clock; defaults to `clock` (correct for the simulator, where
+  /// one clock serves every node).
+  void set_wall_clock(ClockFn fn) {
+    wall_ = fn ? std::move(fn) : clock_;
+  }
   /// `hot` must outlive this handler (it points into the embedder's
   /// registry); pass nullptr to detach.
   void set_hot_metrics(const OpHotMetrics* hot) { hot_ = hot; }
@@ -141,6 +148,7 @@ class RequestHandler {
   store::Store& store_;
   Rng rng_;
   ClockFn clock_;
+  ClockFn wall_;
   RequestHandlerOptions options_;
   MetricsRegistry& metrics_;
   StatsFn stats_fn_;

@@ -50,6 +50,12 @@ SimTime RealTimeRuntime::now() const {
       .count();
 }
 
+SimTime RealTimeRuntime::wall_now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 TimerHandle RealTimeRuntime::schedule_at(SimTime at, UniqueFunction fn) {
   // Unlike the simulator there is no "scheduling in the past" invariant:
   // wall time advances between the caller reading now() and us enqueueing,

@@ -38,6 +38,10 @@ class RealTimeRuntime final : public Runtime {
   /// SimTime arithmetic written against the simulator behaves identically.
   [[nodiscard]] SimTime now() const override;
 
+  /// Microseconds since the Unix epoch: comparable across processes, for
+  /// stamps that replicate (TTL deadlines). Not monotonic under NTP steps.
+  [[nodiscard]] SimTime wall_now() const override;
+
   [[nodiscard]] Rng& rng() override { return rng_; }
 
   TimerHandle schedule_at(SimTime at, UniqueFunction fn) override;

@@ -24,6 +24,14 @@ class Clock {
   /// Microseconds since runtime start (virtual time in the simulator,
   /// steady-clock wall time in the real runtime).
   [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Microseconds on a clock that is comparable ACROSS processes: Unix
+  /// epoch time in the real runtime, virtual time in the simulator (where
+  /// every node shares one clock anyway). TTL deadlines and other stamps
+  /// that replicate between nodes must use this, never now() — now() is
+  /// time-since-*this*-process-start, which differs per process. Same
+  /// loosely-synchronized-clocks caveat as tombstone deletion stamps.
+  [[nodiscard]] virtual SimTime wall_now() const { return now(); }
 };
 
 /// Cancellable handle for a scheduled event. Destroying the handle does NOT

@@ -42,14 +42,16 @@ int usage() {
   std::fprintf(stderr,
                "usage: dataflasks_cli --peer ID@HOST:PORT [--peer ...]\n"
                "         [--timeout-ms N] [--version N] [--seed N]\n"
-               "         [--log-level LEVEL]\n"
+               "         [--ttl-ms N] [--log-level LEVEL]\n"
                "         put <key> <value> | get <key> | del <key> |\n"
                "         cas <key> <expected-version> <value> | stats | "
                "batch\n"
                "       batch reads stdin lines: put <key> <value> | "
                "get <key> | del <key>\n"
                "       stats prints the contact node's metrics snapshot "
-               "(Prometheus text)\n");
+               "(Prometheus text)\n"
+               "       --ttl-ms N expires a put cluster-wide N ms after it "
+               "is stored\n");
   return 1;
 }
 
@@ -65,6 +67,7 @@ int main(int argc, char** argv) {
 
   std::vector<server::PeerSpec> peers;
   std::int64_t timeout_ms = 2000;
+  std::uint32_t ttl_ms = 0;
   Version version = 1;
   bool version_given = false;
   std::uint64_t seed = 0;
@@ -88,6 +91,10 @@ int main(int argc, char** argv) {
       if (value == nullptr || (timeout_ms = std::atoll(value)) <= 0) {
         return usage();
       }
+    } else if (arg == "--ttl-ms") {
+      const char* value = next();
+      if (value == nullptr) return usage();
+      ttl_ms = static_cast<std::uint32_t>(std::strtoull(value, nullptr, 10));
     } else if (arg == "--version") {
       const char* value = next();
       if (value == nullptr) return usage();
@@ -178,29 +185,39 @@ int main(int argc, char** argv) {
   };
 
   if (is_put) {
-    session.put(positional[1], payload_of(positional[2]), version)
-        .then([&](const client::PutResult& result) {
-          if (result.ok) {
-            std::printf("OK put %s v%llu -> replica n%llu "
-                        "(%u attempts, %.1f ms)\n",
-                        result.key.c_str(),
-                        static_cast<unsigned long long>(result.version),
-                        static_cast<unsigned long long>(result.replica.value),
-                        result.attempts,
-                        result.latency / static_cast<double>(kMillis));
-            finish(0);
-          } else if (result.superseded) {
-            std::printf("REJECTED put %s v%llu (key deleted at a higher "
-                        "version)\n",
-                        result.key.c_str(),
-                        static_cast<unsigned long long>(result.version));
-            finish(2);
-          } else {
-            std::fprintf(stderr, "FAILED put %s (%u attempts)\n",
-                         result.key.c_str(), result.attempts);
-            finish(2);
-          }
-        });
+    // The Session sugar has no explicit-version + TTL form; the callback
+    // core does (a zero TTL is exactly the plain put).
+    client.put(positional[1], payload_of(positional[2]), version, ttl_ms,
+               [&](const client::PutResult& result) {
+                 if (result.ok) {
+                   std::printf(
+                       "OK put %s v%llu -> replica n%llu "
+                       "(%u attempts, %.1f ms)\n",
+                       result.key.c_str(),
+                       static_cast<unsigned long long>(result.version),
+                       static_cast<unsigned long long>(result.replica.value),
+                       result.attempts,
+                       result.latency / static_cast<double>(kMillis));
+                   finish(0);
+                 } else if (result.superseded) {
+                   std::printf(
+                       "REJECTED put %s v%llu (key deleted at a higher "
+                       "version)\n",
+                       result.key.c_str(),
+                       static_cast<unsigned long long>(result.version));
+                   finish(2);
+                 } else if (result.unsupported) {
+                   std::fprintf(stderr,
+                                "UNSUPPORTED put %s (cluster protocol has "
+                                "no TTL; retry without --ttl-ms)\n",
+                                result.key.c_str());
+                   finish(2);
+                 } else {
+                   std::fprintf(stderr, "FAILED put %s (%u attempts)\n",
+                                result.key.c_str(), result.attempts);
+                   finish(2);
+                 }
+               });
   } else if (is_get) {
     const std::string& key = positional[1];
     session.get(key).then([&](const client::GetResult& result) {

@@ -99,8 +99,10 @@ std::string apply_entry(ServerConfig& config, const std::string& key,
       config.store = StoreKind::kMemory;
     } else if (value == "durable") {
       config.store = StoreKind::kDurable;
+    } else if (value == "log") {
+      config.store = StoreKind::kLog;
     } else {
-      return "bad store kind (memory|durable): " + value;
+      return "bad store kind (memory|durable|log): " + value;
     }
   } else if (key == "data_dir") {
     if (value.empty()) return "bad data_dir: empty";
@@ -141,6 +143,22 @@ std::string apply_entry(ServerConfig& config, const std::string& key,
       return "bad shed_lag_low_ms: " + value;
     }
     config.shed_lag_low_ms = static_cast<std::int64_t>(u64);
+  } else if (key == "compact_interval_sec") {
+    // Seconds, bounded like the ms-based periods (a day in seconds is far
+    // under kMaxPeriodMs, reused here for one consistent sanity cap).
+    if (!parse_u64(value, config.compact_interval_sec) ||
+        config.compact_interval_sec > kMaxPeriodMs / 1000) {
+      return "bad compact_interval_sec: " + value;
+    }
+  } else if (key == "max_store_bytes") {
+    if (!parse_u64(value, config.max_store_bytes)) {
+      return "bad max_store_bytes: " + value;
+    }
+  } else if (key == "reap_ms") {
+    if (!parse_u64(value, u64) || u64 > kMaxPeriodMs) {
+      return "bad reap_ms: " + value;
+    }
+    config.reap_ms = static_cast<std::int64_t>(u64);
   } else if (key == "shards") {
     // 0 = auto (hardware concurrency). Capped: beyond 16 shards the
     // cross-shard mail and REUSEPORT group outgrow any machine this runs on.
@@ -197,6 +215,11 @@ core::NodeOptions ServerConfig::node_options() const {
   options.admission.lag_low = shed_lag_low_ms * kMillis;
   options.admission.maintenance_trickle_per_sec =
       static_cast<std::uint32_t>(shed_trickle_per_sec);
+
+  options.expiry_reap_period = reap_ms * kMillis;
+  options.max_store_bytes = static_cast<std::size_t>(max_store_bytes);
+  options.compact_period =
+      static_cast<SimTime>(compact_interval_sec) * kSeconds;
   return options;
 }
 
@@ -207,9 +230,13 @@ std::size_t ServerConfig::resolved_shards() const {
 }
 
 std::string ServerConfig::store_path() const {
+  return store_base_path() + ".log";
+}
+
+std::string ServerConfig::store_base_path() const {
   std::string dir = data_dir;
   if (!dir.empty() && dir.back() != '/') dir.push_back('/');
-  return dir + "dataflasks-" + std::to_string(id) + ".log";
+  return dir + "dataflasks-" + std::to_string(id);
 }
 
 std::vector<NodeId> ServerConfig::peer_ids() const {
@@ -281,6 +308,9 @@ Result<ServerConfig> parse_server_args(const std::vector<std::string>& args,
     if (flag == "--shed-lag-high-ms") return "shed_lag_high_ms";
     if (flag == "--shed-lag-low-ms") return "shed_lag_low_ms";
     if (flag == "--shed-trickle-per-sec") return "shed_trickle_per_sec";
+    if (flag == "--compact-interval-sec") return "compact_interval_sec";
+    if (flag == "--max-store-bytes") return "max_store_bytes";
+    if (flag == "--reap-ms") return "reap_ms";
     if (flag == "--shards") return "shards";
     return {};
   };

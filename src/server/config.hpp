@@ -18,8 +18,15 @@
 //   slices    = 1
 //   gossip_ms = 200
 //   ae_ms     = 1000
-//   store     = memory                    # or: durable (append-only log)
+//   store     = memory                    # or: durable (snapshot+journal
+//                                         # engine), log (legacy full-replay
+//                                         # append-only log)
 //   data_dir  = .                         # durable store directory
+//   compact_interval_sec = 300            # periodic checkpoint/compaction
+//                                         # (0 = off)
+//   max_store_bytes = 0                   # cache mode: evict cold keys
+//                                         # above this budget (0 = off)
+//   reap_ms   = 1000                      # TTL expiry / eviction cadence
 //   metrics_port = 9100                   # Prometheus TCP endpoint on the
 //                                         # listen host (0 = ephemeral;
 //                                         # omit to disable)
@@ -43,7 +50,8 @@
 // --advertise host, --peer id@host:port (repeatable), --seed host:port
 // (repeatable join contact) or --seed N (bare integer: RNG seed),
 // --capacity X, --slices K, --gossip-ms N, --ae-ms N,
-// --store memory|durable, --data-dir DIR, --metrics-port N, --stream-port N,
+// --store memory|durable|log, --data-dir DIR, --compact-interval-sec N,
+// --max-store-bytes N, --reap-ms N, --metrics-port N, --stream-port N,
 // --log-level LEVEL, --max-inflight-ops N, --shed-queue-high N,
 // --shed-queue-low N, --shed-lag-high-ms N, --shed-lag-low-ms N,
 // --shed-trickle-per-sec N, --shards N.
@@ -78,7 +86,12 @@ struct SeedSpec {
 
 enum class StoreKind : std::uint8_t {
   kMemory,   ///< volatile MemStore: a crash loses local data
-  kDurable,  ///< append-only LogStore under data_dir (survives restarts)
+  /// Snapshot + journal-tail StorageEngine under data_dir: restart loads
+  /// the newest checkpoint and replays only the journal tail.
+  kDurable,
+  /// Legacy append-only LogStore (full-history replay at boot). Kept as an
+  /// explicit choice so recovery benchmarks can compare against it.
+  kLog,
 };
 
 struct ServerConfig {
@@ -137,6 +150,19 @@ struct ServerConfig {
   /// overloaded, so membership and repair never starve.
   std::uint64_t shed_trickle_per_sec = 200;
 
+  /// Periodic storage compaction interval in seconds (checkpoint for the
+  /// durable StorageEngine, file rewrite for the legacy log store). 0
+  /// disables. Config key `compact_interval_sec` / flag
+  /// `--compact-interval-sec`.
+  std::uint64_t compact_interval_sec = 0;
+  /// Soft cap on live store bytes (cache mode): the expiry/eviction reaper
+  /// evicts cold keys down to this budget. 0 = unbounded. Config key
+  /// `max_store_bytes` / flag `--max-store-bytes`.
+  std::uint64_t max_store_bytes = 0;
+  /// TTL expiry / eviction reap cadence in wall milliseconds (0 disables
+  /// the reaper). Config key `reap_ms` / flag `--reap-ms`.
+  std::int64_t reap_ms = 1000;
+
   /// Shared-nothing shard count: N runtime shards, each on its own thread
   /// with its own SO_REUSEPORT socket (see server/shard_group.hpp). 0 =
   /// auto (one shard per hardware thread, capped at 16); 1 = the classic
@@ -154,6 +180,10 @@ struct ServerConfig {
 
   /// Path of the durable store's log file for this node id.
   [[nodiscard]] std::string store_path() const;
+
+  /// Base path (no extension) for the StorageEngine's snapshot/journal
+  /// generations for this node id.
+  [[nodiscard]] std::string store_base_path() const;
 };
 
 /// Parses "host:port". Returns false on malformed input.

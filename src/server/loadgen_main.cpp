@@ -51,7 +51,8 @@ int usage() {
       "         [--threads N] [--concurrency N] [--batch N] [--records N]\n"
       "         [--value-bytes N | --value-size N] [--duration-ms N]\n"
       "         [--rate OPS_PER_SEC]\n"
-      "         [--timeout-ms N] [--deadline-ms N] [--slices K] [--seed N]\n"
+      "         [--timeout-ms N] [--deadline-ms N] [--ttl-ms N]\n"
+      "         [--slices K] [--seed N]\n"
       "         [--skip-load] [--sweep R1,R2,...] [--print-server-stats]\n"
       "         [--out FILE]\n"
       "closed loop (default): `concurrency` batch streams per thread, each\n"
@@ -63,7 +64,9 @@ int usage() {
       "reports goodput per step plus the throughput knee.\n"
       "--value-size (alias of --value-bytes) may exceed the UDP datagram\n"
       "budget: such values travel over the stream transport, so the\n"
-      "contacted servers must run with --stream-port.\n");
+      "contacted servers must run with --stream-port.\n"
+      "--ttl-ms puts run-phase writes with a TTL (cache mode: keys expire\n"
+      "cluster-wide); the load phase stays plain so records outlive it.\n");
   return 1;
 }
 
@@ -80,6 +83,8 @@ struct LoadgenConfig {
   std::int64_t timeout_ms = 1000;
   /// Absolute per-request budget (client op_deadline); 0 = none.
   std::int64_t deadline_ms = 0;
+  /// TTL stamped on run-phase writes (cache mode); 0 = plain puts.
+  std::uint32_t ttl_ms = 0;
   /// Offered-load sweep: one open-loop run per rate, knee reported.
   std::vector<double> sweep;
   std::uint32_t slices = 0;  ///< slice-aware balancing hint (0 = off)
@@ -139,20 +144,21 @@ std::optional<workload::WorkloadSpec> spec_for(const std::string& name) {
 /// Expands one workload op into client operations. Read-modify-write is a
 /// get + put of the same key riding the same envelope (one round-trip).
 void append_ops(std::vector<core::Operation>& out, const workload::Op& op,
-                client::Client& client, const Payload& value) {
+                client::Client& client, const Payload& value,
+                std::uint32_t ttl_ms) {
   switch (op.kind) {
     case workload::OpKind::kRead:
       out.push_back(core::Operation::get(op.key));
       break;
     case workload::OpKind::kUpdate:
     case workload::OpKind::kInsert:
-      out.push_back(
-          core::Operation::put(op.key, client.stamp_version(op.key), value));
+      out.push_back(core::Operation::put(
+          op.key, client.stamp_version(op.key), value, ttl_ms));
       break;
     case workload::OpKind::kReadModifyWrite:
       out.push_back(core::Operation::get(op.key));
-      out.push_back(
-          core::Operation::put(op.key, client.stamp_version(op.key), value));
+      out.push_back(core::Operation::put(
+          op.key, client.stamp_version(op.key), value, ttl_ms));
       break;
     case workload::OpKind::kDelete:
       out.push_back(
@@ -277,7 +283,7 @@ void run_worker(std::size_t index, const LoadgenConfig& config,
     std::vector<core::Operation> ops;
     ops.reserve(config.batch + 1);  // RMW may push one op past the target
     while (ops.size() < config.batch) {
-      append_ops(ops, generator.next(), client, value);
+      append_ops(ops, generator.next(), client, value, config.ttl_ms);
     }
     return ops;
   };
@@ -481,6 +487,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--deadline-ms") {
       if (!next_u64(u64) || u64 == 0) return usage();
       config.deadline_ms = static_cast<std::int64_t>(u64);
+    } else if (arg == "--ttl-ms") {
+      if (!next_u64(u64) || u64 == 0) return usage();
+      config.ttl_ms = static_cast<std::uint32_t>(u64);
     } else if (arg == "--sweep") {
       const char* text = next();
       if (text == nullptr || *text == '\0') return usage();
@@ -592,12 +601,14 @@ int main(int argc, char** argv) {
                "\"threads\": %zu, \"concurrency\": %zu, \"batch\": %zu, "
                "\"records\": %zu, \"value_bytes\": %zu, "
                "\"duration_ms\": %lld, \"rate\": %.0f, "
-               "\"timeout_ms\": %lld, \"deadline_ms\": %lld},\n",
+               "\"timeout_ms\": %lld, \"deadline_ms\": %lld, "
+               "\"ttl_ms\": %llu},\n",
                config.workload.c_str(), config.peers.size(), config.threads,
                config.concurrency, config.batch, config.records,
                config.value_bytes, static_cast<long long>(config.duration_ms),
                config.rate, static_cast<long long>(config.timeout_ms),
-               static_cast<long long>(config.deadline_ms));
+               static_cast<long long>(config.deadline_ms),
+               static_cast<unsigned long long>(config.ttl_ms));
   std::fprintf(out,
                "  \"load_phase\": {\"ops\": %llu, \"failures\": %llu, "
                "\"latency_us\": ",

@@ -45,8 +45,13 @@ LogStore::~LogStore() {
 
 bool LogStore::superseded_by_tombstone(const std::map<Version, Slot>& versions,
                                        Version version) {
-  for (const auto& [existing_version, slot] : versions) {
-    if (slot.tombstone && existing_version > version) return true;
+  // Only strictly-higher versions can supersede, and the map is
+  // version-ordered: scan just the range above ours. For the common case —
+  // the incoming version is the key's newest — that range is empty, so a
+  // version-heavy key costs O(log v) per put instead of a full scan (which
+  // made recovery of an update-hot log quadratic).
+  for (auto it = versions.upper_bound(version); it != versions.end(); ++it) {
+    if (it->second.tombstone) return true;
   }
   return false;
 }
@@ -87,11 +92,13 @@ Status LogStore::recover() {
   const long end = std::ftell(file_);
   if (end < 0) return Error::io("ftell failed on " + path_);
 
+  // One sequential buffered pass: the loop below always consumes exactly
+  // header+body per record, so the stream position tracks `pos` by itself —
+  // re-seeking per record would flush stdio's read-ahead every iteration.
   std::size_t pos = 0;
   std::fseek(file_, 0, SEEK_SET);
   while (pos + kHeaderSize <= static_cast<std::size_t>(end)) {
     std::uint32_t header[3];
-    std::fseek(file_, static_cast<long>(pos), SEEK_SET);
     if (std::fread(header, sizeof header, 1, file_) != 1) break;
     const std::uint32_t magic = header[0];
     const std::uint32_t crc = header[1];
@@ -115,7 +122,8 @@ Status LogStore::recover() {
     Object obj;
     if (!decode_body(body, obj)) break;
 
-    Slot slot{pos + kHeaderSize, body_len, obj.tombstone, obj.deleted_at};
+    Slot slot{pos + kHeaderSize, body_len, obj.tombstone, obj.deleted_at,
+              obj.expires_at};
     digest_dirty_ = true;
     index_insert(obj, slot);
     pos += kHeaderSize + body_len;
@@ -128,11 +136,12 @@ Status LogStore::recover() {
 
 std::size_t LogStore::value_length(const Key& key, const Slot& slot) {
   // Value length = body minus key-length field, key, version, flags,
-  // optional deletion stamp and the value-length field.
-  const std::size_t overhead = sizeof(std::uint32_t) + key.size() +
-                               sizeof(std::uint64_t) + 1 +
-                               (slot.tombstone ? sizeof(std::int64_t) : 0) +
-                               sizeof(std::uint32_t);
+  // optional deletion/expiry stamps and the value-length field.
+  const std::size_t overhead =
+      sizeof(std::uint32_t) + key.size() + sizeof(std::uint64_t) + 1 +
+      (slot.tombstone ? sizeof(std::int64_t) : 0) +
+      (slot.expires_at != 0 ? sizeof(std::int64_t) : 0) +
+      sizeof(std::uint32_t);
   return slot.body_len >= overhead ? slot.body_len - overhead : 0;
 }
 
@@ -153,7 +162,7 @@ Status LogStore::append_record(const Object& obj, Slot& out) {
   }
   out = Slot{static_cast<std::size_t>(at) + kHeaderSize,
              static_cast<std::uint32_t>(body.size()), obj.tombstone,
-             obj.deleted_at};
+             obj.deleted_at, obj.expires_at};
   log_end_ = static_cast<std::size_t>(at) + kHeaderSize + body.size();
   return Status::ok_status();
 }
@@ -202,6 +211,7 @@ Status LogStore::put(const Object& obj) {
   Slot slot;
   if (Status s = append_record(obj, slot); !s.ok()) return s;
   index_insert(obj, slot);
+  ++rev_;
   if (!digest_dirty_) digest_cache_.push_back(DigestEntry{obj.key, obj.version});
   return Status::ok_status();
 }
@@ -251,7 +261,10 @@ std::size_t LogStore::gc_tombstones(SimTime now, SimTime grace) {
     }
     it = versions.empty() ? index_.erase(it) : std::next(it);
   }
-  if (removed > 0) digest_dirty_ = true;
+  if (removed > 0) {
+    digest_dirty_ = true;
+    ++rev_;
+  }
   // The log itself still holds the records; compact() reclaims the space.
   return removed;
 }
@@ -303,9 +316,78 @@ std::size_t LogStore::remove_keys_where(
       ++it;
     }
   }
-  if (removed > 0) digest_dirty_ = true;
+  if (removed > 0) {
+    digest_dirty_ = true;
+    ++rev_;
+  }
   // The log itself still holds the records; compact() reclaims the space.
   return removed;
+}
+
+ReapStats LogStore::reap(SimTime now, std::size_t max_bytes) {
+  ReapStats stats;
+  // Expiry: drop deadline-passed live versions from the index; the log
+  // records linger until compact(), exactly like GC'd tombstones.
+  for (auto it = index_.begin(); it != index_.end();) {
+    auto& versions = it->second;
+    for (auto vit = versions.begin(); vit != versions.end();) {
+      const Slot& slot = vit->second;
+      if (!slot.tombstone && slot.expires_at != 0 && slot.expires_at <= now) {
+        --object_count_;
+        value_bytes_ -= value_length(it->first, slot);
+        vit = versions.erase(vit);
+        ++stats.expired;
+      } else {
+        ++vit;
+      }
+    }
+    it = versions.empty() ? index_.erase(it) : std::next(it);
+  }
+
+  // Eviction: whole tombstone-free keys in arbitrary order until live value
+  // bytes fit the budget (same contract as MemStore::reap).
+  if (max_bytes > 0 && value_bytes_ > max_bytes) {
+    for (auto it = index_.begin();
+         it != index_.end() && value_bytes_ > max_bytes;) {
+      bool has_tombstone = false;
+      for (const auto& [_, slot] : it->second) {
+        if (slot.tombstone) {
+          has_tombstone = true;
+          break;
+        }
+      }
+      if (has_tombstone) {
+        ++it;
+        continue;
+      }
+      object_count_ -= it->second.size();
+      for (const auto& [_, slot] : it->second) {
+        value_bytes_ -= value_length(it->first, slot);
+      }
+      it = index_.erase(it);
+      ++stats.evicted;
+    }
+  }
+  if (stats.expired > 0 || stats.evicted > 0) {
+    digest_dirty_ = true;
+    ++rev_;
+  }
+  return stats;
+}
+
+StoreBreakdown LogStore::breakdown() const {
+  StoreBreakdown out;
+  for (const auto& [key, versions] : index_) {
+    for (const auto& [_, slot] : versions) {
+      if (slot.tombstone) {
+        ++out.tombstone_objects;
+      } else {
+        ++out.live_objects;
+        out.live_bytes += value_length(key, slot);
+      }
+    }
+  }
+  return out;
 }
 
 Result<std::size_t> LogStore::compact() {
@@ -336,7 +418,7 @@ Result<std::size_t> LogStore::compact() {
       }
       new_index[key][version] =
           Slot{new_end + kHeaderSize, static_cast<std::uint32_t>(body.size()),
-               slot.tombstone, slot.deleted_at};
+               slot.tombstone, slot.deleted_at, slot.expires_at};
       new_end += kHeaderSize + body.size();
     }
   }

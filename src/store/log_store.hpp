@@ -6,7 +6,8 @@
 // Record layout (little-endian):
 //   u32 magic | u32 crc_of_body | u32 body_len | body
 //   body = u32 key_len | key | u64 version | u8 flags
-//          | [i64 deleted_at when tombstone] | u32 value_len | value
+//          | [i64 deleted_at when tombstone] | [i64 expires_at when TTL'd]
+//          | u32 value_len | value
 // (the same codec as the wire Object). Recovery scans the log, skipping the
 // tail after the first corrupt or truncated record (torn write on crash),
 // and replays tombstone semantics so a reopened store agrees with the live
@@ -52,10 +53,15 @@ class LogStore final : public Store {
   [[nodiscard]] std::size_t value_bytes() const override {
     return value_bytes_;
   }
+  ReapStats reap(SimTime now, std::size_t max_bytes) override;
+  [[nodiscard]] std::uint64_t mutation_rev() const override { return rev_; }
+  /// Index-only: counts without reading record bodies back from disk.
+  [[nodiscard]] StoreBreakdown breakdown() const override;
 
   /// Rewrites the log keeping only indexed records (drops removed objects
   /// and torn tails). Returns bytes reclaimed.
   Result<std::size_t> compact();
+  Result<std::size_t> compact_storage() override { return compact(); }
 
   /// Flushes buffered appends to the OS.
   Status sync();
@@ -69,6 +75,7 @@ class LogStore final : public Store {
     std::uint32_t body_len = 0;
     bool tombstone = false;    ///< mirrored from the record, for digest/GC
     SimTime deleted_at = 0;    ///< tombstone deletion stamp
+    SimTime expires_at = 0;    ///< TTL deadline (0 = never), for the reaper
   };
 
   Status recover();
@@ -94,6 +101,7 @@ class LogStore final : public Store {
   std::size_t log_end_ = 0;
   std::size_t object_count_ = 0;
   std::size_t value_bytes_ = 0;
+  std::uint64_t rev_ = 0;  ///< bumped on every index mutation (mutation_rev())
 
   // Incrementally maintained digest, mirroring MemStore: appended on put,
   // rebuilt lazily after recovery/removal/compaction.

@@ -16,6 +16,7 @@ Object MemStore::object_at(const Key& key, const VersionedValues& slot,
   Object obj{key, slot.versions[index], slot.values[index]};
   obj.tombstone = slot.meta[index].tombstone;
   obj.deleted_at = slot.meta[index].deleted_at;
+  obj.expires_at = slot.meta[index].expires_at;
   return obj;
 }
 
@@ -35,6 +36,7 @@ void MemStore::erase_entry(VersionedValues& slot, std::size_t index) {
     }
   }
   digest_dirty_ = true;
+  ++rev_;
 }
 
 Status MemStore::put(const Object& obj) {
@@ -63,7 +65,7 @@ Status MemStore::put(const Object& obj) {
   if (slot.versions.empty() || obj.version > slot.versions.back()) {
     slot.versions.push_back(obj.version);
     slot.values.push_back(obj.value);  // refcount bump, not a byte copy
-    slot.meta.push_back(Meta{obj.tombstone, obj.deleted_at});
+    slot.meta.push_back(Meta{obj.tombstone, obj.deleted_at, obj.expires_at});
   } else {
     const auto pos = std::lower_bound(slot.versions.begin(),
                                       slot.versions.end(), obj.version);
@@ -71,10 +73,11 @@ Status MemStore::put(const Object& obj) {
     slot.versions.insert(pos, obj.version);
     slot.values.insert(slot.values.begin() + index, obj.value);
     slot.meta.insert(slot.meta.begin() + index,
-                     Meta{obj.tombstone, obj.deleted_at});
+                     Meta{obj.tombstone, obj.deleted_at, obj.expires_at});
   }
   ++object_count_;
   value_bytes_ += obj.value.size();
+  ++rev_;
   if (!digest_dirty_) digest_cache_.push_back(DigestEntry{obj.key, obj.version});
 
   if (obj.tombstone) {
@@ -193,7 +196,80 @@ std::size_t MemStore::remove_keys_where(
       ++it;
     }
   }
-  if (removed > 0) digest_dirty_ = true;
+  if (removed > 0) {
+    digest_dirty_ = true;
+    ++rev_;
+  }
+  return removed;
+}
+
+ReapStats MemStore::reap(SimTime now, std::size_t max_bytes) {
+  ReapStats stats;
+  // Pass 1 — expiry: drop live versions whose deadline has passed. The
+  // deadline was stamped once and propagated as-is, so every replica drops
+  // the same versions (modulo clock skew) without coordinating.
+  for (auto it = data_.begin(); it != data_.end();) {
+    VersionedValues& slot = it->second;
+    for (std::size_t i = 0; i < slot.versions.size();) {
+      const Meta& meta = slot.meta[i];
+      if (!meta.tombstone && meta.expires_at != 0 && meta.expires_at <= now) {
+        erase_entry(slot, i);
+        ++stats.expired;
+      } else {
+        ++i;
+      }
+    }
+    it = slot.versions.empty() ? data_.erase(it) : std::next(it);
+  }
+
+  // Pass 2 — eviction: whole keys in hash-map (i.e. arbitrary) order until
+  // the byte budget holds. Keys carrying a tombstone are immune: evicting
+  // one would forget a delete before its grace period and risk
+  // resurrection. The storage engine wraps this with a real LRU; bare
+  // MemStore only promises the bound, not the policy.
+  if (max_bytes > 0 && value_bytes_ > max_bytes) {
+    for (auto it = data_.begin();
+         it != data_.end() && value_bytes_ > max_bytes;) {
+      if (it->second.max_tombstone != 0) {
+        ++it;
+        continue;
+      }
+      object_count_ -= it->second.versions.size();
+      for (const Payload& value : it->second.values) {
+        value_bytes_ -= value.size();
+      }
+      it = data_.erase(it);
+      ++stats.evicted;
+      digest_dirty_ = true;
+      ++rev_;
+    }
+  }
+  return stats;
+}
+
+bool MemStore::erase_version(const Key& key, Version version) {
+  const auto it = data_.find(key);
+  if (it == data_.end()) return false;
+  const std::size_t index = it->second.find(version);
+  if (index == VersionedValues::npos) return false;
+  erase_entry(it->second, index);
+  if (it->second.versions.empty()) data_.erase(it);
+  return true;
+}
+
+std::size_t MemStore::erase_key(const Key& key) {
+  const auto it = data_.find(key);
+  if (it == data_.end()) return 0;
+  const std::size_t removed = it->second.versions.size();
+  object_count_ -= removed;
+  for (const Payload& value : it->second.values) {
+    value_bytes_ -= value.size();
+  }
+  data_.erase(it);
+  if (removed > 0) {
+    digest_dirty_ = true;
+    ++rev_;
+  }
   return removed;
 }
 
@@ -203,6 +279,7 @@ void MemStore::clear() {
   value_bytes_ = 0;
   digest_cache_.clear();
   digest_dirty_ = false;
+  ++rev_;
 }
 
 }  // namespace dataflasks::store

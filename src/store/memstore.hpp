@@ -42,14 +42,24 @@ class MemStore final : public Store {
   [[nodiscard]] std::size_t value_bytes() const override {
     return value_bytes_;
   }
+  ReapStats reap(SimTime now, std::size_t max_bytes) override;
+  [[nodiscard]] std::uint64_t mutation_rev() const override { return rev_; }
+
+  /// Targeted removal, for callers that track expiry/eviction candidates
+  /// externally (the storage engine's expiry wheel and LRU list). Returns
+  /// whether the version existed.
+  bool erase_version(const Key& key, Version version);
+  /// Removes every version of `key`; returns how many were removed.
+  std::size_t erase_key(const Key& key);
 
   void clear();
 
  private:
-  /// Per-version deletion metadata, parallel to `versions`/`values`.
+  /// Per-version deletion/expiry metadata, parallel to `versions`/`values`.
   struct Meta {
     bool tombstone = false;
     SimTime deleted_at = 0;
+    SimTime expires_at = 0;
   };
 
   // Versions of one key, kept sorted ascending — "latest" is back(). Puts
@@ -78,6 +88,7 @@ class MemStore final : public Store {
   std::unordered_map<Key, VersionedValues> data_;
   std::size_t object_count_ = 0;
   std::size_t value_bytes_ = 0;
+  std::uint64_t rev_ = 0;  ///< bumped on every mutation (mutation_rev())
 
   // Incrementally maintained digest: put() appends; removals mark it dirty
   // and the next digest_entries() call rebuilds. Mutable so the lazily

@@ -4,13 +4,19 @@ namespace dataflasks::store {
 
 namespace {
 constexpr std::uint8_t kFlagTombstone = 0x01;
+// TTL deadline present (flag-gated i64 after the tombstone stamp): objects
+// without a TTL encode byte-for-byte as they always did, so pre-TTL frames
+// and log records decode unchanged.
+constexpr std::uint8_t kFlagExpires = 0x02;
 }  // namespace
 
 void encode(Writer& w, const Object& obj) {
   w.str(obj.key);
   w.u64(obj.version);
-  w.u8(obj.tombstone ? kFlagTombstone : 0);
+  w.u8((obj.tombstone ? kFlagTombstone : 0) |
+       (obj.expires_at != 0 ? kFlagExpires : 0));
   if (obj.tombstone) w.i64(obj.deleted_at);
+  if (obj.expires_at != 0) w.i64(obj.expires_at);
   w.bytes(obj.value);
 }
 
@@ -19,8 +25,13 @@ Object decode_object(Reader& r) {
   obj.key = r.str();
   obj.version = r.u64();
   const std::uint8_t flags = r.u8();
+  if ((flags & ~(kFlagTombstone | kFlagExpires)) != 0) {
+    r.invalidate();  // unknown flag bits: malformed, not "v-next"
+    return obj;
+  }
   obj.tombstone = (flags & kFlagTombstone) != 0;
   if (obj.tombstone) obj.deleted_at = r.i64();
+  if ((flags & kFlagExpires) != 0) obj.expires_at = r.i64();
   // Zero-copy when the Reader wraps a Payload: the value stays a view into
   // the network frame it arrived in.
   obj.value = r.payload();

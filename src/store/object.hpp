@@ -35,6 +35,20 @@ struct Object {
   /// now - deleted_at exceeds the grace period (real deployments therefore
   /// want loosely synchronized clocks, as in other tombstone-based stores).
   SimTime deleted_at = 0;
+  /// TTL deadline: the absolute instant this version stops being readable
+  /// (0 = never expires). Stamped once by the first storing replica from the
+  /// client's ttl_ms and propagated as-is — like deleted_at, every replica
+  /// applies the SAME deadline, so expiry is deterministic cluster-wide and
+  /// a copy revived through anti-entropy or state transfer is still expired
+  /// (same loosely-synchronized-clock caveat as tombstone GC). Tombstones
+  /// never carry a deadline.
+  SimTime expires_at = 0;
+
+  /// True when this is a live value whose TTL deadline has passed: readers
+  /// treat it as an authoritative miss and the expiry reaper removes it.
+  [[nodiscard]] bool expired(SimTime now) const {
+    return !tombstone && expires_at != 0 && expires_at <= now;
+  }
 
   [[nodiscard]] static Object make_tombstone(Key key, Version version,
                                              SimTime deleted_at) {
@@ -70,6 +84,7 @@ void encode(Writer& w, const DigestEntry& entry);
 [[nodiscard]] inline std::size_t encoded_size(const Object& obj) {
   return sizeof(std::uint32_t) + obj.key.size() + sizeof(Version) +
          /*flags*/ 1 + (obj.tombstone ? sizeof(std::int64_t) : 0) +
+         (obj.expires_at != 0 ? sizeof(std::int64_t) : 0) +
          sizeof(std::uint32_t) + obj.value.size();
 }
 [[nodiscard]] inline std::size_t encoded_size(const DigestEntry& entry) {

@@ -1,5 +1,6 @@
 #include "store/sharded_store.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/ensure.hpp"
@@ -160,6 +161,48 @@ std::size_t ShardedStore::value_bytes() const {
     bytes += p->store->value_bytes();
   }
   return bytes;
+}
+
+ReapStats ShardedStore::reap(SimTime now, std::size_t max_bytes) {
+  // The satellite bugfix lives here: before this, only put/delete paths
+  // marked the merged digest dirty, so a reap could leave anti-entropy
+  // advertising keys the expiry wheel had already removed — and a peer pull
+  // for such a key would come back empty every round, forever.
+  const std::size_t per_partition =
+      max_bytes == 0 ? 0
+                     : std::max<std::size_t>(max_bytes / partitions_.size(), 1);
+  ReapStats stats;
+  for (auto& p : partitions_) {
+    std::lock_guard<std::mutex> lock(p->mutex);
+    const ReapStats part = p->store->reap(now, per_partition);
+    stats.expired += part.expired;
+    stats.evicted += part.evicted;
+  }
+  if (stats.expired > 0 || stats.evicted > 0) mark_dirty();
+  return stats;
+}
+
+Result<std::size_t> ShardedStore::compact_storage() {
+  std::size_t reclaimed = 0;
+  for (auto& p : partitions_) {
+    std::lock_guard<std::mutex> lock(p->mutex);
+    auto part = p->store->compact_storage();
+    if (!part.ok()) return part.error();
+    reclaimed += part.value();
+  }
+  return reclaimed;
+}
+
+StoreBreakdown ShardedStore::breakdown() const {
+  StoreBreakdown out;
+  for (const auto& p : partitions_) {
+    std::lock_guard<std::mutex> lock(p->mutex);
+    const StoreBreakdown part = p->store->breakdown();
+    out.live_objects += part.live_objects;
+    out.live_bytes += part.live_bytes;
+    out.tombstone_objects += part.tombstone_objects;
+  }
+  return out;
 }
 
 }  // namespace dataflasks::store

@@ -65,6 +65,16 @@ class ShardedStore final : public Store {
       const std::function<bool(const Key&)>& predicate) override;
   [[nodiscard]] std::size_t object_count() const override;
   [[nodiscard]] std::size_t value_bytes() const override;
+  /// Reaps every partition, splitting the byte budget evenly across them
+  /// (each partition holds ~1/N of the keyspace by the stable hash).
+  /// Marks the merged digest dirty when anything was removed — an expiry
+  /// or eviction invisible to anti-entropy would advertise reaped keys.
+  ReapStats reap(SimTime now, std::size_t max_bytes) override;
+  Result<std::size_t> compact_storage() override;
+  [[nodiscard]] std::uint64_t mutation_rev() const override {
+    return rev_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] StoreBreakdown breakdown() const override;
 
  private:
   struct Partition {
@@ -77,6 +87,7 @@ class ShardedStore final : public Store {
   }
   void mark_dirty() const {
     digest_dirty_.store(true, std::memory_order_release);
+    rev_.fetch_add(1, std::memory_order_acq_rel);
   }
 
   // unique_ptr per partition: Partition holds a mutex and must not move.
@@ -84,6 +95,7 @@ class ShardedStore final : public Store {
   std::size_t rebalanced_ = 0;
 
   mutable std::atomic<bool> digest_dirty_{true};
+  mutable std::atomic<std::uint64_t> rev_{0};
   mutable std::vector<DigestEntry> merged_digest_;  ///< shard-0 read only
 };
 

@@ -1,0 +1,495 @@
+#include "store/storage_engine.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/hash.hpp"
+#include "common/serialize.hpp"
+
+namespace dataflasks::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Journal records share LogStore's framing but carry their own magic (…07):
+// pointing a LogStore at an engine journal (or vice versa) fails loudly at
+// the first record instead of being misread as one long torn tail.
+constexpr std::uint32_t kJournalMagic = 0xDF1A5C07;
+constexpr std::size_t kJournalHeaderSize = 3 * sizeof(std::uint32_t);
+
+constexpr std::uint32_t kSnapMagic = 0xDF54AB1E;
+// u32 magic | u64 seq | u64 object_count | u64 body_len | u32 body_crc
+constexpr std::size_t kSnapHeaderSize =
+    sizeof(std::uint32_t) + 3 * sizeof(std::uint64_t) + sizeof(std::uint32_t);
+
+/// Parses the numeric suffix of "<prefix><digits>"; nullopt when `name`
+/// doesn't match. Rejects empty/overlong/non-digit suffixes.
+std::optional<std::uint64_t> generation_suffix(const std::string& name,
+                                               const std::string& prefix) {
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(prefix.size());
+  if (digits.size() > 19) return std::nullopt;
+  std::uint64_t seq = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+std::size_t file_size_or_zero(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<std::size_t>(size);
+}
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StorageEngine::StorageEngine(std::string base_path)
+    : base_(std::move(base_path)) {
+  last_checkpoint_us_.store(steady_now_us(), std::memory_order_relaxed);
+  open_status_ = recover();
+}
+
+StorageEngine::~StorageEngine() {
+  if (journal_ != nullptr) std::fclose(journal_);
+}
+
+std::string StorageEngine::snap_path(std::uint64_t seq) const {
+  return base_ + ".snap." + std::to_string(seq);
+}
+
+std::string StorageEngine::journal_path(std::uint64_t seq) const {
+  return base_ + ".journal." + std::to_string(seq);
+}
+
+Status StorageEngine::recover() {
+  // Enumerate generations: every "<base>.snap.<seq>" / "<base>.journal.<seq>"
+  // sitting next to the base path.
+  const fs::path base(base_);
+  fs::path dir = base.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string stem = base.filename().string();
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // first boot of a fresh --store-path dir
+  std::vector<std::uint64_t> snaps;
+  std::vector<std::uint64_t> journals;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (const auto s = generation_suffix(name, stem + ".snap.")) {
+      snaps.push_back(*s);
+    } else if (const auto j = generation_suffix(name, stem + ".journal.")) {
+      journals.push_back(*j);
+    }
+  }
+  if (ec) return Error::io("cannot scan " + dir.string() + ": " + ec.message());
+  std::sort(snaps.begin(), snaps.end(), std::greater<>());
+  std::sort(journals.begin(), journals.end());
+
+  // Newest loadable snapshot wins; a corrupt one falls back a generation,
+  // loudly. Snapshots on disk but none loadable is refusal, not an empty
+  // store — silent emptiness would let a wounded replica rejoin and spread
+  // its amnesia through anti-entropy.
+  std::uint64_t loaded_seq = 0;
+  for (const std::uint64_t seq : snaps) {
+    auto loaded = load_snapshot(snap_path(seq), seq);
+    if (loaded.ok()) {
+      recovery_.loaded_snapshot = true;
+      recovery_.snapshot_seq = seq;
+      recovery_.snapshot_objects = loaded.value();
+      loaded_seq = seq;
+      break;
+    }
+    recovery_.warnings.push_back("snapshot " + snap_path(seq) +
+                                 " unusable, falling back: " +
+                                 loaded.error().message);
+  }
+  if (!snaps.empty() && !recovery_.loaded_snapshot) {
+    return Error::io("no loadable snapshot under " + base_ +
+                     " (refusing to recover empty; see warnings)");
+  }
+
+  // Replay every journal of the loaded generation or later, oldest first.
+  // Journals older than the snapshot are already folded into it.
+  std::uint64_t newest = loaded_seq;
+  for (const std::uint64_t seq : journals) {
+    if (recovery_.loaded_snapshot && seq < loaded_seq) continue;
+    auto replayed = replay_journal(seq);
+    if (!replayed.ok()) return replayed.error();
+    recovery_.records_replayed += replayed.value();
+    ++recovery_.journals_replayed;
+    newest = std::max(newest, seq);
+  }
+
+  // Appends continue into the newest generation's journal (created fresh on
+  // first boot: generation 1).
+  seq_ = std::max<std::uint64_t>(newest, 1);
+  return open_journal(seq_);
+}
+
+Result<std::size_t> StorageEngine::load_snapshot(const std::string& path,
+                                                 std::uint64_t expected_seq) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Error::io("cannot open " + path);
+
+  Bytes header(kSnapHeaderSize);
+  if (std::fread(header.data(), header.size(), 1, f) != 1) {
+    std::fclose(f);
+    return Error::decode("truncated snapshot header");
+  }
+  Reader h(header);
+  const std::uint32_t magic = h.u32();
+  const std::uint64_t seq = h.u64();
+  const std::uint64_t count = h.u64();
+  const std::uint64_t body_len = h.u64();
+  const std::uint32_t crc = h.u32();
+  if (magic != kSnapMagic) {
+    std::fclose(f);
+    return Error::decode("bad snapshot magic");
+  }
+  if (seq != expected_seq) {
+    std::fclose(f);
+    return Error::decode("snapshot header seq " + std::to_string(seq) +
+                         " does not match filename");
+  }
+  // Bound the body allocation by what is actually on disk: a bit-flipped
+  // length field must fail here, not as a giant allocation.
+  const std::size_t on_disk = file_size_or_zero(path);
+  if (on_disk < kSnapHeaderSize || body_len != on_disk - kSnapHeaderSize) {
+    std::fclose(f);
+    return Error::decode("snapshot body length " + std::to_string(body_len) +
+                         " does not match file size");
+  }
+
+  Bytes body(body_len);
+  if (body_len > 0 && std::fread(body.data(), body.size(), 1, f) != 1) {
+    std::fclose(f);
+    return Error::decode("truncated snapshot body");
+  }
+  std::fclose(f);
+  if (crc32(body.data(), body.size()) != crc) {
+    return Error::decode("snapshot body CRC mismatch");
+  }
+
+  Reader r(body);
+  std::size_t applied = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Object obj = decode_object(r);
+    if (!r.ok()) break;
+    if (apply(obj).ok()) ++applied;
+  }
+  if (!r.at_end() || applied != count) {
+    // CRC passed but the stream is inconsistent (writer bug, not bit rot):
+    // discard the partial load so a fallback generation starts clean.
+    inner_.clear();
+    while (!expiry_wheel_.empty()) expiry_wheel_.pop();
+    lru_list_.clear();
+    lru_index_.clear();
+    return Error::decode("snapshot object stream is malformed");
+  }
+  return applied;
+}
+
+Result<std::size_t> StorageEngine::replay_journal(std::uint64_t seq) {
+  const std::string path = journal_path(seq);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Error::io("cannot open " + path);
+
+  std::fseek(f, 0, SEEK_END);
+  const long end_off = std::ftell(f);
+  if (end_off < 0) {
+    std::fclose(f);
+    return Error::io("ftell failed on " + path);
+  }
+  const auto end = static_cast<std::size_t>(end_off);
+
+  std::size_t pos = 0;
+  std::size_t records = 0;
+  std::fseek(f, 0, SEEK_SET);
+  while (pos + kJournalHeaderSize <= end) {
+    std::uint32_t header[3];
+    std::fseek(f, static_cast<long>(pos), SEEK_SET);
+    if (std::fread(header, sizeof header, 1, f) != 1) break;
+    const std::uint32_t magic = header[0];
+    const std::uint32_t crc = header[1];
+    const std::uint32_t body_len = header[2];
+    if (magic != kJournalMagic) break;
+    if (pos + kJournalHeaderSize + body_len > end) break;  // torn write
+
+    Bytes body(body_len);
+    if (body_len > 0 && std::fread(body.data(), body_len, 1, f) != 1) break;
+    if (crc32(body.data(), body.size()) != crc) break;  // corrupt record
+
+    Reader r(body);
+    const Object obj = decode_object(r);
+    if (!r.finish().ok()) break;
+
+    apply(obj);  // superseded/conflict replays are skips, not failures
+    ++records;
+    pos += kJournalHeaderSize + body_len;
+  }
+  std::fclose(f);
+
+  if (pos < end) {
+    // Torn or corrupt tail: cut it off so future appends land after a valid
+    // record instead of behind garbage the next recovery cannot cross.
+    recovery_.warnings.push_back(
+        path + ": dropped " + std::to_string(end - pos) +
+        " byte torn tail after " + std::to_string(records) + " records");
+    if (::truncate(path.c_str(), static_cast<off_t>(pos)) != 0) {
+      return Error::io("cannot truncate torn tail of " + path);
+    }
+  }
+  return records;
+}
+
+Status StorageEngine::open_journal(std::uint64_t seq) {
+  if (journal_ != nullptr) {
+    std::fclose(journal_);
+    journal_ = nullptr;
+  }
+  const std::string path = journal_path(seq);
+  journal_ = std::fopen(path.c_str(), "a+b");
+  if (journal_ == nullptr) return Error::io("cannot open journal: " + path);
+  std::fseek(journal_, 0, SEEK_END);
+  const long at = std::ftell(journal_);
+  if (at < 0) return Error::io("ftell failed on " + path);
+  journal_end_.store(static_cast<std::size_t>(at),
+                     std::memory_order_relaxed);
+  return Status::ok_status();
+}
+
+Status StorageEngine::append_journal(const Object& obj) {
+  Writer w(encoded_size(obj));
+  encode(w, obj);
+  const ByteView body = w.view();
+  const std::uint32_t header[3] = {kJournalMagic,
+                                   crc32(body.data(), body.size()),
+                                   static_cast<std::uint32_t>(body.size())};
+  if (std::fwrite(header, sizeof header, 1, journal_) != 1 ||
+      (!body.empty() &&
+       std::fwrite(body.data(), body.size(), 1, journal_) != 1)) {
+    return Error::io("journal append failed on " + journal_path(seq_));
+  }
+  journal_end_.fetch_add(kJournalHeaderSize + body.size(),
+                         std::memory_order_relaxed);
+  return Status::ok_status();
+}
+
+Status StorageEngine::apply(const Object& obj) {
+  Status s = inner_.put(obj);
+  if (!s.ok()) return s;
+  if (obj.tombstone) {
+    // Deleted keys leave the eviction pool: dropping a tombstone early
+    // would forget the delete before its grace period.
+    lru_forget(obj.key);
+  } else {
+    lru_touch(obj.key);
+    if (obj.expires_at != 0) {
+      expiry_wheel_.push(ExpiryEntry{obj.expires_at, obj.key, obj.version});
+    }
+  }
+  return s;
+}
+
+Status StorageEngine::put(const Object& obj) {
+  if (!open_status_.ok()) return open_status_;
+  const std::uint64_t before = inner_.mutation_rev();
+  Status s = apply(obj);
+  if (!s.ok()) return s;
+  // Idempotent re-stores change nothing — skip the duplicate record.
+  if (inner_.mutation_rev() == before) return s;
+  return append_journal(obj);
+}
+
+Result<Object> StorageEngine::get(const Key& key,
+                                  std::optional<Version> version) const {
+  auto result = inner_.get(key, version);
+  if (result.ok() && !result.value().tombstone) lru_touch(key);
+  return result;
+}
+
+bool StorageEngine::contains(const Key& key, Version version) const {
+  return inner_.contains(key, version);
+}
+
+Version StorageEngine::tombstone_version(const Key& key) const {
+  return inner_.tombstone_version(key);
+}
+
+std::size_t StorageEngine::gc_tombstones(SimTime now, SimTime grace) {
+  // Not journaled: replay resurrects the tombstone in memory and the next
+  // GC pass re-drops it (deletion stamps are absolute). checkpoint() makes
+  // the removal durable.
+  return inner_.gc_tombstones(now, grace);
+}
+
+std::vector<DigestEntry> StorageEngine::digest() const {
+  return inner_.digest();
+}
+
+const std::vector<DigestEntry>& StorageEngine::digest_entries() const {
+  return inner_.digest_entries();
+}
+
+void StorageEngine::for_each(
+    const std::function<void(const Object&)>& fn) const {
+  inner_.for_each(fn);
+}
+
+std::vector<Object> StorageEngine::all() const { return inner_.all(); }
+
+std::size_t StorageEngine::remove_keys_where(
+    const std::function<bool(const Key&)>& predicate) {
+  // Also not journaled (slice changes re-derive the predicate after
+  // restart). The LRU list self-cleans: eviction skips vanished keys.
+  return inner_.remove_keys_where(predicate);
+}
+
+ReapStats StorageEngine::reap(SimTime now, std::size_t max_bytes) {
+  ReapStats stats;
+  // Expiry: pop deadlines that have passed. Entries are validated lazily —
+  // the version may be gone already (evicted, superseded by a tombstone,
+  // sliced away), in which case the entry is just stale wheel residue.
+  while (!expiry_wheel_.empty() && expiry_wheel_.top().expires_at <= now) {
+    const ExpiryEntry entry = expiry_wheel_.top();
+    expiry_wheel_.pop();
+    const auto current = inner_.get(entry.key, entry.version);
+    if (current.ok() && current.value().expired(now) &&
+        inner_.erase_version(entry.key, entry.version)) {
+      ++stats.expired;
+      if (!inner_.get(entry.key, std::nullopt).ok()) lru_forget(entry.key);
+    }
+  }
+
+  // Eviction: coldest keys first until the byte budget holds. Tombstoned
+  // keys were already dropped from the list at delete time; keys removed
+  // behind the list's back (slice changes) evaporate here without counting.
+  if (max_bytes > 0) {
+    while (inner_.value_bytes() > max_bytes && !lru_list_.empty()) {
+      const Key victim = lru_list_.front();
+      if (inner_.tombstone_version(victim) != 0) {
+        lru_forget(victim);
+        continue;
+      }
+      const std::size_t removed = inner_.erase_key(victim);
+      lru_forget(victim);
+      if (removed > 0) ++stats.evicted;
+    }
+    if (inner_.value_bytes() > max_bytes) {
+      // LRU exhausted but still over budget (everything left is
+      // tombstoned or untracked): fall back to the inner scan.
+      const ReapStats rest = inner_.reap(now, max_bytes);
+      stats.expired += rest.expired;
+      stats.evicted += rest.evicted;
+    }
+  }
+  return stats;
+}
+
+Result<std::size_t> StorageEngine::checkpoint() {
+  if (!open_status_.ok()) return open_status_.error();
+
+  // Serialize the live set (values and tombstones both — a snapshot that
+  // dropped tombstones could resurrect deletes on the replay path).
+  Writer body(inner_.value_bytes() + 64 * inner_.object_count());
+  std::uint64_t count = 0;
+  inner_.for_each([&body, &count](const Object& obj) {
+    encode(body, obj);
+    ++count;
+  });
+  const ByteView view = body.view();
+
+  const std::uint64_t new_seq = seq_ + 1;
+  Writer header(kSnapHeaderSize);
+  header.u32(kSnapMagic);
+  header.u64(new_seq);
+  header.u64(count);
+  header.u64(view.size());
+  header.u32(crc32(view.data(), view.size()));
+
+  // tmp + fsync + rename: the snapshot either exists whole or not at all.
+  const std::string tmp_path = base_ + ".snap.tmp";
+  std::FILE* tmp = std::fopen(tmp_path.c_str(), "wb");
+  if (tmp == nullptr) return Error::io("cannot open " + tmp_path);
+  const ByteView hview = header.view();
+  if (std::fwrite(hview.data(), hview.size(), 1, tmp) != 1 ||
+      (!view.empty() && std::fwrite(view.data(), view.size(), 1, tmp) != 1) ||
+      std::fflush(tmp) != 0 || ::fsync(fileno(tmp)) != 0) {
+    std::fclose(tmp);
+    std::remove(tmp_path.c_str());
+    return Error::io("snapshot write failed: " + tmp_path);
+  }
+  std::fclose(tmp);
+  if (std::rename(tmp_path.c_str(), snap_path(new_seq).c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Error::io("snapshot rename failed: " + snap_path(new_seq));
+  }
+
+  // Roll the journal forward, then drop generations older than the previous
+  // one — two stay on disk so a corrupt newest snapshot still has a parent
+  // to fall back to.
+  const std::uint64_t old_seq = seq_;
+  if (Status s = open_journal(new_seq); !s.ok()) return s.error();
+  seq_ = new_seq;
+  last_checkpoint_us_.store(steady_now_us(), std::memory_order_relaxed);
+
+  std::size_t reclaimed = 0;
+  for (std::uint64_t seq = old_seq; seq-- > 0;) {
+    const std::string snap = snap_path(seq);
+    const std::string journal = journal_path(seq);
+    const std::size_t bytes =
+        file_size_or_zero(snap) + file_size_or_zero(journal);
+    if (bytes == 0) break;  // generations below were already removed
+    std::remove(snap.c_str());
+    std::remove(journal.c_str());
+    reclaimed += bytes;
+  }
+  return reclaimed;
+}
+
+Status StorageEngine::sync() {
+  if (!open_status_.ok()) return open_status_;
+  if (std::fflush(journal_) != 0) {
+    return Error::io("fflush failed on " + journal_path(seq_));
+  }
+  return Status::ok_status();
+}
+
+double StorageEngine::snapshot_age_seconds() const {
+  const std::int64_t last =
+      last_checkpoint_us_.load(std::memory_order_relaxed);
+  return static_cast<double>(steady_now_us() - last) / 1e6;
+}
+
+void StorageEngine::lru_touch(const Key& key) const {
+  const auto it = lru_index_.find(key);
+  if (it != lru_index_.end()) {
+    lru_list_.splice(lru_list_.end(), lru_list_, it->second);
+  } else {
+    lru_index_[key] = lru_list_.insert(lru_list_.end(), key);
+  }
+}
+
+void StorageEngine::lru_forget(const Key& key) const {
+  const auto it = lru_index_.find(key);
+  if (it == lru_index_.end()) return;
+  lru_list_.erase(it->second);
+  lru_index_.erase(it);
+}
+
+}  // namespace dataflasks::store

@@ -13,6 +13,21 @@
 
 namespace dataflasks::store {
 
+/// What one reap pass removed: versions whose TTL deadline passed, and
+/// live keys evicted to honor a byte budget.
+struct ReapStats {
+  std::size_t expired = 0;
+  std::size_t evicted = 0;
+};
+
+/// Object/byte composition of a store, for observability: live values vs
+/// tombstones, counted without materializing a snapshot.
+struct StoreBreakdown {
+  std::size_t live_objects = 0;
+  std::size_t live_bytes = 0;
+  std::size_t tombstone_objects = 0;
+};
+
 /// Outcome of a compare_and_put. `current` is what the key looked like when
 /// the comparison ran: the stored version on success, the latest live
 /// version on a mismatch (0 = key absent), the tombstone's version when the
@@ -97,6 +112,39 @@ class Store {
 
   [[nodiscard]] virtual std::size_t object_count() const = 0;
   [[nodiscard]] virtual std::size_t value_bytes() const = 0;
+
+  /// Removes versions whose TTL deadline (`Object::expires_at`) is at or
+  /// before `now`, then — when `max_bytes > 0` and the store still holds
+  /// more than `max_bytes` of value bytes — evicts live keys until it fits.
+  /// Eviction never touches tombstoned keys (dropping a tombstone early
+  /// could resurrect the delete) and removes whole keys, not single
+  /// versions, so a key never ends up with a hole in its history.
+  virtual ReapStats reap(SimTime now, std::size_t max_bytes) = 0;
+
+  /// Rewrites persistent storage down to its live footprint (log/journal
+  /// compaction, snapshot checkpoint). Returns bytes reclaimed; purely
+  /// in-memory stores reclaim nothing and return 0.
+  virtual Result<std::size_t> compact_storage() { return 0; }
+
+  /// Monotone mutation counter: bumped on every put / removal / reap, so
+  /// callers (anti-entropy summary caches) can detect "nothing changed"
+  /// without hashing the digest. Never goes backward within a process.
+  [[nodiscard]] virtual std::uint64_t mutation_rev() const = 0;
+
+  /// Live-vs-tombstone composition for /metrics. The default walks
+  /// for_each; stores with an index override to avoid touching values.
+  [[nodiscard]] virtual StoreBreakdown breakdown() const {
+    StoreBreakdown out;
+    for_each([&out](const Object& obj) {
+      if (obj.tombstone) {
+        ++out.tombstone_objects;
+      } else {
+        ++out.live_objects;
+        out.live_bytes += obj.value.size();
+      }
+    });
+    return out;
+  }
 };
 
 inline CasOutcome Store::compare_and_put(const Object& obj,

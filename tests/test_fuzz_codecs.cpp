@@ -21,15 +21,19 @@ struct CodecCase {
   std::function<void(const Bytes&)> decode;  ///< must not throw / crash
 };
 
-/// A mixed v2 envelope: put + latest-get + versioned-get + delete +
-/// compare-and-put + stats, so the truncation sweep crosses every
-/// per-type field layout (including v2's expected-version field), and a
-/// tombstone object so the flags/deleted_at path is fuzzed too.
+/// A mixed current-protocol envelope: put + TTL'd put + latest-get +
+/// versioned-get + delete + compare-and-put + stats, so the truncation
+/// sweep crosses every per-type field layout (v2's expected-version field,
+/// v3's ttl_ms field), and a tombstone object so the flags/deleted_at path
+/// is fuzzed too.
 Payload valid_envelope() {
   core::OpEnvelope envelope;
   envelope.ops.push_back(core::RoutedOp{
       RequestId{1, 2},
       core::Operation::put("some-key", 7, Bytes{1, 2, 3, 4, 5})});
+  envelope.ops.push_back(core::RoutedOp{
+      RequestId{1, 8},
+      core::Operation::put("ttl-key", 8, Bytes{6}, /*ttl_ms=*/30'000)});
   envelope.ops.push_back(
       core::RoutedOp{RequestId{1, 3}, core::Operation::get("latest-key")});
   envelope.ops.push_back(core::RoutedOp{
@@ -135,6 +139,28 @@ std::vector<CodecCase> all_codecs() {
       {"ae_pull",
        []() { return core::encode(core::AePull{{{"a", 1}}}); },
        [](const Bytes& b) { (void)core::decode_ae_pull(b); }},
+      // Summary-protocol frames: mutations hit the bucket_count field, so
+      // the decoder's allocation guard (kMaxSummaryBuckets, ids < count) is
+      // what stands between a flipped bit and a giant allocation.
+      {"ae_summary",
+       []() {
+         core::AeSummary summary;
+         summary.bucket_count = 16;
+         summary.entry_count = 42;
+         summary.fingerprints.assign(16, 0x0123456789ABCDEFULL);
+         return core::encode(summary);
+       },
+       [](const Bytes& b) { (void)core::decode_ae_summary(b); }},
+      {"ae_bucket_digest",
+       []() {
+         core::AeBucketDigest digest;
+         digest.is_reply = true;
+         digest.bucket_count = 16;
+         digest.buckets = {1, 5, 9};
+         digest.entries = {{"a", 1}, {"b", 2}};
+         return core::encode(digest);
+       },
+       [](const Bytes& b) { (void)core::decode_ae_bucket_digest(b); }},
       {"ae_push",
        []() {
          return core::encode(core::AePush{
@@ -230,18 +256,20 @@ INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecFuzzTest,
                            return std::string(all_codecs()[info.param].name);
                          });
 
-TEST(CodecRoundTrip, V2EnvelopeCarriesCasAndStats) {
+TEST(CodecRoundTrip, CurrentEnvelopeCarriesCasStatsAndTtl) {
   const auto decoded = core::decode_op_envelope(valid_envelope());
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->protocol, core::kOpProtocolVersion);
-  ASSERT_EQ(decoded->ops.size(), 6u);
-  const core::Operation& cas = decoded->ops[4].op;
+  ASSERT_EQ(decoded->ops.size(), 7u);
+  EXPECT_EQ(decoded->ops[0].op.ttl_ms, 0u);
+  EXPECT_EQ(decoded->ops[1].op.ttl_ms, 30'000u);
+  const core::Operation& cas = decoded->ops[5].op;
   EXPECT_EQ(cas.type, core::OpType::kCompareAndPut);
   EXPECT_EQ(cas.key, "guarded-key");
   EXPECT_EQ(cas.expected, 7u);
   EXPECT_EQ(cas.version, 12u);
   EXPECT_EQ(cas.value.size(), 2u);
-  EXPECT_EQ(decoded->ops[5].op.type, core::OpType::kStats);
+  EXPECT_EQ(decoded->ops[6].op.type, core::OpType::kStats);
 }
 
 TEST(CodecRoundTrip, V1EnvelopeStillDecodes) {
@@ -285,6 +313,80 @@ TEST(CodecRoundTrip, MinProtocolForOpTypes) {
   EXPECT_EQ(core::min_protocol_for(core::OpType::kDelete), 1);
   EXPECT_EQ(core::min_protocol_for(core::OpType::kCompareAndPut), 2);
   EXPECT_EQ(core::min_protocol_for(core::OpType::kStats), 2);
+  // Per-operation refinement: only a put that actually carries a TTL
+  // needs v3 — plain puts stay expressible all the way down to v1.
+  EXPECT_EQ(core::min_protocol_for(core::Operation::put("k", 1, Bytes{1})),
+            1);
+  EXPECT_EQ(core::min_protocol_for(
+                core::Operation::put("k", 1, Bytes{1}, /*ttl_ms=*/500)),
+            3);
+}
+
+TEST(CodecRoundTrip, V3EnvelopeCarriesTtl) {
+  core::OpEnvelope envelope;
+  envelope.ops.push_back(core::RoutedOp{
+      RequestId{3, 1},
+      core::Operation::put("cached", 5, Bytes{1, 2}, /*ttl_ms=*/45'000)});
+  const auto decoded = core::decode_op_envelope(core::encode(envelope));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->protocol, core::kOpProtocolVersion);
+  ASSERT_EQ(decoded->ops.size(), 1u);
+  EXPECT_EQ(decoded->ops[0].op.ttl_ms, 45'000u);
+  EXPECT_EQ(decoded->ops[0].op.value, Bytes({1, 2}));
+}
+
+TEST(CodecRoundTrip, AeSummaryAndBucketDigest) {
+  core::AeSummary summary;
+  summary.bucket_count = 32;
+  summary.entry_count = 100;
+  summary.fingerprints.assign(32, 7);
+  const auto sum = core::decode_ae_summary(core::encode(summary));
+  ASSERT_TRUE(sum.has_value());
+  EXPECT_EQ(sum->bucket_count, 32u);
+  EXPECT_EQ(sum->entry_count, 100u);
+  EXPECT_EQ(sum->fingerprints, summary.fingerprints);
+
+  core::AeBucketDigest digest;
+  digest.is_reply = true;
+  digest.bucket_count = 32;
+  digest.buckets = {3, 17};
+  digest.entries = {{"x", 9}};
+  const auto dig = core::decode_ae_bucket_digest(core::encode(digest));
+  ASSERT_TRUE(dig.has_value());
+  EXPECT_TRUE(dig->is_reply);
+  EXPECT_EQ(dig->buckets, digest.buckets);
+  EXPECT_EQ(dig->entries, digest.entries);
+}
+
+TEST(CodecRoundTrip, AeSummaryRejectsAbsurdBucketCounts) {
+  // A flipped bucket_count must be refused before any allocation sized by
+  // it: receivers build bucket_count-long arrays from this field.
+  core::AeSummary summary;
+  summary.bucket_count = 16;
+  summary.entry_count = 1;
+  summary.fingerprints.assign(16, 1);
+  Bytes bytes = core::encode(summary).to_bytes();
+  bytes[0] = 0xFF;  // little-endian low byte of bucket_count
+  bytes[1] = 0xFF;
+  bytes[2] = 0xFF;
+  bytes[3] = 0xFF;
+  EXPECT_FALSE(core::decode_ae_summary(bytes).has_value());
+
+  core::AeBucketDigest digest;
+  digest.bucket_count = 16;
+  digest.buckets = {15};
+  const Bytes dig_bytes = core::encode(digest).to_bytes();
+  // Layout: is_reply u8 | bucket_count u32 | vec len u32 | bucket ids...
+  Bytes absurd_count = dig_bytes;
+  absurd_count[1] = 0xFF;
+  absurd_count[2] = 0xFF;
+  absurd_count[3] = 0xFF;
+  absurd_count[4] = 0xFF;
+  EXPECT_FALSE(core::decode_ae_bucket_digest(absurd_count).has_value());
+  // A bucket id >= bucket_count indexes out of the receiver's arrays.
+  Bytes out_of_range = dig_bytes;
+  out_of_range[9] = 0xFF;  // id 15 -> 255, beyond the 16-bucket layout
+  EXPECT_FALSE(core::decode_ae_bucket_digest(out_of_range).has_value());
 }
 
 TEST(CodecFuzz, PssDescriptorTruncations) {

@@ -87,6 +87,32 @@ TEST(ShardedStore, DigestEntriesMergeAllPartitionsAndTrackMutations) {
   EXPECT_EQ(store->digest_entries().size(), 17u);
 }
 
+TEST(ShardedStore, ReapInvalidatesDigestCacheAndBumpsRev) {
+  // Regression: expiry/eviction remove objects without going through put(),
+  // so reap must dirty the merged-digest cache (and bump mutation_rev, which
+  // anti-entropy keys its summary cache on) — otherwise a reaped key keeps
+  // being advertised and pulled back in.
+  auto store = make_sharded(4);
+  Object transient = make_object("transient", 1, 0x44);
+  transient.expires_at = 100;
+  ASSERT_TRUE(store->put(transient).ok());
+  ASSERT_TRUE(store->put(make_object("stable", 1, 0x55)).ok());
+
+  ASSERT_EQ(store->digest_entries().size(), 2u);  // warm the cache
+  const std::uint64_t rev_before = store->mutation_rev();
+
+  const ReapStats stats = store->reap(200, 0);
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(store->digest_entries().size(), 1u);
+  EXPECT_GT(store->mutation_rev(), rev_before);
+
+  // A reap that removes nothing must not churn the rev (summary caches
+  // would otherwise rebuild every tick).
+  const std::uint64_t rev_after = store->mutation_rev();
+  EXPECT_EQ(store->reap(300, 0).expired, 0u);
+  EXPECT_EQ(store->mutation_rev(), rev_after);
+}
+
 TEST(ShardedStore, ConstructorRebalancesAcrossShardCountChange) {
   // Simulate a durable restart with a DIFFERENT --shards: all objects were
   // recovered into partition 0 (the old single log), some now belong to

@@ -1,0 +1,243 @@
+// TTL / cache-mode semantics end to end: a TTL'd put expires cluster-wide
+// at its absolute deadline and stays expired — reads answer it as an
+// authoritative miss, replicas reap it, and no epidemic path (anti-entropy,
+// state transfer, durable restart) resurrects it for clients. Also covers
+// the v3 protocol negotiation: a TTL'd put against an older fleet fails
+// definitively as unsupported while plain ops keep working.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "client/client.hpp"
+#include "client/session.hpp"
+#include "harness/cluster.hpp"
+#include "store/storage_engine.hpp"
+#include "test_util.hpp"
+
+namespace dataflasks {
+namespace {
+
+using testing::SimBundle;
+
+harness::ClusterOptions cluster_options(std::size_t nodes,
+                                        std::uint32_t slices,
+                                        std::uint64_t seed) {
+  harness::ClusterOptions opts;
+  opts.node_count = nodes;
+  opts.seed = seed;
+  opts.node.slice_config = {slices, 1};
+  return opts;
+}
+
+TEST(Ttl, ExpiredKeyReadsAsAuthoritativeMissAndIsReaped) {
+  harness::Cluster cluster(cluster_options(20, 1, 81));
+  cluster.start_all();
+  cluster.run_for(60 * kSeconds);
+
+  auto& client = cluster.add_client();
+  client::PutResult put;
+  client.put("ephemeral", Bytes{7}, 1, /*ttl_ms=*/120'000,
+             [&](const client::PutResult& r) { put = r; });
+  cluster.run_for(10 * kSeconds);
+  ASSERT_TRUE(put.ok);
+
+  // Before the deadline: a normal read.
+  client::GetResult before;
+  client.get("ephemeral", std::nullopt,
+             [&](const client::GetResult& r) { before = r; });
+  cluster.run_for(10 * kSeconds);
+  ASSERT_TRUE(before.ok);
+  EXPECT_EQ(before.object.value, Bytes{7});
+
+  // Past the deadline: the read is an authoritative miss (deleted), never a
+  // timeout, and the per-replica reapers empty every store.
+  cluster.run_for(150 * kSeconds);
+  client::GetResult after;
+  client.get("ephemeral", std::nullopt,
+             [&](const client::GetResult& r) { after = r; });
+  cluster.run_for(15 * kSeconds);
+  EXPECT_FALSE(after.ok);
+  EXPECT_EQ(cluster.replica_count("ephemeral", 1), 0u);
+}
+
+TEST(Ttl, NoResurrectionThroughAntiEntropyOrStateTransfer) {
+  harness::Cluster cluster(cluster_options(40, 2, 82));
+  cluster.start_all();
+  cluster.run_for(90 * kSeconds);
+
+  auto& client = cluster.add_client();
+  client::PutResult put;
+  client.put("shortlived", Bytes{1, 2}, 1, /*ttl_ms=*/180'000,
+             [&](const client::PutResult& r) { put = r; });
+  cluster.run_for(60 * kSeconds);  // replicate across the slice
+  ASSERT_TRUE(put.ok);
+  ASSERT_GE(cluster.replica_count("shortlived", 1), 2u);
+
+  // Cross the deadline, then keep the epidemic machinery busy: anti-entropy
+  // rounds, plus a crash/restart that triggers state transfer into the
+  // rejoining node. Nothing may bring the object back.
+  cluster.run_for(180 * kSeconds);
+  cluster.crash(3);
+  cluster.run_for(20 * kSeconds);
+  cluster.restart(3);
+  cluster.run_for(120 * kSeconds);
+
+  EXPECT_EQ(cluster.replica_count("shortlived", 1), 0u);
+  client::GetResult got;
+  client.get("shortlived", std::nullopt,
+             [&](const client::GetResult& r) { got = r; });
+  cluster.run_for(15 * kSeconds);
+  EXPECT_FALSE(got.ok);
+
+  // A later write of the same key at a higher version is untouched by the
+  // old deadline.
+  client::PutResult rewrite;
+  client.put("shortlived", Bytes{9}, 2,
+             [&](const client::PutResult& r) { rewrite = r; });
+  cluster.run_for(15 * kSeconds);
+  ASSERT_TRUE(rewrite.ok);
+  client::GetResult reread;
+  client.get("shortlived", std::nullopt,
+             [&](const client::GetResult& r) { reread = r; });
+  cluster.run_for(15 * kSeconds);
+  ASSERT_TRUE(reread.ok);
+  EXPECT_EQ(reread.object.value, Bytes{9});
+}
+
+TEST(Ttl, DurableRestartReplaysExpiredObjectButNeverServesIt) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("df_ttl_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  const std::string base = dir + "/dataflasks-0";
+
+  SimBundle bundle(83);
+  core::NodeOptions options;
+  options.slice_config = {1, 1};
+  {
+    auto engine = std::make_unique<store::StorageEngine>(base);
+    ASSERT_TRUE(engine->open_status().ok());
+    core::Node node(NodeId(0), 1.0, bundle.simulator, *bundle.transport,
+                    options, /*seed=*/7, std::move(engine));
+    node.start({});
+
+    // A v3 put with a 5s TTL, straight through the op API.
+    core::OpEnvelope envelope;
+    envelope.ops.push_back(core::RoutedOp{
+        RequestId{500, 1},
+        core::Operation::put("ephemeral", 1, Bytes{0xEE}, /*ttl_ms=*/5000)});
+    bundle.transport->send(net::Message{NodeId(500), NodeId(0),
+                                        core::kOpEnvelope,
+                                        core::encode(envelope)});
+    bundle.run_for(2 * kSeconds);
+    ASSERT_TRUE(node.store().contains("ephemeral", 1));
+    node.crash();  // before the deadline: the journal holds a live object
+  }
+  bundle.run_for(60 * kSeconds);  // the deadline passes while "down"
+
+  // "Process restart" long after the deadline: replay resurrects the object
+  // in memory with its original absolute deadline already in the past.
+  auto engine = std::make_unique<store::StorageEngine>(base);
+  ASSERT_TRUE(engine->open_status().ok());
+  ASSERT_TRUE(engine->contains("ephemeral", 1));
+  core::Node node(NodeId(0), 1.0, bundle.simulator, *bundle.transport,
+                  options, /*seed=*/8, std::move(engine));
+  node.start({});
+
+  // A read between replay and the first reap tick is still a miss: the
+  // get-path expiry guard answers kDeleted (sim time is already past 5s).
+  bool answered = false;
+  core::OpStatus status = core::OpStatus::kOk;
+  bundle.transport->register_handler(
+      NodeId(501), [&](const net::Message& msg) {
+        if (msg.type == core::kOpReplyBatch) {
+          const auto batch = core::decode_op_reply_batch(msg.payload);
+          if (batch && !batch->replies.empty()) {
+            answered = true;
+            status = batch->replies.front().status;
+          }
+        }
+      });
+  core::OpEnvelope get_envelope;
+  get_envelope.ops.push_back(
+      core::RoutedOp{RequestId{501, 1}, core::Operation::get("ephemeral")});
+  bundle.transport->send(net::Message{NodeId(501), NodeId(0),
+                                      core::kOpEnvelope,
+                                      core::encode(get_envelope)});
+  bundle.run_for(5 * kSeconds);
+  ASSERT_TRUE(answered);
+  EXPECT_EQ(status, core::OpStatus::kDeleted);
+  EXPECT_GT(node.metrics().counter_value("rh.gets_expired") +
+                node.metrics().counter_value("node.keys_expired"),
+            0u);
+  // And the reaper has removed it from the recovered store by now.
+  EXPECT_FALSE(node.store().contains("ephemeral", 1));
+
+  node.crash();
+  std::filesystem::remove_all(dir);
+}
+
+// ---- protocol negotiation ----------------------------------------------------------
+
+class V2ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto opts = cluster_options(20, 1, 84);
+    opts.node.request.serve_protocol = 2;  // pre-TTL fleet
+    cluster_ = std::make_unique<harness::Cluster>(opts);
+    cluster_->start_all();
+    cluster_->run_for(60 * kSeconds);
+  }
+
+  std::unique_ptr<harness::Cluster> cluster_;
+};
+
+TEST_F(V2ClusterTest, TtlPutIsUnsupportedButPlainOpsNegotiateDown) {
+  auto& client = cluster_->add_client();
+  EXPECT_EQ(client.active_protocol(), core::kOpProtocolVersion);
+
+  // The TTL'd put needs v3; the fleet answers kVersionMismatch offering v2,
+  // the client adopts it and fails the op definitively — not a timeout.
+  client::PutResult ttl_put;
+  client.put("cached", Bytes{1}, 1, /*ttl_ms=*/60'000,
+             [&](const client::PutResult& r) { ttl_put = r; });
+  cluster_->run_for(15 * kSeconds);
+  EXPECT_FALSE(ttl_put.ok);
+  EXPECT_TRUE(ttl_put.unsupported);
+  EXPECT_EQ(client.active_protocol(), 2);
+
+  // Plain ops keep working at the negotiated version.
+  client::PutResult plain;
+  client.put("plain", Bytes{2}, 1,
+             [&](const client::PutResult& r) { plain = r; });
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_TRUE(plain.ok);
+  client::GetResult got;
+  client.get("plain", std::nullopt,
+             [&](const client::GetResult& r) { got = r; });
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(got.object.value, Bytes{2});
+
+  // A zero TTL is exactly the plain put: expressible at v2, no failure.
+  client::PutResult zero_ttl;
+  client.put("zero", Bytes{3}, 1, /*ttl_ms=*/0,
+             [&](const client::PutResult& r) { zero_ttl = r; });
+  cluster_->run_for(15 * kSeconds);
+  EXPECT_TRUE(zero_ttl.ok);
+
+  // Session sugar surfaces the same signal.
+  client::Session session(client);
+  auto future = session.put_ttl("sugar", Bytes{4}, /*ttl_ms=*/1000);
+  cluster_->run_for(15 * kSeconds);
+  ASSERT_TRUE(future.ready());
+  EXPECT_FALSE(future.value().ok);
+  EXPECT_TRUE(future.value().unsupported);
+}
+
+}  // namespace
+}  // namespace dataflasks
